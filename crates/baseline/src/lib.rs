@@ -1,0 +1,20 @@
+//! # schema-merge-baseline
+//!
+//! The *status quo* comparator the paper argues against (§3, Figs. 4–5):
+//! a stepwise binary merge that completes after every step and gives the
+//! implicit classes ordinary, opaque names (`?1`, `?2`, …). Because the
+//! opaque classes carry no origin information, later merges cannot
+//! recognize them, and the result depends on the merge order — the
+//! non-associativity the paper's construction repairs.
+//!
+//! A second heuristic baseline ([`first_wins_merge`]) resolves conflicting
+//! canonical arrow targets in favour of the earlier schema, which is
+//! order-dependent even without implicit classes — representative of the
+//! ad-hoc resolution rules in pre-1992 merging tools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod naive;
+
+pub use naive::{figure_4_schemas, first_wins_merge, is_opaque, stepwise_merge, NaiveMerger};

@@ -1,0 +1,288 @@
+//! The naive stepwise merge (§3, Figs. 4–5).
+
+use std::collections::BTreeMap;
+
+use schema_merge_core::complete::complete_with_report;
+use schema_merge_core::{Class, MergeError, Name, WeakSchema};
+
+/// Whether a class is one of the baseline's opaque implicit stand-ins.
+pub fn is_opaque(class: &Class) -> bool {
+    class.name().is_some_and(|n| n.as_str().starts_with('?'))
+}
+
+/// A stepwise merger handing out opaque names for implicit classes.
+///
+/// After each binary weak join, the result is completed and every
+/// implicit class is *renamed* to a fresh ordinary class (`?1`, `?2`, …).
+/// From then on the class is indistinguishable from a user class, which
+/// is exactly the §3 mistake: "if we were to give them the same status as
+/// ordinary classes we would find that binary merges are not
+/// associative."
+#[derive(Debug, Default)]
+pub struct NaiveMerger {
+    counter: u64,
+}
+
+impl NaiveMerger {
+    /// A fresh merger (opaque names restart at `?1`).
+    pub fn new() -> Self {
+        NaiveMerger::default()
+    }
+
+    fn fresh_name(&mut self) -> Name {
+        self.counter += 1;
+        Name::new(format!("?{}", self.counter))
+    }
+
+    /// One naive binary merge: weak join, complete, then strip the origin
+    /// information off every implicit class by renaming it opaquely.
+    pub fn merge_pair(
+        &mut self,
+        left: &WeakSchema,
+        right: &WeakSchema,
+    ) -> Result<WeakSchema, MergeError> {
+        let joined = schema_merge_core::weak_join(left, right)?;
+        let (proper, report) = complete_with_report(&joined)?;
+
+        let mut rename: BTreeMap<Class, Class> = BTreeMap::new();
+        for info in &report.implicit {
+            rename.insert(info.class.clone(), Class::Named(self.fresh_name()));
+        }
+        if rename.is_empty() {
+            return Ok(proper.into_weak());
+        }
+
+        let map = |class: &Class| -> Class {
+            rename.get(class).cloned().unwrap_or_else(|| class.clone())
+        };
+        let source = proper.as_weak();
+        let mut builder = WeakSchema::builder();
+        for class in source.classes() {
+            builder = builder.class(map(class));
+        }
+        for (sub, sup) in source.specialization_pairs() {
+            builder = builder.specialize(map(sub), map(sup));
+        }
+        for (src, label, tgt) in source.arrow_triples() {
+            builder = builder.arrow(map(src), label.clone(), map(tgt));
+        }
+        builder.build().map_err(MergeError::Schema)
+    }
+
+    /// Folds a sequence of schemas left to right with [`merge_pair`] —
+    /// the protocol whose result depends on the sequence order.
+    ///
+    /// [`merge_pair`]: NaiveMerger::merge_pair
+    pub fn merge_sequence<'a>(
+        &mut self,
+        schemas: impl IntoIterator<Item = &'a WeakSchema>,
+    ) -> Result<WeakSchema, MergeError> {
+        let mut iter = schemas.into_iter();
+        let mut acc = match iter.next() {
+            Some(first) => first.clone(),
+            None => return Ok(WeakSchema::empty()),
+        };
+        for next in iter {
+            acc = self.merge_pair(&acc, next)?;
+        }
+        Ok(acc)
+    }
+}
+
+/// Convenience: a one-shot naive stepwise merge in the given order.
+pub fn stepwise_merge<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<WeakSchema, MergeError> {
+    NaiveMerger::new().merge_sequence(schemas)
+}
+
+/// An ad-hoc pairwise heuristic: classes merge by name, but when the two
+/// schemas give one `(class, label)` pair *different* minimal arrow
+/// targets, the left (earlier) schema's arrows win and the right schema's
+/// are dropped. Order-dependent by construction; included as a second
+/// baseline for the benchmark comparisons.
+pub fn first_wins_merge(left: &WeakSchema, right: &WeakSchema) -> Result<WeakSchema, MergeError> {
+    let mut builder = WeakSchema::builder();
+    for schema in [left, right] {
+        for class in schema.classes() {
+            builder = builder.class(class.clone());
+        }
+        for (sub, sup) in schema.specialization_pairs() {
+            builder = builder.specialize(sub.clone(), sup.clone());
+        }
+    }
+    for (src, label, tgt) in left.arrow_triples() {
+        builder = builder.arrow(src.clone(), label.clone(), tgt.clone());
+    }
+    for (src, label, tgt) in right.arrow_triples() {
+        // Drop the arrow if the left schema already has this (src, label)
+        // pair pointing somewhere else.
+        let left_targets = left.arrow_targets(src, label);
+        if left_targets.is_empty() || left_targets.contains(tgt) {
+            builder = builder.arrow(src.clone(), label.clone(), tgt.clone());
+        }
+    }
+    builder.build().map_err(MergeError::Schema)
+}
+
+/// The three schemas of Fig. 4. `G1` relates `A`, `B`, `C`, `H` with an
+/// `a`-arrow to `D`; `G2` and `G3` add `a`-arrows to `E` and `F`.
+pub fn figure_4_schemas() -> (WeakSchema, WeakSchema, WeakSchema) {
+    let g1 = WeakSchema::builder()
+        .classes(["H", "C"])
+        .specialize("B", "A")
+        .arrow("B", "a", "D")
+        .build()
+        .expect("figure 4 G1");
+    let g2 = WeakSchema::builder().arrow("B", "a", "E").build().expect("figure 4 G2");
+    let g3 = WeakSchema::builder().arrow("B", "a", "F").build().expect("figure 4 G3");
+    (g1, g2, g3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_merge_core::iso::alpha_isomorphic;
+    use schema_merge_core::Label;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn opaque_names_are_recognized() {
+        assert!(is_opaque(&c("?1")));
+        assert!(!is_opaque(&c("Dog")));
+        assert!(!is_opaque(&Class::implicit([c("A"), c("B")])));
+    }
+
+    #[test]
+    fn single_merge_mirrors_paper_completion_modulo_names() {
+        let g1 = WeakSchema::builder().arrow("C", "a", "B1").build().unwrap();
+        let g2 = WeakSchema::builder().arrow("C", "a", "B2").build().unwrap();
+        let naive = NaiveMerger::new().merge_pair(&g1, &g2).unwrap();
+        let ours = schema_merge_core::merge([&g1, &g2]).unwrap().proper;
+        // Alpha-equivalent: the only difference is the implicit class's
+        // name.
+        assert!(alpha_isomorphic(
+            &naive,
+            ours.as_weak(),
+            |class| is_opaque(class) || class.is_implicit()
+        ));
+    }
+
+    #[test]
+    fn figure_5_non_associativity() {
+        // Merging G1,G2 first and G3 last yields ?1 below {D,E} and ?2
+        // below {?1,F}; the other order nests the other way. The results
+        // are not isomorphic even with opaque renaming.
+        let (g1, g2, g3) = figure_4_schemas();
+
+        let order_a = stepwise_merge([&g1, &g2, &g3]).unwrap();
+        let order_b = stepwise_merge([&g1, &g3, &g2]).unwrap();
+
+        assert!(
+            !alpha_isomorphic(&order_a, &order_b, is_opaque),
+            "the naive merge must be order-dependent on Fig. 4"
+        );
+
+        // While the paper's merge is order-independent and produces the
+        // single implicit class {D,E,F}.
+        let ours_a = schema_merge_core::merge([&g1, &g2, &g3]).unwrap().proper;
+        let ours_b = schema_merge_core::merge([&g1, &g3, &g2]).unwrap().proper;
+        assert_eq!(ours_a, ours_b);
+        let def = Class::implicit([c("D"), c("E"), c("F")]);
+        assert!(ours_a.contains_class(&def));
+    }
+
+    #[test]
+    fn naive_nesting_structure_matches_figure_5() {
+        let (g1, g2, g3) = figure_4_schemas();
+        let mut merger = NaiveMerger::new();
+        let step1 = merger.merge_pair(&g1, &g2).unwrap();
+        // ?1 sits below D and E.
+        assert!(step1.specializes(&c("?1"), &c("D")));
+        assert!(step1.specializes(&c("?1"), &c("E")));
+
+        let step2 = merger.merge_pair(&step1, &g3).unwrap();
+        // ?2 sits below ?1 and F — the nested chain of Fig. 5, instead of
+        // one class below all three of D, E, F.
+        assert!(step2.specializes(&c("?2"), &c("?1")));
+        assert!(step2.specializes(&c("?2"), &c("F")));
+        assert!(step2.specializes(&c("?2"), &c("D")), "transitively");
+        assert!(
+            !step2.contains_class(&Class::implicit([c("D"), c("E"), c("F")])),
+            "the flat implicit class never appears"
+        );
+    }
+
+    #[test]
+    fn merge_sequence_of_zero_and_one() {
+        let mut merger = NaiveMerger::new();
+        assert_eq!(
+            merger.merge_sequence(std::iter::empty()).unwrap(),
+            WeakSchema::empty()
+        );
+        let g = WeakSchema::builder().arrow("A", "x", "B").build().unwrap();
+        assert_eq!(merger.merge_sequence([&g]).unwrap(), g);
+    }
+
+    #[test]
+    fn incompatibility_still_fails() {
+        let g1 = WeakSchema::builder().specialize("A", "B").build().unwrap();
+        let g2 = WeakSchema::builder().specialize("B", "A").build().unwrap();
+        assert!(NaiveMerger::new().merge_pair(&g1, &g2).is_err());
+    }
+
+    #[test]
+    fn first_wins_is_order_dependent() {
+        let g1 = WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap();
+        let g2 = WeakSchema::builder().arrow("Dog", "age", "years").build().unwrap();
+        let a = first_wins_merge(&g1, &g2).unwrap();
+        let b = first_wins_merge(&g2, &g1).unwrap();
+        assert_ne!(a, b);
+        assert!(a.has_arrow(&c("Dog"), &l("age"), &c("int")));
+        assert!(!a.has_arrow(&c("Dog"), &l("age"), &c("years")));
+        assert!(b.has_arrow(&c("Dog"), &l("age"), &c("years")));
+    }
+
+    #[test]
+    fn first_wins_keeps_compatible_arrows() {
+        let g1 = WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("Dog", "name", "text")
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap();
+        let merged = first_wins_merge(&g1, &g2).unwrap();
+        assert!(merged.has_arrow(&c("Dog"), &l("name"), &c("text")));
+        assert!(merged.has_arrow(&c("Dog"), &l("age"), &c("int")));
+    }
+
+    #[test]
+    fn opaque_classes_infect_subsequent_merges() {
+        // Once an opaque class exists, re-merging with information that
+        // would have changed the implicit class leaves the stale one in
+        // place — the "cannot be readily identified" failure.
+        let g1 = WeakSchema::builder().arrow("C", "a", "B1").build().unwrap();
+        let g2 = WeakSchema::builder().arrow("C", "a", "B2").build().unwrap();
+        let g3 = WeakSchema::builder().specialize("B1", "B2").build().unwrap();
+
+        let mut merger = NaiveMerger::new();
+        let step1 = merger.merge_pair(&g1, &g2).unwrap();
+        let step2 = merger.merge_pair(&step1, &g3).unwrap();
+        // With B1 ⇒ B2 the merged schema needs no implicit class at all —
+        // but the opaque ?1 lingers.
+        assert!(step2.contains_class(&c("?1")));
+        let ours = schema_merge_core::merge([&g1, &g2, &g3]).unwrap().proper;
+        assert_eq!(
+            ours.classes().filter(|cl| cl.is_implicit()).count(),
+            0,
+            "the paper's merge leaves nothing behind"
+        );
+    }
+}

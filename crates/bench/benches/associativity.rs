@@ -1,0 +1,71 @@
+//! E1: the cost of order-independence — the paper's merge vs the naive
+//! stepwise baseline (which must re-complete at every step and still
+//! gets order-dependent answers).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schema_merge_baseline::NaiveMerger;
+use schema_merge_core::merge;
+use schema_merge_workload::{schema_family, SchemaParams};
+
+fn family(count: usize) -> Vec<schema_merge_core::WeakSchema> {
+    schema_family(
+        &SchemaParams {
+            vocabulary: 64,
+            classes: 12,
+            labels: 16,
+            arrows: 16,
+            specializations: 6,
+            seed: 11,
+        },
+        count,
+    )
+}
+
+fn bench_paper_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("associativity/paper_merge");
+    for count in [2usize, 4, 6] {
+        let schemas = family(count);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &schemas, |b, schemas| {
+            b.iter(|| merge(schemas.iter()).expect("compatible").proper);
+        });
+    }
+    group.finish();
+}
+
+fn bench_naive_stepwise(c: &mut Criterion) {
+    let mut group = c.benchmark_group("associativity/naive_stepwise");
+    for count in [2usize, 4, 6] {
+        let schemas = family(count);
+        group.bench_with_input(BenchmarkId::from_parameter(count), &schemas, |b, schemas| {
+            b.iter(|| {
+                NaiveMerger::new()
+                    .merge_sequence(schemas.iter())
+                    .expect("compatible")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_order_permutations(c: &mut Criterion) {
+    // Verifying order-independence is itself cheap: three merges plus
+    // two equality checks on canonical forms.
+    let schemas = family(4);
+    c.bench_function("associativity/verify_three_orders", |b| {
+        b.iter(|| {
+            let forward = merge(schemas.iter()).expect("a").proper;
+            let backward = merge(schemas.iter().rev()).expect("b").proper;
+            let rotated = merge(schemas[1..].iter().chain(&schemas[..1])).expect("c").proper;
+            assert!(forward == backward && backward == rotated);
+            forward
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_paper_merge,
+    bench_naive_stepwise,
+    bench_order_permutations
+);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! E2: completion cost — realistic densities vs the exponential NFA
+//! family (§7 open question 3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schema_merge_core::complete::complete_with_report;
+use schema_merge_workload::{pathological_nfa, random_schema, SchemaParams};
+
+fn bench_random(c: &mut Criterion) {
+    let mut group = c.benchmark_group("completion/random");
+    for classes in [16usize, 32, 64, 128] {
+        let schema = random_schema(&SchemaParams {
+            vocabulary: classes,
+            classes,
+            labels: (classes / 2).max(2),
+            arrows: classes * 2,
+            specializations: classes / 2,
+            seed: 5,
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &schema, |b, schema| {
+            b.iter(|| complete_with_report(schema).expect("completion"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_pathological(c: &mut Criterion) {
+    // Input size is linear in n, output (and time) is ~2^n: the subset
+    // construction at work. Keep n modest so the suite stays fast.
+    let mut group = c.benchmark_group("completion/pathological_nfa");
+    group.sample_size(10);
+    for n in [4usize, 6, 8, 10] {
+        let schema = pathological_nfa(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &schema, |b, schema| {
+            b.iter(|| complete_with_report(schema).expect("completion"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_already_proper(c: &mut Criterion) {
+    // Completion of an already-proper schema is the fixpoint discovery
+    // alone — the no-op baseline.
+    let schema = random_schema(&SchemaParams {
+        vocabulary: 64,
+        classes: 64,
+        labels: 64,
+        arrows: 64,
+        specializations: 16,
+        seed: 9,
+    });
+    c.bench_function("completion/near_proper", |b| {
+        b.iter(|| complete_with_report(&schema).expect("completion"));
+    });
+}
+
+criterion_group!(benches, bench_random, bench_pathological, bench_already_proper);
+criterion_main!(benches);

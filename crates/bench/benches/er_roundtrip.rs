@@ -1,0 +1,58 @@
+//! E6: ER merging through the graph model — translation, merge and
+//! read-back costs (§2, §7 strata preservation).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schema_merge_er::{from_core, merge_er, to_core};
+use schema_merge_workload::{random_er_schema, ErParams};
+
+fn er_pair(entities: usize) -> (schema_merge_er::ErSchema, schema_merge_er::ErSchema) {
+    let params = ErParams {
+        entities,
+        domains: entities / 2 + 1,
+        attributes: entities * 2,
+        relationships: entities / 2,
+        isa: entities / 3,
+        one_role_percent: 30,
+        seed: 17,
+    };
+    let g1 = random_er_schema(&params);
+    let g2 = random_er_schema(&ErParams { seed: 18, ..params });
+    (g1, g2)
+}
+
+fn bench_translate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("er/translate");
+    for entities in [8usize, 32, 128] {
+        let (g1, _) = er_pair(entities);
+        group.bench_with_input(BenchmarkId::new("to_core", entities), &g1, |b, er| {
+            b.iter(|| to_core(er));
+        });
+        let (core, strata) = to_core(&g1);
+        group.bench_with_input(
+            BenchmarkId::new("from_core", entities),
+            &(core, strata),
+            |b, (core, strata)| {
+                b.iter(|| from_core(core, strata).expect("stratified"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("er/merge");
+    for entities in [8usize, 16, 32] {
+        let (g1, g2) = er_pair(entities);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(entities),
+            &(g1, g2),
+            |b, (g1, g2)| {
+                b.iter(|| merge_er([g1, g2]).expect("mergeable"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_translate, bench_full_merge);
+criterion_main!(benches);

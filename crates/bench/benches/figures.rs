@@ -1,0 +1,35 @@
+//! Micro-benchmarks of the paper's own worked examples: the cost of
+//! reproducing each figure (they are small — this mostly measures fixed
+//! overheads of the closure and completion machinery).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use schema_merge_bench::figures;
+
+fn bench_each_figure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.bench_function("fig3_implicit_class", |b| {
+        b.iter(figures::figure_3);
+    });
+    group.bench_function("fig5_nonassociativity", |b| {
+        b.iter(figures::figure_5);
+    });
+    group.bench_function("fig7_completion_choice", |b| {
+        b.iter(figures::figure_7);
+    });
+    group.bench_function("fig9_key_merge", |b| {
+        b.iter(figures::figure_9);
+    });
+    group.bench_function("fig11_lower_merge", |b| {
+        b.iter(figures::figure_11);
+    });
+    group.finish();
+}
+
+fn bench_whole_table(c: &mut Criterion) {
+    c.bench_function("figures/full_reproduction_table", |b| {
+        b.iter(figures::all_rows);
+    });
+}
+
+criterion_group!(benches, bench_each_figure, bench_whole_table);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! E4: the minimal satisfactory key assignment (§5) and family algebra.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schema_merge_core::{KeyAssignment, KeySet, SuperkeyFamily};
+use schema_merge_workload::{random_schema, SchemaParams};
+
+fn contributions(
+    schema: &schema_merge_core::WeakSchema,
+) -> Vec<(schema_merge_core::Class, SuperkeyFamily)> {
+    schema
+        .classes()
+        .filter_map(|class| {
+            let labels = schema.labels_of(class);
+            let mut iter = labels.iter();
+            let first = iter.next()?.clone();
+            let mut family = SuperkeyFamily::single(KeySet::new([first]));
+            if let Some(second) = iter.next() {
+                family.insert_key(KeySet::new([second.clone(), iter.next()?.clone()]));
+            }
+            Some((class.clone(), family))
+        })
+        .collect()
+}
+
+fn bench_minimal_satisfactory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("keys/minimal_satisfactory");
+    for classes in [16usize, 64, 256] {
+        let schema = random_schema(&SchemaParams {
+            vocabulary: classes,
+            classes,
+            labels: (classes / 2).max(3),
+            arrows: classes * 2,
+            specializations: classes,
+            seed: 31,
+        });
+        let contribs = contributions(&schema);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &(schema, contribs),
+            |b, (schema, contribs)| {
+                b.iter(|| {
+                    KeyAssignment::minimal_satisfactory(
+                        schema,
+                        contribs.iter().map(|(c, f)| (c, f)),
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_family_algebra(c: &mut Criterion) {
+    // Antichain maintenance under adversarial insert order: many
+    // overlapping keys, inserted largest-first.
+    c.bench_function("keys/antichain_insertion", |b| {
+        let labels: Vec<String> = (0..12).map(|i| format!("l{i}")).collect();
+        b.iter(|| {
+            let mut family = SuperkeyFamily::none();
+            for width in (1..=4usize).rev() {
+                for start in 0..labels.len() - width {
+                    family.insert_key(KeySet::new(
+                        labels[start..start + width].iter().cloned(),
+                    ));
+                }
+            }
+            family
+        });
+    });
+
+    c.bench_function("keys/family_intersection", |b| {
+        let left = SuperkeyFamily::from_keys((0..8).map(|i| {
+            KeySet::new([format!("a{i}"), format!("b{i}")])
+        }));
+        let right = SuperkeyFamily::from_keys((0..8).map(|i| {
+            KeySet::new([format!("b{i}"), format!("c{i}")])
+        }));
+        b.iter(|| left.intersection(&right));
+    });
+}
+
+criterion_group!(benches, bench_minimal_satisfactory, bench_family_algebra);
+criterion_main!(benches);

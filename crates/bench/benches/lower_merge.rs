@@ -1,0 +1,75 @@
+//! E5: lower merges (GLB) and their completion (§6).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
+use schema_merge_workload::{schema_family, SchemaParams};
+
+fn annotated_family(classes: usize, count: usize) -> Vec<AnnotatedSchema> {
+    schema_family(
+        &SchemaParams {
+            vocabulary: classes,
+            classes,
+            labels: (classes / 2).max(2),
+            arrows: classes,
+            specializations: classes / 3,
+            seed: 41,
+        },
+        count,
+    )
+    .into_iter()
+    .map(AnnotatedSchema::all_required)
+    .collect()
+}
+
+fn bench_lower_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_merge/glb");
+    for classes in [16usize, 64, 128] {
+        let family = annotated_family(classes, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &family, |b, family| {
+            b.iter(|| lower_merge(family.iter()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lower_complete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lower_merge/complete");
+    for classes in [16usize, 32, 64] {
+        let merged = lower_merge(annotated_family(classes, 2).iter());
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &merged, |b, merged| {
+            b.iter(|| lower_complete(merged).expect("lower completion"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_disagreement_width(c: &mut Criterion) {
+    // The number of sites disagreeing on one arrow target controls the
+    // union-class origin width.
+    let mut group = c.benchmark_group("lower_merge/disagreement_width");
+    for sites in [2usize, 4, 8, 16] {
+        let schemas: Vec<AnnotatedSchema> = (0..sites)
+            .map(|i| {
+                AnnotatedSchema::builder()
+                    .arrow("Pet", "home", format!("Site{i}"))
+                    .build()
+                    .expect("site schema")
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(sites), &schemas, |b, schemas| {
+            b.iter(|| {
+                let merged = lower_merge(schemas.iter());
+                lower_complete(&merged).expect("lower completion")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lower_merge,
+    bench_lower_complete,
+    bench_disagreement_width
+);
+criterion_main!(benches);

@@ -1,0 +1,135 @@
+//! E8 companions: cost of the §3/§7 pre-merge tooling — renaming,
+//! synonym suggestion, reify/flatten, and ER normalization — as schema
+//! size grows. These are interactive-loop operations, so latency (not
+//! just throughput) is the quantity of interest.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schema_merge_core::restructure::{flatten_class, reify_arrow};
+use schema_merge_core::{synonym_candidates, Class, Label, Renaming, WeakSchema};
+use schema_merge_er::{normalize_pair, NormalPolicy};
+use schema_merge_workload::{conflicting_er_pair, random_schema, SchemaParams};
+
+fn params(classes: usize) -> SchemaParams {
+    SchemaParams {
+        vocabulary: classes * 2,
+        classes,
+        labels: (classes / 2).max(4),
+        arrows: classes * 2,
+        specializations: classes / 2,
+        seed: 4242,
+    }
+}
+
+/// A renaming touching ~half the classes of the generated vocabulary.
+fn bulk_renaming(schema: &WeakSchema) -> Renaming {
+    let mut renaming = Renaming::new();
+    for (i, class) in schema.classes().enumerate() {
+        if let (0, Some(name)) = (i % 2, class.name()) {
+            renaming = renaming.class(name.clone(), format!("renamed-{name}"));
+        }
+    }
+    renaming
+}
+
+fn bench_rename(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restructure/rename_apply");
+    for classes in [16usize, 64, 256] {
+        let schema = random_schema(&params(classes));
+        let renaming = bulk_renaming(&schema);
+        group.throughput(Throughput::Elements(schema.num_classes() as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &(schema, renaming),
+            |b, (schema, renaming)| {
+                b.iter(|| renaming.apply(schema).expect("renames"));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_synonym_suggestion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restructure/synonym_candidates");
+    for classes in [16usize, 64, 256] {
+        let left = random_schema(&params(classes));
+        // A disjointly-named copy with the same label vocabulary: every
+        // class is a potential synonym, the worst case for the O(n²)
+        // signature comparison.
+        let (right, _) = bulk_renaming(&left)
+            .apply(&left)
+            .expect("renaming a generated schema succeeds");
+        group.throughput(Throughput::Elements(classes as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &(left, right),
+            |b, (left, right)| {
+                b.iter(|| synonym_candidates(left, right, 0.5));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_reify_flatten(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restructure/reify_flatten_roundtrip");
+    for classes in [16usize, 64, 256] {
+        // A schema with one designated direct arrow in a sea of others.
+        let mut builder = WeakSchema::builder().arrow("Person", "owns", "Dog");
+        for i in 0..classes {
+            builder = builder.arrow(format!("C{i}"), format!("a{}", i % 8), format!("D{i}"));
+        }
+        let schema = builder.build().expect("valid");
+        group.throughput(Throughput::Elements(schema.num_arrows() as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &schema, |b, schema| {
+            b.iter(|| {
+                let reified = reify_arrow(
+                    schema,
+                    &Class::named("Person"),
+                    &Label::new("owns"),
+                    "Owns",
+                    "owner",
+                    "pet",
+                )
+                .expect("reifies");
+                flatten_class(
+                    &reified,
+                    &Class::named("Owns"),
+                    &Label::new("owner"),
+                    &Label::new("pet"),
+                    "owns",
+                )
+                .expect("flattens")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_normalize(c: &mut Criterion) {
+    let mut group = c.benchmark_group("restructure/normalize_pair");
+    for conflicts in [1usize, 4, 16] {
+        let pair = conflicting_er_pair(conflicts);
+        group.throughput(Throughput::Elements(conflicts as u64));
+        group.bench_with_input(
+            BenchmarkId::from_parameter(conflicts),
+            &pair,
+            |b, (left, right)| {
+                b.iter(|| {
+                    let outcome = normalize_pair(left, right, NormalPolicy::PreferEntity);
+                    assert!(outcome.is_clean());
+                    outcome
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_rename,
+    bench_synonym_suggestion,
+    bench_reify_flatten,
+    bench_normalize
+);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E3: weak least-upper-bound throughput vs schema size and arity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use schema_merge_core::weak_join_all;
+use schema_merge_workload::{schema_family, SchemaParams};
+
+fn params(classes: usize) -> SchemaParams {
+    SchemaParams {
+        vocabulary: classes * 2,
+        classes,
+        labels: (classes / 2).max(4),
+        arrows: classes * 3 / 2,
+        specializations: classes / 2,
+        seed: 23,
+    }
+}
+
+fn bench_two_way(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak_join/two_way");
+    for classes in [16usize, 64, 256] {
+        let family = schema_family(&params(classes), 2);
+        let arrows: usize = family.iter().map(|s| s.num_arrows()).sum();
+        group.throughput(Throughput::Elements(arrows as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(classes), &family, |b, family| {
+            b.iter(|| weak_join_all(family.iter()).expect("compatible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_n_way(c: &mut Criterion) {
+    let mut group = c.benchmark_group("weak_join/n_way");
+    for count in [2usize, 4, 8, 16] {
+        let family = schema_family(&params(32), count);
+        group.throughput(Throughput::Elements(count as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(count), &family, |b, family| {
+            b.iter(|| weak_join_all(family.iter()).expect("compatible"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_fold_vs_batch(c: &mut Criterion) {
+    // The LUB can be computed by folding binary joins or in one pass;
+    // results are equal (associativity), costs are not.
+    let family = schema_family(&params(32), 8);
+    let mut group = c.benchmark_group("weak_join/fold_vs_batch");
+    group.bench_function("batch", |b| {
+        b.iter(|| weak_join_all(family.iter()).expect("compatible"));
+    });
+    group.bench_function("fold", |b| {
+        b.iter(|| {
+            let mut acc = family[0].clone();
+            for next in &family[1..] {
+                acc = schema_merge_core::weak_join(&acc, next).expect("compatible");
+            }
+            acc
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_two_way, bench_n_way, bench_fold_vs_batch);
+criterion_main!(benches);

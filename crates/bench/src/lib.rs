@@ -1,0 +1,15 @@
+//! # schema-merge-bench
+//!
+//! The experiment harness: programmatic reconstructions of every figure
+//! in the paper ([`figures`]) plus the scaling experiments its §7 leaves
+//! open ([`experiments`]). The `reproduce` binary prints the verification
+//! table recorded in `EXPERIMENTS.md`; the Criterion benches under
+//! `benches/` measure the same code paths.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod figures;
+
+pub use figures::{all_rows, Row, Verdict};

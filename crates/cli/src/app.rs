@@ -1,0 +1,853 @@
+//! The `smerge` subcommands.
+
+use std::fmt;
+use std::io::Write;
+
+use schema_merge_core::complete::complete_with_report;
+use schema_merge_core::lower::{annotated_join, lower_complete, lower_merge};
+use schema_merge_core::{Class, KeyAssignment, SuperkeyFamily};
+use schema_merge_text::{parse_document, print_schema, render_ascii, to_dot, DotOptions,
+    NamedSchema};
+
+/// A CLI failure: message plus a hint at fault (usage vs data).
+#[derive(Debug)]
+pub enum CliError {
+    /// Bad invocation.
+    Usage(String),
+    /// I/O problems.
+    Io(std::io::Error),
+    /// Parsing or merging failed.
+    Data(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
+            CliError::Io(err) => write!(f, "{err}"),
+            CliError::Data(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(err: std::io::Error) -> Self {
+        CliError::Io(err)
+    }
+}
+
+const USAGE: &str = "\
+usage: smerge <command> [args]
+
+commands:
+  merge <file>...      upper-merge every schema in the files; print the
+                       merged schema, its keys and the implicit classes
+  diff <file>          print the symmetric difference of two schemas
+                       (the file must contain exactly two)
+  lower <file>...      lower-merge every schema (federated view); print
+                       the completed result with participation marks
+  check <file>...      validate schemas; report whether each is proper
+  explain <file>...    like merge, but print only the implicit-class
+                       provenance report
+  dot <file> [name]    print Graphviz DOT for one schema (default: first)
+  ascii <file> [name]  print an ASCII rendering of one schema
+  stats <file>...      print size statistics per schema
+  suggest <file>...    propose synonym unifications and flag homonym
+                       clashes between the first two schemas (§3)
+  rename <map>... -- <file>...
+                       apply renames (Old=New for classes, .old=.new for
+                       labels) to every schema and print the results
+  functional <file>... print the merged schema's functional-model view
+                       (canonical arrows p.a ⇀ q, §2)
+  ddl <file>...        merge the schemas and emit SQL CREATE TABLE
+                       statements (1NF-stratifiable schemas only)
+  conform <schema-file> <instance-file>
+                       check every instance against the merged schema
+  query <schema-file> <instance-file> <path>
+                       evaluate a path query (Start.label[Class].label)
+                       against an instance of the merged schema
+  help                 this message";
+
+/// Entry point shared by `main` and the tests.
+pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
+    let mut iter = args.iter();
+    let command = iter.next().map(String::as_str).unwrap_or("help");
+    let rest: Vec<&String> = iter.collect();
+    match command {
+        "merge" => merge_command(&rest, out, false),
+        "diff" => diff_command(&rest, out),
+        "explain" => merge_command(&rest, out, true),
+        "lower" => lower_command(&rest, out),
+        "check" => check_command(&rest, out),
+        "dot" => render_command(&rest, out, Renderer::Dot),
+        "ascii" => render_command(&rest, out, Renderer::Ascii),
+        "stats" => stats_command(&rest, out),
+        "suggest" => suggest_command(&rest, out),
+        "rename" => rename_command(&rest, out),
+        "functional" => functional_command(&rest, out),
+        "ddl" => ddl_command(&rest, out),
+        "conform" => conform_command(&rest, out),
+        "query" => query_command(&rest, out),
+        "help" | "--help" | "-h" => {
+            writeln!(out, "{USAGE}")?;
+            Ok(())
+        }
+        other => Err(CliError::Usage(format!("unknown command `{other}`"))),
+    }
+}
+
+fn load_documents(paths: &[&String]) -> Result<Vec<NamedSchema>, CliError> {
+    if paths.is_empty() {
+        return Err(CliError::Usage("expected at least one schema file".into()));
+    }
+    let mut docs = Vec::new();
+    for path in paths {
+        let source = std::fs::read_to_string(path.as_str())
+            .map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+        let parsed = parse_document(&source)
+            .map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+        docs.extend(parsed);
+    }
+    if docs.is_empty() {
+        return Err(CliError::Data("no schemas found in the input files".into()));
+    }
+    Ok(docs)
+}
+
+fn combined_keys(docs: &[NamedSchema]) -> Vec<(Class, SuperkeyFamily)> {
+    let mut contributions = Vec::new();
+    for doc in docs {
+        for class in doc.keys.keyed_classes() {
+            contributions.push((class.clone(), doc.keys.family(class)));
+        }
+    }
+    contributions
+}
+
+fn merge_command(paths: &[&String], out: &mut dyn Write, explain_only: bool) -> Result<(), CliError> {
+    let docs = load_documents(paths)?;
+    let annotated = annotated_join(docs.iter().map(|d| &d.schema))
+        .map_err(|err| CliError::Data(format!("merge failed: {err}")))?;
+    let (proper, report) = complete_with_report(annotated.schema())
+        .map_err(|err| CliError::Data(format!("completion failed: {err}")))?;
+
+    let contributions = combined_keys(&docs);
+    let keys = KeyAssignment::minimal_satisfactory(
+        proper.as_weak(),
+        contributions.iter().map(|(c, f)| (c, f)),
+    );
+
+    if !explain_only {
+        let merged = NamedSchema {
+            name: "merged".into(),
+            schema: schema_merge_core::AnnotatedSchema::all_required(proper.as_weak().clone()),
+            keys,
+        };
+        write!(out, "{}", print_schema(&merged))?;
+        writeln!(out)?;
+    }
+    writeln!(out, "// implicit classes: {}", report.num_implicit())?;
+    for info in &report.implicit {
+        writeln!(out, "//   {} introduced below {{", info.class)?;
+        for member in &info.members {
+            writeln!(out, "//     {member}")?;
+        }
+        writeln!(out, "//   }} demanded by {}", info.witness)?;
+    }
+    Ok(())
+}
+
+fn diff_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let docs = load_documents(paths)?;
+    if docs.len() != 2 {
+        return Err(CliError::Data(format!(
+            "diff needs exactly two schemas, found {}",
+            docs.len()
+        )));
+    }
+    let d = schema_merge_core::diff(docs[0].schema.schema(), docs[1].schema.schema());
+    writeln!(out, "// - only in {}; + only in {}", docs[0].name, docs[1].name)?;
+    if d.is_empty() {
+        writeln!(out, "// schemas are information-equal")?;
+    } else {
+        write!(out, "{d}")?;
+        if d.left_is_subschema() {
+            writeln!(out, "// {} ⊑ {}", docs[0].name, docs[1].name)?;
+        } else if d.right_is_subschema() {
+            writeln!(out, "// {} ⊑ {}", docs[1].name, docs[0].name)?;
+        }
+    }
+    Ok(())
+}
+
+fn lower_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let docs = load_documents(paths)?;
+    let merged = lower_merge(docs.iter().map(|d| &d.schema));
+    let (annotated, _proper, report) = lower_complete(&merged)
+        .map_err(|err| CliError::Data(format!("lower completion failed: {err}")))?;
+    let named = NamedSchema {
+        name: "lower-merged".into(),
+        schema: annotated,
+        keys: KeyAssignment::new(),
+    };
+    write!(out, "{}", print_schema(&named))?;
+    writeln!(out)?;
+    writeln!(out, "// union classes: {}", report.unions.len())?;
+    for info in &report.unions {
+        writeln!(
+            out,
+            "//   {} demanded by ({}, {})",
+            info.class, info.demanded_by.0, info.demanded_by.1
+        )?;
+    }
+    if !report.meet_classes.is_empty() {
+        writeln!(out, "// meet fallback classes: {}", report.meet_classes.len())?;
+    }
+    Ok(())
+}
+
+fn check_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let docs = load_documents(paths)?;
+    for doc in &docs {
+        let weak = doc.schema.schema();
+        let status = match schema_merge_core::ProperSchema::try_new(weak.clone()) {
+            Ok(_) => "proper".to_string(),
+            Err(err) => format!("weak only ({err})"),
+        };
+        let key_status = match doc.keys.validate(weak) {
+            Ok(()) => String::new(),
+            Err(err) => format!("; keys invalid: {err}"),
+        };
+        writeln!(
+            out,
+            "{}: {} classes, {} arrows, {} — {status}{key_status}",
+            doc.name,
+            weak.num_classes(),
+            weak.num_arrows(),
+            plural(weak.num_specializations(), "specialization"),
+        )?;
+    }
+    Ok(())
+}
+
+enum Renderer {
+    Dot,
+    Ascii,
+}
+
+fn render_command(paths: &[&String], out: &mut dyn Write, renderer: Renderer) -> Result<(), CliError> {
+    let (file, wanted) = match paths {
+        [file] => (*file, None),
+        [file, name] => (*file, Some(name.as_str())),
+        _ => return Err(CliError::Usage("expected <file> [schema-name]".into())),
+    };
+    let docs = load_documents(&[file])?;
+    let doc = match wanted {
+        None => &docs[0],
+        Some(name) => docs
+            .iter()
+            .find(|d| d.name == name)
+            .ok_or_else(|| CliError::Data(format!("no schema named {name} in {file}")))?,
+    };
+    match renderer {
+        Renderer::Dot => write!(out, "{}", to_dot(doc, &DotOptions::default()))?,
+        Renderer::Ascii => write!(out, "{}", render_ascii(doc))?,
+    }
+    Ok(())
+}
+
+fn stats_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let docs = load_documents(paths)?;
+    writeln!(out, "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8}", "schema", "classes", "isa", "arrows", "opt", "keys")?;
+    for doc in &docs {
+        let weak = doc.schema.schema();
+        writeln!(
+            out,
+            "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            doc.name,
+            weak.num_classes(),
+            weak.num_specializations(),
+            weak.num_arrows(),
+            doc.schema.num_optional(),
+            doc.keys.num_keyed_classes(),
+        )?;
+    }
+    Ok(())
+}
+
+fn suggest_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let docs = load_documents(paths)?;
+    if docs.len() < 2 {
+        return Err(CliError::Data(format!(
+            "suggest needs at least two schemas, found {}",
+            docs.len()
+        )));
+    }
+    let (left, right) = (&docs[0], &docs[1]);
+    let synonyms =
+        schema_merge_core::synonym_candidates(left.schema.schema(), right.schema.schema(), 0.25);
+    let homonyms =
+        schema_merge_core::homonym_candidates(left.schema.schema(), right.schema.schema(), 0.25);
+    writeln!(out, "// comparing {} with {}", left.name, right.name)?;
+    if synonyms.is_empty() && homonyms.is_empty() {
+        writeln!(out, "// no naming conflicts suggested")?;
+        return Ok(());
+    }
+    for s in &synonyms {
+        writeln!(
+            out,
+            "synonym? {} ~ {} (similarity {:.2}; shared: {})",
+            s.left,
+            s.right,
+            s.similarity,
+            s.shared_labels
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+        )?;
+        writeln!(out, "  fix: smerge rename {}={} -- <right-file>", s.right, s.left)?;
+    }
+    for h in &homonyms {
+        writeln!(
+            out,
+            "homonym? {} (similarity {:.2}; left-only: {}; right-only: {})",
+            h.name,
+            h.similarity,
+            h.left_only.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(", "),
+            h.right_only.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(", "),
+        )?;
+        writeln!(out, "  fix: smerge rename {}={}-2 -- <right-file>", h.name, h.name)?;
+    }
+    Ok(())
+}
+
+fn rename_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let split = args
+        .iter()
+        .position(|a| a.as_str() == "--")
+        .ok_or_else(|| CliError::Usage("expected `rename <map>... -- <file>...`".into()))?;
+    let (maps, files) = args.split_at(split);
+    let files = &files[1..];
+    if maps.is_empty() {
+        return Err(CliError::Usage("expected at least one Old=New mapping".into()));
+    }
+    let mut renaming = schema_merge_core::Renaming::new();
+    for map in maps {
+        let (from, to) = map
+            .split_once('=')
+            .ok_or_else(|| CliError::Usage(format!("bad mapping `{map}`: expected Old=New")))?;
+        if from.is_empty() || to.is_empty() {
+            return Err(CliError::Usage(format!("bad mapping `{map}`: empty side")));
+        }
+        match (from.strip_prefix('.'), to.strip_prefix('.')) {
+            (Some(from_label), Some(to_label)) => {
+                renaming = renaming.label(from_label, to_label);
+            }
+            (None, None) => {
+                renaming = renaming.class(from, to);
+            }
+            _ => {
+                return Err(CliError::Usage(format!(
+                    "bad mapping `{map}`: mixing a class with a .label"
+                )))
+            }
+        }
+    }
+    let docs = load_documents(files)?;
+    for doc in &docs {
+        let (renamed, report) = renaming
+            .apply(doc.schema.schema())
+            .map_err(|err| CliError::Data(format!("{}: rename failed: {err}", doc.name)))?;
+        // Keys follow their classes and labels through the renaming.
+        let mut keys = KeyAssignment::new();
+        for class in doc.keys.keyed_classes() {
+            let family = doc.keys.family(class);
+            let mapped = SuperkeyFamily::from_keys(family.minimal_keys().map(|key| {
+                schema_merge_core::KeySet::new(key.labels().map(|l| renaming.map_label(l)))
+            }));
+            let target = renaming.map_class(class);
+            let existing = keys.family(&target);
+            keys.set(target, existing.union(&mapped));
+        }
+        let named = NamedSchema {
+            name: doc.name.clone(),
+            schema: schema_merge_core::AnnotatedSchema::all_required(renamed),
+            keys,
+        };
+        write!(out, "{}", print_schema(&named))?;
+        writeln!(out)?;
+        if !report.unified_classes.is_empty() {
+            for group in &report.unified_classes {
+                let names: Vec<String> = group.iter().map(|n| n.to_string()).collect();
+                writeln!(out, "// unified classes: {}", names.join(" = "))?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Merges every schema in the files into one completed proper schema
+/// with its minimal satisfactory key assignment — shared by the
+/// `functional`, `ddl`, `conform` and `query` commands.
+fn merged_proper(
+    paths: &[&String],
+) -> Result<(schema_merge_core::ProperSchema, KeyAssignment), CliError> {
+    let docs = load_documents(paths)?;
+    let annotated = annotated_join(docs.iter().map(|d| &d.schema))
+        .map_err(|err| CliError::Data(format!("merge failed: {err}")))?;
+    let (proper, _) = complete_with_report(annotated.schema())
+        .map_err(|err| CliError::Data(format!("completion failed: {err}")))?;
+    let contributions = combined_keys(&docs);
+    let keys = KeyAssignment::minimal_satisfactory(
+        proper.as_weak(),
+        contributions.iter().map(|(c, f)| (c, f)),
+    );
+    Ok((proper, keys))
+}
+
+fn functional_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (proper, _) = merged_proper(paths)?;
+    let functional = schema_merge_core::FunctionalSchema::from_proper(&proper);
+    writeln!(out, "{functional}")?;
+    Ok(())
+}
+
+fn ddl_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (proper, keys) = merged_proper(paths)?;
+    // Infer the 1NF stratification: classes with outgoing arrows are
+    // relations, arrow-less classes are attribute domains.
+    let weak = proper.as_weak();
+    let mut strata = schema_merge_relational::RelStrata::new();
+    for class in weak.classes() {
+        let stratum = if weak.labels_of(class).is_empty() {
+            schema_merge_relational::RelStratum::Domain
+        } else {
+            schema_merge_relational::RelStratum::Relation
+        };
+        strata.insert(schema_merge_core::Name::new(class.to_string()), stratum);
+    }
+    let rel = schema_merge_relational::from_core(weak, &strata)
+        .map_err(|err| CliError::Data(format!("schema is not 1NF-stratifiable: {err}")))?
+        .with_key_assignment(&keys);
+    let types = schema_merge_relational::TypeMap::default();
+    write!(out, "{}", schema_merge_relational::to_sql(&rel, &types))?;
+    Ok(())
+}
+
+fn load_instances(path: &String) -> Result<Vec<schema_merge_text::NamedInstance>, CliError> {
+    let source = std::fs::read_to_string(path.as_str())
+        .map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+    let instances = schema_merge_text::parse_instances(&source)
+        .map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+    if instances.is_empty() {
+        return Err(CliError::Data(format!("{path}: no instances found")));
+    }
+    Ok(instances)
+}
+
+fn conform_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [schema_file, instance_file] = paths else {
+        return Err(CliError::Usage("expected <schema-file> <instance-file>".into()));
+    };
+    let docs = load_documents(&[schema_file])?;
+    let annotated = annotated_join(docs.iter().map(|d| &d.schema))
+        .map_err(|err| CliError::Data(format!("merge failed: {err}")))?;
+    let (proper, _) = complete_with_report(annotated.schema())
+        .map_err(|err| CliError::Data(format!("completion failed: {err}")))?;
+    let contributions = combined_keys(&docs);
+    let keys = KeyAssignment::minimal_satisfactory(
+        proper.as_weak(),
+        contributions.iter().map(|(c, f)| (c, f)),
+    );
+    // Re-derive participation from the joined inputs so optional arrows
+    // stay optional through completion.
+    let completed_annotated = annotated.transfer_to(proper.as_weak());
+
+    let mut failures = 0;
+    for named in load_instances(instance_file)? {
+        let filled = named.instance.populate_implicit_extents(proper.as_weak());
+        let verdict = filled
+            .conforms_annotated(&completed_annotated, &proper)
+            .and_then(|()| filled.satisfies_keys(&keys));
+        match verdict {
+            Ok(()) => writeln!(out, "{}: conforms", named.name)?,
+            Err(err) => {
+                failures += 1;
+                writeln!(out, "{}: FAILS — {err}", named.name)?;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(CliError::Data(format!(
+            "{failures} instance(s) do not conform"
+        )));
+    }
+    Ok(())
+}
+
+/// Parses `Start.label[Class].label…` into a path query. Labels and
+/// class restrictions must not contain `.` or `[` (use the library API
+/// for exotic names).
+fn parse_path_query(text: &str) -> Result<schema_merge_instance::PathQuery, CliError> {
+    let bad = |msg: &str| CliError::Usage(format!("bad path `{text}`: {msg}"));
+    let mut rest = text;
+    let start_end = rest.find(['.', '[', ']']).unwrap_or(rest.len());
+    let start = &rest[..start_end];
+    if start.is_empty() {
+        return Err(bad("empty starting class"));
+    }
+    let mut query = schema_merge_instance::PathQuery::extent(
+        schema_merge_core::Class::from_origin_syntax(start),
+    );
+    rest = &rest[start_end..];
+    while !rest.is_empty() {
+        if let Some(after) = rest.strip_prefix('.') {
+            let end = after.find(['.', '[', ']']).unwrap_or(after.len());
+            let label = &after[..end];
+            if label.is_empty() {
+                return Err(bad("empty label after `.`"));
+            }
+            query = query.follow(label);
+            rest = &after[end..];
+        } else if let Some(after) = rest.strip_prefix('[') {
+            let end = after
+                .find(']')
+                .ok_or_else(|| bad("unterminated `[` restriction"))?;
+            let class = &after[..end];
+            if class.is_empty() {
+                return Err(bad("empty class in `[]`"));
+            }
+            query = query.restrict(schema_merge_core::Class::from_origin_syntax(class));
+            rest = &after[end + 1..];
+        } else {
+            return Err(bad("expected `.label` or `[Class]`"));
+        }
+    }
+    Ok(query)
+}
+
+fn query_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let [schema_file, instance_file, path_text] = paths else {
+        return Err(CliError::Usage(
+            "expected <schema-file> <instance-file> <path>".into(),
+        ));
+    };
+    let (proper, _) = merged_proper(&[schema_file])?;
+    let query = parse_path_query(path_text)?;
+    for named in load_instances(instance_file)? {
+        let filled = named.instance.populate_implicit_extents(proper.as_weak());
+        let result = query.eval(&filled);
+        let rendered = named.render_objects(result.iter());
+        writeln!(out, "{} ({} result(s)): {}", named.name, rendered.len(), rendered.join(", "))?;
+    }
+    Ok(())
+}
+
+fn plural(n: usize, word: &str) -> String {
+    if n == 1 {
+        format!("{n} {word}")
+    } else {
+        format!("{n} {word}s")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_temp(name: &str, contents: &str) -> String {
+        let dir = std::env::temp_dir().join("smerge-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, contents).unwrap();
+        path.to_string_lossy().into_owned()
+    }
+
+    fn run_ok(args: &[String]) -> String {
+        let mut out = Vec::new();
+        run(args, &mut out).unwrap();
+        String::from_utf8(out).unwrap()
+    }
+
+    fn args(items: &[&str]) -> Vec<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let text = run_ok(&args(&["help"]));
+        assert!(text.contains("usage: smerge"));
+        let default = run_ok(&[]);
+        assert!(default.contains("usage: smerge"));
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let mut out = Vec::new();
+        let err = run(&args(&["frobnicate"]), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn merge_two_files() {
+        let f1 = write_temp("m1.sm", "schema A { C --a--> B1; }");
+        let f2 = write_temp("m2.sm", "schema B { C --a--> B2; key C {a}; }");
+        let text = run_ok(&args(&["merge", &f1, &f2]));
+        assert!(text.contains("{B1,B2}"), "implicit class appears: {text}");
+        assert!(text.contains("// implicit classes: 1"));
+        assert!(text.contains("key C {a};"));
+    }
+
+    #[test]
+    fn explain_only_prints_report() {
+        let f1 = write_temp("e1.sm", "schema A { C --a--> B1; }");
+        let f2 = write_temp("e2.sm", "schema B { C --a--> B2; }");
+        let text = run_ok(&args(&["explain", &f1, &f2]));
+        assert!(!text.contains("schema merged"));
+        assert!(text.contains("demanded by C --a-->"));
+    }
+
+    #[test]
+    fn merge_incompatible_files_fails() {
+        let f1 = write_temp("i1.sm", "schema A { X => Y; }");
+        let f2 = write_temp("i2.sm", "schema B { Y => X; }");
+        let mut out = Vec::new();
+        let err = run(&args(&["merge", &f1, &f2]), &mut out).unwrap_err();
+        assert!(err.to_string().contains("incompatible"));
+    }
+
+    #[test]
+    fn lower_merge_two_files() {
+        let f1 = write_temp("l1.sm", "schema A { Pet --home--> House; }");
+        let f2 = write_temp("l2.sm", "schema B { Pet --home--> Kennel; }");
+        let text = run_ok(&args(&["lower", &f1, &f2]));
+        assert!(text.contains("{House|Kennel}"), "{text}");
+        assert!(text.contains("// union classes: 1"));
+        assert!(text.contains("--home?-->") || text.contains("--home-->"));
+    }
+
+    #[test]
+    fn check_reports_properness() {
+        let f = write_temp(
+            "c1.sm",
+            "schema Good { Dog --age--> int; }\nschema Bad { C --a--> B1; C --a--> B2; }",
+        );
+        let text = run_ok(&args(&["check", &f]));
+        assert!(text.contains("Good: "));
+        assert!(text.contains("proper"));
+        assert!(text.contains("weak only"));
+    }
+
+    #[test]
+    fn dot_and_ascii_render() {
+        let f = write_temp("d1.sm", "schema S { Guide-dog => Dog; Dog --age--> int; }");
+        let dot = run_ok(&args(&["dot", &f]));
+        assert!(dot.starts_with("digraph"));
+        let ascii = run_ok(&args(&["ascii", &f, "S"]));
+        assert!(ascii.contains("== schema S =="));
+
+        let mut out = Vec::new();
+        let err = run(&args(&["dot", &f, "Nope"]), &mut out).unwrap_err();
+        assert!(err.to_string().contains("no schema named"));
+    }
+
+    #[test]
+    fn stats_formats_table() {
+        let f = write_temp("s1.sm", "schema S { Dog --age--> int; key Dog {age}; }");
+        let text = run_ok(&args(&["stats", &f]));
+        assert!(text.contains("schema"));
+        assert!(text.contains("S"));
+    }
+
+    #[test]
+    fn diff_two_schemas() {
+        let f = write_temp(
+            "diff1.sm",
+            "schema A { Dog --age--> int; }\nschema B { Dog --age--> int; Dog --name--> text; }",
+        );
+        let text = run_ok(&args(&["diff", &f]));
+        assert!(text.contains("+ Dog --name--> text;"), "{text}");
+        assert!(text.contains("A ⊑ B"));
+
+        let g = write_temp("diff2.sm", "schema A { class X; }");
+        let mut out = Vec::new();
+        let err = run(&args(&["diff", &g]), &mut out).unwrap_err();
+        assert!(err.to_string().contains("exactly two"));
+    }
+
+    #[test]
+    fn missing_file_is_reported() {
+        let mut out = Vec::new();
+        let err = run(&args(&["merge", "/nonexistent/xyz.sm"]), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Data(_)));
+    }
+
+    #[test]
+    fn suggest_finds_synonyms_and_homonyms() {
+        let f = write_temp(
+            "sg1.sm",
+            "schema A { Dog --owner--> Person; Dog --kind--> breed; \
+             Chip --implanted-in--> Dog; }\n\
+             schema B { Hound --owner--> Person; Hound --kind--> breed; \
+             Chip --fried-at--> Temp; }",
+        );
+        let text = run_ok(&args(&["suggest", &f]));
+        assert!(text.contains("synonym? Dog ~ Hound"), "{text}");
+        assert!(text.contains("homonym? Chip"), "{text}");
+        assert!(text.contains("smerge rename Hound=Dog"), "{text}");
+    }
+
+    #[test]
+    fn suggest_reports_clean_pairs() {
+        let f = write_temp(
+            "sg2.sm",
+            "schema A { Dog --age--> int; }\nschema B { Dog --age--> int; }",
+        );
+        let text = run_ok(&args(&["suggest", &f]));
+        assert!(text.contains("no naming conflicts suggested"), "{text}");
+
+        let single = write_temp("sg3.sm", "schema A { class X; }");
+        let mut out = Vec::new();
+        let err = run(&args(&["suggest", &single]), &mut out).unwrap_err();
+        assert!(err.to_string().contains("at least two"));
+    }
+
+    #[test]
+    fn rename_applies_class_and_label_maps() {
+        let f = write_temp(
+            "rn1.sm",
+            "schema A { Hound --called--> text; key Hound {called}; }",
+        );
+        let text = run_ok(&args(&["rename", "Hound=Dog", ".called=.name", "--", &f]));
+        assert!(text.contains("Dog --name--> text;"), "{text}");
+        assert!(text.contains("key Dog {name};"), "{text}");
+        assert!(!text.contains("Hound"), "{text}");
+    }
+
+    #[test]
+    fn rename_reports_unifications() {
+        let f = write_temp(
+            "rn2.sm",
+            "schema A { GS --advisor--> Faculty; Student --name--> text; }",
+        );
+        let text = run_ok(&args(&["rename", "GS=Student", "--", &f]));
+        assert!(text.contains("// unified classes: GS = Student"), "{text}");
+        assert!(text.contains("Student --advisor--> Faculty;"), "{text}");
+    }
+
+    #[test]
+    fn functional_prints_canonical_arrows() {
+        let f = write_temp(
+            "fn1.sm",
+            "schema A { Dog --age--> int; }\nschema B { Dog --kind--> breed; }",
+        );
+        let text = run_ok(&args(&["functional", &f]));
+        assert!(text.contains("Dog.age ⇀ int"), "{text}");
+        assert!(text.contains("Dog.kind ⇀ breed"), "{text}");
+    }
+
+    #[test]
+    fn ddl_emits_create_tables_with_keys() {
+        let f = write_temp(
+            "ddl1.sm",
+            "schema A { Person --SS#--> int; Person --name--> string; key Person {SS#}; }",
+        );
+        let text = run_ok(&args(&["ddl", &f]));
+        assert!(text.contains("CREATE TABLE \"Person\""), "{text}");
+        assert!(text.contains("\"SS#\" INTEGER"), "{text}");
+        assert!(text.contains("PRIMARY KEY (\"SS#\")"), "{text}");
+    }
+
+    #[test]
+    fn ddl_rejects_non_1nf_schemas() {
+        // A relation-to-relation arrow is not first normal form.
+        let f = write_temp("ddl2.sm", "schema A { Dog --owner--> Person; Person --name--> s; }");
+        let mut out = Vec::new();
+        let err = run(&args(&["ddl", &f]), &mut out).unwrap_err();
+        assert!(err.to_string().contains("not 1NF-stratifiable"), "{err}");
+    }
+
+    #[test]
+    fn conform_checks_instances() {
+        let schema = write_temp(
+            "cf1.sm",
+            "schema S { Dog --name--> string; Guide-dog => Dog; }",
+        );
+        let good = write_temp(
+            "cf1.smi",
+            "instance ok { n => string; rex => Dog; rex --name--> n; }",
+        );
+        let text = run_ok(&args(&["conform", &schema, &good]));
+        assert!(text.contains("ok: conforms"), "{text}");
+
+        // A guide dog missing the required name fails.
+        let bad = write_temp(
+            "cf2.smi",
+            "instance bad { rex => Guide-dog; rex => Dog; }",
+        );
+        let mut out = Vec::new();
+        let err = run(&args(&["conform", &schema, &bad]), &mut out).unwrap_err();
+        let printed = String::from_utf8(out).unwrap();
+        assert!(printed.contains("bad: FAILS"), "{printed}");
+        assert!(err.to_string().contains("do not conform"));
+    }
+
+    #[test]
+    fn query_evaluates_paths_and_prints_names() {
+        let schema = write_temp("q1.sm", "schema S { Dog --owner--> Person; Guide-dog => Dog; }");
+        let inst = write_temp(
+            "q1.smi",
+            "instance shelter { ann => Person; rex => Dog; rex => Guide-dog; \
+             fido => Dog; rex --owner--> ann; }",
+        );
+        let text = run_ok(&args(&["query", &schema, &inst, "Dog.owner"]));
+        assert!(text.contains("shelter (1 result(s)): ann"), "{text}");
+        let text = run_ok(&args(&["query", &schema, &inst, "Dog[Guide-dog]"]));
+        assert!(text.contains("rex"), "{text}");
+        assert!(!text.contains("fido"), "{text}");
+    }
+
+    #[test]
+    fn query_reaches_implicit_class_extents() {
+        // Merged schema with an implicit class: the query can restrict
+        // to {B1,B2} and the extent is populated from the origins.
+        let schema = write_temp(
+            "q2.sm",
+            "schema A { C => A1; C => A2; }\nschema B { A1 --a--> B1; A2 --a--> B2; }",
+        );
+        let inst = write_temp(
+            "q2.smi",
+            "instance i { v => B1; v => B2; c => C; c => A1; c => A2; c --a--> v; }",
+        );
+        let text = run_ok(&args(&["query", &schema, &inst, "C.a[{B1,B2}]"]));
+        assert!(text.contains("v"), "{text}");
+    }
+
+    #[test]
+    fn path_parse_errors() {
+        for bad in ["", ".x", "Dog.", "Dog[", "Dog[]", "Dog]x"] {
+            assert!(parse_path_query(bad).is_err(), "`{bad}` should fail");
+        }
+        let q = parse_path_query("Dog.owner[Person].home").unwrap();
+        assert_eq!(q.to_string(), "Dog.owner[Person].home");
+    }
+
+    #[test]
+    fn rename_usage_errors() {
+        let f = write_temp("rn3.sm", "schema A { class X; }");
+        for bad in [
+            args(&["rename", "A=B", &f]),            // missing --
+            args(&["rename", "--", &f]),             // no mappings
+            args(&["rename", "A-B", "--", &f]),      // malformed
+            args(&["rename", ".a=B", "--", &f]),     // mixed
+            args(&["rename", "=B", "--", &f]),       // empty side
+        ] {
+            let mut out = Vec::new();
+            let err = run(&bad, &mut out).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad:?}");
+        }
+    }
+}

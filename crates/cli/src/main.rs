@@ -1,0 +1,22 @@
+//! `smerge` — command-line schema merging.
+//!
+//! See `smerge help` for usage. All logic lives in [`app`] so the
+//! integration tests can drive it without spawning processes.
+
+#![forbid(unsafe_code)]
+
+mod app;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout().lock();
+    match app::run(&args, &mut stdout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(err) => {
+            eprintln!("smerge: {err}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,485 @@
+//! Classes: the nodes of a schema graph.
+//!
+//! §4.2 of the paper introduces *implicit* classes during the completion of
+//! a weak schema into a proper one. An implicit class is identified by the
+//! set of classes it was introduced below (upper merges) or above (lower
+//! merges): "the additional information describes its own origin, and can
+//! be readily identified to allow subsequent merges to take place" (§1).
+//!
+//! We flatten nested origins — an implicit class formed from
+//! `{{D,E}, F}` is identified with `{D,E,F}` — which is precisely the
+//! device that makes stepwise merge-and-complete agree with batch merging
+//! (compare Figs. 4–5 of the paper and `complete::tests`).
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::name::Name;
+
+/// The set of named classes an implicit class originates from.
+///
+/// Always contains at least two names and is shared (`Arc`) because origin
+/// sets are copied into every edge touching the implicit class.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct OriginSet(Arc<BTreeSet<Name>>);
+
+impl OriginSet {
+    /// Iterates over the origin names in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = &Name> {
+        self.0.iter()
+    }
+
+    /// Number of origin names (always ≥ 2).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Origin sets are never empty; provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `name` is one of the origins.
+    pub fn contains(&self, name: &Name) -> bool {
+        self.0.contains(name)
+    }
+
+    /// Whether every origin of `self` is an origin of `other`.
+    pub fn is_subset(&self, other: &OriginSet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    fn from_set(set: BTreeSet<Name>) -> Self {
+        debug_assert!(set.len() >= 2, "origin sets have at least two members");
+        OriginSet(Arc::new(set))
+    }
+}
+
+impl fmt::Debug for OriginSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.0.iter()).finish()
+    }
+}
+
+impl fmt::Display for OriginSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, name) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{name}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// A class: a node of the schema graph (§2).
+///
+/// Ordinary classes are [`Class::Named`]. Upper-merge completion introduces
+/// [`Class::Implicit`] classes (below their origins) whose identity is
+/// their (flattened) origin set, rendered as `{C,D}` exactly as in the
+/// paper's Fig. 7 discussion. Lower-merge completion introduces the dual
+/// [`Class::ImplicitUnion`] classes (above their origins, §6), rendered as
+/// `{C|D}`.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Class {
+    /// A user-visible class drawn from the vocabulary `N`.
+    Named(Name),
+    /// An implicit class introduced *below* its origins by upper-merge
+    /// completion: its instances belong to every origin class.
+    Implicit(OriginSet),
+    /// An implicit class introduced *above* its origins by lower-merge
+    /// completion: its instances belong to at least one origin class.
+    ImplicitUnion(OriginSet),
+}
+
+impl Class {
+    /// Creates a named class.
+    pub fn named(name: impl Into<Name>) -> Self {
+        Class::Named(name.into())
+    }
+
+    /// Creates an implicit class below/above the given classes, flattening
+    /// any implicit members into their origin names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flattened origin has fewer than two names: the paper
+    /// only ever introduces implicit classes for sets of cardinality > 1
+    /// (§4.2, definition of `Imp`), so asking for a smaller one is a logic
+    /// error in the caller.
+    pub fn implicit<I>(members: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Class>,
+    {
+        Self::try_implicit(members).expect("implicit class requires ≥ 2 flattened origin names")
+    }
+
+    /// Non-panicking variant of [`Class::implicit`]: returns `None` when the
+    /// flattened origin set has fewer than two names.
+    pub fn try_implicit<I>(members: I) -> Option<Self>
+    where
+        I: IntoIterator,
+        I::Item: Into<Class>,
+    {
+        let origin = Self::flatten(members);
+        (origin.len() >= 2).then(|| Class::Implicit(OriginSet::from_set(origin)))
+    }
+
+    /// Creates an implicit *union* class above the given classes (the dual
+    /// introduced by lower-merge completion, §6), flattening implicit
+    /// members into their origin names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the flattened origin has fewer than two names (see
+    /// [`Class::implicit`]).
+    pub fn implicit_union<I>(members: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Class>,
+    {
+        Self::try_implicit_union(members)
+            .expect("implicit union class requires ≥ 2 flattened origin names")
+    }
+
+    /// Non-panicking variant of [`Class::implicit_union`].
+    pub fn try_implicit_union<I>(members: I) -> Option<Self>
+    where
+        I: IntoIterator,
+        I::Item: Into<Class>,
+    {
+        let origin = Self::flatten(members);
+        (origin.len() >= 2).then(|| Class::ImplicitUnion(OriginSet::from_set(origin)))
+    }
+
+    fn flatten<I>(members: I) -> BTreeSet<Name>
+    where
+        I: IntoIterator,
+        I::Item: Into<Class>,
+    {
+        let mut origin = BTreeSet::new();
+        for member in members {
+            match member.into() {
+                Class::Named(name) => {
+                    origin.insert(name);
+                }
+                Class::Implicit(set) | Class::ImplicitUnion(set) => {
+                    origin.extend(set.iter().cloned());
+                }
+            }
+        }
+        origin
+    }
+
+    /// The origin set if this is an implicit (meet or union) class.
+    pub fn origin(&self) -> Option<&OriginSet> {
+        match self {
+            Class::Named(_) => None,
+            Class::Implicit(origin) | Class::ImplicitUnion(origin) => Some(origin),
+        }
+    }
+
+    /// The name if this is a named class.
+    pub fn name(&self) -> Option<&Name> {
+        match self {
+            Class::Named(name) => Some(name),
+            Class::Implicit(_) | Class::ImplicitUnion(_) => None,
+        }
+    }
+
+    /// Whether this class was introduced by completion (either kind).
+    pub fn is_implicit(&self) -> bool {
+        matches!(self, Class::Implicit(_) | Class::ImplicitUnion(_))
+    }
+
+    /// Whether this is a meet-style implicit class (below its origins).
+    pub fn is_implicit_meet(&self) -> bool {
+        matches!(self, Class::Implicit(_))
+    }
+
+    /// Whether this is a union-style implicit class (above its origins).
+    pub fn is_implicit_union(&self) -> bool {
+        matches!(self, Class::ImplicitUnion(_))
+    }
+
+    /// Parses the display syntax back into a class: `{A,B}` is the meet
+    /// implicit class, `{A|B}` the union one, anything else a named
+    /// class. Inverse of `Display` (nested origins flatten, as always).
+    ///
+    /// This is the §4.2 "the name describes its own origin" device made
+    /// operational across model translations: when a merge result is read
+    /// back into the ER or relational model, implicit classes become
+    /// ordinary *names* like `{int,text}`; translating to the graph model
+    /// again must recover their identity, or a later merge would nest
+    /// origins and lose associativity (compare Figs. 4–5).
+    pub fn from_origin_syntax(text: &str) -> Class {
+        fn split_top_level(inner: &str, separator: char) -> Option<Vec<&str>> {
+            let mut parts = Vec::new();
+            let mut depth = 0usize;
+            let mut start = 0usize;
+            for (i, c) in inner.char_indices() {
+                match c {
+                    '{' => depth += 1,
+                    '}' => depth = depth.saturating_sub(1),
+                    c if c == separator && depth == 0 => {
+                        parts.push(&inner[start..i]);
+                        start = i + c.len_utf8();
+                    }
+                    _ => {}
+                }
+            }
+            parts.push(&inner[start..]);
+            (parts.len() > 1 && parts.iter().all(|p| !p.is_empty())).then_some(parts)
+        }
+
+        let inner = match text.strip_prefix('{').and_then(|t| t.strip_suffix('}')) {
+            Some(inner) => inner,
+            None => return Class::named(text),
+        };
+        if let Some(parts) = split_top_level(inner, ',') {
+            let members: Vec<Class> = parts.iter().map(|p| Class::from_origin_syntax(p)).collect();
+            if let Some(class) = Class::try_implicit(members) {
+                return class;
+            }
+        }
+        if let Some(parts) = split_top_level(inner, '|') {
+            let members: Vec<Class> = parts.iter().map(|p| Class::from_origin_syntax(p)).collect();
+            if let Some(class) = Class::try_implicit_union(members) {
+                return class;
+            }
+        }
+        Class::named(text)
+    }
+
+    /// The named classes this class stands for: itself if named, the origin
+    /// set if implicit. Used when *stripping* implicit classes before a
+    /// subsequent merge (§4.2 / `WeakSchema::strip_implicit`).
+    pub fn flattened_names(&self) -> Vec<Name> {
+        match self {
+            Class::Named(name) => vec![name.clone()],
+            Class::Implicit(origin) | Class::ImplicitUnion(origin) => {
+                origin.iter().cloned().collect()
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Class::Named(name) => write!(f, "Class({:?})", name.as_str()),
+            Class::Implicit(_) | Class::ImplicitUnion(_) => write!(f, "Class({self})"),
+        }
+    }
+}
+
+impl fmt::Display for Class {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Class::Named(name) => write!(f, "{name}"),
+            Class::Implicit(origin) => write!(f, "{origin}"),
+            Class::ImplicitUnion(origin) => {
+                write!(f, "{{")?;
+                for (i, name) in origin.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "|")?;
+                    }
+                    write!(f, "{name}")?;
+                }
+                write!(f, "}}")
+            }
+        }
+    }
+}
+
+impl From<Name> for Class {
+    fn from(name: Name) -> Self {
+        Class::Named(name)
+    }
+}
+
+impl From<&Name> for Class {
+    fn from(name: &Name) -> Self {
+        Class::Named(name.clone())
+    }
+}
+
+impl From<&str> for Class {
+    fn from(text: &str) -> Self {
+        Class::named(text)
+    }
+}
+
+impl From<String> for Class {
+    fn from(text: String) -> Self {
+        Class::named(text)
+    }
+}
+
+impl From<&Class> for Class {
+    fn from(class: &Class) -> Self {
+        class.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    #[test]
+    fn named_display() {
+        assert_eq!(c("Dog").to_string(), "Dog");
+    }
+
+    #[test]
+    fn implicit_display_matches_paper_notation() {
+        let x = Class::implicit([c("C"), c("D")]);
+        assert_eq!(x.to_string(), "{C,D}");
+    }
+
+    #[test]
+    fn implicit_is_order_insensitive() {
+        let x = Class::implicit([c("D"), c("C")]);
+        let y = Class::implicit([c("C"), c("D")]);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn implicit_flattens_nested_origins() {
+        // {{D,E},F} and {D,E,F} are the same class; this is the
+        // associativity-restoring device of §4.2.
+        let de = Class::implicit([c("D"), c("E")]);
+        let def_nested = Class::implicit([de, c("F")]);
+        let def_flat = Class::implicit([c("D"), c("E"), c("F")]);
+        assert_eq!(def_nested, def_flat);
+        assert_eq!(def_nested.to_string(), "{D,E,F}");
+    }
+
+    #[test]
+    fn implicit_dedupes_members() {
+        let x = Class::try_implicit([c("A"), c("A")]);
+        assert!(x.is_none(), "a single distinct origin is not implicit");
+        let y = Class::try_implicit([c("A"), c("A"), c("B")]).unwrap();
+        assert_eq!(y.origin().unwrap().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "implicit class requires")]
+    fn implicit_with_single_member_panics() {
+        let _ = Class::implicit([c("A")]);
+    }
+
+    #[test]
+    fn origin_subset() {
+        let ab = Class::implicit([c("A"), c("B")]);
+        let abc = Class::implicit([c("A"), c("B"), c("C")]);
+        assert!(ab.origin().unwrap().is_subset(abc.origin().unwrap()));
+        assert!(!abc.origin().unwrap().is_subset(ab.origin().unwrap()));
+    }
+
+    #[test]
+    fn flattened_names() {
+        assert_eq!(c("A").flattened_names(), vec![Name::new("A")]);
+        let x = Class::implicit([c("B"), c("A")]);
+        assert_eq!(
+            x.flattened_names(),
+            vec![Name::new("A"), Name::new("B")],
+            "sorted order"
+        );
+    }
+
+    #[test]
+    fn named_and_implicit_never_equal() {
+        // Even if a user names a class "{C,D}" it is distinct from the
+        // implicit class with origin {C, D}.
+        let named = c("{C,D}");
+        let implicit = Class::implicit([c("C"), c("D")]);
+        assert_ne!(named, implicit);
+    }
+
+    #[test]
+    fn accessors() {
+        let n = c("A");
+        assert!(!n.is_implicit());
+        assert_eq!(n.name().unwrap().as_str(), "A");
+        assert!(n.origin().is_none());
+
+        let i = Class::implicit([c("A"), c("B")]);
+        assert!(i.is_implicit());
+        assert!(i.is_implicit_meet());
+        assert!(!i.is_implicit_union());
+        assert!(i.name().is_none());
+        assert!(i.origin().unwrap().contains(&Name::new("A")));
+    }
+
+    #[test]
+    fn union_class_display_and_identity() {
+        let u = Class::implicit_union([c("C"), c("D")]);
+        assert_eq!(u.to_string(), "{C|D}");
+        assert!(u.is_implicit());
+        assert!(u.is_implicit_union());
+        // Meet and union classes over the same origin are different.
+        let m = Class::implicit([c("C"), c("D")]);
+        assert_ne!(u, m);
+        assert_eq!(u.origin(), m.origin());
+    }
+
+    #[test]
+    fn union_class_flattens_unions_and_meets() {
+        let cd = Class::implicit_union([c("C"), c("D")]);
+        let nested = Class::implicit_union([cd, c("E")]);
+        assert_eq!(nested, Class::implicit_union([c("C"), c("D"), c("E")]));
+
+        let meet = Class::implicit([c("A"), c("B")]);
+        let mixed = Class::implicit_union([meet, c("C")]);
+        assert_eq!(mixed.to_string(), "{A|B|C}");
+    }
+
+    #[test]
+    fn from_origin_syntax_round_trips_display() {
+        let cases = [
+            c("Dog"),
+            c("Guide-dog"),
+            Class::implicit([c("C"), c("D")]),
+            Class::implicit([c("a"), c("b"), c("c")]),
+            Class::implicit_union([c("X"), c("Y")]),
+        ];
+        for class in cases {
+            assert_eq!(Class::from_origin_syntax(&class.to_string()), class);
+        }
+    }
+
+    #[test]
+    fn from_origin_syntax_flattens_nested_text() {
+        assert_eq!(
+            Class::from_origin_syntax("{d3,{d0,d4}}"),
+            Class::implicit([c("d0"), c("d3"), c("d4")])
+        );
+        assert_eq!(
+            Class::from_origin_syntax("{a|{b|c}}"),
+            Class::implicit_union([c("a"), c("b"), c("c")])
+        );
+    }
+
+    #[test]
+    fn from_origin_syntax_leaves_odd_names_alone() {
+        for odd in ["{solo}", "{,}", "plain", "{a,}", "{}", "{a{b}"] {
+            assert_eq!(Class::from_origin_syntax(odd), c(odd), "{odd}");
+        }
+    }
+
+    #[test]
+    fn try_implicit_union_requires_two_names() {
+        assert!(Class::try_implicit_union([c("A")]).is_none());
+        assert!(Class::try_implicit_union([c("A"), c("A")]).is_none());
+        assert!(Class::try_implicit_union([c("A"), c("B")]).is_some());
+    }
+}

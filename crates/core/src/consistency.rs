@@ -1,0 +1,161 @@
+//! The consistency relationship (§4.2, end).
+//!
+//! Not every merge makes sense: an implicit class identifies a set of
+//! real-world classes, and the schema designer may know that some of them
+//! can have no common instances. The paper proposes a *consistency
+//! relationship* on `N`: completion then requires every pair of origins of
+//! every implicit class to be consistent, and the merge fails otherwise.
+//!
+//! [`ConsistencyRelation`] supports both polarities — "assume consistent,
+//! list exceptions" (the interactive default) and "assume inconsistent,
+//! list permissions" (the conservative mode) — since the paper leaves the
+//! relationship's construction to the tool.
+
+use std::collections::BTreeSet;
+
+use crate::class::Class;
+
+/// A symmetric relation on classes recording which pairs may be identified
+/// by an implicit class. Checking a pair is a set lookup, matching the
+/// paper's remark that "checking consistency would be very efficient".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyRelation {
+    /// Whether unlisted pairs are consistent.
+    default_consistent: bool,
+    /// Exceptions to the default, stored as ordered pairs (lo, hi).
+    exceptions: BTreeSet<(Class, Class)>,
+}
+
+impl ConsistencyRelation {
+    /// Every pair is consistent unless declared otherwise.
+    pub fn assume_consistent() -> Self {
+        ConsistencyRelation {
+            default_consistent: true,
+            exceptions: BTreeSet::new(),
+        }
+    }
+
+    /// No pair is consistent unless declared otherwise.
+    pub fn assume_inconsistent() -> Self {
+        ConsistencyRelation {
+            default_consistent: false,
+            exceptions: BTreeSet::new(),
+        }
+    }
+
+    fn key(a: Class, b: Class) -> (Class, Class) {
+        if a <= b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Declares `a` and `b` inconsistent (an exception when assuming
+    /// consistency; a no-op removal otherwise).
+    pub fn declare_inconsistent(&mut self, a: impl Into<Class>, b: impl Into<Class>) {
+        let key = Self::key(a.into(), b.into());
+        if self.default_consistent {
+            self.exceptions.insert(key);
+        } else {
+            self.exceptions.remove(&key);
+        }
+    }
+
+    /// Declares `a` and `b` consistent.
+    pub fn declare_consistent(&mut self, a: impl Into<Class>, b: impl Into<Class>) {
+        let key = Self::key(a.into(), b.into());
+        if self.default_consistent {
+            self.exceptions.remove(&key);
+        } else {
+            self.exceptions.insert(key);
+        }
+    }
+
+    /// Whether `a` and `b` may be identified by an implicit class. Every
+    /// class is consistent with itself.
+    pub fn consistent(&self, a: &Class, b: &Class) -> bool {
+        if a == b {
+            return true;
+        }
+        let key = Self::key(a.clone(), b.clone());
+        if self.exceptions.contains(&key) {
+            !self.default_consistent
+        } else {
+            self.default_consistent
+        }
+    }
+
+    /// Number of explicitly recorded exceptions.
+    pub fn num_exceptions(&self) -> usize {
+        self.exceptions.len()
+    }
+}
+
+impl Default for ConsistencyRelation {
+    /// The permissive relation, matching the paper's default behaviour
+    /// (consistency is an optional refinement).
+    fn default() -> Self {
+        ConsistencyRelation::assume_consistent()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    #[test]
+    fn permissive_default() {
+        let rel = ConsistencyRelation::assume_consistent();
+        assert!(rel.consistent(&c("A"), &c("B")));
+    }
+
+    #[test]
+    fn conservative_default() {
+        let rel = ConsistencyRelation::assume_inconsistent();
+        assert!(!rel.consistent(&c("A"), &c("B")));
+        assert!(rel.consistent(&c("A"), &c("A")), "reflexive regardless");
+    }
+
+    #[test]
+    fn exceptions_are_symmetric() {
+        let mut rel = ConsistencyRelation::assume_consistent();
+        rel.declare_inconsistent(c("Dog"), c("Kennel"));
+        assert!(!rel.consistent(&c("Dog"), &c("Kennel")));
+        assert!(!rel.consistent(&c("Kennel"), &c("Dog")));
+        assert!(rel.consistent(&c("Dog"), &c("Person")));
+    }
+
+    #[test]
+    fn declarations_can_be_reversed() {
+        let mut rel = ConsistencyRelation::assume_consistent();
+        rel.declare_inconsistent(c("A"), c("B"));
+        assert!(!rel.consistent(&c("A"), &c("B")));
+        rel.declare_consistent(c("A"), c("B"));
+        assert!(rel.consistent(&c("A"), &c("B")));
+        assert_eq!(rel.num_exceptions(), 0);
+    }
+
+    #[test]
+    fn conservative_with_permissions() {
+        let mut rel = ConsistencyRelation::assume_inconsistent();
+        rel.declare_consistent(c("Employee"), c("Student"));
+        assert!(rel.consistent(&c("Employee"), &c("Student")));
+        assert!(!rel.consistent(&c("Employee"), &c("Kennel")));
+        // Redundant inconsistency declaration removes the permission.
+        rel.declare_inconsistent(c("Employee"), c("Student"));
+        assert!(!rel.consistent(&c("Employee"), &c("Student")));
+    }
+
+    #[test]
+    fn works_with_implicit_classes() {
+        let mut rel = ConsistencyRelation::assume_consistent();
+        let x = Class::implicit([c("A"), c("B")]);
+        rel.declare_inconsistent(x.clone(), c("C"));
+        assert!(!rel.consistent(&x, &c("C")));
+    }
+}

@@ -1,0 +1,224 @@
+//! Schema differences: what separates two schemas in the information
+//! ordering.
+//!
+//! The interactive §3 workflow needs to *show* the designer what a merge
+//! added, or why two schemas are not `⊑`-comparable. [`SchemaDiff`]
+//! decomposes the symmetric difference of two closed schemas into
+//! classes, specialization pairs and arrows; `diff(G, G ⊔ H)` is exactly
+//! H's contribution, and an empty left side witnesses `G ⊑ H`.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::class::Class;
+use crate::name::Label;
+use crate::weak::WeakSchema;
+
+/// One side of a difference: the items present in one schema but not the
+/// other.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DiffSide {
+    /// Classes present only on this side.
+    pub classes: BTreeSet<Class>,
+    /// Strict specialization pairs present only on this side.
+    pub specializations: BTreeSet<(Class, Class)>,
+    /// Arrows present only on this side.
+    pub arrows: BTreeSet<(Class, Label, Class)>,
+}
+
+impl DiffSide {
+    /// Whether this side contributes nothing.
+    pub fn is_empty(&self) -> bool {
+        self.classes.is_empty() && self.specializations.is_empty() && self.arrows.is_empty()
+    }
+
+    /// Total number of differing items.
+    pub fn len(&self) -> usize {
+        self.classes.len() + self.specializations.len() + self.arrows.len()
+    }
+}
+
+/// The symmetric difference of two schemas, in closed form.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SchemaDiff {
+    /// Present in the left schema only.
+    pub left_only: DiffSide,
+    /// Present in the right schema only.
+    pub right_only: DiffSide,
+}
+
+impl SchemaDiff {
+    /// Whether the schemas are equal.
+    pub fn is_empty(&self) -> bool {
+        self.left_only.is_empty() && self.right_only.is_empty()
+    }
+
+    /// `left ⊑ right`: nothing is on the left side only.
+    pub fn left_is_subschema(&self) -> bool {
+        self.left_only.is_empty()
+    }
+
+    /// `right ⊑ left`: nothing is on the right side only.
+    pub fn right_is_subschema(&self) -> bool {
+        self.right_only.is_empty()
+    }
+}
+
+impl fmt::Display for SchemaDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (marker, side) in [("-", &self.left_only), ("+", &self.right_only)] {
+            for class in &side.classes {
+                writeln!(f, "{marker} class {class};")?;
+            }
+            for (sub, sup) in &side.specializations {
+                writeln!(f, "{marker} {sub} => {sup};")?;
+            }
+            for (src, label, tgt) in &side.arrows {
+                writeln!(f, "{marker} {src} --{label}--> {tgt};")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Computes the symmetric difference between two (closed) schemas. The
+/// convention matches unified diffs read left-to-right: items only in
+/// `left` print with `-`, items only in `right` with `+`.
+pub fn diff(left: &WeakSchema, right: &WeakSchema) -> SchemaDiff {
+    fn side(a: &WeakSchema, b: &WeakSchema) -> DiffSide {
+        let classes = a
+            .classes()
+            .filter(|c| !b.contains_class(c))
+            .cloned()
+            .collect();
+        let specializations = a
+            .specialization_pairs()
+            .filter(|(sub, sup)| !(b.specializes(sub, sup) && sub != sup))
+            .map(|(sub, sup)| (sub.clone(), sup.clone()))
+            .collect();
+        let arrows = a
+            .arrow_triples()
+            .filter(|(src, label, tgt)| !b.has_arrow(src, label, tgt))
+            .map(|(src, label, tgt)| (src.clone(), label.clone(), tgt.clone()))
+            .collect();
+        DiffSide {
+            classes,
+            specializations,
+            arrows,
+        }
+    }
+    SchemaDiff {
+        left_only: side(left, right),
+        right_only: side(right, left),
+    }
+}
+
+/// What a merge added on top of one input: `diff(input, merged).right_only`
+/// (the left side is empty whenever `input ⊑ merged`, which the weak join
+/// guarantees).
+pub fn merge_contribution(input: &WeakSchema, merged: &WeakSchema) -> DiffSide {
+    diff(input, merged).right_only
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::weak_join;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn equal_schemas_have_empty_diff() {
+        let g = WeakSchema::builder()
+            .specialize("B", "A")
+            .arrow("A", "f", "T")
+            .build()
+            .unwrap();
+        let d = diff(&g, &g);
+        assert!(d.is_empty());
+        assert!(d.left_is_subschema() && d.right_is_subschema());
+        assert_eq!(d.to_string(), "");
+    }
+
+    #[test]
+    fn diff_decomposes_by_kind() {
+        let g1 = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .class("Spare")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("Dog", "name", "text")
+            .specialize("Puppy", "Dog")
+            .build()
+            .unwrap();
+        let d = diff(&g1, &g2);
+        assert_eq!(d.left_only.classes, [c("Spare"), c("int")].into_iter().collect());
+        assert!(d.left_only.arrows.contains(&(c("Dog"), l("age"), c("int"))));
+        assert!(d.right_only.classes.contains(&c("Puppy")));
+        assert!(d
+            .right_only
+            .specializations
+            .contains(&(c("Puppy"), c("Dog"))));
+        assert_eq!(d.left_only.len(), 3);
+        assert!(!d.left_is_subschema() && !d.right_is_subschema());
+    }
+
+    #[test]
+    fn subschema_shows_as_one_sided_diff() {
+        let small = WeakSchema::builder().arrow("A", "f", "B").build().unwrap();
+        let big = WeakSchema::builder()
+            .arrow("A", "f", "B")
+            .arrow("A", "g", "C")
+            .build()
+            .unwrap();
+        let d = diff(&small, &big);
+        assert!(d.left_is_subschema());
+        assert!(!d.right_is_subschema());
+        assert_eq!(d.right_only.arrows.len(), 1);
+        // Consistency with the ⊑ predicate.
+        assert_eq!(d.left_is_subschema(), small.is_subschema_of(&big));
+    }
+
+    #[test]
+    fn merge_contribution_is_the_other_inputs_information() {
+        let g1 = WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap();
+        let g2 = WeakSchema::builder().arrow("Dog", "name", "text").build().unwrap();
+        let joined = weak_join(&g1, &g2).unwrap();
+        let contribution = merge_contribution(&g1, &joined);
+        assert!(contribution.arrows.contains(&(c("Dog"), l("name"), c("text"))));
+        assert!(contribution.classes.contains(&c("text")));
+        assert!(!contribution.arrows.contains(&(c("Dog"), l("age"), c("int"))));
+        // The left side is empty: g1 ⊑ join.
+        assert!(diff(&g1, &joined).left_is_subschema());
+    }
+
+    #[test]
+    fn diff_sees_closure_differences() {
+        // Same declarations, but one schema adds an isa that induces
+        // inherited arrows; the diff reports the induced arrows too.
+        let flat = WeakSchema::builder().arrow("Dog", "age", "int").class("Puppy").build().unwrap();
+        let inherited = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .specialize("Puppy", "Dog")
+            .build()
+            .unwrap();
+        let d = diff(&flat, &inherited);
+        assert!(d.right_only.arrows.contains(&(c("Puppy"), l("age"), c("int"))));
+    }
+
+    #[test]
+    fn display_uses_diff_markers() {
+        let g1 = WeakSchema::builder().class("A").build().unwrap();
+        let g2 = WeakSchema::builder().class("B").build().unwrap();
+        let text = diff(&g1, &g2).to_string();
+        assert!(text.contains("- class A;"));
+        assert!(text.contains("+ class B;"));
+    }
+}

@@ -1,0 +1,515 @@
+//! The functional data model view (§2) and multivalued arrows (§7).
+//!
+//! §2 observes that arrows "could equally well have been defined as
+//! partial functions from classes to classes, which is how they are
+//! expressed in the definition of a functional schema" — DAPLEX-style
+//! models (\[6\], \[2\], \[1\] in the paper). [`FunctionalSchema`] is that
+//! presentation: per class, a partial map from labels to a *single*
+//! canonical class, satisfying D1/D2. It converts losslessly to and from
+//! [`ProperSchema`].
+//!
+//! §7 lists "allowing arrows to be 'multivalued functions' as in \[2\]" as
+//! an extension; here a function may be declared [`Valence::Multi`],
+//! meaning instances carry a *set* of values in the target class. The
+//! merge rule for valences is a join: if any input declares a function
+//! multivalued, the merged function is multivalued (a single-valued
+//! reading is a special case of the multivalued one, so the join is the
+//! least commitment containing both).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::class::Class;
+use crate::error::{MergeError, SchemaError};
+use crate::name::Label;
+use crate::proper::ProperSchema;
+use crate::weak::WeakSchema;
+
+/// Whether a function is single-valued (a partial function on instances)
+/// or multivalued (instances carry sets of values).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Default)]
+pub enum Valence {
+    /// At most one value per instance (the §2 reading).
+    #[default]
+    Single,
+    /// A set of values per instance (the §7 / DAPLEX extension).
+    Multi,
+}
+
+impl Valence {
+    /// The merge rule: multivalued absorbs single-valued.
+    pub fn join(self, other: Valence) -> Valence {
+        if self == Valence::Multi || other == Valence::Multi {
+            Valence::Multi
+        } else {
+            Valence::Single
+        }
+    }
+}
+
+impl fmt::Display for Valence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Valence::Single => write!(f, "single"),
+            Valence::Multi => write!(f, "multi"),
+        }
+    }
+}
+
+/// One function of a functional schema: `class.label ⇀ target`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Function {
+    /// The (canonical) result class.
+    pub target: Class,
+    /// Single- or multivalued.
+    pub valence: Valence,
+}
+
+/// A schema in functional presentation: classes with typed partial
+/// functions and a specialization order. Equivalent to [`ProperSchema`]
+/// (for single-valued functions) via [`FunctionalSchema::to_proper`] /
+/// [`FunctionalSchema::from_proper`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FunctionalSchema {
+    /// class ↦ label ↦ function.
+    functions: BTreeMap<Class, BTreeMap<Label, Function>>,
+    /// Strict specialization pairs (generators; closure is re-derived).
+    specializations: Vec<(Class, Class)>,
+    /// Classes with no functions still need declaring.
+    classes: Vec<Class>,
+}
+
+impl FunctionalSchema {
+    /// Starts building a functional schema.
+    pub fn builder() -> FunctionalSchemaBuilder {
+        FunctionalSchemaBuilder::default()
+    }
+
+    /// The function for `class.label`, if declared (no inheritance — use
+    /// [`FunctionalSchema::valence`] for the D2-aware lookup after
+    /// conversion to a proper schema).
+    pub fn function(&self, class: &Class, label: &Label) -> Option<&Function> {
+        self.functions.get(class).and_then(|fns| fns.get(label))
+    }
+
+    /// All declared functions.
+    pub fn functions(&self) -> impl Iterator<Item = (&Class, &Label, &Function)> {
+        self.functions.iter().flat_map(|(class, fns)| {
+            fns.iter().map(move |(label, function)| (class, label, function))
+        })
+    }
+
+    /// Number of declared functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.values().map(BTreeMap::len).sum()
+    }
+
+    /// The valence of `class.label` (declared on the class or any
+    /// generalization in the converted schema; here: declared only).
+    pub fn valence(&self, class: &Class, label: &Label) -> Option<Valence> {
+        self.function(class, label).map(|f| f.valence)
+    }
+
+    /// Converts to a proper schema. Single- and multivalued functions
+    /// both become arrows (the graph model does not distinguish them —
+    /// valences are carried alongside and re-attached by
+    /// [`FunctionalSchema::from_proper_with_valences`]).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the declared functions violate D1/D2 — e.g. a subclass
+    /// redirects a function to a class that is not below the
+    /// superclass's target, which produces incomparable targets.
+    pub fn to_proper(&self) -> Result<ProperSchema, SchemaError> {
+        let mut builder = WeakSchema::builder();
+        for class in &self.classes {
+            builder = builder.class(class.clone());
+        }
+        for (sub, sup) in &self.specializations {
+            builder = builder.specialize(sub.clone(), sup.clone());
+        }
+        for (class, label, function) in self.functions() {
+            builder = builder.arrow(class.clone(), label.clone(), function.target.clone());
+        }
+        ProperSchema::try_new(builder.build()?)
+    }
+
+    /// The valence table keyed by `(class, label)`, for carrying through
+    /// graph-model operations.
+    pub fn valences(&self) -> BTreeMap<(Class, Label), Valence> {
+        self.functions()
+            .map(|(class, label, function)| {
+                ((class.clone(), label.clone()), function.valence)
+            })
+            .collect()
+    }
+
+    /// Reads a proper schema back into functional presentation: one
+    /// function per canonical arrow, dropping the W1/W2-derivable
+    /// declarations (a subclass keeps its function only when it refines
+    /// the inherited target).
+    pub fn from_proper(proper: &ProperSchema) -> FunctionalSchema {
+        Self::from_proper_with_valences(proper, &BTreeMap::new())
+    }
+
+    /// [`FunctionalSchema::from_proper`] with a valence table (entries
+    /// default to single-valued). A function inherited from a
+    /// generalization uses the generalization's valence.
+    pub fn from_proper_with_valences(
+        proper: &ProperSchema,
+        valences: &BTreeMap<(Class, Label), Valence>,
+    ) -> FunctionalSchema {
+        let mut builder = FunctionalSchema::builder();
+        for class in proper.classes() {
+            builder = builder.class(class.clone());
+        }
+        for (sub, sup) in proper.specialization_pairs() {
+            let covered = proper
+                .strict_supers(sub)
+                .iter()
+                .any(|mid| mid != sup && proper.specializes(mid, sup));
+            if !covered {
+                builder = builder.specialize(sub.clone(), sup.clone());
+            }
+        }
+        for (class, label, target) in proper.canonical_arrows() {
+            // Keep the function only where it is not exactly inherited.
+            let inherited = proper.strict_supers(class).iter().any(|sup| {
+                proper.canonical_target(sup, label) == Some(target)
+            });
+            if inherited {
+                continue;
+            }
+            let valence = valences
+                .get(&(class.clone(), label.clone()))
+                .copied()
+                .unwrap_or_default();
+            builder = builder.function_with(class.clone(), label.clone(), target.clone(), valence);
+        }
+        builder.build_unchecked()
+    }
+}
+
+impl fmt::Display for FunctionalSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "functional schema {{")?;
+        for class in &self.classes {
+            writeln!(f, "  class {class};")?;
+        }
+        for (sub, sup) in &self.specializations {
+            writeln!(f, "  {sub} => {sup};")?;
+        }
+        for (class, label, function) in self.functions() {
+            let arrow = match function.valence {
+                Valence::Single => "⇀",
+                Valence::Multi => "⇀*",
+            };
+            writeln!(f, "  {class}.{label} {arrow} {};", function.target)?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`FunctionalSchema`].
+#[derive(Debug, Clone, Default)]
+pub struct FunctionalSchemaBuilder {
+    schema: FunctionalSchema,
+}
+
+impl FunctionalSchemaBuilder {
+    /// Declares a class.
+    pub fn class(mut self, class: impl Into<Class>) -> Self {
+        self.schema.classes.push(class.into());
+        self
+    }
+
+    /// Declares `sub ⇒ sup`.
+    pub fn specialize(mut self, sub: impl Into<Class>, sup: impl Into<Class>) -> Self {
+        self.schema
+            .specializations
+            .push((sub.into(), sup.into()));
+        self
+    }
+
+    /// Declares a single-valued function `class.label ⇀ target`.
+    pub fn function(
+        self,
+        class: impl Into<Class>,
+        label: impl Into<Label>,
+        target: impl Into<Class>,
+    ) -> Self {
+        self.function_with(class, label, target, Valence::Single)
+    }
+
+    /// Declares a multivalued function `class.label ⇀* target` (§7).
+    pub fn multi_function(
+        self,
+        class: impl Into<Class>,
+        label: impl Into<Label>,
+        target: impl Into<Class>,
+    ) -> Self {
+        self.function_with(class, label, target, Valence::Multi)
+    }
+
+    /// Declares a function with an explicit valence. Re-declaring a
+    /// `(class, label)` pair replaces the previous function.
+    pub fn function_with(
+        mut self,
+        class: impl Into<Class>,
+        label: impl Into<Label>,
+        target: impl Into<Class>,
+        valence: Valence,
+    ) -> Self {
+        self.schema.functions.entry(class.into()).or_default().insert(
+            label.into(),
+            Function {
+                target: target.into(),
+                valence,
+            },
+        );
+        self
+    }
+
+    /// Validates D1/D2 (by conversion) and returns the schema.
+    pub fn build(self) -> Result<FunctionalSchema, SchemaError> {
+        self.schema.to_proper()?;
+        Ok(self.schema)
+    }
+
+    fn build_unchecked(self) -> FunctionalSchema {
+        self.schema
+    }
+}
+
+/// Merges functional schemas through the graph calculus: convert, merge,
+/// complete, convert back, joining valences per `(class, label)` (§7's
+/// multivalued extension rides along untouched by the graph operations).
+pub fn merge_functional<'a>(
+    schemas: impl IntoIterator<Item = &'a FunctionalSchema>,
+) -> Result<FunctionalSchema, MergeError> {
+    let inputs: Vec<&FunctionalSchema> = schemas.into_iter().collect();
+    let mut valences: BTreeMap<(Class, Label), Valence> = BTreeMap::new();
+    let mut translated = Vec::with_capacity(inputs.len());
+    for input in &inputs {
+        for ((class, label), valence) in input.valences() {
+            let entry = valences.entry((class, label)).or_default();
+            *entry = entry.join(valence);
+        }
+        translated.push(input.to_proper()?.into_weak());
+    }
+    let outcome = crate::merge::merge(translated.iter())?;
+    // Valences propagate down the merged specialization order so that a
+    // subclass's refined function keeps (at least) the superclass's
+    // valence.
+    let proper = &outcome.proper;
+    let mut propagated = valences.clone();
+    for (class, label, _) in proper.canonical_arrows() {
+        let mut valence = valences
+            .get(&(class.clone(), label.clone()))
+            .copied()
+            .unwrap_or_default();
+        for sup in proper.strict_supers(class) {
+            if let Some(&v) = valences.get(&(sup.clone(), label.clone())) {
+                valence = valence.join(v);
+            }
+        }
+        propagated.insert((class.clone(), label.clone()), valence);
+    }
+    Ok(FunctionalSchema::from_proper_with_valences(proper, &propagated))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn valence_join() {
+        use Valence::*;
+        assert_eq!(Single.join(Single), Single);
+        assert_eq!(Single.join(Multi), Multi);
+        assert_eq!(Multi.join(Single), Multi);
+        assert_eq!(Multi.join(Multi), Multi);
+    }
+
+    #[test]
+    fn build_and_convert_to_proper() {
+        let f = FunctionalSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .function("Dog", "age", "int")
+            .multi_function("Dog", "toys", "Toy")
+            .build()
+            .unwrap();
+        assert_eq!(f.num_functions(), 2);
+        let proper = f.to_proper().unwrap();
+        assert_eq!(proper.canonical_target(&c("Dog"), &l("age")), Some(&c("int")));
+        // Multivalued functions are still arrows in the graph model.
+        assert_eq!(proper.canonical_target(&c("Dog"), &l("toys")), Some(&c("Toy")));
+    }
+
+    #[test]
+    fn d2_violation_is_rejected() {
+        // Guide-dog redirects home to an unrelated class: targets
+        // {Kennel, Tent} have no least element.
+        let err = FunctionalSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .function("Dog", "home", "Kennel")
+            .function("Guide-dog", "home", "Tent")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, SchemaError::NoCanonicalClass { .. }));
+
+        // Redirecting to a refinement is fine (D2).
+        let ok = FunctionalSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .specialize("TrainingKennel", "Kennel")
+            .function("Dog", "home", "Kennel")
+            .function("Guide-dog", "home", "TrainingKennel")
+            .build();
+        assert!(ok.is_ok());
+    }
+
+    #[test]
+    fn proper_round_trip_drops_inherited_functions() {
+        let f = FunctionalSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .function("Dog", "age", "int")
+            .build()
+            .unwrap();
+        let proper = f.to_proper().unwrap();
+        let back = FunctionalSchema::from_proper(&proper);
+        // Guide-dog.age is inherited, so only Dog declares it.
+        assert!(back.function(&c("Dog"), &l("age")).is_some());
+        assert!(back.function(&c("Guide-dog"), &l("age")).is_none());
+        assert_eq!(back.to_proper().unwrap(), proper, "information-equal");
+    }
+
+    #[test]
+    fn refined_functions_survive_round_trip() {
+        let f = FunctionalSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .specialize("TrainingKennel", "Kennel")
+            .function("Dog", "home", "Kennel")
+            .function("Guide-dog", "home", "TrainingKennel")
+            .build()
+            .unwrap();
+        let back = FunctionalSchema::from_proper(&f.to_proper().unwrap());
+        assert_eq!(
+            back.function(&c("Guide-dog"), &l("home")).unwrap().target,
+            c("TrainingKennel")
+        );
+    }
+
+    #[test]
+    fn merge_functional_is_order_independent() {
+        let f1 = FunctionalSchema::builder()
+            .function("Dog", "age", "int")
+            .build()
+            .unwrap();
+        let f2 = FunctionalSchema::builder()
+            .function("Dog", "name", "string")
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .unwrap();
+        let a = merge_functional([&f1, &f2]).unwrap();
+        let b = merge_functional([&f2, &f1]).unwrap();
+        assert_eq!(a, b);
+        assert!(a.function(&c("Dog"), &l("age")).is_some());
+        assert!(a.function(&c("Dog"), &l("name")).is_some());
+    }
+
+    #[test]
+    fn merge_introduces_implicit_target_functions() {
+        // Disagreeing single-valued targets produce the implicit class as
+        // the merged function's target — the Fig. 3 situation in
+        // functional dress.
+        let f1 = FunctionalSchema::builder()
+            .function("C", "a", "B1")
+            .build()
+            .unwrap();
+        let f2 = FunctionalSchema::builder()
+            .function("C", "a", "B2")
+            .build()
+            .unwrap();
+        let merged = merge_functional([&f1, &f2]).unwrap();
+        assert_eq!(
+            merged.function(&c("C"), &l("a")).unwrap().target,
+            Class::implicit([c("B1"), c("B2")])
+        );
+    }
+
+    #[test]
+    fn multivalued_wins_in_merges() {
+        // §7: one model sees `owner` as single-valued, another as
+        // multivalued (dogs can be co-owned). The merge is multivalued.
+        let f1 = FunctionalSchema::builder()
+            .function("Dog", "owner", "Person")
+            .build()
+            .unwrap();
+        let f2 = FunctionalSchema::builder()
+            .multi_function("Dog", "owner", "Person")
+            .build()
+            .unwrap();
+        let merged = merge_functional([&f1, &f2]).unwrap();
+        assert_eq!(
+            merged.function(&c("Dog"), &l("owner")).unwrap().valence,
+            Valence::Multi
+        );
+        // And in the other order.
+        let merged2 = merge_functional([&f2, &f1]).unwrap();
+        assert_eq!(merged, merged2);
+    }
+
+    #[test]
+    fn valence_propagates_to_refining_subclasses() {
+        let f1 = FunctionalSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .specialize("Charity", "Person")
+            .multi_function("Dog", "owner", "Person")
+            .function("Guide-dog", "owner", "Charity")
+            .build();
+        // Declared directly: builder rejects nothing here (D2 holds).
+        let f1 = f1.unwrap();
+        let merged = merge_functional([&f1]).unwrap();
+        assert_eq!(
+            merged.function(&c("Guide-dog"), &l("owner")).unwrap().valence,
+            Valence::Multi,
+            "a subclass cannot silently make an inherited function single-valued"
+        );
+    }
+
+    #[test]
+    fn incompatible_functional_schemas_fail() {
+        let f1 = FunctionalSchema::builder()
+            .specialize("A", "B")
+            .build()
+            .unwrap();
+        let f2 = FunctionalSchema::builder()
+            .specialize("B", "A")
+            .build()
+            .unwrap();
+        assert!(matches!(
+            merge_functional([&f1, &f2]),
+            Err(MergeError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn display_marks_multivalued() {
+        let f = FunctionalSchema::builder()
+            .function("Dog", "age", "int")
+            .multi_function("Dog", "toys", "Toy")
+            .build()
+            .unwrap();
+        let text = f.to_string();
+        assert!(text.contains("Dog.age ⇀ int"));
+        assert!(text.contains("Dog.toys ⇀* Toy"));
+    }
+}

@@ -1,0 +1,290 @@
+//! Schema isomorphism modulo the names of designated classes.
+//!
+//! §4.2 notes that completion is canonical only up to the naming of the
+//! implicit classes ("compare this to alpha-conversion in the lambda
+//! calculus"). To *compare* merge results — in particular, to demonstrate
+//! that the baseline stepwise merge of Figs. 4–5 is non-associative even
+//! after renaming its opaque `X?`/`Y?` classes — we need isomorphism that
+//! fixes ordinary classes and permutes a designated set.
+//!
+//! [`alpha_isomorphic`] performs a backtracking search. It is exponential
+//! in the number of renameable classes in the worst case, which is fine
+//! for its diagnostic role (merge results have few implicit classes; the
+//! paper argues pathological blowups "are \[not\] likely to occur in
+//! practice", and we measure that claim in the benchmarks instead).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::class::Class;
+use crate::weak::WeakSchema;
+
+/// Whether `left` and `right` are isomorphic by a bijection that is the
+/// identity on classes where `renameable` is false and arbitrary on
+/// classes where it is true.
+pub fn alpha_isomorphic(
+    left: &WeakSchema,
+    right: &WeakSchema,
+    renameable: impl Fn(&Class) -> bool,
+) -> bool {
+    let fixed_left: BTreeSet<&Class> = left.classes().filter(|c| !renameable(c)).collect();
+    let fixed_right: BTreeSet<&Class> = right.classes().filter(|c| !renameable(c)).collect();
+    if fixed_left != fixed_right {
+        return false;
+    }
+    let vars_left: Vec<&Class> = left.classes().filter(|c| renameable(c)).collect();
+    let vars_right: Vec<&Class> = right.classes().filter(|c| renameable(c)).collect();
+    if vars_left.len() != vars_right.len() {
+        return false;
+    }
+    if left.num_arrows() != right.num_arrows()
+        || left.num_specializations() != right.num_specializations()
+    {
+        return false;
+    }
+
+    // Cheap invariant for pruning: a class's degree profile.
+    let profile = |schema: &WeakSchema, class: &Class| -> (usize, usize, usize, usize) {
+        let out_arrows = schema
+            .labels_of(class)
+            .iter()
+            .map(|l| schema.arrow_targets(class, l).len())
+            .sum();
+        let in_arrows = schema
+            .arrow_triples()
+            .filter(|(_, _, tgt)| *tgt == class)
+            .count();
+        (
+            schema.strict_supers(class).len(),
+            schema.strict_subs(class).len(),
+            out_arrows,
+            in_arrows,
+        )
+    };
+    let left_profiles: Vec<_> = vars_left.iter().map(|c| profile(left, c)).collect();
+    let right_profiles: Vec<_> = vars_right.iter().map(|c| profile(right, c)).collect();
+
+    let mut assignment: BTreeMap<&Class, &Class> = BTreeMap::new();
+    let mut used: Vec<bool> = vec![false; vars_right.len()];
+    search(
+        left,
+        right,
+        &vars_left,
+        &vars_right,
+        &left_profiles,
+        &right_profiles,
+        0,
+        &mut assignment,
+        &mut used,
+    )
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search<'a>(
+    left: &WeakSchema,
+    right: &WeakSchema,
+    vars_left: &[&'a Class],
+    vars_right: &[&'a Class],
+    left_profiles: &[(usize, usize, usize, usize)],
+    right_profiles: &[(usize, usize, usize, usize)],
+    index: usize,
+    assignment: &mut BTreeMap<&'a Class, &'a Class>,
+    used: &mut Vec<bool>,
+) -> bool {
+    if index == vars_left.len() {
+        return verify(left, right, assignment);
+    }
+    let source = vars_left[index];
+    for (j, candidate) in vars_right.iter().enumerate() {
+        if used[j] || left_profiles[index] != right_profiles[j] {
+            continue;
+        }
+        assignment.insert(source, candidate);
+        used[j] = true;
+        if search(
+            left,
+            right,
+            vars_left,
+            vars_right,
+            left_profiles,
+            right_profiles,
+            index + 1,
+            assignment,
+            used,
+        ) {
+            return true;
+        }
+        used[j] = false;
+        assignment.remove(source);
+    }
+    false
+}
+
+fn verify(left: &WeakSchema, right: &WeakSchema, assignment: &BTreeMap<&Class, &Class>) -> bool {
+    let map = |class: &Class| -> Class {
+        assignment
+            .get(class)
+            .map(|&c| c.clone())
+            .unwrap_or_else(|| class.clone())
+    };
+    for (sub, sup) in left.specialization_pairs() {
+        if !(right.specializes(&map(sub), &map(sup)) && map(sub) != map(sup)) {
+            return false;
+        }
+    }
+    for (src, label, tgt) in left.arrow_triples() {
+        if !right.has_arrow(&map(src), label, &map(tgt)) {
+            return false;
+        }
+    }
+    // Edge counts are equal (checked upfront), so injectivity of the map
+    // plus containment in both relations gives equality.
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn opaque(class: &Class) -> bool {
+        class.name().is_some_and(|n| n.as_str().starts_with('?'))
+    }
+
+    #[test]
+    fn identical_schemas_are_isomorphic() {
+        let g = WeakSchema::builder()
+            .specialize("B", "A")
+            .arrow("A", "f", "T")
+            .build()
+            .unwrap();
+        assert!(alpha_isomorphic(&g, &g, |_| false));
+        assert!(alpha_isomorphic(&g, &g, opaque));
+    }
+
+    #[test]
+    fn renaming_an_opaque_class_preserves_isomorphism() {
+        let g1 = WeakSchema::builder()
+            .specialize("?1", "A")
+            .specialize("?1", "B")
+            .arrow("C", "a", "?1")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .specialize("?other", "A")
+            .specialize("?other", "B")
+            .arrow("C", "a", "?other")
+            .build()
+            .unwrap();
+        assert!(alpha_isomorphic(&g1, &g2, opaque));
+        // Without renaming permission they differ.
+        assert!(!alpha_isomorphic(&g1, &g2, |_| false));
+    }
+
+    #[test]
+    fn structure_difference_is_detected() {
+        // ?1 below {A, B} vs ?1 below {A} only.
+        let g1 = WeakSchema::builder()
+            .specialize("?1", "A")
+            .specialize("?1", "B")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .specialize("?1", "A")
+            .classes(["B"])
+            .build()
+            .unwrap();
+        assert!(!alpha_isomorphic(&g1, &g2, opaque));
+    }
+
+    #[test]
+    fn figure_5_shapes_differ() {
+        // The two results of the naive stepwise merge: X? below {D, E}
+        // with Y? below {X?, F}  vs  X? below {E, F} with Y? below
+        // {X?, D}. Even with renaming these are non-isomorphic because the
+        // chains hang below different named classes.
+        let left = WeakSchema::builder()
+            .specialize("?x", "D")
+            .specialize("?x", "E")
+            .specialize("?y", "?x")
+            .specialize("?y", "F")
+            .build()
+            .unwrap();
+        let right = WeakSchema::builder()
+            .specialize("?x", "E")
+            .specialize("?x", "F")
+            .specialize("?y", "?x")
+            .specialize("?y", "D")
+            .build()
+            .unwrap();
+        assert!(!alpha_isomorphic(&left, &right, opaque));
+    }
+
+    #[test]
+    fn two_interchangeable_classes() {
+        let g1 = WeakSchema::builder()
+            .specialize("?a", "Top")
+            .specialize("?b", "Top")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .specialize("?p", "Top")
+            .specialize("?q", "Top")
+            .build()
+            .unwrap();
+        assert!(alpha_isomorphic(&g1, &g2, opaque));
+    }
+
+    #[test]
+    fn mismatched_counts_fail_fast() {
+        let g1 = WeakSchema::builder().specialize("?a", "Top").build().unwrap();
+        let g2 = WeakSchema::builder()
+            .specialize("?a", "Top")
+            .specialize("?b", "Top")
+            .build()
+            .unwrap();
+        assert!(!alpha_isomorphic(&g1, &g2, opaque));
+    }
+
+    #[test]
+    fn fixed_classes_must_match_exactly() {
+        let g1 = WeakSchema::builder().class("A").build().unwrap();
+        let g2 = WeakSchema::builder().class("B").build().unwrap();
+        assert!(!alpha_isomorphic(&g1, &g2, opaque));
+    }
+
+    #[test]
+    fn arrows_between_renameables() {
+        let g1 = WeakSchema::builder().arrow("?a", "f", "?b").build().unwrap();
+        let g2 = WeakSchema::builder().arrow("?x", "f", "?y").build().unwrap();
+        assert!(alpha_isomorphic(&g1, &g2, opaque));
+        let g3 = WeakSchema::builder().arrow("?y", "f", "?x").build().unwrap();
+        assert!(alpha_isomorphic(&g1, &g3, opaque), "direction renamed away");
+        let g4 = WeakSchema::builder()
+            .arrow("?x", "g", "?y")
+            .build()
+            .unwrap();
+        assert!(!alpha_isomorphic(&g1, &g4, opaque), "labels are fixed");
+    }
+
+    #[test]
+    fn implicit_classes_as_renameables() {
+        // Comparing a paper-style result with an opaque-name result.
+        let x = Class::implicit([c("A"), c("B")]);
+        let ours = WeakSchema::builder()
+            .specialize(x.clone(), "A")
+            .specialize(x.clone(), "B")
+            .arrow("C", "a", x.clone())
+            .build()
+            .unwrap();
+        let theirs = WeakSchema::builder()
+            .specialize("?1", "A")
+            .specialize("?1", "B")
+            .arrow("C", "a", "?1")
+            .build()
+            .unwrap();
+        assert!(alpha_isomorphic(&ours, &theirs, |c| c.is_implicit() || opaque(c)));
+    }
+}

@@ -1,0 +1,633 @@
+//! Key constraints and their merge (§5).
+//!
+//! A key for a class `p` is a set of labels of arrows out of `p`; a
+//! *superkey* is any superset of a key. The superkey family `SK(p)` is
+//! upward closed, so it is represented by its **antichain of minimal key
+//! sets** ([`SuperkeyFamily`]). Classes with *no* key at all model object
+//! identity.
+//!
+//! Specialization constrains keys: `p ⇒ q  ⟹  SK(p) ⊇ SK(q)` — every key
+//! of a superclass is a (super)key of the subclass. When merging, a
+//! *satisfactory* assignment must contain each input's keys and respect
+//! that constraint; satisfactory assignments are closed under pointwise
+//! intersection, so a unique **minimal satisfactory assignment** exists and
+//! is computed by [`KeyAssignment::minimal_satisfactory`].
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::class::Class;
+use crate::error::SchemaError;
+use crate::name::Label;
+use crate::weak::WeakSchema;
+
+/// A set of arrow labels forming a (super)key.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct KeySet(BTreeSet<Label>);
+
+impl KeySet {
+    /// Creates a key set from labels.
+    pub fn new<I>(labels: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Label>,
+    {
+        KeySet(labels.into_iter().map(Into::into).collect())
+    }
+
+    /// The empty key set: every pair of instances agrees on it, so a class
+    /// carrying it can have at most one instance. Valid but degenerate.
+    pub fn empty() -> Self {
+        KeySet::default()
+    }
+
+    /// Iterates over the labels in sorted order.
+    pub fn labels(&self) -> impl Iterator<Item = &Label> {
+        self.0.iter()
+    }
+
+    /// Number of labels.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the key set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Whether `self ⊆ other`.
+    pub fn is_subset(&self, other: &KeySet) -> bool {
+        self.0.is_subset(&other.0)
+    }
+
+    /// Whether `label` participates in the key.
+    pub fn contains(&self, label: &Label) -> bool {
+        self.0.contains(label)
+    }
+
+    /// The union of two key sets.
+    pub fn union(&self, other: &KeySet) -> KeySet {
+        KeySet(self.0.union(&other.0).cloned().collect())
+    }
+}
+
+impl fmt::Debug for KeySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeySet{self}")
+    }
+}
+
+impl fmt::Display for KeySet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, label) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{label}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl<I, T> From<I> for KeySet
+where
+    I: IntoIterator<Item = T>,
+    T: Into<Label>,
+{
+    fn from(labels: I) -> Self {
+        KeySet::new(labels)
+    }
+}
+
+/// An upward-closed family of superkeys, stored as the antichain of its
+/// minimal elements (the keys proper).
+///
+/// The empty family (`SuperkeyFamily::none`) is "no keys": object
+/// identity. It is the bottom of the family ordering.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct SuperkeyFamily {
+    /// Pairwise ⊆-incomparable minimal key sets.
+    minimal: BTreeSet<KeySet>,
+}
+
+impl SuperkeyFamily {
+    /// The family with no keys at all (object identity).
+    pub fn none() -> Self {
+        SuperkeyFamily::default()
+    }
+
+    /// A family with a single key.
+    pub fn single(key: impl Into<KeySet>) -> Self {
+        let mut family = SuperkeyFamily::none();
+        family.insert_key(key.into());
+        family
+    }
+
+    /// A family from several keys (non-minimal ones are absorbed).
+    pub fn from_keys<I>(keys: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<KeySet>,
+    {
+        let mut family = SuperkeyFamily::none();
+        for key in keys {
+            family.insert_key(key.into());
+        }
+        family
+    }
+
+    /// Adds a key, maintaining the antichain: supersets of an existing key
+    /// are absorbed, existing keys that become supersets are dropped.
+    pub fn insert_key(&mut self, key: KeySet) {
+        if self.is_superkey(&key) {
+            return;
+        }
+        self.minimal.retain(|existing| !key.is_subset(existing));
+        self.minimal.insert(key);
+    }
+
+    /// Whether `candidate` is a superkey: some minimal key is contained in
+    /// it.
+    pub fn is_superkey(&self, candidate: &KeySet) -> bool {
+        self.minimal.iter().any(|key| key.is_subset(candidate))
+    }
+
+    /// The minimal keys, in sorted order.
+    pub fn minimal_keys(&self) -> impl Iterator<Item = &KeySet> {
+        self.minimal.iter()
+    }
+
+    /// Number of minimal keys.
+    pub fn num_keys(&self) -> usize {
+        self.minimal.len()
+    }
+
+    /// Whether the family has no keys (object identity).
+    pub fn is_none(&self) -> bool {
+        self.minimal.is_empty()
+    }
+
+    /// Family union: the upward closure of the union of the two families
+    /// (`SK ∪ SK'`). The join of the family lattice.
+    pub fn union(&self, other: &SuperkeyFamily) -> SuperkeyFamily {
+        let mut out = self.clone();
+        for key in &other.minimal {
+            out.insert_key(key.clone());
+        }
+        out
+    }
+
+    /// Family intersection: `U(A) ∩ U(B) = U({a ∪ b | a ∈ A, b ∈ B})` for
+    /// upward-closed families. The meet of the family lattice, used in the
+    /// proof that satisfactory assignments are intersection-closed (§5).
+    pub fn intersection(&self, other: &SuperkeyFamily) -> SuperkeyFamily {
+        let mut out = SuperkeyFamily::none();
+        for a in &self.minimal {
+            for b in &other.minimal {
+                out.insert_key(a.union(b));
+            }
+        }
+        out
+    }
+
+    /// Whether `self ⊇ other` as upward-closed families: every superkey of
+    /// `other` is a superkey of `self`.
+    pub fn contains_family(&self, other: &SuperkeyFamily) -> bool {
+        other.minimal.iter().all(|key| self.is_superkey(key))
+    }
+}
+
+impl fmt::Debug for SuperkeyFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SuperkeyFamily{self}")
+    }
+}
+
+impl fmt::Display for SuperkeyFamily {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, key) in self.minimal.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{key}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// An assignment of superkey families to (some) classes of a schema.
+/// Classes without an entry have no keys (object identity).
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct KeyAssignment {
+    families: BTreeMap<Class, SuperkeyFamily>,
+}
+
+impl KeyAssignment {
+    /// The empty assignment.
+    pub fn new() -> Self {
+        KeyAssignment::default()
+    }
+
+    /// Sets the family for a class (replacing any previous one). Empty
+    /// families are normalized away.
+    pub fn set(&mut self, class: impl Into<Class>, family: SuperkeyFamily) {
+        let class = class.into();
+        if family.is_none() {
+            self.families.remove(&class);
+        } else {
+            self.families.insert(class, family);
+        }
+    }
+
+    /// Adds a single key to a class's family.
+    pub fn add_key(&mut self, class: impl Into<Class>, key: impl Into<KeySet>) {
+        self.families
+            .entry(class.into())
+            .or_default()
+            .insert_key(key.into());
+    }
+
+    /// The family for `class` (the empty family if none was assigned).
+    pub fn family(&self, class: &Class) -> SuperkeyFamily {
+        self.families.get(class).cloned().unwrap_or_default()
+    }
+
+    /// The classes with at least one key.
+    pub fn keyed_classes(&self) -> impl Iterator<Item = &Class> {
+        self.families.keys()
+    }
+
+    /// Number of classes with at least one key.
+    pub fn num_keyed_classes(&self) -> usize {
+        self.families.len()
+    }
+
+    /// Validates the assignment against a schema:
+    ///
+    /// * every keyed class exists,
+    /// * every key label is an arrow out of its class (§5), and
+    /// * `p ⇒ q  ⟹  SK(p) ⊇ SK(q)`.
+    pub fn validate(&self, schema: &WeakSchema) -> Result<(), SchemaError> {
+        for (class, family) in &self.families {
+            if !schema.contains_class(class) {
+                return Err(SchemaError::UnknownClass(class.clone()));
+            }
+            let labels = schema.labels_of(class);
+            for key in family.minimal_keys() {
+                for label in key.labels() {
+                    if !labels.contains(label) {
+                        return Err(SchemaError::KeyLabelNotAnArrow {
+                            class: class.clone(),
+                            label: label.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for (sub, sup) in schema.specialization_pairs() {
+            if !self.family(sub).contains_family(&self.family(sup)) {
+                return Err(SchemaError::KeyNotInherited {
+                    sub: sub.clone(),
+                    sup: sup.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether this assignment is *satisfactory* for `schema` given the
+    /// per-class `contributions` from the merge inputs (§5):
+    ///
+    /// 1. `SKᵢ(p) ⊆ SK(p)` for every contribution, and
+    /// 2. `SK(p) ⊇ SK(q)` whenever `p ⇒ q`.
+    pub fn is_satisfactory<'a>(
+        &self,
+        schema: &WeakSchema,
+        contributions: impl IntoIterator<Item = (&'a Class, &'a SuperkeyFamily)>,
+    ) -> bool {
+        for (class, contributed) in contributions {
+            if !self.family(class).contains_family(contributed) {
+                return false;
+            }
+        }
+        schema
+            .specialization_pairs()
+            .all(|(sub, sup)| self.family(sub).contains_family(&self.family(sup)))
+    }
+
+    /// The unique minimal satisfactory assignment (§5): for each class,
+    /// the union of the contributed families of every class it
+    /// specializes (including itself).
+    pub fn minimal_satisfactory<'a>(
+        schema: &WeakSchema,
+        contributions: impl IntoIterator<Item = (&'a Class, &'a SuperkeyFamily)>,
+    ) -> KeyAssignment {
+        // Collect contributions per class.
+        let mut seed: BTreeMap<&Class, SuperkeyFamily> = BTreeMap::new();
+        for (class, family) in contributions {
+            let entry = seed.entry(class).or_default();
+            *entry = entry.union(family);
+        }
+        // Propagate downwards: SK(p) = ⋃ { seed(q) | p ⇒ q } (reflexive).
+        let mut out = KeyAssignment::new();
+        for class in schema.classes() {
+            let mut family = seed.get(class).cloned().unwrap_or_default();
+            for sup in schema.strict_supers(class) {
+                if let Some(contrib) = seed.get(&sup) {
+                    family = family.union(contrib);
+                }
+            }
+            out.set(class.clone(), family);
+        }
+        out
+    }
+
+    /// Pointwise intersection of two assignments — satisfactory whenever
+    /// both inputs are (the §5 lattice argument); exposed for tests.
+    pub fn intersection(&self, other: &KeyAssignment) -> KeyAssignment {
+        let mut out = KeyAssignment::new();
+        for (class, family) in &self.families {
+            let meet = family.intersection(&other.family(class));
+            out.set(class.clone(), meet);
+        }
+        out
+    }
+}
+
+impl fmt::Debug for KeyAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut map = f.debug_map();
+        for (class, family) in &self.families {
+            map.entry(&class.to_string(), &family.to_string());
+        }
+        map.finish()
+    }
+}
+
+impl fmt::Display for KeyAssignment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (class, family) in &self.families {
+            writeln!(f, "SK({class}) = {family}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn ks(labels: &[&str]) -> KeySet {
+        KeySet::new(labels.iter().copied())
+    }
+
+    #[test]
+    fn keyset_basics() {
+        let k = ks(&["SS#"]);
+        assert_eq!(k.len(), 1);
+        assert!(k.contains(&l("SS#")));
+        assert!(k.is_subset(&ks(&["SS#", "Name"])));
+        assert!(!ks(&["SS#", "Name"]).is_subset(&k));
+        assert_eq!(k.to_string(), "{SS#}");
+        assert_eq!(ks(&["b", "a"]).to_string(), "{a,b}", "sorted");
+    }
+
+    #[test]
+    fn family_antichain_maintenance() {
+        let mut family = SuperkeyFamily::none();
+        family.insert_key(ks(&["Name", "Address"]));
+        family.insert_key(ks(&["SS#"]));
+        assert_eq!(family.num_keys(), 2);
+        // A superset of an existing key is absorbed.
+        family.insert_key(ks(&["SS#", "Name"]));
+        assert_eq!(family.num_keys(), 2);
+        // A subset displaces existing supersets.
+        family.insert_key(ks(&["Name"]));
+        assert_eq!(family.num_keys(), 2);
+        assert!(family.minimal_keys().any(|k| k == &ks(&["Name"])));
+        assert!(!family.minimal_keys().any(|k| k == &ks(&["Name", "Address"])));
+    }
+
+    #[test]
+    fn superkey_queries() {
+        // The Person example of §5: keys {SS#} and {Name, Address}.
+        let family = SuperkeyFamily::from_keys([ks(&["SS#"]), ks(&["Name", "Address"])]);
+        assert!(family.is_superkey(&ks(&["SS#", "Phone"])));
+        assert!(family.is_superkey(&ks(&["Name", "Address"])));
+        assert!(!family.is_superkey(&ks(&["Name"])));
+        assert!(!family.is_superkey(&ks(&["Phone"])));
+    }
+
+    #[test]
+    fn empty_keyset_is_strongest() {
+        let family = SuperkeyFamily::single(KeySet::empty());
+        assert!(family.is_superkey(&ks(&[])));
+        assert!(family.is_superkey(&ks(&["anything"])));
+    }
+
+    #[test]
+    fn family_union_and_containment() {
+        let advisor = SuperkeyFamily::single(ks(&["victim"]));
+        let committee = SuperkeyFamily::single(ks(&["faculty", "victim"]));
+        let merged = advisor.union(&committee);
+        // {victim} absorbs {faculty, victim}: the union family is the
+        // advisor's. This is the Fig. 9 check:
+        // {{victim},{faculty,victim}} ⊇ {{faculty,victim}}.
+        assert_eq!(merged, advisor);
+        assert!(merged.contains_family(&committee));
+        assert!(!committee.contains_family(&advisor));
+    }
+
+    #[test]
+    fn family_intersection() {
+        let a = SuperkeyFamily::single(ks(&["x"]));
+        let b = SuperkeyFamily::single(ks(&["y"]));
+        let meet = a.intersection(&b);
+        assert_eq!(meet, SuperkeyFamily::single(ks(&["x", "y"])));
+        // Meet with object identity is object identity.
+        assert!(a.intersection(&SuperkeyFamily::none()).is_none());
+    }
+
+    #[test]
+    fn family_lattice_laws() {
+        let fams = [
+            SuperkeyFamily::none(),
+            SuperkeyFamily::single(ks(&["a"])),
+            SuperkeyFamily::single(ks(&["a", "b"])),
+            SuperkeyFamily::from_keys([ks(&["a"]), ks(&["b", "c"])]),
+        ];
+        for x in &fams {
+            assert_eq!(&x.union(x), x, "idempotent union");
+            assert_eq!(&x.intersection(x), x, "idempotent meet");
+            for y in &fams {
+                assert_eq!(x.union(y), y.union(x), "commutative union");
+                assert_eq!(x.intersection(y), y.intersection(x), "commutative meet");
+                assert!(x.union(y).contains_family(x), "union is upper bound");
+                assert!(x.contains_family(&x.intersection(y)), "meet is lower bound");
+                for z in &fams {
+                    assert_eq!(
+                        x.union(y).union(z),
+                        x.union(&y.union(z)),
+                        "associative union"
+                    );
+                    assert_eq!(
+                        x.intersection(y).intersection(z),
+                        x.intersection(&y.intersection(z)),
+                        "associative meet"
+                    );
+                }
+            }
+        }
+    }
+
+    fn advisor_schema() -> WeakSchema {
+        // Fig. 9: Advisor ⇒ Committee, both with faculty/victim arrows.
+        WeakSchema::builder()
+            .specialize("Advisor", "Committee")
+            .arrow("Committee", "faculty", "Faculty")
+            .arrow("Committee", "victim", "GS")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn figure_9_minimal_satisfactory_assignment() {
+        let schema = advisor_schema();
+        let committee_keys = SuperkeyFamily::single(ks(&["faculty", "victim"]));
+        let advisor_keys = SuperkeyFamily::single(ks(&["victim"]));
+        let committee = c("Committee");
+        let advisor = c("Advisor");
+        let contributions = [(&committee, &committee_keys), (&advisor, &advisor_keys)];
+
+        let assignment = KeyAssignment::minimal_satisfactory(&schema, contributions);
+        assert!(assignment.validate(&schema).is_ok());
+        assert!(assignment.is_satisfactory(&schema, contributions));
+        // Advisor keeps its one-to-many key and inherits Committee's.
+        assert_eq!(
+            assignment.family(&advisor),
+            SuperkeyFamily::single(ks(&["victim"])),
+            "{{victim}} absorbs the inherited {{faculty,victim}}"
+        );
+        assert_eq!(
+            assignment.family(&committee),
+            SuperkeyFamily::single(ks(&["faculty", "victim"]))
+        );
+    }
+
+    #[test]
+    fn minimal_satisfactory_is_minimal() {
+        // Any other satisfactory assignment contains the minimal one,
+        // class by class.
+        let schema = advisor_schema();
+        let committee_keys = SuperkeyFamily::single(ks(&["faculty", "victim"]));
+        let committee = c("Committee");
+        let contributions = [(&committee, &committee_keys)];
+
+        let minimal = KeyAssignment::minimal_satisfactory(&schema, contributions);
+        let mut bigger = minimal.clone();
+        bigger.add_key(c("Advisor"), ks(&["victim"]));
+        assert!(bigger.is_satisfactory(&schema, contributions));
+        for class in schema.classes() {
+            assert!(bigger.family(class).contains_family(&minimal.family(class)));
+        }
+    }
+
+    #[test]
+    fn intersection_of_satisfactory_is_satisfactory() {
+        let schema = advisor_schema();
+        let committee_keys = SuperkeyFamily::single(ks(&["faculty", "victim"]));
+        let committee = c("Committee");
+        let contributions = [(&committee, &committee_keys)];
+
+        let minimal = KeyAssignment::minimal_satisfactory(&schema, contributions);
+        let mut other = minimal.clone();
+        other.add_key(c("Advisor"), ks(&["faculty"]));
+        assert!(other.is_satisfactory(&schema, contributions));
+
+        let meet = minimal.intersection(&other);
+        assert!(meet.is_satisfactory(&schema, contributions));
+        assert_eq!(meet, minimal, "minimal is the bottom of the lattice");
+    }
+
+    #[test]
+    fn validate_rejects_foreign_labels() {
+        let schema = advisor_schema();
+        let mut assignment = KeyAssignment::new();
+        assignment.add_key(c("Committee"), ks(&["salary"]));
+        assert!(matches!(
+            assignment.validate(&schema),
+            Err(SchemaError::KeyLabelNotAnArrow { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_uninherited_keys() {
+        let schema = advisor_schema();
+        let mut assignment = KeyAssignment::new();
+        assignment.add_key(c("Committee"), ks(&["faculty", "victim"]));
+        // Advisor lacks Committee's key: inheritance violated.
+        assert!(matches!(
+            assignment.validate(&schema),
+            Err(SchemaError::KeyNotInherited { .. })
+        ));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_class() {
+        let schema = advisor_schema();
+        let mut assignment = KeyAssignment::new();
+        assignment.add_key(c("Nowhere"), ks(&[]));
+        assert!(matches!(
+            assignment.validate(&schema),
+            Err(SchemaError::UnknownClass(_))
+        ));
+    }
+
+    #[test]
+    fn figure_10_multiple_keys_not_expressible_as_cardinalities() {
+        // Transaction(loc, at, card, amount) with keys {loc,at} and
+        // {card,at}: representable here, unlike with edge labels.
+        let schema = WeakSchema::builder()
+            .arrow("Transaction", "loc", "Machine")
+            .arrow("Transaction", "at", "Time")
+            .arrow("Transaction", "card", "Card")
+            .arrow("Transaction", "amount", "Amount")
+            .build()
+            .unwrap();
+        let mut assignment = KeyAssignment::new();
+        assignment.add_key(c("Transaction"), ks(&["loc", "at"]));
+        assignment.add_key(c("Transaction"), ks(&["card", "at"]));
+        assert!(assignment.validate(&schema).is_ok());
+        let family = assignment.family(&c("Transaction"));
+        assert_eq!(family.num_keys(), 2);
+        assert!(family.is_superkey(&ks(&["loc", "at", "amount"])));
+        assert!(!family.is_superkey(&ks(&["loc", "card"])));
+    }
+
+    #[test]
+    fn assignment_display() {
+        let mut assignment = KeyAssignment::new();
+        assignment.add_key(c("Person"), ks(&["SS#"]));
+        assert_eq!(assignment.to_string(), "SK(Person) = {{SS#}}\n");
+    }
+
+    #[test]
+    fn setting_empty_family_clears_entry() {
+        let mut assignment = KeyAssignment::new();
+        assignment.add_key(c("A"), ks(&["x"]));
+        assert_eq!(assignment.num_keyed_classes(), 1);
+        assignment.set(c("A"), SuperkeyFamily::none());
+        assert_eq!(assignment.num_keyed_classes(), 0);
+    }
+}

@@ -1,0 +1,103 @@
+//! # schema-merge-core
+//!
+//! An implementation of the schema-merging calculus of **Buneman, Davidson
+//! & Kosky, *Theoretical Aspects of Schema Merging*, EDBT 1992**.
+//!
+//! Database schemas are directed graphs over classes with labelled
+//! *arrow* ("attribute of") edges and a *specialization* ("isa") partial
+//! order. Placing schemas in an information ordering with bounded joins
+//! makes the merge a **least upper bound**: associative, commutative and
+//! independent of the order in which schemas — or user assertions — are
+//! considered. The calculus proceeds in two steps:
+//!
+//! 1. [`merge::weak_join_all`] computes the least upper bound of
+//!    compatible [`WeakSchema`]s (§4.1);
+//! 2. [`complete::complete`] turns the result into a [`ProperSchema`] by
+//!    introducing *implicit classes* below incomparable arrow targets
+//!    (§4.2), named by their origin set (`{C,D}`).
+//!
+//! Around that core the crate provides: key constraints with the unique
+//! minimal satisfactory assignment (§5, [`keys`]), participation
+//! constraints and greatest-lower-bound *lower merges* (§6, [`lower`]),
+//! consistency-relation checks (§4.2, [`consistency`]), an interactive
+//! [`merge::MergeSession`], and alpha-isomorphism for comparing results
+//! modulo implicit-class naming ([`iso`]).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use schema_merge_core::prelude::*;
+//!
+//! // One database knows dogs by license, the other by name.
+//! let g1 = WeakSchema::builder()
+//!     .arrow("Dog", "license", "int")
+//!     .arrow("Dog", "owner", "Person")
+//!     .build()?;
+//! let g2 = WeakSchema::builder()
+//!     .arrow("Dog", "name", "string")
+//!     .specialize("Guide-dog", "Dog")
+//!     .build()?;
+//!
+//! let outcome = merge([&g1, &g2])?;
+//! let dog = Class::named("Dog");
+//! assert_eq!(outcome.proper.labels_of(&dog).len(), 3);
+//! assert!(outcome.proper.specializes(&Class::named("Guide-dog"), &dog));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod class;
+pub mod complete;
+pub mod consistency;
+pub mod diff;
+pub mod error;
+pub mod functional;
+pub mod iso;
+pub mod keys;
+pub mod lower;
+pub mod merge;
+pub mod name;
+mod order;
+pub mod participation;
+pub mod proper;
+pub mod rename;
+pub mod restructure;
+pub mod weak;
+
+pub use class::{Class, OriginSet};
+pub use complete::{complete, complete_with_report, CompletionReport, ImplicitClassInfo};
+pub use consistency::ConsistencyRelation;
+pub use diff::{diff, merge_contribution, SchemaDiff};
+pub use error::{CycleWitness, MergeError, SchemaError};
+pub use functional::{merge_functional, FunctionalSchema, Valence};
+pub use keys::{KeyAssignment, KeySet, SuperkeyFamily};
+pub use lower::{annotated_join, lower_complete, lower_merge, AnnotatedSchema, LowerCompletionReport};
+pub use merge::{are_compatible, merge, merge_consistent, weak_join, weak_join_all, MergeOutcome,
+    MergeSession};
+pub use name::{Label, Name};
+pub use participation::Participation;
+pub use proper::ProperSchema;
+pub use rename::{homonym_candidates, synonym_candidates, HomonymCandidate, RenameReport,
+    Renaming, SynonymCandidate};
+pub use restructure::{flatten_class, is_flattenable, reify_arrow, RestructureError,
+    RestructureOp, Restructuring};
+pub use weak::{SchemaBuilder, WeakSchema};
+
+/// The most commonly used items, for glob import.
+pub mod prelude {
+    pub use crate::class::Class;
+    pub use crate::complete::complete;
+    pub use crate::consistency::ConsistencyRelation;
+    pub use crate::error::{MergeError, SchemaError};
+    pub use crate::keys::{KeyAssignment, KeySet, SuperkeyFamily};
+    pub use crate::lower::{lower_complete, lower_merge, AnnotatedSchema};
+    pub use crate::merge::{merge, weak_join, weak_join_all, MergeSession};
+    pub use crate::name::{Label, Name};
+    pub use crate::participation::Participation;
+    pub use crate::proper::ProperSchema;
+    pub use crate::rename::Renaming;
+    pub use crate::restructure::Restructuring;
+    pub use crate::weak::WeakSchema;
+}

@@ -1,0 +1,489 @@
+//! The merge: least upper bounds of weak schemas (§4.1) and the full
+//! upper merge (weak join + completion, §4.2).
+//!
+//! Proposition 4.1: for compatible weak schemas the least upper bound under
+//! `⊑` exists and is computed component-wise —
+//!
+//! ```text
+//! C = C₁ ∪ C₂      S = (S₁ ∪ S₂)*      E = W1/W2-closure of (E₁ ∪ E₂)
+//! ```
+//!
+//! Being a least upper bound, the operation is **associative, commutative
+//! and idempotent**; merging any number of schemas in any order yields the
+//! same result. A collection is *compatible* iff `(S₁ ∪ … ∪ Sₙ)*` is
+//! antisymmetric; incompatibility is reported with a cycle witness.
+//!
+//! [`MergeSession`] packages the interactive workflow of §3: user
+//! assertions (`a₁ ⇒ a₂`, shared arrows) are themselves elementary schemas
+//! merged with the same operation, so the session's result is independent
+//! of the order in which schemas and assertions arrive.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::class::Class;
+use crate::complete::{complete_checked, complete_with_report, CompletionReport};
+use crate::consistency::ConsistencyRelation;
+use crate::error::{MergeError, SchemaError};
+use crate::name::Label;
+use crate::proper::ProperSchema;
+use crate::weak::WeakSchema;
+
+/// The least upper bound `G₁ ⊔ G₂` of two weak schemas (Prop. 4.1).
+///
+/// # Errors
+///
+/// [`MergeError::Incompatible`] when the union of the specialization
+/// relations is cyclic — no upper bound exists.
+pub fn weak_join(left: &WeakSchema, right: &WeakSchema) -> Result<WeakSchema, MergeError> {
+    weak_join_all([left, right])
+}
+
+/// The least upper bound of any finite collection of weak schemas.
+///
+/// Computed in one pass rather than by folding binary joins: the result is
+/// the same (associativity), but a single closure computation is cheaper
+/// and reports incompatibility cycles spanning several schemas directly.
+pub fn weak_join_all<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<WeakSchema, MergeError> {
+    let mut classes: BTreeSet<Class> = BTreeSet::new();
+    let mut spec: BTreeMap<Class, BTreeSet<Class>> = BTreeMap::new();
+    let mut arrows: Vec<(Class, Label, Class)> = Vec::new();
+    for schema in schemas {
+        classes.extend(schema.classes().cloned());
+        for (sub, sup) in schema.specialization_pairs() {
+            spec.entry(sub.clone()).or_default().insert(sup.clone());
+        }
+        arrows.extend(
+            schema
+                .arrow_triples()
+                .map(|(p, a, q)| (p.clone(), a.clone(), q.clone())),
+        );
+    }
+    WeakSchema::close(classes, spec, arrows).map_err(|err| match err {
+        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
+        other => MergeError::Schema(other),
+    })
+}
+
+/// Whether a collection of schemas is compatible (§4.1): the transitive
+/// closure of the union of their specialization relations is antisymmetric.
+pub fn are_compatible<'a>(schemas: impl IntoIterator<Item = &'a WeakSchema>) -> bool {
+    weak_join_all(schemas).is_ok()
+}
+
+/// The result of a full upper merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MergeOutcome {
+    /// The weak least upper bound of the inputs.
+    pub weak: WeakSchema,
+    /// The completed proper schema (the paper's merge, `Ḡ`).
+    pub proper: ProperSchema,
+    /// Provenance of the implicit classes completion introduced.
+    pub report: CompletionReport,
+}
+
+/// The paper's merge of a compatible collection of schemas: the weak least
+/// upper bound, completed into a proper schema (§4.2).
+pub fn merge<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<MergeOutcome, MergeError> {
+    let weak = weak_join_all(schemas)?;
+    let (proper, report) = complete_with_report(&weak)?;
+    Ok(MergeOutcome {
+        weak,
+        proper,
+        report,
+    })
+}
+
+/// [`merge`] under a consistency relationship: fails with
+/// [`MergeError::Inconsistent`] if an implicit class would identify classes
+/// declared inconsistent (§4.2).
+pub fn merge_consistent<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+    consistency: &ConsistencyRelation,
+) -> Result<MergeOutcome, MergeError> {
+    let weak = weak_join_all(schemas)?;
+    let (proper, report) = complete_checked(&weak, consistency)?;
+    Ok(MergeOutcome {
+        weak,
+        proper,
+        report,
+    })
+}
+
+/// An interactive merging session (§3).
+///
+/// Schemas and user assertions accumulate into a single weak schema — the
+/// running least upper bound. Because `⊔` is associative and commutative,
+/// the session state never depends on insertion order, and a completed
+/// view can be produced at any point without disturbing the session.
+///
+/// Failed additions leave the session unchanged, so an interactive tool
+/// can report the conflict and continue.
+#[derive(Debug, Clone, Default)]
+pub struct MergeSession {
+    current: WeakSchema,
+    consistency: ConsistencyRelation,
+}
+
+impl MergeSession {
+    /// An empty session with the permissive consistency relation.
+    pub fn new() -> Self {
+        MergeSession::default()
+    }
+
+    /// An empty session with the given consistency relation.
+    pub fn with_consistency(consistency: ConsistencyRelation) -> Self {
+        MergeSession {
+            current: WeakSchema::empty(),
+            consistency,
+        }
+    }
+
+    /// The accumulated weak schema.
+    pub fn current(&self) -> &WeakSchema {
+        &self.current
+    }
+
+    /// Mutable access to the consistency relation (assertions about
+    /// real-world class compatibility).
+    pub fn consistency_mut(&mut self) -> &mut ConsistencyRelation {
+        &mut self.consistency
+    }
+
+    /// Merges a weak schema into the session.
+    pub fn add_schema(&mut self, schema: &WeakSchema) -> Result<(), MergeError> {
+        let joined = weak_join(&self.current, schema)?;
+        self.current = joined;
+        Ok(())
+    }
+
+    /// Merges a previously *completed* schema into the session, stripping
+    /// its implicit classes first: they carry no information beyond their
+    /// origin (§4.2) and will be rediscovered by the next completion.
+    pub fn add_merged(&mut self, schema: &ProperSchema) -> Result<(), MergeError> {
+        let stripped = schema.as_weak().strip_implicit();
+        self.add_schema(&stripped)
+    }
+
+    /// Asserts `sub ⇒ sup` — an elementary two-class schema (§3).
+    pub fn assert_specialization(
+        &mut self,
+        sub: impl Into<Class>,
+        sup: impl Into<Class>,
+    ) -> Result<(), MergeError> {
+        let atom = WeakSchema::builder()
+            .specialize(sub, sup)
+            .build()
+            .map_err(MergeError::Schema)?;
+        self.add_schema(&atom)
+    }
+
+    /// Asserts the arrow `src --label--> tgt` as an elementary schema.
+    pub fn assert_arrow(
+        &mut self,
+        src: impl Into<Class>,
+        label: impl Into<Label>,
+        tgt: impl Into<Class>,
+    ) -> Result<(), MergeError> {
+        let atom = WeakSchema::builder()
+            .arrow(src, label, tgt)
+            .build()
+            .map_err(MergeError::Schema)?;
+        self.add_schema(&atom)
+    }
+
+    /// Completes the session's weak schema into the merged proper schema,
+    /// applying the consistency check.
+    pub fn merged(&self) -> Result<MergeOutcome, MergeError> {
+        let (proper, report) = complete_checked(&self.current, &self.consistency)?;
+        Ok(MergeOutcome {
+            weak: self.current.clone(),
+            proper,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::name::Label;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    fn dog_schema_one() -> WeakSchema {
+        // §3's example: Dog with License#, Owner, Breed.
+        WeakSchema::builder()
+            .arrow("Dog", "License#", "int")
+            .arrow("Dog", "Owner", "Person")
+            .arrow("Dog", "Breed", "breed")
+            .build()
+            .unwrap()
+    }
+
+    fn dog_schema_two() -> WeakSchema {
+        // §3's example: Dog with Name, Age, Breed.
+        WeakSchema::builder()
+            .arrow("Dog", "Name", "string")
+            .arrow("Dog", "Age", "int")
+            .arrow("Dog", "Breed", "breed")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn same_name_classes_collapse() {
+        // The §3 example: the two Dog classes merge into one carrying all
+        // five arrows.
+        let merged = weak_join(&dog_schema_one(), &dog_schema_two()).unwrap();
+        assert_eq!(merged.labels_of(&c("Dog")).len(), 5);
+        assert!(merged.has_arrow(&c("Dog"), &l("Breed"), &c("breed")));
+    }
+
+    #[test]
+    fn join_is_upper_bound() {
+        let g1 = dog_schema_one();
+        let g2 = dog_schema_two();
+        let joined = weak_join(&g1, &g2).unwrap();
+        assert!(g1.is_subschema_of(&joined));
+        assert!(g2.is_subschema_of(&joined));
+    }
+
+    #[test]
+    fn join_is_least() {
+        // Any other upper bound contains the join.
+        let g1 = dog_schema_one();
+        let g2 = dog_schema_two();
+        let joined = weak_join(&g1, &g2).unwrap();
+        let bigger = WeakSchema::builder()
+            .arrow("Dog", "License#", "int")
+            .arrow("Dog", "Owner", "Person")
+            .arrow("Dog", "Breed", "breed")
+            .arrow("Dog", "Name", "string")
+            .arrow("Dog", "Age", "int")
+            .arrow("Dog", "Extra", "thing")
+            .specialize("Puppy", "Dog")
+            .build()
+            .unwrap();
+        assert!(g1.is_subschema_of(&bigger) && g2.is_subschema_of(&bigger));
+        assert!(joined.is_subschema_of(&bigger));
+    }
+
+    #[test]
+    fn join_laws() {
+        let g1 = dog_schema_one();
+        let g2 = dog_schema_two();
+        let g3 = WeakSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .unwrap();
+
+        // Commutativity.
+        assert_eq!(weak_join(&g1, &g2).unwrap(), weak_join(&g2, &g1).unwrap());
+        // Associativity.
+        let left = weak_join(&weak_join(&g1, &g2).unwrap(), &g3).unwrap();
+        let right = weak_join(&g1, &weak_join(&g2, &g3).unwrap()).unwrap();
+        assert_eq!(left, right);
+        // n-ary agrees with folds.
+        assert_eq!(weak_join_all([&g1, &g2, &g3]).unwrap(), left);
+        // Idempotence and unit.
+        assert_eq!(weak_join(&g1, &g1).unwrap(), g1);
+        assert_eq!(weak_join(&g1, &WeakSchema::empty()).unwrap(), g1);
+    }
+
+    #[test]
+    fn incompatible_schemas_are_rejected_with_witness() {
+        let g1 = WeakSchema::builder().specialize("A", "B").build().unwrap();
+        let g2 = WeakSchema::builder().specialize("B", "A").build().unwrap();
+        // Each is fine alone; together the specialization order collapses.
+        match weak_join(&g1, &g2).unwrap_err() {
+            MergeError::Incompatible(witness) => {
+                assert_eq!(witness.path.first(), witness.path.last());
+                assert!(witness.path.contains(&c("A")));
+                assert!(witness.path.contains(&c("B")));
+            }
+            other => panic!("expected incompatibility, got {other}"),
+        }
+        assert!(!are_compatible([&g1, &g2]));
+        assert!(are_compatible([&g1, &g1]));
+    }
+
+    #[test]
+    fn three_way_incompatibility() {
+        // Pairwise compatible, jointly incompatible: A⇒B, B⇒C, C⇒A.
+        let g1 = WeakSchema::builder().specialize("A", "B").build().unwrap();
+        let g2 = WeakSchema::builder().specialize("B", "C").build().unwrap();
+        let g3 = WeakSchema::builder().specialize("C", "A").build().unwrap();
+        assert!(are_compatible([&g1, &g2]));
+        assert!(are_compatible([&g2, &g3]));
+        assert!(are_compatible([&g1, &g3]));
+        assert!(!are_compatible([&g1, &g2, &g3]));
+    }
+
+    #[test]
+    fn merge_produces_proper_schema() {
+        let g1 = WeakSchema::builder()
+            .specialize("C", "A1")
+            .specialize("C", "A2")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("A1", "a", "B1")
+            .arrow("A2", "a", "B2")
+            .build()
+            .unwrap();
+        let outcome = merge([&g1, &g2]).unwrap();
+        assert!(outcome.proper.check_d1());
+        assert!(outcome.proper.check_d2());
+        assert_eq!(outcome.report.num_implicit(), 1);
+        assert!(outcome.weak.is_subschema_of(outcome.proper.as_weak()));
+    }
+
+    #[test]
+    fn merge_order_independence_including_completion() {
+        // Figure 4's G1, G2, G3 (reconstructed): all six merge orders of
+        // the *paper's* merge agree, because completion happens once over
+        // the weak join. Stepwise protocols go through MergeSession.
+        let g1 = WeakSchema::builder()
+            .arrow("A", "a", "D")
+            .classes(["B", "C", "H"])
+            .specialize("B", "A")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder().arrow("B", "a", "E").build().unwrap();
+        let g3 = WeakSchema::builder().arrow("B", "a", "F").build().unwrap();
+
+        let orders: Vec<Vec<&WeakSchema>> = vec![
+            vec![&g1, &g2, &g3],
+            vec![&g1, &g3, &g2],
+            vec![&g2, &g1, &g3],
+            vec![&g2, &g3, &g1],
+            vec![&g3, &g1, &g2],
+            vec![&g3, &g2, &g1],
+        ];
+        let results: Vec<ProperSchema> = orders
+            .into_iter()
+            .map(|order| merge(order).unwrap().proper)
+            .collect();
+        for pair in results.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+        // And the single implicit class is {D,E,F} as §3 demands.
+        let def = Class::implicit([c("D"), c("E"), c("F")]);
+        assert!(results[0].contains_class(&def));
+        assert!(!results[0].contains_class(&Class::implicit([c("D"), c("E")])));
+    }
+
+    #[test]
+    fn session_accumulates_schemas_and_assertions() {
+        let mut session = MergeSession::new();
+        session.add_schema(&dog_schema_one()).unwrap();
+        session.add_schema(&dog_schema_two()).unwrap();
+        session.assert_specialization("Guide-dog", "Dog").unwrap();
+        let outcome = session.merged().unwrap();
+        assert!(outcome.proper.specializes(&c("Guide-dog"), &c("Dog")));
+        assert!(outcome
+            .proper
+            .has_arrow(&c("Guide-dog"), &l("Age"), &c("int")));
+    }
+
+    #[test]
+    fn session_assertion_order_is_irrelevant() {
+        let g1 = WeakSchema::builder().arrow("A1", "a", "B1").build().unwrap();
+        let g2 = WeakSchema::builder().arrow("A2", "a", "B2").build().unwrap();
+
+        let mut s1 = MergeSession::new();
+        s1.assert_specialization("C", "A1").unwrap();
+        s1.add_schema(&g1).unwrap();
+        s1.add_schema(&g2).unwrap();
+        s1.assert_specialization("C", "A2").unwrap();
+
+        let mut s2 = MergeSession::new();
+        s2.add_schema(&g2).unwrap();
+        s2.assert_specialization("C", "A2").unwrap();
+        s2.assert_specialization("C", "A1").unwrap();
+        s2.add_schema(&g1).unwrap();
+
+        assert_eq!(s1.current(), s2.current());
+        assert_eq!(s1.merged().unwrap().proper, s2.merged().unwrap().proper);
+    }
+
+    #[test]
+    fn session_failed_addition_leaves_state_intact() {
+        let mut session = MergeSession::new();
+        session.assert_specialization("A", "B").unwrap();
+        let before = session.current().clone();
+        let err = session.assert_specialization("B", "A").unwrap_err();
+        assert!(matches!(err, MergeError::Incompatible(_)));
+        assert_eq!(session.current(), &before);
+    }
+
+    #[test]
+    fn session_add_merged_strips_implicit() {
+        // First merge introduces {B1,B2}; feeding the completed result into
+        // a new session plus extra information must behave as if the
+        // original weak schemas had been merged directly.
+        let g1 = WeakSchema::builder()
+            .arrow("C", "a", "B1")
+            .arrow("C", "a", "B2")
+            .build()
+            .unwrap();
+        let first = merge([&g1]).unwrap();
+
+        let g2 = WeakSchema::builder().arrow("C", "a", "B3").build().unwrap();
+
+        let mut stepwise = MergeSession::new();
+        stepwise.add_merged(&first.proper).unwrap();
+        stepwise.add_schema(&g2).unwrap();
+        let stepwise_result = stepwise.merged().unwrap().proper;
+
+        let batch = merge([&g1, &g2]).unwrap().proper;
+        assert_eq!(stepwise_result, batch);
+        let b123 = Class::implicit([c("B1"), c("B2"), c("B3")]);
+        assert!(batch.contains_class(&b123));
+    }
+
+    #[test]
+    fn session_consistency_veto() {
+        let mut session = MergeSession::new();
+        session
+            .consistency_mut()
+            .declare_inconsistent(c("B1"), c("B2"));
+        session.assert_arrow("C", "a", "B1").unwrap();
+        session.assert_arrow("C", "a", "B2").unwrap();
+        let err = session.merged().unwrap_err();
+        assert!(matches!(err, MergeError::Inconsistent { .. }));
+    }
+
+    #[test]
+    fn merge_consistent_convenience() {
+        let g = WeakSchema::builder()
+            .arrow("C", "a", "B1")
+            .arrow("C", "a", "B2")
+            .build()
+            .unwrap();
+        let ok = merge_consistent([&g], &ConsistencyRelation::assume_consistent());
+        assert!(ok.is_ok());
+        let mut rel = ConsistencyRelation::assume_consistent();
+        rel.declare_inconsistent(c("B1"), c("B2"));
+        assert!(matches!(
+            merge_consistent([&g], &rel),
+            Err(MergeError::Inconsistent { .. })
+        ));
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let outcome = merge(std::iter::empty::<&WeakSchema>()).unwrap();
+        assert_eq!(outcome.proper.num_classes(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Interned identifiers for classes and arrow labels.
+//!
+//! The paper draws class names and arrow labels from two fixed vocabularies
+//! `N` and `L` (§2). Both are plain strings here; we wrap them in cheaply
+//! clonable, order-comparable handles because schemas copy names around
+//! heavily during closure computation and merging.
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::sync::Arc;
+
+/// A shared, immutable string used for both [`Name`]s and [`Label`]s.
+///
+/// Cloning is a reference-count bump. Ordering and hashing delegate to the
+/// underlying string, so two independently created symbols with the same
+/// text compare equal — interning is for cheap cloning, not identity.
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(crate) struct Symbol(Arc<str>);
+
+impl Symbol {
+    pub(crate) fn new(text: &str) -> Self {
+        Symbol(Arc::from(text))
+    }
+
+    pub(crate) fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.as_str())
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+macro_rules! string_handle {
+    ($(#[$doc:meta])* $vis:vis struct $ty:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        $vis struct $ty(Symbol);
+
+        impl $ty {
+            /// Creates a handle from the given text.
+            $vis fn new(text: impl AsRef<str>) -> Self {
+                $ty(Symbol::new(text.as_ref()))
+            }
+
+            /// The underlying text.
+            $vis fn as_str(&self) -> &str {
+                self.0.as_str()
+            }
+        }
+
+        impl fmt::Debug for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!(stringify!($ty), "({:?})"), self.as_str())
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.as_str())
+            }
+        }
+
+        impl From<&str> for $ty {
+            fn from(text: &str) -> Self {
+                $ty::new(text)
+            }
+        }
+
+        impl From<String> for $ty {
+            fn from(text: String) -> Self {
+                $ty::new(&text)
+            }
+        }
+
+        impl From<&$ty> for $ty {
+            fn from(handle: &$ty) -> Self {
+                handle.clone()
+            }
+        }
+
+        impl Borrow<str> for $ty {
+            fn borrow(&self) -> &str {
+                self.as_str()
+            }
+        }
+
+        impl AsRef<str> for $ty {
+            fn as_ref(&self) -> &str {
+                self.as_str()
+            }
+        }
+    };
+}
+
+string_handle! {
+    /// The name of a (named) class — an element of the vocabulary `N` (§2).
+    ///
+    /// The merge interprets equal names across schemas as the *same* class
+    /// (§3): renaming to resolve homonyms/synonyms is the user's
+    /// responsibility before merging.
+    pub struct Name
+}
+
+string_handle! {
+    /// An arrow label — an element of the vocabulary `L` (§2).
+    ///
+    /// `p --a--> q` states that every instance of class `p` has an
+    /// `a`-attribute belonging to class `q`.
+    pub struct Label
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn names_compare_by_content() {
+        let a1 = Name::new("Dog");
+        let a2 = Name::from("Dog");
+        let b = Name::new("Cat");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert!(b < a1, "Cat orders before Dog");
+    }
+
+    #[test]
+    fn labels_and_names_are_distinct_types() {
+        // Purely a compile-time property; keep a runtime witness anyway.
+        let n = Name::new("age");
+        let l = Label::new("age");
+        assert_eq!(n.as_str(), l.as_str());
+    }
+
+    #[test]
+    fn display_is_bare_text() {
+        assert_eq!(Name::new("Kennel").to_string(), "Kennel");
+        assert_eq!(Label::new("addr").to_string(), "addr");
+    }
+
+    #[test]
+    fn debug_includes_type() {
+        assert_eq!(format!("{:?}", Name::new("A")), "Name(\"A\")");
+        assert_eq!(format!("{:?}", Label::new("a")), "Label(\"a\")");
+    }
+
+    #[test]
+    fn usable_in_btreeset_with_str_lookup() {
+        let mut set = BTreeSet::new();
+        set.insert(Name::new("Person"));
+        assert!(set.contains("Person"));
+        assert!(!set.contains("Dog"));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = Name::new("VeryLongClassNameThatWouldBeExpensiveToCopy");
+        let b = a.clone();
+        // Arc-backed: both views point at the same allocation.
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+    }
+}

@@ -1,0 +1,337 @@
+//! Finite partial-order utilities shared by the schema machinery.
+//!
+//! A specialization relation `S` is stored as a *strict* adjacency map
+//! `x ↦ { y | x ⇒ y, x ≠ y }` ("everything strictly above x"), kept
+//! transitively closed. The paper's `S` is reflexive (§2); reflexivity is
+//! left implicit here and restored by the `_eq` query variants.
+//!
+//! All functions are generic over the node type so the same code serves
+//! classes (schemas), labels (key reasoning) and test scaffolding.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A strict, transitively closed "above" relation.
+pub(crate) type UpSet<T> = BTreeMap<T, BTreeSet<T>>;
+
+/// Computes the strict transitive closure of `edges`, or returns a cycle
+/// witness `v0 → v1 → … → v0` if the relation is not antisymmetric.
+///
+/// Self-loops in the input are tolerated (the paper's `S` is reflexive) and
+/// simply dropped from the strict closure.
+pub(crate) fn transitive_closure<T: Ord + Clone>(
+    edges: &BTreeMap<T, BTreeSet<T>>,
+) -> Result<UpSet<T>, Vec<T>> {
+    // Iterative DFS with memoized reach sets. Gray nodes are on the current
+    // stack; reaching one again is a cycle.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+
+    let mut nodes: BTreeSet<&T> = BTreeSet::new();
+    for (src, dsts) in edges {
+        nodes.insert(src);
+        nodes.extend(dsts.iter());
+    }
+
+    let mut color: BTreeMap<&T, Color> = nodes.iter().map(|&n| (n, Color::White)).collect();
+    let mut reach: BTreeMap<T, BTreeSet<T>> = BTreeMap::new();
+    let empty = BTreeSet::new();
+
+    for &root in &nodes {
+        if color[root] != Color::White {
+            continue;
+        }
+        // Stack of (node, whether children were already expanded).
+        let mut stack: Vec<(&T, bool)> = vec![(root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                // Post-order: fold children's reach sets.
+                let mut set = BTreeSet::new();
+                for next in edges.get(node).unwrap_or(&empty) {
+                    if next == node {
+                        continue; // tolerated self-loop
+                    }
+                    set.insert(next.clone());
+                    if let Some(r) = reach.get(next) {
+                        set.extend(r.iter().cloned());
+                    }
+                }
+                color.insert(node, Color::Black);
+                reach.insert(node.clone(), set);
+                continue;
+            }
+            match color[node] {
+                Color::Black => continue,
+                Color::Gray => continue, // revisit through another parent
+                Color::White => {}
+            }
+            color.insert(node, Color::Gray);
+            stack.push((node, true));
+            for next in edges.get(node).unwrap_or(&empty) {
+                if next == node {
+                    continue;
+                }
+                match color[next] {
+                    Color::White => stack.push((next, false)),
+                    Color::Gray => {
+                        // `next` is an ancestor on the DFS stack: cycle.
+                        return Err(extract_cycle(edges, next));
+                    }
+                    Color::Black => {}
+                }
+            }
+        }
+    }
+
+    reach.retain(|_, ups| !ups.is_empty());
+    Ok(reach)
+}
+
+/// Reconstructs a concrete (shortest) cycle through `start`, which is known
+/// to lie on one: a BFS from `start` records predecessors until an edge
+/// back into `start` is found, then the path is read off backwards. Every
+/// consecutive pair of the result is an edge of `edges`.
+fn extract_cycle<T: Ord + Clone>(edges: &BTreeMap<T, BTreeSet<T>>, start: &T) -> Vec<T> {
+    let empty = BTreeSet::new();
+    let mut pred: BTreeMap<&T, &T> = BTreeMap::new();
+    let mut queue: VecDeque<&T> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(node) = queue.pop_front() {
+        for next in edges.get(node).unwrap_or(&empty) {
+            if next == start {
+                // Close the cycle: start →* node → start, read backwards.
+                let mut rev = vec![start.clone(), node.clone()];
+                let mut current = node;
+                while current != start {
+                    current = pred[current];
+                    rev.push(current.clone());
+                }
+                rev.reverse();
+                return rev;
+            }
+            if next != node && !pred.contains_key(next) {
+                pred.insert(next, node);
+                queue.push_back(next);
+            }
+        }
+    }
+    // Defensive: `start` was not on a cycle after all; report a trivial
+    // witness rather than panicking inside error reporting.
+    vec![start.clone(), start.clone()]
+}
+
+/// Whether `sub` is strictly below `sup` in the closed relation.
+pub(crate) fn lt<T: Ord>(up: &UpSet<T>, sub: &T, sup: &T) -> bool {
+    up.get(sub).is_some_and(|s| s.contains(sup))
+}
+
+/// Whether `sub ⇒ sup` including reflexivity (`sub == sup`).
+pub(crate) fn le<T: Ord>(up: &UpSet<T>, sub: &T, sup: &T) -> bool {
+    sub == sup || lt(up, sub, sup)
+}
+
+/// The minimal elements of `set`: members with no other member strictly
+/// below them. This is the paper's `MinS(X)` (§4.2).
+pub(crate) fn minimal_elements<'a, T: Ord + 'a>(
+    up: &UpSet<T>,
+    set: impl IntoIterator<Item = &'a T>,
+) -> BTreeSet<&'a T> {
+    let members: Vec<&T> = set.into_iter().collect();
+    members
+        .iter()
+        .copied()
+        .filter(|&candidate| {
+            !members
+                .iter()
+                .any(|&other| other != candidate && lt(up, other, candidate))
+        })
+        .collect()
+}
+
+/// The maximal elements of `set`: members with no other member strictly
+/// above them (the dual of [`minimal_elements`], used by lower merges).
+pub(crate) fn maximal_elements<'a, T: Ord + 'a>(
+    up: &UpSet<T>,
+    set: impl IntoIterator<Item = &'a T>,
+) -> BTreeSet<&'a T> {
+    let members: Vec<&T> = set.into_iter().collect();
+    members
+        .iter()
+        .copied()
+        .filter(|&candidate| {
+            !members
+                .iter()
+                .any(|&other| other != candidate && lt(up, candidate, other))
+        })
+        .collect()
+}
+
+/// The least element of `set` (below-or-equal every member), if any.
+///
+/// For finite posets this is exactly "the unique minimal element", which is
+/// how condition 1 of §2 (canonical classes) is checked.
+pub(crate) fn least_element<'a, T: Ord + 'a>(
+    up: &UpSet<T>,
+    set: impl IntoIterator<Item = &'a T> + Clone,
+) -> Option<&'a T> {
+    let minimal = minimal_elements(up, set.clone());
+    if minimal.len() != 1 {
+        return None;
+    }
+    let candidate = *minimal.iter().next().expect("len checked");
+    set.into_iter()
+        .all(|member| le(up, candidate, member))
+        .then_some(candidate)
+}
+
+/// Checks that `up` is transitively closed and irreflexive — the invariant
+/// every stored specialization relation maintains. Used by debug assertions
+/// and validation tests.
+pub(crate) fn is_strictly_closed<T: Ord>(up: &UpSet<T>) -> bool {
+    for (node, ups) in up {
+        if ups.contains(node) {
+            return false;
+        }
+        for mid in ups {
+            for far in up.get(mid).map(|s| s.iter()).into_iter().flatten() {
+                if !ups.contains(far) {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edges(pairs: &[(&str, &str)]) -> BTreeMap<String, BTreeSet<String>> {
+        let mut map: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for (a, b) in pairs {
+            map.entry(a.to_string()).or_default().insert(b.to_string());
+        }
+        map
+    }
+
+    fn set(items: &[&str]) -> BTreeSet<String> {
+        items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn closure_of_chain() {
+        let up = transitive_closure(&edges(&[("a", "b"), ("b", "c")])).unwrap();
+        assert_eq!(up["a"], set(&["b", "c"]));
+        assert_eq!(up["b"], set(&["c"]));
+        assert!(!up.contains_key("c"), "empty entries are dropped");
+        assert!(is_strictly_closed(&up));
+    }
+
+    #[test]
+    fn closure_of_diamond() {
+        let up = transitive_closure(&edges(&[("d", "b"), ("d", "c"), ("b", "a"), ("c", "a")]))
+            .unwrap();
+        assert_eq!(up["d"], set(&["a", "b", "c"]));
+        assert_eq!(up["b"], set(&["a"]));
+        assert!(is_strictly_closed(&up));
+    }
+
+    #[test]
+    fn closure_tolerates_self_loops() {
+        let up = transitive_closure(&edges(&[("a", "a"), ("a", "b")])).unwrap();
+        assert_eq!(up["a"], set(&["b"]));
+    }
+
+    #[test]
+    fn closure_detects_two_cycle() {
+        let err = transitive_closure(&edges(&[("a", "b"), ("b", "a")])).unwrap_err();
+        assert_eq!(err.first(), err.last());
+        assert!(err.len() >= 3, "cycle path closes on itself: {err:?}");
+    }
+
+    #[test]
+    fn closure_detects_long_cycle() {
+        let err =
+            transitive_closure(&edges(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]))
+                .unwrap_err();
+        assert_eq!(err.first(), err.last());
+        // The witness must actually follow edges.
+        let e = edges(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]);
+        for pair in err.windows(2) {
+            assert!(e[&pair[0]].contains(&pair[1]), "non-edge in witness: {pair:?}");
+        }
+    }
+
+    #[test]
+    fn closure_of_empty_and_disconnected() {
+        assert!(transitive_closure::<String>(&BTreeMap::new()).unwrap().is_empty());
+        let up = transitive_closure(&edges(&[("a", "b"), ("x", "y")])).unwrap();
+        assert_eq!(up["a"], set(&["b"]));
+        assert_eq!(up["x"], set(&["y"]));
+    }
+
+    #[test]
+    fn le_and_lt() {
+        let up = transitive_closure(&edges(&[("a", "b")])).unwrap();
+        assert!(lt(&up, &"a".to_string(), &"b".to_string()));
+        assert!(!lt(&up, &"b".to_string(), &"a".to_string()));
+        assert!(le(&up, &"a".to_string(), &"a".to_string()), "reflexive");
+        assert!(!lt(&up, &"a".to_string(), &"a".to_string()), "strict");
+    }
+
+    #[test]
+    fn minimal_of_antichain_is_everything() {
+        let up = transitive_closure(&edges(&[("x", "top")])).unwrap();
+        let s = set(&["a", "b", "c"]);
+        let min = minimal_elements(&up, &s);
+        assert_eq!(min.len(), 3);
+    }
+
+    #[test]
+    fn minimal_respects_order() {
+        // c ⇒ a, c ⇒ b: MinS({a,b,c}) = {c}.
+        let up = transitive_closure(&edges(&[("c", "a"), ("c", "b")])).unwrap();
+        let s = set(&["a", "b", "c"]);
+        let min = minimal_elements(&up, &s);
+        assert_eq!(min.into_iter().cloned().collect::<BTreeSet<_>>(), set(&["c"]));
+    }
+
+    #[test]
+    fn maximal_is_dual() {
+        let up = transitive_closure(&edges(&[("c", "a"), ("c", "b")])).unwrap();
+        let s = set(&["a", "b", "c"]);
+        let max = maximal_elements(&up, &s);
+        assert_eq!(
+            max.into_iter().cloned().collect::<BTreeSet<_>>(),
+            set(&["a", "b"])
+        );
+    }
+
+    #[test]
+    fn least_exists_only_with_unique_minimum_below_all() {
+        let up = transitive_closure(&edges(&[("c", "a"), ("c", "b")])).unwrap();
+        let s = set(&["a", "b", "c"]);
+        assert_eq!(least_element(&up, &s), Some(&"c".to_string()));
+
+        // {a, b} has two minimal elements, no least.
+        let ab = set(&["a", "b"]);
+        assert_eq!(least_element(&up, &ab), None);
+
+        // Singleton is trivially least.
+        let single = set(&["a"]);
+        assert_eq!(least_element(&up, &single), Some(&"a".to_string()));
+    }
+
+    #[test]
+    fn is_strictly_closed_rejects_unclosed() {
+        // a→b, b→c without a→c.
+        let mut up: UpSet<String> = BTreeMap::new();
+        up.insert("a".into(), set(&["b"]));
+        up.insert("b".into(), set(&["c"]));
+        assert!(!is_strictly_closed(&up));
+    }
+}

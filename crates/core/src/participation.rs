@@ -1,0 +1,205 @@
+//! Participation constraints (§6, Fig. 11).
+//!
+//! Every arrow of an annotated schema carries one of three constraints:
+//!
+//! * `1` — every instance of the source **must** have the attribute,
+//! * `0/1` — an instance **may** have it,
+//! * `0` — an instance **may not** have it (the implied constraint of an
+//!   arrow that is not drawn).
+//!
+//! In the *information* ordering, `0/1` is the bottom — it says the least —
+//! while `0` and `1` are incomparable maximal elements:
+//!
+//! ```text
+//!       0       1
+//!        \     /
+//!         0 / 1        (Fig. 11, information order)
+//! ```
+//!
+//! The lower merge takes per-arrow meets (weakest common statement); the
+//! upper merge takes joins, which fail on `0` vs `1` — one schema requires
+//! what the other forbids.
+
+use std::fmt;
+
+/// A participation constraint on an arrow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Participation {
+    /// `0`: instances may not have the attribute (undrawn arrows).
+    Zero,
+    /// `0/1`: instances may or may not have the attribute.
+    ZeroOrOne,
+    /// `1`: instances must have the attribute.
+    One,
+}
+
+impl Participation {
+    /// All three constraints, for exhaustive tests.
+    pub const ALL: [Participation; 3] =
+        [Participation::Zero, Participation::ZeroOrOne, Participation::One];
+
+    /// The information order: `0/1 ≤ 0`, `0/1 ≤ 1`, reflexivity.
+    pub fn le(self, other: Participation) -> bool {
+        self == other || self == Participation::ZeroOrOne
+    }
+
+    /// The meet (greatest lower bound) in the information order — the
+    /// combination rule of the lower merge (§6): agreeing constraints stay,
+    /// disagreeing ones weaken to `0/1`.
+    pub fn meet(self, other: Participation) -> Participation {
+        if self == other {
+            self
+        } else {
+            Participation::ZeroOrOne
+        }
+    }
+
+    /// The join (least upper bound) in the information order, used by upper
+    /// merges of annotated schemas. `None` for `0` vs `1`: the schemas make
+    /// contradictory demands and no upper bound exists.
+    pub fn join(self, other: Participation) -> Option<Participation> {
+        match (self, other) {
+            (a, b) if a == b => Some(a),
+            (Participation::ZeroOrOne, x) | (x, Participation::ZeroOrOne) => Some(x),
+            _ => None,
+        }
+    }
+
+    /// Whether an arrow with this constraint is drawn at all. The paper's
+    /// convention: `0`-arrows are omitted from diagrams and relations.
+    pub fn is_present(self) -> bool {
+        self != Participation::Zero
+    }
+
+    /// Whether instances are required to carry the attribute.
+    pub fn is_required(self) -> bool {
+        self == Participation::One
+    }
+}
+
+impl fmt::Display for Participation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Participation::Zero => write!(f, "0"),
+            Participation::ZeroOrOne => write!(f, "0/1"),
+            Participation::One => write!(f, "1"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use Participation::*;
+
+    #[test]
+    fn meet_table() {
+        assert_eq!(Zero.meet(Zero), Zero);
+        assert_eq!(One.meet(One), One);
+        assert_eq!(ZeroOrOne.meet(ZeroOrOne), ZeroOrOne);
+        // The §6 example: an arrow present (1) in one schema and absent (0)
+        // in another becomes optional.
+        assert_eq!(One.meet(Zero), ZeroOrOne);
+        assert_eq!(Zero.meet(ZeroOrOne), ZeroOrOne);
+        assert_eq!(One.meet(ZeroOrOne), ZeroOrOne);
+    }
+
+    #[test]
+    fn join_table() {
+        assert_eq!(Zero.join(Zero), Some(Zero));
+        assert_eq!(One.join(One), Some(One));
+        assert_eq!(ZeroOrOne.join(One), Some(One));
+        assert_eq!(ZeroOrOne.join(Zero), Some(Zero));
+        assert_eq!(One.join(Zero), None, "required vs forbidden");
+        assert_eq!(Zero.join(One), None);
+    }
+
+    #[test]
+    fn semilattice_laws() {
+        for a in Participation::ALL {
+            assert_eq!(a.meet(a), a, "idempotent");
+            for b in Participation::ALL {
+                assert_eq!(a.meet(b), b.meet(a), "commutative");
+                for c in Participation::ALL {
+                    assert_eq!(a.meet(b).meet(c), a.meet(b.meet(c)), "associative");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn meet_is_glb_of_le() {
+        for a in Participation::ALL {
+            for b in Participation::ALL {
+                let m = a.meet(b);
+                assert!(m.le(a) && m.le(b), "lower bound");
+                for c in Participation::ALL {
+                    if c.le(a) && c.le(b) {
+                        assert!(c.le(m), "greatest lower bound");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn join_is_lub_of_le() {
+        for a in Participation::ALL {
+            for b in Participation::ALL {
+                match a.join(b) {
+                    Some(j) => {
+                        assert!(a.le(j) && b.le(j), "upper bound");
+                        for c in Participation::ALL {
+                            if a.le(c) && b.le(c) {
+                                assert!(j.le(c), "least upper bound");
+                            }
+                        }
+                    }
+                    None => {
+                        // No upper bound exists at all.
+                        for c in Participation::ALL {
+                            assert!(!(a.le(c) && b.le(c)));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn le_is_partial_order() {
+        for a in Participation::ALL {
+            assert!(a.le(a));
+            for b in Participation::ALL {
+                if a.le(b) && b.le(a) {
+                    assert_eq!(a, b, "antisymmetric");
+                }
+                for c in Participation::ALL {
+                    if a.le(b) && b.le(c) {
+                        assert!(a.le(c), "transitive");
+                    }
+                }
+            }
+        }
+        assert!(ZeroOrOne.le(Zero));
+        assert!(ZeroOrOne.le(One));
+        assert!(!Zero.le(One));
+        assert!(!One.le(Zero));
+    }
+
+    #[test]
+    fn display_matches_paper() {
+        assert_eq!(Zero.to_string(), "0");
+        assert_eq!(ZeroOrOne.to_string(), "0/1");
+        assert_eq!(One.to_string(), "1");
+    }
+
+    #[test]
+    fn presence_and_requirement() {
+        assert!(!Zero.is_present());
+        assert!(ZeroOrOne.is_present());
+        assert!(One.is_present());
+        assert!(One.is_required());
+        assert!(!ZeroOrOne.is_required());
+    }
+}

@@ -1,0 +1,618 @@
+//! Renaming: the §3 naming-conflict workflow as a first-class operation.
+//!
+//! "The designer of the system must be called upon to resolve naming
+//! conflicts, whether homonyms or synonyms, by renaming classes and
+//! arrows where appropriate" (§3). A [`Renaming`] is a finite map on the
+//! class vocabulary `N` and the label vocabulary `L`; applying it to a
+//! schema rewrites every class and arrow label, re-closes the result and
+//! reports any classes or labels that were deliberately *unified* (a
+//! non-injective renaming is how synonyms are collapsed).
+//!
+//! Renamings also act on implicit classes by renaming inside their origin
+//! sets, so a merge result can be renamed and re-merged without losing
+//! the §4.2 origin-tracking that makes stepwise merging associative.
+//!
+//! The module also offers the heuristics an interactive front-end needs
+//! to *propose* renamings: [`synonym_candidates`] (different names,
+//! similar arrow signatures) and [`homonym_candidates`] (same name,
+//! dissimilar signatures). Per §3 these are inherently ad hoc — they rank
+//! suggestions for a designer, they never fire automatically.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::class::Class;
+use crate::error::SchemaError;
+use crate::name::{Label, Name};
+use crate::weak::WeakSchema;
+
+/// A finite renaming of class names and arrow labels.
+///
+/// Identity outside its explicit entries. Non-injective maps are allowed
+/// and meaningful: mapping `GS` and `Student` to the same name asserts
+/// they are synonyms, and applying the renaming collapses them into one
+/// class (the merge then treats them as identical, §3).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Renaming {
+    classes: BTreeMap<Name, Name>,
+    labels: BTreeMap<Label, Label>,
+}
+
+/// What a [`Renaming::apply`] call actually changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RenameReport {
+    /// Groups of two or more distinct source classes that now share a
+    /// name — the synonym unifications.
+    pub unified_classes: Vec<BTreeSet<Name>>,
+    /// Groups of two or more distinct source labels that now share a
+    /// spelling.
+    pub unified_labels: Vec<BTreeSet<Label>>,
+    /// Number of classes whose name changed.
+    pub classes_renamed: usize,
+    /// Number of arrow triples whose label changed.
+    pub arrows_relabelled: usize,
+}
+
+impl RenameReport {
+    /// Whether the renaming was a no-op on the schema it was applied to.
+    pub fn is_noop(&self) -> bool {
+        self.classes_renamed == 0 && self.arrows_relabelled == 0
+    }
+}
+
+impl Renaming {
+    /// The identity renaming.
+    pub fn new() -> Self {
+        Renaming::default()
+    }
+
+    /// Adds a class rename `from → to`.
+    pub fn class(mut self, from: impl Into<Name>, to: impl Into<Name>) -> Self {
+        self.classes.insert(from.into(), to.into());
+        self
+    }
+
+    /// Adds an arrow-label rename `from → to`.
+    pub fn label(mut self, from: impl Into<Label>, to: impl Into<Label>) -> Self {
+        self.labels.insert(from.into(), to.into());
+        self
+    }
+
+    /// Whether this renaming has no entries at all.
+    pub fn is_identity(&self) -> bool {
+        self.classes.iter().all(|(from, to)| from == to)
+            && self.labels.iter().all(|(from, to)| from == to)
+    }
+
+    /// The image of a class name.
+    pub fn map_name(&self, name: &Name) -> Name {
+        self.classes.get(name).cloned().unwrap_or_else(|| name.clone())
+    }
+
+    /// The image of an arrow label.
+    pub fn map_label(&self, label: &Label) -> Label {
+        self.labels.get(label).cloned().unwrap_or_else(|| label.clone())
+    }
+
+    /// The image of a class: named classes via the name map, implicit
+    /// classes by renaming inside their origin set (which may shrink it —
+    /// unifying two origins of a `{C,D}` class turns it back into the
+    /// named class the origins collapsed to).
+    pub fn map_class(&self, class: &Class) -> Class {
+        match class {
+            Class::Named(name) => Class::Named(self.map_name(name)),
+            Class::Implicit(origin) => {
+                let members: Vec<Class> =
+                    origin.iter().map(|n| Class::Named(self.map_name(n))).collect();
+                Class::try_implicit(members.clone())
+                    .unwrap_or_else(|| members.into_iter().next().expect("origin is non-empty"))
+            }
+            Class::ImplicitUnion(origin) => {
+                let members: Vec<Class> =
+                    origin.iter().map(|n| Class::Named(self.map_name(n))).collect();
+                Class::try_implicit_union(members.clone())
+                    .unwrap_or_else(|| members.into_iter().next().expect("origin is non-empty"))
+            }
+        }
+    }
+
+    /// Sequential composition: `self.then(other)` first applies `self`,
+    /// then `other`.
+    pub fn then(&self, other: &Renaming) -> Renaming {
+        let mut classes = BTreeMap::new();
+        for (from, to) in &self.classes {
+            classes.insert(from.clone(), other.map_name(to));
+        }
+        for (from, to) in &other.classes {
+            classes.entry(from.clone()).or_insert_with(|| to.clone());
+        }
+        let mut labels = BTreeMap::new();
+        for (from, to) in &self.labels {
+            labels.insert(from.clone(), other.map_label(to));
+        }
+        for (from, to) in &other.labels {
+            labels.entry(from.clone()).or_insert_with(|| to.clone());
+        }
+        Renaming { classes, labels }
+    }
+
+    /// Whether the renaming is injective on the classes of `schema`
+    /// (i.e. it only *re-labels*, never unifies). Homonym separation
+    /// requires injectivity; synonym unification deliberately breaks it.
+    pub fn is_injective_on(&self, schema: &WeakSchema) -> bool {
+        let mut seen = BTreeSet::new();
+        schema.classes().all(|class| seen.insert(self.map_class(class)))
+    }
+
+    /// Applies the renaming to a schema, re-closing the result.
+    ///
+    /// Fails with [`SchemaError`] if a unification creates a
+    /// specialization cycle (e.g. renaming `C` to `A` in `A ⇒ B ⇒ C`):
+    /// the collapsed schema would not have an antisymmetric `S`, so per
+    /// §4.1 it is not a schema at all.
+    pub fn apply(&self, schema: &WeakSchema) -> Result<(WeakSchema, RenameReport), SchemaError> {
+        let mut builder = WeakSchema::builder();
+        let mut class_images: BTreeMap<Class, Class> = BTreeMap::new();
+        for class in schema.classes() {
+            let image = self.map_class(class);
+            class_images.insert(class.clone(), image.clone());
+            builder = builder.class(image);
+        }
+        for (sub, sup) in schema.specialization_pairs() {
+            if sub == sup {
+                continue;
+            }
+            builder = builder.specialize(class_images[sub].clone(), class_images[sup].clone());
+        }
+        let mut arrows_relabelled = 0usize;
+        for (src, label, tgt) in schema.arrow_triples() {
+            let new_label = self.map_label(label);
+            if &new_label != label {
+                arrows_relabelled += 1;
+            }
+            builder = builder.arrow(
+                class_images[src].clone(),
+                new_label,
+                class_images[tgt].clone(),
+            );
+        }
+        let renamed = builder.build()?;
+
+        let mut by_image: BTreeMap<Class, BTreeSet<Name>> = BTreeMap::new();
+        let mut classes_renamed = 0usize;
+        for (class, image) in &class_images {
+            if class != image {
+                classes_renamed += 1;
+            }
+            if let (Class::Named(name), Class::Named(_)) = (class, image) {
+                by_image.entry(image.clone()).or_default().insert(name.clone());
+            }
+        }
+        let unified_classes: Vec<BTreeSet<Name>> =
+            by_image.into_values().filter(|group| group.len() > 1).collect();
+
+        let mut label_groups: BTreeMap<Label, BTreeSet<Label>> = BTreeMap::new();
+        for label in schema.all_labels() {
+            label_groups.entry(self.map_label(&label)).or_default().insert(label);
+        }
+        let unified_labels: Vec<BTreeSet<Label>> =
+            label_groups.into_values().filter(|group| group.len() > 1).collect();
+
+        Ok((
+            renamed,
+            RenameReport {
+                unified_classes,
+                unified_labels,
+                classes_renamed,
+                arrows_relabelled,
+            },
+        ))
+    }
+}
+
+impl fmt::Display for Renaming {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut first = true;
+        for (from, to) in &self.classes {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, "{from}→{to}")?;
+            first = false;
+        }
+        for (from, to) in &self.labels {
+            if !first {
+                write!(f, ", ")?;
+            }
+            write!(f, ".{from}→.{to}")?;
+            first = false;
+        }
+        if first {
+            write!(f, "(identity)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A ranked suggestion that `left` (in one schema) and `right` (in the
+/// other) name the same real-world class under different spellings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SynonymCandidate {
+    /// The class name in the left schema.
+    pub left: Name,
+    /// The class name in the right schema.
+    pub right: Name,
+    /// Jaccard similarity of the outgoing arrow-label signatures, in
+    /// `(0, 1]`.
+    pub similarity: f64,
+    /// The labels the two signatures share.
+    pub shared_labels: BTreeSet<Label>,
+}
+
+impl SynonymCandidate {
+    /// The renaming that would unify the pair (right takes left's name).
+    pub fn unifying_renaming(&self) -> Renaming {
+        Renaming::new().class(self.right.clone(), self.left.clone())
+    }
+}
+
+/// A warning that the two schemas use the same class name with
+/// substantially different arrow signatures — a possible homonym that the
+/// merge would silently collapse (§3: "if two classes in different
+/// schemas have the same name, then they are the same class").
+#[derive(Debug, Clone, PartialEq)]
+pub struct HomonymCandidate {
+    /// The shared spelling.
+    pub name: Name,
+    /// Labels only the left schema gives the class.
+    pub left_only: BTreeSet<Label>,
+    /// Labels only the right schema gives the class.
+    pub right_only: BTreeSet<Label>,
+    /// Jaccard similarity of the signatures (low = suspicious).
+    pub similarity: f64,
+}
+
+impl HomonymCandidate {
+    /// A renaming that separates the homonym by suffixing the right
+    /// schema's copy.
+    pub fn separating_renaming(&self, suffix: &str) -> Renaming {
+        let fresh = Name::new(format!("{}{suffix}", self.name));
+        Renaming::new().class(self.name.clone(), fresh)
+    }
+}
+
+fn signature(schema: &WeakSchema, class: &Class) -> BTreeSet<Label> {
+    schema.labels_of(class)
+}
+
+fn jaccard(a: &BTreeSet<Label>, b: &BTreeSet<Label>) -> f64 {
+    if a.is_empty() && b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count() as f64;
+    let union = a.union(b).count() as f64;
+    inter / union
+}
+
+/// Proposes synonym pairs across two schemas: named classes with
+/// *different* names whose outgoing label signatures overlap with Jaccard
+/// similarity at least `min_similarity` (strictly positive). Pairs whose
+/// names already co-occur in both schemas are skipped — the merge will
+/// unify those by itself. Sorted by descending similarity, then name.
+pub fn synonym_candidates(
+    left: &WeakSchema,
+    right: &WeakSchema,
+    min_similarity: f64,
+) -> Vec<SynonymCandidate> {
+    let left_names: BTreeSet<&Name> = left.classes().filter_map(Class::name).collect();
+    let right_names: BTreeSet<&Name> = right.classes().filter_map(Class::name).collect();
+    let mut out = Vec::new();
+    for l in &left_names {
+        if right_names.contains(*l) {
+            continue;
+        }
+        let sig_l = signature(left, &Class::Named((*l).clone()));
+        if sig_l.is_empty() {
+            continue;
+        }
+        for r in &right_names {
+            if left_names.contains(*r) {
+                continue;
+            }
+            let sig_r = signature(right, &Class::Named((*r).clone()));
+            let similarity = jaccard(&sig_l, &sig_r);
+            if similarity >= min_similarity && similarity > 0.0 {
+                out.push(SynonymCandidate {
+                    left: (*l).clone(),
+                    right: (*r).clone(),
+                    similarity,
+                    shared_labels: sig_l.intersection(&sig_r).cloned().collect(),
+                });
+            }
+        }
+    }
+    out.sort_by(|a, b| {
+        b.similarity
+            .partial_cmp(&a.similarity)
+            .expect("similarities are finite")
+            .then_with(|| (&a.left, &a.right).cmp(&(&b.left, &b.right)))
+    });
+    out
+}
+
+/// Flags names shared by the two schemas whose label signatures overlap
+/// with Jaccard similarity at most `max_similarity` (and which have at
+/// least one arrow on each side, so there is evidence of a clash).
+/// Sorted by ascending similarity — most suspicious first.
+pub fn homonym_candidates(
+    left: &WeakSchema,
+    right: &WeakSchema,
+    max_similarity: f64,
+) -> Vec<HomonymCandidate> {
+    let mut out = Vec::new();
+    for class in left.classes() {
+        let Class::Named(name) = class else { continue };
+        if !right.contains_class(class) {
+            continue;
+        }
+        let sig_l = signature(left, class);
+        let sig_r = signature(right, class);
+        if sig_l.is_empty() || sig_r.is_empty() {
+            continue;
+        }
+        let similarity = jaccard(&sig_l, &sig_r);
+        if similarity <= max_similarity {
+            out.push(HomonymCandidate {
+                name: name.clone(),
+                left_only: sig_l.difference(&sig_r).cloned().collect(),
+                right_only: sig_r.difference(&sig_l).cloned().collect(),
+                similarity,
+            });
+        }
+    }
+    out.sort_by(|a, b| {
+        a.similarity
+            .partial_cmp(&b.similarity)
+            .expect("similarities are finite")
+            .then_with(|| a.name.cmp(&b.name))
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::{merge, weak_join};
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn dogs_by_license() -> WeakSchema {
+        WeakSchema::builder()
+            .arrow("Dog", "license", "int")
+            .arrow("Dog", "owner", "Person")
+            .build()
+            .expect("valid schema")
+    }
+
+    fn hounds_by_name() -> WeakSchema {
+        WeakSchema::builder()
+            .arrow("Hound", "name", "string")
+            .arrow("Hound", "owner", "Person")
+            .specialize("Guide-hound", "Hound")
+            .build()
+            .expect("valid schema")
+    }
+
+    #[test]
+    fn identity_renaming_is_noop() {
+        let g = dogs_by_license();
+        let (renamed, report) = Renaming::new().apply(&g).expect("identity applies");
+        assert_eq!(renamed, g);
+        assert!(report.is_noop());
+        assert!(Renaming::new().is_identity());
+    }
+
+    #[test]
+    fn renames_classes_and_labels() {
+        let g = hounds_by_name();
+        let renaming = Renaming::new().class("Hound", "Dog").label("name", "called");
+        let (renamed, report) = renaming.apply(&g).expect("applies");
+        let dog = c("Dog");
+        assert!(renamed.contains_class(&dog));
+        assert!(!renamed.contains_class(&c("Hound")));
+        assert!(renamed.labels_of(&dog).contains(&Label::new("called")));
+        assert!(renamed.specializes(&c("Guide-hound"), &dog));
+        assert_eq!(report.classes_renamed, 1);
+        assert!(report.arrows_relabelled >= 1);
+        assert!(report.unified_classes.is_empty());
+    }
+
+    #[test]
+    fn synonym_unification_collapses_classes() {
+        let g = WeakSchema::builder()
+            .arrow("GS", "advisor", "Faculty")
+            .arrow("Student", "name", "string")
+            .build()
+            .expect("valid schema");
+        let renaming = Renaming::new().class("GS", "Student");
+        let (renamed, report) = renaming.apply(&g).expect("applies");
+        let student = c("Student");
+        assert!(!renamed.contains_class(&c("GS")));
+        // The collapsed class carries both arrow sets.
+        let labels = renamed.labels_of(&student);
+        assert!(labels.contains(&Label::new("advisor")));
+        assert!(labels.contains(&Label::new("name")));
+        assert_eq!(report.unified_classes.len(), 1);
+        assert!(report.unified_classes[0].contains(&Name::new("GS")));
+        assert!(report.unified_classes[0].contains(&Name::new("Student")));
+    }
+
+    #[test]
+    fn unification_creating_isa_cycle_is_rejected() {
+        let g = WeakSchema::builder()
+            .specialize("A", "B")
+            .specialize("B", "C")
+            .build()
+            .expect("valid schema");
+        let renaming = Renaming::new().class("C", "A");
+        assert!(renaming.apply(&g).is_err(), "A ⇒ B ⇒ A is not a partial order");
+    }
+
+    #[test]
+    fn renaming_acts_inside_implicit_origins() {
+        let g1 = WeakSchema::builder()
+            .specialize("C", "A1")
+            .specialize("C", "A2")
+            .build()
+            .expect("valid");
+        let g2 = WeakSchema::builder()
+            .arrow("A1", "a", "B1")
+            .arrow("A2", "a", "B2")
+            .build()
+            .expect("valid");
+        let merged = merge([&g1, &g2]).expect("merges").proper;
+        let implicit = Class::implicit([c("B1"), c("B2")]);
+        assert!(merged.as_weak().contains_class(&implicit));
+
+        let renaming = Renaming::new().class("B1", "Kennel").class("B2", "House");
+        let (renamed, _) = renaming.apply(merged.as_weak()).expect("applies");
+        let expected = Class::implicit([c("Kennel"), c("House")]);
+        assert!(renamed.contains_class(&expected));
+        assert!(!renamed.contains_class(&implicit));
+    }
+
+    #[test]
+    fn unifying_origins_collapses_implicit_class_to_named() {
+        let renaming = Renaming::new().class("B2", "B1");
+        let implicit = Class::implicit([c("B1"), c("B2")]);
+        assert_eq!(renaming.map_class(&implicit), c("B1"));
+    }
+
+    #[test]
+    fn composition_agrees_with_sequential_application() {
+        let g = hounds_by_name();
+        let first = Renaming::new().class("Hound", "Dog");
+        let second = Renaming::new().class("Dog", "Canine").label("owner", "keeper");
+        let composed = first.then(&second);
+
+        let (step1, _) = first.apply(&g).expect("first applies");
+        let (sequential, _) = second.apply(&step1).expect("second applies");
+        let (at_once, _) = composed.apply(&g).expect("composed applies");
+        assert_eq!(sequential, at_once);
+    }
+
+    #[test]
+    fn rename_then_merge_matches_merge_of_renamed() {
+        // Renaming is a schema homomorphism: applying it to both inputs
+        // and joining equals joining and then applying it (when both
+        // sides are defined).
+        let g1 = dogs_by_license();
+        let g2 = WeakSchema::builder()
+            .arrow("Dog", "kind", "breed")
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .expect("valid");
+        let renaming = Renaming::new().class("Dog", "Canine").label("kind", "breed-of");
+
+        let joined = weak_join(&g1, &g2).expect("compatible");
+        let (renamed_join, _) = renaming.apply(&joined).expect("applies");
+
+        let (r1, _) = renaming.apply(&g1).expect("applies");
+        let (r2, _) = renaming.apply(&g2).expect("applies");
+        let join_renamed = weak_join(&r1, &r2).expect("compatible");
+        assert_eq!(renamed_join, join_renamed);
+    }
+
+    #[test]
+    fn injectivity_check() {
+        let g = WeakSchema::builder().class("A").class("B").build().expect("valid");
+        assert!(Renaming::new().class("A", "X").is_injective_on(&g));
+        assert!(!Renaming::new().class("A", "B").is_injective_on(&g));
+    }
+
+    #[test]
+    fn synonym_candidates_rank_by_signature_overlap() {
+        let left = WeakSchema::builder()
+            .arrow("Dog", "owner", "Person")
+            .arrow("Dog", "kind", "breed")
+            .arrow("Cat", "lives", "Place")
+            .build()
+            .expect("valid");
+        let right = WeakSchema::builder()
+            .arrow("Hound", "owner", "Person")
+            .arrow("Hound", "kind", "breed")
+            .arrow("Hound", "license", "int")
+            .build()
+            .expect("valid");
+        let candidates = synonym_candidates(&left, &right, 0.3);
+        assert!(!candidates.is_empty());
+        let top = &candidates[0];
+        assert_eq!(top.left, Name::new("Dog"));
+        assert_eq!(top.right, Name::new("Hound"));
+        assert!(top.shared_labels.contains(&Label::new("owner")));
+        // Unifying renaming points right → left.
+        let (unified, _) = top
+            .unifying_renaming()
+            .apply(&right)
+            .expect("applies");
+        assert!(unified.contains_class(&c("Dog")));
+    }
+
+    #[test]
+    fn shared_names_are_not_synonym_candidates() {
+        let left = WeakSchema::builder().arrow("Dog", "owner", "Person").build().expect("ok");
+        let right = WeakSchema::builder().arrow("Dog", "owner", "Person").build().expect("ok");
+        assert!(synonym_candidates(&left, &right, 0.1).is_empty());
+    }
+
+    #[test]
+    fn homonym_candidates_flag_disjoint_signatures() {
+        // "Chip" is a dog-microchip in one database and a fried potato in
+        // the other.
+        let left = WeakSchema::builder()
+            .arrow("Chip", "implanted-in", "Dog")
+            .build()
+            .expect("valid");
+        let right = WeakSchema::builder()
+            .arrow("Chip", "fried-at", "Temperature")
+            .build()
+            .expect("valid");
+        let flags = homonym_candidates(&left, &right, 0.0);
+        assert_eq!(flags.len(), 1);
+        assert_eq!(flags[0].name, Name::new("Chip"));
+        assert_eq!(flags[0].similarity, 0.0);
+
+        // Separating the homonym makes the merge keep both meanings.
+        let separate = flags[0].separating_renaming("-food");
+        let (renamed_right, _) = separate.apply(&right).expect("applies");
+        let joined = weak_join(&left, &renamed_right).expect("compatible");
+        assert!(joined.contains_class(&c("Chip")));
+        assert!(joined.contains_class(&c("Chip-food")));
+        assert_eq!(joined.labels_of(&c("Chip")).len(), 1);
+    }
+
+    #[test]
+    fn similar_signatures_are_not_homonym_flagged() {
+        let left = WeakSchema::builder()
+            .arrow("Dog", "owner", "Person")
+            .arrow("Dog", "kind", "breed")
+            .build()
+            .expect("valid");
+        let right = WeakSchema::builder()
+            .arrow("Dog", "owner", "Person")
+            .arrow("Dog", "kind", "breed")
+            .arrow("Dog", "age", "int")
+            .build()
+            .expect("valid");
+        assert!(homonym_candidates(&left, &right, 0.5).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Renaming::new().to_string(), "(identity)");
+        let r = Renaming::new().class("GS", "Student").label("victim", "student");
+        assert_eq!(r.to_string(), "GS→Student, .victim→.student");
+    }
+}

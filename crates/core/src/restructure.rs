@@ -1,0 +1,672 @@
+//! Restructuring: §7's "normal form" operations on schema graphs.
+//!
+//! §7 observes that beyond naming conflicts, *structural* conflicts
+//! occur: "a many-one relationship may be a single arrow in one schema
+//! but introduce a relationship node in another schema. In these cases,
+//! the merge will not 'resolve' the differences but present both
+//! interpretations. To force an integration, we need some kind of
+//! 'normal form'."
+//!
+//! This module supplies the two inverse transformations between those
+//! presentations in the graph model:
+//!
+//! * [`reify_arrow`] — replace a direct arrow `p --a--> q` with a
+//!   relationship node `R` carrying role arrows `R --src--> p` and
+//!   `R --tgt--> q` (the "introduce a relationship node" form);
+//! * [`flatten_class`] — the inverse: collapse a *bare* binary node back
+//!   into a direct arrow.
+//!
+//! Both preserve the informational content they touch — on applicable
+//! inputs, `flatten_class ∘ reify_arrow` is the identity — so a designer
+//! can bring two schemas to either normal form before merging and the
+//! result is independent of which schema was restructured first (the
+//! operations act on disjoint parts of the graph and the merge is a
+//! least upper bound).
+//!
+//! A recorded sequence of operations, including §3 renamings, is a
+//! [`Restructuring`] script: the audit trail an interactive tool keeps so
+//! that source schemas can be re-normalized mechanically when they
+//! change.
+
+use std::fmt;
+
+use crate::class::Class;
+use crate::error::SchemaError;
+use crate::name::Label;
+use crate::rename::Renaming;
+use crate::weak::WeakSchema;
+
+/// Why a restructuring operation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestructureError {
+    /// The class the operation targets is not in the schema.
+    MissingClass(Class),
+    /// The source class has no arrow with the given label.
+    MissingArrow {
+        /// The class that was supposed to carry the arrow.
+        class: Class,
+        /// The absent label.
+        label: Label,
+    },
+    /// The arrow is inherited from a strict superclass (W1), so removing
+    /// it at the subclass is impossible — the closure would immediately
+    /// restore it. Reify at the named ancestor instead.
+    InheritedArrow {
+        /// The class at which reification was requested.
+        class: Class,
+        /// The label in question.
+        label: Label,
+        /// A strict superclass that also carries the arrow.
+        from: Class,
+    },
+    /// The node name chosen for reification is already a class.
+    NodeExists(Class),
+    /// Flattening requires the node to be *bare*: exactly the two role
+    /// arrows, no other arrows, no specializations, and nothing pointing
+    /// at it. The string says which requirement failed.
+    NodeNotBare {
+        /// The offending node.
+        node: Class,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// Flattening requires each role to have a unique minimal target.
+    AmbiguousRole {
+        /// The node being flattened.
+        node: Class,
+        /// The role whose target is not unique.
+        role: Label,
+    },
+    /// Rebuilding the schema after the edit failed (e.g. a renaming in a
+    /// script created a specialization cycle).
+    Schema(SchemaError),
+}
+
+impl fmt::Display for RestructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestructureError::MissingClass(class) => write!(f, "class {class} is not in the schema"),
+            RestructureError::MissingArrow { class, label } => {
+                write!(f, "class {class} has no {label}-arrow")
+            }
+            RestructureError::InheritedArrow { class, label, from } => {
+                write!(
+                    f,
+                    "the {label}-arrow of {class} is inherited from {from}; reify it there"
+                )
+            }
+            RestructureError::NodeExists(class) => {
+                write!(f, "cannot reify into {class}: the class already exists")
+            }
+            RestructureError::NodeNotBare { node, reason } => {
+                write!(f, "cannot flatten {node}: {reason}")
+            }
+            RestructureError::AmbiguousRole { node, role } => {
+                write!(f, "cannot flatten {node}: role {role} has no unique minimal target")
+            }
+            RestructureError::Schema(err) => write!(f, "restructured schema is invalid: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RestructureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestructureError::Schema(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<SchemaError> for RestructureError {
+    fn from(err: SchemaError) -> Self {
+        RestructureError::Schema(err)
+    }
+}
+
+/// Replaces the direct arrow family `src --label--> *` with a
+/// relationship node.
+///
+/// The node `node` is added with a `src_role`-arrow to `src` and a
+/// `tgt_role`-arrow to each *minimal* target of `src`'s `label`-arrows
+/// (the closure re-adds the implied supertargets). The `label`-arrows are
+/// removed from `src` and from every strict specialization of `src` that
+/// only carried them by inheritance.
+///
+/// This is the graph-model half of the ER transform that turns an
+/// attribute edge into a relationship entity; see
+/// `schema-merge-er::restructure` for the stratified version.
+pub fn reify_arrow(
+    schema: &WeakSchema,
+    src: &Class,
+    label: &Label,
+    node: impl Into<Class>,
+    src_role: impl Into<Label>,
+    tgt_role: impl Into<Label>,
+) -> Result<WeakSchema, RestructureError> {
+    let node = node.into();
+    let src_role = src_role.into();
+    let tgt_role = tgt_role.into();
+    if !schema.contains_class(src) {
+        return Err(RestructureError::MissingClass(src.clone()));
+    }
+    if schema.contains_class(&node) {
+        return Err(RestructureError::NodeExists(node));
+    }
+    let targets = schema.arrow_targets(src, label);
+    if targets.is_empty() {
+        return Err(RestructureError::MissingArrow {
+            class: src.clone(),
+            label: label.clone(),
+        });
+    }
+    // W1 forces the arrow onto every specialization, so an arrow that a
+    // strict superclass also carries cannot be removed here: the closure
+    // would put it straight back.
+    if let Some(ancestor) = schema
+        .strict_supers(src)
+        .into_iter()
+        .find(|sup| !schema.arrow_targets(sup, label).is_empty())
+    {
+        return Err(RestructureError::InheritedArrow {
+            class: src.clone(),
+            label: label.clone(),
+            from: ancestor,
+        });
+    }
+    let canonical_targets = schema.min_s(targets.iter());
+
+    // The cone below src inherits the arrow via W1; drop it there too,
+    // unless a subclass has *extra* targets of its own (then only the
+    // inherited part disappears — handled by keeping its surplus).
+    let mut dropped_sources = schema.strict_subs(src);
+    dropped_sources.insert(src.clone());
+
+    let mut builder = WeakSchema::builder().class(node.clone());
+    for class in schema.classes() {
+        builder = builder.class(class.clone());
+    }
+    for (sub, sup) in schema.specialization_pairs() {
+        if sub != sup {
+            builder = builder.specialize(sub.clone(), sup.clone());
+        }
+    }
+    for (p, a, q) in schema.arrow_triples() {
+        let inherited_copy =
+            a == label && dropped_sources.contains(p) && targets.contains(q);
+        if !inherited_copy {
+            builder = builder.arrow(p.clone(), a.clone(), q.clone());
+        }
+    }
+    builder = builder.arrow(node.clone(), src_role, src.clone());
+    for target in canonical_targets {
+        builder = builder.arrow(node.clone(), tgt_role.clone(), target);
+    }
+    Ok(builder.build()?)
+}
+
+/// Collapses a bare binary node back into a direct arrow — the inverse
+/// of [`reify_arrow`].
+///
+/// `node` must carry exactly the labels `src_role` and `tgt_role`, have a
+/// unique minimal target under each, and be otherwise disconnected (no
+/// other arrows in or out, no strict specializations either way). The
+/// node is removed and a `new_label`-arrow is drawn from the
+/// `src_role`-target to the `tgt_role`-target.
+pub fn flatten_class(
+    schema: &WeakSchema,
+    node: &Class,
+    src_role: &Label,
+    tgt_role: &Label,
+    new_label: impl Into<Label>,
+) -> Result<WeakSchema, RestructureError> {
+    if !schema.contains_class(node) {
+        return Err(RestructureError::MissingClass(node.clone()));
+    }
+    let bare = |reason: &str| RestructureError::NodeNotBare {
+        node: node.clone(),
+        reason: reason.to_string(),
+    };
+    let labels = schema.labels_of(node);
+    if !labels.contains(src_role) || !labels.contains(tgt_role) {
+        return Err(RestructureError::MissingArrow {
+            class: node.clone(),
+            label: if labels.contains(src_role) { tgt_role.clone() } else { src_role.clone() },
+        });
+    }
+    if labels.len() != 2 {
+        return Err(bare("it carries arrows besides the two roles"));
+    }
+    if !schema.strict_subs(node).is_empty() || !schema.strict_supers(node).is_empty() {
+        return Err(bare("it participates in specializations"));
+    }
+    if schema
+        .arrow_triples()
+        .any(|(_, _, q)| q == node)
+    {
+        return Err(bare("other classes have arrows into it"));
+    }
+
+    let unique_min = |role: &Label| -> Result<Class, RestructureError> {
+        let min = schema.min_s(schema.arrow_targets(node, role).iter());
+        if min.len() == 1 {
+            Ok(min.into_iter().next().expect("len checked"))
+        } else {
+            Err(RestructureError::AmbiguousRole {
+                node: node.clone(),
+                role: role.clone(),
+            })
+        }
+    };
+    let src = unique_min(src_role)?;
+    let tgt = unique_min(tgt_role)?;
+
+    let mut builder = WeakSchema::builder();
+    for class in schema.classes() {
+        if class != node {
+            builder = builder.class(class.clone());
+        }
+    }
+    for (sub, sup) in schema.specialization_pairs() {
+        if sub != sup {
+            builder = builder.specialize(sub.clone(), sup.clone());
+        }
+    }
+    for (p, a, q) in schema.arrow_triples() {
+        if p != node && q != node {
+            builder = builder.arrow(p.clone(), a.clone(), q.clone());
+        }
+    }
+    builder = builder.arrow(src, new_label, tgt);
+    Ok(builder.build()?)
+}
+
+/// Whether [`flatten_class`] would accept `node` with the given roles.
+pub fn is_flattenable(
+    schema: &WeakSchema,
+    node: &Class,
+    src_role: &Label,
+    tgt_role: &Label,
+) -> bool {
+    flatten_class(schema, node, src_role, tgt_role, "probe").is_ok()
+}
+
+/// One step of a recorded restructuring script.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RestructureOp {
+    /// Apply a §3 renaming.
+    Rename(Renaming),
+    /// Reify `src --label--> *` into `node` with the given role labels.
+    Reify {
+        /// Source class of the arrow being reified.
+        src: Class,
+        /// Label of the arrow being reified.
+        label: Label,
+        /// Name for the new relationship node.
+        node: Class,
+        /// Role label pointing back at `src`.
+        src_role: Label,
+        /// Role label pointing at the arrow's targets.
+        tgt_role: Label,
+    },
+    /// Flatten `node` into a direct `new_label`-arrow.
+    Flatten {
+        /// The bare binary node to remove.
+        node: Class,
+        /// Role label identifying the arrow's source.
+        src_role: Label,
+        /// Role label identifying the arrow's target.
+        tgt_role: Label,
+        /// Label for the restored direct arrow.
+        new_label: Label,
+    },
+}
+
+impl fmt::Display for RestructureOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestructureOp::Rename(renaming) => write!(f, "rename {renaming}"),
+            RestructureOp::Reify { src, label, node, .. } => {
+                write!(f, "reify {src} --{label}--> into node {node}")
+            }
+            RestructureOp::Flatten { node, new_label, .. } => {
+                write!(f, "flatten {node} into a --{new_label}--> arrow")
+            }
+        }
+    }
+}
+
+/// A replayable sequence of restructuring operations — the audit trail
+/// of an interactive integration session.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Restructuring {
+    ops: Vec<RestructureOp>,
+}
+
+impl Restructuring {
+    /// An empty script.
+    pub fn new() -> Self {
+        Restructuring::default()
+    }
+
+    /// Appends a renaming step.
+    pub fn rename(mut self, renaming: Renaming) -> Self {
+        self.ops.push(RestructureOp::Rename(renaming));
+        self
+    }
+
+    /// Appends a reification step.
+    pub fn reify(
+        mut self,
+        src: impl Into<Class>,
+        label: impl Into<Label>,
+        node: impl Into<Class>,
+        src_role: impl Into<Label>,
+        tgt_role: impl Into<Label>,
+    ) -> Self {
+        self.ops.push(RestructureOp::Reify {
+            src: src.into(),
+            label: label.into(),
+            node: node.into(),
+            src_role: src_role.into(),
+            tgt_role: tgt_role.into(),
+        });
+        self
+    }
+
+    /// Appends a flattening step.
+    pub fn flatten(
+        mut self,
+        node: impl Into<Class>,
+        src_role: impl Into<Label>,
+        tgt_role: impl Into<Label>,
+        new_label: impl Into<Label>,
+    ) -> Self {
+        self.ops.push(RestructureOp::Flatten {
+            node: node.into(),
+            src_role: src_role.into(),
+            tgt_role: tgt_role.into(),
+            new_label: new_label.into(),
+        });
+        self
+    }
+
+    /// The recorded steps, in application order.
+    pub fn ops(&self) -> &[RestructureOp] {
+        &self.ops
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether the script is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Replays the script against a schema.
+    pub fn apply(&self, schema: &WeakSchema) -> Result<WeakSchema, RestructureError> {
+        let mut current = schema.clone();
+        for op in &self.ops {
+            current = match op {
+                RestructureOp::Rename(renaming) => renaming.apply(&current)?.0,
+                RestructureOp::Reify { src, label, node, src_role, tgt_role } => reify_arrow(
+                    &current,
+                    src,
+                    label,
+                    node.clone(),
+                    src_role.clone(),
+                    tgt_role.clone(),
+                )?,
+                RestructureOp::Flatten { node, src_role, tgt_role, new_label } => {
+                    flatten_class(&current, node, src_role, tgt_role, new_label.clone())?
+                }
+            };
+        }
+        Ok(current)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::weak_join;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    /// The §7 example: one schema draws ownership as a direct arrow, the
+    /// other reifies it as an `Owns` relationship node.
+    fn direct_form() -> WeakSchema {
+        WeakSchema::builder()
+            .arrow("Person", "owns", "Dog")
+            .arrow("Dog", "kind", "breed")
+            .build()
+            .expect("valid")
+    }
+
+    fn reified_form() -> WeakSchema {
+        WeakSchema::builder()
+            .arrow("Owns", "owner", "Person")
+            .arrow("Owns", "pet", "Dog")
+            .arrow("Dog", "kind", "breed")
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn reify_introduces_the_node_form() {
+        let g = direct_form();
+        let reified =
+            reify_arrow(&g, &c("Person"), &l("owns"), "Owns", "owner", "pet").expect("reifies");
+        assert_eq!(reified, reified_form());
+        // The direct arrow is gone.
+        assert!(reified.arrow_targets(&c("Person"), &l("owns")).is_empty());
+    }
+
+    #[test]
+    fn flatten_restores_the_direct_form() {
+        let g = reified_form();
+        let flat =
+            flatten_class(&g, &c("Owns"), &l("owner"), &l("pet"), "owns").expect("flattens");
+        assert_eq!(flat, direct_form());
+    }
+
+    #[test]
+    fn reify_then_flatten_is_identity() {
+        let g = direct_form();
+        let reified =
+            reify_arrow(&g, &c("Person"), &l("owns"), "Owns", "owner", "pet").expect("reifies");
+        let back =
+            flatten_class(&reified, &c("Owns"), &l("owner"), &l("pet"), "owns").expect("flattens");
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn normalized_schemas_merge_without_duplication() {
+        // Without restructuring, merging the two forms "presents both
+        // interpretations" (§7): the direct arrow AND the node. After
+        // normalizing to the reified form, the merge has only the node.
+        let direct = direct_form();
+        let reified = reified_form();
+
+        let unnormalized = weak_join(&direct, &reified).expect("compatible");
+        assert!(!unnormalized.arrow_targets(&c("Person"), &l("owns")).is_empty());
+        assert!(unnormalized.contains_class(&c("Owns")));
+
+        let normalized_direct =
+            reify_arrow(&direct, &c("Person"), &l("owns"), "Owns", "owner", "pet")
+                .expect("reifies");
+        let merged = weak_join(&normalized_direct, &reified).expect("compatible");
+        assert!(merged.arrow_targets(&c("Person"), &l("owns")).is_empty());
+        assert_eq!(merged, reified);
+    }
+
+    #[test]
+    fn reify_drops_inherited_copies_in_the_cone() {
+        let g = WeakSchema::builder()
+            .arrow("Dog", "owner", "Person")
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .expect("valid");
+        let reified =
+            reify_arrow(&g, &c("Dog"), &l("owner"), "Owns", "pet", "owner").expect("reifies");
+        assert!(reified.arrow_targets(&c("Guide-dog"), &l("owner")).is_empty());
+        assert!(reified.arrow_targets(&c("Dog"), &l("owner")).is_empty());
+    }
+
+    #[test]
+    fn reify_keeps_sibling_arrows_and_specializations() {
+        let g = WeakSchema::builder()
+            .arrow("Person", "owns", "Dog")
+            .arrow("Person", "name", "string")
+            .specialize("Employee", "Person")
+            .build()
+            .expect("valid");
+        let reified =
+            reify_arrow(&g, &c("Person"), &l("owns"), "Owns", "owner", "pet").expect("reifies");
+        assert!(!reified.arrow_targets(&c("Person"), &l("name")).is_empty());
+        assert!(reified.specializes(&c("Employee"), &c("Person")));
+        // Employee inherits name but not the removed owns.
+        assert!(!reified.arrow_targets(&c("Employee"), &l("name")).is_empty());
+        assert!(reified.arrow_targets(&c("Employee"), &l("owns")).is_empty());
+    }
+
+    #[test]
+    fn reify_missing_arrow_is_rejected() {
+        let g = direct_form();
+        let err = reify_arrow(&g, &c("Person"), &l("age"), "N", "s", "t").unwrap_err();
+        assert!(matches!(err, RestructureError::MissingArrow { .. }));
+        let err = reify_arrow(&g, &c("Ghost"), &l("owns"), "N", "s", "t").unwrap_err();
+        assert!(matches!(err, RestructureError::MissingClass(_)));
+        let err = reify_arrow(&g, &c("Person"), &l("owns"), "Dog", "s", "t").unwrap_err();
+        assert!(matches!(err, RestructureError::NodeExists(_)));
+    }
+
+    #[test]
+    fn reify_of_inherited_arrow_points_at_the_ancestor() {
+        // Guide-dog's owner-arrow comes from Dog via W1: removing it at
+        // Guide-dog is impossible (closure restores it), so the error
+        // names Dog as the place to reify.
+        let g = WeakSchema::builder()
+            .arrow("Dog", "owner", "Person")
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .expect("valid");
+        let err =
+            reify_arrow(&g, &c("Guide-dog"), &l("owner"), "Owns", "s", "t").unwrap_err();
+        match err {
+            RestructureError::InheritedArrow { class, from, .. } => {
+                assert_eq!(class, c("Guide-dog"));
+                assert_eq!(from, c("Dog"));
+            }
+            other => panic!("expected InheritedArrow, got {other}"),
+        }
+        // Reifying at the ancestor is the legal move.
+        assert!(reify_arrow(&g, &c("Dog"), &l("owner"), "Owns", "s", "t").is_ok());
+    }
+
+    #[test]
+    fn flatten_rejects_non_bare_nodes() {
+        // Extra arrow besides the roles.
+        let g = WeakSchema::builder()
+            .arrow("Owns", "owner", "Person")
+            .arrow("Owns", "pet", "Dog")
+            .arrow("Owns", "since", "date")
+            .build()
+            .expect("valid");
+        let err = flatten_class(&g, &c("Owns"), &l("owner"), &l("pet"), "owns").unwrap_err();
+        assert!(matches!(err, RestructureError::NodeNotBare { .. }));
+
+        // Participates in a specialization.
+        let g = WeakSchema::builder()
+            .arrow("Owns", "owner", "Person")
+            .arrow("Owns", "pet", "Dog")
+            .specialize("Owns", "Relationship")
+            .build()
+            .expect("valid");
+        let err = flatten_class(&g, &c("Owns"), &l("owner"), &l("pet"), "owns").unwrap_err();
+        assert!(matches!(err, RestructureError::NodeNotBare { .. }));
+
+        // Something points at it.
+        let g = WeakSchema::builder()
+            .arrow("Owns", "owner", "Person")
+            .arrow("Owns", "pet", "Dog")
+            .arrow("Audit", "entry", "Owns")
+            .build()
+            .expect("valid");
+        let err = flatten_class(&g, &c("Owns"), &l("owner"), &l("pet"), "owns").unwrap_err();
+        assert!(matches!(err, RestructureError::NodeNotBare { .. }));
+    }
+
+    #[test]
+    fn flatten_rejects_ambiguous_roles() {
+        // Two incomparable owner-targets: no unique minimal class.
+        let g = WeakSchema::builder()
+            .arrow("Owns", "owner", "Person")
+            .arrow("Owns", "owner", "Company")
+            .arrow("Owns", "pet", "Dog")
+            .build()
+            .expect("valid");
+        let err = flatten_class(&g, &c("Owns"), &l("owner"), &l("pet"), "owns").unwrap_err();
+        assert!(matches!(err, RestructureError::AmbiguousRole { .. }));
+    }
+
+    #[test]
+    fn flatten_accepts_comparable_role_targets() {
+        // owner targets Person and its superclass Agent: minimal target
+        // is unique (Person), so flattening succeeds.
+        let g = WeakSchema::builder()
+            .arrow("Owns", "owner", "Person")
+            .arrow("Owns", "pet", "Dog")
+            .specialize("Person", "Agent")
+            .build()
+            .expect("valid");
+        let flat = flatten_class(&g, &c("Owns"), &l("owner"), &l("pet"), "owns").expect("ok");
+        assert!(flat.has_arrow(&c("Person"), &l("owns"), &c("Dog")));
+    }
+
+    #[test]
+    fn is_flattenable_probe() {
+        assert!(is_flattenable(&reified_form(), &c("Owns"), &l("owner"), &l("pet")));
+        assert!(!is_flattenable(&direct_form(), &c("Dog"), &l("kind"), &l("kind")));
+    }
+
+    #[test]
+    fn script_replays_and_is_auditable() {
+        let script = Restructuring::new()
+            .rename(Renaming::new().class("Hound", "Dog"))
+            .reify("Person", "owns", "Owns", "owner", "pet");
+        assert_eq!(script.len(), 2);
+        assert!(!script.is_empty());
+
+        let g = WeakSchema::builder()
+            .arrow("Person", "owns", "Hound")
+            .build()
+            .expect("valid");
+        let result = script.apply(&g).expect("replays");
+        assert!(result.contains_class(&c("Owns")));
+        assert!(result.has_arrow(&c("Owns"), &l("pet"), &c("Dog")));
+
+        let rendered: Vec<String> = script.ops().iter().map(|op| op.to_string()).collect();
+        assert_eq!(rendered[0], "rename Hound→Dog");
+        assert_eq!(rendered[1], "reify Person --owns--> into node Owns");
+    }
+
+    #[test]
+    fn script_failure_reports_offending_step() {
+        let script = Restructuring::new().flatten("Ghost", "a", "b", "x");
+        let g = WeakSchema::empty();
+        assert!(matches!(
+            script.apply(&g).unwrap_err(),
+            RestructureError::MissingClass(_)
+        ));
+    }
+}

@@ -1,0 +1,238 @@
+//! Cardinality constraints as keys (§5).
+//!
+//! The paper argues that key constraints subsume the usual ER edge
+//! labels: for a relationship, declaring role `r` cardinality `1` says
+//! the *other* roles determine `r`, i.e. the other roles form a key.
+//! Fig. 9: `Advisor`'s `faculty` role labelled `1` gives
+//! `SK(Advisor) = {{victim}}`, while unconstrained `Committee` is keyed
+//! by all its roles, `{{faculty, victim}}`.
+//!
+//! The translation is exact for binary relationships; the paper's own
+//! footnote 1 observes that ternary-and-higher edge labels have no agreed
+//! semantics, so [`keys_to_cardinalities`] only answers for binary
+//! relationships and returns `None` for key families no labelling can
+//! express (Fig. 10).
+
+use std::collections::BTreeMap;
+
+use schema_merge_core::{Class, KeyAssignment, KeySet, Label, SuperkeyFamily};
+
+use crate::model::{Cardinality, ErSchema, Relationship};
+
+/// The superkey family a relationship's cardinality labels denote: one key
+/// per `1`-labelled role (the other roles), or all roles when no role is
+/// restricted.
+pub fn relationship_key_family(rel: &Relationship) -> SuperkeyFamily {
+    let mut family = SuperkeyFamily::none();
+    let mut any_one = false;
+    for role in rel.roles.keys() {
+        if rel.cardinality(role) == Cardinality::One {
+            any_one = true;
+            let others: Vec<Label> = rel
+                .roles
+                .keys()
+                .filter(|other| *other != role)
+                .cloned()
+                .collect();
+            family.insert_key(KeySet::new(others));
+        }
+    }
+    if !any_one {
+        family.insert_key(KeySet::new(rel.roles.keys().cloned()));
+    }
+    family
+}
+
+/// The key assignment induced by every relationship's cardinalities,
+/// keyed by the relationship's class in the graph translation.
+pub fn cardinality_keys(er: &ErSchema) -> KeyAssignment {
+    let mut assignment = KeyAssignment::new();
+    for (name, rel) in er.relationships() {
+        if rel.roles.is_empty() {
+            continue;
+        }
+        assignment.set(Class::Named(name.clone()), relationship_key_family(rel));
+    }
+    assignment
+}
+
+/// Reads a binary relationship's cardinalities back from a superkey
+/// family. Returns `None` when
+///
+/// * the relationship is not binary (footnote 1: no agreed semantics), or
+/// * the family uses labels outside the roles or multi-role structure no
+///   labelling expresses (Fig. 10's two overlapping keys, for instance,
+///   arise only with non-role attributes in the keys).
+pub fn keys_to_cardinalities(
+    rel: &Relationship,
+    family: &SuperkeyFamily,
+) -> Option<BTreeMap<Label, Cardinality>> {
+    if !rel.is_binary() {
+        return None;
+    }
+    let roles: Vec<&Label> = rel.roles.keys().collect();
+    let (r1, r2) = (roles[0], roles[1]);
+    for key in family.minimal_keys() {
+        if !key.labels().all(|l| rel.roles.contains_key(l)) {
+            return None;
+        }
+    }
+    let k1 = family.is_superkey(&KeySet::new([r1.clone()]));
+    let k2 = family.is_superkey(&KeySet::new([r2.clone()]));
+    let both = family.is_superkey(&KeySet::new([r1.clone(), r2.clone()]));
+    if !both {
+        // No key at all (object identity): not expressible as labels.
+        return None;
+    }
+    let mut out = BTreeMap::new();
+    // Key {r1} means r1 determines r2: r2 has cardinality 1; and dually.
+    out.insert(
+        r2.clone(),
+        if k1 { Cardinality::One } else { Cardinality::Many },
+    );
+    out.insert(
+        r1.clone(),
+        if k2 { Cardinality::One } else { Cardinality::Many },
+    );
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{figure_9_advisor, ErSchema};
+    use schema_merge_core::Name;
+
+    fn ks(labels: &[&str]) -> KeySet {
+        KeySet::new(labels.iter().copied())
+    }
+
+    #[test]
+    fn figure_9_families() {
+        let er = figure_9_advisor();
+        let advisor = er.relationship(&Name::new("Advisor")).unwrap();
+        let committee = er.relationship(&Name::new("Committee")).unwrap();
+        assert_eq!(
+            relationship_key_family(advisor),
+            SuperkeyFamily::single(ks(&["victim"]))
+        );
+        assert_eq!(
+            relationship_key_family(committee),
+            SuperkeyFamily::single(ks(&["faculty", "victim"]))
+        );
+    }
+
+    #[test]
+    fn one_to_one_gives_two_keys() {
+        let er = ErSchema::builder()
+            .entity("A")
+            .entity("B")
+            .relationship("R", [("a", "A"), ("b", "B")])
+            .cardinality("R", "a", Cardinality::One)
+            .cardinality("R", "b", Cardinality::One)
+            .build()
+            .unwrap();
+        let rel = er.relationship(&Name::new("R")).unwrap();
+        let family = relationship_key_family(rel);
+        assert_eq!(family.num_keys(), 2);
+        assert!(family.is_superkey(&ks(&["a"])));
+        assert!(family.is_superkey(&ks(&["b"])));
+    }
+
+    #[test]
+    fn cardinality_keys_covers_all_relationships() {
+        let er = figure_9_advisor();
+        let assignment = cardinality_keys(&er);
+        assert_eq!(assignment.num_keyed_classes(), 2);
+        assert!(!assignment.family(&Class::named("Advisor")).is_none());
+    }
+
+    #[test]
+    fn round_trip_binary_cardinalities() {
+        for cards in [
+            (Cardinality::Many, Cardinality::Many),
+            (Cardinality::One, Cardinality::Many),
+            (Cardinality::Many, Cardinality::One),
+            (Cardinality::One, Cardinality::One),
+        ] {
+            let er = ErSchema::builder()
+                .entity("A")
+                .entity("B")
+                .relationship("R", [("a", "A"), ("b", "B")])
+                .cardinality("R", "a", cards.0)
+                .cardinality("R", "b", cards.1)
+                .build()
+                .unwrap();
+            let rel = er.relationship(&Name::new("R")).unwrap();
+            let family = relationship_key_family(rel);
+            let back = keys_to_cardinalities(rel, &family).unwrap();
+            assert_eq!(back[&Label::new("a")], cards.0, "cards {cards:?}");
+            assert_eq!(back[&Label::new("b")], cards.1, "cards {cards:?}");
+        }
+    }
+
+    #[test]
+    fn ternary_relationships_are_refused() {
+        let er = ErSchema::builder()
+            .entity("A")
+            .entity("B")
+            .entity("C")
+            .relationship("R", [("a", "A"), ("b", "B"), ("c", "C")])
+            .build()
+            .unwrap();
+        let rel = er.relationship(&Name::new("R")).unwrap();
+        let family = relationship_key_family(rel);
+        assert!(keys_to_cardinalities(rel, &family).is_none());
+    }
+
+    #[test]
+    fn figure_10_keys_are_not_expressible_as_labels() {
+        // Transaction(loc, at, card, amount) with keys {loc,at}, {card,at}.
+        // Even restricted to a binary view, keys mentioning non-role
+        // attributes cannot be edge labels.
+        let er = ErSchema::builder()
+            .entity("Machine")
+            .entity("Card")
+            .relationship("Transaction", [("loc", "Machine"), ("card", "Card")])
+            .attribute("Transaction", "at", "time")
+            .attribute("Transaction", "amount", "money")
+            .build()
+            .unwrap();
+        let rel = er.relationship(&Name::new("Transaction")).unwrap();
+        let family = SuperkeyFamily::from_keys([ks(&["loc", "at"]), ks(&["card", "at"])]);
+        assert!(keys_to_cardinalities(rel, &family).is_none());
+    }
+
+    #[test]
+    fn ternary_with_one_role() {
+        // Supply(s: Supplier, p: Project, j: Part) with j labelled 1:
+        // {s, p} is a key.
+        let er = ErSchema::builder()
+            .entity("Supplier")
+            .entity("Project")
+            .entity("Part")
+            .relationship(
+                "Supply",
+                [("s", "Supplier"), ("p", "Project"), ("j", "Part")],
+            )
+            .cardinality("Supply", "j", Cardinality::One)
+            .build()
+            .unwrap();
+        let rel = er.relationship(&Name::new("Supply")).unwrap();
+        let family = relationship_key_family(rel);
+        assert!(family.is_superkey(&ks(&["s", "p"])));
+        assert!(!family.is_superkey(&ks(&["s", "j"])));
+    }
+
+    #[test]
+    fn no_key_family_is_not_expressible() {
+        let er = ErSchema::builder()
+            .entity("A")
+            .entity("B")
+            .relationship("R", [("a", "A"), ("b", "B")])
+            .build()
+            .unwrap();
+        let rel = er.relationship(&Name::new("R")).unwrap();
+        assert!(keys_to_cardinalities(rel, &SuperkeyFamily::none()).is_none());
+    }
+}

@@ -1,0 +1,319 @@
+//! Structural-conflict detection (§7, second open issue).
+//!
+//! "Not only can 'naming' conflicts occur (such as homonyms and
+//! synonyms), but 'structural' conflicts can occur. For example, an
+//! attribute in one schema may look like an entity in another schema, or
+//! a many-one relationship may be a single arrow in one schema but
+//! introduce a relationship node in another. In these cases, the merge
+//! will not 'resolve' the differences but present both interpretations."
+//!
+//! The merge itself stays agnostic (as the paper prescribes); this module
+//! gives an interactive tool the *report* it needs to prompt the designer
+//! for restructuring before merging.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use schema_merge_core::Name;
+
+use crate::model::{ErSchema, Stratum};
+
+/// One detected structural conflict between two ER schemas.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StructuralConflict {
+    /// The same name is declared in different strata (entity vs domain vs
+    /// relationship) — the merge would be rejected outright.
+    StratumMismatch {
+        /// The clashing name.
+        name: Name,
+        /// Its stratum in the left schema.
+        left: Stratum,
+        /// Its stratum in the right schema.
+        right: Stratum,
+    },
+    /// A name used as an *attribute label* in one schema is a declared
+    /// *thing* (entity/domain/relationship) in the other — the classic
+    /// "attribute here, entity there" modelling mismatch. Mergeable (the
+    /// vocabularies `N` and `L` are disjoint) but almost certainly
+    /// unintended.
+    AttributeVersusThing {
+        /// The shared spelling.
+        name: Name,
+        /// The owner of the attribute usage.
+        attribute_on: Name,
+        /// Which schema uses it as an attribute: true = left.
+        attribute_in_left: bool,
+        /// The stratum of the declared thing in the other schema.
+        thing_stratum: Stratum,
+    },
+    /// Two entities are connected by a relationship node in one schema
+    /// but by a direct attribute-like edge in the other (a many-one
+    /// relationship flattened to an arrow). Presented for restructuring.
+    ReifiedVersusDirect {
+        /// The relationship node (in the schema that reifies).
+        relationship: Name,
+        /// The entities it connects.
+        participants: BTreeSet<Name>,
+        /// Whether the reified form is in the left schema.
+        reified_in_left: bool,
+    },
+}
+
+impl fmt::Display for StructuralConflict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StructuralConflict::StratumMismatch { name, left, right } => {
+                write!(f, "{name} is a {left} on one side but a {right} on the other")
+            }
+            StructuralConflict::AttributeVersusThing {
+                name,
+                attribute_on,
+                attribute_in_left,
+                thing_stratum,
+            } => {
+                let (attr_side, thing_side) = if *attribute_in_left {
+                    ("left", "right")
+                } else {
+                    ("right", "left")
+                };
+                write!(
+                    f,
+                    "{name} is an attribute of {attribute_on} in the {attr_side} schema but a \
+                     {thing_stratum} in the {thing_side} schema"
+                )
+            }
+            StructuralConflict::ReifiedVersusDirect {
+                relationship,
+                participants,
+                reified_in_left,
+            } => {
+                let side = if *reified_in_left { "left" } else { "right" };
+                let names: Vec<String> = participants.iter().map(|n| n.to_string()).collect();
+                write!(
+                    f,
+                    "{relationship} reifies a connection between {} in the {side} schema that \
+                     the other schema draws as a direct attribute",
+                    names.join(" and ")
+                )
+            }
+        }
+    }
+}
+
+/// Scans two ER schemas for structural conflicts worth showing the
+/// designer before merging. A non-empty result does not block the merge;
+/// it flags places where the merge would "present both interpretations".
+pub fn detect_conflicts(left: &ErSchema, right: &ErSchema) -> Vec<StructuralConflict> {
+    let mut conflicts = Vec::new();
+
+    // 1. Stratum mismatches (these WILL fail the merge).
+    let left_strata = left.strata();
+    let right_strata = right.strata();
+    for (name, &left_stratum) in &left_strata {
+        if let Some(&right_stratum) = right_strata.get(name) {
+            if left_stratum != right_stratum {
+                conflicts.push(StructuralConflict::StratumMismatch {
+                    name: name.clone(),
+                    left: left_stratum,
+                    right: right_stratum,
+                });
+            }
+        }
+    }
+
+    // 2. Attribute-label-vs-thing mismatches, both directions.
+    for (a, b, a_is_left) in [(left, right, true), (right, left, false)] {
+        for (owner, attrs) in a.all_attributes() {
+            for label in attrs.keys() {
+                let as_name = Name::new(label.as_str());
+                if let Some(stratum) = b.stratum(&as_name) {
+                    // Only flag when the attribute side does NOT also
+                    // declare the thing (then it is just reuse of a word).
+                    if a.stratum(&as_name).is_none() {
+                        conflicts.push(StructuralConflict::AttributeVersusThing {
+                            name: as_name,
+                            attribute_on: owner.clone(),
+                            attribute_in_left: a_is_left,
+                            thing_stratum: stratum,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // 3. Reified-vs-direct connections: a binary relationship in one
+    // schema whose two participants are linked by a direct attribute
+    // label in the other (entity attribute named like the relationship's
+    // role or relationship).
+    for (a, b, a_is_left) in [(left, right, true), (right, left, false)] {
+        for (rel_name, rel) in a.relationships() {
+            if !rel.is_binary() {
+                continue;
+            }
+            let participants: BTreeSet<Name> = rel.roles.values().cloned().collect();
+            if participants.len() != 2 {
+                continue;
+            }
+            let mut iter = participants.iter();
+            let (e1, e2) = (iter.next().expect("two"), iter.next().expect("two"));
+            // Direct edge in b: an attribute on e1 whose label spells e2
+            // or the relationship (or vice versa).
+            let direct = |owner: &Name, target: &Name| {
+                b.attributes_of(owner).keys().any(|label| {
+                    label.as_str().eq_ignore_ascii_case(target.as_str())
+                        || label.as_str().eq_ignore_ascii_case(rel_name.as_str())
+                })
+            };
+            if direct(e1, e2) || direct(e2, e1) {
+                conflicts.push(StructuralConflict::ReifiedVersusDirect {
+                    relationship: rel_name.clone(),
+                    participants,
+                    reified_in_left: a_is_left,
+                });
+            }
+        }
+    }
+
+    conflicts.sort_by_key(|c| c.to_string());
+    conflicts.dedup();
+    conflicts
+}
+
+/// Convenience: whether the only conflicts (if any) are mergeable — i.e.
+/// no [`StructuralConflict::StratumMismatch`] entries.
+pub fn mergeable(conflicts: &[StructuralConflict]) -> bool {
+    !conflicts
+        .iter()
+        .any(|c| matches!(c, StructuralConflict::StratumMismatch { .. }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::ErSchema;
+    use schema_merge_core::Label;
+
+    #[test]
+    fn clean_schemas_report_nothing() {
+        let g1 = ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "age", "int")
+            .build()
+            .unwrap();
+        let g2 = ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "name", "text")
+            .build()
+            .unwrap();
+        let conflicts = detect_conflicts(&g1, &g2);
+        assert!(conflicts.is_empty());
+        assert!(mergeable(&conflicts));
+    }
+
+    #[test]
+    fn stratum_mismatch_is_detected() {
+        let g1 = ErSchema::builder().entity("Dog").build().unwrap();
+        let g2 = ErSchema::builder().domain("Dog").build().unwrap();
+        let conflicts = detect_conflicts(&g1, &g2);
+        assert_eq!(conflicts.len(), 1);
+        assert!(matches!(
+            conflicts[0],
+            StructuralConflict::StratumMismatch { .. }
+        ));
+        assert!(!mergeable(&conflicts));
+        assert!(conflicts[0].to_string().contains("Dog"));
+    }
+
+    #[test]
+    fn attribute_versus_entity_is_detected() {
+        // §7's example: `owner` is an attribute in one schema, an entity
+        // (with its own attributes) in the other.
+        let g1 = ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "owner", "text")
+            .build()
+            .unwrap();
+        let g2 = ErSchema::builder()
+            .entity("Dog")
+            .entity("owner")
+            .attribute("owner", "name", "text")
+            .build()
+            .unwrap();
+        let conflicts = detect_conflicts(&g1, &g2);
+        assert_eq!(conflicts.len(), 1);
+        match &conflicts[0] {
+            StructuralConflict::AttributeVersusThing {
+                name,
+                attribute_on,
+                attribute_in_left,
+                thing_stratum,
+            } => {
+                assert_eq!(name.as_str(), "owner");
+                assert_eq!(attribute_on.as_str(), "Dog");
+                assert!(*attribute_in_left);
+                assert_eq!(*thing_stratum, Stratum::Entity);
+            }
+            other => panic!("unexpected conflict {other}"),
+        }
+        assert!(mergeable(&conflicts), "flagged but not blocking");
+    }
+
+    #[test]
+    fn same_side_reuse_is_not_flagged() {
+        // A schema that uses `owner` both as an entity and as one of its
+        // own attribute labels is (strange but) internally consistent;
+        // only cross-schema disagreements are reported.
+        let g = ErSchema::builder()
+            .entity("Dog")
+            .entity("owner")
+            .attribute("Dog", "owner", "text")
+            .build()
+            .unwrap();
+        let conflicts = detect_conflicts(&g, &g);
+        assert!(conflicts.is_empty());
+    }
+
+    #[test]
+    fn reified_versus_direct_is_detected() {
+        // One schema reifies ownership as a relationship node; the other
+        // draws a direct `owns`-labelled attribute between the entities.
+        let reified = ErSchema::builder()
+            .entity("Person")
+            .entity("Dog")
+            .relationship("Owns", [("owner", "Person"), ("pet", "Dog")])
+            .build()
+            .unwrap();
+        let direct = ErSchema::builder()
+            .entity("Person")
+            .entity("Dog")
+            .attribute("Person", "owns", "text")
+            .build()
+            .unwrap();
+        let conflicts = detect_conflicts(&reified, &direct);
+        assert!(conflicts
+            .iter()
+            .any(|c| matches!(c, StructuralConflict::ReifiedVersusDirect { .. })));
+        let text = conflicts
+            .iter()
+            .map(|c| c.to_string())
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert!(text.contains("Owns"), "{text}");
+    }
+
+    #[test]
+    fn display_is_designer_readable() {
+        let conflict = StructuralConflict::AttributeVersusThing {
+            name: Name::new("owner"),
+            attribute_on: Name::new("Dog"),
+            attribute_in_left: false,
+            thing_stratum: Stratum::Entity,
+        };
+        assert_eq!(
+            conflict.to_string(),
+            "owner is an attribute of Dog in the right schema but a entity in the left schema"
+        );
+        let _ = Label::new("owner");
+    }
+}

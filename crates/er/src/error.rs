@@ -1,0 +1,173 @@
+//! Errors for the ER substrate.
+
+use std::fmt;
+
+use schema_merge_core::{Class, Label, MergeError, Name, SchemaError};
+
+use crate::model::Stratum;
+
+/// Errors raised by ER schema construction, translation and merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErError {
+    /// A name was declared in two strata.
+    StratumClash {
+        /// The doubly-declared name.
+        name: Name,
+        /// Its first stratum.
+        first: Stratum,
+        /// Its conflicting stratum.
+        second: Stratum,
+    },
+    /// A referenced name was never declared.
+    Undeclared(Name),
+    /// An attribute was declared on a domain.
+    AttributeOnDomain {
+        /// The offending domain.
+        domain: Name,
+    },
+    /// An attribute's target is not a domain.
+    AttributeTargetNotDomain {
+        /// The attribute's owner.
+        owner: Name,
+        /// The target.
+        target: Name,
+        /// The target's actual stratum.
+        actual: Stratum,
+    },
+    /// A relationship role's target is not an entity.
+    RoleTargetNotEntity {
+        /// The relationship.
+        relationship: Name,
+        /// The role.
+        role: Label,
+        /// The target.
+        target: Name,
+        /// The target's actual stratum.
+        actual: Stratum,
+    },
+    /// A cardinality annotation referenced a role the relationship lacks.
+    UnknownRole {
+        /// The relationship.
+        relationship: Name,
+        /// The unknown role.
+        role: Label,
+    },
+    /// The isa edges within a stratum form a cycle.
+    IsaCycle(String),
+    /// An isa edge connects different strata.
+    IsaOutsideStratum {
+        /// The offending endpoint.
+        name: Name,
+        /// The stratum required by the edge.
+        expected: Stratum,
+    },
+    /// A core-schema class violates the stratification when translating
+    /// back from the graph model (e.g. an arrow from an entity to an
+    /// entity), so the schema has left the ER model.
+    NotStratified {
+        /// The class at fault.
+        class: Class,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The underlying graph merge failed.
+    Merge(MergeError),
+    /// The underlying schema operation failed.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for ErError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErError::StratumClash {
+                name,
+                first,
+                second,
+            } => write!(f, "{name} is declared both as a {first} and as a {second}"),
+            ErError::Undeclared(name) => write!(f, "{name} is referenced but never declared"),
+            ErError::AttributeOnDomain { domain } => {
+                write!(f, "domain {domain} cannot carry attributes")
+            }
+            ErError::AttributeTargetNotDomain {
+                owner,
+                target,
+                actual,
+            } => write!(
+                f,
+                "attribute of {owner} targets {target}, which is a {actual}, not a domain"
+            ),
+            ErError::RoleTargetNotEntity {
+                relationship,
+                role,
+                target,
+                actual,
+            } => write!(
+                f,
+                "role {role} of {relationship} targets {target}, which is a {actual}, not an \
+                 entity"
+            ),
+            ErError::UnknownRole { relationship, role } => {
+                write!(f, "{relationship} has no role named {role}")
+            }
+            ErError::IsaCycle(detail) => write!(f, "isa edges are cyclic: {detail}"),
+            ErError::IsaOutsideStratum { name, expected } => {
+                write!(f, "isa edge endpoint {name} is not a {expected}")
+            }
+            ErError::NotStratified { class, reason } => {
+                write!(f, "class {class} violates ER stratification: {reason}")
+            }
+            ErError::Merge(err) => write!(f, "merge failed: {err}"),
+            ErError::Schema(err) => write!(f, "schema error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for ErError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ErError::Merge(err) => Some(err),
+            ErError::Schema(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MergeError> for ErError {
+    fn from(err: MergeError) -> Self {
+        ErError::Merge(err)
+    }
+}
+
+impl From<SchemaError> for ErError {
+    fn from(err: SchemaError) -> Self {
+        ErError::Schema(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let err = ErError::StratumClash {
+            name: Name::new("Dog"),
+            first: Stratum::Domain,
+            second: Stratum::Entity,
+        };
+        assert_eq!(err.to_string(), "Dog is declared both as a domain and as a entity");
+
+        let err = ErError::NotStratified {
+            class: Class::named("X"),
+            reason: "arrow from entity to entity".into(),
+        };
+        assert!(err.to_string().contains("violates ER stratification"));
+    }
+
+    #[test]
+    fn wraps_core_errors() {
+        let inner = SchemaError::UnknownClass(Class::named("Y"));
+        let err: ErError = inner.into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,48 @@
+//! # schema-merge-er
+//!
+//! The Entity–Relationship front-end to the schema-merging calculus of
+//! Buneman, Davidson & Kosky (EDBT 1992).
+//!
+//! ER schemas (domains / entities / relationships, attributes, roles,
+//! isa, cardinalities) translate into the paper's graph model by
+//! *stratifying* classes (§2); merging happens there ([`merge_er`]); and
+//! because the merge preserves strata (§7), results translate back.
+//! Cardinality labels ride along as key constraints (§5).
+//!
+//! ```
+//! use schema_merge_er::{merge_er, ErSchema};
+//! use schema_merge_core::Name;
+//!
+//! let g1 = ErSchema::builder()
+//!     .entity("Dog")
+//!     .attribute("Dog", "license", "int")
+//!     .build()?;
+//! let g2 = ErSchema::builder()
+//!     .entity("Dog")
+//!     .attribute("Dog", "age", "int")
+//!     .build()?;
+//! let merged = merge_er([&g1, &g2])?;
+//! assert_eq!(merged.er.attributes_of(&Name::new("Dog")).len(), 2);
+//! # Ok::<(), schema_merge_er::ErError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cardinality;
+pub mod conflicts;
+pub mod error;
+pub mod merge;
+pub mod model;
+pub mod restructure;
+pub mod translate;
+
+pub use cardinality::{cardinality_keys, keys_to_cardinalities, relationship_key_family};
+pub use conflicts::{detect_conflicts, mergeable, StructuralConflict};
+pub use error::ErError;
+pub use merge::{merge_er, preserves_strata, ErMergeOutcome};
+pub use restructure::{demote_entity, normalize_pair, promote_attribute, AppliedFix,
+    NormalPolicy, NormalizationOutcome, Promotion, RestructureError, Side, SkippedConflict};
+pub use model::{figure_1_dogs, figure_9_advisor, Cardinality, ErSchema, ErSchemaBuilder,
+    Relationship, Stratum};
+pub use translate::{class_name, class_stratum, from_core, to_core, Strata};

@@ -1,0 +1,290 @@
+//! Merging ER schemas through the graph model (§2, §5, §7).
+//!
+//! The §7 recipe: translate each ER schema into the graph model
+//! ([`crate::to_core`]), merge there, translate back ([`crate::from_core`]).
+//! Because the merge preserves strata, the translation back always
+//! succeeds for stratified inputs. Cardinality constraints ride along as
+//! key constraints (§5) and are combined into the unique minimal
+//! satisfactory assignment.
+
+use std::collections::BTreeMap;
+
+use schema_merge_core::{merge as core_merge, Class, KeyAssignment, MergeOutcome, Name,
+    SuperkeyFamily};
+
+use crate::cardinality::cardinality_keys;
+use crate::model::{ErSchema, Stratum};
+use crate::translate::{from_core, to_core, Strata};
+use crate::ErError;
+
+/// The result of an ER merge.
+#[derive(Debug, Clone)]
+pub struct ErMergeOutcome {
+    /// The merged schema, translated back into the ER model.
+    pub er: ErSchema,
+    /// The underlying graph-model outcome (weak LUB, completion, report).
+    pub core: MergeOutcome,
+    /// The combined strata assignment.
+    pub strata: Strata,
+    /// The minimal satisfactory key assignment combining every input's
+    /// cardinality-derived keys (§5).
+    pub keys: KeyAssignment,
+}
+
+/// Merges ER schemas. Fails if the same name is used in different strata
+/// across inputs, if the graph merge is incompatible, or — which §7 rules
+/// out for stratified inputs — if the result leaves the ER model.
+pub fn merge_er<'a>(
+    schemas: impl IntoIterator<Item = &'a ErSchema>,
+) -> Result<ErMergeOutcome, ErError> {
+    let inputs: Vec<&ErSchema> = schemas.into_iter().collect();
+
+    // Combined strata with clash detection.
+    let mut strata: Strata = BTreeMap::new();
+    for er in &inputs {
+        for (name, stratum) in er.strata() {
+            match strata.get(&name) {
+                None => {
+                    strata.insert(name, stratum);
+                }
+                Some(&existing) if existing == stratum => {}
+                Some(&existing) => {
+                    return Err(ErError::StratumClash {
+                        name,
+                        first: existing,
+                        second: stratum,
+                    })
+                }
+            }
+        }
+    }
+
+    let translated: Vec<_> = inputs.iter().map(|er| to_core(er).0).collect();
+    let core = core_merge(translated.iter())?;
+    let er = from_core(core.proper.as_weak(), &strata)?;
+
+    // Key contributions from every input's cardinalities, merged into the
+    // minimal satisfactory assignment over the completed schema.
+    let mut contributions: Vec<(Class, SuperkeyFamily)> = Vec::new();
+    for input in &inputs {
+        let assignment = cardinality_keys(input);
+        for class in assignment.keyed_classes() {
+            contributions.push((class.clone(), assignment.family(class)));
+        }
+    }
+    let keys = KeyAssignment::minimal_satisfactory(
+        core.proper.as_weak(),
+        contributions.iter().map(|(c, f)| (c, f)),
+    );
+
+    Ok(ErMergeOutcome {
+        er,
+        core,
+        strata,
+        keys,
+    })
+}
+
+/// Checks that a merge outcome stayed inside the ER model — the §7
+/// strata-preservation theorem, as an executable check (the classes of
+/// the merged schema all carry a stratum and `from_core` accepted the
+/// result).
+pub fn preserves_strata(outcome: &ErMergeOutcome) -> bool {
+    outcome
+        .core
+        .proper
+        .classes()
+        .all(|class| crate::translate::class_stratum(class, &outcome.strata).is_ok())
+}
+
+/// Convenience: the stratum of a merged-in name.
+pub fn merged_stratum(outcome: &ErMergeOutcome, name: &Name) -> Option<Stratum> {
+    outcome.strata.get(name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{figure_1_dogs, figure_9_advisor, Cardinality};
+    use schema_merge_core::{KeySet, Label};
+
+    fn ks(labels: &[&str]) -> KeySet {
+        KeySet::new(labels.iter().copied())
+    }
+
+    #[test]
+    fn merging_with_itself_is_identity_modulo_cardinalities() {
+        let er = figure_1_dogs();
+        let outcome = merge_er([&er, &er]).unwrap();
+        assert_eq!(outcome.er, er);
+        assert!(preserves_strata(&outcome));
+    }
+
+    #[test]
+    fn section_3_dog_example() {
+        // Two Dog entities with different attributes collapse into one
+        // carrying all five (§3).
+        let g1 = ErSchema::builder()
+            .entity("Dog")
+            .entity("Person")
+            .attribute("Dog", "License#", "int")
+            .attribute("Dog", "Breed", "breed")
+            .relationship("Owns", [("owner", "Person"), ("dog", "Dog")])
+            .build()
+            .unwrap();
+        let g2 = ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "Name", "string")
+            .attribute("Dog", "Age", "int")
+            .attribute("Dog", "Breed", "breed")
+            .build()
+            .unwrap();
+        let outcome = merge_er([&g1, &g2]).unwrap();
+        let dog_attrs = outcome.er.attributes_of(&Name::new("Dog"));
+        assert_eq!(dog_attrs.len(), 4);
+        assert!(dog_attrs.contains_key(&Label::new("License#")));
+        assert!(dog_attrs.contains_key(&Label::new("Age")));
+        assert!(outcome.er.relationship(&Name::new("Owns")).is_some());
+    }
+
+    #[test]
+    fn stratum_clash_across_schemas() {
+        let g1 = ErSchema::builder().entity("Dog").build().unwrap();
+        let g2 = ErSchema::builder()
+            .entity("Owner")
+            .attribute("Owner", "pet", "Dog")
+            .build()
+            .unwrap();
+        // g2 declares Dog as a domain (attribute target auto-declared).
+        let err = merge_er([&g1, &g2]).unwrap_err();
+        assert!(matches!(err, ErError::StratumClash { .. }));
+    }
+
+    #[test]
+    fn figure_9_key_merge() {
+        // Merging the Advisor/Committee schema (with its cardinalities)
+        // against a plain copy yields the minimal satisfactory keys:
+        // Advisor keyed by {victim} (absorbing the inherited committee
+        // key), Committee by {faculty, victim}.
+        let er = figure_9_advisor();
+        let outcome = merge_er([&er]).unwrap();
+        assert_eq!(
+            outcome.keys.family(&Class::named("Advisor")),
+            SuperkeyFamily::single(ks(&["victim"]))
+        );
+        assert_eq!(
+            outcome.keys.family(&Class::named("Committee")),
+            SuperkeyFamily::single(ks(&["faculty", "victim"]))
+        );
+        // The assignment is valid against the merged graph.
+        assert!(outcome.keys.validate(outcome.core.proper.as_weak()).is_ok());
+    }
+
+    #[test]
+    fn key_strengthening_across_schemas() {
+        // §5 end: one schema declares the key, the other doesn't; the
+        // merged schema carries it.
+        let with_key = ErSchema::builder()
+            .entity("F")
+            .entity("S")
+            .relationship("R", [("f", "F"), ("s", "S")])
+            .cardinality("R", "f", Cardinality::One)
+            .build()
+            .unwrap();
+        let without = ErSchema::builder()
+            .entity("F")
+            .entity("S")
+            .relationship("R", [("f", "F"), ("s", "S")])
+            .build()
+            .unwrap();
+        let outcome = merge_er([&with_key, &without]).unwrap();
+        let family = outcome.keys.family(&Class::named("R"));
+        assert!(family.is_superkey(&ks(&["s"])), "the 1-side key survives");
+    }
+
+    #[test]
+    fn conflicting_attribute_domains_make_an_implicit_domain() {
+        // Dog.age: int in one schema, years in the other. The merge
+        // introduces the implicit domain {int,years} below both.
+        let g1 = ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "age", "int")
+            .build()
+            .unwrap();
+        let g2 = ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "age", "years")
+            .build()
+            .unwrap();
+        let outcome = merge_er([&g1, &g2]).unwrap();
+        assert!(preserves_strata(&outcome));
+        let merged_domain = Name::new("{int,years}");
+        assert!(outcome.er.domains().any(|d| d == &merged_domain));
+        assert_eq!(
+            outcome.er.attributes_of(&Name::new("Dog"))[&Label::new("age")],
+            merged_domain
+        );
+        // The implicit domain refines both originals.
+        assert!(outcome
+            .er
+            .domain_isa()
+            .any(|(sub, sup)| sub == &merged_domain && sup.as_str() == "int"));
+    }
+
+    #[test]
+    fn isa_incompatibility_surfaces_as_merge_error() {
+        let g1 = ErSchema::builder()
+            .entity("A")
+            .entity("B")
+            .entity_isa("A", "B")
+            .build()
+            .unwrap();
+        let g2 = ErSchema::builder()
+            .entity("A")
+            .entity("B")
+            .entity_isa("B", "A")
+            .build()
+            .unwrap();
+        let err = merge_er([&g1, &g2]).unwrap_err();
+        assert!(matches!(err, ErError::Merge(_)));
+    }
+
+    #[test]
+    fn three_way_merge_is_order_independent() {
+        let g1 = figure_1_dogs();
+        let g2 = ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "license", "int")
+            .build()
+            .unwrap();
+        let g3 = ErSchema::builder()
+            .entity("Dog")
+            .entity("Trainer")
+            .relationship("TrainedBy", [("dog", "Dog"), ("by", "Trainer")])
+            .build()
+            .unwrap();
+        let a = merge_er([&g1, &g2, &g3]).unwrap();
+        let b = merge_er([&g3, &g1, &g2]).unwrap();
+        let c = merge_er([&g2, &g3, &g1]).unwrap();
+        assert_eq!(a.er, b.er);
+        assert_eq!(b.er, c.er);
+    }
+
+    #[test]
+    fn user_assertions_as_er_fragments() {
+        // §3: an assertion is an elementary schema. "Guide-dog isa Dog"
+        // as a tiny ER schema merged with Fig. 1's.
+        let assertion = ErSchema::builder()
+            .entity("Guide-dog")
+            .entity("Pet")
+            .entity_isa("Guide-dog", "Pet")
+            .build()
+            .unwrap();
+        let outcome = merge_er([&figure_1_dogs(), &assertion]).unwrap();
+        assert!(outcome
+            .er
+            .entity_isa()
+            .any(|(sub, sup)| sub.as_str() == "Guide-dog" && sup.as_str() == "Pet"));
+        assert!(preserves_strata(&outcome));
+    }
+}

@@ -1,0 +1,656 @@
+//! The Entity–Relationship model (§2 of the paper, Fig. 1).
+//!
+//! An ER schema has three strata of named things — attribute *domains*,
+//! *entities* and *relationships* — plus
+//!
+//! * attributes: labelled edges from entities or relationships to domains,
+//! * roles: labelled edges from relationships to entities (with an
+//!   optional cardinality annotation, §5),
+//! * isa edges between entities and between relationships (Fig. 1 has
+//!   entity isa; Fig. 9 has the relationship isa `Advisor ⇒ Committee`).
+//!
+//! The graph model of the paper subsumes this by *stratifying* classes;
+//! [`crate::to_core`] performs that translation and [`crate::from_core`]
+//! inverts it.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use schema_merge_core::{Label, Name};
+
+use crate::ErError;
+
+/// Which stratum a name belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Stratum {
+    /// An attribute domain (printable value set: `int`, `string`, …).
+    Domain,
+    /// An entity set.
+    Entity,
+    /// A relationship set.
+    Relationship,
+}
+
+impl fmt::Display for Stratum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Stratum::Domain => write!(f, "domain"),
+            Stratum::Entity => write!(f, "entity"),
+            Stratum::Relationship => write!(f, "relationship"),
+        }
+    }
+}
+
+/// A cardinality annotation on a relationship role (§5): `N` (many) is the
+/// unrestricted default; `1` says each combination of the *other* roles
+/// determines this one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Cardinality {
+    /// Unrestricted participation (the paper's "N" / "many").
+    #[default]
+    Many,
+    /// Functional participation (the paper's "1").
+    One,
+}
+
+impl fmt::Display for Cardinality {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cardinality::Many => write!(f, "N"),
+            Cardinality::One => write!(f, "1"),
+        }
+    }
+}
+
+/// A relationship: named roles to entities, each with a cardinality.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relationship {
+    /// Role name ↦ participating entity.
+    pub roles: BTreeMap<Label, Name>,
+    /// Role name ↦ cardinality (`Many` if unlisted).
+    pub cardinalities: BTreeMap<Label, Cardinality>,
+}
+
+impl Relationship {
+    /// The cardinality of a role (`Many` by default).
+    pub fn cardinality(&self, role: &Label) -> Cardinality {
+        self.cardinalities.get(role).copied().unwrap_or_default()
+    }
+
+    /// Whether the relationship is binary.
+    pub fn is_binary(&self) -> bool {
+        self.roles.len() == 2
+    }
+}
+
+/// An Entity–Relationship schema.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ErSchema {
+    pub(crate) domains: BTreeSet<Name>,
+    pub(crate) entities: BTreeSet<Name>,
+    pub(crate) relationships: BTreeMap<Name, Relationship>,
+    /// Attributes of entities and relationships: owner ↦ attr ↦ domain.
+    pub(crate) attributes: BTreeMap<Name, BTreeMap<Label, Name>>,
+    /// Entity isa edges (sub, sup).
+    pub(crate) entity_isa: BTreeSet<(Name, Name)>,
+    /// Relationship isa edges (sub, sup), as in Fig. 9.
+    pub(crate) relationship_isa: BTreeSet<(Name, Name)>,
+    /// Domain isa edges (sub, sup). Not part of classic ER; needed to
+    /// read back merge results where completion introduced an implicit
+    /// domain below conflicting attribute domains.
+    pub(crate) domain_isa: BTreeSet<(Name, Name)>,
+}
+
+impl ErSchema {
+    /// Starts building an ER schema.
+    pub fn builder() -> ErSchemaBuilder {
+        ErSchemaBuilder::default()
+    }
+
+    /// The domains, sorted.
+    pub fn domains(&self) -> impl Iterator<Item = &Name> {
+        self.domains.iter()
+    }
+
+    /// The entities, sorted.
+    pub fn entities(&self) -> impl Iterator<Item = &Name> {
+        self.entities.iter()
+    }
+
+    /// The relationships, sorted by name.
+    pub fn relationships(&self) -> impl Iterator<Item = (&Name, &Relationship)> {
+        self.relationships.iter()
+    }
+
+    /// A relationship by name.
+    pub fn relationship(&self, name: &Name) -> Option<&Relationship> {
+        self.relationships.get(name)
+    }
+
+    /// The attributes of an entity or relationship.
+    pub fn attributes_of(&self, owner: &Name) -> BTreeMap<Label, Name> {
+        self.attributes.get(owner).cloned().unwrap_or_default()
+    }
+
+    /// Entity isa pairs `(sub, sup)`.
+    pub fn entity_isa(&self) -> impl Iterator<Item = &(Name, Name)> {
+        self.entity_isa.iter()
+    }
+
+    /// Relationship isa pairs `(sub, sup)`.
+    pub fn relationship_isa(&self) -> impl Iterator<Item = &(Name, Name)> {
+        self.relationship_isa.iter()
+    }
+
+    /// Domain isa pairs `(sub, sup)` (merge-introduced refinements).
+    pub fn domain_isa(&self) -> impl Iterator<Item = &(Name, Name)> {
+        self.domain_isa.iter()
+    }
+
+    /// All attribute declarations: owner ↦ (attr ↦ domain).
+    pub fn all_attributes(&self) -> impl Iterator<Item = (&Name, &BTreeMap<Label, Name>)> {
+        self.attributes.iter()
+    }
+
+    /// Drops every cardinality annotation (used when comparing against a
+    /// schema read back from the graph model, which carries cardinality
+    /// information as keys instead, §5).
+    pub fn clear_cardinalities(&mut self) {
+        for rel in self.relationships.values_mut() {
+            rel.cardinalities.clear();
+        }
+    }
+
+    /// The stratum of a name, if it is declared.
+    pub fn stratum(&self, name: &Name) -> Option<Stratum> {
+        if self.domains.contains(name) {
+            Some(Stratum::Domain)
+        } else if self.entities.contains(name) {
+            Some(Stratum::Entity)
+        } else if self.relationships.contains_key(name) {
+            Some(Stratum::Relationship)
+        } else {
+            None
+        }
+    }
+
+    /// All declared names with their strata.
+    pub fn strata(&self) -> BTreeMap<Name, Stratum> {
+        let mut out = BTreeMap::new();
+        for d in &self.domains {
+            out.insert(d.clone(), Stratum::Domain);
+        }
+        for e in &self.entities {
+            out.insert(e.clone(), Stratum::Entity);
+        }
+        for r in self.relationships.keys() {
+            out.insert(r.clone(), Stratum::Relationship);
+        }
+        out
+    }
+
+    /// Counts: (domains, entities, relationships).
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (
+            self.domains.len(),
+            self.entities.len(),
+            self.relationships.len(),
+        )
+    }
+
+    /// Validates the stratification restrictions of §2:
+    ///
+    /// * every name has exactly one stratum,
+    /// * attributes run from entities/relationships to domains,
+    /// * roles run from relationships to entities,
+    /// * isa edges stay within a stratum,
+    /// * domains carry no attributes.
+    pub fn validate(&self) -> Result<(), ErError> {
+        for e in &self.entities {
+            if self.domains.contains(e) {
+                return Err(ErError::StratumClash {
+                    name: e.clone(),
+                    first: Stratum::Domain,
+                    second: Stratum::Entity,
+                });
+            }
+        }
+        for r in self.relationships.keys() {
+            if self.domains.contains(r) {
+                return Err(ErError::StratumClash {
+                    name: r.clone(),
+                    first: Stratum::Domain,
+                    second: Stratum::Relationship,
+                });
+            }
+            if self.entities.contains(r) {
+                return Err(ErError::StratumClash {
+                    name: r.clone(),
+                    first: Stratum::Entity,
+                    second: Stratum::Relationship,
+                });
+            }
+        }
+        for (owner, attrs) in &self.attributes {
+            match self.stratum(owner) {
+                Some(Stratum::Entity) | Some(Stratum::Relationship) => {}
+                Some(Stratum::Domain) => {
+                    return Err(ErError::AttributeOnDomain {
+                        domain: owner.clone(),
+                    })
+                }
+                None => return Err(ErError::Undeclared(owner.clone())),
+            }
+            for domain in attrs.values() {
+                match self.stratum(domain) {
+                    Some(Stratum::Domain) => {}
+                    Some(s) => {
+                        return Err(ErError::AttributeTargetNotDomain {
+                            owner: owner.clone(),
+                            target: domain.clone(),
+                            actual: s,
+                        })
+                    }
+                    None => return Err(ErError::Undeclared(domain.clone())),
+                }
+            }
+        }
+        for (name, rel) in &self.relationships {
+            for (role, entity) in &rel.roles {
+                match self.stratum(entity) {
+                    Some(Stratum::Entity) => {}
+                    Some(s) => {
+                        return Err(ErError::RoleTargetNotEntity {
+                            relationship: name.clone(),
+                            role: role.clone(),
+                            target: entity.clone(),
+                            actual: s,
+                        })
+                    }
+                    None => return Err(ErError::Undeclared(entity.clone())),
+                }
+            }
+            for role in rel.cardinalities.keys() {
+                if !rel.roles.contains_key(role) {
+                    return Err(ErError::UnknownRole {
+                        relationship: name.clone(),
+                        role: role.clone(),
+                    });
+                }
+            }
+        }
+        for (sub, sup) in &self.entity_isa {
+            for name in [sub, sup] {
+                if !self.entities.contains(name) {
+                    return Err(ErError::IsaOutsideStratum {
+                        name: name.clone(),
+                        expected: Stratum::Entity,
+                    });
+                }
+            }
+        }
+        for (sub, sup) in &self.relationship_isa {
+            for name in [sub, sup] {
+                if !self.relationships.contains_key(name) {
+                    return Err(ErError::IsaOutsideStratum {
+                        name: name.clone(),
+                        expected: Stratum::Relationship,
+                    });
+                }
+            }
+        }
+        for (sub, sup) in &self.domain_isa {
+            for name in [sub, sup] {
+                if !self.domains.contains(name) {
+                    return Err(ErError::IsaOutsideStratum {
+                        name: name.clone(),
+                        expected: Stratum::Domain,
+                    });
+                }
+            }
+        }
+        // Isa edges must be acyclic (the graph model's S is a partial
+        // order); detect cycles by building a specialization-only schema.
+        let mut probe = schema_merge_core::WeakSchema::builder();
+        for (sub, sup) in self
+            .entity_isa
+            .iter()
+            .chain(&self.relationship_isa)
+            .chain(&self.domain_isa)
+        {
+            probe = probe.specialize(
+                schema_merge_core::Class::Named(sub.clone()),
+                schema_merge_core::Class::Named(sup.clone()),
+            );
+        }
+        if let Err(err) = probe.build() {
+            return Err(ErError::IsaCycle(err.to_string()));
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for ErSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "er-schema {{")?;
+        for d in &self.domains {
+            writeln!(f, "  domain {d};")?;
+        }
+        for e in &self.entities {
+            write!(f, "  entity {e}")?;
+            if let Some(attrs) = self.attributes.get(e) {
+                write!(f, " (")?;
+                for (i, (a, d)) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}: {d}")?;
+                }
+                write!(f, ")")?;
+            }
+            writeln!(f, ";")?;
+        }
+        for (name, rel) in &self.relationships {
+            write!(f, "  relationship {name} (")?;
+            for (i, (role, entity)) in rel.roles.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{role}: {entity} [{}]", rel.cardinality(role))?;
+            }
+            write!(f, ")")?;
+            if let Some(attrs) = self.attributes.get(name) {
+                write!(f, " with (")?;
+                for (i, (a, d)) in attrs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}: {d}")?;
+                }
+                write!(f, ")")?;
+            }
+            writeln!(f, ";")?;
+        }
+        for (sub, sup) in &self.entity_isa {
+            writeln!(f, "  {sub} isa {sup};")?;
+        }
+        for (sub, sup) in &self.relationship_isa {
+            writeln!(f, "  {sub} isa {sup};")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`ErSchema`].
+#[derive(Debug, Clone, Default)]
+pub struct ErSchemaBuilder {
+    schema: ErSchema,
+}
+
+impl ErSchemaBuilder {
+    /// Declares an attribute domain.
+    pub fn domain(mut self, name: impl Into<Name>) -> Self {
+        self.schema.domains.insert(name.into());
+        self
+    }
+
+    /// Declares an entity.
+    pub fn entity(mut self, name: impl Into<Name>) -> Self {
+        self.schema.entities.insert(name.into());
+        self
+    }
+
+    /// Declares a relationship with `(role, entity)` pairs, all roles
+    /// cardinality `N`.
+    pub fn relationship<I, L, N>(mut self, name: impl Into<Name>, roles: I) -> Self
+    where
+        I: IntoIterator<Item = (L, N)>,
+        L: Into<Label>,
+        N: Into<Name>,
+    {
+        let rel = Relationship {
+            roles: roles
+                .into_iter()
+                .map(|(l, n)| (l.into(), n.into()))
+                .collect(),
+            cardinalities: BTreeMap::new(),
+        };
+        self.schema.relationships.insert(name.into(), rel);
+        self
+    }
+
+    /// Annotates a role's cardinality (the relationship must already be
+    /// declared; unknown relationships are reported by `build`).
+    pub fn cardinality(
+        mut self,
+        relationship: impl Into<Name>,
+        role: impl Into<Label>,
+        cardinality: Cardinality,
+    ) -> Self {
+        let name = relationship.into();
+        self.schema
+            .relationships
+            .entry(name)
+            .or_default()
+            .cardinalities
+            .insert(role.into(), cardinality);
+        self
+    }
+
+    /// Declares an attribute on an entity or relationship.
+    pub fn attribute(
+        mut self,
+        owner: impl Into<Name>,
+        attr: impl Into<Label>,
+        domain: impl Into<Name>,
+    ) -> Self {
+        let domain = domain.into();
+        self.schema.domains.insert(domain.clone());
+        self.schema
+            .attributes
+            .entry(owner.into())
+            .or_default()
+            .insert(attr.into(), domain);
+        self
+    }
+
+    /// Declares `sub isa sup` between entities.
+    pub fn entity_isa(mut self, sub: impl Into<Name>, sup: impl Into<Name>) -> Self {
+        self.schema.entity_isa.insert((sub.into(), sup.into()));
+        self
+    }
+
+    /// Declares `sub isa sup` between relationships.
+    pub fn relationship_isa(mut self, sub: impl Into<Name>, sup: impl Into<Name>) -> Self {
+        self.schema
+            .relationship_isa
+            .insert((sub.into(), sup.into()));
+        self
+    }
+
+    /// Declares `sub isa sup` between domains.
+    pub fn domain_isa(mut self, sub: impl Into<Name>, sup: impl Into<Name>) -> Self {
+        self.schema.domain_isa.insert((sub.into(), sup.into()));
+        self
+    }
+
+    /// Adds a role to an existing (or new) relationship.
+    pub fn role(
+        mut self,
+        relationship: impl Into<Name>,
+        role: impl Into<Label>,
+        entity: impl Into<Name>,
+    ) -> Self {
+        self.schema
+            .relationships
+            .entry(relationship.into())
+            .or_default()
+            .roles
+            .insert(role.into(), entity.into());
+        self
+    }
+
+    /// Validates and returns the schema.
+    pub fn build(self) -> Result<ErSchema, ErError> {
+        self.schema.validate()?;
+        Ok(self.schema)
+    }
+}
+
+/// The ER diagram of Fig. 1: dogs, kennels and their `Lives` relationship,
+/// with `Guide-dog` and `Police-dog` isa `Dog`. Used by tests, examples
+/// and the figure-reproduction harness.
+pub fn figure_1_dogs() -> ErSchema {
+    ErSchema::builder()
+        .domain("int")
+        .domain("breed")
+        .domain("place")
+        .entity("Dog")
+        .entity("Guide-dog")
+        .entity("Police-dog")
+        .entity("Kennel")
+        .attribute("Dog", "age", "int")
+        .attribute("Dog", "kind", "breed")
+        .attribute("Police-dog", "id-num", "int")
+        .attribute("Kennel", "addr", "place")
+        .entity_isa("Guide-dog", "Dog")
+        .entity_isa("Police-dog", "Dog")
+        .relationship("Lives", [("occ", "Dog"), ("home", "Kennel")])
+        .attribute("Lives", "owner", "person")
+        .build()
+        .expect("figure 1 is a valid ER schema")
+}
+
+/// The Fig. 9 schema: `Advisor isa Committee`, both relating `Faculty`
+/// and graduate students (`GS`), with the advisor's `faculty` role
+/// restricted to cardinality 1.
+pub fn figure_9_advisor() -> ErSchema {
+    ErSchema::builder()
+        .entity("Faculty")
+        .entity("GS")
+        .relationship("Committee", [("faculty", "Faculty"), ("victim", "GS")])
+        .relationship("Advisor", [("faculty", "Faculty"), ("victim", "GS")])
+        .cardinality("Advisor", "faculty", Cardinality::One)
+        .relationship_isa("Advisor", "Committee")
+        .build()
+        .expect("figure 9 is a valid ER schema")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_1_shape() {
+        let er = figure_1_dogs();
+        assert_eq!(er.counts(), (4, 4, 1));
+        let lives = er.relationship(&Name::new("Lives")).unwrap();
+        assert!(lives.is_binary());
+        assert_eq!(lives.roles[&Label::new("occ")], Name::new("Dog"));
+        assert_eq!(
+            er.attributes_of(&Name::new("Dog"))[&Label::new("age")],
+            Name::new("int")
+        );
+        assert_eq!(er.stratum(&Name::new("Lives")), Some(Stratum::Relationship));
+        assert_eq!(er.stratum(&Name::new("int")), Some(Stratum::Domain));
+    }
+
+    #[test]
+    fn figure_9_shape() {
+        let er = figure_9_advisor();
+        let advisor = er.relationship(&Name::new("Advisor")).unwrap();
+        assert_eq!(advisor.cardinality(&Label::new("faculty")), Cardinality::One);
+        assert_eq!(advisor.cardinality(&Label::new("victim")), Cardinality::Many);
+        assert!(er
+            .relationship_isa()
+            .any(|(sub, sup)| sub.as_str() == "Advisor" && sup.as_str() == "Committee"));
+    }
+
+    #[test]
+    fn stratum_clash_is_rejected() {
+        let err = ErSchema::builder()
+            .domain("Dog")
+            .entity("Dog")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::StratumClash { .. }));
+    }
+
+    #[test]
+    fn attribute_must_target_domain() {
+        let err = ErSchema::builder()
+            .entity("Dog")
+            .entity("Kennel")
+            .relationship("Lives", [("occ", "Dog")])
+            .attribute("Dog", "home", "Kennel")
+            .domain("Kennel") // clash: Kennel is an entity
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::StratumClash { .. }));
+    }
+
+    #[test]
+    fn role_must_target_entity() {
+        let err = ErSchema::builder()
+            .domain("int")
+            .relationship("R", [("x", "int")])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::RoleTargetNotEntity { .. }));
+    }
+
+    #[test]
+    fn undeclared_role_target() {
+        let err = ErSchema::builder()
+            .relationship("R", [("x", "Ghost")])
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::Undeclared(_)));
+    }
+
+    #[test]
+    fn cardinality_on_unknown_role() {
+        let err = ErSchema::builder()
+            .entity("A")
+            .relationship("R", [("x", "A")])
+            .cardinality("R", "nope", Cardinality::One)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::UnknownRole { .. }));
+    }
+
+    #[test]
+    fn isa_must_stay_in_stratum() {
+        let err = ErSchema::builder()
+            .entity("Dog")
+            .relationship("Lives", [("occ", "Dog")])
+            .entity_isa("Lives", "Dog")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, ErError::IsaOutsideStratum { .. }));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let text = figure_9_advisor().to_string();
+        assert!(text.contains("relationship Advisor"));
+        assert!(text.contains("faculty: Faculty [1]"));
+        assert!(text.contains("Advisor isa Committee"));
+    }
+
+    #[test]
+    fn attributes_on_domains_are_rejected() {
+        // Constructed directly since the builder auto-declares domains.
+        let mut schema = ErSchema::default();
+        schema.domains.insert(Name::new("int"));
+        schema
+            .attributes
+            .entry(Name::new("int"))
+            .or_default()
+            .insert(Label::new("x"), Name::new("int"));
+        assert!(matches!(
+            schema.validate(),
+            Err(ErError::AttributeOnDomain { .. })
+        ));
+    }
+}

@@ -1,0 +1,877 @@
+//! ER-level restructuring: §7's "normal form" for the stratified model.
+//!
+//! The graph-model operations (`schema_merge_core::restructure`) move
+//! between the direct-arrow and relationship-node presentations of a
+//! connection. In the stratified ER model the same mismatch appears as
+//! "an attribute in one schema may look like an entity in another
+//! schema" (§7): one database records `Dog.kennel : kennel-id`, the
+//! other declares a `Kennel` *entity*. The merge alone would present
+//! both interpretations; these operations let the designer force a
+//! single one *before* merging:
+//!
+//! * [`promote_attribute`] — attribute → entity plus a binary many-one
+//!   relationship (cardinalities chosen so the §5 key translation
+//!   recovers the attribute's functional reading);
+//! * [`demote_entity`] — the inverse, collapsing a *bare* value entity
+//!   reached through a bare binary relationship back into an attribute;
+//! * [`normalize_pair`] — drives the `conflicts` detector: given two
+//!   schemas and a [`NormalPolicy`], it applies the fixes that bring
+//!   both sides to the chosen presentation and reports what it did (and
+//!   what it could not do — per §3 the designer has the last word).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use schema_merge_core::{Label, Name};
+
+use crate::conflicts::{detect_conflicts, StructuralConflict};
+use crate::error::ErError;
+use crate::model::{Cardinality, ErSchema, Stratum};
+
+/// Why an ER restructuring operation was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestructureError {
+    /// The attribute owner must be a declared entity.
+    OwnerNotEntity(Name),
+    /// The owner has no attribute with this label.
+    NoSuchAttribute {
+        /// The attribute's owner.
+        owner: Name,
+        /// The missing label.
+        attribute: Label,
+    },
+    /// A name the operation wants to introduce is already declared (in
+    /// a conflicting stratum).
+    NameTaken {
+        /// The contested name.
+        name: Name,
+        /// Its existing stratum.
+        stratum: Stratum,
+    },
+    /// The relationship named in a demotion does not exist.
+    NoSuchRelationship(Name),
+    /// The demotion's preconditions failed; the string says which.
+    NotDemotable {
+        /// The relationship that was to be demoted.
+        relationship: Name,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// The rebuilt schema failed ER validation.
+    Er(ErError),
+}
+
+impl fmt::Display for RestructureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RestructureError::OwnerNotEntity(name) => {
+                write!(f, "{name} is not a declared entity")
+            }
+            RestructureError::NoSuchAttribute { owner, attribute } => {
+                write!(f, "{owner} has no attribute {attribute}")
+            }
+            RestructureError::NameTaken { name, stratum } => {
+                write!(f, "{name} is already declared as a {stratum}")
+            }
+            RestructureError::NoSuchRelationship(name) => {
+                write!(f, "no relationship named {name}")
+            }
+            RestructureError::NotDemotable { relationship, reason } => {
+                write!(f, "cannot demote through {relationship}: {reason}")
+            }
+            RestructureError::Er(err) => write!(f, "restructured schema is invalid: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RestructureError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RestructureError::Er(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ErError> for RestructureError {
+    fn from(err: ErError) -> Self {
+        RestructureError::Er(err)
+    }
+}
+
+/// A fully-specified attribute promotion. [`Promotion::new`] derives
+/// conventional names; the setters override them to match the other
+/// schema's vocabulary (which is what makes the subsequent merge unify
+/// the two presentations).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Promotion {
+    /// The entity whose attribute is promoted.
+    pub owner: Name,
+    /// The attribute label being promoted.
+    pub attribute: Label,
+    /// Name for the new entity (default: the attribute's spelling).
+    pub entity: Name,
+    /// Name for the new relationship (default: `<owner>-<attribute>`).
+    pub relationship: Name,
+    /// Role label pointing at the owner (default: `of`).
+    pub owner_role: Label,
+    /// Role label pointing at the new entity (default: `is`).
+    pub entity_role: Label,
+    /// Label under which the old domain hangs off the new entity
+    /// (default: `value`).
+    pub value_attribute: Label,
+}
+
+impl Promotion {
+    /// A promotion of `owner.attribute` with conventional derived names.
+    pub fn new(owner: impl Into<Name>, attribute: impl Into<Label>) -> Self {
+        let owner = owner.into();
+        let attribute = attribute.into();
+        let entity = Name::new(attribute.as_str());
+        let relationship = Name::new(format!("{owner}-{attribute}"));
+        Promotion {
+            owner,
+            attribute,
+            entity,
+            relationship,
+            owner_role: Label::new("of"),
+            entity_role: Label::new("is"),
+            value_attribute: Label::new("value"),
+        }
+    }
+
+    /// Overrides the new entity's name.
+    pub fn entity(mut self, name: impl Into<Name>) -> Self {
+        self.entity = name.into();
+        self
+    }
+
+    /// Overrides the new relationship's name.
+    pub fn relationship(mut self, name: impl Into<Name>) -> Self {
+        self.relationship = name.into();
+        self
+    }
+
+    /// Overrides both role labels.
+    pub fn roles(mut self, owner_role: impl Into<Label>, entity_role: impl Into<Label>) -> Self {
+        self.owner_role = owner_role.into();
+        self.entity_role = entity_role.into();
+        self
+    }
+
+    /// Overrides the label for the carried-over domain attribute.
+    pub fn value_attribute(mut self, label: impl Into<Label>) -> Self {
+        self.value_attribute = label.into();
+        self
+    }
+}
+
+/// Promotes an attribute to an entity connected through a binary
+/// many-one relationship.
+///
+/// `owner.attribute : D` becomes: entity `promotion.entity` with
+/// attribute `value_attribute : D`, and relationship
+/// `promotion.relationship` with roles `owner_role → owner` (cardinality
+/// `N`) and `entity_role → entity` (cardinality `1`). The `1` on the
+/// entity side preserves the attribute's functional reading: by the §5
+/// translation the owner role alone keys the relationship, exactly as
+/// the original single-valued attribute did.
+pub fn promote_attribute(
+    schema: &ErSchema,
+    promotion: &Promotion,
+) -> Result<ErSchema, RestructureError> {
+    if schema.stratum(&promotion.owner) != Some(Stratum::Entity) {
+        return Err(RestructureError::OwnerNotEntity(promotion.owner.clone()));
+    }
+    let Some(domain) = schema
+        .attributes_of(&promotion.owner)
+        .get(&promotion.attribute)
+        .cloned()
+    else {
+        return Err(RestructureError::NoSuchAttribute {
+            owner: promotion.owner.clone(),
+            attribute: promotion.attribute.clone(),
+        });
+    };
+    for (name, wanted) in [
+        (&promotion.entity, Stratum::Entity),
+        (&promotion.relationship, Stratum::Relationship),
+    ] {
+        if let Some(existing) = schema.stratum(name) {
+            if existing != wanted {
+                return Err(RestructureError::NameTaken {
+                    name: name.clone(),
+                    stratum: existing,
+                });
+            }
+        }
+    }
+
+    let mut out = schema.clone();
+    let attrs = out
+        .attributes
+        .get_mut(&promotion.owner)
+        .expect("owner has attributes: checked above");
+    attrs.remove(&promotion.attribute);
+    if attrs.is_empty() {
+        out.attributes.remove(&promotion.owner);
+    }
+    out.entities.insert(promotion.entity.clone());
+    out.attributes
+        .entry(promotion.entity.clone())
+        .or_default()
+        .insert(promotion.value_attribute.clone(), domain);
+    let rel = out.relationships.entry(promotion.relationship.clone()).or_default();
+    rel.roles.insert(promotion.owner_role.clone(), promotion.owner.clone());
+    rel.roles.insert(promotion.entity_role.clone(), promotion.entity.clone());
+    rel.cardinalities.insert(promotion.owner_role.clone(), Cardinality::Many);
+    rel.cardinalities.insert(promotion.entity_role.clone(), Cardinality::One);
+    out.validate()?;
+    Ok(out)
+}
+
+/// Collapses a bare value entity, reached through a bare binary many-one
+/// relationship, back into an attribute — the inverse of
+/// [`promote_attribute`].
+///
+/// The relationship must be binary with exactly one role of cardinality
+/// `1`; the entity on that role must carry exactly one attribute (whose
+/// domain the restored attribute reuses), no isa edges, and participate
+/// in no other relationship. The restored attribute on the owner is
+/// labelled `new_attribute`.
+pub fn demote_entity(
+    schema: &ErSchema,
+    relationship: &Name,
+    new_attribute: impl Into<Label>,
+) -> Result<ErSchema, RestructureError> {
+    let new_attribute = new_attribute.into();
+    let Some(rel) = schema.relationship(relationship) else {
+        return Err(RestructureError::NoSuchRelationship(relationship.clone()));
+    };
+    let fail = |reason: &str| RestructureError::NotDemotable {
+        relationship: relationship.clone(),
+        reason: reason.to_string(),
+    };
+    if !rel.is_binary() {
+        return Err(fail("the relationship is not binary"));
+    }
+    let one_roles: Vec<&Label> = rel
+        .roles
+        .keys()
+        .filter(|role| rel.cardinality(role) == Cardinality::One)
+        .collect();
+    if one_roles.len() != 1 {
+        return Err(fail("exactly one role must have cardinality 1"));
+    }
+    let value_role = one_roles[0].clone();
+    let value_entity = rel.roles[&value_role].clone();
+    let (owner_role, owner) = rel
+        .roles
+        .iter()
+        .find(|(role, _)| **role != value_role)
+        .map(|(role, entity)| (role.clone(), entity.clone()))
+        .expect("binary relationship has a second role");
+    let _ = owner_role;
+    if owner == value_entity {
+        return Err(fail("both roles point at the same entity"));
+    }
+
+    // The value entity must be bare.
+    let value_attrs = schema.attributes_of(&value_entity);
+    if value_attrs.len() != 1 {
+        return Err(fail("the value entity must carry exactly one attribute"));
+    }
+    let domain = value_attrs.values().next().expect("one attribute").clone();
+    if schema
+        .entity_isa()
+        .any(|(sub, sup)| *sub == value_entity || *sup == value_entity)
+    {
+        return Err(fail("the value entity participates in isa edges"));
+    }
+    let other_participation = schema.relationships().any(|(name, r)| {
+        name != relationship && r.roles.values().any(|entity| *entity == value_entity)
+    });
+    if other_participation {
+        return Err(fail("the value entity participates in another relationship"));
+    }
+    if schema.attributes_of(&owner).contains_key(&new_attribute) {
+        return Err(fail("the owner already has an attribute with the chosen label"));
+    }
+
+    let mut out = schema.clone();
+    out.relationships.remove(relationship);
+    out.entities.remove(&value_entity);
+    out.attributes.remove(&value_entity);
+    out.attributes
+        .entry(owner)
+        .or_default()
+        .insert(new_attribute, domain);
+    out.validate()?;
+    Ok(out)
+}
+
+/// Which presentation [`normalize_pair`] should drive both schemas to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NormalPolicy {
+    /// Promote attributes so every shared concept is an entity reached
+    /// through a relationship (the lossless direction; default).
+    #[default]
+    PreferEntity,
+    /// Demote bare value entities to attributes where possible. Fixes
+    /// that would lose structure are skipped and reported.
+    PreferAttribute,
+}
+
+/// Which input schema a fix was applied to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    /// The first schema passed to [`normalize_pair`].
+    Left,
+    /// The second schema passed to [`normalize_pair`].
+    Right,
+}
+
+impl fmt::Display for Side {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Side::Left => write!(f, "left"),
+            Side::Right => write!(f, "right"),
+        }
+    }
+}
+
+/// One restructuring step `normalize_pair` performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AppliedFix {
+    /// Which schema was rewritten.
+    pub side: Side,
+    /// What was done, for the designer's audit trail.
+    pub description: String,
+}
+
+/// A conflict `normalize_pair` left for the designer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SkippedConflict {
+    /// The conflict as detected.
+    pub conflict: StructuralConflict,
+    /// Why no automatic fix was applied.
+    pub reason: String,
+}
+
+/// The outcome of [`normalize_pair`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormalizationOutcome {
+    /// The (possibly rewritten) left schema.
+    pub left: ErSchema,
+    /// The (possibly rewritten) right schema.
+    pub right: ErSchema,
+    /// Fixes applied, in order.
+    pub applied: Vec<AppliedFix>,
+    /// Conflicts that remain for the designer.
+    pub skipped: Vec<SkippedConflict>,
+}
+
+impl NormalizationOutcome {
+    /// Whether every detected conflict was fixed.
+    pub fn is_clean(&self) -> bool {
+        self.skipped.is_empty()
+    }
+}
+
+/// Brings two ER schemas to a common structural presentation (§7's
+/// "normal form") ahead of a merge.
+///
+/// Fixable conflicts are attribute-versus-entity mismatches
+/// ([`StructuralConflict::AttributeVersusThing`] with an entity on the
+/// thing side) and reified-versus-direct connections
+/// ([`StructuralConflict::ReifiedVersusDirect`]); everything else — and
+/// every fix whose preconditions fail — is returned in `skipped`. The
+/// merge itself is never attempted here: per §3 the designer reviews the
+/// outcome first.
+pub fn normalize_pair(
+    left: &ErSchema,
+    right: &ErSchema,
+    policy: NormalPolicy,
+) -> NormalizationOutcome {
+    let mut out = NormalizationOutcome {
+        left: left.clone(),
+        right: right.clone(),
+        applied: Vec::new(),
+        skipped: Vec::new(),
+    };
+
+    // Iterate to a fixpoint: fixing one conflict can expose or retire
+    // others. Bounded by the number of initially detected conflicts plus
+    // one sweep to confirm quiescence.
+    let mut budget = detect_conflicts(left, right).len() + 1;
+    loop {
+        let conflicts = detect_conflicts(&out.left, &out.right);
+        let mut progressed = false;
+        for conflict in conflicts {
+            if out
+                .skipped
+                .iter()
+                .any(|skipped| skipped.conflict == conflict)
+            {
+                continue;
+            }
+            match try_fix(&mut out, &conflict, policy) {
+                FixResult::Applied => {
+                    progressed = true;
+                    break; // re-detect from scratch
+                }
+                FixResult::Skipped(reason) => {
+                    out.skipped.push(SkippedConflict { conflict, reason });
+                }
+            }
+        }
+        budget = budget.saturating_sub(1);
+        if !progressed || budget == 0 {
+            break;
+        }
+    }
+    // A fix applied later in the loop can retire a conflict that was
+    // recorded as skipped earlier; keep only the ones still detected.
+    let remaining = detect_conflicts(&out.left, &out.right);
+    out.skipped.retain(|skipped| remaining.contains(&skipped.conflict));
+    out
+}
+
+enum FixResult {
+    Applied,
+    Skipped(String),
+}
+
+fn try_fix(
+    out: &mut NormalizationOutcome,
+    conflict: &StructuralConflict,
+    policy: NormalPolicy,
+) -> FixResult {
+    match conflict {
+        StructuralConflict::StratumMismatch { name, .. } => FixResult::Skipped(format!(
+            "{name} changes stratum between the schemas; only a rename can resolve this"
+        )),
+        StructuralConflict::AttributeVersusThing {
+            name,
+            attribute_on,
+            attribute_in_left,
+            thing_stratum,
+        } => {
+            if *thing_stratum != Stratum::Entity {
+                return FixResult::Skipped(format!(
+                    "{name} is a {thing_stratum} on the other side; promotion only targets \
+                     entities"
+                ));
+            }
+            match policy {
+                NormalPolicy::PreferEntity => {
+                    let (schema, side) = if *attribute_in_left {
+                        (&mut out.left, Side::Left)
+                    } else {
+                        (&mut out.right, Side::Right)
+                    };
+                    let promotion =
+                        Promotion::new(attribute_on.clone(), Label::new(name.as_str()));
+                    match promote_attribute(schema, &promotion) {
+                        Ok(fixed) => {
+                            *schema = fixed;
+                            out.applied.push(AppliedFix {
+                                side,
+                                description: format!(
+                                    "promoted {attribute_on}.{name} to entity {name} via \
+                                     relationship {}",
+                                    promotion.relationship
+                                ),
+                            });
+                            FixResult::Applied
+                        }
+                        Err(err) => FixResult::Skipped(err.to_string()),
+                    }
+                }
+                NormalPolicy::PreferAttribute => {
+                    // Demote on the thing side: find a demotable binary
+                    // relationship reaching the entity.
+                    let (schema, side) = if *attribute_in_left {
+                        (&mut out.right, Side::Right)
+                    } else {
+                        (&mut out.left, Side::Left)
+                    };
+                    let candidate: Option<Name> = schema
+                        .relationships()
+                        .filter(|(_, rel)| {
+                            rel.is_binary() && rel.roles.values().any(|entity| entity == name)
+                        })
+                        .map(|(rel_name, _)| rel_name.clone())
+                        .find(|rel_name| {
+                            demote_entity(schema, rel_name, Label::new(name.as_str())).is_ok()
+                        });
+                    match candidate {
+                        Some(rel_name) => {
+                            let fixed = demote_entity(schema, &rel_name, Label::new(name.as_str()))
+                                .expect("probed above");
+                            *schema = fixed;
+                            out.applied.push(AppliedFix {
+                                side,
+                                description: format!(
+                                    "demoted entity {name} (through {rel_name}) to an attribute"
+                                ),
+                            });
+                            FixResult::Applied
+                        }
+                        None => FixResult::Skipped(format!(
+                            "entity {name} has no demotable relationship; demotion would lose \
+                             structure"
+                        )),
+                    }
+                }
+            }
+        }
+        StructuralConflict::ReifiedVersusDirect {
+            relationship,
+            participants,
+            reified_in_left,
+        } => {
+            if policy == NormalPolicy::PreferAttribute {
+                return FixResult::Skipped(format!(
+                    "{relationship} stays reified: flattening a relationship node loses its \
+                     identity; re-run with PreferEntity to promote the direct side instead"
+                ));
+            }
+            let (direct_schema, reified_schema, side) = if *reified_in_left {
+                (&mut out.right, &out.left, Side::Right)
+            } else {
+                (&mut out.left, &out.right, Side::Left)
+            };
+            let Some(rel) = reified_schema.relationship(relationship) else {
+                return FixResult::Skipped(format!(
+                    "{relationship} disappeared from the reified side"
+                ));
+            };
+            let rel_roles = rel.roles.clone();
+            // Find the direct attribute: on one participant, labelled
+            // like the other participant or like the relationship.
+            let participants: Vec<&Name> = participants.iter().collect();
+            let mut fix: Option<(Name, Label, Name)> = None; // owner, attr, target entity
+            for owner in &participants {
+                for other in &participants {
+                    if owner == other {
+                        continue;
+                    }
+                    for label in direct_schema.attributes_of(owner).keys() {
+                        if label.as_str().eq_ignore_ascii_case(other.as_str())
+                            || label.as_str().eq_ignore_ascii_case(relationship.as_str())
+                        {
+                            fix = Some(((*owner).clone(), label.clone(), (*other).clone()));
+                        }
+                    }
+                }
+            }
+            let Some((owner, attribute, target)) = fix else {
+                return FixResult::Skipped(format!(
+                    "no direct attribute matching {relationship} found on the other side"
+                ));
+            };
+            // Mirror the reified side's vocabulary so the merge unifies
+            // the two presentations.
+            let owner_role = rel_roles
+                .iter()
+                .find(|(_, entity)| **entity == owner)
+                .map(|(role, _)| role.clone());
+            let target_role = rel_roles
+                .iter()
+                .find(|(_, entity)| **entity == target)
+                .map(|(role, _)| role.clone());
+            let (Some(owner_role), Some(target_role)) = (owner_role, target_role) else {
+                return FixResult::Skipped(format!(
+                    "{relationship}'s roles do not cover both participants"
+                ));
+            };
+            let promotion = Promotion::new(owner.clone(), attribute.clone())
+                .entity(target.clone())
+                .relationship(relationship.clone())
+                .roles(owner_role, target_role);
+            match promote_attribute(direct_schema, &promotion) {
+                Ok(fixed) => {
+                    *direct_schema = fixed;
+                    out.applied.push(AppliedFix {
+                        side,
+                        description: format!(
+                            "reified {owner}.{attribute} into relationship {relationship} with \
+                             entity {target}"
+                        ),
+                    });
+                    FixResult::Applied
+                }
+                Err(err) => FixResult::Skipped(err.to_string()),
+            }
+        }
+    }
+}
+
+/// The names `normalize_pair` would need free on the attribute side for
+/// an attribute-versus-entity fix — exposed so interactive tools can
+/// warn about collisions before committing.
+pub fn promotion_name_requirements(promotion: &Promotion) -> BTreeSet<Name> {
+    let mut names = BTreeSet::new();
+    names.insert(promotion.entity.clone());
+    names.insert(promotion.relationship.clone());
+    names
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_er;
+
+    fn n(s: &str) -> Name {
+        Name::new(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    /// Left database: kennels are a mere attribute of dogs.
+    fn attribute_view() -> ErSchema {
+        ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "kennel", "kennel-id")
+            .attribute("Dog", "age", "int")
+            .build()
+            .expect("valid")
+    }
+
+    /// Right database: kennels are entities in their own right.
+    fn entity_view() -> ErSchema {
+        ErSchema::builder()
+            .entity("Dog")
+            .entity("kennel")
+            .attribute("kennel", "addr", "place")
+            .build()
+            .expect("valid")
+    }
+
+    #[test]
+    fn promotion_builds_the_textbook_shape() {
+        let g = attribute_view();
+        let promotion = Promotion::new("Dog", "kennel");
+        let promoted = promote_attribute(&g, &promotion).expect("promotes");
+
+        assert_eq!(promoted.stratum(&n("kennel")), Some(Stratum::Entity));
+        let rel = promoted.relationship(&n("Dog-kennel")).expect("relationship exists");
+        assert_eq!(rel.roles[&l("of")], n("Dog"));
+        assert_eq!(rel.roles[&l("is")], n("kennel"));
+        assert_eq!(rel.cardinality(&l("of")), Cardinality::Many);
+        assert_eq!(rel.cardinality(&l("is")), Cardinality::One);
+        // The old domain survives as the value attribute.
+        assert_eq!(promoted.attributes_of(&n("kennel"))[&l("value")], n("kennel-id"));
+        // The owner keeps its other attributes and loses the promoted one.
+        assert!(promoted.attributes_of(&n("Dog")).contains_key(&l("age")));
+        assert!(!promoted.attributes_of(&n("Dog")).contains_key(&l("kennel")));
+    }
+
+    #[test]
+    fn promotion_requires_an_entity_owner_and_existing_attribute() {
+        let g = attribute_view();
+        let err = promote_attribute(&g, &Promotion::new("kennel-id", "x")).unwrap_err();
+        assert!(matches!(err, RestructureError::OwnerNotEntity(_)));
+        let err = promote_attribute(&g, &Promotion::new("Dog", "missing")).unwrap_err();
+        assert!(matches!(err, RestructureError::NoSuchAttribute { .. }));
+    }
+
+    #[test]
+    fn promotion_rejects_stratum_collisions() {
+        let g = ErSchema::builder()
+            .entity("Dog")
+            .attribute("Dog", "kind", "breed")
+            .build()
+            .expect("valid");
+        // "kind"'s default entity name collides with the domain "breed"
+        // only if we ask for it explicitly.
+        let promotion = Promotion::new("Dog", "kind").entity("breed");
+        let err = promote_attribute(&g, &promotion).unwrap_err();
+        assert!(matches!(err, RestructureError::NameTaken { .. }));
+    }
+
+    #[test]
+    fn demotion_inverts_promotion() {
+        let g = attribute_view();
+        let promotion = Promotion::new("Dog", "kennel");
+        let promoted = promote_attribute(&g, &promotion).expect("promotes");
+        let demoted =
+            demote_entity(&promoted, &n("Dog-kennel"), l("kennel")).expect("demotes");
+        assert_eq!(demoted, g);
+    }
+
+    #[test]
+    fn demotion_preconditions() {
+        let err = demote_entity(&attribute_view(), &n("Ghost"), l("x")).unwrap_err();
+        assert!(matches!(err, RestructureError::NoSuchRelationship(_)));
+
+        // Value entity with extra structure is protected.
+        let g = ErSchema::builder()
+            .entity("Dog")
+            .entity("Kennel")
+            .attribute("Kennel", "id", "kennel-id")
+            .attribute("Kennel", "addr", "place")
+            .relationship("Lives", [("occ", "Dog"), ("home", "Kennel")])
+            .cardinality("Lives", "home", Cardinality::One)
+            .build()
+            .expect("valid");
+        let err = demote_entity(&g, &n("Lives"), l("kennel")).unwrap_err();
+        assert!(matches!(err, RestructureError::NotDemotable { .. }));
+
+        // No `1` role: the connection is many-many, not an attribute.
+        let g = ErSchema::builder()
+            .entity("Dog")
+            .entity("Kennel")
+            .attribute("Kennel", "id", "kennel-id")
+            .relationship("Lives", [("occ", "Dog"), ("home", "Kennel")])
+            .build()
+            .expect("valid");
+        let err = demote_entity(&g, &n("Lives"), l("kennel")).unwrap_err();
+        assert!(matches!(err, RestructureError::NotDemotable { .. }));
+    }
+
+    #[test]
+    fn demotion_refuses_shared_value_entities() {
+        let g = ErSchema::builder()
+            .entity("Dog")
+            .entity("Cat")
+            .entity("Chip")
+            .attribute("Chip", "serial", "int")
+            .relationship("DogChip", [("of", "Dog"), ("is", "Chip")])
+            .cardinality("DogChip", "is", Cardinality::One)
+            .relationship("CatChip", [("of", "Cat"), ("is", "Chip")])
+            .cardinality("CatChip", "is", Cardinality::One)
+            .build()
+            .expect("valid");
+        let err = demote_entity(&g, &n("DogChip"), l("chip")).unwrap_err();
+        assert!(matches!(err, RestructureError::NotDemotable { .. }));
+    }
+
+    #[test]
+    fn normalize_prefers_entities_and_clears_the_conflict() {
+        let left = attribute_view();
+        let right = entity_view();
+        assert!(!detect_conflicts(&left, &right).is_empty());
+
+        let outcome = normalize_pair(&left, &right, NormalPolicy::PreferEntity);
+        assert!(outcome.is_clean(), "skipped: {:?}", outcome.skipped);
+        assert_eq!(outcome.applied.len(), 1);
+        assert_eq!(outcome.applied[0].side, Side::Left);
+        assert!(detect_conflicts(&outcome.left, &outcome.right).is_empty());
+
+        // And the normalized pair merges: one kennel entity, carrying
+        // both the value attribute and the right side's addr.
+        let merged = merge_er([&outcome.left, &outcome.right]).expect("merges");
+        assert_eq!(merged.er.stratum(&n("kennel")), Some(Stratum::Entity));
+        let attrs = merged.er.attributes_of(&n("kennel"));
+        assert!(attrs.contains_key(&l("value")));
+        assert!(attrs.contains_key(&l("addr")));
+    }
+
+    #[test]
+    fn normalize_prefer_attribute_demotes_bare_entities() {
+        // Right side's kennel is bare (one attribute, one demotable
+        // relationship), so PreferAttribute collapses it.
+        let left = attribute_view();
+        let right = ErSchema::builder()
+            .entity("Dog")
+            .entity("kennel")
+            .attribute("kennel", "id", "kennel-id")
+            .relationship("Dog-kennel", [("of", "Dog"), ("is", "kennel")])
+            .cardinality("Dog-kennel", "is", Cardinality::One)
+            .build()
+            .expect("valid");
+        let outcome = normalize_pair(&left, &right, NormalPolicy::PreferAttribute);
+        assert!(outcome.is_clean(), "skipped: {:?}", outcome.skipped);
+        assert_eq!(outcome.applied.len(), 1);
+        assert_eq!(outcome.applied[0].side, Side::Right);
+        assert!(outcome.right.relationship(&n("Dog-kennel")).is_none());
+        assert_eq!(outcome.right.stratum(&n("kennel")), None);
+        assert!(outcome.right.attributes_of(&n("Dog")).contains_key(&l("kennel")));
+    }
+
+    #[test]
+    fn normalize_skips_what_it_cannot_fix() {
+        // The entity has real structure; PreferAttribute must not lose it.
+        let left = attribute_view();
+        let right = entity_view(); // kennel has no relationship to demote through
+        let outcome = normalize_pair(&left, &right, NormalPolicy::PreferAttribute);
+        assert!(!outcome.is_clean());
+        assert_eq!(outcome.applied, vec![]);
+        assert_eq!(outcome.skipped.len(), 1);
+        // Inputs untouched.
+        assert_eq!(outcome.left, left);
+        assert_eq!(outcome.right, right);
+    }
+
+    #[test]
+    fn normalize_fixes_reified_versus_direct() {
+        // Left reifies ownership; right draws it as a direct attribute
+        // labelled like the relationship.
+        let left = ErSchema::builder()
+            .entity("Person")
+            .entity("Dog")
+            .relationship("Owns", [("owner", "Person"), ("pet", "Dog")])
+            .build()
+            .expect("valid");
+        let right = ErSchema::builder()
+            .entity("Person")
+            .entity("Dog")
+            .attribute("Person", "owns", "dog-id")
+            .build()
+            .expect("valid");
+        let outcome = normalize_pair(&left, &right, NormalPolicy::PreferEntity);
+        assert!(outcome.is_clean(), "skipped: {:?}", outcome.skipped);
+        let rel = outcome.right.relationship(&n("Owns")).expect("reified on the right");
+        assert_eq!(rel.roles[&l("owner")], n("Person"));
+        assert_eq!(rel.roles[&l("pet")], n("Dog"));
+        // The two sides now merge into a single Owns relationship.
+        let merged = merge_er([&outcome.left, &outcome.right]).expect("merges");
+        assert_eq!(
+            merged.er.stratum(&n("Owns")),
+            Some(Stratum::Relationship)
+        );
+    }
+
+    #[test]
+    fn normalize_reified_versus_direct_stays_put_under_prefer_attribute() {
+        let left = ErSchema::builder()
+            .entity("Person")
+            .entity("Dog")
+            .relationship("Owns", [("owner", "Person"), ("pet", "Dog")])
+            .build()
+            .expect("valid");
+        let right = ErSchema::builder()
+            .entity("Person")
+            .entity("Dog")
+            .attribute("Person", "owns", "dog-id")
+            .build()
+            .expect("valid");
+        let outcome = normalize_pair(&left, &right, NormalPolicy::PreferAttribute);
+        assert!(!outcome.is_clean());
+        assert_eq!(outcome.left, left);
+        assert_eq!(outcome.right, right);
+    }
+
+    #[test]
+    fn clean_pairs_are_untouched() {
+        let g1 = crate::model::figure_1_dogs();
+        let g2 = crate::model::figure_9_advisor();
+        let outcome = normalize_pair(&g1, &g2, NormalPolicy::PreferEntity);
+        assert!(outcome.is_clean());
+        assert!(outcome.applied.is_empty());
+        assert_eq!(outcome.left, g1);
+        assert_eq!(outcome.right, g2);
+    }
+
+    #[test]
+    fn name_requirements_helper() {
+        let promotion = Promotion::new("Dog", "kennel");
+        let names = promotion_name_requirements(&promotion);
+        assert!(names.contains(&n("kennel")));
+        assert!(names.contains(&n("Dog-kennel")));
+    }
+}

@@ -1,0 +1,345 @@
+//! Translation between the ER model and the paper's graph model (§2).
+//!
+//! "For the E-R model, we stratify C into three classes (attribute
+//! domains, entities and relationships) and again place certain
+//! restrictions on the edges." Merging then happens in the graph model,
+//! and §7 asserts the merge *preserves strata*, so the result translates
+//! back. [`to_core`] and [`from_core`] implement the two directions;
+//! [`from_core`] doubles as the strata-preservation checker.
+
+use std::collections::BTreeMap;
+
+use schema_merge_core::{Class, Name, WeakSchema};
+
+use crate::model::{ErSchema, Stratum};
+use crate::ErError;
+
+/// The strata assignment accompanying a translated schema.
+pub type Strata = BTreeMap<Name, Stratum>;
+
+/// ER names translate to classes through the origin syntax, so implicit
+/// classes survive a round-trip through the ER model.
+fn class_of(name: &Name) -> Class {
+    Class::from_origin_syntax(name.as_str())
+}
+
+/// Translates an ER schema into the graph model: every domain, entity and
+/// relationship becomes a class; attributes and roles become arrows; isa
+/// edges become specializations.
+///
+/// Names in the implicit-origin syntax (`{a,b}` / `{a|b}`) — produced
+/// when a previous merge's result was read back into the ER model — are
+/// recognized and become implicit classes again, so repeated merging
+/// keeps its order-independence (see `Class::from_origin_syntax`).
+pub fn to_core(er: &ErSchema) -> (WeakSchema, Strata) {
+    let mut builder = WeakSchema::builder();
+    for d in er.domains() {
+        builder = builder.class(class_of(d));
+    }
+    for e in er.entities() {
+        builder = builder.class(class_of(e));
+    }
+    for (name, rel) in er.relationships() {
+        builder = builder.class(class_of(name));
+        for (role, entity) in &rel.roles {
+            builder = builder.arrow(class_of(name), role.clone(), class_of(entity));
+        }
+    }
+    for (owner, attrs) in er.all_attributes() {
+        for (attr, domain) in attrs {
+            builder = builder.arrow(class_of(owner), attr.clone(), class_of(domain));
+        }
+    }
+    for (sub, sup) in er.entity_isa() {
+        builder = builder.specialize(class_of(sub), class_of(sup));
+    }
+    for (sub, sup) in er.relationship_isa() {
+        builder = builder.specialize(class_of(sub), class_of(sup));
+    }
+    for (sub, sup) in er.domain_isa() {
+        builder = builder.specialize(class_of(sub), class_of(sup));
+    }
+    let schema = builder
+        .build()
+        .expect("ER isa edges are validated acyclic per stratum");
+    (schema, er.strata())
+}
+
+/// The stratum of a class under a strata assignment. Implicit classes
+/// inherit the (necessarily unanimous) stratum of their origins.
+pub fn class_stratum(class: &Class, strata: &Strata) -> Result<Stratum, ErError> {
+    match class {
+        Class::Named(name) => strata
+            .get(name)
+            .copied()
+            .ok_or_else(|| ErError::Undeclared(name.clone())),
+        Class::Implicit(origin) | Class::ImplicitUnion(origin) => {
+            let mut found: Option<Stratum> = None;
+            for name in origin.iter() {
+                let s = strata
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| ErError::Undeclared(name.clone()))?;
+                match found {
+                    None => found = Some(s),
+                    Some(prev) if prev == s => {}
+                    Some(prev) => {
+                        return Err(ErError::NotStratified {
+                            class: class.clone(),
+                            reason: format!(
+                                "implicit class mixes strata: {name} is a {s}, earlier origin \
+                                 was a {prev}"
+                            ),
+                        })
+                    }
+                }
+            }
+            found.ok_or_else(|| ErError::NotStratified {
+                class: class.clone(),
+                reason: "implicit class with empty origin".into(),
+            })
+        }
+    }
+}
+
+/// The ER-side name of a class: named classes keep their name; implicit
+/// classes are named by their printed origin set (`{C,D}`), matching the
+/// paper's convention that the name "describes its own origin".
+pub fn class_name(class: &Class) -> Name {
+    match class {
+        Class::Named(name) => name.clone(),
+        other => Name::new(other.to_string()),
+    }
+}
+
+/// Translates a graph schema back into the ER model under a strata
+/// assignment, verifying the stratification restrictions:
+///
+/// * arrows from entities go to domains (attributes),
+/// * arrows from relationships go to entities (roles) or domains
+///   (relationship attributes),
+/// * domains have no outgoing arrows,
+/// * specializations stay within one stratum.
+///
+/// Succeeding is exactly what "the merge preserves strata" (§7) promises
+/// for merge results of translated ER schemas.
+pub fn from_core(schema: &WeakSchema, strata: &Strata) -> Result<ErSchema, ErError> {
+    let mut builder = ErSchema::builder();
+    let mut stratum_of: BTreeMap<Class, Stratum> = BTreeMap::new();
+    for class in schema.classes() {
+        let stratum = class_stratum(class, strata)?;
+        stratum_of.insert(class.clone(), stratum);
+        let name = class_name(class);
+        builder = match stratum {
+            Stratum::Domain => builder.domain(name),
+            Stratum::Entity => builder.entity(name),
+            Stratum::Relationship => builder.relationship(name, Vec::<(&str, &str)>::new()),
+        };
+    }
+
+    // Only the *canonical* information needs to be carried over: W1/W2
+    // closure is re-derivable, and re-declaring every closed arrow would
+    // make e.g. roles appear on every specialization. We therefore keep an
+    // arrow (p, a, q) only when it is not derivable from another kept
+    // arrow — i.e. when no proper source-ancestor has the arrow and q is
+    // minimal among p's a-targets.
+    for (src, label, tgt) in schema.arrow_triples() {
+        let derivable_from_super = schema
+            .strict_supers(src)
+            .iter()
+            .any(|sup| schema.has_arrow(sup, label, tgt));
+        let tighter_target_exists = schema
+            .arrow_targets(src, label)
+            .iter()
+            .any(|other| other != tgt && schema.specializes(other, tgt));
+        if derivable_from_super || tighter_target_exists {
+            continue;
+        }
+        let src_stratum = stratum_of[src];
+        let tgt_stratum = stratum_of[tgt];
+        let (src_name, tgt_name) = (class_name(src), class_name(tgt));
+        builder = match (src_stratum, tgt_stratum) {
+            (Stratum::Entity, Stratum::Domain) | (Stratum::Relationship, Stratum::Domain) => {
+                builder.attribute(src_name, label.clone(), tgt_name)
+            }
+            (Stratum::Relationship, Stratum::Entity) => {
+                builder.role(src_name, label.clone(), tgt_name)
+            }
+            (from, to) => {
+                return Err(ErError::NotStratified {
+                    class: src.clone(),
+                    reason: format!(
+                        "arrow {src} --{label}--> {tgt} runs from a {from} to a {to}"
+                    ),
+                })
+            }
+        };
+    }
+
+    // Specializations: keep the transitive reduction within each stratum.
+    for (sub, sup) in schema.specialization_pairs() {
+        let covered_by_mid = schema.strict_supers(sub).iter().any(|mid| {
+            mid != sup && schema.specializes(mid, sup)
+        });
+        if covered_by_mid {
+            continue;
+        }
+        let (s1, s2) = (stratum_of[sub], stratum_of[sup]);
+        if s1 != s2 {
+            return Err(ErError::NotStratified {
+                class: sub.clone(),
+                reason: format!("{sub} ({s1}) specializes {sup} ({s2})"),
+            });
+        }
+        let (sub_name, sup_name) = (class_name(sub), class_name(sup));
+        builder = match s1 {
+            Stratum::Entity => builder.entity_isa(sub_name, sup_name),
+            Stratum::Relationship => builder.relationship_isa(sub_name, sup_name),
+            Stratum::Domain => builder.domain_isa(sub_name, sup_name),
+        };
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::figure_1_dogs;
+    use schema_merge_core::Label;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn figure_1_translates_to_figure_2() {
+        // The paper's Fig. 2 is the graph translation of Fig. 1.
+        let (schema, strata) = to_core(&figure_1_dogs());
+        // Roles become arrows from the relationship.
+        assert!(schema.has_arrow(&c("Lives"), &l("occ"), &c("Dog")));
+        assert!(schema.has_arrow(&c("Lives"), &l("home"), &c("Kennel")));
+        assert!(schema.has_arrow(&c("Lives"), &l("owner"), &c("person")));
+        // Attributes become arrows to domains.
+        assert!(schema.has_arrow(&c("Dog"), &l("age"), &c("int")));
+        assert!(schema.has_arrow(&c("Kennel"), &l("addr"), &c("place")));
+        // Isa becomes specialization; closure gives the inherited arrows
+        // that Fig. 2 leaves implicit.
+        assert!(schema.specializes(&c("Guide-dog"), &c("Dog")));
+        assert!(schema.has_arrow(&c("Guide-dog"), &l("age"), &c("int")));
+        assert!(schema.has_arrow(&c("Police-dog"), &l("kind"), &c("breed")));
+        assert_eq!(strata[&Name::new("Lives")], Stratum::Relationship);
+        assert_eq!(strata[&Name::new("place")], Stratum::Domain);
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let er = figure_1_dogs();
+        let (schema, strata) = to_core(&er);
+        let back = from_core(&schema, &strata).unwrap();
+        assert_eq!(back, er);
+    }
+
+    #[test]
+    fn round_trip_with_relationship_isa() {
+        let er = crate::model::figure_9_advisor();
+        let (schema, strata) = to_core(&er);
+        let back = from_core(&schema, &strata).unwrap();
+        // `from_core` performs a transitive reduction, so Advisor's roles
+        // (inherited from Committee through the isa edge) are not
+        // re-declared; and cardinalities are carried by keys, not by the
+        // graph (§5). The *closed graph* round-trips exactly.
+        let (schema_again, strata_again) = to_core(&back);
+        assert_eq!(schema_again, schema);
+        assert_eq!(strata_again, strata);
+        assert!(back
+            .relationship_isa()
+            .any(|(sub, sup)| sub.as_str() == "Advisor" && sup.as_str() == "Committee"));
+        assert!(back
+            .relationship(&Name::new("Advisor"))
+            .unwrap()
+            .roles
+            .is_empty());
+    }
+
+    #[test]
+    fn from_core_rejects_entity_to_entity_arrow() {
+        let schema = WeakSchema::builder().arrow("Dog", "likes", "Dog").build().unwrap();
+        let mut strata = Strata::new();
+        strata.insert(Name::new("Dog"), Stratum::Entity);
+        let err = from_core(&schema, &strata).unwrap_err();
+        assert!(matches!(err, ErError::NotStratified { .. }));
+    }
+
+    #[test]
+    fn from_core_rejects_cross_stratum_isa() {
+        let schema = WeakSchema::builder().specialize("Lives", "Dog").build().unwrap();
+        let mut strata = Strata::new();
+        strata.insert(Name::new("Dog"), Stratum::Entity);
+        strata.insert(Name::new("Lives"), Stratum::Relationship);
+        let err = from_core(&schema, &strata).unwrap_err();
+        assert!(matches!(err, ErError::NotStratified { .. }));
+    }
+
+    #[test]
+    fn from_core_rejects_unknown_names() {
+        let schema = WeakSchema::builder().class("Ghost").build().unwrap();
+        let err = from_core(&schema, &Strata::new()).unwrap_err();
+        assert!(matches!(err, ErError::Undeclared(_)));
+    }
+
+    #[test]
+    fn implicit_class_stratum_is_inferred_from_origins() {
+        let x = Class::implicit([c("Dog"), c("Cat")]);
+        let mut strata = Strata::new();
+        strata.insert(Name::new("Dog"), Stratum::Entity);
+        strata.insert(Name::new("Cat"), Stratum::Entity);
+        assert_eq!(class_stratum(&x, &strata).unwrap(), Stratum::Entity);
+
+        strata.insert(Name::new("Cat"), Stratum::Domain);
+        assert!(matches!(
+            class_stratum(&x, &strata),
+            Err(ErError::NotStratified { .. })
+        ));
+    }
+
+    #[test]
+    fn implicit_entity_maps_back_as_entity() {
+        let x = Class::implicit([c("Dog"), c("Pet")]);
+        let schema = WeakSchema::builder()
+            .specialize(x.clone(), "Dog")
+            .specialize(x.clone(), "Pet")
+            .build()
+            .unwrap();
+        let mut strata = Strata::new();
+        strata.insert(Name::new("Dog"), Stratum::Entity);
+        strata.insert(Name::new("Pet"), Stratum::Entity);
+        let er = from_core(&schema, &strata).unwrap();
+        let name = Name::new("{Dog,Pet}");
+        assert!(er.entities().any(|e| e == &name));
+        assert!(er
+            .entity_isa()
+            .any(|(sub, sup)| sub == &name && sup.as_str() == "Dog"));
+    }
+
+    #[test]
+    fn closure_noise_is_reduced_on_translation_back() {
+        // Guide-dog inherits Dog's attribute in the closed graph; the ER
+        // schema read back should declare it only on Dog.
+        let er = figure_1_dogs();
+        let (schema, strata) = to_core(&er);
+        let back = from_core(&schema, &strata).unwrap();
+        assert!(back
+            .attributes_of(&Name::new("Guide-dog"))
+            .is_empty());
+        assert_eq!(
+            back.attributes_of(&Name::new("Dog"))
+                .len(),
+            2
+        );
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based tests of the ER front-end: merge laws survive the
+//! stratified translation, strata are always preserved, and the
+//! cardinality ↔ key correspondence is exact for binary relationships.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use schema_merge_core::Name;
+use schema_merge_er::{from_core, keys_to_cardinalities, merge_er, preserves_strata,
+    relationship_key_family, to_core, Cardinality, ErSchema};
+
+const ENTITIES: [&str; 6] = ["E0", "E1", "E2", "E3", "E4", "E5"];
+const DOMAINS: [&str; 3] = ["int", "text", "date"];
+
+#[derive(Debug, Clone)]
+enum ErItem {
+    Attribute(usize, usize, usize),
+    Isa(usize, usize),
+    Relationship(usize, usize, usize, bool, bool),
+}
+
+fn er_items() -> impl Strategy<Value = Vec<ErItem>> {
+    let item = prop_oneof![
+        (0usize..ENTITIES.len(), 0usize..8, 0usize..DOMAINS.len())
+            .prop_map(|(e, a, d)| ErItem::Attribute(e, a, d)),
+        (0usize..ENTITIES.len(), 0usize..ENTITIES.len())
+            .prop_map(|(a, b)| ErItem::Isa(a.min(b), a.max(b))),
+        (
+            0usize..4,
+            0usize..ENTITIES.len(),
+            0usize..ENTITIES.len(),
+            any::<bool>(),
+            any::<bool>()
+        )
+            .prop_map(|(r, l, rr, c1, c2)| ErItem::Relationship(r, l, rr, c1, c2)),
+    ];
+    vec(item, 0..10)
+}
+
+fn build_er(items: &[ErItem]) -> ErSchema {
+    let mut builder = ErSchema::builder();
+    for entity in ENTITIES {
+        builder = builder.entity(entity);
+    }
+    for item in items {
+        builder = match item {
+            ErItem::Attribute(e, a, d) => {
+                builder.attribute(ENTITIES[*e], format!("a{a}"), DOMAINS[*d])
+            }
+            ErItem::Isa(a, b) => {
+                if a == b {
+                    builder
+                } else {
+                    builder.entity_isa(ENTITIES[*a], ENTITIES[*b])
+                }
+            }
+            ErItem::Relationship(r, left, right, one_left, one_right) => {
+                let name = format!("R{r}");
+                let mut b = builder.relationship(
+                    name.clone(),
+                    [("lhs", ENTITIES[*left]), ("rhs", ENTITIES[*right])],
+                );
+                if *one_left {
+                    b = b.cardinality(name.clone(), "lhs", Cardinality::One);
+                }
+                if *one_right {
+                    b = b.cardinality(name, "rhs", Cardinality::One);
+                }
+                b
+            }
+        };
+    }
+    builder.build().expect("order-directed ER schemas are valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn translation_round_trips_through_the_graph(items in er_items()) {
+        let er = build_er(&items);
+        let (core, strata) = to_core(&er);
+        let back = from_core(&core, &strata).expect("stratified");
+        // The closed graph is the invariant (the ER reduction may move
+        // inherited declarations around).
+        let (core_again, strata_again) = to_core(&back);
+        prop_assert_eq!(core_again, core);
+        prop_assert_eq!(strata_again, strata);
+    }
+
+    #[test]
+    fn er_merge_laws(a in er_items(), b in er_items(), c in er_items()) {
+        let (g1, g2, g3) = (build_er(&a), build_er(&b), build_er(&c));
+        let abc = merge_er([&g1, &g2, &g3]).expect("shared vocabulary merges");
+        let cba = merge_er([&g3, &g2, &g1]).expect("shared vocabulary merges");
+        prop_assert_eq!(&abc.er, &cba.er, "commutative/associative");
+        prop_assert!(preserves_strata(&abc));
+
+        // Idempotence and containment.
+        let aa = merge_er([&g1, &g1]).expect("self-merge");
+        let a_only = merge_er([&g1]).expect("unit merge");
+        prop_assert_eq!(aa.er, a_only.er);
+        let (g1_core, _) = to_core(&g1);
+        prop_assert!(g1_core.is_subschema_of(abc.core.proper.as_weak()));
+    }
+
+    #[test]
+    fn merged_keys_validate_and_absorb(a in er_items(), b in er_items()) {
+        let (g1, g2) = (build_er(&a), build_er(&b));
+        let outcome = merge_er([&g1, &g2]).expect("merges");
+        prop_assert!(outcome.keys.validate(outcome.core.proper.as_weak()).is_ok());
+        // Every input relationship's cardinality keys are superkeys in
+        // the merged assignment (satisfactoriness, §5).
+        for er in [&g1, &g2] {
+            for (name, rel) in er.relationships() {
+                if rel.roles.is_empty() {
+                    continue;
+                }
+                let family = relationship_key_family(rel);
+                let merged = outcome
+                    .keys
+                    .family(&schema_merge_core::Class::Named(name.clone()));
+                prop_assert!(
+                    merged.contains_family(&family),
+                    "input keys survive for {name}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn binary_cardinalities_round_trip(
+        one_left in any::<bool>(),
+        one_right in any::<bool>(),
+    ) {
+        let er = build_er(&[ErItem::Relationship(0, 0, 1, one_left, one_right)]);
+        let rel = er.relationship(&Name::new("R0")).expect("declared");
+        let family = relationship_key_family(rel);
+        let cards = keys_to_cardinalities(rel, &family).expect("binary");
+        let expect = |b: bool| if b { Cardinality::One } else { Cardinality::Many };
+        prop_assert_eq!(cards[&schema_merge_core::Label::new("lhs")], expect(one_left));
+        prop_assert_eq!(cards[&schema_merge_core::Label::new("rhs")], expect(one_right));
+    }
+}

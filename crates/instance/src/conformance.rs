@@ -1,0 +1,486 @@
+//! Conformance of instances to schemas.
+//!
+//! The graph model's meaning (§2): `p --a--> q` says every instance of
+//! `p` has an `a`-attribute in `q`; `p ⇒ q` says every instance of `p` is
+//! an instance of `q`. For proper schemas it suffices to check each
+//! *canonical* arrow — the W2-derived arrows to supertargets follow from
+//! extent monotonicity. Participation constraints (§6) weaken or drop the
+//! "must have" part; keys (§5) forbid distinct objects agreeing on a key.
+
+use std::fmt;
+
+use schema_merge_core::lower::AnnotatedSchema;
+use schema_merge_core::{Class, KeyAssignment, Label, Participation, ProperSchema};
+
+use crate::instance::{Instance, Oid};
+
+/// Why an instance fails to conform.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConformanceError {
+    /// `sub ⇒ sup` but some object of `sub`'s extent is missing from
+    /// `sup`'s.
+    ExtentNotContained {
+        /// The specialization source.
+        sub: Class,
+        /// The specialization target.
+        sup: Class,
+        /// The escaping object.
+        object: Oid,
+    },
+    /// An object lacks a required attribute.
+    MissingAttribute {
+        /// The object.
+        object: Oid,
+        /// Its class.
+        class: Class,
+        /// The required attribute.
+        label: Label,
+    },
+    /// An attribute value lies outside the canonical target's extent.
+    ValueOutsideTarget {
+        /// The object.
+        object: Oid,
+        /// Its class.
+        class: Class,
+        /// The attribute.
+        label: Label,
+        /// The canonical target class.
+        target: Class,
+        /// The offending value.
+        value: Oid,
+    },
+    /// Two distinct objects agree on a key.
+    KeyViolation {
+        /// The keyed class.
+        class: Class,
+        /// The first object.
+        left: Oid,
+        /// The second object.
+        right: Oid,
+    },
+    /// An object carries an attribute that no arrow of any of its
+    /// classes sanctions (§6: absent arrows have participation `0` —
+    /// "an instance of p may not have an a-arrow").
+    UnsanctionedAttribute {
+        /// The object.
+        object: Oid,
+        /// The unsanctioned attribute.
+        label: Label,
+        /// Its value.
+        value: Oid,
+    },
+}
+
+impl fmt::Display for ConformanceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConformanceError::ExtentNotContained { sub, sup, object } => {
+                write!(f, "{object} is in extent({sub}) but not extent({sup}) despite {sub} => {sup}")
+            }
+            ConformanceError::MissingAttribute {
+                object,
+                class,
+                label,
+            } => write!(f, "{object} : {class} lacks required attribute {label}"),
+            ConformanceError::ValueOutsideTarget {
+                object,
+                class,
+                label,
+                target,
+                value,
+            } => write!(
+                f,
+                "{object} : {class} has {label} = {value}, which is outside extent({target})"
+            ),
+            ConformanceError::KeyViolation { class, left, right } => {
+                write!(f, "{left} and {right} agree on a key of {class}")
+            }
+            ConformanceError::UnsanctionedAttribute { object, label, value } => {
+                write!(
+                    f,
+                    "{object} has {label} = {value}, but no arrow of any of its classes \
+                     sanctions a {label}-attribute"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConformanceError {}
+
+impl Instance {
+    /// Checks conformance to a proper schema: extent containment along
+    /// `⇒` and, for every canonical arrow `p ·a⇀ q`, a defined `a`-value
+    /// inside `extent(q)` for every object of `extent(p)`.
+    pub fn conforms(&self, schema: &ProperSchema) -> Result<(), ConformanceError> {
+        self.check_extents(schema.as_weak())?;
+        for (class, label, target) in schema.canonical_arrows() {
+            for object in self.extent(class) {
+                match self.attr(object, label) {
+                    None => {
+                        return Err(ConformanceError::MissingAttribute {
+                            object,
+                            class: class.clone(),
+                            label: label.clone(),
+                        })
+                    }
+                    Some(value) => {
+                        if !self.in_extent(target, value) {
+                            return Err(ConformanceError::ValueOutsideTarget {
+                                object,
+                                class: class.clone(),
+                                label: label.clone(),
+                                target: target.clone(),
+                                value,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks conformance to an annotated proper schema (§6):
+    ///
+    /// * **requirement** — for each canonical arrow `p ·a⇀ q` with
+    ///   participation `1`, every object of `extent(p)` has a defined
+    ///   `a`-value inside `extent(q)`;
+    /// * **justification** — every *present* attribute `o.a = v` must be
+    ///   sanctioned by some arrow `p --a--> q` of the schema with
+    ///   `o ∈ extent(p)` and `v ∈ extent(q)`. Absent arrows have
+    ///   participation `0` ("may not have", §6), so an attribute no
+    ///   class of `o` sanctions is a violation.
+    ///
+    /// Justification is per-object, not per-class: when the lower merge
+    /// drops a specialization edge, an object may sit in two extents of
+    /// which only one carries the arrow (e.g. `o ∈ A ∩ C` where `A ⇒ C`
+    /// held in the member schema but not in the merge, and only `A` has
+    /// the `a`-arrow). Demanding that *every* class of `o` with an
+    /// `a`-arrow types the value would wrongly reject such member
+    /// instances — §6 promises they remain instances of the merge.
+    pub fn conforms_annotated(
+        &self,
+        annotated: &AnnotatedSchema,
+        proper: &ProperSchema,
+    ) -> Result<(), ConformanceError> {
+        self.check_extents(proper.as_weak())?;
+
+        // Requirement side.
+        for (class, label, target) in proper.canonical_arrows() {
+            if annotated.participation(class, label, target) != Participation::One {
+                continue;
+            }
+            for object in self.extent(class) {
+                match self.attr(object, label) {
+                    None => {
+                        return Err(ConformanceError::MissingAttribute {
+                            object,
+                            class: class.clone(),
+                            label: label.clone(),
+                        })
+                    }
+                    Some(value) => {
+                        if !self.in_extent(target, value) {
+                            return Err(ConformanceError::ValueOutsideTarget {
+                                object,
+                                class: class.clone(),
+                                label: label.clone(),
+                                target: target.clone(),
+                                value,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+
+        // Justification side.
+        let weak = proper.as_weak();
+        for ((object, label), value) in &self.attrs {
+            let sanctioned = self.classes_of(*object).iter().any(|class| {
+                weak.arrow_targets(class, label)
+                    .iter()
+                    .any(|target| self.in_extent(target, *value))
+            });
+            if !sanctioned {
+                return Err(ConformanceError::UnsanctionedAttribute {
+                    object: *object,
+                    label: label.clone(),
+                    value: *value,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks the key semantics of §5: two objects in a keyed class's
+    /// extent that are defined and equal on every label of some key must
+    /// be the same object. Objects missing any key attribute never match.
+    pub fn satisfies_keys(&self, keys: &KeyAssignment) -> Result<(), ConformanceError> {
+        for class in keys.keyed_classes() {
+            let family = keys.family(class);
+            let extent: Vec<Oid> = self.extent(class).into_iter().collect();
+            for key in family.minimal_keys() {
+                for (i, &left) in extent.iter().enumerate() {
+                    for &right in &extent[i + 1..] {
+                        let agree = key.labels().all(|label| {
+                            match (self.attr(left, label), self.attr(right, label)) {
+                                (Some(a), Some(b)) => a == b,
+                                _ => false,
+                            }
+                        });
+                        // The empty key vacuously identifies everything.
+                        if agree || key.is_empty() {
+                            return Err(ConformanceError::KeyViolation {
+                                class: class.clone(),
+                                left,
+                                right,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_extents(
+        &self,
+        schema: &schema_merge_core::WeakSchema,
+    ) -> Result<(), ConformanceError> {
+        for (sub, sup) in schema.specialization_pairs() {
+            for object in self.extent(sub) {
+                if !self.in_extent(sup, object) {
+                    return Err(ConformanceError::ExtentNotContained {
+                        sub: sub.clone(),
+                        sup: sup.clone(),
+                        object,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_merge_core::{complete, KeySet, WeakSchema};
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn dog_schema() -> ProperSchema {
+        ProperSchema::try_new(
+            WeakSchema::builder()
+                .specialize("Guide-dog", "Dog")
+                .arrow("Dog", "age", "int")
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn conforming_instance_passes() {
+        let mut b = Instance::builder();
+        let five = b.object(["int"]);
+        let rex = b.object(["Dog"]);
+        let fido = b.object(["Guide-dog", "Dog"]);
+        b.attr(rex, "age", five);
+        b.attr(fido, "age", five);
+        assert_eq!(b.build().conforms(&dog_schema()), Ok(()));
+    }
+
+    #[test]
+    fn extent_containment_is_enforced() {
+        let mut b = Instance::builder();
+        let fido = b.object(["Guide-dog"]); // not in Dog!
+        let five = b.object(["int"]);
+        b.attr(fido, "age", five);
+        let err = b.build().conforms(&dog_schema()).unwrap_err();
+        assert!(matches!(err, ConformanceError::ExtentNotContained { .. }));
+    }
+
+    #[test]
+    fn missing_required_attribute() {
+        let mut b = Instance::builder();
+        b.object(["Dog"]);
+        let err = b.build().conforms(&dog_schema()).unwrap_err();
+        assert!(matches!(err, ConformanceError::MissingAttribute { .. }));
+    }
+
+    #[test]
+    fn value_outside_target() {
+        let mut b = Instance::builder();
+        let rex = b.object(["Dog"]);
+        let bogus = b.object(["text"]);
+        b.attr(rex, "age", bogus);
+        let err = b.build().conforms(&dog_schema()).unwrap_err();
+        assert!(matches!(err, ConformanceError::ValueOutsideTarget { .. }));
+    }
+
+    #[test]
+    fn implicit_class_conformance_via_populated_extents() {
+        // Merge makes C's a-arrow target {B1,B2}; an object with its
+        // value in both B1 and B2 conforms once implicit extents are
+        // populated.
+        let weak = WeakSchema::builder()
+            .arrow("C", "a", "B1")
+            .arrow("C", "a", "B2")
+            .build()
+            .unwrap();
+        let proper = complete(&weak).unwrap();
+
+        let mut b = Instance::builder();
+        let v = b.object(["B1", "B2"]);
+        let o = b.object(["C"]);
+        b.attr(o, "a", v);
+        let instance = b.build().populate_implicit_extents(proper.as_weak());
+        assert_eq!(instance.conforms(&proper), Ok(()));
+
+        // A value in only B1 does not conform: the canonical target is
+        // the implicit {B1,B2} class.
+        let mut b2 = Instance::builder();
+        let v1 = b2.object(["B1"]);
+        b2.class("B2");
+        let o2 = b2.object(["C"]);
+        b2.attr(o2, "a", v1);
+        let bad = b2.build().populate_implicit_extents(proper.as_weak());
+        assert!(bad.conforms(&proper).is_err());
+    }
+
+    #[test]
+    fn annotated_conformance_optional_attributes() {
+        let annotated = AnnotatedSchema::builder()
+            .arrow("Dog", "name", "text")
+            .optional_arrow("Dog", "chip", "int")
+            .build()
+            .unwrap();
+        let proper = ProperSchema::try_new(annotated.schema().clone()).unwrap();
+
+        let mut b = Instance::builder();
+        let n = b.object(["text"]);
+        let rex = b.object(["Dog"]);
+        b.attr(rex, "name", n);
+        // chip omitted: fine, it is optional.
+        assert_eq!(b.build().conforms_annotated(&annotated, &proper), Ok(()));
+
+        // But a present chip must be an int: no arrow of Dog sanctions a
+        // chip-attribute valued in text.
+        let mut b2 = Instance::builder();
+        let n2 = b2.object(["text"]);
+        let rex2 = b2.object(["Dog"]);
+        b2.attr(rex2, "name", n2);
+        b2.attr(rex2, "chip", n2);
+        assert!(matches!(
+            b2.build().conforms_annotated(&annotated, &proper),
+            Err(ConformanceError::UnsanctionedAttribute { .. })
+        ));
+
+        // The §6 padding scenario: an object in two extents where only
+        // one class carries the arrow is sanctioned per-object, not
+        // per-class (the lower merge may have dropped the isa edge that
+        // related them).
+        let annotated2 = AnnotatedSchema::builder()
+            .optional_arrow("A", "k", "A")
+            .optional_arrow("C", "k", "F")
+            .class("F")
+            .build()
+            .unwrap();
+        let proper2 = ProperSchema::try_new(annotated2.schema().clone()).unwrap();
+        let mut b4 = Instance::builder();
+        b4.class("F");
+        let o = b4.object(["A", "C"]);
+        let target = b4.object(["A"]);
+        b4.attr(o, "k", target);
+        assert_eq!(
+            b4.build().conforms_annotated(&annotated2, &proper2),
+            Ok(()),
+            "the A-arrow justifies o.k even though o is also in C"
+        );
+
+        // And a missing required name fails.
+        let mut b3 = Instance::builder();
+        b3.object(["Dog"]);
+        assert!(matches!(
+            b3.build().conforms_annotated(&annotated, &proper),
+            Err(ConformanceError::MissingAttribute { .. })
+        ));
+    }
+
+    #[test]
+    fn key_violation_detection() {
+        let mut keys = KeyAssignment::new();
+        keys.add_key(c("Person"), KeySet::new(["SS#"]));
+
+        let mut b = Instance::builder();
+        let ssn = b.object(["int"]);
+        let alice = b.object(["Person"]);
+        let alice2 = b.object(["Person"]);
+        b.attr(alice, "SS#", ssn);
+        b.attr(alice2, "SS#", ssn);
+        let err = b.build().satisfies_keys(&keys).unwrap_err();
+        assert!(matches!(err, ConformanceError::KeyViolation { .. }));
+    }
+
+    #[test]
+    fn keys_ignore_objects_missing_the_attribute() {
+        let mut keys = KeyAssignment::new();
+        keys.add_key(c("Person"), KeySet::new(["SS#"]));
+
+        let mut b = Instance::builder();
+        b.object(["Person"]);
+        b.object(["Person"]);
+        assert_eq!(b.build().satisfies_keys(&keys), Ok(()));
+    }
+
+    #[test]
+    fn distinct_key_values_pass() {
+        let mut keys = KeyAssignment::new();
+        keys.add_key(c("Person"), KeySet::new(["SS#"]));
+
+        let mut b = Instance::builder();
+        let s1 = b.object(["int"]);
+        let s2 = b.object(["int"]);
+        let p1 = b.object(["Person"]);
+        let p2 = b.object(["Person"]);
+        b.attr(p1, "SS#", s1);
+        b.attr(p2, "SS#", s2);
+        assert_eq!(b.build().satisfies_keys(&keys), Ok(()));
+    }
+
+    #[test]
+    fn projection_theorem_upper_merge() {
+        // An instance of the merged schema projects to an instance of
+        // each input (§6 opening).
+        let g1 = WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("Dog", "name", "text")
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .unwrap();
+        let merged = schema_merge_core::merge([&g1, &g2]).unwrap().proper;
+
+        let mut b = Instance::builder();
+        let five = b.object(["int"]);
+        let n = b.object(["text"]);
+        let rex = b.object(["Dog"]);
+        let fido = b.object(["Guide-dog", "Dog"]);
+        for dog in [rex, fido] {
+            b.attr(dog, "age", five);
+            b.attr(dog, "name", n);
+        }
+        let instance = b.build().populate_implicit_extents(merged.as_weak());
+        assert_eq!(instance.conforms(&merged), Ok(()));
+
+        for input in [&g1, &g2] {
+            let projected = instance.project(input);
+            let proper_input = ProperSchema::try_new(input.clone()).unwrap();
+            assert_eq!(projected.conforms(&proper_input), Ok(()));
+        }
+    }
+}

@@ -1,0 +1,314 @@
+//! Instances: objects, extents and attribute values.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use schema_merge_core::{Class, Label, WeakSchema};
+
+/// An object identifier. Opaque; display as `#n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Oid(pub u64);
+
+impl fmt::Display for Oid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// An instance: class extents plus a partial attribute function
+/// `(object, label) ↦ object`.
+///
+/// Values are objects too — printable values (ints, strings) are modelled
+/// as objects in the extent of their domain class, exactly as the graph
+/// model treats domains as classes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Instance {
+    pub(crate) extents: BTreeMap<Class, BTreeSet<Oid>>,
+    pub(crate) attrs: BTreeMap<(Oid, Label), Oid>,
+}
+
+impl Instance {
+    /// Starts building an instance.
+    pub fn builder() -> InstanceBuilder {
+        InstanceBuilder::default()
+    }
+
+    /// The extent of a class (empty if the class is unknown).
+    pub fn extent(&self, class: &Class) -> BTreeSet<Oid> {
+        self.extents.get(class).cloned().unwrap_or_default()
+    }
+
+    /// Whether `oid` is in the extent of `class`.
+    pub fn in_extent(&self, class: &Class, oid: Oid) -> bool {
+        self.extents.get(class).is_some_and(|e| e.contains(&oid))
+    }
+
+    /// The value of `oid`'s `label` attribute, if defined.
+    pub fn attr(&self, oid: Oid, label: &Label) -> Option<Oid> {
+        self.attrs.get(&(oid, label.clone())).copied()
+    }
+
+    /// Every object mentioned anywhere in the instance.
+    pub fn objects(&self) -> BTreeSet<Oid> {
+        let mut out: BTreeSet<Oid> = self.extents.values().flatten().copied().collect();
+        for ((src, _), tgt) in &self.attrs {
+            out.insert(*src);
+            out.insert(*tgt);
+        }
+        out
+    }
+
+    /// The classes with a (possibly empty) declared extent.
+    pub fn classes(&self) -> impl Iterator<Item = &Class> {
+        self.extents.keys()
+    }
+
+    /// Number of attribute assignments.
+    pub fn num_attrs(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// All attribute assignments `(object, label, value)`, sorted by
+    /// object then label.
+    pub fn attributes(&self) -> impl Iterator<Item = (Oid, &Label, Oid)> {
+        self.attrs.iter().map(|((object, label), value)| (*object, label, *value))
+    }
+
+    /// The classes whose extent contains `oid`.
+    pub fn classes_of(&self, oid: Oid) -> BTreeSet<Class> {
+        self.extents
+            .iter()
+            .filter(|(_, extent)| extent.contains(&oid))
+            .map(|(class, _)| class.clone())
+            .collect()
+    }
+
+    /// Restricts the instance to the classes of `schema`, dropping extents
+    /// of other classes (attribute values are kept — the projected schema
+    /// simply does not constrain them).
+    ///
+    /// This is the upper-merge direction of the semantics: "any instance
+    /// of the merged schema can be considered to be an instance of any of
+    /// the schemas being merged" (§6 opening).
+    pub fn project(&self, schema: &WeakSchema) -> Instance {
+        let extents = self
+            .extents
+            .iter()
+            .filter(|(class, _)| schema.contains_class(class))
+            .map(|(class, extent)| (class.clone(), extent.clone()))
+            .collect();
+        Instance {
+            extents,
+            attrs: self.attrs.clone(),
+        }
+    }
+
+    /// Fills the extent of every implicit class of `schema` from its
+    /// origins: meet classes get the *intersection* of their origins'
+    /// extents, union classes the *union*. This is how an instance of the
+    /// inputs is read as an instance of a completed merge, where the
+    /// implicit classes "have no additional information associated with
+    /// them" (§4.2).
+    pub fn populate_implicit_extents(&self, schema: &WeakSchema) -> Instance {
+        let mut out = self.clone();
+        for class in schema.classes() {
+            let origin = match class.origin() {
+                Some(origin) if !out.extents.contains_key(class) => origin,
+                _ => continue,
+            };
+            let member_extents: Vec<BTreeSet<Oid>> = origin
+                .iter()
+                .map(|name| out.extent(&Class::Named(name.clone())))
+                .collect();
+            let combined: BTreeSet<Oid> = if class.is_implicit_meet() {
+                member_extents
+                    .iter()
+                    .skip(1)
+                    .fold(member_extents.first().cloned().unwrap_or_default(), |acc, e| {
+                        acc.intersection(e).copied().collect()
+                    })
+            } else {
+                member_extents.into_iter().flatten().collect()
+            };
+            out.extents.insert(class.clone(), combined);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "instance {{")?;
+        for (class, extent) in &self.extents {
+            write!(f, "  {class} = {{")?;
+            for (i, oid) in extent.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{oid}")?;
+            }
+            writeln!(f, "}}")?;
+        }
+        for ((src, label), tgt) in &self.attrs {
+            writeln!(f, "  {src}.{label} = {tgt}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Builder for [`Instance`].
+#[derive(Debug, Clone, Default)]
+pub struct InstanceBuilder {
+    instance: Instance,
+    next_oid: u64,
+}
+
+impl InstanceBuilder {
+    /// Allocates a fresh object, optionally placing it in classes.
+    pub fn object<I>(&mut self, classes: I) -> Oid
+    where
+        I: IntoIterator,
+        I::Item: Into<Class>,
+    {
+        let oid = Oid(self.next_oid);
+        self.next_oid += 1;
+        for class in classes {
+            self.instance
+                .extents
+                .entry(class.into())
+                .or_default()
+                .insert(oid);
+        }
+        oid
+    }
+
+    /// Adds an existing object to a class extent.
+    pub fn classify(&mut self, oid: Oid, class: impl Into<Class>) -> &mut Self {
+        self.instance.extents.entry(class.into()).or_default().insert(oid);
+        self
+    }
+
+    /// Declares a (possibly empty) extent for a class.
+    pub fn class(&mut self, class: impl Into<Class>) -> &mut Self {
+        self.instance.extents.entry(class.into()).or_default();
+        self
+    }
+
+    /// Sets an attribute value.
+    pub fn attr(&mut self, oid: Oid, label: impl Into<Label>, value: Oid) -> &mut Self {
+        self.instance.attrs.insert((oid, label.into()), value);
+        self
+    }
+
+    /// Finishes the instance.
+    pub fn build(&self) -> Instance {
+        self.instance.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    #[test]
+    fn builder_basics() {
+        let mut b = Instance::builder();
+        let rex = b.object(["Dog", "Pet"]);
+        let five = b.object(["int"]);
+        b.attr(rex, "age", five);
+        let instance = b.build();
+
+        assert!(instance.in_extent(&c("Dog"), rex));
+        assert!(instance.in_extent(&c("Pet"), rex));
+        assert!(!instance.in_extent(&c("int"), rex));
+        assert_eq!(instance.attr(rex, &l("age")), Some(five));
+        assert_eq!(instance.attr(rex, &l("name")), None);
+        assert_eq!(instance.objects().len(), 2);
+        assert_eq!(instance.classes_of(rex).len(), 2);
+    }
+
+    #[test]
+    fn projection_drops_foreign_extents() {
+        let mut b = Instance::builder();
+        let rex = b.object(["Dog"]);
+        let kennel = b.object(["Kennel"]);
+        b.attr(rex, "home", kennel);
+        let instance = b.build();
+
+        let schema = WeakSchema::builder().class("Dog").build().unwrap();
+        let projected = instance.project(&schema);
+        assert!(projected.in_extent(&c("Dog"), rex));
+        assert!(projected.extent(&c("Kennel")).is_empty());
+        assert_eq!(projected.attr(rex, &l("home")), Some(kennel));
+    }
+
+    #[test]
+    fn populate_meet_extent_is_intersection() {
+        let mut b = Instance::builder();
+        let both = b.object(["A", "B"]);
+        let _only_a = b.object(["A"]);
+        let instance = b.build();
+
+        let x = Class::implicit([c("A"), c("B")]);
+        let schema = WeakSchema::builder()
+            .specialize(x.clone(), "A")
+            .specialize(x.clone(), "B")
+            .build()
+            .unwrap();
+        let filled = instance.populate_implicit_extents(&schema);
+        assert_eq!(filled.extent(&x), [both].into_iter().collect());
+    }
+
+    #[test]
+    fn populate_union_extent_is_union() {
+        let mut b = Instance::builder();
+        let a = b.object(["A"]);
+        let bb = b.object(["B"]);
+        let instance = b.build();
+
+        let u = Class::implicit_union([c("A"), c("B")]);
+        let schema = WeakSchema::builder()
+            .specialize("A", u.clone())
+            .specialize("B", u.clone())
+            .build()
+            .unwrap();
+        let filled = instance.populate_implicit_extents(&schema);
+        assert_eq!(filled.extent(&u), [a, bb].into_iter().collect());
+    }
+
+    #[test]
+    fn populate_does_not_overwrite_existing_extent() {
+        let mut b = Instance::builder();
+        let a = b.object(["A"]);
+        let x = Class::implicit([c("A"), c("B")]);
+        b.classify(a, x.clone());
+        let instance = b.build();
+        let schema = WeakSchema::builder()
+            .specialize(x.clone(), "A")
+            .specialize(x.clone(), "B")
+            .build()
+            .unwrap();
+        let filled = instance.populate_implicit_extents(&schema);
+        // `a` is not in extent(B), but the explicit extent wins.
+        assert_eq!(filled.extent(&x), [a].into_iter().collect());
+    }
+
+    #[test]
+    fn display_lists_extents_and_attrs() {
+        let mut b = Instance::builder();
+        let rex = b.object(["Dog"]);
+        let five = b.object(["int"]);
+        b.attr(rex, "age", five);
+        let text = b.build().to_string();
+        assert!(text.contains("Dog = {#0}"));
+        assert!(text.contains("#0.age = #1"));
+    }
+}

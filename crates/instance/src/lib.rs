@@ -1,0 +1,35 @@
+//! # schema-merge-instance
+//!
+//! Instances of schemas: the semantic basis the paper appeals to when it
+//! asks what a merge should *mean* (§1: "This semantic basis should be
+//! related to the notion of an instance of a schema").
+//!
+//! An [`Instance`] assigns each class an extent of objects and each
+//! object (partial) attribute values. Conformance is checked against
+//! proper schemas ([`Instance::conforms`]), annotated schemas with
+//! participation constraints ([`Instance::conforms_annotated`], §6) and
+//! key assignments ([`Instance::satisfies_keys`], §5).
+//!
+//! The two directions of the merge semantics become executable theorems:
+//!
+//! * **upper merge** — an instance of the merged schema *projects* onto
+//!   an instance of every input ([`Instance::project`]);
+//! * **lower merge** — the union of instances of the inputs, after
+//!   key-driven entity resolution, is an instance of the lower merge
+//!   ([`union_instances`], §6; object correspondence by keys, §5 end).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod conformance;
+pub mod federation;
+pub mod generator;
+pub mod instance;
+pub mod query;
+pub mod resolution;
+
+pub use conformance::ConformanceError;
+pub use federation::{FederatedView, Federation, Member};
+pub use instance::{Instance, InstanceBuilder, Oid};
+pub use query::{find_by_key, KeyLookup, PathQuery, Step};
+pub use resolution::{union_instances, ResolutionReport};

@@ -1,0 +1,350 @@
+//! Path queries over instances — the "user views" of §1 made executable.
+//!
+//! The paper's motivation is "to provide user views that combine existing
+//! databases" (§1). A merged schema is only a view if one can *ask it
+//! questions*, so this module gives instances a minimal query language:
+//! start from a class extent, then alternate
+//!
+//! * [`PathQuery::follow`] — map every current object through an
+//!   attribute (objects without the attribute drop out; attributes are
+//!   functional per D1, so this is a partial map, not a join);
+//! * [`PathQuery::restrict`] — keep only objects in another class's
+//!   extent (specialization tests, implicit-class membership, …).
+//!
+//! [`PathQuery::trace`] keeps the association from each starting object
+//! to its reachable set, and [`find_by_key`] performs the §5 key lookup
+//! ("two objects with the same `SS#` are the same person" — so `SS#`
+//! locates a person).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use schema_merge_core::{Class, KeyAssignment, KeySet, Label};
+
+use crate::instance::{Instance, Oid};
+
+/// One navigation step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Step {
+    /// Replace each object by its `label`-attribute value, dropping
+    /// objects that lack one.
+    Follow(Label),
+    /// Keep only objects in the class's extent.
+    Restrict(Class),
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Step::Follow(label) => write!(f, ".{label}"),
+            Step::Restrict(class) => write!(f, "[{class}]"),
+        }
+    }
+}
+
+/// A query: a starting class extent and a sequence of steps.
+///
+/// ```
+/// use schema_merge_instance::{Instance, PathQuery};
+/// use schema_merge_core::Class;
+///
+/// let mut b = Instance::builder();
+/// let rex = b.object([Class::named("Dog")]);
+/// let ann = b.object([Class::named("Person")]);
+/// b.attr(rex, "owner", ann);
+/// let instance = b.build();
+///
+/// let owners = PathQuery::extent("Dog").follow("owner").eval(&instance);
+/// assert_eq!(owners.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathQuery {
+    start: Class,
+    steps: Vec<Step>,
+}
+
+impl PathQuery {
+    /// A query returning the extent of `class`.
+    pub fn extent(class: impl Into<Class>) -> Self {
+        PathQuery {
+            start: class.into(),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Appends a [`Step::Follow`].
+    pub fn follow(mut self, label: impl Into<Label>) -> Self {
+        self.steps.push(Step::Follow(label.into()));
+        self
+    }
+
+    /// Appends a [`Step::Restrict`].
+    pub fn restrict(mut self, class: impl Into<Class>) -> Self {
+        self.steps.push(Step::Restrict(class.into()));
+        self
+    }
+
+    /// The starting class.
+    pub fn start(&self) -> &Class {
+        &self.start
+    }
+
+    /// The navigation steps, in order.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// Evaluates to the set of objects reachable at the end of the path.
+    pub fn eval(&self, instance: &Instance) -> BTreeSet<Oid> {
+        let mut current = instance.extent(&self.start);
+        for step in &self.steps {
+            current = apply(instance, &current, step);
+        }
+        current
+    }
+
+    /// Evaluates keeping provenance: each starting object maps to the
+    /// set (∅ or a singleton, unless a `restrict` empties it) of objects
+    /// it reaches. Objects whose path dies are retained with an empty
+    /// image, so callers can distinguish "no dogs" from "dogs without
+    /// owners".
+    pub fn trace(&self, instance: &Instance) -> BTreeMap<Oid, BTreeSet<Oid>> {
+        let mut out = BTreeMap::new();
+        for origin in instance.extent(&self.start) {
+            let mut current: BTreeSet<Oid> = [origin].into();
+            for step in &self.steps {
+                current = apply(instance, &current, step);
+            }
+            out.insert(origin, current);
+        }
+        out
+    }
+}
+
+fn apply(instance: &Instance, current: &BTreeSet<Oid>, step: &Step) -> BTreeSet<Oid> {
+    match step {
+        Step::Follow(label) => current
+            .iter()
+            .filter_map(|&oid| instance.attr(oid, label))
+            .collect(),
+        Step::Restrict(class) => {
+            let extent = instance.extent(class);
+            current.intersection(&extent).copied().collect()
+        }
+    }
+}
+
+impl fmt::Display for PathQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for step in &self.steps {
+            write!(f, "{step}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Finds the objects of `class` whose attributes match every `(label,
+/// value)` pair. When the pairs cover a key of `class` under `keys`, §5
+/// guarantees at most one object in a key-satisfying instance — the
+/// lookup is then a *dereference*. Returns the matches either way (an
+/// instance that violates its keys can yield several).
+pub fn find_by_key(
+    instance: &Instance,
+    class: &Class,
+    pairs: &[(Label, Oid)],
+    keys: &KeyAssignment,
+) -> KeyLookup {
+    let matches: BTreeSet<Oid> = instance
+        .extent(class)
+        .into_iter()
+        .filter(|&oid| {
+            pairs
+                .iter()
+                .all(|(label, value)| instance.attr(oid, label) == Some(*value))
+        })
+        .collect();
+    let labels = KeySet::new(pairs.iter().map(|(label, _)| label.clone()));
+    let covers_key = keys.family(class).is_superkey(&labels);
+    KeyLookup {
+        matches,
+        covers_key,
+    }
+}
+
+/// The result of [`find_by_key`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyLookup {
+    /// Objects matching all the given attribute values.
+    pub matches: BTreeSet<Oid>,
+    /// Whether the looked-up labels form a (super)key of the class, i.e.
+    /// whether §5 promises uniqueness.
+    pub covers_key: bool,
+}
+
+impl KeyLookup {
+    /// The unique match, if the labels covered a key and exactly one
+    /// object matched.
+    pub fn unique(&self) -> Option<Oid> {
+        if self.covers_key && self.matches.len() == 1 {
+            self.matches.iter().next().copied()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    /// Two dogs, one owned; owner lives in a kennel. Plus a cat.
+    fn menagerie() -> (Instance, Oid, Oid, Oid, Oid) {
+        let mut b = Instance::builder();
+        let rex = b.object([c("Dog"), c("Guide-dog")]);
+        let fido = b.object([c("Dog")]);
+        let ann = b.object([c("Person")]);
+        let hut = b.object([c("Kennel")]);
+        let cat = b.object([c("Cat")]);
+        b.attr(rex, "owner", ann);
+        b.attr(ann, "home", hut);
+        b.attr(cat, "owner", ann);
+        let instance = b.build();
+        (instance, rex, fido, ann, hut)
+    }
+
+    #[test]
+    fn extent_query() {
+        let (instance, rex, fido, ..) = menagerie();
+        let dogs = PathQuery::extent("Dog").eval(&instance);
+        assert_eq!(dogs, [rex, fido].into());
+    }
+
+    #[test]
+    fn follow_drops_objects_without_the_attribute() {
+        let (instance, _, _, ann, _) = menagerie();
+        let owners = PathQuery::extent("Dog").follow("owner").eval(&instance);
+        assert_eq!(owners, [ann].into(), "fido has no owner");
+    }
+
+    #[test]
+    fn multi_step_path() {
+        let (instance, _, _, _, hut) = menagerie();
+        let homes = PathQuery::extent("Dog")
+            .follow("owner")
+            .follow("home")
+            .eval(&instance);
+        assert_eq!(homes, [hut].into());
+    }
+
+    #[test]
+    fn restrict_to_subclass() {
+        let (instance, rex, ..) = menagerie();
+        let guide_dogs = PathQuery::extent("Dog").restrict(c("Guide-dog")).eval(&instance);
+        assert_eq!(guide_dogs, [rex].into());
+    }
+
+    #[test]
+    fn restrict_to_disjoint_class_is_empty() {
+        let (instance, ..) = menagerie();
+        let none = PathQuery::extent("Dog").restrict(c("Cat")).eval(&instance);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn missing_class_yields_empty() {
+        let (instance, ..) = menagerie();
+        assert!(PathQuery::extent("Unicorn").eval(&instance).is_empty());
+        assert!(PathQuery::extent("Unicorn").follow("horn").eval(&instance).is_empty());
+    }
+
+    #[test]
+    fn trace_keeps_provenance() {
+        let (instance, rex, fido, ann, _) = menagerie();
+        let traced = PathQuery::extent("Dog").follow("owner").trace(&instance);
+        assert_eq!(traced[&rex], [ann].into());
+        assert!(traced[&fido].is_empty(), "fido's path dies but is reported");
+    }
+
+    #[test]
+    fn query_displays_as_a_path() {
+        let q = PathQuery::extent("Dog").follow("owner").restrict(c("Person")).follow("home");
+        assert_eq!(q.to_string(), "Dog.owner[Person].home");
+        assert_eq!(q.start(), &c("Dog"));
+        assert_eq!(q.steps().len(), 3);
+    }
+
+    #[test]
+    fn key_lookup_dereferences() {
+        let mut b = Instance::builder();
+        let ssn1 = b.object([c("int")]);
+        let ssn2 = b.object([c("int")]);
+        let p1 = b.object([c("Person")]);
+        let p2 = b.object([c("Person")]);
+        b.attr(p1, "SS#", ssn1);
+        b.attr(p2, "SS#", ssn2);
+        let instance = b.build();
+
+        let mut keys = KeyAssignment::default();
+        keys.add_key(c("Person"), KeySet::new([l("SS#")]));
+
+        let hit = find_by_key(&instance, &c("Person"), &[(l("SS#"), ssn1)], &keys);
+        assert!(hit.covers_key);
+        assert_eq!(hit.unique(), Some(p1));
+
+        let miss = find_by_key(&instance, &c("Person"), &[(l("SS#"), Oid(999))], &keys);
+        assert!(miss.matches.is_empty());
+        assert_eq!(miss.unique(), None);
+    }
+
+    #[test]
+    fn non_key_lookup_reports_no_uniqueness_promise() {
+        let mut b = Instance::builder();
+        let blond = b.object([c("colour")]);
+        let p1 = b.object([c("Person")]);
+        let p2 = b.object([c("Person")]);
+        b.attr(p1, "hair", blond);
+        b.attr(p2, "hair", blond);
+        let instance = b.build();
+
+        let keys = KeyAssignment::default();
+        let hit = find_by_key(&instance, &c("Person"), &[(l("hair"), blond)], &keys);
+        assert!(!hit.covers_key);
+        assert_eq!(hit.matches.len(), 2);
+        assert_eq!(hit.unique(), None, "two matches and no key promise");
+    }
+
+    #[test]
+    fn superkey_lookup_counts_as_key() {
+        let mut b = Instance::builder();
+        let ssn = b.object([c("int")]);
+        let name = b.object([c("string")]);
+        let p = b.object([c("Person")]);
+        b.attr(p, "SS#", ssn);
+        b.attr(p, "name", name);
+        let instance = b.build();
+
+        let mut keys = KeyAssignment::default();
+        keys.add_key(c("Person"), KeySet::new([l("SS#")]));
+        let family = keys.family(&c("Person"));
+        assert!(family.is_superkey(&KeySet::new([l("SS#"), l("name")])));
+
+        let hit = find_by_key(
+            &instance,
+            &c("Person"),
+            &[(l("SS#"), ssn), (l("name"), name)],
+            &keys,
+        );
+        assert!(hit.covers_key);
+        assert_eq!(hit.unique(), Some(p));
+    }
+}

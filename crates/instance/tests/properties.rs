@@ -1,0 +1,288 @@
+//! Property-based tests of the instance semantics: conformance of
+//! generated instances, projection monotonicity, entity-resolution
+//! laws (determinism, idempotence, key-satisfaction afterwards), and
+//! the query/federation layer (§1 views over §6 lower merges).
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use schema_merge_core::{AnnotatedSchema, Class, KeyAssignment, KeySet, ProperSchema,
+    WeakSchema};
+use schema_merge_instance::generator::conforming_instance;
+use schema_merge_instance::{union_instances, Federation, Instance, PathQuery};
+
+const NAMES: [&str; 6] = ["A", "B", "C", "D", "E", "F"];
+const LABELS: [&str; 4] = ["f", "g", "h", "k"];
+
+#[derive(Debug, Clone)]
+enum Decl {
+    Spec(usize, usize),
+    Arrow(usize, usize, usize),
+}
+
+fn decls() -> impl Strategy<Value = Vec<Decl>> {
+    let decl = prop_oneof![
+        (0usize..NAMES.len(), 0usize..NAMES.len())
+            .prop_map(|(a, b)| Decl::Spec(a.min(b), a.max(b))),
+        (0usize..NAMES.len(), 0usize..LABELS.len(), 0usize..NAMES.len())
+            .prop_map(|(s, l, t)| Decl::Arrow(s, l, t)),
+    ];
+    vec(decl, 0..10)
+}
+
+fn proper_schema(decls: &[Decl]) -> ProperSchema {
+    let mut builder = WeakSchema::builder().classes(NAMES);
+    for decl in decls {
+        builder = match decl {
+            Decl::Spec(a, b) if a != b => builder.specialize(NAMES[*a], NAMES[*b]),
+            Decl::Spec(..) => builder,
+            Decl::Arrow(s, l, t) => builder.arrow(NAMES[*s], LABELS[*l], NAMES[*t]),
+        };
+    }
+    let weak = builder.build().expect("order-directed schemas are acyclic");
+    schema_merge_core::complete(&weak).expect("completion is total")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn generated_instances_conform(decls in decls(), seed in 0u64..1000) {
+        let proper = proper_schema(&decls);
+        let instance = conforming_instance(&proper, 2, seed)
+            .populate_implicit_extents(proper.as_weak());
+        prop_assert_eq!(instance.conforms(&proper), Ok(()));
+    }
+
+    #[test]
+    fn generation_is_seed_deterministic(decls in decls(), seed in 0u64..1000) {
+        let proper = proper_schema(&decls);
+        prop_assert_eq!(
+            conforming_instance(&proper, 2, seed),
+            conforming_instance(&proper, 2, seed)
+        );
+    }
+
+    #[test]
+    fn projection_to_self_is_identity_on_extents(decls in decls(), seed in 0u64..100) {
+        let proper = proper_schema(&decls);
+        let instance = conforming_instance(&proper, 2, seed);
+        let projected = instance.project(proper.as_weak());
+        for class in proper.classes() {
+            prop_assert_eq!(instance.extent(class), projected.extent(class));
+        }
+    }
+
+    #[test]
+    fn union_without_keys_is_disjoint(decls in decls(), seed in 0u64..100) {
+        let proper = proper_schema(&decls);
+        let i1 = conforming_instance(&proper, 2, seed);
+        let i2 = conforming_instance(&proper, 3, seed + 1);
+        let (merged, report) = union_instances(&[&i1, &i2], &KeyAssignment::new());
+        prop_assert_eq!(report.key_identifications, 0);
+        for class in proper.classes() {
+            prop_assert_eq!(
+                merged.extent(class).len(),
+                i1.extent(class).len() + i2.extent(class).len(),
+                "extents add up for {}", class
+            );
+        }
+    }
+
+    #[test]
+    fn resolution_is_idempotent(decls in decls(), seed in 0u64..100) {
+        let proper = proper_schema(&decls);
+        // Key every class on its first label, when it has one.
+        let mut keys = KeyAssignment::new();
+        for class in proper.classes() {
+            if let Some(label) = proper.labels_of(class).iter().next() {
+                keys.add_key(class.clone(), KeySet::new([label.clone()]));
+            }
+        }
+        let i1 = conforming_instance(&proper, 2, seed);
+        let i2 = conforming_instance(&proper, 2, seed + 7);
+        let (once, _) = union_instances(&[&i1, &i2], &keys);
+        let (twice, report) = union_instances(&[&once], &keys);
+        prop_assert_eq!(report.key_identifications, 0, "already resolved");
+        prop_assert_eq!(report.congruence_identifications, 0);
+        for class in proper.classes() {
+            prop_assert_eq!(once.extent(class).len(), twice.extent(class).len());
+        }
+        // And the result satisfies the keys it was resolved under.
+        prop_assert_eq!(once.satisfies_keys(&keys), Ok(()));
+    }
+
+    #[test]
+    fn resolved_instances_still_conform(decls in decls(), seed in 0u64..100) {
+        // Resolution identifies objects and values; the quotient is still
+        // an instance of the schema (congruence keeps attributes
+        // functional and extents only merge).
+        let proper = proper_schema(&decls);
+        let mut keys = KeyAssignment::new();
+        for class in proper.classes() {
+            if let Some(label) = proper.labels_of(class).iter().next() {
+                keys.add_key(class.clone(), KeySet::new([label.clone()]));
+            }
+        }
+        let i1 = conforming_instance(&proper, 2, seed);
+        let (resolved, _) = union_instances(&[&i1, &i1], &keys);
+        let filled = resolved.populate_implicit_extents(proper.as_weak());
+        prop_assert_eq!(filled.conforms(&proper), Ok(()));
+    }
+}
+
+/// A random path query over the generated vocabulary.
+fn path_query() -> impl Strategy<Value = PathQuery> {
+    (
+        0usize..NAMES.len(),
+        vec(
+            prop_oneof![
+                (0usize..LABELS.len()).prop_map(|l| (true, l)),
+                (0usize..NAMES.len()).prop_map(|n| (false, n)),
+            ],
+            0..4,
+        ),
+    )
+        .prop_map(|(start, steps)| {
+            let mut query = PathQuery::extent(NAMES[start]);
+            for (is_follow, idx) in steps {
+                query = if is_follow {
+                    query.follow(LABELS[idx])
+                } else {
+                    query.restrict(Class::named(NAMES[idx]))
+                };
+            }
+            query
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn query_answers_add_up_over_keyless_unions(
+        decls in decls(),
+        query in path_query(),
+        seed in 0u64..100,
+    ) {
+        // Without keys the union is disjoint, so every query answer is
+        // the disjoint union of the members' answers — the federated
+        // view loses nothing and invents nothing.
+        let proper = proper_schema(&decls);
+        let i1 = conforming_instance(&proper, 2, seed);
+        let i2 = conforming_instance(&proper, 3, seed + 1);
+        let (merged, _) = union_instances(&[&i1, &i2], &KeyAssignment::new());
+        prop_assert_eq!(
+            merged.extent(query.start()).len(),
+            i1.extent(query.start()).len() + i2.extent(query.start()).len()
+        );
+        prop_assert_eq!(
+            query.eval(&merged).len(),
+            query.eval(&i1).len() + query.eval(&i2).len()
+        );
+    }
+
+    #[test]
+    fn trace_images_union_to_eval(decls in decls(), query in path_query(), seed in 0u64..100) {
+        let proper = proper_schema(&decls);
+        let instance = conforming_instance(&proper, 3, seed);
+        let eval: std::collections::BTreeSet<_> = query.eval(&instance);
+        let traced = query.trace(&instance);
+        let from_trace: std::collections::BTreeSet<_> =
+            traced.values().flatten().copied().collect();
+        prop_assert_eq!(eval, from_trace);
+        // Trace keys are exactly the starting extent.
+        let starts: std::collections::BTreeSet<_> =
+            traced.keys().copied().collect();
+        prop_assert_eq!(starts, instance.extent(query.start()));
+    }
+
+    #[test]
+    fn federation_guarantees_hold_on_generated_members(
+        decls1 in decls(),
+        decls2 in decls(),
+        seed in 0u64..50,
+    ) {
+        // Two members over the shared vocabulary with independent
+        // schemas and conforming data: the §6 theorem says the view
+        // exists, the union conforms to it, and each member conforms.
+        let p1 = proper_schema(&decls1);
+        let p2 = proper_schema(&decls2);
+        let i1 = conforming_instance(&p1, 2, seed);
+        let i2 = conforming_instance(&p2, 2, seed + 13);
+        let federation = Federation::new()
+            .member("m1", AnnotatedSchema::all_required(p1.as_weak().clone()), i1)
+            .member("m2", AnnotatedSchema::all_required(p2.as_weak().clone()), i2);
+        let view = federation.view().expect("lower merges always exist");
+        prop_assert_eq!(view.check(), Ok(()));
+        for member in federation.members() {
+            prop_assert_eq!(view.check_member(member), Ok(()));
+        }
+    }
+
+    #[test]
+    fn federated_queries_monotone_in_members(
+        decls in decls(),
+        query in path_query(),
+        seed in 0u64..50,
+    ) {
+        // Adding a member never shrinks a query answer (no keys).
+        let proper = proper_schema(&decls);
+        let schema = AnnotatedSchema::all_required(proper.as_weak().clone());
+        let i1 = conforming_instance(&proper, 2, seed);
+        let i2 = conforming_instance(&proper, 2, seed + 3);
+
+        let small = Federation::new()
+            .member("m1", schema.clone(), i1.clone())
+            .view()
+            .expect("view");
+        let large = Federation::new()
+            .member("m1", schema.clone(), i1)
+            .member("m2", schema, i2)
+            .view()
+            .expect("view");
+        prop_assert!(small.query(&query).len() <= large.query(&query).len());
+    }
+}
+
+#[test]
+fn projection_theorem_reference_case() {
+    // A deterministic instance of a two-schema merge projects onto both
+    // inputs (kept as a plain test so failures are easy to read).
+    let g1 = WeakSchema::builder().arrow("A", "f", "B").build().unwrap();
+    let g2 = WeakSchema::builder()
+        .arrow("A", "g", "C")
+        .specialize("D", "A")
+        .build()
+        .unwrap();
+    let merged = schema_merge_core::merge([&g1, &g2]).unwrap().proper;
+    let instance =
+        conforming_instance(&merged, 3, 5).populate_implicit_extents(merged.as_weak());
+    assert_eq!(instance.conforms(&merged), Ok(()));
+    for input in [&g1, &g2] {
+        let proper_input = ProperSchema::try_new(input.clone()).unwrap();
+        assert_eq!(instance.project(input).conforms(&proper_input), Ok(()));
+    }
+    let _ = Class::named("A");
+}
+
+#[test]
+fn congruence_closure_reaches_fixpoint_on_chains() {
+    // A chain of objects linked by shared key values must fully collapse.
+    let mut keys = KeyAssignment::new();
+    keys.add_key(Class::named("N"), KeySet::new(["next"]));
+
+    let mut b = Instance::builder();
+    let anchor = b.object(["V"]);
+    // Two chains of three objects, all pointing at the same anchor
+    // through `next`: every pair agrees on the key, so all collapse.
+    for _ in 0..2 {
+        for _ in 0..3 {
+            let node = b.object(["N"]);
+            b.attr(node, "next", anchor);
+        }
+    }
+    let (merged, report) = union_instances(&[&b.build()], &keys);
+    assert_eq!(merged.extent(&Class::named("N")).len(), 1);
+    assert_eq!(report.key_identifications, 5);
+}

@@ -1,0 +1,263 @@
+//! SQL DDL generation — the deployment path for merged relational
+//! schemas.
+//!
+//! The paper positions the relational model as one of the targets its
+//! framework subsumes (§2); a schema-integration tool's output in that
+//! model *is* a set of `CREATE TABLE` statements. This module renders a
+//! [`RelSchema`] as portable SQL:
+//!
+//! * one `CREATE TABLE` per relation, columns in sorted order;
+//! * the first declared key becomes the `PRIMARY KEY`, every further
+//!   key a `UNIQUE` constraint — the §5 multi-key case (Fig. 10's
+//!   `Transaction` with `{loc,at}` and `{card,at}`) maps exactly;
+//! * domains become SQL types via a caller-extensible [`TypeMap`]
+//!   (unknown domains render as `TEXT` plus a comment naming the
+//!   domain, so no information is silently dropped);
+//! * merge-produced intersection domains (`{int,text}`) and domain
+//!   refinements are emitted as comments — they are cross-schema facts
+//!   SQL has no syntax for, and the §4.2 origin names must survive for
+//!   later re-integration.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use schema_merge_core::Name;
+
+use crate::model::RelSchema;
+
+/// Maps attribute domains to SQL type names.
+#[derive(Debug, Clone)]
+pub struct TypeMap {
+    map: BTreeMap<Name, String>,
+    fallback: String,
+}
+
+impl Default for TypeMap {
+    /// The conventional mapping: `int`/`integer` → `INTEGER`,
+    /// `string`/`text` → `TEXT`, `real`/`float` → `REAL`,
+    /// `date` → `DATE`, `bool`/`boolean` → `BOOLEAN`; everything else
+    /// falls back to `TEXT`.
+    fn default() -> Self {
+        let mut map = BTreeMap::new();
+        for (domain, ty) in [
+            ("int", "INTEGER"),
+            ("integer", "INTEGER"),
+            ("string", "TEXT"),
+            ("text", "TEXT"),
+            ("real", "REAL"),
+            ("float", "REAL"),
+            ("date", "DATE"),
+            ("bool", "BOOLEAN"),
+            ("boolean", "BOOLEAN"),
+        ] {
+            map.insert(Name::new(domain), ty.to_string());
+        }
+        TypeMap {
+            map,
+            fallback: "TEXT".to_string(),
+        }
+    }
+}
+
+impl TypeMap {
+    /// An empty map with the given fallback type.
+    pub fn with_fallback(fallback: impl Into<String>) -> Self {
+        TypeMap {
+            map: BTreeMap::new(),
+            fallback: fallback.into(),
+        }
+    }
+
+    /// Adds or overrides a domain → SQL type entry.
+    pub fn map(mut self, domain: impl Into<Name>, sql_type: impl Into<String>) -> Self {
+        self.map.insert(domain.into(), sql_type.into());
+        self
+    }
+
+    /// The SQL type for a domain, and whether it was an explicit entry.
+    pub fn lookup(&self, domain: &Name) -> (&str, bool) {
+        match self.map.get(domain) {
+            Some(ty) => (ty, true),
+            None => (&self.fallback, false),
+        }
+    }
+}
+
+/// Quotes an identifier for SQL (double quotes, doubling embedded
+/// quotes). Merge-produced names like `{int,text}` or `Guide-dog` are
+/// not bare-identifier-safe, so everything is quoted uniformly.
+fn quote(name: &str) -> String {
+    format!("\"{}\"", name.replace('"', "\"\""))
+}
+
+/// Renders the schema as SQL DDL.
+pub fn to_sql(schema: &RelSchema, types: &TypeMap) -> String {
+    let mut out = String::new();
+    for (sub, sup) in schema.domain_refinements() {
+        let _ = writeln!(out, "-- domain refinement: {sub} refines {sup}");
+    }
+    for (name, relation) in schema.relations() {
+        let _ = writeln!(out, "CREATE TABLE {} (", quote(name.as_str()));
+        let mut lines: Vec<String> = Vec::new();
+        for (column, domain) in &relation.columns {
+            let (sql_type, known) = types.lookup(domain);
+            let comment = if known {
+                String::new()
+            } else {
+                format!(" -- domain: {domain}")
+            };
+            lines.push(format!(
+                "  {} {sql_type}{}",
+                quote(column.as_str()),
+                if comment.is_empty() {
+                    String::new()
+                } else {
+                    comment
+                }
+            ));
+        }
+        let mut keys = relation.keys.minimal_keys().collect::<Vec<_>>();
+        keys.sort_by_key(|key| {
+            (key.len(), key.labels().map(|l| l.to_string()).collect::<Vec<_>>())
+        });
+        for (i, key) in keys.iter().enumerate() {
+            if key.is_empty() {
+                continue;
+            }
+            let columns: Vec<String> =
+                key.labels().map(|label| quote(label.as_str())).collect();
+            let constraint = if i == 0 { "PRIMARY KEY" } else { "UNIQUE" };
+            lines.push(format!("  {constraint} ({})", columns.join(", ")));
+        }
+        // Comments must not swallow the separating comma, so commas go
+        // before any trailing comment.
+        let rendered: Vec<String> = lines
+            .iter()
+            .enumerate()
+            .map(|(i, line)| {
+                let comma = if i + 1 < lines.len() { "," } else { "" };
+                match line.find(" --") {
+                    Some(pos) => format!("{}{comma}{}", &line[..pos], &line[pos..]),
+                    None => format!("{line}{comma}"),
+                }
+            })
+            .collect();
+        for line in rendered {
+            let _ = writeln!(out, "{line}");
+        }
+        let _ = writeln!(out, ");");
+        let _ = writeln!(out);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::merge::merge_relational;
+    use crate::model::{section_5_person, RelSchema};
+
+    #[test]
+    fn person_table_renders_with_both_keys() {
+        let sql = to_sql(&section_5_person(), &TypeMap::default());
+        assert!(sql.contains("CREATE TABLE \"Person\""), "{sql}");
+        assert!(sql.contains("PRIMARY KEY (\"SS#\")"), "{sql}");
+        assert!(sql.contains("UNIQUE (\"Address\", \"Name\")"), "{sql}");
+    }
+
+    #[test]
+    fn known_domains_map_to_types() {
+        let schema = RelSchema::builder()
+            .relation("Dog")
+            .column("Dog", "age", "int")
+            .column("Dog", "name", "string")
+            .build()
+            .expect("valid");
+        let sql = to_sql(&schema, &TypeMap::default());
+        assert!(sql.contains("\"age\" INTEGER"), "{sql}");
+        assert!(sql.contains("\"name\" TEXT"), "{sql}");
+        assert!(!sql.contains("-- domain"), "all domains known: {sql}");
+    }
+
+    #[test]
+    fn unknown_domains_fall_back_with_a_comment() {
+        let schema = RelSchema::builder()
+            .relation("Dog")
+            .column("Dog", "kind", "breed")
+            .build()
+            .expect("valid");
+        let sql = to_sql(&schema, &TypeMap::default());
+        assert!(sql.contains("\"kind\" TEXT -- domain: breed"), "{sql}");
+    }
+
+    #[test]
+    fn custom_type_map_overrides() {
+        let types = TypeMap::with_fallback("BLOB").map("breed", "VARCHAR(32)");
+        let schema = RelSchema::builder()
+            .relation("Dog")
+            .column("Dog", "kind", "breed")
+            .column("Dog", "photo", "image")
+            .build()
+            .expect("valid");
+        let sql = to_sql(&schema, &types);
+        assert!(sql.contains("\"kind\" VARCHAR(32)"), "{sql}");
+        assert!(sql.contains("\"photo\" BLOB -- domain: image"), "{sql}");
+    }
+
+    #[test]
+    fn merged_schemas_emit_intersection_domains_as_comments() {
+        // A column-type conflict produces an implicit intersection
+        // domain; DDL keeps its origin name visible.
+        let g1 = RelSchema::builder()
+            .relation("Person")
+            .column("Person", "id", "int")
+            .build()
+            .expect("valid");
+        let g2 = RelSchema::builder()
+            .relation("Person")
+            .column("Person", "id", "text")
+            .build()
+            .expect("valid");
+        let merged = merge_relational([&g1, &g2]).expect("merges");
+        let sql = to_sql(&merged.schema, &TypeMap::default());
+        assert!(sql.contains("{int,text}"), "{sql}");
+        assert!(sql.contains("domain refinement"), "{sql}");
+    }
+
+    #[test]
+    fn quoting_escapes_embedded_quotes() {
+        assert_eq!(quote("plain"), "\"plain\"");
+        assert_eq!(quote("we\"ird"), "\"we\"\"ird\"");
+    }
+
+    #[test]
+    fn keyless_relations_emit_no_constraints() {
+        let schema = RelSchema::builder()
+            .relation("Log")
+            .column("Log", "line", "text")
+            .build()
+            .expect("valid");
+        let sql = to_sql(&schema, &TypeMap::default());
+        assert!(!sql.contains("PRIMARY KEY"), "{sql}");
+        assert!(!sql.contains("UNIQUE"), "{sql}");
+        assert!(sql.contains("\"line\" TEXT\n"), "no trailing comma: {sql}");
+    }
+
+    #[test]
+    fn statements_are_parseable_shape() {
+        // Structural smoke test: each table ends with `);` and columns
+        // are comma-separated (all but the last line).
+        let sql = to_sql(&section_5_person(), &TypeMap::default());
+        let body: Vec<&str> = sql
+            .lines()
+            .skip_while(|l| !l.starts_with("CREATE"))
+            .skip(1)
+            .take_while(|l| *l != ");")
+            .collect();
+        for line in &body[..body.len() - 1] {
+            let content = line.split(" --").next().unwrap_or(line);
+            assert!(content.trim_end().ends_with(','), "line `{line}` misses comma");
+        }
+        assert!(!body.last().unwrap().trim_end().ends_with(','));
+    }
+}

@@ -1,0 +1,100 @@
+//! Errors for the relational substrate.
+
+use std::fmt;
+
+use schema_merge_core::{Class, Label, MergeError, Name, SchemaError};
+
+/// Errors raised by relational schema construction, translation and
+/// merging.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelError {
+    /// A name is used both as a relation and as a domain.
+    NameClash(Name),
+    /// A referenced name was never declared.
+    Undeclared(Name),
+    /// A declared key uses a label that is not a column.
+    KeyOutsideColumns {
+        /// The relation.
+        relation: Name,
+        /// The non-column label.
+        column: Label,
+    },
+    /// The schema (or a schema read back from the graph model) violates
+    /// first normal form.
+    NotFirstNormalForm {
+        /// The offending relation or class.
+        relation: Name,
+        /// Human-readable explanation.
+        detail: String,
+    },
+    /// A graph-model class could not be mapped back into the two strata.
+    NotStratified {
+        /// The class at fault.
+        class: Class,
+        /// Human-readable explanation.
+        reason: String,
+    },
+    /// The underlying graph merge failed.
+    Merge(MergeError),
+    /// The underlying schema operation failed.
+    Schema(SchemaError),
+}
+
+impl fmt::Display for RelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelError::NameClash(name) => {
+                write!(f, "{name} is used both as a relation and as a domain")
+            }
+            RelError::Undeclared(name) => write!(f, "{name} is referenced but never declared"),
+            RelError::KeyOutsideColumns { relation, column } => {
+                write!(f, "key on {relation} uses {column}, which is not a column")
+            }
+            RelError::NotFirstNormalForm { relation, detail } => {
+                write!(f, "{relation} violates first normal form: {detail}")
+            }
+            RelError::NotStratified { class, reason } => {
+                write!(f, "class {class} violates relational stratification: {reason}")
+            }
+            RelError::Merge(err) => write!(f, "merge failed: {err}"),
+            RelError::Schema(err) => write!(f, "schema error: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for RelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RelError::Merge(err) => Some(err),
+            RelError::Schema(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<MergeError> for RelError {
+    fn from(err: MergeError) -> Self {
+        RelError::Merge(err)
+    }
+}
+
+impl From<SchemaError> for RelError {
+    fn from(err: SchemaError) -> Self {
+        RelError::Schema(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            RelError::NameClash(Name::new("X")).to_string(),
+            "X is used both as a relation and as a domain"
+        );
+        let err: RelError = SchemaError::UnknownClass(Class::named("Y")).into();
+        assert!(std::error::Error::source(&err).is_some());
+    }
+}

@@ -1,0 +1,30 @@
+//! # schema-merge-relational
+//!
+//! The relational front-end to the schema-merging calculus of Buneman,
+//! Davidson & Kosky (EDBT 1992).
+//!
+//! §2: "For a relational instance, we stratify `N` into two classes `NR`
+//! and `NA` (relations and attribute domains), disallow specialization
+//! edges, and restrict arrows to run labelled with the name of the
+//! attribute from `NR` to `NA` (first normal form)." Merging happens in
+//! the graph model and translates back; column-type conflicts surface as
+//! implicit *intersection domains* (`{int,text}`), the one place the
+//! merged schema needs domain refinement edges.
+//!
+//! Key constraints (§5) attach to relations as superkey families and are
+//! merged into the unique minimal satisfactory assignment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ddl;
+pub mod error;
+pub mod merge;
+pub mod model;
+pub mod translate;
+
+pub use ddl::{to_sql, TypeMap};
+pub use error::RelError;
+pub use merge::{merge_relational, RelMergeOutcome};
+pub use model::{RelSchema, RelSchemaBuilder, Relation};
+pub use translate::{from_core, to_core, RelStrata, RelStratum};

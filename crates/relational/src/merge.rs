@@ -1,0 +1,186 @@
+//! Merging relational schemas through the graph model.
+
+use std::collections::BTreeMap;
+
+use schema_merge_core::{merge as core_merge, Class, KeyAssignment, MergeOutcome, Name,
+    SuperkeyFamily};
+
+use crate::model::RelSchema;
+use crate::translate::{from_core, to_core, RelStrata, RelStratum};
+use crate::RelError;
+
+/// The result of a relational merge.
+#[derive(Debug, Clone)]
+pub struct RelMergeOutcome {
+    /// The merged schema, back in the relational model. Key families are
+    /// filled in from the minimal satisfactory assignment.
+    pub schema: RelSchema,
+    /// The underlying graph-model outcome.
+    pub core: MergeOutcome,
+    /// The combined strata.
+    pub strata: RelStrata,
+    /// The minimal satisfactory key assignment (§5).
+    pub keys: KeyAssignment,
+}
+
+/// Merges relational schemas: union the strata (with clash detection),
+/// merge in the graph model, combine declared keys into the minimal
+/// satisfactory assignment, and translate back.
+pub fn merge_relational<'a>(
+    schemas: impl IntoIterator<Item = &'a RelSchema>,
+) -> Result<RelMergeOutcome, RelError> {
+    let inputs: Vec<&RelSchema> = schemas.into_iter().collect();
+
+    let mut strata: RelStrata = BTreeMap::new();
+    for input in &inputs {
+        let (_, s) = to_core(input);
+        for (name, stratum) in s {
+            match strata.get(&name) {
+                None => {
+                    strata.insert(name, stratum);
+                }
+                Some(&existing) if existing == stratum => {}
+                Some(_) => return Err(RelError::NameClash(name)),
+            }
+        }
+    }
+
+    let translated: Vec<_> = inputs.iter().map(|s| to_core(s).0).collect();
+    let core = core_merge(translated.iter())?;
+
+    let mut contributions: Vec<(Class, SuperkeyFamily)> = Vec::new();
+    for input in &inputs {
+        for (name, relation) in input.relations() {
+            if !relation.keys.is_none() {
+                contributions.push((Class::Named(name.clone()), relation.keys.clone()));
+            }
+        }
+    }
+    let keys = KeyAssignment::minimal_satisfactory(
+        core.proper.as_weak(),
+        contributions.iter().map(|(c, f)| (c, f)),
+    );
+
+    let mut schema = from_core(core.proper.as_weak(), &strata)?;
+    // Attach the merged key families to the relations.
+    for (name, relation) in schema.relations.iter_mut() {
+        relation.keys = keys.family(&Class::Named(name.clone()));
+    }
+
+    Ok(RelMergeOutcome {
+        schema,
+        core,
+        strata,
+        keys,
+    })
+}
+
+/// Executable strata-preservation check (§7) for relational merges.
+pub fn preserves_strata(outcome: &RelMergeOutcome) -> bool {
+    outcome
+        .core
+        .proper
+        .classes()
+        .all(|class| crate::translate::class_stratum(class, &outcome.strata).is_ok())
+}
+
+/// The stratum of a merged name, if known.
+pub fn merged_stratum(outcome: &RelMergeOutcome, name: &Name) -> Option<RelStratum> {
+    outcome.strata.get(name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::section_5_person;
+    use schema_merge_core::{KeySet, Label};
+
+    fn ks(labels: &[&str]) -> KeySet {
+        KeySet::new(labels.iter().copied())
+    }
+
+    #[test]
+    fn self_merge_preserves_schema() {
+        let rel = section_5_person();
+        let outcome = merge_relational([&rel, &rel]).unwrap();
+        assert_eq!(outcome.schema, rel);
+        assert!(preserves_strata(&outcome));
+    }
+
+    #[test]
+    fn columns_union_across_schemas() {
+        let g1 = RelSchema::builder()
+            .column("Emp", "id", "int")
+            .column("Emp", "name", "text")
+            .build()
+            .unwrap();
+        let g2 = RelSchema::builder()
+            .column("Emp", "salary", "int")
+            .column("Dept", "name", "text")
+            .build()
+            .unwrap();
+        let outcome = merge_relational([&g1, &g2]).unwrap();
+        let emp = outcome.schema.relation(&Name::new("Emp")).unwrap();
+        assert_eq!(emp.arity(), 3);
+        assert!(outcome.schema.relation(&Name::new("Dept")).is_some());
+    }
+
+    #[test]
+    fn conflicting_column_types_make_intersection_domain() {
+        let g1 = RelSchema::builder().column("R", "x", "int").build().unwrap();
+        let g2 = RelSchema::builder().column("R", "x", "text").build().unwrap();
+        let outcome = merge_relational([&g1, &g2]).unwrap();
+        let merged = Name::new("{int,text}");
+        assert_eq!(
+            outcome.schema.relation(&Name::new("R")).unwrap().columns[&Label::new("x")],
+            merged
+        );
+        assert!(outcome
+            .schema
+            .domain_refinements()
+            .any(|(sub, _)| sub == &merged));
+        assert_eq!(outcome.core.report.num_implicit(), 1);
+    }
+
+    #[test]
+    fn key_merge_is_minimal_satisfactory() {
+        // §5 end: one schema declares {SS#} a key, the other has the
+        // column but no key. The merged relation carries the key.
+        let with_key = section_5_person();
+        let without = RelSchema::builder()
+            .column("Person", "SS#", "int")
+            .column("Person", "Phone", "text")
+            .build()
+            .unwrap();
+        let outcome = merge_relational([&with_key, &without]).unwrap();
+        let person = outcome.schema.relation(&Name::new("Person")).unwrap();
+        assert!(person.keys.is_superkey(&ks(&["SS#"])));
+        assert!(person.keys.is_superkey(&ks(&["Name", "Address"])));
+        assert_eq!(person.arity(), 4);
+    }
+
+    #[test]
+    fn name_clash_across_schemas() {
+        let g1 = RelSchema::builder().column("R", "x", "Thing").build().unwrap();
+        let g2 = RelSchema::builder().column("Thing", "y", "int").build().unwrap();
+        assert!(matches!(
+            merge_relational([&g1, &g2]),
+            Err(RelError::NameClash(_))
+        ));
+    }
+
+    #[test]
+    fn merge_is_order_independent() {
+        let g1 = section_5_person();
+        let g2 = RelSchema::builder()
+            .column("Person", "Phone", "text")
+            .column("Account", "owner", "int")
+            .key("Account", KeySet::new(["owner"]))
+            .build()
+            .unwrap();
+        let g3 = RelSchema::builder().column("Person", "Age", "int").build().unwrap();
+        let a = merge_relational([&g1, &g2, &g3]).unwrap();
+        let b = merge_relational([&g3, &g2, &g1]).unwrap();
+        assert_eq!(a.schema, b.schema);
+    }
+}

@@ -1,0 +1,287 @@
+//! First-normal-form relational schemas (§2).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use schema_merge_core::{KeySet, Label, Name, SuperkeyFamily};
+
+use crate::RelError;
+
+/// A relation: named columns over domains, with declared keys.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Relation {
+    /// Column name ↦ domain.
+    pub columns: BTreeMap<Label, Name>,
+    /// Declared keys (upward closed via the family representation).
+    pub keys: SuperkeyFamily,
+}
+
+impl Relation {
+    /// The arity of the relation.
+    pub fn arity(&self) -> usize {
+        self.columns.len()
+    }
+}
+
+/// A relational schema: relations plus the domains their columns use.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RelSchema {
+    pub(crate) relations: BTreeMap<Name, Relation>,
+    pub(crate) domains: BTreeSet<Name>,
+    /// Domain refinement pairs (sub, sup), produced only by merges whose
+    /// column types conflicted (implicit intersection domains).
+    pub(crate) domain_refines: BTreeSet<(Name, Name)>,
+}
+
+impl RelSchema {
+    /// Starts building a schema.
+    pub fn builder() -> RelSchemaBuilder {
+        RelSchemaBuilder::default()
+    }
+
+    /// The relations, sorted by name.
+    pub fn relations(&self) -> impl Iterator<Item = (&Name, &Relation)> {
+        self.relations.iter()
+    }
+
+    /// A relation by name.
+    pub fn relation(&self, name: &Name) -> Option<&Relation> {
+        self.relations.get(name)
+    }
+
+    /// The domains, sorted.
+    pub fn domains(&self) -> impl Iterator<Item = &Name> {
+        self.domains.iter()
+    }
+
+    /// Domain refinement pairs `(sub, sup)`.
+    pub fn domain_refinements(&self) -> impl Iterator<Item = &(Name, Name)> {
+        self.domain_refines.iter()
+    }
+
+    /// A copy with each relation's key family replaced by the family the
+    /// assignment gives its class (used to graft a §5 minimal
+    /// satisfactory assignment onto a translated schema).
+    pub fn with_key_assignment(
+        &self,
+        keys: &schema_merge_core::KeyAssignment,
+    ) -> RelSchema {
+        let mut out = self.clone();
+        for (name, relation) in &mut out.relations {
+            let class = schema_merge_core::Class::named(name.clone());
+            relation.keys = keys.family(&class);
+        }
+        out
+    }
+
+    /// (relations, domains) counts.
+    pub fn counts(&self) -> (usize, usize) {
+        (self.relations.len(), self.domains.len())
+    }
+
+    /// Validates first normal form: relation and domain names are
+    /// disjoint, columns target declared domains, keys use only column
+    /// labels, refinements connect domains.
+    pub fn validate(&self) -> Result<(), RelError> {
+        for name in self.relations.keys() {
+            if self.domains.contains(name) {
+                return Err(RelError::NameClash(name.clone()));
+            }
+        }
+        for (name, relation) in &self.relations {
+            for domain in relation.columns.values() {
+                if self.relations.contains_key(domain) {
+                    return Err(RelError::NotFirstNormalForm {
+                        relation: name.clone(),
+                        detail: format!("column domain {domain} is itself a relation"),
+                    });
+                }
+                if !self.domains.contains(domain) {
+                    return Err(RelError::Undeclared(domain.clone()));
+                }
+            }
+            for key in relation.keys.minimal_keys() {
+                for label in key.labels() {
+                    if !relation.columns.contains_key(label) {
+                        return Err(RelError::KeyOutsideColumns {
+                            relation: name.clone(),
+                            column: label.clone(),
+                        });
+                    }
+                }
+            }
+        }
+        for (sub, sup) in &self.domain_refines {
+            for name in [sub, sup] {
+                if !self.domains.contains(name) {
+                    return Err(RelError::Undeclared(name.clone()));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for RelSchema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (name, relation) in &self.relations {
+            write!(f, "{name}(")?;
+            for (i, (column, domain)) in relation.columns.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{column}: {domain}")?;
+            }
+            write!(f, ")")?;
+            if !relation.keys.is_none() {
+                write!(f, " keys {}", relation.keys)?;
+            }
+            writeln!(f)?;
+        }
+        for (sub, sup) in &self.domain_refines {
+            writeln!(f, "domain {sub} refines {sup}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`RelSchema`].
+#[derive(Debug, Clone, Default)]
+pub struct RelSchemaBuilder {
+    schema: RelSchema,
+}
+
+impl RelSchemaBuilder {
+    /// Declares a domain.
+    pub fn domain(mut self, name: impl Into<Name>) -> Self {
+        self.schema.domains.insert(name.into());
+        self
+    }
+
+    /// Declares an empty relation.
+    pub fn relation(mut self, name: impl Into<Name>) -> Self {
+        self.schema.relations.entry(name.into()).or_default();
+        self
+    }
+
+    /// Adds a column (auto-declaring its domain).
+    pub fn column(
+        mut self,
+        relation: impl Into<Name>,
+        column: impl Into<Label>,
+        domain: impl Into<Name>,
+    ) -> Self {
+        let domain = domain.into();
+        self.schema.domains.insert(domain.clone());
+        self.schema
+            .relations
+            .entry(relation.into())
+            .or_default()
+            .columns
+            .insert(column.into(), domain);
+        self
+    }
+
+    /// Declares a key on a relation.
+    pub fn key(mut self, relation: impl Into<Name>, key: impl Into<KeySet>) -> Self {
+        self.schema
+            .relations
+            .entry(relation.into())
+            .or_default()
+            .keys
+            .insert_key(key.into());
+        self
+    }
+
+    /// Records a domain refinement (merge results only).
+    pub fn domain_refines(mut self, sub: impl Into<Name>, sup: impl Into<Name>) -> Self {
+        self.schema.domain_refines.insert((sub.into(), sup.into()));
+        self
+    }
+
+    /// Validates and returns the schema.
+    pub fn build(self) -> Result<RelSchema, RelError> {
+        self.schema.validate()?;
+        Ok(self.schema)
+    }
+}
+
+/// The `Person(SS#, Name, Address)` example of §5, with its two keys.
+pub fn section_5_person() -> RelSchema {
+    RelSchema::builder()
+        .column("Person", "SS#", "int")
+        .column("Person", "Name", "text")
+        .column("Person", "Address", "text")
+        .key("Person", KeySet::new(["SS#"]))
+        .key("Person", KeySet::new(["Name", "Address"]))
+        .build()
+        .expect("section 5 example is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_example() {
+        let schema = section_5_person();
+        let person = schema.relation(&Name::new("Person")).unwrap();
+        assert_eq!(person.arity(), 3);
+        assert_eq!(person.keys.num_keys(), 2);
+        assert!(person.keys.is_superkey(&KeySet::new(["SS#", "Name"])));
+        assert!(!person.keys.is_superkey(&KeySet::new(["Name"])));
+    }
+
+    #[test]
+    fn name_clash_rejected() {
+        let err = RelSchema::builder()
+            .domain("Person")
+            .relation("Person")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelError::NameClash(_)));
+    }
+
+    #[test]
+    fn column_domain_must_not_be_relation() {
+        // Constructed directly: the builder auto-declares column domains,
+        // which turns this mistake into a NameClash instead.
+        let mut schema = RelSchema::default();
+        schema.relations.entry(Name::new("Orders")).or_default();
+        schema
+            .relations
+            .entry(Name::new("Person"))
+            .or_default()
+            .columns
+            .insert(Label::new("orders"), Name::new("Orders"));
+        let err = schema.validate().unwrap_err();
+        assert!(matches!(err, RelError::NotFirstNormalForm { .. }));
+    }
+
+    #[test]
+    fn key_must_use_columns() {
+        let err = RelSchema::builder()
+            .column("R", "a", "int")
+            .key("R", KeySet::new(["nope"]))
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelError::KeyOutsideColumns { .. }));
+    }
+
+    #[test]
+    fn refinement_endpoints_must_be_domains() {
+        let err = RelSchema::builder()
+            .domain("int")
+            .domain_refines("ghost", "int")
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, RelError::Undeclared(_)));
+    }
+
+    #[test]
+    fn display_lists_relations() {
+        let text = section_5_person().to_string();
+        assert!(text.contains("Person(Address: text, Name: text, SS#: int)"));
+        assert!(text.contains("keys"));
+    }
+}

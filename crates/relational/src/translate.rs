@@ -1,0 +1,252 @@
+//! Translation between 1NF relational schemas and the graph model (§2).
+
+use std::collections::BTreeMap;
+
+use schema_merge_core::{Class, Name, WeakSchema};
+
+use crate::model::RelSchema;
+use crate::RelError;
+
+/// The two relational strata.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RelStratum {
+    /// `NR`: relation classes.
+    Relation,
+    /// `NA`: attribute-domain classes.
+    Domain,
+}
+
+impl std::fmt::Display for RelStratum {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RelStratum::Relation => write!(f, "relation"),
+            RelStratum::Domain => write!(f, "domain"),
+        }
+    }
+}
+
+/// Strata assignment for named classes.
+pub type RelStrata = BTreeMap<Name, RelStratum>;
+
+/// ER-style origin syntax (`{a,b}`) in names is recognized so implicit
+/// domains survive a round-trip through the relational model.
+fn class_of(name: &Name) -> Class {
+    Class::from_origin_syntax(name.as_str())
+}
+
+/// Translates a relational schema into the graph model: relations and
+/// domains become classes, columns become arrows. Declared domain
+/// refinements (from earlier merges) become specializations.
+pub fn to_core(schema: &RelSchema) -> (WeakSchema, RelStrata) {
+    let mut builder = WeakSchema::builder();
+    let mut strata = RelStrata::new();
+    for domain in schema.domains() {
+        builder = builder.class(class_of(domain));
+        strata.insert(domain.clone(), RelStratum::Domain);
+    }
+    for (name, relation) in schema.relations() {
+        builder = builder.class(class_of(name));
+        strata.insert(name.clone(), RelStratum::Relation);
+        for (column, domain) in &relation.columns {
+            builder = builder.arrow(class_of(name), column.clone(), class_of(domain));
+        }
+    }
+    for (sub, sup) in schema.domain_refinements() {
+        builder = builder.specialize(class_of(sub), class_of(sup));
+    }
+    let schema = builder
+        .build()
+        .expect("domain refinements are acyclic by construction");
+    (schema, strata)
+}
+
+/// The stratum of a class, with implicit classes inheriting the unanimous
+/// stratum of their origins.
+pub fn class_stratum(class: &Class, strata: &RelStrata) -> Result<RelStratum, RelError> {
+    match class {
+        Class::Named(name) => strata
+            .get(name)
+            .copied()
+            .ok_or_else(|| RelError::Undeclared(name.clone())),
+        Class::Implicit(origin) | Class::ImplicitUnion(origin) => {
+            let mut found: Option<RelStratum> = None;
+            for name in origin.iter() {
+                let s = strata
+                    .get(name)
+                    .copied()
+                    .ok_or_else(|| RelError::Undeclared(name.clone()))?;
+                match found {
+                    None => found = Some(s),
+                    Some(prev) if prev == s => {}
+                    Some(prev) => {
+                        return Err(RelError::NotStratified {
+                            class: class.clone(),
+                            reason: format!("origin {name} is a {s}, earlier origin a {prev}"),
+                        })
+                    }
+                }
+            }
+            found.ok_or_else(|| RelError::NotStratified {
+                class: class.clone(),
+                reason: "empty origin".into(),
+            })
+        }
+    }
+}
+
+fn class_name(class: &Class) -> Name {
+    match class {
+        Class::Named(name) => name.clone(),
+        other => Name::new(other.to_string()),
+    }
+}
+
+/// Translates a graph schema back into the relational model, enforcing
+/// first normal form:
+///
+/// * arrows run from relations to domains only,
+/// * relations never specialize one another (implicit *domains* may —
+///   that is how conflicting column types are reported),
+/// * for each `(relation, column)` the canonical (most specific) domain
+///   is taken as the column type.
+pub fn from_core(schema: &WeakSchema, strata: &RelStrata) -> Result<RelSchema, RelError> {
+    let mut builder = RelSchema::builder();
+    let mut stratum_of: BTreeMap<Class, RelStratum> = BTreeMap::new();
+    for class in schema.classes() {
+        let stratum = class_stratum(class, strata)?;
+        stratum_of.insert(class.clone(), stratum);
+        builder = match stratum {
+            RelStratum::Domain => builder.domain(class_name(class)),
+            RelStratum::Relation => builder.relation(class_name(class)),
+        };
+    }
+
+    for (src, label, tgt) in schema.arrow_triples() {
+        match (stratum_of[src], stratum_of[tgt]) {
+            (RelStratum::Relation, RelStratum::Domain) => {}
+            (from, to) => {
+                return Err(RelError::NotStratified {
+                    class: src.clone(),
+                    reason: format!(
+                        "arrow {src} --{label}--> {tgt} runs from a {from} to a {to}"
+                    ),
+                })
+            }
+        }
+        // Keep only the canonical (minimal) domain as the column type.
+        let tighter = schema
+            .arrow_targets(src, label)
+            .iter()
+            .any(|other| other != tgt && schema.specializes(other, tgt));
+        if !tighter {
+            builder = builder.column(class_name(src), label.clone(), class_name(tgt));
+        }
+    }
+
+    for (sub, sup) in schema.specialization_pairs() {
+        match (stratum_of[sub], stratum_of[sup]) {
+            (RelStratum::Domain, RelStratum::Domain) => {
+                let reduced = schema
+                    .strict_supers(sub)
+                    .iter()
+                    .any(|mid| mid != sup && schema.specializes(mid, sup));
+                if !reduced {
+                    builder = builder.domain_refines(class_name(sub), class_name(sup));
+                }
+            }
+            _ => {
+                return Err(RelError::NotFirstNormalForm {
+                    relation: class_name(sub),
+                    detail: format!("specialization {sub} => {sup} between non-domains"),
+                })
+            }
+        }
+    }
+
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::section_5_person;
+    use schema_merge_core::Label;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    #[test]
+    fn person_translates_and_round_trips() {
+        let rel = section_5_person();
+        let (graph, strata) = to_core(&rel);
+        assert!(graph.has_arrow(&c("Person"), &Label::new("SS#"), &c("int")));
+        assert_eq!(strata[&Name::new("Person")], RelStratum::Relation);
+        assert_eq!(strata[&Name::new("text")], RelStratum::Domain);
+
+        let back = from_core(&graph, &strata).unwrap();
+        // Keys travel separately (as SuperkeyFamily); columns round-trip.
+        let person = back.relation(&Name::new("Person")).unwrap();
+        assert_eq!(
+            person.columns,
+            rel.relation(&Name::new("Person")).unwrap().columns
+        );
+    }
+
+    #[test]
+    fn relation_specialization_is_rejected() {
+        let graph = WeakSchema::builder().specialize("R", "S").build().unwrap();
+        let mut strata = RelStrata::new();
+        strata.insert(Name::new("R"), RelStratum::Relation);
+        strata.insert(Name::new("S"), RelStratum::Relation);
+        let err = from_core(&graph, &strata).unwrap_err();
+        assert!(matches!(err, RelError::NotFirstNormalForm { .. }));
+    }
+
+    #[test]
+    fn domain_to_domain_arrow_is_rejected() {
+        let graph = WeakSchema::builder().arrow("int", "x", "text").build().unwrap();
+        let mut strata = RelStrata::new();
+        strata.insert(Name::new("int"), RelStratum::Domain);
+        strata.insert(Name::new("text"), RelStratum::Domain);
+        let err = from_core(&graph, &strata).unwrap_err();
+        assert!(matches!(err, RelError::NotStratified { .. }));
+    }
+
+    #[test]
+    fn implicit_domain_becomes_refinement() {
+        let x = Class::implicit([c("int"), c("text")]);
+        let graph = WeakSchema::builder()
+            .specialize(x.clone(), "int")
+            .specialize(x.clone(), "text")
+            .arrow("R", "col", x.clone())
+            .arrow("R", "col", "int")
+            .arrow("R", "col", "text")
+            .build()
+            .unwrap();
+        let mut strata = RelStrata::new();
+        strata.insert(Name::new("int"), RelStratum::Domain);
+        strata.insert(Name::new("text"), RelStratum::Domain);
+        strata.insert(Name::new("R"), RelStratum::Relation);
+        let back = from_core(&graph, &strata).unwrap();
+        let merged = Name::new("{int,text}");
+        assert!(back.domains().any(|d| d == &merged));
+        // Column takes the canonical (implicit) domain.
+        assert_eq!(
+            back.relation(&Name::new("R")).unwrap().columns[&Label::new("col")],
+            merged
+        );
+        assert!(back
+            .domain_refinements()
+            .any(|(sub, sup)| sub == &merged && sup.as_str() == "int"));
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let graph = WeakSchema::builder().class("Ghost").build().unwrap();
+        assert!(matches!(
+            from_core(&graph, &RelStrata::new()),
+            Err(RelError::Undeclared(_))
+        ));
+    }
+}

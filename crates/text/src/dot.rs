@@ -1,0 +1,176 @@
+//! Graphviz DOT export — the stand-in for the prototype's graphical
+//! interface (§1, §7).
+//!
+//! Solid labelled edges are arrows, dashed unlabelled edges are
+//! specializations (drawn sub → sup like the paper's double arrows).
+//! Implicit classes render as dashed boxes (meet) or dashed diamonds
+//! (union); optional arrows are drawn grey with a `?` suffix.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use schema_merge_core::{Class, Participation};
+
+use crate::parse::NamedSchema;
+
+/// Rendering options.
+#[derive(Debug, Clone)]
+pub struct DotOptions {
+    /// Draw only the transitive reduction of the specialization order
+    /// (default true — the closure clutters the picture).
+    pub reduce_specializations: bool,
+    /// Draw only minimal arrow targets (default true, mirroring the
+    /// paper's figures which omit derivable edges).
+    pub reduce_arrows: bool,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions {
+            reduce_specializations: true,
+            reduce_arrows: true,
+        }
+    }
+}
+
+fn escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders a schema as a Graphviz digraph.
+pub fn to_dot(doc: &NamedSchema, options: &DotOptions) -> String {
+    let schema = doc.schema.schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", escape(&doc.name));
+    let _ = writeln!(out, "    rankdir=BT;");
+    let _ = writeln!(out, "    node [shape=box, fontname=\"Helvetica\"];");
+
+    // Stable node ids.
+    let ids: BTreeMap<&Class, String> = schema
+        .classes()
+        .enumerate()
+        .map(|(i, class)| (class, format!("n{i}")))
+        .collect();
+
+    for (class, id) in &ids {
+        let label = escape(&class.to_string());
+        let style = match class {
+            Class::Named(_) => String::new(),
+            Class::Implicit(_) => ", style=dashed".to_string(),
+            Class::ImplicitUnion(_) => ", style=dashed, shape=diamond".to_string(),
+        };
+        let keys = doc.keys.family(class);
+        let tooltip = if keys.is_none() {
+            String::new()
+        } else {
+            format!(", tooltip=\"keys {}\"", escape(&keys.to_string()))
+        };
+        let _ = writeln!(out, "    {id} [label=\"{label}\"{style}{tooltip}];");
+    }
+
+    for (sub, sup) in schema.specialization_pairs() {
+        if options.reduce_specializations {
+            let covered = schema
+                .strict_supers(sub)
+                .iter()
+                .any(|mid| mid != sup && schema.specializes(mid, sup));
+            if covered {
+                continue;
+            }
+        }
+        let _ = writeln!(
+            out,
+            "    {} -> {} [style=dashed, arrowhead=onormal];",
+            ids[sub], ids[sup]
+        );
+    }
+
+    for (src, label, tgt) in schema.arrow_triples() {
+        if options.reduce_arrows {
+            let derivable_from_super = schema
+                .strict_supers(src)
+                .iter()
+                .any(|sup| schema.has_arrow(sup, label, tgt));
+            let tighter = schema
+                .arrow_targets(src, label)
+                .iter()
+                .any(|other| other != tgt && schema.specializes(other, tgt));
+            if derivable_from_super || tighter {
+                continue;
+            }
+        }
+        let optional = doc.schema.participation(src, label, tgt) != Participation::One;
+        let suffix = if optional { "?" } else { "" };
+        let color = if optional { ", color=gray50, fontcolor=gray50" } else { "" };
+        let _ = writeln!(
+            out,
+            "    {} -> {} [label=\"{}{suffix}\"{color}];",
+            ids[src],
+            ids[tgt],
+            escape(label.as_str())
+        );
+    }
+
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_schema;
+
+    fn dogs() -> NamedSchema {
+        parse_schema(
+            "schema Dogs {\n\
+             Guide-dog => Dog;\n\
+             Dog --age--> int;\n\
+             Lives --occ?--> Dog;\n\
+             C --a--> {B1,B2};\n\
+             {B1,B2} => B1;\n\
+             {B1,B2} => B2;\n\
+             key Dog {age};\n\
+             }",
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let dot = to_dot(&dogs(), &DotOptions::default());
+        assert!(dot.starts_with("digraph \"Dogs\""));
+        assert!(dot.contains("label=\"Dog\""));
+        assert!(dot.contains("label=\"{B1,B2}\""));
+        assert!(dot.contains("style=dashed"));
+        assert!(dot.contains("label=\"age\""));
+        assert!(dot.contains("label=\"occ?\""), "optional arrows are marked");
+        assert!(dot.contains("tooltip=\"keys"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn reduction_omits_derivable_edges() {
+        let reduced = to_dot(&dogs(), &DotOptions::default());
+        let full = to_dot(
+            &dogs(),
+            &DotOptions {
+                reduce_specializations: false,
+                reduce_arrows: false,
+            },
+        );
+        // Guide-dog's inherited age arrow appears only unreduced.
+        assert!(full.matches("label=\"age\"").count() > reduced.matches("label=\"age\"").count());
+    }
+
+    #[test]
+    fn escaping_handles_quotes() {
+        assert_eq!(escape("a\"b\\c"), "a\\\"b\\\\c");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let a = to_dot(&dogs(), &DotOptions::default());
+        let b = to_dot(&dogs(), &DotOptions::default());
+        assert_eq!(a, b);
+    }
+}

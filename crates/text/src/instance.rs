@@ -1,0 +1,328 @@
+//! Instance literals: a text format for the data half of the system.
+//!
+//! Schema files describe the `(C, E, S)` graphs; instance files describe
+//! their §1 "semantic basis" — objects, extents and attribute values —
+//! with syntax deliberately parallel to the schema DSL:
+//!
+//! ```text
+//! instance shelter {
+//!     rex => Dog;             // rex is an instance of Dog
+//!     rex => Guide-dog;
+//!     ann => Person;
+//!     rex --owner--> ann;     // rex's owner-attribute is ann
+//! }
+//! ```
+//!
+//! `o => C` reads "o is a member of C's extent", mirroring the schema
+//! DSL's `A => B` ("every instance of A is an instance of B"); the arrow
+//! statement mirrors `p --a--> q`. Class positions accept implicit-class
+//! literals (`{C,D}` / `{C|D}`) so instances of *merged* schemas
+//! round-trip. Objects are named; [`NamedInstance`] keeps the symbol
+//! table so query results print as names rather than raw oids.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use schema_merge_core::{Class, Label};
+use schema_merge_instance::{Instance, InstanceBuilder, Oid};
+
+use crate::parse::{ParseError, Parser};
+use crate::token::{lex, TokenKind};
+
+/// A parsed instance with its object-name symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamedInstance {
+    /// The `instance <name>` header.
+    pub name: String,
+    /// The instance itself.
+    pub instance: Instance,
+    symbols: BTreeMap<String, Oid>,
+}
+
+impl NamedInstance {
+    /// Wraps an instance with an explicit symbol table. Object names
+    /// must be unique per oid for printing to round-trip.
+    pub fn new(
+        name: impl Into<String>,
+        instance: Instance,
+        symbols: BTreeMap<String, Oid>,
+    ) -> Self {
+        NamedInstance {
+            name: name.into(),
+            instance,
+            symbols,
+        }
+    }
+
+    /// The oid bound to an object name.
+    pub fn oid(&self, name: &str) -> Option<Oid> {
+        self.symbols.get(name).copied()
+    }
+
+    /// The first name bound to an oid (names are unique in parsed
+    /// instances).
+    pub fn name_of(&self, oid: Oid) -> Option<&str> {
+        self.symbols
+            .iter()
+            .find(|(_, &bound)| bound == oid)
+            .map(|(name, _)| name.as_str())
+    }
+
+    /// All `(name, oid)` bindings, sorted by name.
+    pub fn symbols(&self) -> impl Iterator<Item = (&str, Oid)> {
+        self.symbols.iter().map(|(name, &oid)| (name.as_str(), oid))
+    }
+
+    /// Renders a set of oids as sorted names (falling back to `#n` for
+    /// unnamed objects, e.g. from a union's renumbering).
+    pub fn render_objects<'a>(&self, oids: impl IntoIterator<Item = &'a Oid>) -> Vec<String> {
+        let mut names: Vec<String> = oids
+            .into_iter()
+            .map(|&oid| {
+                self.name_of(oid)
+                    .map(str::to_string)
+                    .unwrap_or_else(|| format!("#{}", oid.0))
+            })
+            .collect();
+        names.sort();
+        names
+    }
+}
+
+/// Parses a document of `instance <name> { … }` blocks.
+pub fn parse_instances(source: &str) -> Result<Vec<NamedInstance>, ParseError> {
+    let mut parser = Parser {
+        tokens: lex(source)?,
+        position: 0,
+    };
+    let mut instances = Vec::new();
+    while parser.peek().is_some() {
+        instances.push(parse_one(&mut parser)?);
+    }
+    Ok(instances)
+}
+
+/// Parses a document expected to contain exactly one instance.
+pub fn parse_instance(source: &str) -> Result<NamedInstance, ParseError> {
+    let mut instances = parse_instances(source)?;
+    match (instances.len(), instances.pop()) {
+        (1, Some(instance)) => Ok(instance),
+        (_, last) => Err(ParseError::Unexpected {
+            found: None,
+            expected: format!(
+                "exactly one instance in the document (found {})",
+                if last.is_some() { "several" } else { "none" }
+            ),
+            line: 1,
+        }),
+    }
+}
+
+fn parse_one(parser: &mut Parser) -> Result<NamedInstance, ParseError> {
+    // `instance` is a contextual keyword: the schema lexer sees it as an
+    // ordinary identifier.
+    match parser.peek() {
+        Some(TokenKind::Ident(word)) if word == "instance" => {
+            parser.advance();
+        }
+        _ => return Err(parser.unexpected("`instance`")),
+    }
+    let name = parser.ident("an instance name")?;
+    parser.expect(&TokenKind::LBrace, "`{` opening the instance body")?;
+
+    let mut builder = InstanceBuilder::default();
+    let mut symbols: BTreeMap<String, Oid> = BTreeMap::new();
+    let resolve = |builder: &mut InstanceBuilder, symbols: &mut BTreeMap<String, Oid>,
+                   object: String| {
+        *symbols
+            .entry(object)
+            .or_insert_with(|| builder.object(Vec::<Class>::new()))
+    };
+
+    loop {
+        match parser.peek() {
+            Some(TokenKind::RBrace) => {
+                parser.advance();
+                break;
+            }
+            Some(TokenKind::Ident(_)) => {
+                let object = parser.ident("an object name")?;
+                let oid = resolve(&mut builder, &mut symbols, object);
+                match parser.peek() {
+                    Some(TokenKind::FatArrow) => {
+                        parser.advance();
+                        let class = parser.class_ref()?;
+                        builder.classify(oid, class);
+                    }
+                    Some(TokenKind::Arrow { optional: false, .. }) => {
+                        let Some(TokenKind::Arrow { label, .. }) = parser.advance() else {
+                            unreachable!("peeked an arrow");
+                        };
+                        let target = parser.ident("a target object name")?;
+                        let target_oid = resolve(&mut builder, &mut symbols, target);
+                        builder.attr(oid, Label::new(&label), target_oid);
+                    }
+                    _ => {
+                        return Err(parser.unexpected(
+                            "`=> Class` (membership) or `--label--> object` (attribute)",
+                        ))
+                    }
+                }
+                parser.expect(&TokenKind::Semi, "`;` ending the statement")?;
+            }
+            _ => return Err(parser.unexpected("an object statement or `}`")),
+        }
+    }
+    Ok(NamedInstance {
+        name,
+        instance: builder.build(),
+        symbols,
+    })
+}
+
+/// Pretty-prints an instance; inverse of [`parse_instance`] for
+/// instances whose objects are all named.
+pub fn print_instance(named: &NamedInstance) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "instance {} {{", named.name);
+    for (name, oid) in named.symbols() {
+        for class in named.instance.classes_of(oid) {
+            let class_text = match &class {
+                Class::Named(n) => n.to_string(),
+                other => other.to_string(),
+            };
+            let _ = writeln!(out, "    {name} => {class_text};");
+        }
+    }
+    for (object, label, value) in named.instance.attributes() {
+        let object_name = named
+            .name_of(object)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{}", object.0));
+        let value_name = named
+            .name_of(value)
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("#{}", value.0));
+        let _ = writeln!(out, "    {object_name} --{label}--> {value_name};");
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SHELTER: &str = "\
+instance shelter {
+    rex => Dog;
+    rex => Guide-dog;
+    ann => Person;
+    rex --owner--> ann;
+}";
+
+    #[test]
+    fn parses_memberships_and_attributes() {
+        let named = parse_instance(SHELTER).expect("parses");
+        assert_eq!(named.name, "shelter");
+        let rex = named.oid("rex").expect("rex bound");
+        let ann = named.oid("ann").expect("ann bound");
+        assert!(named.instance.in_extent(&Class::named("Dog"), rex));
+        assert!(named.instance.in_extent(&Class::named("Guide-dog"), rex));
+        assert_eq!(named.instance.attr(rex, &Label::new("owner")), Some(ann));
+        assert_eq!(named.name_of(rex), Some("rex"));
+    }
+
+    #[test]
+    fn forward_references_work() {
+        let named = parse_instance(
+            "instance i { rex --owner--> ann; ann => Person; rex => Dog; }",
+        )
+        .expect("parses");
+        let rex = named.oid("rex").unwrap();
+        let ann = named.oid("ann").unwrap();
+        assert_eq!(named.instance.attr(rex, &Label::new("owner")), Some(ann));
+        assert!(named.instance.in_extent(&Class::named("Person"), ann));
+    }
+
+    #[test]
+    fn implicit_class_literals_parse() {
+        let named = parse_instance("instance i { x => {C,D}; y => {A|B}; }").expect("parses");
+        let x = named.oid("x").unwrap();
+        let y = named.oid("y").unwrap();
+        let meet = Class::implicit([Class::named("C"), Class::named("D")]);
+        let union = Class::implicit_union([Class::named("A"), Class::named("B")]);
+        assert!(named.instance.in_extent(&meet, x));
+        assert!(named.instance.in_extent(&union, y));
+    }
+
+    #[test]
+    fn multiple_instances_per_document() {
+        let all = parse_instances(
+            "instance a { x => C; }\ninstance b { y => D; }",
+        )
+        .expect("parses");
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].name, "a");
+        assert_eq!(all[1].name, "b");
+        assert!(parse_instance("instance a { } instance b { }").is_err());
+    }
+
+    type Memberships = Vec<(String, String)>;
+    type Attributes = Vec<(String, String, String)>;
+
+    /// The name-keyed view of an instance: oids are parse-order
+    /// artifacts, so round-trips are compared modulo renumbering.
+    fn by_name(named: &NamedInstance) -> (Memberships, Attributes) {
+        let mut memberships = Vec::new();
+        for (name, oid) in named.symbols() {
+            for class in named.instance.classes_of(oid) {
+                memberships.push((name.to_string(), class.to_string()));
+            }
+        }
+        let mut attrs = Vec::new();
+        for (object, label, value) in named.instance.attributes() {
+            attrs.push((
+                named.name_of(object).expect("named").to_string(),
+                label.to_string(),
+                named.name_of(value).expect("named").to_string(),
+            ));
+        }
+        memberships.sort();
+        attrs.sort();
+        (memberships, attrs)
+    }
+
+    #[test]
+    fn print_round_trips_modulo_oid_renumbering() {
+        let named = parse_instance(SHELTER).expect("parses");
+        let printed = print_instance(&named);
+        let reparsed = parse_instance(&printed).expect("round-trips");
+        assert_eq!(by_name(&reparsed), by_name(&named));
+        // And printing is a fixpoint from the first round-trip on.
+        assert_eq!(print_instance(&reparsed), printed);
+    }
+
+    #[test]
+    fn parse_errors_are_informative() {
+        for (source, needle) in [
+            ("instanc x { }", "`instance`"),
+            ("instance x  y => C; }", "`{`"),
+            ("instance x { y C; }", "membership"),
+            ("instance x { y => C }", "`;`"),
+            ("instance x { y --a?--> z; }", "membership"),
+        ] {
+            let err = parse_instances(source).unwrap_err().to_string();
+            assert!(err.contains(needle), "`{source}` → {err}");
+        }
+    }
+
+    #[test]
+    fn render_objects_prefers_names() {
+        let named = parse_instance(SHELTER).expect("parses");
+        let rex = named.oid("rex").unwrap();
+        let stranger = Oid(99);
+        let rendered = named.render_objects([&rex, &stranger]);
+        assert_eq!(rendered, vec!["#99".to_string(), "rex".to_string()]);
+    }
+}

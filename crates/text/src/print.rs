@@ -1,0 +1,143 @@
+//! Canonical pretty-printing (round-trips through the parser) and an
+//! ASCII rendering for terminals.
+
+use std::fmt::Write as _;
+
+use schema_merge_core::{Class, Participation};
+
+use crate::parse::NamedSchema;
+
+fn class_token(class: &Class) -> String {
+    // `Class`'s Display already uses the DSL's `{A,B}` / `{A|B}` syntax.
+    class.to_string()
+}
+
+/// Prints one schema in canonical DSL form. The output parses back to an
+/// equal [`NamedSchema`].
+pub fn print_schema(doc: &NamedSchema) -> String {
+    let mut out = String::new();
+    let schema = doc.schema.schema();
+    let _ = writeln!(out, "schema {} {{", doc.name);
+    for class in schema.classes() {
+        let _ = writeln!(out, "    class {};", class_token(class));
+    }
+    for (sub, sup) in schema.specialization_pairs() {
+        let _ = writeln!(out, "    {} => {};", class_token(sub), class_token(sup));
+    }
+    for (src, label, tgt) in schema.arrow_triples() {
+        let marker = match doc.schema.participation(src, label, tgt) {
+            Participation::One => "",
+            _ => "?",
+        };
+        let _ = writeln!(
+            out,
+            "    {} --{label}{marker}--> {};",
+            class_token(src),
+            class_token(tgt)
+        );
+    }
+    for class in doc.keys.keyed_classes() {
+        for key in doc.keys.family(class).minimal_keys() {
+            let labels: Vec<String> = key.labels().map(|l| l.to_string()).collect();
+            let _ = writeln!(out, "    key {} {{{}}};", class_token(class), labels.join(", "));
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Prints a document of several schemas.
+pub fn print_document(docs: &[NamedSchema]) -> String {
+    docs.iter().map(print_schema).collect::<Vec<_>>().join("\n")
+}
+
+/// A compact ASCII rendering: one block per class with its
+/// generalizations and attributes — the terminal stand-in for the
+/// prototype's graphical schema display.
+pub fn render_ascii(doc: &NamedSchema) -> String {
+    let schema = doc.schema.schema();
+    let mut out = String::new();
+    let _ = writeln!(out, "== schema {} ==", doc.name);
+    for class in schema.classes() {
+        let _ = write!(out, "{class}");
+        let supers = schema.strict_supers(class);
+        if !supers.is_empty() {
+            let names: Vec<String> = supers.iter().map(|c| c.to_string()).collect();
+            let _ = write!(out, " => {}", names.join(", "));
+        }
+        let _ = writeln!(out);
+        for label in schema.labels_of(class) {
+            let targets = schema.arrow_targets(class, &label);
+            let minimal = schema.min_s(&targets);
+            for target in minimal {
+                let marker = match doc.schema.participation(class, &label, &target) {
+                    Participation::One => "",
+                    _ => "?",
+                };
+                let _ = writeln!(out, "  .{label}{marker} : {target}");
+            }
+        }
+        let family = doc.keys.family(class);
+        if !family.is_none() {
+            let _ = writeln!(out, "  keys {family}");
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::{parse_document, parse_schema};
+
+    const DOGS: &str = "schema Dogs {\n\
+        Guide-dog => Dog;\n\
+        Dog --age--> int;\n\
+        Lives --occ?--> Dog;\n\
+        key Dog {age};\n\
+        }";
+
+    #[test]
+    fn print_parse_round_trip() {
+        let doc = parse_schema(DOGS).unwrap();
+        let printed = print_schema(&doc);
+        let reparsed = parse_schema(&printed).unwrap();
+        assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn round_trip_with_implicit_classes() {
+        let doc = parse_schema(
+            "schema S { {B1,B2} => B1; {B1,B2} => B2; C --a--> {B1,B2}; class {X|Y}; }",
+        )
+        .unwrap();
+        let printed = print_schema(&doc);
+        assert!(printed.contains("{B1,B2}"));
+        assert!(printed.contains("{X|Y}"));
+        assert_eq!(parse_schema(&printed).unwrap(), doc);
+    }
+
+    #[test]
+    fn document_round_trip() {
+        let docs = parse_document("schema A { class X; }\nschema B { Y --f--> Z; }").unwrap();
+        let printed = print_document(&docs);
+        assert_eq!(parse_document(&printed).unwrap(), docs);
+    }
+
+    #[test]
+    fn ascii_rendering_mentions_structure() {
+        let doc = parse_schema(DOGS).unwrap();
+        let text = render_ascii(&doc);
+        assert!(text.contains("== schema Dogs =="));
+        assert!(text.contains("Guide-dog => Dog"));
+        assert!(text.contains(".age : int"));
+        assert!(text.contains(".occ? : Dog"));
+        assert!(text.contains("keys {{age}}"));
+    }
+
+    #[test]
+    fn printing_is_deterministic() {
+        let doc = parse_schema(DOGS).unwrap();
+        assert_eq!(print_schema(&doc), print_schema(&doc));
+    }
+}

@@ -1,0 +1,329 @@
+//! The DSL lexer.
+//!
+//! Identifiers are free-form (they may contain `-`, `#`, `.` — the paper
+//! uses names like `Guide-dog`, `SS#`, `id-num`), so the arrow syntax
+//! `--label-->` is lexed as a single token: `--` starts an arrow label,
+//! which runs to the matching `-->`. A trailing `?` inside marks the
+//! arrow optional (`--occ?-->`). Comments run from `//` to end of line.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line for diagnostics.
+    pub line: usize,
+}
+
+/// The token kinds of the DSL.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// `schema` keyword.
+    Schema,
+    /// `class` keyword.
+    Class,
+    /// `key` keyword.
+    Key,
+    /// An identifier (class name, schema name or key label).
+    Ident(String),
+    /// An arrow `--label-->` (optional if written `--label?-->`).
+    Arrow {
+        /// The label between the dashes.
+        label: String,
+        /// Whether the `?` optional marker was present.
+        optional: bool,
+    },
+    /// `=>`.
+    FatArrow,
+    /// `{`.
+    LBrace,
+    /// `}`.
+    RBrace,
+    /// `;`.
+    Semi,
+    /// `,`.
+    Comma,
+    /// `|`.
+    Pipe,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Schema => write!(f, "`schema`"),
+            TokenKind::Class => write!(f, "`class`"),
+            TokenKind::Key => write!(f, "`key`"),
+            TokenKind::Ident(text) => write!(f, "identifier `{text}`"),
+            TokenKind::Arrow { label, optional } => {
+                write!(f, "arrow `--{label}{}-->`", if *optional { "?" } else { "" })
+            }
+            TokenKind::FatArrow => write!(f, "`=>`"),
+            TokenKind::LBrace => write!(f, "`{{`"),
+            TokenKind::RBrace => write!(f, "`}}`"),
+            TokenKind::Semi => write!(f, "`;`"),
+            TokenKind::Comma => write!(f, "`,`"),
+            TokenKind::Pipe => write!(f, "`|`"),
+        }
+    }
+}
+
+/// A lexing failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// Characters that terminate an identifier.
+fn is_ident_break(c: char, next: Option<char>) -> bool {
+    match c {
+        '{' | '}' | ';' | ',' | '|' => true,
+        c if c.is_whitespace() => true,
+        '=' if next == Some('>') => true,
+        '-' if next == Some('-') => true,
+        '/' if next == Some('/') => true,
+        _ => false,
+    }
+}
+
+/// Lexes a full source text.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    let chars: Vec<char> = source.chars().collect();
+    let mut tokens = Vec::new();
+    let mut i = 0;
+    let mut line = 1;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if next == Some('/') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '{' => {
+                tokens.push(Token { kind: TokenKind::LBrace, line });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Token { kind: TokenKind::RBrace, line });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semi, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Token { kind: TokenKind::Pipe, line });
+                i += 1;
+            }
+            '=' if next == Some('>') => {
+                tokens.push(Token { kind: TokenKind::FatArrow, line });
+                i += 2;
+            }
+            '-' if next == Some('-') => {
+                // `--label-->` or `--label?-->`.
+                let start_line = line;
+                i += 2;
+                let label_start = i;
+                // Scan to the closing `-->`.
+                let mut end = None;
+                let mut j = i;
+                while j + 2 < chars.len() + 1 {
+                    if j + 3 <= chars.len()
+                        && chars[j] == '-'
+                        && chars[j + 1] == '-'
+                        && chars[j + 2] == '>'
+                    {
+                        end = Some(j);
+                        break;
+                    }
+                    if j >= chars.len() || chars[j] == '\n' {
+                        break;
+                    }
+                    j += 1;
+                }
+                let end = end.ok_or_else(|| LexError {
+                    message: "unterminated arrow: expected `-->`".into(),
+                    line: start_line,
+                })?;
+                let mut label: String = chars[label_start..end].iter().collect();
+                let optional = label.ends_with('?');
+                if optional {
+                    label.pop();
+                }
+                if label.is_empty() {
+                    return Err(LexError {
+                        message: "empty arrow label".into(),
+                        line: start_line,
+                    });
+                }
+                tokens.push(Token {
+                    kind: TokenKind::Arrow { label, optional },
+                    line: start_line,
+                });
+                i = end + 3;
+            }
+            _ => {
+                let start = i;
+                while i < chars.len() && !is_ident_break(chars[i], chars.get(i + 1).copied()) {
+                    i += 1;
+                }
+                let text: String = chars[start..i].iter().collect();
+                let kind = match text.as_str() {
+                    "schema" => TokenKind::Schema,
+                    "class" => TokenKind::Class,
+                    "key" => TokenKind::Key,
+                    _ => TokenKind::Ident(text),
+                };
+                tokens.push(Token { kind, line });
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(source: &str) -> Vec<TokenKind> {
+        lex(source).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("schema Dogs { class Guide-dog; }"),
+            vec![
+                TokenKind::Schema,
+                TokenKind::Ident("Dogs".into()),
+                TokenKind::LBrace,
+                TokenKind::Class,
+                TokenKind::Ident("Guide-dog".into()),
+                TokenKind::Semi,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrows() {
+        assert_eq!(
+            kinds("Dog --age--> int;"),
+            vec![
+                TokenKind::Ident("Dog".into()),
+                TokenKind::Arrow {
+                    label: "age".into(),
+                    optional: false
+                },
+                TokenKind::Ident("int".into()),
+                TokenKind::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn optional_arrows() {
+        assert_eq!(
+            kinds("Lives --occ?--> Dog;")[1],
+            TokenKind::Arrow {
+                label: "occ".into(),
+                optional: true
+            }
+        );
+    }
+
+    #[test]
+    fn fat_arrow_and_braces() {
+        assert_eq!(
+            kinds("{C,D} => E | F"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::Ident("C".into()),
+                TokenKind::Comma,
+                TokenKind::Ident("D".into()),
+                TokenKind::RBrace,
+                TokenKind::FatArrow,
+                TokenKind::Ident("E".into()),
+                TokenKind::Pipe,
+                TokenKind::Ident("F".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn exotic_identifiers() {
+        // Names from the paper: SS#, id-num, Police-dog.
+        assert_eq!(
+            kinds("SS# id-num Police-dog"),
+            vec![
+                TokenKind::Ident("SS#".into()),
+                TokenKind::Ident("id-num".into()),
+                TokenKind::Ident("Police-dog".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("class A; // the A class\nclass B;").len(),
+            6,
+            "comment tokens are dropped"
+        );
+    }
+
+    #[test]
+    fn line_numbers() {
+        let tokens = lex("class A;\nclass B;").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[3].line, 2);
+    }
+
+    #[test]
+    fn unterminated_arrow_is_an_error() {
+        let err = lex("Dog --age-> int").unwrap_err();
+        assert!(err.message.contains("unterminated arrow"));
+        let err2 = lex("Dog --age").unwrap_err();
+        assert!(err2.message.contains("unterminated"));
+    }
+
+    #[test]
+    fn empty_arrow_label_is_an_error() {
+        assert!(lex("A ----> B").is_err());
+    }
+
+    #[test]
+    fn labels_may_contain_single_dashes() {
+        assert_eq!(
+            kinds("R --id-num--> int;")[1],
+            TokenKind::Arrow {
+                label: "id-num".into(),
+                optional: false
+            }
+        );
+    }
+}

@@ -1,0 +1,100 @@
+//! Parser robustness: arbitrary input never panics, and every failure
+//! carries a usable diagnostic. Valid-ish fragments exercise error
+//! recovery positions.
+
+use proptest::prelude::*;
+
+use schema_merge_text::{parse_document, ParseError};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_input_never_panics(input in ".{0,200}") {
+        // Any outcome is fine; panicking is not.
+        let _ = parse_document(&input);
+    }
+
+    #[test]
+    fn token_soup_never_panics(
+        tokens in proptest::collection::vec(
+            prop_oneof![
+                Just("schema".to_string()),
+                Just("class".to_string()),
+                Just("key".to_string()),
+                Just("{".to_string()),
+                Just("}".to_string()),
+                Just(";".to_string()),
+                Just(",".to_string()),
+                Just("|".to_string()),
+                Just("=>".to_string()),
+                Just("--a-->".to_string()),
+                Just("--x?-->".to_string()),
+                Just("Dog".to_string()),
+                Just("int".to_string()),
+            ],
+            0..30,
+        )
+    ) {
+        let input = tokens.join(" ");
+        match parse_document(&input) {
+            Ok(docs) => {
+                // Whatever parsed must print-parse round-trip.
+                let printed = schema_merge_text::print_document(&docs);
+                prop_assert_eq!(parse_document(&printed).expect("round trip"), docs);
+            }
+            Err(err) => {
+                // Diagnostics always render.
+                prop_assert!(!err.to_string().is_empty());
+            }
+        }
+    }
+}
+
+#[test]
+fn diagnostics_name_the_missing_piece() {
+    let cases = [
+        ("schema", "a schema name"),
+        ("schema S", "`{`"),
+        ("schema S { class", "a class name"),
+        ("schema S { Dog --a--> }", "class"),
+        ("schema S { key Dog }", "`{`"),
+        ("schema S { Dog => Dog;", "a schema item or `}`"),
+    ];
+    for (input, expected) in cases {
+        let err = parse_document(input).unwrap_err();
+        let message = err.to_string();
+        assert!(
+            message.contains(expected),
+            "{input:?} should mention {expected:?}, got: {message}"
+        );
+    }
+}
+
+#[test]
+fn deep_nesting_in_class_literals_is_handled() {
+    // The parser reads nested origin literals only through names (the
+    // lexer treats `{` as structure), so this is a parse error, not a
+    // crash.
+    let result = parse_document("schema S { class {A,{B,C}}; }");
+    assert!(result.is_err());
+}
+
+#[test]
+fn long_inputs_parse_in_reasonable_time() {
+    let mut source = String::from("schema Big {\n");
+    for i in 0..2000 {
+        source.push_str(&format!("C{} --f--> D{};\n", i, i % 97));
+    }
+    source.push('}');
+    let docs = parse_document(&source).unwrap();
+    assert_eq!(docs[0].schema.schema().num_arrows(), 2000);
+}
+
+#[test]
+fn error_type_is_structured() {
+    match parse_document("schema S { A => B; B => A; }").unwrap_err() {
+        ParseError::Invalid { schema, .. } => assert_eq!(schema, "S"),
+        other => panic!("expected Invalid, got {other:?}"),
+    }
+}

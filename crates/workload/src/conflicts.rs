@@ -1,0 +1,90 @@
+//! Generators for structurally conflicting ER pairs (§7) — workloads for
+//! the normalization benchmarks and experiments.
+
+use schema_merge_er::ErSchema;
+
+/// A pair of ER schemas with exactly `n` attribute-versus-entity
+/// conflicts: the left schema records `spot0 … spot(n-1)` as attributes
+/// of `Dog`, the right declares each as an entity with structure of its
+/// own. `normalize_pair` with `PreferEntity` fixes all `n`.
+pub fn conflicting_er_pair(n: usize) -> (ErSchema, ErSchema) {
+    let mut left = ErSchema::builder().entity("Dog");
+    let mut right = ErSchema::builder().entity("Dog");
+    for i in 0..n {
+        left = left.attribute("Dog", format!("spot{i}"), format!("id{i}"));
+        right = right
+            .entity(format!("spot{i}"))
+            .attribute(format!("spot{i}"), "addr", "place");
+    }
+    (
+        left.build().expect("left side is a valid ER schema"),
+        right.build().expect("right side is a valid ER schema"),
+    )
+}
+
+/// A pair with `n` reified-versus-direct conflicts: the left schema
+/// reifies `Rel0 … Rel(n-1)` as relationship nodes, the right draws each
+/// as a direct attribute named after the relationship.
+pub fn reified_vs_direct_pair(n: usize) -> (ErSchema, ErSchema) {
+    let mut left = ErSchema::builder();
+    let mut right = ErSchema::builder();
+    for i in 0..n {
+        let (a, b) = (format!("A{i}"), format!("B{i}"));
+        left = left
+            .entity(a.clone())
+            .entity(b.clone())
+            .relationship(format!("Rel{i}"), [("src", a.clone()), ("tgt", b.clone())]);
+        right = right
+            .entity(a.clone())
+            .entity(b)
+            .attribute(a, format!("rel{i}"), format!("ref{i}"));
+    }
+    (
+        left.build().expect("left side is a valid ER schema"),
+        right.build().expect("right side is a valid ER schema"),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_merge_er::{detect_conflicts, normalize_pair, NormalPolicy, StructuralConflict};
+
+    #[test]
+    fn attribute_pairs_plant_exactly_n_conflicts() {
+        for n in [0, 1, 5] {
+            let (left, right) = conflicting_er_pair(n);
+            let conflicts = detect_conflicts(&left, &right);
+            assert_eq!(conflicts.len(), n, "n = {n}");
+            assert!(conflicts
+                .iter()
+                .all(|c| matches!(c, StructuralConflict::AttributeVersusThing { .. })));
+        }
+    }
+
+    #[test]
+    fn attribute_pairs_normalize_clean() {
+        let (left, right) = conflicting_er_pair(4);
+        let outcome = normalize_pair(&left, &right, NormalPolicy::PreferEntity);
+        assert!(outcome.is_clean());
+        assert_eq!(outcome.applied.len(), 4);
+    }
+
+    #[test]
+    fn reified_pairs_plant_reified_versus_direct() {
+        let (left, right) = reified_vs_direct_pair(3);
+        let conflicts = detect_conflicts(&left, &right);
+        assert_eq!(conflicts.len(), 3);
+        assert!(conflicts
+            .iter()
+            .all(|c| matches!(c, StructuralConflict::ReifiedVersusDirect { .. })));
+    }
+
+    #[test]
+    fn reified_pairs_normalize_clean() {
+        let (left, right) = reified_vs_direct_pair(3);
+        let outcome = normalize_pair(&left, &right, NormalPolicy::PreferEntity);
+        assert!(outcome.is_clean(), "skipped: {:?}", outcome.skipped);
+        assert_eq!(outcome.applied.len(), 3);
+    }
+}

@@ -1,0 +1,132 @@
+//! Random ER schemas for the model-preservation experiments (E6).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use schema_merge_er::{Cardinality, ErSchema};
+
+/// Parameters for [`random_er_schema`].
+#[derive(Debug, Clone)]
+pub struct ErParams {
+    /// Entity vocabulary size (`E00`, …). Shared across a family.
+    pub entities: usize,
+    /// Domain vocabulary size (`d0`, …).
+    pub domains: usize,
+    /// Attributes to scatter over entities.
+    pub attributes: usize,
+    /// Binary relationships to generate.
+    pub relationships: usize,
+    /// Entity isa edges (directed along the vocabulary order).
+    pub isa: usize,
+    /// Probability (percent) that a relationship role is cardinality 1.
+    pub one_role_percent: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ErParams {
+    fn default() -> Self {
+        ErParams {
+            entities: 12,
+            domains: 5,
+            attributes: 20,
+            relationships: 6,
+            isa: 4,
+            one_role_percent: 30,
+            seed: 42,
+        }
+    }
+}
+
+/// Generates a valid random ER schema, deterministic in `params.seed`.
+pub fn random_er_schema(params: &ErParams) -> ErSchema {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let entities = params.entities.max(2);
+    let domains = params.domains.max(1);
+    let entity = |i: usize| format!("E{i:02}");
+    let domain = |i: usize| format!("d{i}");
+
+    let mut builder = ErSchema::builder();
+    for i in 0..entities {
+        builder = builder.entity(entity(i));
+    }
+    for i in 0..domains {
+        builder = builder.domain(domain(i));
+    }
+    for k in 0..params.attributes {
+        let owner = entity(rng.random_range(0..entities));
+        let dom = domain(rng.random_range(0..domains));
+        builder = builder.attribute(owner, format!("attr{k:02}"), dom);
+    }
+    for i in 0..params.isa {
+        let a = rng.random_range(0..entities);
+        let b = rng.random_range(0..entities);
+        if a == b {
+            continue;
+        }
+        let _ = i;
+        builder = builder.entity_isa(entity(a.min(b)), entity(a.max(b)));
+    }
+    for r in 0..params.relationships {
+        let name = format!("R{r:02}");
+        let left = entity(rng.random_range(0..entities));
+        let right = entity(rng.random_range(0..entities));
+        builder = builder.relationship(
+            name.clone(),
+            [("lhs", left.as_str()), ("rhs", right.as_str())],
+        );
+        for role in ["lhs", "rhs"] {
+            if rng.random_range(0..100) < params.one_role_percent {
+                builder = builder.cardinality(name.clone(), role, Cardinality::One);
+            }
+        }
+    }
+    builder.build().expect("generated ER schemas are valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_merge_er::{merge_er, preserves_strata};
+
+    #[test]
+    fn generation_is_deterministic_and_valid() {
+        let params = ErParams::default();
+        let a = random_er_schema(&params);
+        let b = random_er_schema(&params);
+        assert_eq!(a, b);
+        assert!(a.validate().is_ok());
+        let (_, entities, relationships) = a.counts();
+        assert!(entities >= 2);
+        assert!(relationships <= params.relationships);
+    }
+
+    #[test]
+    fn random_er_merges_preserve_strata() {
+        // E6: translate → merge → translate back stays in-model.
+        for seed in 0..10u64 {
+            let g1 = random_er_schema(&ErParams {
+                seed,
+                ..ErParams::default()
+            });
+            let g2 = random_er_schema(&ErParams {
+                seed: seed + 1000,
+                ..ErParams::default()
+            });
+            let outcome = merge_er([&g1, &g2]).expect("same-vocabulary ER schemas merge");
+            assert!(preserves_strata(&outcome), "seed {seed}");
+            assert!(outcome.er.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn merged_keys_are_valid() {
+        let g1 = random_er_schema(&ErParams::default());
+        let g2 = random_er_schema(&ErParams {
+            seed: 7,
+            ..ErParams::default()
+        });
+        let outcome = merge_er([&g1, &g2]).unwrap();
+        assert!(outcome.keys.validate(outcome.core.proper.as_weak()).is_ok());
+    }
+}

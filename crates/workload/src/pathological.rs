@@ -1,0 +1,116 @@
+//! The exponential completion family (§7, open question 3).
+//!
+//! The `Imp` fixpoint of §4.2 steps from a set of classes `X` to
+//! `R(X, a)` — exactly an NFA subset construction with classes as NFA
+//! states and labels as the alphabet. A classic hard NFA therefore forces
+//! exponentially many implicit classes.
+//!
+//! We use the standard witness for the language "(a|b)* a (a|b)^(n-1)"
+//! ("the n-th symbol from the end is `a`"): states `q0 … qn` with
+//!
+//! ```text
+//! q0 --a--> q0    q0 --b--> q0    q0 --a--> q1
+//! qi --a--> qi+1  qi --b--> qi+1            (1 ≤ i < n)
+//! ```
+//!
+//! Every subset of `{q1 … qn}` (paired with `q0`) is a reachable state of
+//! the determinization, so completion introduces ~`2^n` implicit classes.
+//! A flat specialization order keeps `MinS` the identity, so nothing
+//! collapses.
+
+use schema_merge_core::{Class, WeakSchema};
+
+/// Builds the `n`-state hard instance. `n = 0` yields a single class with
+/// self-loops (no implicit classes).
+pub fn pathological_nfa(n: usize) -> WeakSchema {
+    let q = |i: usize| Class::named(format!("q{i}"));
+    let mut builder = WeakSchema::builder()
+        .arrow(q(0), "a", q(0))
+        .arrow(q(0), "b", q(0));
+    if n >= 1 {
+        builder = builder.arrow(q(0), "a", q(1));
+    }
+    for i in 1..n {
+        builder = builder.arrow(q(i), "a", q(i + 1));
+        builder = builder.arrow(q(i), "b", q(i + 1));
+    }
+    builder.build().expect("the NFA family has no specializations")
+}
+
+/// The number of implicit classes completion must introduce for
+/// [`pathological_nfa`]`(n)`: every reachable determinization state of
+/// cardinality ≥ 2.
+///
+/// Reachable states have the form `{q0} ∪ S` with
+/// `S ⊆ {q1, …, qn}` (`q0` persists through its self-loops, and the
+/// suffix states track which of the last `n` inputs were `a`), minus the
+/// start singleton — except that subsets containing `qn` lose `qn` on the
+/// next step (no outgoing edges from `qn` are needed to keep them alive:
+/// `qn+1` does not exist). Concretely the reachable set count is `2^n`
+/// including the singleton `{q0}`, so the implicit-class count is
+/// `2^n - 1`.
+pub fn expected_pathological_implicit_classes(n: usize) -> usize {
+    (1usize << n) - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_merge_core::complete::complete_with_report;
+
+    #[test]
+    fn base_case_has_no_implicit_classes() {
+        let schema = pathological_nfa(0);
+        let (_, report) = complete_with_report(&schema).unwrap();
+        assert_eq!(report.num_implicit(), 0);
+    }
+
+    #[test]
+    fn implicit_class_count_is_exponential() {
+        for n in 1..=8 {
+            let schema = pathological_nfa(n);
+            let (proper, report) = complete_with_report(&schema).unwrap();
+            assert_eq!(
+                report.num_implicit(),
+                expected_pathological_implicit_classes(n),
+                "n = {n}"
+            );
+            assert!(proper.check_d1());
+        }
+    }
+
+    #[test]
+    fn schema_size_is_linear_but_completion_is_not() {
+        let small = pathological_nfa(4);
+        let large = pathological_nfa(8);
+        // Input grows linearly…
+        assert!(large.num_classes() <= 2 * small.num_classes() + 1);
+        // …output implicit classes grow exponentially.
+        let (_, small_report) = complete_with_report(&small).unwrap();
+        let (_, large_report) = complete_with_report(&large).unwrap();
+        assert_eq!(small_report.num_implicit(), 15);
+        assert_eq!(large_report.num_implicit(), 255);
+    }
+
+    #[test]
+    fn realistic_schemas_stay_small() {
+        // The contrast the paper predicts: "we do not think these are
+        // likely to occur in practice". A same-size random schema
+        // produces hardly any implicit classes.
+        let params = crate::random::SchemaParams {
+            vocabulary: 10,
+            classes: 10,
+            labels: 2,
+            arrows: 18,
+            specializations: 4,
+            seed: 3,
+        };
+        let schema = crate::random::random_schema(&params);
+        let (_, report) = complete_with_report(&schema).unwrap();
+        assert!(
+            report.num_implicit() < 32,
+            "random schema exploded: {}",
+            report.num_implicit()
+        );
+    }
+}

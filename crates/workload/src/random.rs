@@ -1,0 +1,173 @@
+//! Random weak schemas over a shared vocabulary.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use schema_merge_core::{Class, Label, WeakSchema};
+
+/// Parameters for [`random_schema`].
+#[derive(Debug, Clone)]
+pub struct SchemaParams {
+    /// Size of the shared class vocabulary (`C000`, `C001`, …).
+    pub vocabulary: usize,
+    /// How many vocabulary classes this schema mentions.
+    pub classes: usize,
+    /// Arrow labels available (`a00`, `a01`, …).
+    pub labels: usize,
+    /// Arrows to generate.
+    pub arrows: usize,
+    /// Specialization edges to generate (directed along the vocabulary
+    /// order, so every generated schema — and any collection of them — is
+    /// acyclic and mutually compatible).
+    pub specializations: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SchemaParams {
+    fn default() -> Self {
+        SchemaParams {
+            vocabulary: 64,
+            classes: 32,
+            labels: 8,
+            arrows: 48,
+            specializations: 16,
+            seed: 42,
+        }
+    }
+}
+
+fn class_name(index: usize) -> Class {
+    Class::named(format!("C{index:03}"))
+}
+
+fn label_name(index: usize) -> Label {
+    Label::new(format!("a{index:02}"))
+}
+
+/// Generates a random weak schema. Deterministic in `params.seed`.
+pub fn random_schema(params: &SchemaParams) -> WeakSchema {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    build_schema(params, &mut rng)
+}
+
+fn build_schema(params: &SchemaParams, rng: &mut StdRng) -> WeakSchema {
+    let vocabulary = params.vocabulary.max(2);
+    let class_count = params.classes.clamp(2, vocabulary);
+    let labels = params.labels.max(1);
+
+    // Choose a subset of the vocabulary.
+    let mut chosen: Vec<usize> = Vec::with_capacity(class_count);
+    while chosen.len() < class_count {
+        let candidate = rng.random_range(0..vocabulary);
+        if !chosen.contains(&candidate) {
+            chosen.push(candidate);
+        }
+    }
+    chosen.sort_unstable();
+
+    let mut builder = WeakSchema::builder();
+    for &index in &chosen {
+        builder = builder.class(class_name(index));
+    }
+    for _ in 0..params.specializations {
+        let i = rng.random_range(0..chosen.len());
+        let j = rng.random_range(0..chosen.len());
+        if i == j {
+            continue;
+        }
+        // Direct along the vocabulary order: lower index specializes
+        // higher index, guaranteeing global acyclicity.
+        let (sub, sup) = (chosen[i.min(j)], chosen[i.max(j)]);
+        builder = builder.specialize(class_name(sub), class_name(sup));
+    }
+    for _ in 0..params.arrows {
+        let src = chosen[rng.random_range(0..chosen.len())];
+        let tgt = chosen[rng.random_range(0..chosen.len())];
+        let label = label_name(rng.random_range(0..labels));
+        builder = builder.arrow(class_name(src), label, class_name(tgt));
+    }
+    builder
+        .build()
+        .expect("order-directed random schemas are acyclic")
+}
+
+/// Generates a family of `count` schemas over one vocabulary (so classes
+/// overlap and merges are non-trivial), derived from `params.seed`.
+pub fn schema_family(params: &SchemaParams, count: usize) -> Vec<WeakSchema> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    (0..count).map(|_| build_schema(params, &mut rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_merge_core::{are_compatible, complete, weak_join_all};
+
+    #[test]
+    fn generation_is_deterministic() {
+        let params = SchemaParams::default();
+        assert_eq!(random_schema(&params), random_schema(&params));
+        let other = SchemaParams {
+            seed: 43,
+            ..SchemaParams::default()
+        };
+        assert_ne!(random_schema(&params), random_schema(&other));
+    }
+
+    #[test]
+    fn generated_schemas_validate() {
+        for seed in 0..20 {
+            let params = SchemaParams {
+                seed,
+                ..SchemaParams::default()
+            };
+            let schema = random_schema(&params);
+            assert!(schema.validate().is_ok());
+            assert!(schema.num_classes() >= 2);
+        }
+    }
+
+    #[test]
+    fn families_are_mutually_compatible() {
+        let family = schema_family(&SchemaParams::default(), 6);
+        assert_eq!(family.len(), 6);
+        assert!(are_compatible(family.iter()));
+        let joined = weak_join_all(family.iter()).unwrap();
+        for schema in &family {
+            assert!(schema.is_subschema_of(&joined));
+        }
+    }
+
+    #[test]
+    fn families_share_vocabulary() {
+        let family = schema_family(&SchemaParams::default(), 2);
+        let shared = family[0]
+            .classes()
+            .filter(|c| family[1].contains_class(c))
+            .count();
+        assert!(shared > 0, "families must overlap to make merging interesting");
+    }
+
+    #[test]
+    fn generated_schemas_complete() {
+        let family = schema_family(&SchemaParams::default(), 3);
+        let joined = weak_join_all(family.iter()).unwrap();
+        let proper = complete(&joined).unwrap();
+        assert!(proper.check_d1());
+    }
+
+    #[test]
+    fn tiny_parameters_are_clamped() {
+        let params = SchemaParams {
+            vocabulary: 1,
+            classes: 0,
+            labels: 0,
+            arrows: 3,
+            specializations: 3,
+            seed: 7,
+        };
+        let schema = random_schema(&params);
+        assert!(schema.validate().is_ok());
+    }
+}

@@ -1,0 +1,90 @@
+//! Lower merges for federated databases (§6): the greatest lower bound
+//! of two sites' schemas, participation constraints, union classes, and
+//! the instance-union theorem.
+//!
+//! Run with `cargo run --example federated_lower_merge`.
+
+use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
+use schema_merge_core::{Class, KeyAssignment, Label, Participation};
+use schema_merge_instance::{union_instances, Instance};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two shelters track dogs. Site A records name and age; site B
+    // records name and breed, and houses its dogs in kennels rather than
+    // foster homes.
+    let site_a = AnnotatedSchema::builder()
+        .arrow("Dog", "name", "string")
+        .arrow("Dog", "age", "int")
+        .arrow("Dog", "housed", "FosterHome")
+        .build()?;
+    let site_b = AnnotatedSchema::builder()
+        .arrow("Dog", "name", "string")
+        .arrow("Dog", "breed", "Breed")
+        .arrow("Dog", "housed", "Kennel")
+        .build()?;
+
+    // The federated view: the greatest lower bound. Every site's
+    // instance is an instance of it.
+    let merged = lower_merge([&site_a, &site_b]);
+    println!("weak lower merge:\n{merged}\n");
+
+    let dog = Class::named("Dog");
+    assert_eq!(
+        merged.participation(&dog, &Label::new("name"), &Class::named("string")),
+        Participation::One,
+        "both sites require a name: it stays required"
+    );
+    assert_eq!(
+        merged.participation(&dog, &Label::new("age"), &Class::named("int")),
+        Participation::ZeroOrOne,
+        "only site A has ages: the federated view makes it optional"
+    );
+
+    // Completion introduces {FosterHome|Kennel} above the two housing
+    // targets so `housed` has a canonical class again.
+    let (annotated, proper, report) = lower_complete(&merged)?;
+    println!("completed lower merge:\n{annotated}\n");
+    let union = Class::implicit_union([Class::named("FosterHome"), Class::named("Kennel")]);
+    assert_eq!(
+        proper.canonical_target(&dog, &Label::new("housed")),
+        Some(&union)
+    );
+    println!(
+        "union classes introduced: {}",
+        report
+            .unions
+            .iter()
+            .map(|u| u.class.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+
+    // The instance-union theorem: each site's data, combined, conforms
+    // to the federated schema.
+    let mut a = Instance::builder();
+    let name_a = a.object(["string"]);
+    let age = a.object(["int"]);
+    let home = a.object(["FosterHome"]);
+    let rex = a.object(["Dog"]);
+    a.attr(rex, "name", name_a);
+    a.attr(rex, "age", age);
+    a.attr(rex, "housed", home);
+    let instance_a = a.build();
+
+    let mut b = Instance::builder();
+    let name_b = b.object(["string"]);
+    let breed = b.object(["Breed"]);
+    let kennel = b.object(["Kennel"]);
+    let fido = b.object(["Dog"]);
+    b.attr(fido, "name", name_b);
+    b.attr(fido, "breed", breed);
+    b.attr(fido, "housed", kennel);
+    let instance_b = b.build();
+
+    let (combined, _) = union_instances(&[&instance_a, &instance_b], &KeyAssignment::new());
+    let filled = combined.populate_implicit_extents(proper.as_weak());
+    filled.conforms_annotated(&annotated, &proper)?;
+    println!("\nunion of both sites' instances conforms to the federated schema ✓");
+    assert_eq!(filled.extent(&dog).len(), 2);
+    Ok(())
+}

@@ -1,0 +1,67 @@
+//! An interactive merging session (§3): schemas and user assertions
+//! accumulate in any order; conflicts are reported with witnesses and
+//! leave the session intact; the consistency relation vetoes nonsense
+//! identifications (§4.2).
+//!
+//! Run with `cargo run --example interactive_session`.
+
+use schema_merge_core::{Class, MergeError, MergeSession, WeakSchema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut session = MergeSession::new();
+
+    // Load the first source schema.
+    let registry = WeakSchema::builder()
+        .arrow("Vehicle", "vin", "string")
+        .arrow("Car", "plate", "string")
+        .build()?;
+    session.add_schema(&registry)?;
+
+    // Load the second.
+    let insurance = WeakSchema::builder()
+        .arrow("Car", "policy", "Policy")
+        .arrow("Truck", "policy", "Policy")
+        .build()?;
+    session.add_schema(&insurance)?;
+
+    // The designer asserts correspondences as elementary schemas.
+    session.assert_specialization("Car", "Vehicle")?;
+    session.assert_specialization("Truck", "Vehicle")?;
+    println!("after assertions:\n{}\n", session.current());
+
+    // A bad assertion is rejected with a cycle witness and does NOT
+    // disturb the session.
+    let before = session.current().clone();
+    match session.assert_specialization("Vehicle", "Car") {
+        Err(MergeError::Incompatible(witness)) => {
+            println!("rejected incompatible assertion, witness: {witness}");
+        }
+        other => panic!("expected incompatibility, got {other:?}"),
+    }
+    assert_eq!(session.current(), &before);
+
+    // Cars and trucks inherit vin through the asserted isa edges.
+    let outcome = session.merged()?;
+    assert!(outcome.proper.has_arrow(
+        &Class::named("Truck"),
+        &schema_merge_core::Label::new("vin"),
+        &Class::named("string")
+    ));
+    println!("\nmerged schema:\n{}", outcome.proper.as_weak());
+
+    // Declare two classes inconsistent and watch the merge refuse to
+    // identify them (§4.2's consistency relationship).
+    let mut vetoed = MergeSession::new();
+    vetoed
+        .consistency_mut()
+        .declare_inconsistent(Class::named("Dog"), Class::named("Invoice"));
+    vetoed.assert_arrow("Thing", "ref", "Dog")?;
+    vetoed.assert_arrow("Thing", "ref", "Invoice")?;
+    match vetoed.merged() {
+        Err(MergeError::Inconsistent { left, right }) => {
+            println!("\nconsistency veto: refusing to identify {left} with {right}");
+        }
+        other => panic!("expected inconsistency, got {other:?}"),
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Quickstart: merge two database schemas and inspect the result.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use schema_merge::prelude::*;
+use schema_merge_core::{Class, Label};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Two databases describe dogs differently (§3 of the paper): one by
+    // license and owner, the other by name and age.
+    let municipal = WeakSchema::builder()
+        .arrow("Dog", "license", "int")
+        .arrow("Dog", "owner", "Person")
+        .arrow("Dog", "breed", "breed")
+        .build()?;
+    let veterinary = WeakSchema::builder()
+        .arrow("Dog", "name", "string")
+        .arrow("Dog", "age", "int")
+        .arrow("Dog", "breed", "breed")
+        .specialize("Guide-dog", "Dog")
+        .build()?;
+
+    // The merge is a least upper bound: associative, commutative, and
+    // independent of the order of its inputs.
+    let outcome = merge([&municipal, &veterinary])?;
+    println!("merged schema:\n{}\n", outcome.proper.as_weak());
+
+    let dog = Class::named("Dog");
+    println!("Dog now carries {} attributes:", outcome.proper.labels_of(&dog).len());
+    for label in outcome.proper.labels_of(&dog) {
+        let target = outcome.proper.canonical_target(&dog, &label).expect("proper");
+        println!("  .{label} : {target}");
+    }
+
+    // Guide dogs inherit everything (W1 closure).
+    let guide = Class::named("Guide-dog");
+    assert!(outcome
+        .proper
+        .has_arrow(&guide, &Label::new("license"), &Class::named("int")));
+    println!("\nGuide-dog inherits the municipal license attribute.");
+
+    // Merging in the other order gives the identical schema.
+    let reversed = merge([&veterinary, &municipal])?;
+    assert_eq!(outcome.proper, reversed.proper);
+    println!("merge([a, b]) == merge([b, a]) — the paper's headline property.");
+    Ok(())
+}

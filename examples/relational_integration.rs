@@ -1,0 +1,57 @@
+//! Relational view integration (§2's 1NF stratification + §5 keys):
+//! merging two departmental databases, including a column-type conflict
+//! resolved by an implicit intersection domain.
+//!
+//! Run with `cargo run --example relational_integration`.
+
+use schema_merge_core::{KeySet, Name};
+use schema_merge_relational::{merge_relational, RelSchema};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Payroll: employees keyed by SS#, salary as int.
+    let payroll = RelSchema::builder()
+        .column("Employee", "ssn", "int")
+        .column("Employee", "name", "text")
+        .column("Employee", "salary", "int")
+        .key("Employee", KeySet::new(["ssn"]))
+        .build()?;
+
+    // HR: employees keyed by badge, salary as decimal (type conflict!),
+    // plus a departments table.
+    let hr = RelSchema::builder()
+        .column("Employee", "badge", "int")
+        .column("Employee", "salary", "decimal")
+        .column("Department", "name", "text")
+        .column("Department", "head", "int")
+        .key("Employee", KeySet::new(["badge"]))
+        .key("Department", KeySet::new(["name"]))
+        .build()?;
+
+    let outcome = merge_relational([&payroll, &hr])?;
+    println!("merged relational schema:\n{}", outcome.schema);
+
+    // The Employee relation has the union of the columns: ssn, name,
+    // badge, and the (unified) salary…
+    let employee = outcome.schema.relation(&Name::new("Employee")).expect("Employee");
+    assert_eq!(employee.arity(), 4);
+
+    // …both keys (the minimal satisfactory assignment)…
+    assert!(employee.keys.is_superkey(&KeySet::new(["ssn"])));
+    assert!(employee.keys.is_superkey(&KeySet::new(["badge"])));
+    println!("Employee keys: {}", employee.keys);
+
+    // …and the conflicting salary types meet in an implicit domain that
+    // refines both int and decimal.
+    let salary_domain = &employee.columns[&schema_merge_core::Label::new("salary")];
+    assert_eq!(salary_domain.as_str(), "{decimal,int}");
+    println!("salary column type: {salary_domain} (refines both inputs' types)");
+    for (sub, sup) in outcome.schema.domain_refinements() {
+        println!("  domain {sub} refines {sup}");
+    }
+
+    // Merge order is irrelevant, as always.
+    let reversed = merge_relational([&hr, &payroll])?;
+    assert_eq!(outcome.schema, reversed.schema);
+    println!("\nmerge([payroll, hr]) == merge([hr, payroll]) ✓");
+    Ok(())
+}

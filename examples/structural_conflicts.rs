@@ -1,0 +1,96 @@
+//! Structural conflicts and §7's "normal form": detect that one database
+//! models kennels as a mere attribute while another treats them as
+//! entities, restructure to a common presentation, and merge.
+//!
+//! Run with `cargo run --example structural_conflicts`.
+
+use schema_merge_core::restructure::{flatten_class, reify_arrow};
+use schema_merge_core::{Class, Label, Renaming, WeakSchema};
+use schema_merge_er::{
+    detect_conflicts, merge_er, normalize_pair, ErSchema, NormalPolicy,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── Part 1: the ER-level conflict ────────────────────────────────
+    // The city registry stores a dog's kennel as an attribute …
+    let registry = ErSchema::builder()
+        .entity("Dog")
+        .attribute("Dog", "kennel", "kennel-id")
+        .attribute("Dog", "age", "int")
+        .build()?;
+    // … while the kennel club models kennels as first-class entities.
+    let club = ErSchema::builder()
+        .entity("Dog")
+        .entity("kennel")
+        .attribute("kennel", "addr", "place")
+        .build()?;
+
+    println!("conflicts before normalization:");
+    for conflict in detect_conflicts(&registry, &club) {
+        println!("  - {conflict}");
+    }
+
+    // §7: "To force an integration, we need some kind of 'normal form'."
+    let outcome = normalize_pair(&registry, &club, NormalPolicy::PreferEntity);
+    for fix in &outcome.applied {
+        println!("applied ({}): {}", fix.side, fix.description);
+    }
+    assert!(outcome.is_clean());
+    assert!(detect_conflicts(&outcome.left, &outcome.right).is_empty());
+
+    // The normalized pair merges into a single kennel entity carrying
+    // both databases' information.
+    let merged = merge_er([&outcome.left, &outcome.right])?;
+    let kennel = schema_merge_core::Name::new("kennel");
+    println!(
+        "\nmerged: kennel is an {:?} with attributes {:?}",
+        merged.er.stratum(&kennel).expect("kennel survives"),
+        merged
+            .er
+            .attributes_of(&kennel)
+            .keys()
+            .map(|l| l.to_string())
+            .collect::<Vec<_>>(),
+    );
+
+    // ── Part 2: the same move in the graph model ─────────────────────
+    // Direct arrow vs relationship node ("a many-one relationship may be
+    // a single arrow in one schema but introduce a relationship node in
+    // another", §7).
+    let direct = WeakSchema::builder()
+        .arrow("Person", "owns", "Dog")
+        .build()?;
+    let reified = reify_arrow(
+        &direct,
+        &Class::named("Person"),
+        &Label::new("owns"),
+        "Owns",
+        "owner",
+        "pet",
+    )?;
+    println!("\nreified form:\n{reified}");
+
+    // The operations are inverse: flattening restores the original.
+    let back = flatten_class(
+        &reified,
+        &Class::named("Owns"),
+        &Label::new("owner"),
+        &Label::new("pet"),
+        "owns",
+    )?;
+    assert_eq!(back, direct);
+    println!("flatten(reify(g)) == g  ✓");
+
+    // ── Part 3: naming conflicts ride the same pipeline (§3) ─────────
+    let hounds = WeakSchema::builder()
+        .arrow("Hound", "owner", "Person")
+        .build()?;
+    let renaming = Renaming::new().class("Hound", "Dog");
+    let (renamed, report) = renaming.apply(&hounds)?;
+    println!(
+        "\nrenamed {} class(es); Hound is now {:?}",
+        report.classes_renamed,
+        renamed.classes().map(|c| c.to_string()).collect::<Vec<_>>(),
+    );
+    Ok(())
+}

@@ -1,0 +1,52 @@
+//! # schema-merge
+//!
+//! A Rust implementation of **Buneman, Davidson & Kosky, _Theoretical
+//! Aspects of Schema Merging_ (EDBT 1992)** — order-theoretic database
+//! schema merging with associative, commutative merges, implicit
+//! classes, key constraints and lower merges, plus Entity–Relationship
+//! and relational front-ends, an instance semantics, a schema DSL and a
+//! CLI.
+//!
+//! This facade crate re-exports the workspace:
+//!
+//! * [`core`] — the calculus: weak/proper schemas, `⊑`, `⊔`, completion,
+//!   keys, participation constraints, lower merges;
+//! * [`er`] / [`relational`] — stratified front-ends for the ER and
+//!   relational models;
+//! * [`instance`] — instances, conformance, projection and key-driven
+//!   entity resolution;
+//! * [`baseline`] — the non-associative stepwise merge the paper argues
+//!   against (Figs. 4–5);
+//! * [`workload`] — synthetic schema generators, including the
+//!   exponential-completion family;
+//! * [`text`] — the schema DSL, pretty-printer and Graphviz export.
+//!
+//! ```
+//! use schema_merge::prelude::*;
+//!
+//! let g1 = WeakSchema::builder().arrow("Dog", "owner", "Person").build()?;
+//! let g2 = WeakSchema::builder().arrow("Dog", "age", "int").build()?;
+//! let merged = merge([&g1, &g2])?;
+//! assert_eq!(merged.proper.labels_of(&Class::named("Dog")).len(), 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use schema_merge_baseline as baseline;
+pub use schema_merge_core as core;
+pub use schema_merge_er as er;
+pub use schema_merge_instance as instance;
+pub use schema_merge_relational as relational;
+pub use schema_merge_text as text;
+pub use schema_merge_workload as workload;
+
+/// The most commonly used items across the workspace.
+pub mod prelude {
+    pub use schema_merge_core::prelude::*;
+    pub use schema_merge_er::{merge_er, ErSchema};
+    pub use schema_merge_instance::{union_instances, Instance};
+    pub use schema_merge_relational::{merge_relational, RelSchema};
+    pub use schema_merge_text::{parse_document, parse_schema, print_schema};
+}

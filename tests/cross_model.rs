@@ -1,0 +1,150 @@
+//! Cross-model integration: ER and relational schemas merged through the
+//! shared graph calculus, at workload scale.
+
+use schema_merge_core::{Class, Label, Name};
+use schema_merge_er::{merge_er, preserves_strata, ErSchema};
+use schema_merge_relational::{merge_relational, RelSchema};
+use schema_merge_workload::{random_er_schema, ErParams};
+
+#[test]
+fn er_and_relational_views_of_the_same_data() {
+    // An ER view of people and a relational view of the same domain can
+    // be merged within their own models; both merges agree on the graph
+    // structure of the shared `Person` class.
+    let er = ErSchema::builder()
+        .entity("Person")
+        .attribute("Person", "ssn", "int")
+        .attribute("Person", "name", "text")
+        .build()
+        .unwrap();
+    let er2 = ErSchema::builder()
+        .entity("Person")
+        .attribute("Person", "age", "int")
+        .build()
+        .unwrap();
+    let er_merged = merge_er([&er, &er2]).unwrap();
+
+    let rel = RelSchema::builder()
+        .column("Person", "ssn", "int")
+        .column("Person", "name", "text")
+        .build()
+        .unwrap();
+    let rel2 = RelSchema::builder()
+        .column("Person", "age", "int")
+        .build()
+        .unwrap();
+    let rel_merged = merge_relational([&rel, &rel2]).unwrap();
+
+    let person = Class::named("Person");
+    let er_labels = er_merged.core.proper.labels_of(&person);
+    let rel_labels = rel_merged.core.proper.labels_of(&person);
+    assert_eq!(er_labels, rel_labels, "same arrows from Person in both models");
+    for label in ["ssn", "name", "age"] {
+        assert!(er_labels.contains(&Label::new(label)));
+    }
+}
+
+#[test]
+fn bulk_er_merges_preserve_strata() {
+    // E6 at integration level: five random ER schemas over one
+    // vocabulary merge in any order and stay in-model.
+    let schemas: Vec<ErSchema> = (0..5)
+        .map(|i| {
+            random_er_schema(&ErParams {
+                seed: 100 + i,
+                ..ErParams::default()
+            })
+        })
+        .collect();
+    let refs: Vec<&ErSchema> = schemas.iter().collect();
+
+    let forward = merge_er(refs.iter().copied()).unwrap();
+    assert!(preserves_strata(&forward));
+
+    let backward = merge_er(refs.iter().rev().copied()).unwrap();
+    assert_eq!(forward.er, backward.er, "order independence in the ER model");
+
+    // The merged schema contains every input as a sub-schema (via the
+    // graph translation).
+    for schema in &schemas {
+        let (core, _) = schema_merge_er::to_core(schema);
+        assert!(core.is_subschema_of(forward.core.proper.as_weak()));
+    }
+}
+
+#[test]
+fn incremental_er_integration_equals_batch() {
+    // Integrate schemas one at a time (completing in between!) and
+    // compare against the one-shot merge: the strip/flatten machinery
+    // must make them agree.
+    let schemas: Vec<ErSchema> = (0..4)
+        .map(|i| {
+            random_er_schema(&ErParams {
+                entities: 8,
+                relationships: 3,
+                seed: 500 + i,
+                ..ErParams::default()
+            })
+        })
+        .collect();
+
+    // Batch.
+    let batch = merge_er(schemas.iter()).unwrap();
+
+    // Incremental: each step's *ER result* feeds the next merge.
+    let mut acc = schemas[0].clone();
+    for next in &schemas[1..] {
+        acc = merge_er([&acc, next]).unwrap().er;
+    }
+    // Cardinalities are carried by keys, not by the ER read-back, so
+    // compare the graph translations.
+    let (batch_core, _) = schema_merge_er::to_core(&batch.er);
+    let (acc_core, _) = schema_merge_er::to_core(&acc);
+    assert_eq!(
+        acc_core.strip_implicit(),
+        batch_core.strip_implicit(),
+        "incremental and batch ER integration agree on named structure"
+    );
+}
+
+#[test]
+fn relational_key_merging_at_scale() {
+    // Twenty departmental tables with overlapping keys merge into one
+    // valid assignment.
+    let mut schemas = Vec::new();
+    for i in 0..20 {
+        let table = format!("T{:02}", i % 5);
+        let schema = RelSchema::builder()
+            .column(table.as_str(), format!("col{i}"), "int")
+            .column(table.as_str(), "id", "int")
+            .key(table.as_str(), schema_merge_core::KeySet::new(["id"]))
+            .build()
+            .unwrap();
+        schemas.push(schema);
+    }
+    let outcome = merge_relational(schemas.iter()).unwrap();
+    assert_eq!(outcome.schema.counts().0, 5, "five distinct tables");
+    for (name, relation) in outcome.schema.relations() {
+        assert!(
+            relation.keys.is_superkey(&schema_merge_core::KeySet::new(["id"])),
+            "{name} keeps the id key"
+        );
+        assert!(relation.arity() >= 2);
+    }
+    assert!(outcome.keys.validate(outcome.core.proper.as_weak()).is_ok());
+}
+
+#[test]
+fn mixed_stratum_names_are_rejected_across_models() {
+    // `Dog` is an entity in one ER schema; using it as a domain in
+    // another must fail loudly rather than merge nonsense.
+    let g1 = ErSchema::builder().entity("Dog").build().unwrap();
+    let g2 = ErSchema::builder()
+        .entity("Owner")
+        .attribute("Owner", "pet", "Dog")
+        .build()
+        .unwrap();
+    let err = merge_er([&g1, &g2]).unwrap_err();
+    assert!(err.to_string().contains("Dog"));
+    let _ = Name::new("Dog");
+}

@@ -1,0 +1,128 @@
+//! Property-based round-trips through the DSL: any schema the library can
+//! build, the printer can serialize and the parser can read back
+//! identically — the serialization story of the prototype interface.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use schema_merge::prelude::*;
+use schema_merge_core::{AnnotatedSchema, Class, KeyAssignment, KeySet};
+use schema_merge_text::{parse_schema, print_schema, render_ascii, to_dot, DotOptions,
+    NamedSchema};
+
+const NAMES: [&str; 7] = ["Dog", "Guide-dog", "Kennel", "Person", "int", "SS#-reg", "place"];
+const LABELS: [&str; 5] = ["age", "owner", "home", "id-num", "kind"];
+
+#[derive(Debug, Clone)]
+enum Item {
+    Spec(usize, usize),
+    Arrow(usize, usize, usize, bool),
+    Key(usize, Vec<usize>),
+}
+
+fn items() -> impl Strategy<Value = Vec<Item>> {
+    let item = prop_oneof![
+        (0usize..NAMES.len(), 0usize..NAMES.len())
+            .prop_map(|(a, b)| Item::Spec(a.min(b), a.max(b))),
+        (
+            0usize..NAMES.len(),
+            0usize..LABELS.len(),
+            0usize..NAMES.len(),
+            any::<bool>()
+        )
+            .prop_map(|(s, l, t, opt)| Item::Arrow(s, l, t, opt)),
+        (0usize..NAMES.len(), vec(0usize..LABELS.len(), 1..3))
+            .prop_map(|(c, ls)| Item::Key(c, ls)),
+    ];
+    vec(item, 1..12)
+}
+
+fn build_doc(items: &[Item]) -> Option<NamedSchema> {
+    let mut builder = AnnotatedSchema::builder();
+    let mut keys = KeyAssignment::new();
+    for item in items {
+        match item {
+            Item::Spec(a, b) => {
+                if a != b {
+                    builder = builder.specialize(NAMES[*a], NAMES[*b]);
+                }
+            }
+            Item::Arrow(s, l, t, optional) => {
+                builder = if *optional {
+                    builder.optional_arrow(NAMES[*s], LABELS[*l], NAMES[*t])
+                } else {
+                    builder.arrow(NAMES[*s], LABELS[*l], NAMES[*t])
+                };
+            }
+            Item::Key(class, labels) => {
+                keys.add_key(
+                    Class::named(NAMES[*class]),
+                    KeySet::new(labels.iter().map(|i| LABELS[*i])),
+                );
+            }
+        }
+    }
+    let schema = builder.build().ok()?;
+    // Keys must reference arrows that exist, or the document would not be
+    // loadable by tools that validate; restrict to valid ones.
+    let mut valid_keys = KeyAssignment::new();
+    for class in keys.keyed_classes() {
+        let available = schema.schema().labels_of(class);
+        for key in keys.family(class).minimal_keys() {
+            if key.labels().all(|l| available.contains(l)) {
+                valid_keys.add_key(class.clone(), key.clone());
+            }
+        }
+    }
+    Some(NamedSchema {
+        name: "G".into(),
+        schema,
+        keys: valid_keys,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn print_parse_round_trip(items in items()) {
+        let Some(doc) = build_doc(&items) else { return Ok(()); };
+        let printed = print_schema(&doc);
+        let reparsed = parse_schema(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        prop_assert_eq!(reparsed, doc);
+    }
+
+    #[test]
+    fn renderers_never_panic(items in items()) {
+        let Some(doc) = build_doc(&items) else { return Ok(()); };
+        let dot = to_dot(&doc, &DotOptions::default());
+        prop_assert!(dot.starts_with("digraph"));
+        prop_assert!(dot.ends_with("}\n"), "dot must close");
+        let ascii = render_ascii(&doc);
+        prop_assert!(ascii.contains("== schema G =="));
+    }
+
+    #[test]
+    fn merged_schemas_round_trip_with_implicit_classes(
+        left in items(),
+        right in items(),
+    ) {
+        let (Some(a), Some(b)) = (build_doc(&left), build_doc(&right)) else {
+            return Ok(());
+        };
+        let Ok(joined) = weak_join(a.schema.schema(), b.schema.schema()) else {
+            return Ok(()); // incompatible: nothing to print
+        };
+        let proper = schema_merge_core::complete(&joined).expect("completion");
+        let merged = NamedSchema {
+            name: "merged".into(),
+            schema: AnnotatedSchema::all_required(proper.as_weak().clone()),
+            keys: KeyAssignment::new(),
+        };
+        let printed = print_schema(&merged);
+        let reparsed = parse_schema(&printed)
+            .unwrap_or_else(|err| panic!("reparse failed: {err}\n{printed}"));
+        prop_assert_eq!(reparsed, merged);
+    }
+}

@@ -1,0 +1,162 @@
+//! End-to-end integration: DSL → merge → completion → keys → DOT, and
+//! the full dogs-and-kennels pipeline across the ER and instance crates.
+
+use schema_merge::prelude::*;
+use schema_merge_core::complete::complete_with_report;
+use schema_merge_core::lower::annotated_join;
+use schema_merge_core::{Class, KeyAssignment, Label};
+use schema_merge_er::{figure_1_dogs, to_core};
+use schema_merge_instance::Instance;
+use schema_merge_text::{parse_document, print_schema, to_dot, DotOptions, NamedSchema};
+
+fn c(s: &str) -> Class {
+    Class::named(s)
+}
+
+fn l(s: &str) -> Label {
+    Label::new(s)
+}
+
+#[test]
+fn dsl_to_merged_dot_pipeline() {
+    let docs = parse_document(
+        "schema A { C --a--> B1; Guide-dog => Dog; }\n\
+         schema B { C --a--> B2; Dog --age--> int; key Dog {age}; }",
+    )
+    .unwrap();
+    assert_eq!(docs.len(), 2);
+
+    let joined = annotated_join(docs.iter().map(|d| &d.schema)).unwrap();
+    let (proper, report) = complete_with_report(joined.schema()).unwrap();
+    assert_eq!(report.num_implicit(), 1);
+
+    // Raw declarations must be propagated down the isa order (§5):
+    // Guide-dog inherits Dog's key in the satisfactory assignment.
+    let contributions: Vec<_> = docs
+        .iter()
+        .flat_map(|doc| {
+            doc.keys
+                .keyed_classes()
+                .map(|class| (class.clone(), doc.keys.family(class)))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let keys = KeyAssignment::minimal_satisfactory(
+        proper.as_weak(),
+        contributions.iter().map(|(c, f)| (c, f)),
+    );
+    assert!(keys.validate(proper.as_weak()).is_ok());
+    assert!(
+        !keys.family(&c("Guide-dog")).is_none(),
+        "subclasses inherit keys"
+    );
+
+    let merged = NamedSchema {
+        name: "merged".into(),
+        schema: schema_merge_core::AnnotatedSchema::all_required(proper.as_weak().clone()),
+        keys,
+    };
+    // Canonical print round-trips, and DOT mentions the implicit class.
+    let printed = print_schema(&merged);
+    assert_eq!(schema_merge_text::parse_schema(&printed).unwrap(), merged);
+    let dot = to_dot(&merged, &DotOptions::default());
+    assert!(dot.contains("{B1,B2}"));
+}
+
+#[test]
+fn er_to_instance_pipeline() {
+    // Translate Fig. 1 to the graph model, complete it, generate a
+    // conforming instance, and check conformance plus projection.
+    let (schema, _strata) = to_core(&figure_1_dogs());
+    let proper = schema_merge_core::complete(&schema).unwrap();
+    let instance = schema_merge_instance::generator::conforming_instance(&proper, 3, 7);
+    assert_eq!(instance.conforms(&proper), Ok(()));
+
+    // Project onto the sub-schema containing only dogs.
+    let dogs_only = WeakSchema::builder()
+        .specialize("Police-dog", "Dog")
+        .arrow("Dog", "age", "int")
+        .build()
+        .unwrap();
+    assert!(dogs_only.is_subschema_of(proper.as_weak()));
+    let projected = instance.project(&dogs_only);
+    let dogs_proper = ProperSchema::try_new(dogs_only).unwrap();
+    assert_eq!(projected.conforms(&dogs_proper), Ok(()));
+}
+
+#[test]
+fn merged_schema_keys_constrain_instances() {
+    // §5 end: after merging, a key declared by only one schema applies
+    // to data from both.
+    let g1 = WeakSchema::builder().arrow("Person", "SS#", "int").build().unwrap();
+    let g2 = WeakSchema::builder()
+        .arrow("Person", "name", "text")
+        .arrow("Person", "SS#", "int")
+        .build()
+        .unwrap();
+    let outcome = merge([&g1, &g2]).unwrap();
+
+    let mut keys = KeyAssignment::new();
+    keys.add_key(c("Person"), schema_merge_core::KeySet::new(["SS#"]));
+    assert!(keys.validate(outcome.proper.as_weak()).is_ok());
+
+    // Two people with the same SS# violate the merged constraint.
+    let mut b = Instance::builder();
+    let ssn = b.object(["int"]);
+    let alice = b.object(["Person"]);
+    let alias = b.object(["Person"]);
+    b.attr(alice, "SS#", ssn);
+    b.attr(alias, "SS#", ssn);
+    assert!(b.build().satisfies_keys(&keys).is_err());
+
+    // Entity resolution instead merges them.
+    let (resolved, report) =
+        schema_merge_instance::union_instances(&[&b.build()], &keys);
+    assert_eq!(resolved.extent(&c("Person")).len(), 1);
+    assert_eq!(report.key_identifications, 1);
+    assert_eq!(resolved.satisfies_keys(&keys), Ok(()));
+}
+
+#[test]
+fn session_and_batch_agree_through_the_facade() {
+    let g1 = WeakSchema::builder().arrow("X", "f", "A").build().unwrap();
+    let g2 = WeakSchema::builder().arrow("X", "f", "B").build().unwrap();
+    let g3 = WeakSchema::builder().specialize("A", "Top").build().unwrap();
+
+    let mut session = MergeSession::new();
+    for g in [&g1, &g2, &g3] {
+        session.add_schema(g).unwrap();
+    }
+    let stepwise = session.merged().unwrap().proper;
+    let batch = merge([&g1, &g2, &g3]).unwrap().proper;
+    assert_eq!(stepwise, batch);
+    assert!(batch.contains_class(&Class::implicit([c("A"), c("B")])));
+    assert!(batch.has_arrow(&c("X"), &l("f"), &c("Top")), "W2 closure");
+}
+
+#[test]
+fn upper_and_lower_merge_bracket_the_inputs() {
+    // For annotated schemas: lower ⊑ padded inputs ⊑ upper (on the
+    // shared classes), making the two merges the bounds the paper
+    // describes.
+    let a = schema_merge_core::AnnotatedSchema::builder()
+        .arrow("Dog", "name", "string")
+        .arrow("Dog", "age", "int")
+        .build()
+        .unwrap();
+    let b = schema_merge_core::AnnotatedSchema::builder()
+        .arrow("Dog", "name", "string")
+        .arrow("Dog", "breed", "Breed")
+        .build()
+        .unwrap();
+    let lower = lower_merge([&a, &b]);
+    let upper = annotated_join([&a, &b]).unwrap();
+
+    let classes: Vec<Class> = upper.schema().classes().cloned().collect();
+    let a_padded = a.pad_with_classes(classes.clone());
+    let b_padded = b.pad_with_classes(classes);
+    assert!(lower.is_sub_annotated(&a_padded));
+    assert!(lower.is_sub_annotated(&b_padded));
+    assert!(a.schema().is_subschema_of(upper.schema()));
+    assert!(b.schema().is_subschema_of(upper.schema()));
+}

@@ -1,0 +1,251 @@
+//! Cross-crate integration tests for §6: federated views built from the
+//! lower merge, instance coalescing, and queries — spanning core,
+//! instance and the ER front-end.
+
+use schema_merge_core::{
+    lower_complete, lower_merge, AnnotatedSchema, Class, KeyAssignment, KeySet, Label,
+    Participation, WeakSchema,
+};
+use schema_merge_er::{to_core, ErSchema};
+use schema_merge_instance::{find_by_key, Federation, Instance, PathQuery};
+
+fn c(s: &str) -> Class {
+    Class::named(s)
+}
+
+fn l(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// §6's running example end-to-end: name/age vs name/breed dogs.
+#[test]
+fn section_6_dog_example_end_to_end() {
+    let g1 = AnnotatedSchema::all_required(
+        WeakSchema::builder()
+            .arrow("Dog", "name", "string")
+            .arrow("Dog", "age", "int")
+            .build()
+            .expect("valid"),
+    );
+    let g2 = AnnotatedSchema::all_required(
+        WeakSchema::builder()
+            .arrow("Dog", "name", "string")
+            .arrow("Dog", "breed", "breed")
+            .build()
+            .expect("valid"),
+    );
+
+    let merged = lower_merge([&g1, &g2]);
+    // "instances of the class Dog may have age-arrows and may have
+    // breed-arrows, but are not necessarily required to" (§6).
+    assert_eq!(
+        merged.participation(&c("Dog"), &l("name"), &c("string")),
+        Participation::One
+    );
+    assert_eq!(
+        merged.participation(&c("Dog"), &l("age"), &c("int")),
+        Participation::ZeroOrOne
+    );
+    assert_eq!(
+        merged.participation(&c("Dog"), &l("breed"), &c("breed")),
+        Participation::ZeroOrOne
+    );
+    let (_, proper, _) = lower_complete(&merged).expect("completes");
+    assert!(proper.as_weak().contains_class(&c("Dog")));
+}
+
+/// The federation's schema is a LOWER bound of every member schema, and
+/// classes missing from one member still appear (the §6 padding rule).
+#[test]
+fn missing_classes_are_padded_in() {
+    let with_guide_dogs = AnnotatedSchema::all_required(
+        WeakSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .arrow("Dog", "name", "string")
+            .build()
+            .expect("valid"),
+    );
+    let without = AnnotatedSchema::all_required(
+        WeakSchema::builder().arrow("Dog", "name", "string").build().expect("valid"),
+    );
+    let merged = lower_merge([&with_guide_dogs, &without]);
+    assert!(
+        merged.schema().contains_class(&c("Guide-dog")),
+        "Guide-dog survives even though one member lacks it"
+    );
+    // But the isa edge is NOT in the lower bound (only one member has it).
+    assert!(!merged.schema().specializes(&c("Guide-dog"), &c("Dog")));
+}
+
+/// Key-based correspondence across members (§5 end): records with the
+/// same key value coalesce; the coalesced object carries the union of
+/// attribute values; queries see one object.
+#[test]
+fn cross_member_resolution_via_shared_registry() {
+    let intake = AnnotatedSchema::all_required(
+        WeakSchema::builder()
+            .arrow("Dog", "chip", "chip-id")
+            .arrow("Dog", "age", "int")
+            .build()
+            .expect("valid"),
+    );
+    let medical = AnnotatedSchema::all_required(
+        WeakSchema::builder()
+            .arrow("Dog", "chip", "chip-id")
+            .arrow("Dog", "vet", "Person")
+            .build()
+            .expect("valid"),
+    );
+
+    // Intake and medical share an object space (a common chip registry),
+    // so the same chip oid appears in both records.
+    let mut b = Instance::builder();
+    let chip = b.object([c("chip-id")]);
+    let age = b.object([c("int")]);
+    let vet = b.object([c("Person")]);
+    let rex_intake = b.object([c("Dog")]);
+    b.attr(rex_intake, "chip", chip);
+    b.attr(rex_intake, "age", age);
+    let rex_medical = b.object([c("Dog")]);
+    b.attr(rex_medical, "chip", chip);
+    b.attr(rex_medical, "vet", vet);
+    let registry = b.build();
+
+    let mut keys = KeyAssignment::new();
+    keys.add_key(c("Dog"), KeySet::new([l("chip")]));
+
+    let federation = Federation::new()
+        .with_keys(keys.clone())
+        .member("registry", intake, registry)
+        .member("medical", medical, Instance::default());
+    let view = federation.view().expect("builds");
+    view.check().expect("conforms");
+
+    let dogs = view.query(&PathQuery::extent("Dog"));
+    assert_eq!(dogs.len(), 1, "intake and medical records are one dog");
+    let rex = *dogs.iter().next().expect("one dog");
+    assert!(view.instance.attr(rex, &l("age")).is_some());
+    assert!(view.instance.attr(rex, &l("vet")).is_some());
+
+    // Key lookup dereferences the chip to the coalesced object.
+    let chip_oid = view
+        .instance
+        .attr(rex, &l("chip"))
+        .expect("chip survives the union");
+    let lookup = find_by_key(&view.instance, &c("Dog"), &[(l("chip"), chip_oid)], &keys);
+    assert_eq!(lookup.unique(), Some(rex));
+}
+
+/// An ER federation: member schemas written in the ER model, translated,
+/// lower-merged, and queried. Exercises the translation + federation
+/// pipeline together.
+#[test]
+fn er_members_federate_through_translation() {
+    let city = ErSchema::builder()
+        .entity("Dog")
+        .attribute("Dog", "license", "int")
+        .build()
+        .expect("valid");
+    let vet = ErSchema::builder()
+        .entity("Dog")
+        .attribute("Dog", "weight", "kg")
+        .build()
+        .expect("valid");
+
+    let (city_core, _) = to_core(&city);
+    let (vet_core, _) = to_core(&vet);
+
+    let mut b = Instance::builder();
+    let license = b.object([c("int")]);
+    let rex = b.object([c("Dog")]);
+    b.attr(rex, "license", license);
+    let city_data = b.build();
+
+    let mut b = Instance::builder();
+    let weight = b.object([c("kg")]);
+    let fido = b.object([c("Dog")]);
+    b.attr(fido, "weight", weight);
+    let vet_data = b.build();
+
+    let federation = Federation::new()
+        .member("city", AnnotatedSchema::all_required(city_core), city_data)
+        .member("vet", AnnotatedSchema::all_required(vet_core), vet_data);
+    let view = federation.view().expect("builds");
+    view.check().expect("conforms");
+    for member in federation.members() {
+        view.check_member(member).expect("member conforms");
+    }
+    assert_eq!(view.query(&PathQuery::extent("Dog")).len(), 2);
+
+    // Both attributes are optional in the federated view.
+    assert_eq!(view.schema.num_optional(), 2);
+}
+
+/// Disagreeing arrow targets produce a union class whose extent covers
+/// both members' values, and path queries can restrict to it.
+#[test]
+fn union_class_extents_are_queryable() {
+    let kennel_club = AnnotatedSchema::all_required(
+        WeakSchema::builder().arrow("Dog", "home", "Kennel").build().expect("valid"),
+    );
+    let house_dogs = AnnotatedSchema::all_required(
+        WeakSchema::builder().arrow("Dog", "home", "House").build().expect("valid"),
+    );
+
+    let mut b = Instance::builder();
+    let hut = b.object([c("Kennel")]);
+    let rex = b.object([c("Dog")]);
+    b.attr(rex, "home", hut);
+    let i1 = b.build();
+
+    let mut b = Instance::builder();
+    let villa = b.object([c("House")]);
+    let fifi = b.object([c("Dog")]);
+    b.attr(fifi, "home", villa);
+    let i2 = b.build();
+
+    let view = Federation::new()
+        .member("kennel-club", kennel_club, i1)
+        .member("house-dogs", house_dogs, i2)
+        .view()
+        .expect("builds");
+    view.check().expect("conforms");
+
+    let union_class = Class::implicit_union([c("Kennel"), c("House")]);
+    assert!(view.proper.as_weak().contains_class(&union_class));
+    let homes = view.query(
+        &PathQuery::extent("Dog").follow("home").restrict(union_class.clone()),
+    );
+    assert_eq!(homes.len(), 2);
+    // The union extent equals the union of the member extents.
+    assert_eq!(
+        view.instance.extent(&union_class).len(),
+        view.instance.extent(&c("Kennel")).len() + view.instance.extent(&c("House")).len()
+    );
+}
+
+/// The federated view of a single member is the member itself (identity
+/// law for federation).
+#[test]
+fn single_member_federation_is_identity() {
+    let schema = AnnotatedSchema::all_required(
+        WeakSchema::builder()
+            .arrow("Dog", "name", "string")
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .expect("valid"),
+    );
+    let mut b = Instance::builder();
+    let name = b.object([c("string")]);
+    let rex = b.object([c("Dog"), c("Guide-dog")]);
+    b.attr(rex, "name", name);
+    let data = b.build();
+
+    let view = Federation::new()
+        .member("only", schema.clone(), data.clone())
+        .view()
+        .expect("builds");
+    assert_eq!(view.schema.schema(), schema.schema());
+    assert_eq!(view.query(&PathQuery::extent("Dog")), data.extent(&c("Dog")));
+    view.check().expect("conforms");
+}

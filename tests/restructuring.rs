@@ -1,0 +1,193 @@
+//! Cross-crate integration tests for the §3/§7 pre-merge workflow:
+//! renaming, structural normalization, and merging — spanning the core
+//! graph model, the ER front-end and the text DSL.
+
+use schema_merge_core::restructure::{flatten_class, reify_arrow, Restructuring};
+use schema_merge_core::{
+    homonym_candidates, merge, synonym_candidates, weak_join, Class, Label, Renaming,
+};
+use schema_merge_er::{
+    detect_conflicts, merge_er, normalize_pair, to_core, ErSchema, NormalPolicy,
+};
+use schema_merge_text::{parse_schema, print_schema, NamedSchema};
+
+fn c(s: &str) -> Class {
+    Class::named(s)
+}
+
+fn l(s: &str) -> Label {
+    Label::new(s)
+}
+
+/// The full §3 workflow: suggest a synonym, rename, merge — and the
+/// result is the same as if the databases had agreed on names upfront.
+#[test]
+fn synonym_workflow_matches_agreed_names() {
+    let municipal = parse_schema(
+        "schema municipal { Dog --license--> int; Dog --owner--> Person; }",
+    )
+    .expect("parses");
+    let veterinary = parse_schema(
+        "schema veterinary { Hound --owner--> Person; Hound --age--> int; }",
+    )
+    .expect("parses");
+
+    let candidates =
+        synonym_candidates(municipal.schema.schema(), veterinary.schema.schema(), 0.3);
+    assert_eq!(candidates[0].left, "Dog".into());
+    assert_eq!(candidates[0].right, "Hound".into());
+
+    let (renamed, _) = candidates[0]
+        .unifying_renaming()
+        .apply(veterinary.schema.schema())
+        .expect("applies");
+    let merged = merge([municipal.schema.schema(), &renamed]).expect("merges");
+
+    // The counterfactual where both schemas said Dog all along.
+    let agreed = parse_schema("schema v2 { Dog --owner--> Person; Dog --age--> int; }")
+        .expect("parses");
+    let expected = merge([municipal.schema.schema(), agreed.schema.schema()]).expect("merges");
+    assert_eq!(merged.proper, expected.proper);
+}
+
+/// Homonym separation: without it the merge silently conflates two
+/// meanings; with it both survive.
+#[test]
+fn homonym_separation_preserves_both_meanings() {
+    let lab = parse_schema("schema lab { Chip --implanted-in--> Dog; }").expect("parses");
+    let cafe = parse_schema("schema cafe { Chip --fried-at--> Temp; }").expect("parses");
+
+    // Conflated: one Chip class with both arrows.
+    let conflated = weak_join(lab.schema.schema(), cafe.schema.schema()).expect("compatible");
+    assert_eq!(conflated.labels_of(&c("Chip")).len(), 2);
+
+    let flags = homonym_candidates(lab.schema.schema(), cafe.schema.schema(), 0.0);
+    assert_eq!(flags.len(), 1);
+    let (separated, _) = flags[0]
+        .separating_renaming("-food")
+        .apply(cafe.schema.schema())
+        .expect("applies");
+    let kept_apart = weak_join(lab.schema.schema(), &separated).expect("compatible");
+    assert_eq!(kept_apart.labels_of(&c("Chip")).len(), 1);
+    assert_eq!(kept_apart.labels_of(&c("Chip-food")).len(), 1);
+}
+
+/// §7 normalization followed by an ER merge whose graph translation
+/// agrees with normalizing in the graph model directly.
+#[test]
+fn er_normalization_agrees_with_graph_restructuring() {
+    let registry = ErSchema::builder()
+        .entity("Dog")
+        .attribute("Dog", "kennel", "kennel-id")
+        .build()
+        .expect("valid");
+    let club = ErSchema::builder()
+        .entity("Dog")
+        .entity("kennel")
+        .attribute("kennel", "addr", "place")
+        .build()
+        .expect("valid");
+
+    // ER route: normalize, merge in the ER model.
+    let outcome = normalize_pair(&registry, &club, NormalPolicy::PreferEntity);
+    assert!(outcome.is_clean());
+    let er_merged = merge_er([&outcome.left, &outcome.right]).expect("merges");
+
+    // Graph route: translate the normalized pair and merge there.
+    let (left_core, _) = to_core(&outcome.left);
+    let (right_core, _) = to_core(&outcome.right);
+    let core_merged = merge([&left_core, &right_core]).expect("merges");
+
+    // The ER merge's underlying graph equals the direct graph merge.
+    assert_eq!(er_merged.core.proper, core_merged.proper);
+}
+
+/// A recorded restructuring script replays identically on a re-parsed
+/// schema — the audit-trail property an interactive tool needs.
+#[test]
+fn scripts_replay_across_serialization() {
+    let source = "schema pets { Person --owns--> Hound; Hound --kind--> breed; }";
+    let original = parse_schema(source).expect("parses");
+
+    let script = Restructuring::new()
+        .rename(Renaming::new().class("Hound", "Dog"))
+        .reify("Person", "owns", "Owns", "owner", "pet");
+    let transformed = script.apply(original.schema.schema()).expect("applies");
+
+    // Round-trip the ORIGINAL through the DSL and replay.
+    let printed = print_schema(&NamedSchema {
+        name: "pets".into(),
+        schema: original.schema.clone(),
+        keys: original.keys.clone(),
+    });
+    let reparsed = parse_schema(&printed).expect("round-trips");
+    let replayed = script.apply(reparsed.schema.schema()).expect("replays");
+    assert_eq!(transformed, replayed);
+
+    assert!(transformed.has_arrow(&c("Owns"), &l("pet"), &c("Dog")));
+    assert!(transformed.arrow_targets(&c("Person"), &l("owns")).is_empty());
+}
+
+/// Normalizing then merging is order-independent: which schema gets
+/// restructured does not change the merge (the restructured parts are
+/// disjoint and the merge is a least upper bound).
+#[test]
+fn normalization_is_order_independent() {
+    let a = ErSchema::builder()
+        .entity("Dog")
+        .attribute("Dog", "kennel", "kennel-id")
+        .build()
+        .expect("valid");
+    let b = ErSchema::builder()
+        .entity("Dog")
+        .entity("kennel")
+        .attribute("kennel", "addr", "place")
+        .build()
+        .expect("valid");
+
+    let ab = normalize_pair(&a, &b, NormalPolicy::PreferEntity);
+    let ba = normalize_pair(&b, &a, NormalPolicy::PreferEntity);
+    assert!(ab.is_clean() && ba.is_clean());
+
+    let merged_ab = merge_er([&ab.left, &ab.right]).expect("merges");
+    let merged_ba = merge_er([&ba.left, &ba.right]).expect("merges");
+    assert_eq!(merged_ab.er, merged_ba.er);
+}
+
+/// Reify in the graph model survives a merge with an already-reified
+/// schema and the merged node can be flattened back when it stays bare.
+#[test]
+fn reify_merge_flatten_pipeline() {
+    let direct = schema_merge_core::WeakSchema::builder()
+        .arrow("Person", "owns", "Dog")
+        .build()
+        .expect("valid");
+    let reified_input = schema_merge_core::WeakSchema::builder()
+        .arrow("Owns", "owner", "Person")
+        .arrow("Owns", "pet", "Dog")
+        .build()
+        .expect("valid");
+
+    let normalized = reify_arrow(&direct, &c("Person"), &l("owns"), "Owns", "owner", "pet")
+        .expect("reifies");
+    let merged = weak_join(&normalized, &reified_input).expect("compatible");
+    assert_eq!(merged, reified_input, "no duplicated presentation");
+
+    let flattened =
+        flatten_class(&merged, &c("Owns"), &l("owner"), &l("pet"), "owns").expect("flattens");
+    assert_eq!(flattened, direct);
+}
+
+/// Conflict detection and normalization leave genuinely clean ER pairs
+/// untouched end-to-end (idempotence on the clean fragment).
+#[test]
+fn normalization_is_idempotent_on_clean_pairs() {
+    let g1 = schema_merge_er::figure_1_dogs();
+    let g2 = schema_merge_er::figure_9_advisor();
+    assert!(detect_conflicts(&g1, &g2).is_empty());
+    let pass1 = normalize_pair(&g1, &g2, NormalPolicy::PreferEntity);
+    let pass2 = normalize_pair(&pass1.left, &pass1.right, NormalPolicy::PreferEntity);
+    assert_eq!(pass1.left, pass2.left);
+    assert_eq!(pass1.right, pass2.right);
+    assert!(pass2.applied.is_empty());
+}

@@ -1,0 +1,157 @@
+//! The instance-level semantics of merging, at workload scale: the
+//! upper-merge projection theorem and the lower-merge union theorem,
+//! exercised with generated schemas and generated conforming instances.
+
+use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
+use schema_merge_core::{complete, merge, KeyAssignment, ProperSchema};
+use schema_merge_instance::generator::conforming_instance;
+use schema_merge_instance::union_instances;
+use schema_merge_workload::{random_schema, schema_family, SchemaParams};
+
+fn params(seed: u64) -> SchemaParams {
+    SchemaParams {
+        vocabulary: 24,
+        classes: 12,
+        labels: 10,
+        arrows: 14,
+        specializations: 5,
+        seed,
+    }
+}
+
+#[test]
+fn projection_theorem_at_scale() {
+    // "Any instance of the merged schema can be considered to be an
+    // instance of any of the schemas being merged" (§6 opening): generate
+    // an instance of the merged schema; its projection conforms to every
+    // input.
+    for seed in [3u64, 17, 99] {
+        let family = schema_family(&params(seed), 3);
+        let outcome = merge(family.iter()).expect("compatible family");
+        let instance = conforming_instance(&outcome.proper, 2, seed)
+            .populate_implicit_extents(outcome.proper.as_weak());
+        assert_eq!(instance.conforms(&outcome.proper), Ok(()), "seed {seed}");
+
+        for (i, input) in family.iter().enumerate() {
+            let input_proper = complete(input).expect("inputs complete");
+            let projected = instance.project(input_proper.as_weak());
+            // The projection onto the *completed* input needs the input's
+            // implicit extents populated too.
+            let filled = projected.populate_implicit_extents(input_proper.as_weak());
+            assert_eq!(
+                filled.conforms(&input_proper),
+                Ok(()),
+                "seed {seed}, input {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn union_theorem_at_scale() {
+    // Union of per-site instances conforms to the completed lower merge.
+    for seed in [5u64, 23] {
+        let family = schema_family(&params(seed), 2);
+        let annotated: Vec<AnnotatedSchema> = family
+            .iter()
+            .map(|schema| AnnotatedSchema::all_required(schema.clone()))
+            .collect();
+        let merged = lower_merge(annotated.iter());
+        let (annotated_merged, proper, _) = lower_complete(&merged).expect("lower completion");
+
+        // Per-site instances conform to their own (completed) schemas.
+        let site_instances: Vec<_> = family
+            .iter()
+            .enumerate()
+            .map(|(i, schema)| {
+                let site_proper = complete(schema).expect("site completes");
+                let instance = conforming_instance(&site_proper, 2, seed + i as u64)
+                    .populate_implicit_extents(site_proper.as_weak());
+                assert_eq!(instance.conforms(&site_proper), Ok(()));
+                instance
+            })
+            .collect();
+
+        let refs: Vec<_> = site_instances.iter().collect();
+        let (combined, _) = union_instances(&refs, &KeyAssignment::new());
+        let filled = combined.populate_implicit_extents(proper.as_weak());
+        assert_eq!(
+            filled.conforms_annotated(&annotated_merged, &proper),
+            Ok(()),
+            "seed {seed}"
+        );
+    }
+}
+
+#[test]
+fn generated_instances_scale_with_population() {
+    let schema = random_schema(&params(7));
+    let proper = complete(&schema).unwrap();
+    let small = conforming_instance(&proper, 1, 7);
+    let large = conforming_instance(&proper, 8, 7);
+    assert!(large.objects().len() > small.objects().len());
+    assert_eq!(small.conforms(&proper), Ok(()));
+    assert_eq!(large.conforms(&proper), Ok(()));
+}
+
+#[test]
+fn conformance_is_monotone_down_the_information_order() {
+    // An instance of a bigger schema, projected, conforms to any smaller
+    // proper schema — the semantic content of ⊑.
+    let small = random_schema(&params(11));
+    let big = merge([&small, &random_schema(&params(12))])
+        .expect("compatible")
+        .proper;
+    let instance =
+        conforming_instance(&big, 2, 11).populate_implicit_extents(big.as_weak());
+    assert_eq!(instance.conforms(&big), Ok(()));
+
+    let small_proper = ProperSchema::try_new(
+        // The small schema may itself be improper; use its completion.
+        complete(&small).unwrap().into_weak(),
+    )
+    .unwrap();
+    let projected = instance
+        .project(small_proper.as_weak())
+        .populate_implicit_extents(small_proper.as_weak());
+    assert_eq!(projected.conforms(&small_proper), Ok(()));
+}
+
+#[test]
+fn entity_resolution_is_idempotent_and_order_insensitive() {
+    use schema_merge_core::{Class, KeySet};
+    use schema_merge_instance::Instance;
+
+    let mut keys = KeyAssignment::new();
+    keys.add_key(Class::named("Person"), KeySet::new(["ssn"]));
+
+    let build_site = |n: u64| {
+        let mut b = Instance::builder();
+        let shared = b.object(["int"]);
+        for i in 0..n {
+            let p = b.object(["Person"]);
+            if i % 2 == 0 {
+                b.attr(p, "ssn", shared);
+            }
+        }
+        b.build()
+    };
+    let s1 = build_site(4);
+    let s2 = build_site(3);
+
+    let (once, _) = union_instances(&[&s1, &s2], &keys);
+    let (twice, report) = union_instances(&[&once], &keys);
+    assert_eq!(once.extent(&Class::named("Person")).len(),
+               twice.extent(&Class::named("Person")).len(),
+               "resolution is idempotent");
+    assert_eq!(report.key_identifications, 0);
+
+    let (ab, _) = union_instances(&[&s1, &s2], &keys);
+    let (ba, _) = union_instances(&[&s2, &s1], &keys);
+    // Object ids differ by renumbering, but the shape agrees.
+    assert_eq!(
+        ab.extent(&Class::named("Person")).len(),
+        ba.extent(&Class::named("Person")).len()
+    );
+    assert_eq!(ab.num_attrs(), ba.num_attrs());
+}
