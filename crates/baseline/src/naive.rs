@@ -134,8 +134,14 @@ pub fn figure_4_schemas() -> (WeakSchema, WeakSchema, WeakSchema) {
         .arrow("B", "a", "D")
         .build()
         .expect("figure 4 G1");
-    let g2 = WeakSchema::builder().arrow("B", "a", "E").build().expect("figure 4 G2");
-    let g3 = WeakSchema::builder().arrow("B", "a", "F").build().expect("figure 4 G3");
+    let g2 = WeakSchema::builder()
+        .arrow("B", "a", "E")
+        .build()
+        .expect("figure 4 G2");
+    let g3 = WeakSchema::builder()
+        .arrow("B", "a", "F")
+        .build()
+        .expect("figure 4 G3");
     (g1, g2, g3)
 }
 
@@ -168,11 +174,10 @@ mod tests {
         let ours = schema_merge_core::merge([&g1, &g2]).unwrap().proper;
         // Alpha-equivalent: the only difference is the implicit class's
         // name.
-        assert!(alpha_isomorphic(
-            &naive,
-            ours.as_weak(),
-            |class| is_opaque(class) || class.is_implicit()
-        ));
+        assert!(alpha_isomorphic(&naive, ours.as_weak(), |class| is_opaque(
+            class
+        ) || class
+            .is_implicit()));
     }
 
     #[test]
@@ -240,8 +245,14 @@ mod tests {
 
     #[test]
     fn first_wins_is_order_dependent() {
-        let g1 = WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap();
-        let g2 = WeakSchema::builder().arrow("Dog", "age", "years").build().unwrap();
+        let g1 = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("Dog", "age", "years")
+            .build()
+            .unwrap();
         let a = first_wins_merge(&g1, &g2).unwrap();
         let b = first_wins_merge(&g2, &g1).unwrap();
         assert_ne!(a, b);
@@ -252,7 +263,10 @@ mod tests {
 
     #[test]
     fn first_wins_keeps_compatible_arrows() {
-        let g1 = WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap();
+        let g1 = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap();
         let g2 = WeakSchema::builder()
             .arrow("Dog", "name", "text")
             .arrow("Dog", "age", "int")
@@ -270,7 +284,10 @@ mod tests {
         // place — the "cannot be readily identified" failure.
         let g1 = WeakSchema::builder().arrow("C", "a", "B1").build().unwrap();
         let g2 = WeakSchema::builder().arrow("C", "a", "B2").build().unwrap();
-        let g3 = WeakSchema::builder().specialize("B1", "B2").build().unwrap();
+        let g3 = WeakSchema::builder()
+            .specialize("B1", "B2")
+            .build()
+            .unwrap();
 
         let mut merger = NaiveMerger::new();
         let step1 = merger.merge_pair(&g1, &g2).unwrap();

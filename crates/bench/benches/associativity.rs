@@ -25,9 +25,13 @@ fn bench_paper_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("associativity/paper_merge");
     for count in [2usize, 4, 6] {
         let schemas = family(count);
-        group.bench_with_input(BenchmarkId::from_parameter(count), &schemas, |b, schemas| {
-            b.iter(|| merge(schemas.iter()).expect("compatible").proper);
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(count),
+            &schemas,
+            |b, schemas| {
+                b.iter(|| merge(schemas.iter()).expect("compatible").proper);
+            },
+        );
     }
     group.finish();
 }
@@ -36,13 +40,17 @@ fn bench_naive_stepwise(c: &mut Criterion) {
     let mut group = c.benchmark_group("associativity/naive_stepwise");
     for count in [2usize, 4, 6] {
         let schemas = family(count);
-        group.bench_with_input(BenchmarkId::from_parameter(count), &schemas, |b, schemas| {
-            b.iter(|| {
-                NaiveMerger::new()
-                    .merge_sequence(schemas.iter())
-                    .expect("compatible")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(count),
+            &schemas,
+            |b, schemas| {
+                b.iter(|| {
+                    NaiveMerger::new()
+                        .merge_sequence(schemas.iter())
+                        .expect("compatible")
+                });
+            },
+        );
     }
     group.finish();
 }
@@ -55,7 +63,9 @@ fn bench_order_permutations(c: &mut Criterion) {
         b.iter(|| {
             let forward = merge(schemas.iter()).expect("a").proper;
             let backward = merge(schemas.iter().rev()).expect("b").proper;
-            let rotated = merge(schemas[1..].iter().chain(&schemas[..1])).expect("c").proper;
+            let rotated = merge(schemas[1..].iter().chain(&schemas[..1]))
+                .expect("c")
+                .proper;
             assert!(forward == backward && backward == rotated);
             forward
         });

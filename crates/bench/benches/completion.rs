@@ -16,9 +16,13 @@ fn bench_random(c: &mut Criterion) {
             specializations: classes / 2,
             seed: 5,
         });
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &schema, |b, schema| {
-            b.iter(|| complete_with_report(schema).expect("completion"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &schema,
+            |b, schema| {
+                b.iter(|| complete_with_report(schema).expect("completion"));
+            },
+        );
     }
     group.finish();
 }
@@ -53,5 +57,10 @@ fn bench_already_proper(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_random, bench_pathological, bench_already_proper);
+criterion_group!(
+    benches,
+    bench_random,
+    bench_pathological,
+    bench_already_proper
+);
 criterion_main!(benches);

@@ -59,9 +59,7 @@ fn bench_family_algebra(c: &mut Criterion) {
             let mut family = SuperkeyFamily::none();
             for width in (1..=4usize).rev() {
                 for start in 0..labels.len() - width {
-                    family.insert_key(KeySet::new(
-                        labels[start..start + width].iter().cloned(),
-                    ));
+                    family.insert_key(KeySet::new(labels[start..start + width].iter().cloned()));
                 }
             }
             family
@@ -69,12 +67,12 @@ fn bench_family_algebra(c: &mut Criterion) {
     });
 
     c.bench_function("keys/family_intersection", |b| {
-        let left = SuperkeyFamily::from_keys((0..8).map(|i| {
-            KeySet::new([format!("a{i}"), format!("b{i}")])
-        }));
-        let right = SuperkeyFamily::from_keys((0..8).map(|i| {
-            KeySet::new([format!("b{i}"), format!("c{i}")])
-        }));
+        let left = SuperkeyFamily::from_keys(
+            (0..8).map(|i| KeySet::new([format!("a{i}"), format!("b{i}")])),
+        );
+        let right = SuperkeyFamily::from_keys(
+            (0..8).map(|i| KeySet::new([format!("b{i}"), format!("c{i}")])),
+        );
         b.iter(|| left.intersection(&right));
     });
 }

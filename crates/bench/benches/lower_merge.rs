@@ -25,9 +25,13 @@ fn bench_lower_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("lower_merge/glb");
     for classes in [16usize, 64, 128] {
         let family = annotated_family(classes, 2);
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &family, |b, family| {
-            b.iter(|| lower_merge(family.iter()));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &family,
+            |b, family| {
+                b.iter(|| lower_merge(family.iter()));
+            },
+        );
     }
     group.finish();
 }
@@ -36,9 +40,13 @@ fn bench_lower_complete(c: &mut Criterion) {
     let mut group = c.benchmark_group("lower_merge/complete");
     for classes in [16usize, 32, 64] {
         let merged = lower_merge(annotated_family(classes, 2).iter());
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &merged, |b, merged| {
-            b.iter(|| lower_complete(merged).expect("lower completion"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &merged,
+            |b, merged| {
+                b.iter(|| lower_complete(merged).expect("lower completion"));
+            },
+        );
     }
     group.finish();
 }
@@ -56,12 +64,16 @@ fn bench_disagreement_width(c: &mut Criterion) {
                     .expect("site schema")
             })
             .collect();
-        group.bench_with_input(BenchmarkId::from_parameter(sites), &schemas, |b, schemas| {
-            b.iter(|| {
-                let merged = lower_merge(schemas.iter());
-                lower_complete(&merged).expect("lower completion")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(sites),
+            &schemas,
+            |b, schemas| {
+                b.iter(|| {
+                    let merged = lower_merge(schemas.iter());
+                    lower_complete(&merged).expect("lower completion")
+                });
+            },
+        );
     }
     group.finish();
 }

@@ -80,27 +80,31 @@ fn bench_reify_flatten(c: &mut Criterion) {
         }
         let schema = builder.build().expect("valid");
         group.throughput(Throughput::Elements(schema.num_arrows() as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &schema, |b, schema| {
-            b.iter(|| {
-                let reified = reify_arrow(
-                    schema,
-                    &Class::named("Person"),
-                    &Label::new("owns"),
-                    "Owns",
-                    "owner",
-                    "pet",
-                )
-                .expect("reifies");
-                flatten_class(
-                    &reified,
-                    &Class::named("Owns"),
-                    &Label::new("owner"),
-                    &Label::new("pet"),
-                    "owns",
-                )
-                .expect("flattens")
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &schema,
+            |b, schema| {
+                b.iter(|| {
+                    let reified = reify_arrow(
+                        schema,
+                        &Class::named("Person"),
+                        &Label::new("owns"),
+                        "Owns",
+                        "owner",
+                        "pet",
+                    )
+                    .expect("reifies");
+                    flatten_class(
+                        &reified,
+                        &Class::named("Owns"),
+                        &Label::new("owner"),
+                        &Label::new("pet"),
+                        "owns",
+                    )
+                    .expect("flattens")
+                });
+            },
+        );
     }
     group.finish();
 }

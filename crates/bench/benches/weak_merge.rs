@@ -21,9 +21,13 @@ fn bench_two_way(c: &mut Criterion) {
         let family = schema_family(&params(classes), 2);
         let arrows: usize = family.iter().map(|s| s.num_arrows()).sum();
         group.throughput(Throughput::Elements(arrows as u64));
-        group.bench_with_input(BenchmarkId::from_parameter(classes), &family, |b, family| {
-            b.iter(|| weak_join_all(family.iter()).expect("compatible"));
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(classes),
+            &family,
+            |b, family| {
+                b.iter(|| weak_join_all(family.iter()).expect("compatible"));
+            },
+        );
     }
     group.finish();
 }

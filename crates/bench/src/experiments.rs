@@ -10,8 +10,10 @@ use schema_merge_core::complete::complete_with_report;
 use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
 use schema_merge_core::{merge, weak_join_all, KeyAssignment, KeySet};
 use schema_merge_er::merge_er;
-use schema_merge_workload::{expected_pathological_implicit_classes, pathological_nfa,
-    random_er_schema, random_schema, schema_family, ErParams, SchemaParams};
+use schema_merge_workload::{
+    expected_pathological_implicit_classes, pathological_nfa, random_er_schema, random_schema,
+    schema_family, ErParams, SchemaParams,
+};
 
 /// One (x, columns…) point of a printed series.
 #[derive(Debug, Clone)]
@@ -62,7 +64,9 @@ pub fn e1_associativity(sizes: &[usize]) -> Series {
         let refs: Vec<_> = family.iter().collect();
 
         let start = Instant::now();
-        let forward = merge(refs.iter().copied()).expect("compatible family").proper;
+        let forward = merge(refs.iter().copied())
+            .expect("compatible family")
+            .proper;
         let ours_time = start.elapsed();
 
         let reversed: Vec<_> = refs.iter().rev().copied().collect();
@@ -81,7 +85,11 @@ pub fn e1_associativity(sizes: &[usize]) -> Series {
             values: vec![
                 agree.to_string(),
                 micros(ours_time),
-                format!("{} ({})", micros(naive_time), if naive_ok { "ok" } else { "failed" }),
+                format!(
+                    "{} ({})",
+                    micros(naive_time),
+                    if naive_ok { "ok" } else { "failed" }
+                ),
             ],
         });
     }
@@ -206,10 +214,8 @@ pub fn e4_keys(sizes: &[usize]) -> Series {
             })
             .collect();
         let start = Instant::now();
-        let assignment = KeyAssignment::minimal_satisfactory(
-            &schema,
-            contributions.iter().map(|(c, f)| (c, f)),
-        );
+        let assignment =
+            KeyAssignment::minimal_satisfactory(&schema, contributions.iter().map(|(c, f)| (c, f)));
         let elapsed = start.elapsed();
         let satisfactory =
             assignment.is_satisfactory(&schema, contributions.iter().map(|(c, f)| (c, f)));
@@ -273,7 +279,13 @@ pub fn e5_lower(sizes: &[usize]) -> Series {
         id: "E5",
         title: "lower merge (GLB) and completion (§6)",
         x_label: "classes per input",
-        columns: vec!["merge µs", "complete µs", "union classes", "meet fallbacks", "proper"],
+        columns: vec![
+            "merge µs",
+            "complete µs",
+            "union classes",
+            "meet fallbacks",
+            "proper",
+        ],
         points,
     }
 }

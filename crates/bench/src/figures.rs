@@ -10,10 +10,14 @@ use schema_merge_baseline::{figure_4_schemas, is_opaque, stepwise_merge};
 use schema_merge_core::complete::complete_with_report;
 use schema_merge_core::iso::alpha_isomorphic;
 use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
-use schema_merge_core::{merge, weak_join, Class, KeyAssignment, KeySet, Label, Participation,
-    SuperkeyFamily, WeakSchema};
-use schema_merge_er::{cardinality_keys, figure_1_dogs, figure_9_advisor, from_core,
-    keys_to_cardinalities, merge_er, to_core, Cardinality};
+use schema_merge_core::{
+    merge, weak_join, Class, KeyAssignment, KeySet, Label, Participation, SuperkeyFamily,
+    WeakSchema,
+};
+use schema_merge_er::{
+    cardinality_keys, figure_1_dogs, figure_9_advisor, from_core, keys_to_cardinalities, merge_er,
+    to_core, Cardinality,
+};
 
 /// Did the reproduction match the paper?
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,7 +42,12 @@ pub struct Row {
 }
 
 impl Row {
-    fn check(id: &'static str, paper: impl Into<String>, measured: impl Into<String>, ok: bool) -> Row {
+    fn check(
+        id: &'static str,
+        paper: impl Into<String>,
+        measured: impl Into<String>,
+        ok: bool,
+    ) -> Row {
         Row {
             id,
             paper: paper.into(),
@@ -236,7 +245,9 @@ pub fn figure_7() -> Row {
         "merge = G3 with ? = {C,D}; E stays a (possibly constrained) subclass; not G4",
         format!(
             "canonical a-target of F = {}; E below it = {}",
-            target.map(|t| t.to_string()).unwrap_or_else(|| "<none>".into()),
+            target
+                .map(|t| t.to_string())
+                .unwrap_or_else(|| "<none>".into()),
             proper.specializes(&c("E"), &cd)
         ),
         ok,
@@ -290,13 +301,15 @@ pub fn figure_10() -> Row {
     let rel = er
         .relationship(&schema_merge_core::Name::new("Transaction"))
         .expect("transaction");
-    let not_labelable =
-        keys_to_cardinalities(rel, &keys.family(&c("Transaction"))).is_none();
+    let not_labelable = keys_to_cardinalities(rel, &keys.family(&c("Transaction"))).is_none();
 
     Row::check(
         "F10",
         "{loc,at} and {card,at} are keys; no edge labelling expresses them",
-        format!("keys valid = {valid}; expressible as cardinalities = {}", !not_labelable),
+        format!(
+            "keys valid = {valid}; expressible as cardinalities = {}",
+            !not_labelable
+        ),
         valid && not_labelable,
     )
 }
@@ -308,12 +321,9 @@ pub fn figure_11() -> Row {
         && Zero.meet(ZeroOrOne) == ZeroOrOne
         && One.meet(One) == One
         && Zero.meet(Zero) == Zero;
-    let laws_ok = Participation::ALL.iter().all(|&a| {
-        a.meet(a) == a
-            && Participation::ALL
-                .iter()
-                .all(|&b| a.meet(b) == b.meet(a))
-    });
+    let laws_ok = Participation::ALL
+        .iter()
+        .all(|&a| a.meet(a) == a && Participation::ALL.iter().all(|&b| a.meet(b) == b.meet(a)));
 
     // §6's Dog example: name survives required, age/breed weaken to 0/1.
     let g1 = AnnotatedSchema::builder()
@@ -342,8 +352,8 @@ pub fn figure_11() -> Row {
         .expect("pets 2");
     let (_, proper, report) = lower_complete(&lower_merge([&h1, &h2])).expect("lower complete");
     let union = Class::implicit_union([c("House"), c("Kennel")]);
-    let union_ok = report.unions.len() == 1
-        && proper.canonical_target(&c("Pet"), &l("home")) == Some(&union);
+    let union_ok =
+        report.unions.len() == 1 && proper.canonical_target(&c("Pet"), &l("home")) == Some(&union);
 
     Row::check(
         "F11",
@@ -357,8 +367,14 @@ pub fn figure_11() -> Row {
 
 /// E7: user assertions as elementary schemas (§3) — order irrelevant.
 pub fn experiment_assertions() -> Row {
-    let g1 = WeakSchema::builder().arrow("A1", "a", "B1").build().expect("g1");
-    let g2 = WeakSchema::builder().arrow("A2", "a", "B2").build().expect("g2");
+    let g1 = WeakSchema::builder()
+        .arrow("A1", "a", "B1")
+        .build()
+        .expect("g1");
+    let g2 = WeakSchema::builder()
+        .arrow("A2", "a", "B2")
+        .build()
+        .expect("g2");
 
     let mut s1 = schema_merge_core::MergeSession::new();
     s1.assert_specialization("C", "A1").expect("assert");
@@ -402,7 +418,9 @@ pub fn experiment_cardinality_round_trip() -> Row {
             .build()
             .expect("binary relationship");
         let keys = cardinality_keys(&er);
-        let rel = er.relationship(&schema_merge_core::Name::new("R")).expect("R");
+        let rel = er
+            .relationship(&schema_merge_core::Name::new("R"))
+            .expect("R");
         let back = keys_to_cardinalities(rel, &keys.family(&c("R")));
         ok &= back
             .map(|m| m[&l("ra")] == cards.0 && m[&l("rb")] == cards.1)
@@ -499,9 +517,7 @@ pub fn experiment_federation() -> Row {
     let federation = Federation::new().member("a", g1, i1).member("b", g2, i2);
     let view = match federation.view() {
         Ok(view) => view,
-        Err(err) => {
-            return Row::check("E9", "§6 federation", format!("view failed: {err}"), false)
-        }
+        Err(err) => return Row::check("E9", "§6 federation", format!("view failed: {err}"), false),
     };
     let union_conforms = view.check().is_ok();
     let members_conform = federation
@@ -563,7 +579,9 @@ mod tests {
     #[test]
     fn rows_cover_all_figures() {
         let ids: Vec<&str> = all_rows().iter().map(|r| r.id).collect();
-        for wanted in ["F1", "F2", "F3", "F4", "F5", "F6/F8", "F7", "F9", "F10", "F11"] {
+        for wanted in [
+            "F1", "F2", "F3", "F4", "F5", "F6/F8", "F7", "F9", "F10", "F11",
+        ] {
             assert!(ids.contains(&wanted), "missing row {wanted}");
         }
     }

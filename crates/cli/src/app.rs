@@ -6,8 +6,9 @@ use std::io::Write;
 use schema_merge_core::complete::complete_with_report;
 use schema_merge_core::lower::{annotated_join, lower_complete, lower_merge};
 use schema_merge_core::{Class, KeyAssignment, SuperkeyFamily};
-use schema_merge_text::{parse_document, print_schema, render_ascii, to_dot, DotOptions,
-    NamedSchema};
+use schema_merge_text::{
+    parse_document, print_schema, render_ascii, to_dot, DotOptions, NamedSchema,
+};
 
 /// A CLI failure: message plus a hint at fault (usage vs data).
 #[derive(Debug)]
@@ -106,8 +107,8 @@ fn load_documents(paths: &[&String]) -> Result<Vec<NamedSchema>, CliError> {
     for path in paths {
         let source = std::fs::read_to_string(path.as_str())
             .map_err(|err| CliError::Data(format!("{path}: {err}")))?;
-        let parsed = parse_document(&source)
-            .map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+        let parsed =
+            parse_document(&source).map_err(|err| CliError::Data(format!("{path}: {err}")))?;
         docs.extend(parsed);
     }
     if docs.is_empty() {
@@ -126,7 +127,11 @@ fn combined_keys(docs: &[NamedSchema]) -> Vec<(Class, SuperkeyFamily)> {
     contributions
 }
 
-fn merge_command(paths: &[&String], out: &mut dyn Write, explain_only: bool) -> Result<(), CliError> {
+fn merge_command(
+    paths: &[&String],
+    out: &mut dyn Write,
+    explain_only: bool,
+) -> Result<(), CliError> {
     let docs = load_documents(paths)?;
     let annotated = annotated_join(docs.iter().map(|d| &d.schema))
         .map_err(|err| CliError::Data(format!("merge failed: {err}")))?;
@@ -168,7 +173,11 @@ fn diff_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> 
         )));
     }
     let d = schema_merge_core::diff(docs[0].schema.schema(), docs[1].schema.schema());
-    writeln!(out, "// - only in {}; + only in {}", docs[0].name, docs[1].name)?;
+    writeln!(
+        out,
+        "// - only in {}; + only in {}",
+        docs[0].name, docs[1].name
+    )?;
     if d.is_empty() {
         writeln!(out, "// schemas are information-equal")?;
     } else {
@@ -203,7 +212,11 @@ fn lower_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError>
         )?;
     }
     if !report.meet_classes.is_empty() {
-        writeln!(out, "// meet fallback classes: {}", report.meet_classes.len())?;
+        writeln!(
+            out,
+            "// meet fallback classes: {}",
+            report.meet_classes.len()
+        )?;
     }
     Ok(())
 }
@@ -237,7 +250,11 @@ enum Renderer {
     Ascii,
 }
 
-fn render_command(paths: &[&String], out: &mut dyn Write, renderer: Renderer) -> Result<(), CliError> {
+fn render_command(
+    paths: &[&String],
+    out: &mut dyn Write,
+    renderer: Renderer,
+) -> Result<(), CliError> {
     let (file, wanted) = match paths {
         [file] => (*file, None),
         [file, name] => (*file, Some(name.as_str())),
@@ -260,7 +277,11 @@ fn render_command(paths: &[&String], out: &mut dyn Write, renderer: Renderer) ->
 
 fn stats_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
     let docs = load_documents(paths)?;
-    writeln!(out, "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8}", "schema", "classes", "isa", "arrows", "opt", "keys")?;
+    writeln!(
+        out,
+        "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "schema", "classes", "isa", "arrows", "opt", "keys"
+    )?;
     for doc in &docs {
         let weak = doc.schema.schema();
         writeln!(
@@ -308,7 +329,11 @@ fn suggest_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliErro
                 .collect::<Vec<_>>()
                 .join(", "),
         )?;
-        writeln!(out, "  fix: smerge rename {}={} -- <right-file>", s.right, s.left)?;
+        writeln!(
+            out,
+            "  fix: smerge rename {}={} -- <right-file>",
+            s.right, s.left
+        )?;
     }
     for h in &homonyms {
         writeln!(
@@ -316,10 +341,22 @@ fn suggest_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliErro
             "homonym? {} (similarity {:.2}; left-only: {}; right-only: {})",
             h.name,
             h.similarity,
-            h.left_only.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(", "),
-            h.right_only.iter().map(|l| l.to_string()).collect::<Vec<_>>().join(", "),
+            h.left_only
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            h.right_only
+                .iter()
+                .map(|l| l.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
         )?;
-        writeln!(out, "  fix: smerge rename {}={}-2 -- <right-file>", h.name, h.name)?;
+        writeln!(
+            out,
+            "  fix: smerge rename {}={}-2 -- <right-file>",
+            h.name, h.name
+        )?;
     }
     Ok(())
 }
@@ -332,7 +369,9 @@ fn rename_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError>
     let (maps, files) = args.split_at(split);
     let files = &files[1..];
     if maps.is_empty() {
-        return Err(CliError::Usage("expected at least one Old=New mapping".into()));
+        return Err(CliError::Usage(
+            "expected at least one Old=New mapping".into(),
+        ));
     }
     let mut renaming = schema_merge_core::Renaming::new();
     for map in maps {
@@ -450,7 +489,9 @@ fn load_instances(path: &String) -> Result<Vec<schema_merge_text::NamedInstance>
 
 fn conform_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
     let [schema_file, instance_file] = paths else {
-        return Err(CliError::Usage("expected <schema-file> <instance-file>".into()));
+        return Err(CliError::Usage(
+            "expected <schema-file> <instance-file>".into(),
+        ));
     };
     let docs = load_documents(&[schema_file])?;
     let annotated = annotated_join(docs.iter().map(|d| &d.schema))
@@ -541,7 +582,13 @@ fn query_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError>
         let filled = named.instance.populate_implicit_extents(proper.as_weak());
         let result = query.eval(&filled);
         let rendered = named.render_objects(result.iter());
-        writeln!(out, "{} ({} result(s)): {}", named.name, rendered.len(), rendered.join(", "))?;
+        writeln!(
+            out,
+            "{} ({} result(s)): {}",
+            named.name,
+            rendered.len(),
+            rendered.join(", ")
+        )?;
     }
     Ok(())
 }
@@ -764,7 +811,10 @@ mod tests {
     #[test]
     fn ddl_rejects_non_1nf_schemas() {
         // A relation-to-relation arrow is not first normal form.
-        let f = write_temp("ddl2.sm", "schema A { Dog --owner--> Person; Person --name--> s; }");
+        let f = write_temp(
+            "ddl2.sm",
+            "schema A { Dog --owner--> Person; Person --name--> s; }",
+        );
         let mut out = Vec::new();
         let err = run(&args(&["ddl", &f]), &mut out).unwrap_err();
         assert!(err.to_string().contains("not 1NF-stratifiable"), "{err}");
@@ -784,10 +834,7 @@ mod tests {
         assert!(text.contains("ok: conforms"), "{text}");
 
         // A guide dog missing the required name fails.
-        let bad = write_temp(
-            "cf2.smi",
-            "instance bad { rex => Guide-dog; rex => Dog; }",
-        );
+        let bad = write_temp("cf2.smi", "instance bad { rex => Guide-dog; rex => Dog; }");
         let mut out = Vec::new();
         let err = run(&args(&["conform", &schema, &bad]), &mut out).unwrap_err();
         let printed = String::from_utf8(out).unwrap();
@@ -797,7 +844,10 @@ mod tests {
 
     #[test]
     fn query_evaluates_paths_and_prints_names() {
-        let schema = write_temp("q1.sm", "schema S { Dog --owner--> Person; Guide-dog => Dog; }");
+        let schema = write_temp(
+            "q1.sm",
+            "schema S { Dog --owner--> Person; Guide-dog => Dog; }",
+        );
         let inst = write_temp(
             "q1.smi",
             "instance shelter { ann => Person; rex => Dog; rex => Guide-dog; \
@@ -839,11 +889,11 @@ mod tests {
     fn rename_usage_errors() {
         let f = write_temp("rn3.sm", "schema A { class X; }");
         for bad in [
-            args(&["rename", "A=B", &f]),            // missing --
-            args(&["rename", "--", &f]),             // no mappings
-            args(&["rename", "A-B", "--", &f]),      // malformed
-            args(&["rename", ".a=B", "--", &f]),     // mixed
-            args(&["rename", "=B", "--", &f]),       // empty side
+            args(&["rename", "A=B", &f]),        // missing --
+            args(&["rename", "--", &f]),         // no mappings
+            args(&["rename", "A-B", "--", &f]),  // malformed
+            args(&["rename", ".a=B", "--", &f]), // mixed
+            args(&["rename", "=B", "--", &f]),   // empty side
         ] {
             let mut out = Vec::new();
             let err = run(&bad, &mut out).unwrap_err();

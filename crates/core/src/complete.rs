@@ -99,6 +99,16 @@ pub fn complete(weak: &WeakSchema) -> Result<ProperSchema, SchemaError> {
 pub fn complete_with_report(
     weak: &WeakSchema,
 ) -> Result<(ProperSchema, CompletionReport), SchemaError> {
+    // Pre-existing implicit classes (earlier merge results fed back in)
+    // may carry origin sets that later-arriving specializations have made
+    // non-canonical: with E01 ⇒ E04 and E01 ⇒ E07 in scope, {E00,E01,E04}
+    // and {E00,E01,E07} both denote meet{E00,E01}. Left as distinct
+    // classes, the S̄ rules below would order them mutually and reject the
+    // merge as cyclic; canonicalizing origin sets by MinS/MaxS first
+    // identifies them instead (the paper's "up to the naming of implicit
+    // classes").
+    let canonical = canonicalize_implicit(weak)?;
+    let weak = canonical.as_ref().unwrap_or(weak);
     let states = discover_states(weak);
 
     // `Imp`: the states of cardinality > 1, each becoming an implicit
@@ -110,7 +120,7 @@ pub fn complete_with_report(
         if state.len() < 2 {
             continue;
         }
-        let class = Class::implicit(state.iter().cloned());
+        let class = canonical_meet_class(weak, state);
         if weak.contains_class(&class) {
             // Already present from an earlier merge: rediscovered, not new.
             class_of_state.insert(state.clone(), class);
@@ -157,6 +167,73 @@ pub fn complete_checked(
     Ok((proper, report))
 }
 
+/// The class standing for the meet of `state`, named canonically: the
+/// flattened origin names are reduced to their MinS antichain, so the
+/// identity never mentions an origin already implied by another.
+fn canonical_meet_class(weak: &WeakSchema, state: &BTreeSet<Class>) -> Class {
+    let flat: BTreeSet<Class> = state
+        .iter()
+        .flat_map(Class::flattened_names)
+        .map(Class::Named)
+        .collect();
+    let mut canonical = weak.min_s(&flat);
+    if canonical.len() == 1 {
+        canonical.pop_first().expect("non-empty")
+    } else {
+        Class::implicit(canonical)
+    }
+}
+
+/// Renames every pre-existing implicit class whose origin set is not
+/// canonical under this schema's specialization order (MinS for meets,
+/// MaxS for unions), merging classes that canonicalize to the same name.
+/// Returns `None` when nothing needed renaming.
+fn canonicalize_implicit(weak: &WeakSchema) -> Result<Option<WeakSchema>, SchemaError> {
+    let mut rename: BTreeMap<Class, Class> = BTreeMap::new();
+    for class in weak.classes() {
+        let Some(origin) = class.origin() else {
+            continue;
+        };
+        let members: BTreeSet<Class> = origin.iter().map(Class::from).collect();
+        let mut canonical = match class {
+            Class::Implicit(_) => weak.min_s(&members),
+            _ => weak.max_s(&members),
+        };
+        if canonical.len() == members.len() {
+            continue; // already an antichain: canonical as-is
+        }
+        let target = if canonical.len() == 1 {
+            canonical.pop_first().expect("non-empty")
+        } else if class.is_implicit_meet() {
+            Class::implicit(canonical)
+        } else {
+            Class::implicit_union(canonical)
+        };
+        rename.insert(class.clone(), target);
+    }
+    if rename.is_empty() {
+        return Ok(None);
+    }
+    let map = |class: &Class| rename.get(class).cloned().unwrap_or_else(|| class.clone());
+    let (classes, spec, arrows) = weak.to_raw_parts();
+    let classes = classes.iter().map(map).collect();
+    let mut spec_edges: BTreeMap<Class, BTreeSet<Class>> = BTreeMap::new();
+    for (sub, sups) in &spec {
+        let sub = map(sub);
+        for sup in sups {
+            let sup = map(sup);
+            if sub != sup {
+                spec_edges.entry(sub.clone()).or_default().insert(sup);
+            }
+        }
+    }
+    let arrows = arrows
+        .into_iter()
+        .map(|(p, a, q)| (map(&p), a, map(&q)))
+        .collect();
+    WeakSchema::close(classes, spec_edges, arrows).map(Some)
+}
+
 /// Runs the `I∞` fixpoint, returning every reachable MinS-canonical state
 /// with a discovery witness. States of cardinality 1 are tracked (they seed
 /// longer derivations) but produce no implicit class.
@@ -186,7 +263,10 @@ fn discover_states(weak: &WeakSchema) -> BTreeMap<BTreeSet<Class>, ImplicitWitne
     // carries. R(X, a) = R(MinS(X), a) by W1, so stepping from the
     // canonical state is exact.
     while let Some(state) = queue.pop_front() {
-        let witness = states.get(&state).expect("queued states are recorded").clone();
+        let witness = states
+            .get(&state)
+            .expect("queued states are recorded")
+            .clone();
         let mut labels: BTreeSet<Label> = BTreeSet::new();
         for member in &state {
             labels.extend(weak.labels_of(member));
@@ -260,7 +340,9 @@ fn assemble(
                 .iter()
                 .all(|p| x_state.iter().any(|q| le(q, p)))
             {
-                spec.entry(x_class.clone()).or_default().insert(y_class.clone());
+                spec.entry(x_class.clone())
+                    .or_default()
+                    .insert(y_class.clone());
             }
         }
     }

@@ -159,7 +159,10 @@ mod tests {
             .build()
             .unwrap();
         let d = diff(&g1, &g2);
-        assert_eq!(d.left_only.classes, [c("Spare"), c("int")].into_iter().collect());
+        assert_eq!(
+            d.left_only.classes,
+            [c("Spare"), c("int")].into_iter().collect()
+        );
         assert!(d.left_only.arrows.contains(&(c("Dog"), l("age"), c("int"))));
         assert!(d.right_only.classes.contains(&c("Puppy")));
         assert!(d
@@ -188,13 +191,23 @@ mod tests {
 
     #[test]
     fn merge_contribution_is_the_other_inputs_information() {
-        let g1 = WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap();
-        let g2 = WeakSchema::builder().arrow("Dog", "name", "text").build().unwrap();
+        let g1 = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("Dog", "name", "text")
+            .build()
+            .unwrap();
         let joined = weak_join(&g1, &g2).unwrap();
         let contribution = merge_contribution(&g1, &joined);
-        assert!(contribution.arrows.contains(&(c("Dog"), l("name"), c("text"))));
+        assert!(contribution
+            .arrows
+            .contains(&(c("Dog"), l("name"), c("text"))));
         assert!(contribution.classes.contains(&c("text")));
-        assert!(!contribution.arrows.contains(&(c("Dog"), l("age"), c("int"))));
+        assert!(!contribution
+            .arrows
+            .contains(&(c("Dog"), l("age"), c("int"))));
         // The left side is empty: g1 ⊑ join.
         assert!(diff(&g1, &joined).left_is_subschema());
     }
@@ -203,14 +216,21 @@ mod tests {
     fn diff_sees_closure_differences() {
         // Same declarations, but one schema adds an isa that induces
         // inherited arrows; the diff reports the induced arrows too.
-        let flat = WeakSchema::builder().arrow("Dog", "age", "int").class("Puppy").build().unwrap();
+        let flat = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .class("Puppy")
+            .build()
+            .unwrap();
         let inherited = WeakSchema::builder()
             .arrow("Dog", "age", "int")
             .specialize("Puppy", "Dog")
             .build()
             .unwrap();
         let d = diff(&flat, &inherited);
-        assert!(d.right_only.arrows.contains(&(c("Puppy"), l("age"), c("int"))));
+        assert!(d
+            .right_only
+            .arrows
+            .contains(&(c("Puppy"), l("age"), c("int"))));
     }
 
     #[test]

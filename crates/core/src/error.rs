@@ -104,7 +104,10 @@ impl fmt::Display for SchemaError {
             }
             SchemaError::UnknownClass(class) => write!(f, "unknown class {class}"),
             SchemaError::KeyLabelNotAnArrow { class, label } => {
-                write!(f, "key on {class} uses {label}, which is not an arrow out of {class}")
+                write!(
+                    f,
+                    "key on {class} uses {label}, which is not an arrow out of {class}"
+                )
             }
             SchemaError::KeyNotInherited { sub, sup } => write!(
                 f,
@@ -160,7 +163,10 @@ impl fmt::Display for MergeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             MergeError::Incompatible(witness) => {
-                write!(f, "schemas are incompatible (specialization cycle): {witness}")
+                write!(
+                    f,
+                    "schemas are incompatible (specialization cycle): {witness}"
+                )
             }
             MergeError::Inconsistent { left, right } => write!(
                 f,

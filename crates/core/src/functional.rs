@@ -95,7 +95,8 @@ impl FunctionalSchema {
     /// All declared functions.
     pub fn functions(&self) -> impl Iterator<Item = (&Class, &Label, &Function)> {
         self.functions.iter().flat_map(|(class, fns)| {
-            fns.iter().map(move |(label, function)| (class, label, function))
+            fns.iter()
+                .map(move |(label, function)| (class, label, function))
         })
     }
 
@@ -138,9 +139,7 @@ impl FunctionalSchema {
     /// graph-model operations.
     pub fn valences(&self) -> BTreeMap<(Class, Label), Valence> {
         self.functions()
-            .map(|(class, label, function)| {
-                ((class.clone(), label.clone()), function.valence)
-            })
+            .map(|(class, label, function)| ((class.clone(), label.clone()), function.valence))
             .collect()
     }
 
@@ -174,9 +173,10 @@ impl FunctionalSchema {
         }
         for (class, label, target) in proper.canonical_arrows() {
             // Keep the function only where it is not exactly inherited.
-            let inherited = proper.strict_supers(class).iter().any(|sup| {
-                proper.canonical_target(sup, label) == Some(target)
-            });
+            let inherited = proper
+                .strict_supers(class)
+                .iter()
+                .any(|sup| proper.canonical_target(sup, label) == Some(target));
             if inherited {
                 continue;
             }
@@ -225,9 +225,7 @@ impl FunctionalSchemaBuilder {
 
     /// Declares `sub ⇒ sup`.
     pub fn specialize(mut self, sub: impl Into<Class>, sup: impl Into<Class>) -> Self {
-        self.schema
-            .specializations
-            .push((sub.into(), sup.into()));
+        self.schema.specializations.push((sub.into(), sup.into()));
         self
     }
 
@@ -260,13 +258,17 @@ impl FunctionalSchemaBuilder {
         target: impl Into<Class>,
         valence: Valence,
     ) -> Self {
-        self.schema.functions.entry(class.into()).or_default().insert(
-            label.into(),
-            Function {
-                target: target.into(),
-                valence,
-            },
-        );
+        self.schema
+            .functions
+            .entry(class.into())
+            .or_default()
+            .insert(
+                label.into(),
+                Function {
+                    target: target.into(),
+                    valence,
+                },
+            );
         self
     }
 
@@ -315,7 +317,10 @@ pub fn merge_functional<'a>(
         }
         propagated.insert((class.clone(), label.clone()), valence);
     }
-    Ok(FunctionalSchema::from_proper_with_valences(proper, &propagated))
+    Ok(FunctionalSchema::from_proper_with_valences(
+        proper,
+        &propagated,
+    ))
 }
 
 #[cfg(test)]
@@ -349,9 +354,15 @@ mod tests {
             .unwrap();
         assert_eq!(f.num_functions(), 2);
         let proper = f.to_proper().unwrap();
-        assert_eq!(proper.canonical_target(&c("Dog"), &l("age")), Some(&c("int")));
+        assert_eq!(
+            proper.canonical_target(&c("Dog"), &l("age")),
+            Some(&c("int"))
+        );
         // Multivalued functions are still arrows in the graph model.
-        assert_eq!(proper.canonical_target(&c("Dog"), &l("toys")), Some(&c("Toy")));
+        assert_eq!(
+            proper.canonical_target(&c("Dog"), &l("toys")),
+            Some(&c("Toy"))
+        );
     }
 
     #[test]
@@ -479,7 +490,10 @@ mod tests {
         let f1 = f1.unwrap();
         let merged = merge_functional([&f1]).unwrap();
         assert_eq!(
-            merged.function(&c("Guide-dog"), &l("owner")).unwrap().valence,
+            merged
+                .function(&c("Guide-dog"), &l("owner"))
+                .unwrap()
+                .valence,
             Valence::Multi,
             "a subclass cannot silently make an inherited function single-valued"
         );

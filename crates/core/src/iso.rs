@@ -239,7 +239,10 @@ mod tests {
 
     #[test]
     fn mismatched_counts_fail_fast() {
-        let g1 = WeakSchema::builder().specialize("?a", "Top").build().unwrap();
+        let g1 = WeakSchema::builder()
+            .specialize("?a", "Top")
+            .build()
+            .unwrap();
         let g2 = WeakSchema::builder()
             .specialize("?a", "Top")
             .specialize("?b", "Top")
@@ -257,10 +260,19 @@ mod tests {
 
     #[test]
     fn arrows_between_renameables() {
-        let g1 = WeakSchema::builder().arrow("?a", "f", "?b").build().unwrap();
-        let g2 = WeakSchema::builder().arrow("?x", "f", "?y").build().unwrap();
+        let g1 = WeakSchema::builder()
+            .arrow("?a", "f", "?b")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("?x", "f", "?y")
+            .build()
+            .unwrap();
         assert!(alpha_isomorphic(&g1, &g2, opaque));
-        let g3 = WeakSchema::builder().arrow("?y", "f", "?x").build().unwrap();
+        let g3 = WeakSchema::builder()
+            .arrow("?y", "f", "?x")
+            .build()
+            .unwrap();
         assert!(alpha_isomorphic(&g1, &g3, opaque), "direction renamed away");
         let g4 = WeakSchema::builder()
             .arrow("?x", "g", "?y")

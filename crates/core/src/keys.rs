@@ -416,7 +416,9 @@ mod tests {
         family.insert_key(ks(&["Name"]));
         assert_eq!(family.num_keys(), 2);
         assert!(family.minimal_keys().any(|k| k == &ks(&["Name"])));
-        assert!(!family.minimal_keys().any(|k| k == &ks(&["Name", "Address"])));
+        assert!(!family
+            .minimal_keys()
+            .any(|k| k == &ks(&["Name", "Address"])));
     }
 
     #[test]

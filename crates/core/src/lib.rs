@@ -73,16 +73,22 @@ pub use diff::{diff, merge_contribution, SchemaDiff};
 pub use error::{CycleWitness, MergeError, SchemaError};
 pub use functional::{merge_functional, FunctionalSchema, Valence};
 pub use keys::{KeyAssignment, KeySet, SuperkeyFamily};
-pub use lower::{annotated_join, lower_complete, lower_merge, AnnotatedSchema, LowerCompletionReport};
-pub use merge::{are_compatible, merge, merge_consistent, weak_join, weak_join_all, MergeOutcome,
-    MergeSession};
+pub use lower::{
+    annotated_join, lower_complete, lower_merge, AnnotatedSchema, LowerCompletionReport,
+};
+pub use merge::{
+    are_compatible, merge, merge_consistent, weak_join, weak_join_all, MergeOutcome, MergeSession,
+};
 pub use name::{Label, Name};
 pub use participation::Participation;
 pub use proper::ProperSchema;
-pub use rename::{homonym_candidates, synonym_candidates, HomonymCandidate, RenameReport,
-    Renaming, SynonymCandidate};
-pub use restructure::{flatten_class, is_flattenable, reify_arrow, RestructureError,
-    RestructureOp, Restructuring};
+pub use rename::{
+    homonym_candidates, synonym_candidates, HomonymCandidate, RenameReport, Renaming,
+    SynonymCandidate,
+};
+pub use restructure::{
+    flatten_class, is_flattenable, reify_arrow, RestructureError, RestructureOp, Restructuring,
+};
 pub use weak::{SchemaBuilder, WeakSchema};
 
 /// The most commonly used items, for glob import.

@@ -160,9 +160,9 @@ impl AnnotatedSchema {
                 .arrow_triples()
                 .map(|(p, a, q)| (p.clone(), a.clone(), q.clone())),
         );
-        edges.iter().all(|(p, a, q)| {
-            self.participation(p, a, q).le(other.participation(p, a, q))
-        })
+        edges
+            .iter()
+            .all(|(p, a, q)| self.participation(p, a, q).le(other.participation(p, a, q)))
     }
 
     /// Validates the annotation:
@@ -395,9 +395,7 @@ pub fn annotated_join<'a>(
 ///
 /// Cannot fail: there is always a common weakening. The GLB of an empty
 /// collection is the empty schema.
-pub fn lower_merge<'a>(
-    schemas: impl IntoIterator<Item = &'a AnnotatedSchema>,
-) -> AnnotatedSchema {
+pub fn lower_merge<'a>(schemas: impl IntoIterator<Item = &'a AnnotatedSchema>) -> AnnotatedSchema {
     let inputs: Vec<&AnnotatedSchema> = schemas.into_iter().collect();
     if inputs.is_empty() {
         return AnnotatedSchema::default();
@@ -526,7 +524,9 @@ pub fn lower_complete(
         let arrows: Vec<Edge> = raw
             .iter()
             .flat_map(|((p, a), targets)| {
-                targets.keys().map(move |q| (p.clone(), a.clone(), q.clone()))
+                targets
+                    .keys()
+                    .map(move |q| (p.clone(), a.clone(), q.clone()))
             })
             .collect();
         let schema = WeakSchema::close(classes.clone(), spec.clone(), arrows)?;
@@ -596,12 +596,9 @@ pub fn lower_complete(
             let mut replacement = BTreeMap::new();
             let mut union_participation = Participation::ZeroOrOne;
             for (q, k) in former.iter() {
-                let covered = minimal
-                    .iter()
-                    .any(|member| schema.specializes(q, member));
+                let covered = minimal.iter().any(|member| schema.specializes(q, member));
                 if covered {
-                    union_participation =
-                        union_participation.join(*k).expect("1 and 0/1 join");
+                    union_participation = union_participation.join(*k).expect("1 and 0/1 join");
                 } else {
                     replacement.insert(q.clone(), *k);
                 }
@@ -648,7 +645,9 @@ pub fn lower_complete(
             let arrows: Vec<Edge> = raw
                 .iter()
                 .flat_map(|((p, a), targets)| {
-                    targets.keys().map(move |q| (p.clone(), a.clone(), q.clone()))
+                    targets
+                        .keys()
+                        .map(move |q| (p.clone(), a.clone(), q.clone()))
                 })
                 .collect();
             let schema = WeakSchema::close(classes.clone(), spec.clone(), arrows)?;
@@ -676,7 +675,9 @@ pub fn lower_complete(
                     });
                 }
                 for member in &minimal {
-                    spec.entry(member.clone()).or_default().insert(union.clone());
+                    spec.entry(member.clone())
+                        .or_default()
+                        .insert(union.clone());
                 }
                 // Every raw arrow the offender inherits under this label
                 // is weakened to the covering union.
@@ -709,7 +710,11 @@ pub fn lower_complete(
             // the §4.2 meet completion (whose flat meets of names are
             // exactly intersections) is total, proper and sound.
             let (proper, meet_report) = crate::complete::complete_with_report(&schema)?;
-            report.meet_classes = meet_report.implicit.iter().map(|i| i.class.clone()).collect();
+            report.meet_classes = meet_report
+                .implicit
+                .iter()
+                .map(|i| i.class.clone())
+                .collect();
             return finish(proper.into_weak(), &raw, report);
         }
     }
@@ -835,7 +840,10 @@ mod tests {
             .arrow("A", "f", "B")
             .build()
             .unwrap();
-        assert_eq!(g.participation(&c("A"), &l("f"), &c("B")), Participation::One);
+        assert_eq!(
+            g.participation(&c("A"), &l("f"), &c("B")),
+            Participation::One
+        );
     }
 
     #[test]
@@ -1112,10 +1120,7 @@ mod tests {
         let schema = WeakSchema::builder().arrow("A", "f", "B").build().unwrap();
         let mut optional = BTreeSet::new();
         optional.insert((c("A"), l("nope"), c("B")));
-        let bogus = AnnotatedSchema {
-            schema,
-            optional,
-        };
+        let bogus = AnnotatedSchema { schema, optional };
         assert!(matches!(
             bogus.validate(),
             Err(SchemaError::AnnotationOnMissingArrow { .. })
@@ -1158,12 +1163,17 @@ mod tests {
 
     #[test]
     fn annotated_join_detects_cycles() {
-        let g1 = AnnotatedSchema::builder().specialize("A", "B").build().unwrap();
-        let g2 = AnnotatedSchema::builder().specialize("B", "A").build().unwrap();
+        let g1 = AnnotatedSchema::builder()
+            .specialize("A", "B")
+            .build()
+            .unwrap();
+        let g2 = AnnotatedSchema::builder()
+            .specialize("B", "A")
+            .build()
+            .unwrap();
         assert!(matches!(
             annotated_join([&g1, &g2]),
             Err(crate::error::MergeError::Incompatible(_))
         ));
     }
 }
-

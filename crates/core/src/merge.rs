@@ -398,8 +398,14 @@ mod tests {
 
     #[test]
     fn session_assertion_order_is_irrelevant() {
-        let g1 = WeakSchema::builder().arrow("A1", "a", "B1").build().unwrap();
-        let g2 = WeakSchema::builder().arrow("A2", "a", "B2").build().unwrap();
+        let g1 = WeakSchema::builder()
+            .arrow("A1", "a", "B1")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("A2", "a", "B2")
+            .build()
+            .unwrap();
 
         let mut s1 = MergeSession::new();
         s1.assert_specialization("C", "A1").unwrap();

@@ -233,8 +233,8 @@ mod tests {
 
     #[test]
     fn closure_of_diamond() {
-        let up = transitive_closure(&edges(&[("d", "b"), ("d", "c"), ("b", "a"), ("c", "a")]))
-            .unwrap();
+        let up =
+            transitive_closure(&edges(&[("d", "b"), ("d", "c"), ("b", "a"), ("c", "a")])).unwrap();
         assert_eq!(up["d"], set(&["a", "b", "c"]));
         assert_eq!(up["b"], set(&["a"]));
         assert!(is_strictly_closed(&up));
@@ -255,20 +255,24 @@ mod tests {
 
     #[test]
     fn closure_detects_long_cycle() {
-        let err =
-            transitive_closure(&edges(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]))
-                .unwrap_err();
+        let err = transitive_closure(&edges(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]))
+            .unwrap_err();
         assert_eq!(err.first(), err.last());
         // The witness must actually follow edges.
         let e = edges(&[("a", "b"), ("b", "c"), ("c", "d"), ("d", "b")]);
         for pair in err.windows(2) {
-            assert!(e[&pair[0]].contains(&pair[1]), "non-edge in witness: {pair:?}");
+            assert!(
+                e[&pair[0]].contains(&pair[1]),
+                "non-edge in witness: {pair:?}"
+            );
         }
     }
 
     #[test]
     fn closure_of_empty_and_disconnected() {
-        assert!(transitive_closure::<String>(&BTreeMap::new()).unwrap().is_empty());
+        assert!(transitive_closure::<String>(&BTreeMap::new())
+            .unwrap()
+            .is_empty());
         let up = transitive_closure(&edges(&[("a", "b"), ("x", "y")])).unwrap();
         assert_eq!(up["a"], set(&["b"]));
         assert_eq!(up["x"], set(&["y"]));
@@ -297,7 +301,10 @@ mod tests {
         let up = transitive_closure(&edges(&[("c", "a"), ("c", "b")])).unwrap();
         let s = set(&["a", "b", "c"]);
         let min = minimal_elements(&up, &s);
-        assert_eq!(min.into_iter().cloned().collect::<BTreeSet<_>>(), set(&["c"]));
+        assert_eq!(
+            min.into_iter().cloned().collect::<BTreeSet<_>>(),
+            set(&["c"])
+        );
     }
 
     #[test]

@@ -35,8 +35,11 @@ pub enum Participation {
 
 impl Participation {
     /// All three constraints, for exhaustive tests.
-    pub const ALL: [Participation; 3] =
-        [Participation::Zero, Participation::ZeroOrOne, Participation::One];
+    pub const ALL: [Participation; 3] = [
+        Participation::Zero,
+        Participation::ZeroOrOne,
+        Participation::One,
+    ];
 
     /// The information order: `0/1 ≤ 0`, `0/1 ≤ 1`, reflexivity.
     pub fn le(self, other: Participation) -> bool {

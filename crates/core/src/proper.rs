@@ -80,7 +80,9 @@ impl ProperSchema {
     /// All canonical arrows `(p, a, q)` with `p ·a⇀ q`.
     pub fn canonical_arrows(&self) -> impl Iterator<Item = (&Class, &Label, &Class)> {
         self.canonical.iter().flat_map(|(src, by_label)| {
-            by_label.iter().map(move |(label, target)| (src, label, target))
+            by_label
+                .iter()
+                .map(move |(label, target)| (src, label, target))
         })
     }
 
@@ -185,7 +187,10 @@ mod tests {
     #[test]
     fn single_target_is_canonical() {
         let p = ProperSchema::try_new(
-            WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap(),
+            WeakSchema::builder()
+                .arrow("Dog", "age", "int")
+                .build()
+                .unwrap(),
         )
         .unwrap();
         assert_eq!(p.canonical_target(&c("Dog"), &l("age")), Some(&c("int")));
@@ -259,8 +264,14 @@ mod tests {
                 .unwrap(),
         )
         .unwrap();
-        assert_eq!(p.canonical_target(&c("Dog"), &l("home")), Some(&c("Kennel")));
-        assert_eq!(p.canonical_target(&c("Guide-dog"), &l("home")), Some(&c("K2")));
+        assert_eq!(
+            p.canonical_target(&c("Dog"), &l("home")),
+            Some(&c("Kennel"))
+        );
+        assert_eq!(
+            p.canonical_target(&c("Guide-dog"), &l("home")),
+            Some(&c("K2"))
+        );
         assert!(p.check_d2());
     }
 
@@ -283,10 +294,8 @@ mod tests {
 
     #[test]
     fn deref_exposes_weak_queries() {
-        let p = ProperSchema::try_new(
-            WeakSchema::builder().arrow("A", "a", "B").build().unwrap(),
-        )
-        .unwrap();
+        let p = ProperSchema::try_new(WeakSchema::builder().arrow("A", "a", "B").build().unwrap())
+            .unwrap();
         assert!(p.contains_class(&c("A")));
         assert_eq!(p.num_arrows(), 1);
     }

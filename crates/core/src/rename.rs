@@ -86,12 +86,18 @@ impl Renaming {
 
     /// The image of a class name.
     pub fn map_name(&self, name: &Name) -> Name {
-        self.classes.get(name).cloned().unwrap_or_else(|| name.clone())
+        self.classes
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| name.clone())
     }
 
     /// The image of an arrow label.
     pub fn map_label(&self, label: &Label) -> Label {
-        self.labels.get(label).cloned().unwrap_or_else(|| label.clone())
+        self.labels
+            .get(label)
+            .cloned()
+            .unwrap_or_else(|| label.clone())
     }
 
     /// The image of a class: named classes via the name map, implicit
@@ -102,14 +108,18 @@ impl Renaming {
         match class {
             Class::Named(name) => Class::Named(self.map_name(name)),
             Class::Implicit(origin) => {
-                let members: Vec<Class> =
-                    origin.iter().map(|n| Class::Named(self.map_name(n))).collect();
+                let members: Vec<Class> = origin
+                    .iter()
+                    .map(|n| Class::Named(self.map_name(n)))
+                    .collect();
                 Class::try_implicit(members.clone())
                     .unwrap_or_else(|| members.into_iter().next().expect("origin is non-empty"))
             }
             Class::ImplicitUnion(origin) => {
-                let members: Vec<Class> =
-                    origin.iter().map(|n| Class::Named(self.map_name(n))).collect();
+                let members: Vec<Class> = origin
+                    .iter()
+                    .map(|n| Class::Named(self.map_name(n)))
+                    .collect();
                 Class::try_implicit_union(members.clone())
                     .unwrap_or_else(|| members.into_iter().next().expect("origin is non-empty"))
             }
@@ -141,7 +151,9 @@ impl Renaming {
     /// requires injectivity; synonym unification deliberately breaks it.
     pub fn is_injective_on(&self, schema: &WeakSchema) -> bool {
         let mut seen = BTreeSet::new();
-        schema.classes().all(|class| seen.insert(self.map_class(class)))
+        schema
+            .classes()
+            .all(|class| seen.insert(self.map_class(class)))
     }
 
     /// Applies the renaming to a schema, re-closing the result.
@@ -185,18 +197,28 @@ impl Renaming {
                 classes_renamed += 1;
             }
             if let (Class::Named(name), Class::Named(_)) = (class, image) {
-                by_image.entry(image.clone()).or_default().insert(name.clone());
+                by_image
+                    .entry(image.clone())
+                    .or_default()
+                    .insert(name.clone());
             }
         }
-        let unified_classes: Vec<BTreeSet<Name>> =
-            by_image.into_values().filter(|group| group.len() > 1).collect();
+        let unified_classes: Vec<BTreeSet<Name>> = by_image
+            .into_values()
+            .filter(|group| group.len() > 1)
+            .collect();
 
         let mut label_groups: BTreeMap<Label, BTreeSet<Label>> = BTreeMap::new();
         for label in schema.all_labels() {
-            label_groups.entry(self.map_label(&label)).or_default().insert(label);
+            label_groups
+                .entry(self.map_label(&label))
+                .or_default()
+                .insert(label);
         }
-        let unified_labels: Vec<BTreeSet<Label>> =
-            label_groups.into_values().filter(|group| group.len() > 1).collect();
+        let unified_labels: Vec<BTreeSet<Label>> = label_groups
+            .into_values()
+            .filter(|group| group.len() > 1)
+            .collect();
 
         Ok((
             renamed,
@@ -417,7 +439,9 @@ mod tests {
     #[test]
     fn renames_classes_and_labels() {
         let g = hounds_by_name();
-        let renaming = Renaming::new().class("Hound", "Dog").label("name", "called");
+        let renaming = Renaming::new()
+            .class("Hound", "Dog")
+            .label("name", "called");
         let (renamed, report) = renaming.apply(&g).expect("applies");
         let dog = c("Dog");
         assert!(renamed.contains_class(&dog));
@@ -457,7 +481,10 @@ mod tests {
             .build()
             .expect("valid schema");
         let renaming = Renaming::new().class("C", "A");
-        assert!(renaming.apply(&g).is_err(), "A ⇒ B ⇒ A is not a partial order");
+        assert!(
+            renaming.apply(&g).is_err(),
+            "A ⇒ B ⇒ A is not a partial order"
+        );
     }
 
     #[test]
@@ -494,7 +521,9 @@ mod tests {
     fn composition_agrees_with_sequential_application() {
         let g = hounds_by_name();
         let first = Renaming::new().class("Hound", "Dog");
-        let second = Renaming::new().class("Dog", "Canine").label("owner", "keeper");
+        let second = Renaming::new()
+            .class("Dog", "Canine")
+            .label("owner", "keeper");
         let composed = first.then(&second);
 
         let (step1, _) = first.apply(&g).expect("first applies");
@@ -514,7 +543,9 @@ mod tests {
             .specialize("Guide-dog", "Dog")
             .build()
             .expect("valid");
-        let renaming = Renaming::new().class("Dog", "Canine").label("kind", "breed-of");
+        let renaming = Renaming::new()
+            .class("Dog", "Canine")
+            .label("kind", "breed-of");
 
         let joined = weak_join(&g1, &g2).expect("compatible");
         let (renamed_join, _) = renaming.apply(&joined).expect("applies");
@@ -527,7 +558,11 @@ mod tests {
 
     #[test]
     fn injectivity_check() {
-        let g = WeakSchema::builder().class("A").class("B").build().expect("valid");
+        let g = WeakSchema::builder()
+            .class("A")
+            .class("B")
+            .build()
+            .expect("valid");
         assert!(Renaming::new().class("A", "X").is_injective_on(&g));
         assert!(!Renaming::new().class("A", "B").is_injective_on(&g));
     }
@@ -553,17 +588,20 @@ mod tests {
         assert_eq!(top.right, Name::new("Hound"));
         assert!(top.shared_labels.contains(&Label::new("owner")));
         // Unifying renaming points right → left.
-        let (unified, _) = top
-            .unifying_renaming()
-            .apply(&right)
-            .expect("applies");
+        let (unified, _) = top.unifying_renaming().apply(&right).expect("applies");
         assert!(unified.contains_class(&c("Dog")));
     }
 
     #[test]
     fn shared_names_are_not_synonym_candidates() {
-        let left = WeakSchema::builder().arrow("Dog", "owner", "Person").build().expect("ok");
-        let right = WeakSchema::builder().arrow("Dog", "owner", "Person").build().expect("ok");
+        let left = WeakSchema::builder()
+            .arrow("Dog", "owner", "Person")
+            .build()
+            .expect("ok");
+        let right = WeakSchema::builder()
+            .arrow("Dog", "owner", "Person")
+            .build()
+            .expect("ok");
         assert!(synonym_candidates(&left, &right, 0.1).is_empty());
     }
 
@@ -612,7 +650,9 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(Renaming::new().to_string(), "(identity)");
-        let r = Renaming::new().class("GS", "Student").label("victim", "student");
+        let r = Renaming::new()
+            .class("GS", "Student")
+            .label("victim", "student");
         assert_eq!(r.to_string(), "GS→Student, .victim→.student");
     }
 }

@@ -85,7 +85,9 @@ pub enum RestructureError {
 impl fmt::Display for RestructureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RestructureError::MissingClass(class) => write!(f, "class {class} is not in the schema"),
+            RestructureError::MissingClass(class) => {
+                write!(f, "class {class} is not in the schema")
+            }
             RestructureError::MissingArrow { class, label } => {
                 write!(f, "class {class} has no {label}-arrow")
             }
@@ -102,7 +104,10 @@ impl fmt::Display for RestructureError {
                 write!(f, "cannot flatten {node}: {reason}")
             }
             RestructureError::AmbiguousRole { node, role } => {
-                write!(f, "cannot flatten {node}: role {role} has no unique minimal target")
+                write!(
+                    f,
+                    "cannot flatten {node}: role {role} has no unique minimal target"
+                )
             }
             RestructureError::Schema(err) => write!(f, "restructured schema is invalid: {err}"),
         }
@@ -192,8 +197,7 @@ pub fn reify_arrow(
         }
     }
     for (p, a, q) in schema.arrow_triples() {
-        let inherited_copy =
-            a == label && dropped_sources.contains(p) && targets.contains(q);
+        let inherited_copy = a == label && dropped_sources.contains(p) && targets.contains(q);
         if !inherited_copy {
             builder = builder.arrow(p.clone(), a.clone(), q.clone());
         }
@@ -231,7 +235,11 @@ pub fn flatten_class(
     if !labels.contains(src_role) || !labels.contains(tgt_role) {
         return Err(RestructureError::MissingArrow {
             class: node.clone(),
-            label: if labels.contains(src_role) { tgt_role.clone() } else { src_role.clone() },
+            label: if labels.contains(src_role) {
+                tgt_role.clone()
+            } else {
+                src_role.clone()
+            },
         });
     }
     if labels.len() != 2 {
@@ -240,10 +248,7 @@ pub fn flatten_class(
     if !schema.strict_subs(node).is_empty() || !schema.strict_supers(node).is_empty() {
         return Err(bare("it participates in specializations"));
     }
-    if schema
-        .arrow_triples()
-        .any(|(_, _, q)| q == node)
-    {
+    if schema.arrow_triples().any(|(_, _, q)| q == node) {
         return Err(bare("other classes have arrows into it"));
     }
 
@@ -326,10 +331,14 @@ impl fmt::Display for RestructureOp {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             RestructureOp::Rename(renaming) => write!(f, "rename {renaming}"),
-            RestructureOp::Reify { src, label, node, .. } => {
+            RestructureOp::Reify {
+                src, label, node, ..
+            } => {
                 write!(f, "reify {src} --{label}--> into node {node}")
             }
-            RestructureOp::Flatten { node, new_label, .. } => {
+            RestructureOp::Flatten {
+                node, new_label, ..
+            } => {
                 write!(f, "flatten {node} into a --{new_label}--> arrow")
             }
         }
@@ -412,7 +421,13 @@ impl Restructuring {
         for op in &self.ops {
             current = match op {
                 RestructureOp::Rename(renaming) => renaming.apply(&current)?.0,
-                RestructureOp::Reify { src, label, node, src_role, tgt_role } => reify_arrow(
+                RestructureOp::Reify {
+                    src,
+                    label,
+                    node,
+                    src_role,
+                    tgt_role,
+                } => reify_arrow(
                     &current,
                     src,
                     label,
@@ -420,9 +435,12 @@ impl Restructuring {
                     src_role.clone(),
                     tgt_role.clone(),
                 )?,
-                RestructureOp::Flatten { node, src_role, tgt_role, new_label } => {
-                    flatten_class(&current, node, src_role, tgt_role, new_label.clone())?
-                }
+                RestructureOp::Flatten {
+                    node,
+                    src_role,
+                    tgt_role,
+                    new_label,
+                } => flatten_class(&current, node, src_role, tgt_role, new_label.clone())?,
             };
         }
         Ok(current)
@@ -474,8 +492,7 @@ mod tests {
     #[test]
     fn flatten_restores_the_direct_form() {
         let g = reified_form();
-        let flat =
-            flatten_class(&g, &c("Owns"), &l("owner"), &l("pet"), "owns").expect("flattens");
+        let flat = flatten_class(&g, &c("Owns"), &l("owner"), &l("pet"), "owns").expect("flattens");
         assert_eq!(flat, direct_form());
     }
 
@@ -498,7 +515,9 @@ mod tests {
         let reified = reified_form();
 
         let unnormalized = weak_join(&direct, &reified).expect("compatible");
-        assert!(!unnormalized.arrow_targets(&c("Person"), &l("owns")).is_empty());
+        assert!(!unnormalized
+            .arrow_targets(&c("Person"), &l("owns"))
+            .is_empty());
         assert!(unnormalized.contains_class(&c("Owns")));
 
         let normalized_direct =
@@ -518,7 +537,9 @@ mod tests {
             .expect("valid");
         let reified =
             reify_arrow(&g, &c("Dog"), &l("owner"), "Owns", "pet", "owner").expect("reifies");
-        assert!(reified.arrow_targets(&c("Guide-dog"), &l("owner")).is_empty());
+        assert!(reified
+            .arrow_targets(&c("Guide-dog"), &l("owner"))
+            .is_empty());
         assert!(reified.arrow_targets(&c("Dog"), &l("owner")).is_empty());
     }
 
@@ -560,8 +581,7 @@ mod tests {
             .specialize("Guide-dog", "Dog")
             .build()
             .expect("valid");
-        let err =
-            reify_arrow(&g, &c("Guide-dog"), &l("owner"), "Owns", "s", "t").unwrap_err();
+        let err = reify_arrow(&g, &c("Guide-dog"), &l("owner"), "Owns", "s", "t").unwrap_err();
         match err {
             RestructureError::InheritedArrow { class, from, .. } => {
                 assert_eq!(class, c("Guide-dog"));
@@ -635,8 +655,18 @@ mod tests {
 
     #[test]
     fn is_flattenable_probe() {
-        assert!(is_flattenable(&reified_form(), &c("Owns"), &l("owner"), &l("pet")));
-        assert!(!is_flattenable(&direct_form(), &c("Dog"), &l("kind"), &l("kind")));
+        assert!(is_flattenable(
+            &reified_form(),
+            &c("Owns"),
+            &l("owner"),
+            &l("pet")
+        ));
+        assert!(!is_flattenable(
+            &direct_form(),
+            &c("Dog"),
+            &l("kind"),
+            &l("kind")
+        ));
     }
 
     #[test]

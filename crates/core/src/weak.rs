@@ -346,7 +346,11 @@ impl WeakSchema {
         // Group the raw arrows by source.
         let mut raw: ArrowMap = BTreeMap::new();
         for (src, label, tgt) in raw_arrows {
-            raw.entry(src).or_default().entry(label).or_default().insert(tgt);
+            raw.entry(src)
+                .or_default()
+                .entry(label)
+                .or_default()
+                .insert(tgt);
         }
 
         // W1 then W2. One pass of each suffices: a class's inherited arrow
@@ -618,8 +622,14 @@ mod tests {
             .build()
             .unwrap();
         for dog in ["Guide-dog", "Police-dog"] {
-            assert!(g.has_arrow(&c(dog), &l("age"), &c("int")), "{dog} inherits age");
-            assert!(g.has_arrow(&c(dog), &l("kind"), &c("Breed")), "{dog} inherits kind");
+            assert!(
+                g.has_arrow(&c(dog), &l("age"), &c("int")),
+                "{dog} inherits age"
+            );
+            assert!(
+                g.has_arrow(&c(dog), &l("kind"), &c("Breed")),
+                "{dog} inherits kind"
+            );
         }
         assert!(
             !g.has_arrow(&c("Guide-dog"), &l("id-num"), &c("int")),
@@ -630,10 +640,7 @@ mod tests {
 
     #[test]
     fn subschema_ordering_laws() {
-        let small = WeakSchema::builder()
-            .arrow("A", "a", "B")
-            .build()
-            .unwrap();
+        let small = WeakSchema::builder().arrow("A", "a", "B").build().unwrap();
         let big = WeakSchema::builder()
             .arrow("A", "a", "B")
             .specialize("C", "A")
@@ -642,16 +649,16 @@ mod tests {
         assert!(small.is_subschema_of(&small), "reflexive");
         assert!(small.is_subschema_of(&big));
         assert!(!big.is_subschema_of(&small), "antisymmetric direction");
-        assert!(WeakSchema::empty().is_subschema_of(&small), "empty is bottom");
+        assert!(
+            WeakSchema::empty().is_subschema_of(&small),
+            "empty is bottom"
+        );
     }
 
     #[test]
     fn subschema_requires_edges_not_just_classes() {
         let with_edge = WeakSchema::builder().specialize("A", "B").build().unwrap();
-        let just_classes = WeakSchema::builder()
-            .classes(["A", "B"])
-            .build()
-            .unwrap();
+        let just_classes = WeakSchema::builder().classes(["A", "B"]).build().unwrap();
         assert!(just_classes.is_subschema_of(&with_edge));
         assert!(!with_edge.is_subschema_of(&just_classes));
     }

@@ -12,8 +12,9 @@ use proptest::prelude::*;
 use schema_merge_core::complete::complete_with_report;
 use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
 use schema_merge_core::merge::{merge, weak_join, weak_join_all, MergeSession};
-use schema_merge_core::{Class, KeyAssignment, KeySet, Label, ProperSchema, SuperkeyFamily,
-    WeakSchema};
+use schema_merge_core::{
+    Class, KeyAssignment, KeySet, Label, ProperSchema, SuperkeyFamily, WeakSchema,
+};
 
 const NAMES: [&str; 8] = ["c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"];
 const LABELS: [&str; 3] = ["a", "b", "f"];
@@ -32,7 +33,11 @@ fn raw_edges() -> impl Strategy<Value = Vec<RawEdge>> {
             // higher index. Equal indices become a (dropped) self-loop.
             RawEdge::Spec(i.min(j), i.max(j))
         }),
-        (0usize..NAMES.len(), 0usize..LABELS.len(), 0usize..NAMES.len())
+        (
+            0usize..NAMES.len(),
+            0usize..LABELS.len(),
+            0usize..NAMES.len()
+        )
             .prop_map(|(s, l, t)| RawEdge::Arrow(s, l, t)),
     ];
     vec(edge, 0..14)

@@ -88,11 +88,19 @@ pub fn keys_to_cardinalities(
     // Key {r1} means r1 determines r2: r2 has cardinality 1; and dually.
     out.insert(
         r2.clone(),
-        if k1 { Cardinality::One } else { Cardinality::Many },
+        if k1 {
+            Cardinality::One
+        } else {
+            Cardinality::Many
+        },
     );
     out.insert(
         r1.clone(),
-        if k2 { Cardinality::One } else { Cardinality::Many },
+        if k2 {
+            Cardinality::One
+        } else {
+            Cardinality::Many
+        },
     );
     Some(out)
 }

@@ -63,7 +63,10 @@ impl fmt::Display for StructuralConflict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             StructuralConflict::StratumMismatch { name, left, right } => {
-                write!(f, "{name} is a {left} on one side but a {right} on the other")
+                write!(
+                    f,
+                    "{name} is a {left} on one side but a {right} on the other"
+                )
             }
             StructuralConflict::AttributeVersusThing {
                 name,

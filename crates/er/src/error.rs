@@ -155,7 +155,10 @@ mod tests {
             first: Stratum::Domain,
             second: Stratum::Entity,
         };
-        assert_eq!(err.to_string(), "Dog is declared both as a domain and as a entity");
+        assert_eq!(
+            err.to_string(),
+            "Dog is declared both as a domain and as a entity"
+        );
 
         let err = ErError::NotStratified {
             class: Class::named("X"),

@@ -41,8 +41,11 @@ pub use cardinality::{cardinality_keys, keys_to_cardinalities, relationship_key_
 pub use conflicts::{detect_conflicts, mergeable, StructuralConflict};
 pub use error::ErError;
 pub use merge::{merge_er, preserves_strata, ErMergeOutcome};
-pub use restructure::{demote_entity, normalize_pair, promote_attribute, AppliedFix,
-    NormalPolicy, NormalizationOutcome, Promotion, RestructureError, Side, SkippedConflict};
-pub use model::{figure_1_dogs, figure_9_advisor, Cardinality, ErSchema, ErSchemaBuilder,
-    Relationship, Stratum};
+pub use model::{
+    figure_1_dogs, figure_9_advisor, Cardinality, ErSchema, ErSchemaBuilder, Relationship, Stratum,
+};
+pub use restructure::{
+    demote_entity, normalize_pair, promote_attribute, AppliedFix, NormalPolicy,
+    NormalizationOutcome, Promotion, RestructureError, Side, SkippedConflict,
+};
 pub use translate::{class_name, class_stratum, from_core, to_core, Strata};

@@ -9,8 +9,9 @@
 
 use std::collections::BTreeMap;
 
-use schema_merge_core::{merge as core_merge, Class, KeyAssignment, MergeOutcome, Name,
-    SuperkeyFamily};
+use schema_merge_core::{
+    merge as core_merge, Class, KeyAssignment, MergeOutcome, Name, SuperkeyFamily,
+};
 
 use crate::cardinality::cardinality_keys;
 use crate::model::{ErSchema, Stratum};

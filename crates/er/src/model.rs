@@ -559,8 +559,14 @@ mod tests {
     fn figure_9_shape() {
         let er = figure_9_advisor();
         let advisor = er.relationship(&Name::new("Advisor")).unwrap();
-        assert_eq!(advisor.cardinality(&Label::new("faculty")), Cardinality::One);
-        assert_eq!(advisor.cardinality(&Label::new("victim")), Cardinality::Many);
+        assert_eq!(
+            advisor.cardinality(&Label::new("faculty")),
+            Cardinality::One
+        );
+        assert_eq!(
+            advisor.cardinality(&Label::new("victim")),
+            Cardinality::Many
+        );
         assert!(er
             .relationship_isa()
             .any(|(sub, sup)| sub.as_str() == "Advisor" && sup.as_str() == "Committee"));

@@ -76,7 +76,10 @@ impl fmt::Display for RestructureError {
             RestructureError::NoSuchRelationship(name) => {
                 write!(f, "no relationship named {name}")
             }
-            RestructureError::NotDemotable { relationship, reason } => {
+            RestructureError::NotDemotable {
+                relationship,
+                reason,
+            } => {
                 write!(f, "cannot demote through {relationship}: {reason}")
             }
             RestructureError::Er(err) => write!(f, "restructured schema is invalid: {err}"),
@@ -221,11 +224,18 @@ pub fn promote_attribute(
         .entry(promotion.entity.clone())
         .or_default()
         .insert(promotion.value_attribute.clone(), domain);
-    let rel = out.relationships.entry(promotion.relationship.clone()).or_default();
-    rel.roles.insert(promotion.owner_role.clone(), promotion.owner.clone());
-    rel.roles.insert(promotion.entity_role.clone(), promotion.entity.clone());
-    rel.cardinalities.insert(promotion.owner_role.clone(), Cardinality::Many);
-    rel.cardinalities.insert(promotion.entity_role.clone(), Cardinality::One);
+    let rel = out
+        .relationships
+        .entry(promotion.relationship.clone())
+        .or_default();
+    rel.roles
+        .insert(promotion.owner_role.clone(), promotion.owner.clone());
+    rel.roles
+        .insert(promotion.entity_role.clone(), promotion.entity.clone());
+    rel.cardinalities
+        .insert(promotion.owner_role.clone(), Cardinality::Many);
+    rel.cardinalities
+        .insert(promotion.entity_role.clone(), Cardinality::One);
     out.validate()?;
     Ok(out)
 }
@@ -292,10 +302,14 @@ pub fn demote_entity(
         name != relationship && r.roles.values().any(|entity| *entity == value_entity)
     });
     if other_participation {
-        return Err(fail("the value entity participates in another relationship"));
+        return Err(fail(
+            "the value entity participates in another relationship",
+        ));
     }
     if schema.attributes_of(&owner).contains_key(&new_attribute) {
-        return Err(fail("the owner already has an attribute with the chosen label"));
+        return Err(fail(
+            "the owner already has an attribute with the chosen label",
+        ));
     }
 
     let mut out = schema.clone();
@@ -433,7 +447,8 @@ pub fn normalize_pair(
     // A fix applied later in the loop can retire a conflict that was
     // recorded as skipped earlier; keep only the ones still detected.
     let remaining = detect_conflicts(&out.left, &out.right);
-    out.skipped.retain(|skipped| remaining.contains(&skipped.conflict));
+    out.skipped
+        .retain(|skipped| remaining.contains(&skipped.conflict));
     out
 }
 
@@ -470,8 +485,7 @@ fn try_fix(
                     } else {
                         (&mut out.right, Side::Right)
                     };
-                    let promotion =
-                        Promotion::new(attribute_on.clone(), Label::new(name.as_str()));
+                    let promotion = Promotion::new(attribute_on.clone(), Label::new(name.as_str()));
                     match promote_attribute(schema, &promotion) {
                         Ok(fixed) => {
                             *schema = fixed;
@@ -658,13 +672,18 @@ mod tests {
         let promoted = promote_attribute(&g, &promotion).expect("promotes");
 
         assert_eq!(promoted.stratum(&n("kennel")), Some(Stratum::Entity));
-        let rel = promoted.relationship(&n("Dog-kennel")).expect("relationship exists");
+        let rel = promoted
+            .relationship(&n("Dog-kennel"))
+            .expect("relationship exists");
         assert_eq!(rel.roles[&l("of")], n("Dog"));
         assert_eq!(rel.roles[&l("is")], n("kennel"));
         assert_eq!(rel.cardinality(&l("of")), Cardinality::Many);
         assert_eq!(rel.cardinality(&l("is")), Cardinality::One);
         // The old domain survives as the value attribute.
-        assert_eq!(promoted.attributes_of(&n("kennel"))[&l("value")], n("kennel-id"));
+        assert_eq!(
+            promoted.attributes_of(&n("kennel"))[&l("value")],
+            n("kennel-id")
+        );
         // The owner keeps its other attributes and loses the promoted one.
         assert!(promoted.attributes_of(&n("Dog")).contains_key(&l("age")));
         assert!(!promoted.attributes_of(&n("Dog")).contains_key(&l("kennel")));
@@ -698,8 +717,7 @@ mod tests {
         let g = attribute_view();
         let promotion = Promotion::new("Dog", "kennel");
         let promoted = promote_attribute(&g, &promotion).expect("promotes");
-        let demoted =
-            demote_entity(&promoted, &n("Dog-kennel"), l("kennel")).expect("demotes");
+        let demoted = demote_entity(&promoted, &n("Dog-kennel"), l("kennel")).expect("demotes");
         assert_eq!(demoted, g);
     }
 
@@ -790,7 +808,10 @@ mod tests {
         assert_eq!(outcome.applied[0].side, Side::Right);
         assert!(outcome.right.relationship(&n("Dog-kennel")).is_none());
         assert_eq!(outcome.right.stratum(&n("kennel")), None);
-        assert!(outcome.right.attributes_of(&n("Dog")).contains_key(&l("kennel")));
+        assert!(outcome
+            .right
+            .attributes_of(&n("Dog"))
+            .contains_key(&l("kennel")));
     }
 
     #[test]
@@ -825,15 +846,15 @@ mod tests {
             .expect("valid");
         let outcome = normalize_pair(&left, &right, NormalPolicy::PreferEntity);
         assert!(outcome.is_clean(), "skipped: {:?}", outcome.skipped);
-        let rel = outcome.right.relationship(&n("Owns")).expect("reified on the right");
+        let rel = outcome
+            .right
+            .relationship(&n("Owns"))
+            .expect("reified on the right");
         assert_eq!(rel.roles[&l("owner")], n("Person"));
         assert_eq!(rel.roles[&l("pet")], n("Dog"));
         // The two sides now merge into a single Owns relationship.
         let merged = merge_er([&outcome.left, &outcome.right]).expect("merges");
-        assert_eq!(
-            merged.er.stratum(&n("Owns")),
-            Some(Stratum::Relationship)
-        );
+        assert_eq!(merged.er.stratum(&n("Owns")), Some(Stratum::Relationship));
     }
 
     #[test]

@@ -168,9 +168,7 @@ pub fn from_core(schema: &WeakSchema, strata: &Strata) -> Result<ErSchema, ErErr
             (from, to) => {
                 return Err(ErError::NotStratified {
                     class: src.clone(),
-                    reason: format!(
-                        "arrow {src} --{label}--> {tgt} runs from a {from} to a {to}"
-                    ),
+                    reason: format!("arrow {src} --{label}--> {tgt} runs from a {from} to a {to}"),
                 })
             }
         };
@@ -178,9 +176,10 @@ pub fn from_core(schema: &WeakSchema, strata: &Strata) -> Result<ErSchema, ErErr
 
     // Specializations: keep the transitive reduction within each stratum.
     for (sub, sup) in schema.specialization_pairs() {
-        let covered_by_mid = schema.strict_supers(sub).iter().any(|mid| {
-            mid != sup && schema.specializes(mid, sup)
-        });
+        let covered_by_mid = schema
+            .strict_supers(sub)
+            .iter()
+            .any(|mid| mid != sup && schema.specializes(mid, sup));
         if covered_by_mid {
             continue;
         }
@@ -268,7 +267,10 @@ mod tests {
 
     #[test]
     fn from_core_rejects_entity_to_entity_arrow() {
-        let schema = WeakSchema::builder().arrow("Dog", "likes", "Dog").build().unwrap();
+        let schema = WeakSchema::builder()
+            .arrow("Dog", "likes", "Dog")
+            .build()
+            .unwrap();
         let mut strata = Strata::new();
         strata.insert(Name::new("Dog"), Stratum::Entity);
         let err = from_core(&schema, &strata).unwrap_err();
@@ -277,7 +279,10 @@ mod tests {
 
     #[test]
     fn from_core_rejects_cross_stratum_isa() {
-        let schema = WeakSchema::builder().specialize("Lives", "Dog").build().unwrap();
+        let schema = WeakSchema::builder()
+            .specialize("Lives", "Dog")
+            .build()
+            .unwrap();
         let mut strata = Strata::new();
         strata.insert(Name::new("Dog"), Stratum::Entity);
         strata.insert(Name::new("Lives"), Stratum::Relationship);
@@ -333,13 +338,7 @@ mod tests {
         let er = figure_1_dogs();
         let (schema, strata) = to_core(&er);
         let back = from_core(&schema, &strata).unwrap();
-        assert!(back
-            .attributes_of(&Name::new("Guide-dog"))
-            .is_empty());
-        assert_eq!(
-            back.attributes_of(&Name::new("Dog"))
-                .len(),
-            2
-        );
+        assert!(back.attributes_of(&Name::new("Guide-dog")).is_empty());
+        assert_eq!(back.attributes_of(&Name::new("Dog")).len(), 2);
     }
 }

@@ -6,8 +6,10 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use schema_merge_core::Name;
-use schema_merge_er::{from_core, keys_to_cardinalities, merge_er, preserves_strata,
-    relationship_key_family, to_core, Cardinality, ErSchema};
+use schema_merge_er::{
+    from_core, keys_to_cardinalities, merge_er, preserves_strata, relationship_key_family, to_core,
+    Cardinality, ErSchema,
+};
 
 const ENTITIES: [&str; 6] = ["E0", "E1", "E2", "E3", "E4", "E5"];
 const DOMAINS: [&str; 3] = ["int", "text", "date"];
@@ -70,7 +72,9 @@ fn build_er(items: &[ErItem]) -> ErSchema {
             }
         };
     }
-    builder.build().expect("order-directed ER schemas are valid")
+    builder
+        .build()
+        .expect("order-directed ER schemas are valid")
 }
 
 proptest! {

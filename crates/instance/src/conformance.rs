@@ -75,7 +75,10 @@ impl fmt::Display for ConformanceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConformanceError::ExtentNotContained { sub, sup, object } => {
-                write!(f, "{object} is in extent({sub}) but not extent({sup}) despite {sub} => {sup}")
+                write!(
+                    f,
+                    "{object} is in extent({sub}) but not extent({sup}) despite {sub} => {sup}"
+                )
             }
             ConformanceError::MissingAttribute {
                 object,
@@ -95,7 +98,11 @@ impl fmt::Display for ConformanceError {
             ConformanceError::KeyViolation { class, left, right } => {
                 write!(f, "{left} and {right} agree on a key of {class}")
             }
-            ConformanceError::UnsanctionedAttribute { object, label, value } => {
+            ConformanceError::UnsanctionedAttribute {
+                object,
+                label,
+                value,
+            } => {
                 write!(
                     f,
                     "{object} has {label} = {value}, but no arrow of any of its classes \
@@ -457,7 +464,10 @@ mod tests {
     fn projection_theorem_upper_merge() {
         // An instance of the merged schema projects to an instance of
         // each input (§6 opening).
-        let g1 = WeakSchema::builder().arrow("Dog", "age", "int").build().unwrap();
+        let g1 = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap();
         let g2 = WeakSchema::builder()
             .arrow("Dog", "name", "text")
             .specialize("Guide-dog", "Dog")

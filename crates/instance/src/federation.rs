@@ -134,7 +134,8 @@ impl FederatedView {
     /// instance conforms to the lower-merged (annotated, completed)
     /// schema and satisfies the shared keys.
     pub fn check(&self) -> Result<(), ConformanceError> {
-        self.instance.conforms_annotated(&self.schema, &self.proper)?;
+        self.instance
+            .conforms_annotated(&self.schema, &self.proper)?;
         self.instance.satisfies_keys(&self.keys)
     }
 
@@ -142,7 +143,9 @@ impl FederatedView {
     /// member's own instance, viewed through the federated schema (with
     /// implicit extents populated), conforms to it.
     pub fn check_member(&self, member: &Member) -> Result<(), ConformanceError> {
-        let viewed = member.instance.populate_implicit_extents(self.proper.as_weak());
+        let viewed = member
+            .instance
+            .populate_implicit_extents(self.proper.as_weak());
         viewed.conforms_annotated(&self.schema, &self.proper)
     }
 }
@@ -218,7 +221,9 @@ mod tests {
         let (s1, s2) = member_schemas();
         let (i1, _) = shelter_a();
         let (i2, _) = shelter_b();
-        Federation::new().member("shelter-a", s1, i1).member("shelter-b", s2, i2)
+        Federation::new()
+            .member("shelter-a", s1, i1)
+            .member("shelter-b", s2, i2)
     }
 
     #[test]
@@ -363,10 +368,16 @@ mod tests {
         // lower merge keeps `home` but its target generalizes to the
         // union class {House|Kennel}.
         let g1 = AnnotatedSchema::all_required(
-            WeakSchema::builder().arrow("Dog", "home", "Kennel").build().expect("valid"),
+            WeakSchema::builder()
+                .arrow("Dog", "home", "Kennel")
+                .build()
+                .expect("valid"),
         );
         let g2 = AnnotatedSchema::all_required(
-            WeakSchema::builder().arrow("Dog", "home", "House").build().expect("valid"),
+            WeakSchema::builder()
+                .arrow("Dog", "home", "House")
+                .build()
+                .expect("valid"),
         );
 
         let mut b = Instance::builder();
@@ -381,12 +392,18 @@ mod tests {
         b.attr(fifi, "home", villa);
         let i2 = b.build();
 
-        let fed = Federation::new().member("kennel-club", g1, i1).member("villa-dogs", g2, i2);
+        let fed = Federation::new()
+            .member("kennel-club", g1, i1)
+            .member("villa-dogs", g2, i2);
         let view = fed.view().expect("builds");
         assert_eq!(view.completion.unions.len(), 1);
         let union_class = Class::implicit_union([c("Kennel"), c("House")]);
         // Both homes are visible through the union class's extent.
-        let homes = view.query(&PathQuery::extent("Dog").follow("home").restrict(union_class));
+        let homes = view.query(
+            &PathQuery::extent("Dog")
+                .follow("home")
+                .restrict(union_class),
+        );
         assert_eq!(homes.len(), 2);
         view.check().expect("conforms");
     }

@@ -15,7 +15,11 @@ pub struct XorShift(u64);
 impl XorShift {
     /// Seeds the generator (a zero seed is bumped to a constant).
     pub fn new(seed: u64) -> Self {
-        XorShift(if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed })
+        XorShift(if seed == 0 {
+            0x9E37_79B9_7F4A_7C15
+        } else {
+            seed
+        })
     }
 
     /// The next pseudo-random value.
@@ -133,7 +137,9 @@ mod tests {
         let instance = conforming_instance(&proper, 1, 3);
         let guide = Class::named("Guide-dog");
         for oid in instance.extent(&guide) {
-            assert!(instance.attr(oid, &schema_merge_core::Label::new("age")).is_some());
+            assert!(instance
+                .attr(oid, &schema_merge_core::Label::new("age"))
+                .is_some());
         }
     }
 

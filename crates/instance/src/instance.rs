@@ -71,7 +71,9 @@ impl Instance {
     /// All attribute assignments `(object, label, value)`, sorted by
     /// object then label.
     pub fn attributes(&self) -> impl Iterator<Item = (Oid, &Label, Oid)> {
-        self.attrs.iter().map(|((object, label), value)| (*object, label, *value))
+        self.attrs
+            .iter()
+            .map(|((object, label), value)| (*object, label, *value))
     }
 
     /// The classes whose extent contains `oid`.
@@ -121,12 +123,10 @@ impl Instance {
                 .map(|name| out.extent(&Class::Named(name.clone())))
                 .collect();
             let combined: BTreeSet<Oid> = if class.is_implicit_meet() {
-                member_extents
-                    .iter()
-                    .skip(1)
-                    .fold(member_extents.first().cloned().unwrap_or_default(), |acc, e| {
-                        acc.intersection(e).copied().collect()
-                    })
+                member_extents.iter().skip(1).fold(
+                    member_extents.first().cloned().unwrap_or_default(),
+                    |acc, e| acc.intersection(e).copied().collect(),
+                )
             } else {
                 member_extents.into_iter().flatten().collect()
             };
@@ -184,7 +184,11 @@ impl InstanceBuilder {
 
     /// Adds an existing object to a class extent.
     pub fn classify(&mut self, oid: Oid, class: impl Into<Class>) -> &mut Self {
-        self.instance.extents.entry(class.into()).or_default().insert(oid);
+        self.instance
+            .extents
+            .entry(class.into())
+            .or_default()
+            .insert(oid);
         self
     }
 

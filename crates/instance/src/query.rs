@@ -198,7 +198,6 @@ impl KeyLookup {
 mod tests {
     use super::*;
 
-
     fn c(s: &str) -> Class {
         Class::named(s)
     }
@@ -249,7 +248,9 @@ mod tests {
     #[test]
     fn restrict_to_subclass() {
         let (instance, rex, ..) = menagerie();
-        let guide_dogs = PathQuery::extent("Dog").restrict(c("Guide-dog")).eval(&instance);
+        let guide_dogs = PathQuery::extent("Dog")
+            .restrict(c("Guide-dog"))
+            .eval(&instance);
         assert_eq!(guide_dogs, [rex].into());
     }
 
@@ -264,7 +265,10 @@ mod tests {
     fn missing_class_yields_empty() {
         let (instance, ..) = menagerie();
         assert!(PathQuery::extent("Unicorn").eval(&instance).is_empty());
-        assert!(PathQuery::extent("Unicorn").follow("horn").eval(&instance).is_empty());
+        assert!(PathQuery::extent("Unicorn")
+            .follow("horn")
+            .eval(&instance)
+            .is_empty());
     }
 
     #[test]
@@ -277,7 +281,10 @@ mod tests {
 
     #[test]
     fn query_displays_as_a_path() {
-        let q = PathQuery::extent("Dog").follow("owner").restrict(c("Person")).follow("home");
+        let q = PathQuery::extent("Dog")
+            .follow("owner")
+            .restrict(c("Person"))
+            .follow("home");
         assert_eq!(q.to_string(), "Dog.owner[Person].home");
         assert_eq!(q.start(), &c("Dog"));
         assert_eq!(q.steps().len(), 3);

@@ -6,8 +6,7 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use schema_merge_core::{AnnotatedSchema, Class, KeyAssignment, KeySet, ProperSchema,
-    WeakSchema};
+use schema_merge_core::{AnnotatedSchema, Class, KeyAssignment, KeySet, ProperSchema, WeakSchema};
 use schema_merge_instance::generator::conforming_instance;
 use schema_merge_instance::{union_instances, Federation, Instance, PathQuery};
 
@@ -24,7 +23,11 @@ fn decls() -> impl Strategy<Value = Vec<Decl>> {
     let decl = prop_oneof![
         (0usize..NAMES.len(), 0usize..NAMES.len())
             .prop_map(|(a, b)| Decl::Spec(a.min(b), a.max(b))),
-        (0usize..NAMES.len(), 0usize..LABELS.len(), 0usize..NAMES.len())
+        (
+            0usize..NAMES.len(),
+            0usize..LABELS.len(),
+            0usize..NAMES.len()
+        )
             .prop_map(|(s, l, t)| Decl::Arrow(s, l, t)),
     ];
     vec(decl, 0..10)
@@ -256,8 +259,7 @@ fn projection_theorem_reference_case() {
         .build()
         .unwrap();
     let merged = schema_merge_core::merge([&g1, &g2]).unwrap().proper;
-    let instance =
-        conforming_instance(&merged, 3, 5).populate_implicit_extents(merged.as_weak());
+    let instance = conforming_instance(&merged, 3, 5).populate_implicit_extents(merged.as_weak());
     assert_eq!(instance.conforms(&merged), Ok(()));
     for input in [&g1, &g2] {
         let proper_input = ProperSchema::try_new(input.clone()).unwrap();

@@ -118,14 +118,16 @@ pub fn to_sql(schema: &RelSchema, types: &TypeMap) -> String {
         }
         let mut keys = relation.keys.minimal_keys().collect::<Vec<_>>();
         keys.sort_by_key(|key| {
-            (key.len(), key.labels().map(|l| l.to_string()).collect::<Vec<_>>())
+            (
+                key.len(),
+                key.labels().map(|l| l.to_string()).collect::<Vec<_>>(),
+            )
         });
         for (i, key) in keys.iter().enumerate() {
             if key.is_empty() {
                 continue;
             }
-            let columns: Vec<String> =
-                key.labels().map(|label| quote(label.as_str())).collect();
+            let columns: Vec<String> = key.labels().map(|label| quote(label.as_str())).collect();
             let constraint = if i == 0 { "PRIMARY KEY" } else { "UNIQUE" };
             lines.push(format!("  {constraint} ({})", columns.join(", ")));
         }
@@ -256,7 +258,10 @@ mod tests {
             .collect();
         for line in &body[..body.len() - 1] {
             let content = line.split(" --").next().unwrap_or(line);
-            assert!(content.trim_end().ends_with(','), "line `{line}` misses comma");
+            assert!(
+                content.trim_end().ends_with(','),
+                "line `{line}` misses comma"
+            );
         }
         assert!(!body.last().unwrap().trim_end().ends_with(','));
     }

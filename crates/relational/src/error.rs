@@ -54,7 +54,10 @@ impl fmt::Display for RelError {
                 write!(f, "{relation} violates first normal form: {detail}")
             }
             RelError::NotStratified { class, reason } => {
-                write!(f, "class {class} violates relational stratification: {reason}")
+                write!(
+                    f,
+                    "class {class} violates relational stratification: {reason}"
+                )
             }
             RelError::Merge(err) => write!(f, "merge failed: {err}"),
             RelError::Schema(err) => write!(f, "schema error: {err}"),

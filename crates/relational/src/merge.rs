@@ -2,8 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use schema_merge_core::{merge as core_merge, Class, KeyAssignment, MergeOutcome, Name,
-    SuperkeyFamily};
+use schema_merge_core::{
+    merge as core_merge, Class, KeyAssignment, MergeOutcome, Name, SuperkeyFamily,
+};
 
 use crate::model::RelSchema;
 use crate::translate::{from_core, to_core, RelStrata, RelStratum};
@@ -127,8 +128,14 @@ mod tests {
 
     #[test]
     fn conflicting_column_types_make_intersection_domain() {
-        let g1 = RelSchema::builder().column("R", "x", "int").build().unwrap();
-        let g2 = RelSchema::builder().column("R", "x", "text").build().unwrap();
+        let g1 = RelSchema::builder()
+            .column("R", "x", "int")
+            .build()
+            .unwrap();
+        let g2 = RelSchema::builder()
+            .column("R", "x", "text")
+            .build()
+            .unwrap();
         let outcome = merge_relational([&g1, &g2]).unwrap();
         let merged = Name::new("{int,text}");
         assert_eq!(
@@ -161,8 +168,14 @@ mod tests {
 
     #[test]
     fn name_clash_across_schemas() {
-        let g1 = RelSchema::builder().column("R", "x", "Thing").build().unwrap();
-        let g2 = RelSchema::builder().column("Thing", "y", "int").build().unwrap();
+        let g1 = RelSchema::builder()
+            .column("R", "x", "Thing")
+            .build()
+            .unwrap();
+        let g2 = RelSchema::builder()
+            .column("Thing", "y", "int")
+            .build()
+            .unwrap();
         assert!(matches!(
             merge_relational([&g1, &g2]),
             Err(RelError::NameClash(_))
@@ -178,7 +191,10 @@ mod tests {
             .key("Account", KeySet::new(["owner"]))
             .build()
             .unwrap();
-        let g3 = RelSchema::builder().column("Person", "Age", "int").build().unwrap();
+        let g3 = RelSchema::builder()
+            .column("Person", "Age", "int")
+            .build()
+            .unwrap();
         let a = merge_relational([&g1, &g2, &g3]).unwrap();
         let b = merge_relational([&g3, &g2, &g1]).unwrap();
         assert_eq!(a.schema, b.schema);

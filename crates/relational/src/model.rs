@@ -62,10 +62,7 @@ impl RelSchema {
     /// A copy with each relation's key family replaced by the family the
     /// assignment gives its class (used to graft a §5 minimal
     /// satisfactory assignment onto a translated schema).
-    pub fn with_key_assignment(
-        &self,
-        keys: &schema_merge_core::KeyAssignment,
-    ) -> RelSchema {
+    pub fn with_key_assignment(&self, keys: &schema_merge_core::KeyAssignment) -> RelSchema {
         let mut out = self.clone();
         for (name, relation) in &mut out.relations {
             let class = schema_merge_core::Class::named(name.clone());

@@ -127,9 +127,7 @@ pub fn from_core(schema: &WeakSchema, strata: &RelStrata) -> Result<RelSchema, R
             (from, to) => {
                 return Err(RelError::NotStratified {
                     class: src.clone(),
-                    reason: format!(
-                        "arrow {src} --{label}--> {tgt} runs from a {from} to a {to}"
-                    ),
+                    reason: format!("arrow {src} --{label}--> {tgt} runs from a {from} to a {to}"),
                 })
             }
         }
@@ -205,7 +203,10 @@ mod tests {
 
     #[test]
     fn domain_to_domain_arrow_is_rejected() {
-        let graph = WeakSchema::builder().arrow("int", "x", "text").build().unwrap();
+        let graph = WeakSchema::builder()
+            .arrow("int", "x", "text")
+            .build()
+            .unwrap();
         let mut strata = RelStrata::new();
         strata.insert(Name::new("int"), RelStratum::Domain);
         strata.insert(Name::new("text"), RelStratum::Domain);

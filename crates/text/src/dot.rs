@@ -101,7 +101,11 @@ pub fn to_dot(doc: &NamedSchema, options: &DotOptions) -> String {
         }
         let optional = doc.schema.participation(src, label, tgt) != Participation::One;
         let suffix = if optional { "?" } else { "" };
-        let color = if optional { ", color=gray50, fontcolor=gray50" } else { "" };
+        let color = if optional {
+            ", color=gray50, fontcolor=gray50"
+        } else {
+            ""
+        };
         let _ = writeln!(
             out,
             "    {} -> {} [label=\"{}{suffix}\"{color}];",

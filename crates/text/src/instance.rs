@@ -132,12 +132,12 @@ fn parse_one(parser: &mut Parser) -> Result<NamedInstance, ParseError> {
 
     let mut builder = InstanceBuilder::default();
     let mut symbols: BTreeMap<String, Oid> = BTreeMap::new();
-    let resolve = |builder: &mut InstanceBuilder, symbols: &mut BTreeMap<String, Oid>,
-                   object: String| {
-        *symbols
-            .entry(object)
-            .or_insert_with(|| builder.object(Vec::<Class>::new()))
-    };
+    let resolve =
+        |builder: &mut InstanceBuilder, symbols: &mut BTreeMap<String, Oid>, object: String| {
+            *symbols
+                .entry(object)
+                .or_insert_with(|| builder.object(Vec::<Class>::new()))
+        };
 
     loop {
         match parser.peek() {
@@ -154,7 +154,9 @@ fn parse_one(parser: &mut Parser) -> Result<NamedInstance, ParseError> {
                         let class = parser.class_ref()?;
                         builder.classify(oid, class);
                     }
-                    Some(TokenKind::Arrow { optional: false, .. }) => {
+                    Some(TokenKind::Arrow {
+                        optional: false, ..
+                    }) => {
                         let Some(TokenKind::Arrow { label, .. }) = parser.advance() else {
                             unreachable!("peeked an arrow");
                         };
@@ -235,10 +237,8 @@ instance shelter {
 
     #[test]
     fn forward_references_work() {
-        let named = parse_instance(
-            "instance i { rex --owner--> ann; ann => Person; rex => Dog; }",
-        )
-        .expect("parses");
+        let named = parse_instance("instance i { rex --owner--> ann; ann => Person; rex => Dog; }")
+            .expect("parses");
         let rex = named.oid("rex").unwrap();
         let ann = named.oid("ann").unwrap();
         assert_eq!(named.instance.attr(rex, &Label::new("owner")), Some(ann));
@@ -258,10 +258,8 @@ instance shelter {
 
     #[test]
     fn multiple_instances_per_document() {
-        let all = parse_instances(
-            "instance a { x => C; }\ninstance b { y => D; }",
-        )
-        .expect("parses");
+        let all =
+            parse_instances("instance a { x => C; }\ninstance b { y => D; }").expect("parses");
         assert_eq!(all.len(), 2);
         assert_eq!(all[0].name, "a");
         assert_eq!(all[1].name, "b");

@@ -142,7 +142,11 @@ impl Parser {
             Some(TokenKind::Pipe) => false,
             _ => return Err(self.unexpected("`,` or `|` in an implicit class literal")),
         };
-        let separator = if meet { TokenKind::Comma } else { TokenKind::Pipe };
+        let separator = if meet {
+            TokenKind::Comma
+        } else {
+            TokenKind::Pipe
+        };
         while self.peek() == Some(&separator) {
             self.advance();
             members.push(self.ident("an origin class name")?);
@@ -294,7 +298,10 @@ mod tests {
         assert_eq!(doc.name, "Dogs");
         let schema = doc.schema.schema();
         assert!(schema.specializes(&c("Guide-dog"), &c("Dog")));
-        assert!(schema.has_arrow(&c("Guide-dog"), &l("age"), &c("int")), "closure applies");
+        assert!(
+            schema.has_arrow(&c("Guide-dog"), &l("age"), &c("int")),
+            "closure applies"
+        );
         assert_eq!(schema.num_classes(), 8);
     }
 
@@ -326,10 +333,8 @@ mod tests {
 
     #[test]
     fn parse_implicit_class_literals() {
-        let doc = parse_schema(
-            "schema S { class {B1,B2}; {B1,B2} => B1; C --a--> {B1,B2}; }",
-        )
-        .unwrap();
+        let doc =
+            parse_schema("schema S { class {B1,B2}; {B1,B2} => B1; C --a--> {B1,B2}; }").unwrap();
         let meet = Class::implicit([c("B1"), c("B2")]);
         assert!(doc.schema.schema().contains_class(&meet));
         assert!(doc.schema.schema().specializes(&meet, &c("B1")));
@@ -343,10 +348,7 @@ mod tests {
 
     #[test]
     fn parse_multiple_schemas() {
-        let docs = parse_document(
-            "schema A { class X; }\nschema B { X --f--> Y; }",
-        )
-        .unwrap();
+        let docs = parse_document("schema A { class X; }\nschema B { X --f--> Y; }").unwrap();
         assert_eq!(docs.len(), 2);
         assert_eq!(docs[0].name, "A");
         assert_eq!(docs[1].name, "B");

@@ -39,7 +39,12 @@ pub fn print_schema(doc: &NamedSchema) -> String {
     for class in doc.keys.keyed_classes() {
         for key in doc.keys.family(class).minimal_keys() {
             let labels: Vec<String> = key.labels().map(|l| l.to_string()).collect();
-            let _ = writeln!(out, "    key {} {{{}}};", class_token(class), labels.join(", "));
+            let _ = writeln!(
+                out,
+                "    key {} {{{}}};",
+                class_token(class),
+                labels.join(", ")
+            );
         }
     }
     let _ = writeln!(out, "}}");

@@ -57,7 +57,11 @@ impl fmt::Display for TokenKind {
             TokenKind::Key => write!(f, "`key`"),
             TokenKind::Ident(text) => write!(f, "identifier `{text}`"),
             TokenKind::Arrow { label, optional } => {
-                write!(f, "arrow `--{label}{}-->`", if *optional { "?" } else { "" })
+                write!(
+                    f,
+                    "arrow `--{label}{}-->`",
+                    if *optional { "?" } else { "" }
+                )
             }
             TokenKind::FatArrow => write!(f, "`=>`"),
             TokenKind::LBrace => write!(f, "`{{`"),
@@ -120,27 +124,45 @@ pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
                 }
             }
             '{' => {
-                tokens.push(Token { kind: TokenKind::LBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBrace,
+                    line,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Token { kind: TokenKind::RBrace, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBrace,
+                    line,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semi, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semi,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             '|' => {
-                tokens.push(Token { kind: TokenKind::Pipe, line });
+                tokens.push(Token {
+                    kind: TokenKind::Pipe,
+                    line,
+                });
                 i += 1;
             }
             '=' if next == Some('>') => {
-                tokens.push(Token { kind: TokenKind::FatArrow, line });
+                tokens.push(Token {
+                    kind: TokenKind::FatArrow,
+                    line,
+                });
                 i += 2;
             }
             '-' if next == Some('-') => {

@@ -34,10 +34,11 @@ pub fn reified_vs_direct_pair(n: usize) -> (ErSchema, ErSchema) {
             .entity(a.clone())
             .entity(b.clone())
             .relationship(format!("Rel{i}"), [("src", a.clone()), ("tgt", b.clone())]);
-        right = right
-            .entity(a.clone())
-            .entity(b)
-            .attribute(a, format!("rel{i}"), format!("ref{i}"));
+        right =
+            right
+                .entity(a.clone())
+                .entity(b)
+                .attribute(a, format!("rel{i}"), format!("ref{i}"));
     }
     (
         left.build().expect("left side is a valid ER schema"),

@@ -1,7 +1,7 @@
 //! Random ER schemas for the model-preservation experiments (E6).
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use schema_merge_er::{Cardinality, ErSchema};
 

@@ -34,7 +34,9 @@ pub fn pathological_nfa(n: usize) -> WeakSchema {
         builder = builder.arrow(q(i), "a", q(i + 1));
         builder = builder.arrow(q(i), "b", q(i + 1));
     }
-    builder.build().expect("the NFA family has no specializations")
+    builder
+        .build()
+        .expect("the NFA family has no specializations")
 }
 
 /// The number of implicit classes completion must introduce for

@@ -1,7 +1,7 @@
 //! Random weak schemas over a shared vocabulary.
 
 use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use rand::{Rng, SeedableRng};
 
 use schema_merge_core::{Class, Label, WeakSchema};
 
@@ -146,7 +146,10 @@ mod tests {
             .classes()
             .filter(|c| family[1].contains_class(c))
             .count();
-        assert!(shared > 0, "families must overlap to make merging interesting");
+        assert!(
+            shared > 0,
+            "families must overlap to make merging interesting"
+        );
     }
 
     #[test]

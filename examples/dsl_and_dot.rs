@@ -6,8 +6,9 @@
 use schema_merge_core::complete::complete_with_report;
 use schema_merge_core::lower::annotated_join;
 use schema_merge_core::{AnnotatedSchema, KeyAssignment};
-use schema_merge_text::{parse_document, print_schema, render_ascii, to_dot, DotOptions,
-    NamedSchema};
+use schema_merge_text::{
+    parse_document, print_schema, render_ascii, to_dot, DotOptions, NamedSchema,
+};
 
 const SOURCE: &str = r#"
 // The kennel agency's view.

@@ -26,9 +26,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("merged schema:\n{}\n", outcome.proper.as_weak());
 
     let dog = Class::named("Dog");
-    println!("Dog now carries {} attributes:", outcome.proper.labels_of(&dog).len());
+    println!(
+        "Dog now carries {} attributes:",
+        outcome.proper.labels_of(&dog).len()
+    );
     for label in outcome.proper.labels_of(&dog) {
-        let target = outcome.proper.canonical_target(&dog, &label).expect("proper");
+        let target = outcome
+            .proper
+            .canonical_target(&dog, &label)
+            .expect("proper");
         println!("  .{label} : {target}");
     }
 

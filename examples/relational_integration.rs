@@ -32,7 +32,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The Employee relation has the union of the columns: ssn, name,
     // badge, and the (unified) salary…
-    let employee = outcome.schema.relation(&Name::new("Employee")).expect("Employee");
+    let employee = outcome
+        .schema
+        .relation(&Name::new("Employee"))
+        .expect("Employee");
     assert_eq!(employee.arity(), 4);
 
     // …both keys (the minimal satisfactory assignment)…

@@ -6,9 +6,7 @@
 
 use schema_merge_core::restructure::{flatten_class, reify_arrow};
 use schema_merge_core::{Class, Label, Renaming, WeakSchema};
-use schema_merge_er::{
-    detect_conflicts, merge_er, normalize_pair, ErSchema, NormalPolicy,
-};
+use schema_merge_er::{detect_conflicts, merge_er, normalize_pair, ErSchema, NormalPolicy};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Part 1: the ER-level conflict ────────────────────────────────

@@ -49,7 +49,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .expect("advisor is declared");
     let cards = keys_to_cardinalities(rel, &combined.keys.family(&Class::named("Advisor")))
         .expect("binary relationship");
-    assert_eq!(cards[&schema_merge_core::Label::new("faculty")], Cardinality::One);
+    assert_eq!(
+        cards[&schema_merge_core::Label::new("faculty")],
+        Cardinality::One
+    );
     println!("…and reads back as faculty:1, victim:N.\n");
 
     // Fig. 10: Transaction(loc, at, card, amount) with keys {loc,at} and
@@ -64,7 +67,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     keys.add_key(Class::named("Transaction"), KeySet::new(["loc", "at"]));
     keys.add_key(Class::named("Transaction"), KeySet::new(["card", "at"]));
     keys.validate(&transaction)?;
-    println!("Fig. 10 Transaction keys: {}", keys.family(&Class::named("Transaction")));
+    println!(
+        "Fig. 10 Transaction keys: {}",
+        keys.family(&Class::named("Transaction"))
+    );
     println!("two overlapping multi-attribute keys — beyond any cardinality labelling.");
     Ok(())
 }

@@ -38,7 +38,10 @@ fn er_and_relational_views_of_the_same_data() {
     let person = Class::named("Person");
     let er_labels = er_merged.core.proper.labels_of(&person);
     let rel_labels = rel_merged.core.proper.labels_of(&person);
-    assert_eq!(er_labels, rel_labels, "same arrows from Person in both models");
+    assert_eq!(
+        er_labels, rel_labels,
+        "same arrows from Person in both models"
+    );
     for label in ["ssn", "name", "age"] {
         assert!(er_labels.contains(&Label::new(label)));
     }
@@ -62,7 +65,10 @@ fn bulk_er_merges_preserve_strata() {
     assert!(preserves_strata(&forward));
 
     let backward = merge_er(refs.iter().rev().copied()).unwrap();
-    assert_eq!(forward.er, backward.er, "order independence in the ER model");
+    assert_eq!(
+        forward.er, backward.er,
+        "order independence in the ER model"
+    );
 
     // The merged schema contains every input as a sub-schema (via the
     // graph translation).
@@ -126,7 +132,9 @@ fn relational_key_merging_at_scale() {
     assert_eq!(outcome.schema.counts().0, 5, "five distinct tables");
     for (name, relation) in outcome.schema.relations() {
         assert!(
-            relation.keys.is_superkey(&schema_merge_core::KeySet::new(["id"])),
+            relation
+                .keys
+                .is_superkey(&schema_merge_core::KeySet::new(["id"])),
             "{name} keeps the id key"
         );
         assert!(relation.arity() >= 2);

@@ -7,10 +7,19 @@ use proptest::prelude::*;
 
 use schema_merge::prelude::*;
 use schema_merge_core::{AnnotatedSchema, Class, KeyAssignment, KeySet};
-use schema_merge_text::{parse_schema, print_schema, render_ascii, to_dot, DotOptions,
-    NamedSchema};
+use schema_merge_text::{
+    parse_schema, print_schema, render_ascii, to_dot, DotOptions, NamedSchema,
+};
 
-const NAMES: [&str; 7] = ["Dog", "Guide-dog", "Kennel", "Person", "int", "SS#-reg", "place"];
+const NAMES: [&str; 7] = [
+    "Dog",
+    "Guide-dog",
+    "Kennel",
+    "Person",
+    "int",
+    "SS#-reg",
+    "place",
+];
 const LABELS: [&str; 5] = ["age", "owner", "home", "id-num", "kind"];
 
 #[derive(Debug, Clone)]
@@ -31,8 +40,7 @@ fn items() -> impl Strategy<Value = Vec<Item>> {
             any::<bool>()
         )
             .prop_map(|(s, l, t, opt)| Item::Arrow(s, l, t, opt)),
-        (0usize..NAMES.len(), vec(0usize..LABELS.len(), 1..3))
-            .prop_map(|(c, ls)| Item::Key(c, ls)),
+        (0usize..NAMES.len(), vec(0usize..LABELS.len(), 1..3)).prop_map(|(c, ls)| Item::Key(c, ls)),
     ];
     vec(item, 1..12)
 }

@@ -88,7 +88,10 @@ fn er_to_instance_pipeline() {
 fn merged_schema_keys_constrain_instances() {
     // §5 end: after merging, a key declared by only one schema applies
     // to data from both.
-    let g1 = WeakSchema::builder().arrow("Person", "SS#", "int").build().unwrap();
+    let g1 = WeakSchema::builder()
+        .arrow("Person", "SS#", "int")
+        .build()
+        .unwrap();
     let g2 = WeakSchema::builder()
         .arrow("Person", "name", "text")
         .arrow("Person", "SS#", "int")
@@ -110,8 +113,7 @@ fn merged_schema_keys_constrain_instances() {
     assert!(b.build().satisfies_keys(&keys).is_err());
 
     // Entity resolution instead merges them.
-    let (resolved, report) =
-        schema_merge_instance::union_instances(&[&b.build()], &keys);
+    let (resolved, report) = schema_merge_instance::union_instances(&[&b.build()], &keys);
     assert_eq!(resolved.extent(&c("Person")).len(), 1);
     assert_eq!(report.key_identifications, 1);
     assert_eq!(resolved.satisfies_keys(&keys), Ok(()));
@@ -121,7 +123,10 @@ fn merged_schema_keys_constrain_instances() {
 fn session_and_batch_agree_through_the_facade() {
     let g1 = WeakSchema::builder().arrow("X", "f", "A").build().unwrap();
     let g2 = WeakSchema::builder().arrow("X", "f", "B").build().unwrap();
-    let g3 = WeakSchema::builder().specialize("A", "Top").build().unwrap();
+    let g3 = WeakSchema::builder()
+        .specialize("A", "Top")
+        .build()
+        .unwrap();
 
     let mut session = MergeSession::new();
     for g in [&g1, &g2, &g3] {

@@ -66,7 +66,10 @@ fn missing_classes_are_padded_in() {
             .expect("valid"),
     );
     let without = AnnotatedSchema::all_required(
-        WeakSchema::builder().arrow("Dog", "name", "string").build().expect("valid"),
+        WeakSchema::builder()
+            .arrow("Dog", "name", "string")
+            .build()
+            .expect("valid"),
     );
     let merged = lower_merge([&with_guide_dogs, &without]);
     assert!(
@@ -186,10 +189,16 @@ fn er_members_federate_through_translation() {
 #[test]
 fn union_class_extents_are_queryable() {
     let kennel_club = AnnotatedSchema::all_required(
-        WeakSchema::builder().arrow("Dog", "home", "Kennel").build().expect("valid"),
+        WeakSchema::builder()
+            .arrow("Dog", "home", "Kennel")
+            .build()
+            .expect("valid"),
     );
     let house_dogs = AnnotatedSchema::all_required(
-        WeakSchema::builder().arrow("Dog", "home", "House").build().expect("valid"),
+        WeakSchema::builder()
+            .arrow("Dog", "home", "House")
+            .build()
+            .expect("valid"),
     );
 
     let mut b = Instance::builder();
@@ -214,7 +223,9 @@ fn union_class_extents_are_queryable() {
     let union_class = Class::implicit_union([c("Kennel"), c("House")]);
     assert!(view.proper.as_weak().contains_class(&union_class));
     let homes = view.query(
-        &PathQuery::extent("Dog").follow("home").restrict(union_class.clone()),
+        &PathQuery::extent("Dog")
+            .follow("home")
+            .restrict(union_class.clone()),
     );
     assert_eq!(homes.len(), 2);
     // The union extent equals the union of the member extents.
@@ -246,6 +257,9 @@ fn single_member_federation_is_identity() {
         .view()
         .expect("builds");
     assert_eq!(view.schema.schema(), schema.schema());
-    assert_eq!(view.query(&PathQuery::extent("Dog")), data.extent(&c("Dog")));
+    assert_eq!(
+        view.query(&PathQuery::extent("Dog")),
+        data.extent(&c("Dog"))
+    );
     view.check().expect("conforms");
 }

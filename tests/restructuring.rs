@@ -23,17 +23,14 @@ fn l(s: &str) -> Label {
 /// result is the same as if the databases had agreed on names upfront.
 #[test]
 fn synonym_workflow_matches_agreed_names() {
-    let municipal = parse_schema(
-        "schema municipal { Dog --license--> int; Dog --owner--> Person; }",
-    )
-    .expect("parses");
-    let veterinary = parse_schema(
-        "schema veterinary { Hound --owner--> Person; Hound --age--> int; }",
-    )
-    .expect("parses");
+    let municipal =
+        parse_schema("schema municipal { Dog --license--> int; Dog --owner--> Person; }")
+            .expect("parses");
+    let veterinary =
+        parse_schema("schema veterinary { Hound --owner--> Person; Hound --age--> int; }")
+            .expect("parses");
 
-    let candidates =
-        synonym_candidates(municipal.schema.schema(), veterinary.schema.schema(), 0.3);
+    let candidates = synonym_candidates(municipal.schema.schema(), veterinary.schema.schema(), 0.3);
     assert_eq!(candidates[0].left, "Dog".into());
     assert_eq!(candidates[0].right, "Hound".into());
 
@@ -44,8 +41,8 @@ fn synonym_workflow_matches_agreed_names() {
     let merged = merge([municipal.schema.schema(), &renamed]).expect("merges");
 
     // The counterfactual where both schemas said Dog all along.
-    let agreed = parse_schema("schema v2 { Dog --owner--> Person; Dog --age--> int; }")
-        .expect("parses");
+    let agreed =
+        parse_schema("schema v2 { Dog --owner--> Person; Dog --age--> int; }").expect("parses");
     let expected = merge([municipal.schema.schema(), agreed.schema.schema()]).expect("merges");
     assert_eq!(merged.proper, expected.proper);
 }
@@ -125,7 +122,9 @@ fn scripts_replay_across_serialization() {
     assert_eq!(transformed, replayed);
 
     assert!(transformed.has_arrow(&c("Owns"), &l("pet"), &c("Dog")));
-    assert!(transformed.arrow_targets(&c("Person"), &l("owns")).is_empty());
+    assert!(transformed
+        .arrow_targets(&c("Person"), &l("owns"))
+        .is_empty());
 }
 
 /// Normalizing then merging is order-independent: which schema gets
@@ -168,8 +167,8 @@ fn reify_merge_flatten_pipeline() {
         .build()
         .expect("valid");
 
-    let normalized = reify_arrow(&direct, &c("Person"), &l("owns"), "Owns", "owner", "pet")
-        .expect("reifies");
+    let normalized =
+        reify_arrow(&direct, &c("Person"), &l("owns"), "Owns", "owner", "pet").expect("reifies");
     let merged = weak_join(&normalized, &reified_input).expect("compatible");
     assert_eq!(merged, reified_input, "no duplicated presentation");
 

@@ -102,8 +102,7 @@ fn conformance_is_monotone_down_the_information_order() {
     let big = merge([&small, &random_schema(&params(12))])
         .expect("compatible")
         .proper;
-    let instance =
-        conforming_instance(&big, 2, 11).populate_implicit_extents(big.as_weak());
+    let instance = conforming_instance(&big, 2, 11).populate_implicit_extents(big.as_weak());
     assert_eq!(instance.conforms(&big), Ok(()));
 
     let small_proper = ProperSchema::try_new(
@@ -141,9 +140,11 @@ fn entity_resolution_is_idempotent_and_order_insensitive() {
 
     let (once, _) = union_instances(&[&s1, &s2], &keys);
     let (twice, report) = union_instances(&[&once], &keys);
-    assert_eq!(once.extent(&Class::named("Person")).len(),
-               twice.extent(&Class::named("Person")).len(),
-               "resolution is idempotent");
+    assert_eq!(
+        once.extent(&Class::named("Person")).len(),
+        twice.extent(&Class::named("Person")).len(),
+        "resolution is idempotent"
+    );
     assert_eq!(report.key_identifications, 0);
 
     let (ab, _) = union_instances(&[&s1, &s2], &keys);

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network access to crates.io, so this
+//! vendored crate provides the subset of the criterion 0.5 API the bench
+//! suite uses: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Throughput`], [`Bencher::iter`], `criterion_group!` and
+//! `criterion_main!`. It measures median wall-clock time over a small
+//! number of samples and prints one line per benchmark — enough to track
+//! relative perf between PRs, with no statistics, plotting or reports.
+//!
+//! Benches run in full under `cargo bench`; setting `CRITERION_SAMPLES=0`
+//! turns every benchmark into a single warm-up call, which makes the
+//! suite usable as a smoke test.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], matching criterion's API.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id, e.g. function name plus parameter.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Throughput annotation; recorded and echoed but not rate-converted.
+#[derive(Debug, Clone)]
+pub enum Throughput {
+    /// Number of elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Drives the timed iterations of a single benchmark.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time, filled in by [`Bencher::iter`].
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records the median per-call time.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up call; doubles as the calibration measurement below and
+        // is the only call in smoke mode.
+        let start = Instant::now();
+        black_box(routine());
+        let warm = start.elapsed();
+        if self.samples == 0 {
+            return;
+        }
+        // Amortize timer overhead for fast routines: batch enough calls
+        // per sample to reach ~200µs, then divide. Slow routines keep one
+        // call per sample.
+        const TARGET: Duration = Duration::from_micros(200);
+        let iters = (TARGET.as_nanos() / warm.as_nanos().max(1)).clamp(1, 4096) as u32;
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            times.push(start.elapsed() / iters);
+        }
+        times.sort();
+        self.elapsed = times[times.len() / 2];
+    }
+}
+
+/// The top-level benchmark driver.
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_SAMPLES=0 turns every bench into a single smoke run.
+        let samples = std::env::var("CRITERION_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(15);
+        Criterion { samples }
+    }
+}
+
+impl Criterion {
+    /// Override the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl fmt::Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            samples: self.samples,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl fmt::Display, mut f: F) {
+        run_one(&name.to_string(), self.samples, None, |b| f(b));
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples;
+        self
+    }
+
+    /// Sets the throughput annotation for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, mut f: F) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples, self.throughput.clone(), |b| f(b));
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        let label = format!("{}/{}", self.name, id);
+        run_one(&label, self.samples, self.throughput.clone(), |b| {
+            f(b, input)
+        });
+    }
+
+    /// Ends the group. No-op here; kept for API compatibility.
+    pub fn finish(self) {}
+}
+
+fn run_one(
+    label: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: impl FnOnce(&mut Bencher),
+) {
+    let mut bencher = Bencher {
+        samples,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    if samples == 0 {
+        println!("bench {label:<50} smoke-only");
+        return;
+    }
+    let per_iter = bencher.elapsed;
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("bench {label:<50} {per_iter:>12.2?}/iter  ({n} elems)");
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("bench {label:<50} {per_iter:>12.2?}/iter  ({n} bytes)");
+        }
+        None => println!("bench {label:<50} {per_iter:>12.2?}/iter"),
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's entry point.
+///
+/// Ignores harness CLI flags (`--bench`, filters) that cargo forwards.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
