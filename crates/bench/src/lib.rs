@@ -4,12 +4,16 @@
 //! in the paper ([`figures`]) plus the scaling experiments its §7 leaves
 //! open ([`experiments`]). The `reproduce` binary prints the verification
 //! table recorded in `EXPERIMENTS.md`; the Criterion benches under
-//! `benches/` measure the same code paths.
+//! `benches/` measure the same code paths; the `bench` binary ([`perf`])
+//! emits the machine-readable `BENCH_<n>.json` perf trajectory that CI
+//! records per PR.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod figures;
+pub mod perf;
 
 pub use figures::{all_rows, Row, Verdict};
+pub use perf::{run_suite, to_json, to_table, BenchRecord, BenchReport, Speedup, Variant};

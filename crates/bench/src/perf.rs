@@ -1,0 +1,369 @@
+//! The `bench --json` runner: the machine-readable perf trajectory.
+//!
+//! Criterion benches are great for interactive work but CI never ran
+//! them, so no PR could *claim* a speedup. This module measures the two
+//! merge engines — the symbolic reference path
+//! ([`schema_merge_core::reference`]) and the compiled path (dense ids +
+//! bitset closures, [`schema_merge_core::compile`]) — on the `workload`
+//! generators and emits one `BENCH_<n>.json` datapoint per run:
+//! `(family, op, n_classes, variant, median_ns, throughput)` records plus
+//! derived compiled-over-symbolic speedups. CI uploads the file as an
+//! artifact on every PR, establishing the trajectory every future
+//! scaling PR appends to.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use schema_merge_core::{merge_compiled, reference, weak_join_all, WeakSchema};
+use schema_merge_er::to_core;
+use schema_merge_workload::{pathological_nfa, random_er_schema, ErParams, SchemaParams};
+
+/// Which engine a record measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// The retained pre-compilation `BTreeMap`/`BTreeSet` path.
+    Symbolic,
+    /// The dense-id bitset/CSR path.
+    Compiled,
+}
+
+impl Variant {
+    /// The JSON name of the variant.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Variant::Symbolic => "symbolic",
+            Variant::Compiled => "compiled",
+        }
+    }
+}
+
+/// One measurement: an operation on a workload at a size, on one engine.
+#[derive(Debug, Clone)]
+pub struct BenchRecord {
+    /// Workload family: `random`, `pathological` or `er_roundtrip`.
+    pub family: &'static str,
+    /// Operation: `weak_join`, `complete` or `merge`.
+    pub op: &'static str,
+    /// Classes in the (joined) input schema.
+    pub n_classes: usize,
+    /// Arrows in the (joined) input schema — the throughput element.
+    pub n_arrows: usize,
+    /// Engine measured.
+    pub variant: Variant,
+    /// Timed iterations (after one warmup).
+    pub iters: usize,
+    /// Median wall time of one iteration, nanoseconds.
+    pub median_ns: u128,
+    /// Arrows processed per second at the median.
+    pub throughput: f64,
+}
+
+/// A derived symbolic-over-compiled ratio for one (family, op, size).
+#[derive(Debug, Clone)]
+pub struct Speedup {
+    /// Workload family.
+    pub family: &'static str,
+    /// Operation.
+    pub op: &'static str,
+    /// Classes in the input.
+    pub n_classes: usize,
+    /// `symbolic median / compiled median` — > 1 means compiled wins.
+    pub speedup: f64,
+}
+
+/// A full run of the suite.
+#[derive(Debug, Clone, Default)]
+pub struct BenchReport {
+    /// All measurements.
+    pub records: Vec<BenchRecord>,
+    /// All derived speedups.
+    pub speedups: Vec<Speedup>,
+}
+
+fn median_ns(iters: usize, mut routine: impl FnMut()) -> u128 {
+    routine(); // warmup
+    let mut samples: Vec<u128> = Vec::with_capacity(iters);
+    for _ in 0..iters {
+        let start = Instant::now();
+        routine();
+        samples.push(start.elapsed().as_nanos());
+    }
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+struct Suite {
+    iters: usize,
+    report: BenchReport,
+}
+
+impl Suite {
+    fn measure_pair(
+        &mut self,
+        family: &'static str,
+        op: &'static str,
+        joined: &WeakSchema,
+        mut symbolic: impl FnMut(),
+        mut compiled: impl FnMut(),
+    ) {
+        let n_classes = joined.num_classes();
+        let n_arrows = joined.num_arrows();
+        let sym_ns = median_ns(self.iters, &mut symbolic);
+        let comp_ns = median_ns(self.iters, &mut compiled);
+        for (variant, ns) in [(Variant::Symbolic, sym_ns), (Variant::Compiled, comp_ns)] {
+            self.report.records.push(BenchRecord {
+                family,
+                op,
+                n_classes,
+                n_arrows,
+                variant,
+                iters: self.iters,
+                median_ns: ns,
+                throughput: n_arrows as f64 / (ns.max(1) as f64 / 1e9),
+            });
+        }
+        self.report.speedups.push(Speedup {
+            family,
+            op,
+            n_classes,
+            speedup: sym_ns as f64 / comp_ns.max(1) as f64,
+        });
+    }
+
+    fn random_family(&mut self, classes: usize) {
+        // Densities follow the paper's "realistic regime" (and the E2
+        // Criterion bench): many labels, ~2 arrows per class across the
+        // *joined* schema. Denser label reuse turns the Imp fixpoint into
+        // a hard NFA determinization — that regime is measured separately
+        // by the `pathological` family, not smuggled in here.
+        let params = SchemaParams {
+            vocabulary: classes,
+            classes,
+            labels: (classes / 2).max(4),
+            arrows: classes / 2,
+            specializations: classes / 8,
+            seed: 0xB05E + classes as u64,
+        };
+        let family = schema_merge_workload::schema_family(&params, 4);
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        let joined = weak_join_all(refs.iter().copied()).expect("compatible family");
+
+        self.measure_pair(
+            "random",
+            "weak_join",
+            &joined,
+            || {
+                black_box(reference::weak_join_all(refs.iter().copied()).expect("compatible"));
+            },
+            || {
+                black_box(weak_join_all(refs.iter().copied()).expect("compatible"));
+            },
+        );
+        self.measure_pair(
+            "random",
+            "complete",
+            &joined,
+            || {
+                black_box(reference::complete_with_report(&joined).expect("completes"));
+            },
+            || {
+                black_box(
+                    schema_merge_core::complete::complete_with_report(&joined).expect("completes"),
+                );
+            },
+        );
+        self.measure_pair(
+            "random",
+            "merge",
+            &joined,
+            || {
+                black_box(reference::merge(refs.iter().copied()).expect("merges"));
+            },
+            || {
+                black_box(merge_compiled(refs.iter().copied()).expect("merges"));
+            },
+        );
+    }
+
+    fn pathological(&mut self, n: usize) {
+        let schema = pathological_nfa(n);
+        self.measure_pair(
+            "pathological",
+            "complete",
+            &schema,
+            || {
+                black_box(reference::complete_with_report(&schema).expect("completes"));
+            },
+            || {
+                black_box(
+                    schema_merge_core::complete::complete_with_report(&schema).expect("completes"),
+                );
+            },
+        );
+    }
+
+    fn er_roundtrip(&mut self, entities: usize) {
+        let params = ErParams {
+            entities,
+            domains: entities / 2 + 1,
+            attributes: entities * 2,
+            relationships: entities / 2,
+            isa: entities / 3,
+            one_role_percent: 30,
+            seed: 17,
+        };
+        let (core1, _) = to_core(&random_er_schema(&params));
+        let (core2, _) = to_core(&random_er_schema(&ErParams { seed: 18, ..params }));
+        let refs = [&core1, &core2];
+        let joined = weak_join_all(refs).expect("compatible");
+        self.measure_pair(
+            "er_roundtrip",
+            "merge",
+            &joined,
+            || {
+                black_box(reference::merge(refs).expect("merges"));
+            },
+            || {
+                black_box(merge_compiled(refs).expect("merges"));
+            },
+        );
+    }
+}
+
+/// Runs the suite. `quick` is the CI profile: fewer iterations and only
+/// the sizes the acceptance trajectory tracks (including the 200-class
+/// random workload).
+pub fn run_suite(quick: bool) -> BenchReport {
+    let mut suite = Suite {
+        iters: if quick { 7 } else { 15 },
+        report: BenchReport::default(),
+    };
+    let random_sizes: &[usize] = if quick {
+        &[50, 200]
+    } else {
+        &[50, 100, 200, 400]
+    };
+    for &classes in random_sizes {
+        suite.random_family(classes);
+    }
+    suite.pathological(if quick { 8 } else { 10 });
+    suite.er_roundtrip(32);
+    suite.report
+}
+
+fn json_escape(text: &str) -> String {
+    text.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Renders the report as the `BENCH_<n>.json` document (no external JSON
+/// dependency: the structure is flat and the strings are identifiers).
+pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!(
+        "  \"bench_schema_version\": 1,\n  \"pr\": {pr_index},\n"
+    ));
+    out.push_str("  \"records\": [\n");
+    for (i, r) in report.records.iter().enumerate() {
+        let comma = if i + 1 < report.records.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \"n_arrows\": {}, \
+             \"variant\": \"{}\", \"iters\": {}, \"median_ns\": {}, \
+             \"throughput_arrows_per_s\": {:.1}}}{comma}\n",
+            json_escape(r.family),
+            json_escape(r.op),
+            r.n_classes,
+            r.n_arrows,
+            r.variant.as_str(),
+            r.iters,
+            r.median_ns,
+            r.throughput,
+        ));
+    }
+    out.push_str("  ],\n  \"speedups\": [\n");
+    for (i, s) in report.speedups.iter().enumerate() {
+        let comma = if i + 1 < report.speedups.len() {
+            ","
+        } else {
+            ""
+        };
+        out.push_str(&format!(
+            "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \
+             \"compiled_speedup\": {:.2}}}{comma}\n",
+            json_escape(s.family),
+            json_escape(s.op),
+            s.n_classes,
+            s.speedup,
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Renders the report as a human-readable table.
+pub fn to_table(report: &BenchReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<14} {:<10} {:>9} {:>9}  {:>14} {:>14} {:>9}\n",
+        "family", "op", "classes", "arrows", "symbolic µs", "compiled µs", "speedup"
+    ));
+    out.push_str(&"-".repeat(88));
+    out.push('\n');
+    for s in &report.speedups {
+        let find = |variant: Variant| {
+            report
+                .records
+                .iter()
+                .find(|r| {
+                    r.family == s.family
+                        && r.op == s.op
+                        && r.n_classes == s.n_classes
+                        && r.variant == variant
+                })
+                .expect("paired record")
+        };
+        let sym = find(Variant::Symbolic);
+        let comp = find(Variant::Compiled);
+        out.push_str(&format!(
+            "{:<14} {:<10} {:>9} {:>9}  {:>14.1} {:>14.1} {:>8.2}x\n",
+            s.family,
+            s.op,
+            s.n_classes,
+            sym.n_arrows,
+            sym.median_ns as f64 / 1e3,
+            comp.median_ns as f64 / 1e3,
+            s.speedup,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_suite_produces_paired_records_and_valid_json() {
+        let mut suite = Suite {
+            iters: 1,
+            report: BenchReport::default(),
+        };
+        suite.random_family(16);
+        let report = suite.report;
+        assert_eq!(report.records.len(), 6, "3 ops × 2 variants");
+        assert_eq!(report.speedups.len(), 3);
+        let json = to_json(&report, 2);
+        assert!(json.contains("\"bench_schema_version\": 1"));
+        assert!(json.contains("\"variant\": \"compiled\""));
+        assert!(json.contains("\"op\": \"weak_join\""));
+        // Crude structural sanity: balanced braces/brackets.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let table = to_table(&report);
+        assert!(table.contains("weak_join"));
+    }
+}

@@ -1,0 +1,110 @@
+//! The ISSUE-2 acceptance property: across every `workload` generator
+//! family, `merge_compiled` agrees with the symbolic `reference` merge —
+//! equal weak joins, equal proper schemas and reports, and (the weaker
+//! public contract) alpha-isomorphism modulo implicit-class naming — and
+//! the compiled representation round-trips losslessly.
+
+use proptest::prelude::*;
+
+use schema_merge_core::iso::alpha_isomorphic;
+use schema_merge_core::{merge_compiled, reference, Class, CompiledSchema, WeakSchema};
+use schema_merge_er::to_core;
+use schema_merge_workload::{
+    pathological_nfa, random_er_schema, schema_family, ErParams, SchemaParams,
+};
+
+fn assert_engines_agree(schemas: &[&WeakSchema]) {
+    let compiled = merge_compiled(schemas.iter().copied()).expect("compiled merge");
+    let symbolic = reference::merge(schemas.iter().copied()).expect("symbolic merge");
+    assert_eq!(compiled.weak, symbolic.weak, "weak joins agree");
+    assert_eq!(compiled.proper, symbolic.proper, "proper schemas agree");
+    assert_eq!(compiled.report, symbolic.report, "reports agree");
+    assert!(
+        alpha_isomorphic(
+            compiled.proper.as_weak(),
+            symbolic.proper.as_weak(),
+            Class::is_implicit,
+        ),
+        "alpha-isomorphic modulo implicit naming"
+    );
+    // Lossless compilation of both the join and the completed result.
+    for schema in [&compiled.weak, compiled.proper.as_weak()] {
+        assert_eq!(&CompiledSchema::compile(schema).decompile(), schema);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_family_engines_agree(seed in any::<u64>(), count in 2usize..5) {
+        let params = SchemaParams {
+            vocabulary: 48,
+            classes: 24,
+            labels: 12,
+            arrows: 20,
+            specializations: 8,
+            seed,
+        };
+        let family = schema_family(&params, count);
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        assert_engines_agree(&refs);
+    }
+
+    #[test]
+    fn pathological_family_engines_agree(n in 0usize..7) {
+        let schema = pathological_nfa(n);
+        assert_engines_agree(&[&schema]);
+    }
+
+    #[test]
+    fn er_roundtrip_family_engines_agree(seed in any::<u64>()) {
+        let params = ErParams {
+            entities: 10,
+            domains: 6,
+            attributes: 20,
+            relationships: 5,
+            isa: 3,
+            one_role_percent: 30,
+            seed,
+        };
+        let (g1, _) = to_core(&random_er_schema(&params));
+        let (g2, _) = to_core(&random_er_schema(&ErParams {
+            seed: seed.wrapping_add(1),
+            ..params
+        }));
+        assert_engines_agree(&[&g1, &g2]);
+    }
+
+    #[test]
+    fn decompile_of_compile_is_identity_on_workloads(seed in any::<u64>()) {
+        let params = SchemaParams {
+            vocabulary: 64,
+            classes: 32,
+            labels: 16,
+            arrows: 48,
+            specializations: 16,
+            seed,
+        };
+        let schema = schema_merge_workload::random_schema(&params);
+        prop_assert_eq!(CompiledSchema::compile(&schema).decompile(), schema);
+    }
+}
+
+#[test]
+fn merge_result_feedback_loop_agrees() {
+    // Stepwise protocol across engines: feed a completed merge result (with
+    // its implicit classes) back in, exercising the canonicalization path.
+    let params = SchemaParams {
+        vocabulary: 32,
+        classes: 16,
+        labels: 4,
+        arrows: 24,
+        specializations: 8,
+        seed: 99,
+    };
+    let family = schema_family(&params, 3);
+    let first = merge_compiled([&family[0], &family[1]]).expect("first merge");
+    let followup = [first.proper.as_weak(), &family[2]];
+    assert_engines_agree(&followup);
+}

@@ -30,14 +30,19 @@ impl OriginSet {
         self.0.iter()
     }
 
-    /// Number of origin names (always ≥ 2).
+    /// Number of origin names (always ≥ 2, enforced in construction).
+    #[must_use]
     pub fn len(&self) -> usize {
         self.0.len()
     }
 
-    /// Origin sets are never empty; provided for API completeness.
+    /// Always `false`: construction rejects origin sets with fewer than
+    /// two names, so no empty `OriginSet` can exist. Provided (and kept
+    /// honest) for API completeness beside [`OriginSet::len`].
+    #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        debug_assert!(self.0.len() >= 2, "invariant enforced in from_set");
+        false
     }
 
     /// Whether `name` is one of the origins.
@@ -51,7 +56,11 @@ impl OriginSet {
     }
 
     fn from_set(set: BTreeSet<Name>) -> Self {
-        debug_assert!(set.len() >= 2, "origin sets have at least two members");
+        // A real assert, not a debug one: every public constructor goes
+        // through `Class::try_implicit{,_union}` which checks the
+        // cardinality, and the "never empty, ≥ 2 names" documented
+        // invariant is what makes `is_empty` honest.
+        assert!(set.len() >= 2, "origin sets have at least two members");
         OriginSet(Arc::new(set))
     }
 }
@@ -375,6 +384,13 @@ mod tests {
     #[should_panic(expected = "implicit class requires")]
     fn implicit_with_single_member_panics() {
         let _ = Class::implicit([c("A")]);
+    }
+
+    #[test]
+    fn origin_set_is_never_empty() {
+        let origin = Class::implicit([c("A"), c("B")]).origin().unwrap().clone();
+        assert!(!origin.is_empty());
+        assert!(origin.len() >= 2);
     }
 
     #[test]

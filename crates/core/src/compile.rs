@@ -1,0 +1,1308 @@
+//! Compiled schemas: dense ids, bitset closures and CSR arrow adjacency.
+//!
+//! [`WeakSchema`] stores the closed form symbolically — `BTreeMap`s and
+//! `BTreeSet`s keyed by [`Class`] and [`Label`] handles — which is the
+//! right *surface* for an API built around the paper's notation, but every
+//! hot path (transitive closure, `MinS`/`MaxS` antichains, the W1/W2
+//! arrow closure, the `Imp` fixpoint of completion) then pays tree-map
+//! traversal and string-comparison costs per step. [`CompiledSchema`] is
+//! the dense twin the engine actually computes on:
+//!
+//! * classes and labels are interned into per-schema symbol tables with
+//!   dense `u32` ids ([`ClassId`], [`LabelId`]), assigned in sorted order
+//!   so id order agrees with symbol order;
+//! * the strict specialization relation is a transitively closed **bit
+//!   matrix** (one `Vec<u64>` row per class) stored in both directions
+//!   (`supers` and its transpose `subs`), making `p ⇒ q` a bit test and
+//!   `MinS`/`MaxS` a word-wise intersection;
+//! * arrows are laid out **CSR-style**: per class, a sorted run of
+//!   `(label, target-range)` pairs indexing one flat target-id array.
+//!
+//! The representation is lossless: [`CompiledSchema::decompile`] rebuilds
+//! the exact symbolic [`WeakSchema`] (`decompile(compile(g)) == g`,
+//! property-tested), so the symbolic types remain the public surface while
+//! `close`, `weak_join_all` and completion run in id space. The retained
+//! symbolic implementations live in [`crate::reference`] for differential
+//! testing and the benchmark trajectory.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
+
+use crate::class::Class;
+use crate::error::{CycleWitness, SchemaError};
+use crate::name::Label;
+use crate::order::UpSet;
+use crate::weak::{ArrowMap, WeakSchema};
+
+/// A dense class id: an index into the compiled schema's class table.
+pub type ClassId = u32;
+
+/// A dense label id: an index into the compiled schema's label table.
+pub type LabelId = u32;
+
+// ---------------------------------------------------------------------------
+// Hashing
+// ---------------------------------------------------------------------------
+
+/// FNV-1a: symbol interning hashes short strings by the thousand, where
+/// SipHash's per-call setup dominates. Not DoS-resistant — fine for maps
+/// keyed by a schema's own symbols.
+pub(crate) struct Fnv(u64);
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl std::hash::Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+/// A `HashMap` with the cheap FNV hasher.
+pub(crate) type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<Fnv>>;
+
+// ---------------------------------------------------------------------------
+// Bitset primitives
+// ---------------------------------------------------------------------------
+
+#[inline]
+fn set_bit(row: &mut [u64], i: u32) {
+    row[(i / 64) as usize] |= 1u64 << (i % 64);
+}
+
+#[inline]
+fn clear_bit(row: &mut [u64], i: u32) {
+    row[(i / 64) as usize] &= !(1u64 << (i % 64));
+}
+
+#[inline]
+fn get_bit(row: &[u64], i: u32) -> bool {
+    row[(i / 64) as usize] >> (i % 64) & 1 == 1
+}
+
+#[inline]
+fn or_into(dst: &mut [u64], src: &[u64]) {
+    for (d, s) in dst.iter_mut().zip(src) {
+        *d |= s;
+    }
+}
+
+#[inline]
+fn intersects(a: &[u64], b: &[u64]) -> bool {
+    a.iter().zip(b).any(|(x, y)| x & y != 0)
+}
+
+fn is_zero(row: &[u64]) -> bool {
+    row.iter().all(|&w| w == 0)
+}
+
+/// Iterates the set bit positions of `row` in ascending order.
+fn iter_bits(row: &[u64]) -> impl Iterator<Item = u32> + '_ {
+    row.iter().enumerate().flat_map(|(word, &bits)| BitIter {
+        bits,
+        base: (word * 64) as u32,
+    })
+}
+
+struct BitIter {
+    bits: u64,
+    base: u32,
+}
+
+impl Iterator for BitIter {
+    type Item = u32;
+
+    fn next(&mut self) -> Option<u32> {
+        if self.bits == 0 {
+            return None;
+        }
+        let tz = self.bits.trailing_zeros();
+        self.bits &= self.bits - 1;
+        Some(self.base + tz)
+    }
+}
+
+/// A rectangular bit matrix: `rows × words` of `u64`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+struct BitMatrix {
+    words: usize,
+    bits: Vec<u64>,
+}
+
+impl BitMatrix {
+    fn new(rows: usize, words: usize) -> Self {
+        BitMatrix {
+            words,
+            bits: vec![0; rows * words],
+        }
+    }
+
+    #[inline]
+    fn row(&self, i: u32) -> &[u64] {
+        &self.bits[i as usize * self.words..][..self.words]
+    }
+
+    #[inline]
+    fn row_mut(&mut self, i: u32) -> &mut [u64] {
+        &mut self.bits[i as usize * self.words..][..self.words]
+    }
+
+    #[inline]
+    fn set(&mut self, i: u32, j: u32) {
+        set_bit(self.row_mut(i), j);
+    }
+
+    #[inline]
+    fn get(&self, i: u32, j: u32) -> bool {
+        get_bit(self.row(i), j)
+    }
+
+    fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CompiledSchema
+// ---------------------------------------------------------------------------
+
+/// A weak schema compiled to dense ids. See the module docs.
+///
+/// Construct with [`CompiledSchema::compile`]; all queries are in id space
+/// (`ClassId`/`LabelId`), with [`CompiledSchema::class`] /
+/// [`CompiledSchema::label`] translating back to symbols and
+/// [`CompiledSchema::decompile`] rebuilding the symbolic schema wholesale.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompiledSchema {
+    /// Id → class, sorted ascending (id order == `Class` order).
+    classes: Vec<Class>,
+    /// Id → label, sorted ascending.
+    labels: Vec<Label>,
+    /// Strict transitively closed "above" rows: bit `q` of row `p` ⇔ `p ⇒ q`.
+    supers: BitMatrix,
+    /// The transpose: bit `q` of row `p` ⇔ `q ⇒ p`.
+    subs: BitMatrix,
+    /// CSR row index: class `p`'s labelled pairs are
+    /// `pair_labels[row_start[p]..row_start[p+1]]`.
+    row_start: Vec<u32>,
+    /// Label of each (class, label) pair, ascending within a row.
+    pair_labels: Vec<LabelId>,
+    /// Target range of each pair: `targets[start..end]`, never empty.
+    pair_ranges: Vec<(u32, u32)>,
+    /// Flat arrow-target array, ascending within each range.
+    targets: Vec<ClassId>,
+}
+
+impl CompiledSchema {
+    /// Compiles a (closed) weak schema into the dense form.
+    pub fn compile(schema: &WeakSchema) -> CompiledSchema {
+        let classes: Vec<Class> = schema.classes().cloned().collect();
+        let labels: Vec<Label> = schema.all_labels().into_iter().collect();
+        let n = classes.len();
+        let words = n.div_ceil(64);
+        let cid: FastMap<&Class, u32> = classes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (c, i as u32))
+            .collect();
+        let lid: FastMap<&Label, u32> = labels
+            .iter()
+            .enumerate()
+            .map(|(i, l)| (l, i as u32))
+            .collect();
+
+        let mut supers = BitMatrix::new(n, words);
+        for (sub, sups) in &schema.supers {
+            let row = supers.row_mut(cid[sub]);
+            for sup in sups {
+                set_bit(row, cid[sup]);
+            }
+        }
+        let subs = transpose(&supers, n);
+
+        let mut row_start = Vec::with_capacity(n + 1);
+        let mut pair_labels = Vec::new();
+        let mut pair_ranges = Vec::new();
+        let mut targets: Vec<u32> = Vec::new();
+        row_start.push(0);
+        for class in &classes {
+            if let Some(by_label) = schema.arrows.get(class) {
+                for (label, tgts) in by_label {
+                    let start = targets.len() as u32;
+                    targets.extend(tgts.iter().map(|t| cid[t]));
+                    pair_labels.push(lid[label]);
+                    pair_ranges.push((start, targets.len() as u32));
+                }
+            }
+            row_start.push(pair_labels.len() as u32);
+        }
+
+        CompiledSchema {
+            classes,
+            labels,
+            supers,
+            subs,
+            row_start,
+            pair_labels,
+            pair_ranges,
+            targets,
+        }
+    }
+
+    /// Rebuilds the symbolic weak schema. Lossless:
+    /// `compile(g).decompile() == g` for every closed schema `g`.
+    ///
+    /// Every map/set is collected from an iterator already in key order
+    /// (id order == symbol order), hitting the standard library's sorted
+    /// bulk-build path instead of per-element insertions.
+    pub fn decompile(&self) -> WeakSchema {
+        let classes: BTreeSet<Class> = self.classes.iter().cloned().collect();
+        let supers: UpSet<Class> = (0..self.classes.len() as u32)
+            .filter(|&p| !is_zero(self.supers.row(p)))
+            .map(|p| {
+                let set: BTreeSet<Class> = iter_bits(self.supers.row(p))
+                    .map(|q| self.classes[q as usize].clone())
+                    .collect();
+                (self.classes[p as usize].clone(), set)
+            })
+            .collect();
+        let arrows: ArrowMap = (0..self.classes.len() as u32)
+            .filter(|&p| !self.labels_of(p).is_empty())
+            .map(|p| {
+                let by_label: BTreeMap<Label, BTreeSet<Class>> = self
+                    .pairs_of(p)
+                    .map(|(label, (start, end))| {
+                        let set: BTreeSet<Class> = self.targets[start as usize..end as usize]
+                            .iter()
+                            .map(|&t| self.classes[t as usize].clone())
+                            .collect();
+                        (self.labels[label as usize].clone(), set)
+                    })
+                    .collect();
+                (self.classes[p as usize].clone(), by_label)
+            })
+            .collect();
+        WeakSchema {
+            classes,
+            supers,
+            arrows,
+        }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Number of distinct labels.
+    pub fn num_labels(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of arrows in the closed relation.
+    pub fn num_arrows(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Number of strict specialization pairs in the closed relation.
+    pub fn num_specializations(&self) -> usize {
+        self.supers.count_ones()
+    }
+
+    /// The class behind `id`.
+    pub fn class(&self, id: ClassId) -> &Class {
+        &self.classes[id as usize]
+    }
+
+    /// The label behind `id`.
+    pub fn label(&self, id: LabelId) -> &Label {
+        &self.labels[id as usize]
+    }
+
+    /// The id of `class`, if it belongs to the schema.
+    pub fn class_id(&self, class: &Class) -> Option<ClassId> {
+        self.classes.binary_search(class).ok().map(|i| i as u32)
+    }
+
+    /// The id of `label`, if any arrow uses it.
+    pub fn label_id(&self, label: &Label) -> Option<LabelId> {
+        self.labels.binary_search(label).ok().map(|i| i as u32)
+    }
+
+    /// Whether `sub ⇒ sup` holds, including reflexivity.
+    pub fn specializes(&self, sub: ClassId, sup: ClassId) -> bool {
+        sub == sup || self.supers.get(sub, sup)
+    }
+
+    /// Whether `sub ⇒ sup` holds strictly (`sub ≠ sup`).
+    pub fn strictly_specializes(&self, sub: ClassId, sup: ClassId) -> bool {
+        self.supers.get(sub, sup)
+    }
+
+    /// The labels of arrows leaving `src`, ascending.
+    pub fn labels_of(&self, src: ClassId) -> &[LabelId] {
+        let lo = self.row_start[src as usize] as usize;
+        let hi = self.row_start[src as usize + 1] as usize;
+        &self.pair_labels[lo..hi]
+    }
+
+    /// `R(p, a)` in id space: the targets of `src`'s `label`-arrows,
+    /// ascending; empty if there is no such arrow.
+    pub fn arrow_targets(&self, src: ClassId, label: LabelId) -> &[ClassId] {
+        let lo = self.row_start[src as usize] as usize;
+        let hi = self.row_start[src as usize + 1] as usize;
+        match self.pair_labels[lo..hi].binary_search(&label) {
+            Ok(offset) => {
+                let (start, end) = self.pair_ranges[lo + offset];
+                &self.targets[start as usize..end as usize]
+            }
+            Err(_) => &[],
+        }
+    }
+
+    /// `MinS(X)` in id space: the members of `members` with no other
+    /// member strictly below them, ascending and deduplicated.
+    pub fn min_s(&self, members: &[ClassId]) -> Vec<ClassId> {
+        let state = self.bits_of(members);
+        iter_bits(&self.min_s_bits(&state)).collect()
+    }
+
+    /// `MaxS(X)` in id space: the dual of [`CompiledSchema::min_s`].
+    pub fn max_s(&self, members: &[ClassId]) -> Vec<ClassId> {
+        let state = self.bits_of(members);
+        let mut out = state.clone();
+        for m in iter_bits(&state) {
+            if intersects(self.supers.row(m), &state) {
+                clear_bit(&mut out, m);
+            }
+        }
+        iter_bits(&out).collect()
+    }
+
+    fn bits_of(&self, members: &[ClassId]) -> Vec<u64> {
+        let mut bits = vec![0u64; self.supers.words];
+        for &m in members {
+            set_bit(&mut bits, m);
+        }
+        bits
+    }
+
+    /// `MinS` over a bitset state: clears every member with another member
+    /// strictly below it (a word-wise intersection per member).
+    fn min_s_bits(&self, state: &[u64]) -> Vec<u64> {
+        let mut out = state.to_vec();
+        for m in iter_bits(state) {
+            if intersects(self.subs.row(m), state) {
+                clear_bit(&mut out, m);
+            }
+        }
+        out
+    }
+
+    fn pairs_of(&self, src: ClassId) -> impl Iterator<Item = (LabelId, (u32, u32))> + '_ {
+        let lo = self.row_start[src as usize] as usize;
+        let hi = self.row_start[src as usize + 1] as usize;
+        self.pair_labels[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.pair_ranges[lo..hi].iter().copied())
+    }
+}
+
+fn transpose(supers: &BitMatrix, n: usize) -> BitMatrix {
+    let mut subs = BitMatrix::new(n, supers.words);
+    for p in 0..n as u32 {
+        for q in iter_bits(supers.row(p)) {
+            subs.set(q, p);
+        }
+    }
+    subs
+}
+
+// ---------------------------------------------------------------------------
+// The id-space closure engine
+// ---------------------------------------------------------------------------
+
+/// Computes the strict transitive closure of the direct edges in the
+/// `direct` bit matrix (self-loops tolerated and dropped), or a cycle
+/// witness as an id path.
+fn closed_supers(n: usize, direct: &BitMatrix) -> Result<BitMatrix, Vec<u32>> {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Color {
+        White,
+        Gray,
+        Black,
+    }
+
+    let words = n.div_ceil(64);
+    let mut color = vec![Color::White; n];
+    let mut finish: Vec<u32> = Vec::with_capacity(n);
+
+    for root in 0..n as u32 {
+        if color[root as usize] != Color::White {
+            continue;
+        }
+        let mut stack: Vec<(u32, bool)> = vec![(root, false)];
+        while let Some((node, expanded)) = stack.pop() {
+            if expanded {
+                color[node as usize] = Color::Black;
+                finish.push(node);
+                continue;
+            }
+            match color[node as usize] {
+                Color::Black | Color::Gray => continue,
+                Color::White => {}
+            }
+            color[node as usize] = Color::Gray;
+            stack.push((node, true));
+            for next in iter_bits(direct.row(node)) {
+                if next == node {
+                    continue;
+                }
+                match color[next as usize] {
+                    Color::White => stack.push((next, false)),
+                    // `next` is an ancestor on the DFS stack: cycle.
+                    Color::Gray => return Err(extract_cycle_ids(direct, next)),
+                    Color::Black => {}
+                }
+            }
+        }
+    }
+
+    // Finish order lists every reachable node after its descendants, so one
+    // pass suffices: row(p) = ⋃ { {q} ∪ row(q) | p → q direct }.
+    let mut supers = BitMatrix::new(n, words);
+    let mut acc = vec![0u64; words];
+    for &node in &finish {
+        acc.iter_mut().for_each(|w| *w = 0);
+        for next in iter_bits(direct.row(node)) {
+            if next == node {
+                continue;
+            }
+            set_bit(&mut acc, next);
+            or_into(&mut acc, supers.row(next));
+        }
+        supers.row_mut(node).copy_from_slice(&acc);
+    }
+    Ok(supers)
+}
+
+/// Reconstructs a shortest cycle through `start` (known to lie on one) by
+/// BFS over the direct edges; mirrors the symbolic witness extraction so
+/// both engines report comparable paths.
+fn extract_cycle_ids(direct: &BitMatrix, start: u32) -> Vec<u32> {
+    let n = direct.bits.len().checked_div(direct.words).unwrap_or(0);
+    let mut pred = vec![u32::MAX; n];
+    let mut queue: VecDeque<u32> = VecDeque::new();
+    queue.push_back(start);
+    while let Some(node) = queue.pop_front() {
+        for next in iter_bits(direct.row(node)) {
+            if next == start {
+                let mut rev = vec![start, node];
+                let mut current = node;
+                while current != start {
+                    current = pred[current as usize];
+                    rev.push(current);
+                }
+                rev.reverse();
+                return rev;
+            }
+            if next != node && pred[next as usize] == u32::MAX {
+                pred[next as usize] = node;
+                queue.push_back(next);
+            }
+        }
+    }
+    vec![start, start]
+}
+
+/// Raw id-space schema parts: dense symbol tables, direct specialization
+/// edges as bit rows, raw arrows as per-class `label ↦ target-bits` maps.
+/// The accumulation format of every compiled construction path — bitsets
+/// deduplicate union passes for free.
+pub(crate) struct RawDense {
+    classes: Vec<Class>,
+    labels: Vec<Label>,
+    direct: BitMatrix,
+    raw_arrows: Vec<BTreeMap<u32, Vec<u64>>>,
+}
+
+impl RawDense {
+    fn new(classes: Vec<Class>, labels: Vec<Label>) -> Self {
+        let n = classes.len();
+        let words = n.div_ceil(64);
+        RawDense {
+            classes,
+            labels,
+            direct: BitMatrix::new(n, words),
+            raw_arrows: vec![BTreeMap::new(); n],
+        }
+    }
+
+    fn words(&self) -> usize {
+        self.direct.words
+    }
+}
+
+/// Closes [`RawDense`] parts into a [`CompiledSchema`]: transitive closure
+/// of the specializations, then the W1/W2 arrow closure, all on bitsets.
+/// The error is a specialization cycle as an id path.
+fn compile_dense(parts: RawDense) -> Result<CompiledSchema, CycleIds> {
+    let RawDense {
+        classes,
+        labels,
+        direct,
+        raw_arrows: raw,
+    } = parts;
+    let n = classes.len();
+    let supers = match closed_supers(n, &direct) {
+        Ok(supers) => supers,
+        Err(path) => return Err(CycleIds { path, classes }),
+    };
+    let subs = transpose(&supers, n);
+
+    // W1 (inherit raw arrows from every strict super) then W2 (close each
+    // target set upward); one pass of each suffices, as in the symbolic
+    // engine. Two fast paths skip the per-pair scratch allocations on the
+    // common shape: a class with no strict supers inherits nothing (its
+    // raw rows are final), and a target set containing no class with
+    // supers is already upward closed.
+    let words = supers.words;
+    let mut has_supers = vec![0u64; words];
+    for p in 0..n as u32 {
+        if !is_zero(supers.row(p)) {
+            set_bit(&mut has_supers, p);
+        }
+    }
+    let mut row_start = Vec::with_capacity(n + 1);
+    let mut pair_labels = Vec::new();
+    let mut pair_ranges = Vec::new();
+    let mut targets: Vec<u32> = Vec::new();
+    row_start.push(0u32);
+    let mut acc: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    let mut closed_buf: Vec<u64> = vec![0u64; words];
+    for p in 0..n as u32 {
+        let mut emit = |label: u32,
+                        bits: &[u64],
+                        pair_labels: &mut Vec<u32>,
+                        pair_ranges: &mut Vec<(u32, u32)>,
+                        targets: &mut Vec<u32>| {
+            let start = targets.len() as u32;
+            if intersects(bits, &has_supers) {
+                closed_buf.copy_from_slice(bits);
+                for t in iter_bits(bits) {
+                    or_into(&mut closed_buf, supers.row(t));
+                }
+                targets.extend(iter_bits(&closed_buf));
+            } else {
+                targets.extend(iter_bits(bits));
+            }
+            pair_labels.push(label);
+            pair_ranges.push((start, targets.len() as u32));
+        };
+        if is_zero(supers.row(p)) {
+            for (&label, bits) in &raw[p as usize] {
+                emit(
+                    label,
+                    bits,
+                    &mut pair_labels,
+                    &mut pair_ranges,
+                    &mut targets,
+                );
+            }
+        } else {
+            acc.clear();
+            acc.extend(
+                raw[p as usize]
+                    .iter()
+                    .map(|(&label, bits)| (label, bits.clone())),
+            );
+            for q in iter_bits(supers.row(p)) {
+                for (&label, bits) in &raw[q as usize] {
+                    match acc.entry(label) {
+                        std::collections::btree_map::Entry::Occupied(mut entry) => {
+                            or_into(entry.get_mut(), bits);
+                        }
+                        std::collections::btree_map::Entry::Vacant(entry) => {
+                            entry.insert(bits.clone());
+                        }
+                    }
+                }
+            }
+            for (&label, bits) in &acc {
+                emit(
+                    label,
+                    bits,
+                    &mut pair_labels,
+                    &mut pair_ranges,
+                    &mut targets,
+                );
+            }
+        }
+        row_start.push(pair_labels.len() as u32);
+    }
+
+    Ok(CompiledSchema {
+        classes,
+        labels,
+        supers,
+        subs,
+        row_start,
+        pair_labels,
+        pair_ranges,
+        targets,
+    })
+}
+
+/// [`compile_dense`] over edge/triple lists — a test-only convenience for
+/// exercising the closure engine on hand-written id-space parts.
+///
+/// `classes` and `labels` must be sorted and deduplicated (ids are their
+/// indices).
+#[cfg(test)]
+pub(crate) fn compile_from_raw(
+    classes: Vec<Class>,
+    labels: Vec<Label>,
+    spec: &[(u32, u32)],
+    arrows: &[(u32, u32, u32)],
+) -> Result<CompiledSchema, CycleIds> {
+    let mut parts = RawDense::new(classes, labels);
+    for &(sub, sup) in spec {
+        if sub != sup {
+            parts.direct.set(sub, sup);
+        }
+    }
+    let words = parts.words();
+    for &(src, label, tgt) in arrows {
+        set_bit(
+            parts.raw_arrows[src as usize]
+                .entry(label)
+                .or_insert_with(|| vec![0u64; words]),
+            tgt,
+        );
+    }
+    compile_dense(parts)
+}
+
+/// A specialization cycle found while closing id-space parts: the id path
+/// plus the class table to translate it (handed back so construction paths
+/// need not keep a copy of the table for the error case).
+#[derive(Debug)]
+pub(crate) struct CycleIds {
+    path: Vec<u32>,
+    classes: Vec<Class>,
+}
+
+impl From<CycleIds> for SchemaError {
+    fn from(cycle: CycleIds) -> SchemaError {
+        SchemaError::SpecializationCycle(CycleWitness {
+            path: cycle
+                .path
+                .into_iter()
+                .map(|id| cycle.classes[id as usize].clone())
+                .collect(),
+        })
+    }
+}
+
+/// The compiled closure engine behind [`WeakSchema::close`]: interns the
+/// raw symbolic parts, closes in id space and decompiles the result.
+pub(crate) fn close_ids(
+    mut classes: BTreeSet<Class>,
+    spec_edges: BTreeMap<Class, BTreeSet<Class>>,
+    raw_arrows: Vec<(Class, Label, Class)>,
+) -> Result<WeakSchema, SchemaError> {
+    // Classes are whatever was declared plus every edge endpoint.
+    for (sub, sups) in &spec_edges {
+        classes.insert(sub.clone());
+        classes.extend(sups.iter().cloned());
+    }
+    for (src, _, tgt) in &raw_arrows {
+        classes.insert(src.clone());
+        classes.insert(tgt.clone());
+    }
+    let labels: BTreeSet<Label> = raw_arrows.iter().map(|(_, l, _)| l.clone()).collect();
+
+    let class_vec: Vec<Class> = classes.into_iter().collect();
+    let label_vec: Vec<Label> = labels.into_iter().collect();
+    let mut parts = RawDense::new(class_vec, label_vec);
+    let words = parts.words();
+    let cid: FastMap<&Class, u32> = parts
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c, i as u32))
+        .collect();
+    let lid: FastMap<&Label, u32> = parts
+        .labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l, i as u32))
+        .collect();
+
+    for (sub, sups) in &spec_edges {
+        let p = cid[sub];
+        let row = parts.direct.row_mut(p);
+        for sup in sups {
+            let q = cid[sup];
+            if p != q {
+                set_bit(row, q);
+            }
+        }
+    }
+    for (src, label, tgt) in &raw_arrows {
+        set_bit(
+            parts.raw_arrows[cid[src] as usize]
+                .entry(lid[label])
+                .or_insert_with(|| vec![0u64; words]),
+            cid[tgt],
+        );
+    }
+    drop((cid, lid));
+
+    Ok(compile_dense(parts)?.decompile())
+}
+
+/// Merges an already-merged sorted run with another sorted iterator,
+/// deduplicating.
+fn merge_sorted<'a>(merged: &[&'a Class], next: impl Iterator<Item = &'a Class>) -> Vec<&'a Class> {
+    let mut out: Vec<&'a Class> = Vec::with_capacity(merged.len());
+    let mut left = merged.iter().peekable();
+    let mut right = next.peekable();
+    loop {
+        match (left.peek(), right.peek()) {
+            (Some(&&l), Some(&r)) => match l.cmp(r) {
+                std::cmp::Ordering::Less => {
+                    out.push(l);
+                    left.next();
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(r);
+                    right.next();
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(l);
+                    left.next();
+                    right.next();
+                }
+            },
+            (Some(&&l), None) => {
+                out.push(l);
+                left.next();
+            }
+            (None, Some(&r)) => {
+                out.push(r);
+                right.next();
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Batch-joins `schemas` with one interning pass: the least upper bound is
+/// computed entirely in id space and returned in both forms, so callers
+/// (notably [`crate::merge::merge_compiled`]) can continue in id space
+/// without recompiling.
+///
+/// The inputs' nested maps are walked structurally — one id lookup per
+/// class row, label run and target, not three per triple — and the union
+/// accumulates straight into bit rows, which deduplicate for free.
+pub(crate) fn join_compiled<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<(WeakSchema, CompiledSchema), SchemaError> {
+    let schemas: Vec<&WeakSchema> = schemas.into_iter().collect();
+    // Class union by successive merges of the inputs' already-sorted
+    // tables — cheaper than per-insert set building.
+    let mut merged: Vec<&Class> = Vec::new();
+    for schema in &schemas {
+        merged = merge_sorted(&merged, schema.classes());
+    }
+    let mut labels: BTreeSet<&Label> = BTreeSet::new();
+    for schema in &schemas {
+        for by_label in schema.arrows.values() {
+            labels.extend(by_label.keys());
+        }
+    }
+    let class_vec: Vec<Class> = merged.into_iter().cloned().collect();
+    let label_vec: Vec<Label> = labels.into_iter().cloned().collect();
+
+    let mut parts = RawDense::new(class_vec, label_vec);
+    let words = parts.words();
+    let cid: FastMap<&Class, u32> = parts
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c, i as u32))
+        .collect();
+    let lid: FastMap<&Label, u32> = parts
+        .labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l, i as u32))
+        .collect();
+    for schema in &schemas {
+        // The inputs are closed, and a union of closed relations re-closes
+        // to the same result, so feeding the closed pairs as direct edges
+        // is exact (and how Prop. 4.1 computes `S`).
+        for (sub, sups) in &schema.supers {
+            let row = parts.direct.row_mut(cid[sub]);
+            for sup in sups {
+                set_bit(row, cid[sup]);
+            }
+        }
+        for (src, by_label) in &schema.arrows {
+            let by_label_ids = &mut parts.raw_arrows[cid[src] as usize];
+            for (label, tgts) in by_label {
+                let bits = by_label_ids
+                    .entry(lid[label])
+                    .or_insert_with(|| vec![0u64; words]);
+                for tgt in tgts {
+                    set_bit(bits, cid[tgt]);
+                }
+            }
+        }
+    }
+
+    drop((cid, lid));
+    let compiled = compile_dense(parts)?;
+    Ok((compiled.decompile(), compiled))
+}
+
+/// Builds the completed schema `(C̄, Ē, S̄)` in id space — the compiled
+/// twin of the symbolic `assemble` in [`crate::complete`] (which see for
+/// the rule-by-rule commentary). `entries` pairs each `Imp` state (bits
+/// over `cs` ids) with the class standing for its meet; the paper's S̄/Ē
+/// rules become bit operations over the old rows, the implicit classes
+/// get fresh ids appended after the old table, and one `compile_dense`
+/// pass closes the extended graph.
+pub(crate) fn assemble_ids(
+    cs: &CompiledSchema,
+    entries: &[(Vec<u64>, Class)],
+) -> Result<WeakSchema, SchemaError> {
+    let n = cs.classes.len();
+    let old_words = cs.supers.words;
+
+    // Extended class table: implicit classes not already present (i.e. not
+    // rediscovered from an earlier merge) get fresh ids after the old ones.
+    let mut ext_classes: Vec<Class> = cs.classes.clone();
+    let mut new_ids: FastMap<&Class, u32> = FastMap::default();
+    let ids: Vec<u32> = entries
+        .iter()
+        .map(|(_, class)| match cs.class_id(class) {
+            Some(id) => id,
+            None => *new_ids.entry(class).or_insert_with(|| {
+                ext_classes.push(class.clone());
+                (ext_classes.len() - 1) as u32
+            }),
+        })
+        .collect();
+    let m = ext_classes.len();
+    let ext_words = m.div_ceil(64);
+
+    let mut parts = RawDense::new(ext_classes, cs.labels.clone());
+    // The old closed relations feed in as direct edges: re-closing a
+    // closed relation is the identity.
+    for p in 0..n as u32 {
+        parts.direct.row_mut(p)[..old_words].copy_from_slice(cs.supers.row(p));
+        for (label, (start, end)) in cs.pairs_of(p) {
+            let mut bits = vec![0u64; ext_words];
+            for &t in &cs.targets[start as usize..end as usize] {
+                set_bit(&mut bits, t);
+            }
+            parts.raw_arrows[p as usize].insert(label, bits);
+        }
+    }
+
+    // Per entry: `up` = every old class some member specializes (the
+    // reflexive upward closure of the state), and the flattened origin
+    // names as ids (`None` when a name is not a class of the schema — no
+    // rule can then place anything below the implicit class).
+    let mut ups: Vec<Vec<u64>> = Vec::with_capacity(entries.len());
+    let mut flats: Vec<Option<Vec<u32>>> = Vec::with_capacity(entries.len());
+    for (state, _) in entries {
+        let mut up = vec![0u64; ext_words];
+        for q in iter_bits(state) {
+            set_bit(&mut up, q);
+            or_into(&mut up[..old_words], cs.supers.row(q));
+        }
+        ups.push(up);
+
+        let mut flat: Vec<u32> = Vec::new();
+        let mut all_present = true;
+        for q in iter_bits(state) {
+            let class = cs.class(q);
+            if class.origin().is_none() {
+                flat.push(q);
+            } else {
+                for name in class.flattened_names() {
+                    match cs.class_id(&Class::Named(name)) {
+                        Some(id) => flat.push(id),
+                        None => all_present = false,
+                    }
+                }
+            }
+        }
+        flat.sort_unstable();
+        flat.dedup();
+        flats.push(all_present.then_some(flat));
+    }
+
+    // S̄: X ⇒ p for p ∈ up(X); p ⇒ X when p specializes every flattened
+    // origin of X; X ⇒ Y when every flattened origin of Y is in up(X).
+    let mut cand = vec![0u64; ext_words];
+    for (i, up) in ups.iter().enumerate() {
+        let xe = ids[i];
+        or_into(parts.direct.row_mut(xe), up);
+        if let Some(flat) = &flats[i] {
+            let mut down = vec![0u64; ext_words];
+            for (word, slot) in down.iter_mut().enumerate().take(old_words) {
+                let covered = (word + 1) * 64;
+                *slot = if covered <= n {
+                    u64::MAX
+                } else {
+                    u64::MAX >> (covered - n)
+                };
+            }
+            for &f in flat {
+                cand.fill(0);
+                set_bit(&mut cand, f);
+                or_into(&mut cand[..old_words], cs.subs.row(f));
+                for (d, c) in down.iter_mut().zip(&cand) {
+                    *d &= c;
+                }
+            }
+            for p in iter_bits(&down) {
+                parts.direct.set(p, xe);
+            }
+        }
+    }
+    for (i, up) in ups.iter().enumerate() {
+        for (j, flat) in flats.iter().enumerate() {
+            if ids[i] == ids[j] {
+                continue;
+            }
+            let Some(flat) = flat else { continue };
+            if flat.iter().all(|&f| get_bit(up, f)) {
+                parts.direct.set(ids[i], ids[j]);
+            }
+        }
+    }
+
+    // Ē into implicit targets: x --a--> Y whenever Y ⊆ R(x, a). The
+    // subset tests run against a snapshot of the original target set.
+    let subset = |state: &[u64], reached: &[u64]| -> bool {
+        state.iter().zip(reached).all(|(s, r)| s & !r == 0)
+    };
+    for x in 0..n {
+        for bits in parts.raw_arrows[x].values_mut() {
+            let snapshot = bits.clone();
+            for (j, (y_state, _)) in entries.iter().enumerate() {
+                if subset(y_state, &snapshot) {
+                    set_bit(bits, ids[j]);
+                }
+            }
+        }
+    }
+    // Ē out of implicit classes: R̄(X, a) = R(X, a), plus implicit targets
+    // contained in it.
+    let label_words = cs.labels.len().div_ceil(64);
+    let mut label_bits = vec![0u64; label_words];
+    for (i, (state, _)) in entries.iter().enumerate() {
+        let xe = ids[i];
+        label_bits.fill(0);
+        for q in iter_bits(state) {
+            for &label in cs.labels_of(q) {
+                set_bit(&mut label_bits, label);
+            }
+        }
+        for label in iter_bits(&label_bits).collect::<Vec<_>>() {
+            let mut reached = vec![0u64; ext_words];
+            for q in iter_bits(state) {
+                for &t in cs.arrow_targets(q, label) {
+                    set_bit(&mut reached, t);
+                }
+            }
+            if is_zero(&reached) {
+                continue;
+            }
+            let mut full = reached.clone();
+            for (j, (y_state, _)) in entries.iter().enumerate() {
+                if subset(y_state, &reached) {
+                    set_bit(&mut full, ids[j]);
+                }
+            }
+            match parts.raw_arrows[xe as usize].entry(label) {
+                std::collections::btree_map::Entry::Occupied(mut entry) => {
+                    or_into(entry.get_mut(), &full);
+                }
+                std::collections::btree_map::Entry::Vacant(entry) => {
+                    entry.insert(full);
+                }
+            }
+        }
+    }
+
+    Ok(compile_dense(parts)?.decompile())
+}
+
+// ---------------------------------------------------------------------------
+// The Imp fixpoint in id space
+// ---------------------------------------------------------------------------
+
+/// A discovery witness in id space: follow `labels` from `start`.
+pub(crate) struct IdWitness {
+    pub(crate) start: ClassId,
+    pub(crate) labels: Vec<LabelId>,
+}
+
+/// Runs the `I∞` fixpoint of §4.2 on the compiled schema: every reachable
+/// MinS-canonical state (as a class-id bitset) with its first-discovery
+/// witness, in discovery order. Mirrors the symbolic
+/// `reference`-module discovery exactly — classes and labels are iterated
+/// in sorted (= id) order, so witnesses agree.
+pub(crate) fn discover_states_ids(cs: &CompiledSchema) -> Vec<(Vec<u64>, IdWitness)> {
+    let n = cs.classes.len() as u32;
+    let label_words = cs.labels.len().div_ceil(64);
+    let mut states: Vec<(Vec<u64>, IdWitness)> = Vec::new();
+    let mut seen: FastMap<Vec<u64>, usize> = FastMap::default();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+
+    // I₁: R(p, a) for every class and label, canonicalized by MinS.
+    for p in 0..n {
+        for (label, (start, end)) in cs.pairs_of(p) {
+            let reached = cs.bits_of(&cs.targets[start as usize..end as usize]);
+            let state = cs.min_s_bits(&reached);
+            if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(state.clone()) {
+                entry.insert(states.len());
+                queue.push_back(states.len());
+                states.push((
+                    state,
+                    IdWitness {
+                        start: p,
+                        labels: vec![label],
+                    },
+                ));
+            }
+        }
+    }
+
+    // Iₙ₊₁ = R(X, a), stepping from canonical states (exact by W1).
+    // Singleton states are skipped: stepping from `{q}` through `a` gives
+    // `MinS(R(q, a))`, which the I₁ seeding above already inserted — the
+    // symbolic engine re-derives (and re-rejects) these, harmlessly.
+    let mut state_labels = vec![0u64; label_words];
+    while let Some(index) = queue.pop_front() {
+        let state = states[index].0.clone();
+        if state.iter().map(|w| w.count_ones()).sum::<u32>() < 2 {
+            continue;
+        }
+        state_labels.iter_mut().for_each(|w| *w = 0);
+        for member in iter_bits(&state) {
+            for &label in cs.labels_of(member) {
+                set_bit(&mut state_labels, label);
+            }
+        }
+        for label in iter_bits(&state_labels).collect::<Vec<_>>() {
+            let mut reached = vec![0u64; cs.supers.words];
+            for member in iter_bits(&state) {
+                for &t in cs.arrow_targets(member, label) {
+                    set_bit(&mut reached, t);
+                }
+            }
+            if is_zero(&reached) {
+                continue;
+            }
+            let next = cs.min_s_bits(&reached);
+            if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(next.clone()) {
+                entry.insert(states.len());
+                queue.push_back(states.len());
+                let witness = IdWitness {
+                    start: states[index].1.start,
+                    labels: {
+                        let mut labels = states[index].1.labels.clone();
+                        labels.push(label);
+                        labels
+                    },
+                };
+                states.push((next, witness));
+            }
+        }
+    }
+
+    states
+}
+
+/// Translates an id-space state bitset back to a symbolic class set.
+pub(crate) fn state_classes(cs: &CompiledSchema, bits: &[u64]) -> BTreeSet<Class> {
+    iter_bits(bits).map(|id| cs.class(id).clone()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn l(s: &str) -> Label {
+        Label::new(s)
+    }
+
+    fn sample() -> WeakSchema {
+        WeakSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .specialize("Police-dog", "Dog")
+            .arrow("Dog", "age", "int")
+            .arrow("Dog", "kind", "Breed")
+            .arrow("Police-dog", "id-num", "int")
+            .arrow("Lives", "occ", "Dog")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn compile_decompile_round_trips() {
+        let g = sample();
+        let compiled = CompiledSchema::compile(&g);
+        assert_eq!(compiled.decompile(), g);
+        assert_eq!(compiled.num_classes(), g.num_classes());
+        assert_eq!(compiled.num_arrows(), g.num_arrows());
+        assert_eq!(compiled.num_specializations(), g.num_specializations());
+    }
+
+    #[test]
+    fn empty_schema_compiles() {
+        let compiled = CompiledSchema::compile(&WeakSchema::empty());
+        assert_eq!(compiled.num_classes(), 0);
+        assert_eq!(compiled.decompile(), WeakSchema::empty());
+    }
+
+    #[test]
+    fn id_queries_agree_with_symbolic() {
+        let g = sample();
+        let cs = CompiledSchema::compile(&g);
+        let dog = cs.class_id(&c("Dog")).unwrap();
+        let police = cs.class_id(&c("Police-dog")).unwrap();
+        let age = cs.label_id(&l("age")).unwrap();
+        assert!(cs.specializes(police, dog));
+        assert!(cs.strictly_specializes(police, dog));
+        assert!(!cs.specializes(dog, police));
+        assert!(cs.specializes(dog, dog), "reflexive");
+        assert!(!cs.strictly_specializes(dog, dog), "strict");
+        // Police-dog inherits Dog's age arrow (W1 closure is compiled in).
+        let targets = cs.arrow_targets(police, age);
+        assert_eq!(targets.len(), 1);
+        assert_eq!(cs.class(targets[0]), &c("int"));
+        assert!(cs.class_id(&c("Cat")).is_none());
+        assert!(cs.label_id(&l("nope")).is_none());
+    }
+
+    #[test]
+    fn min_s_and_max_s_in_id_space() {
+        let g = WeakSchema::builder()
+            .specialize("C", "A")
+            .specialize("C", "B")
+            .build()
+            .unwrap();
+        let cs = CompiledSchema::compile(&g);
+        let all: Vec<u32> = (0..cs.num_classes() as u32).collect();
+        let min: Vec<&Class> = cs.min_s(&all).iter().map(|&i| cs.class(i)).collect();
+        assert_eq!(min, vec![&c("C")]);
+        let max: Vec<&Class> = cs.max_s(&all).iter().map(|&i| cs.class(i)).collect();
+        assert_eq!(max, vec![&c("A"), &c("B")]);
+        // Agreement with the symbolic antichains on the same set.
+        let sym_min = g.min_s(cs.min_s(&all).iter().map(|&i| cs.class(i)));
+        assert_eq!(sym_min.len(), 1);
+    }
+
+    #[test]
+    fn compile_from_raw_closes_w1_w2() {
+        // p' ⇒ p, p --a--> q, q ⇒ q' must close to p' --a--> q'.
+        let classes = vec![c("p"), c("p'"), c("q"), c("q'")];
+        let labels = vec![l("a")];
+        let spec = [(1, 0), (2, 3)];
+        let arrows = [(0, 0, 2)];
+        let cs = compile_from_raw(classes, labels, &spec, &arrows).unwrap();
+        let symbolic = WeakSchema::builder()
+            .specialize("p'", "p")
+            .specialize("q", "q'")
+            .arrow("p", "a", "q")
+            .build()
+            .unwrap();
+        assert_eq!(cs.decompile(), symbolic);
+    }
+
+    #[test]
+    fn compile_from_raw_reports_cycles() {
+        let classes = vec![c("a"), c("b"), c("c")];
+        let spec = [(0, 1), (1, 2), (2, 0)];
+        let err = compile_from_raw(classes, vec![], &spec, &[]).unwrap_err();
+        assert_eq!(err.path.first(), err.path.last());
+        assert!(err.path.len() >= 3);
+        // The witness follows direct edges.
+        for pair in err.path.windows(2) {
+            assert!(spec.contains(&(pair[0], pair[1])), "non-edge {pair:?}");
+        }
+    }
+
+    #[test]
+    fn bit_iteration_crosses_word_boundaries() {
+        let mut row = vec![0u64; 2];
+        for i in [0u32, 63, 64, 100] {
+            set_bit(&mut row, i);
+        }
+        assert_eq!(iter_bits(&row).collect::<Vec<_>>(), vec![0, 63, 64, 100]);
+        assert!(get_bit(&row, 63) && !get_bit(&row, 62));
+        clear_bit(&mut row, 63);
+        assert!(!get_bit(&row, 63));
+    }
+
+    #[test]
+    fn discovery_matches_symbolic_fixpoint() {
+        let g = WeakSchema::builder()
+            .arrow("C", "a", "B1")
+            .arrow("C", "a", "B2")
+            .arrow("B1", "b", "T1")
+            .arrow("B2", "b", "T2")
+            .build()
+            .unwrap();
+        let cs = CompiledSchema::compile(&g);
+        let states = discover_states_ids(&cs);
+        let sets: BTreeSet<BTreeSet<Class>> = states
+            .iter()
+            .map(|(bits, _)| state_classes(&cs, bits))
+            .collect();
+        // {B1,B2} and {T1,T2} plus the singleton seeds.
+        assert!(sets.contains(&[c("B1"), c("B2")].into_iter().collect()));
+        assert!(sets.contains(&[c("T1"), c("T2")].into_iter().collect()));
+    }
+
+    #[test]
+    fn large_schema_round_trips_across_word_boundary() {
+        // > 64 classes so the bitset rows span multiple words.
+        let mut builder = WeakSchema::builder();
+        for i in 0..70 {
+            builder = builder.class(format!("C{i:03}"));
+        }
+        for i in 1..70usize {
+            builder = builder.specialize(format!("C{:03}", i), format!("C{:03}", i / 2));
+        }
+        for i in 0..35usize {
+            builder = builder.arrow(format!("C{i:03}"), "f", format!("C{:03}", 69 - i));
+        }
+        let g = builder.build().unwrap();
+        let cs = CompiledSchema::compile(&g);
+        assert_eq!(cs.decompile(), g);
+    }
+}

@@ -28,11 +28,20 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 use crate::class::Class;
+use crate::compile::{self, CompiledSchema};
 use crate::consistency::ConsistencyRelation;
 use crate::error::{MergeError, SchemaError};
 use crate::name::Label;
 use crate::proper::ProperSchema;
 use crate::weak::WeakSchema;
+
+/// A `WeakSchema::close`-shaped closure function, letting the completion
+/// pipeline run on either the compiled or the symbolic reference engine.
+pub(crate) type CloseFn = fn(
+    BTreeSet<Class>,
+    BTreeMap<Class, BTreeSet<Class>>,
+    Vec<(Class, Label, Class)>,
+) -> Result<WeakSchema, SchemaError>;
 
 /// How an implicit class was discovered: follow `labels` starting from
 /// `start`, taking minimal reachable target sets at each step, and you
@@ -99,6 +108,45 @@ pub fn complete(weak: &WeakSchema) -> Result<ProperSchema, SchemaError> {
 pub fn complete_with_report(
     weak: &WeakSchema,
 ) -> Result<(ProperSchema, CompletionReport), SchemaError> {
+    complete_impl(weak, None, Engine::Compiled)
+}
+
+/// [`complete_with_report`] reusing an already-compiled form of `weak`
+/// (the [`crate::merge::merge_compiled`] fast path: the join's compiled
+/// result feeds straight into the implicit-class search).
+pub(crate) fn complete_reusing(
+    weak: &WeakSchema,
+    compiled: &CompiledSchema,
+) -> Result<(ProperSchema, CompletionReport), SchemaError> {
+    complete_impl(weak, Some(compiled), Engine::Compiled)
+}
+
+/// Which implementation the completion pipeline runs on: the compiled
+/// id-space engine (the default) or the retained symbolic one (the
+/// [`crate::reference`] path).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Engine {
+    /// Dense ids, bitset closures, CSR arrows ([`crate::compile`]).
+    Compiled,
+    /// The original `BTreeMap`/`BTreeSet` algorithms.
+    Symbolic,
+}
+
+impl Engine {
+    fn close_fn(self) -> CloseFn {
+        match self {
+            Engine::Compiled => WeakSchema::close,
+            Engine::Symbolic => WeakSchema::close_symbolic,
+        }
+    }
+}
+
+pub(crate) fn complete_impl(
+    weak: &WeakSchema,
+    precompiled: Option<&CompiledSchema>,
+    engine: Engine,
+) -> Result<(ProperSchema, CompletionReport), SchemaError> {
+    let close = engine.close_fn();
     // Pre-existing implicit classes (earlier merge results fed back in)
     // may carry origin sets that later-arriving specializations have made
     // non-canonical: with E01 ⇒ E04 and E01 ⇒ E07 in scope, {E00,E01,E04}
@@ -107,40 +155,90 @@ pub fn complete_with_report(
     // merge as cyclic; canonicalizing origin sets by MinS/MaxS first
     // identifies them instead (the paper's "up to the naming of implicit
     // classes").
-    let canonical = canonicalize_implicit(weak)?;
+    let canonical = canonicalize_implicit(weak, close)?;
     let weak = canonical.as_ref().unwrap_or(weak);
-    let states = discover_states(weak);
 
-    // `Imp`: the states of cardinality > 1, each becoming an implicit
-    // class. Distinct states may flatten to the same class (when inputs
-    // already contained implicit classes); contributions are unioned.
-    let mut class_of_state: BTreeMap<BTreeSet<Class>, Class> = BTreeMap::new();
+    match engine {
+        Engine::Symbolic => {
+            let states = discover_states(weak);
+            let imp = states
+                .into_iter()
+                .filter(|(state, _)| state.len() >= 2)
+                .collect();
+            let (entries, report) = name_states(weak, imp);
+            let completed = assemble(weak, &entries, close)?;
+            Ok((ProperSchema::try_new(completed)?, report))
+        }
+        Engine::Compiled => {
+            // Compile once (or reuse the caller's compiled join), run the
+            // fixpoint on bitset states and assemble in id space.
+            let owned;
+            let compiled = match (&canonical, precompiled) {
+                (None, Some(compiled)) => compiled,
+                _ => {
+                    owned = CompiledSchema::compile(weak);
+                    &owned
+                }
+            };
+            let mut imp: BTreeMap<BTreeSet<Class>, ImplicitWitness> = BTreeMap::new();
+            let mut bits_of_state: BTreeMap<BTreeSet<Class>, Vec<u64>> = BTreeMap::new();
+            for (bits, witness) in compile::discover_states_ids(compiled) {
+                if bits.iter().map(|w| w.count_ones()).sum::<u32>() < 2 {
+                    continue;
+                }
+                let state = compile::state_classes(compiled, &bits);
+                imp.insert(
+                    state.clone(),
+                    ImplicitWitness {
+                        start: compiled.class(witness.start).clone(),
+                        labels: witness
+                            .labels
+                            .iter()
+                            .map(|&l| compiled.label(l).clone())
+                            .collect(),
+                    },
+                );
+                bits_of_state.insert(state, bits);
+            }
+            let (entries, report) = name_states(weak, imp);
+            let id_entries: Vec<(Vec<u64>, Class)> = entries
+                .iter()
+                .map(|(state, class)| (bits_of_state[state].clone(), class.clone()))
+                .collect();
+            let completed = compile::assemble_ids(compiled, &id_entries)?;
+            Ok((ProperSchema::try_new(completed)?, report))
+        }
+    }
+}
+
+/// Names every `Imp` state (the reachable states of cardinality > 1) and
+/// builds the completion report. Distinct states may flatten to the same
+/// class (when inputs already contained implicit classes); contributions
+/// are unioned by the assembly. Shared by both engines; `states` must be
+/// sorted by state so the first-witness choice is deterministic.
+fn name_states(
+    weak: &WeakSchema,
+    states: BTreeMap<BTreeSet<Class>, ImplicitWitness>,
+) -> (Vec<(BTreeSet<Class>, Class)>, CompletionReport) {
+    let mut entries: Vec<(BTreeSet<Class>, Class)> = Vec::with_capacity(states.len());
     let mut report = CompletionReport::default();
-    for (state, witness) in &states {
-        if state.len() < 2 {
-            continue;
+    for (state, witness) in states {
+        let class = canonical_meet_class(weak, &state);
+        if !weak.contains_class(&class) {
+            // Not already present from an earlier merge: genuinely new.
+            let newly_seen = !report.implicit.iter().any(|info| info.class == class);
+            if newly_seen {
+                report.implicit.push(ImplicitClassInfo {
+                    class: class.clone(),
+                    members: state.clone(),
+                    witness,
+                });
+            }
         }
-        let class = canonical_meet_class(weak, state);
-        if weak.contains_class(&class) {
-            // Already present from an earlier merge: rediscovered, not new.
-            class_of_state.insert(state.clone(), class);
-            continue;
-        }
-        let newly_seen = !report.implicit.iter().any(|info| info.class == class);
-        if newly_seen {
-            report.implicit.push(ImplicitClassInfo {
-                class: class.clone(),
-                members: state.clone(),
-                witness: witness.clone(),
-            });
-        }
-        class_of_state.insert(state.clone(), class);
+        entries.push((state, class));
     }
     report.implicit.sort_by(|a, b| a.class.cmp(&b.class));
-
-    let completed = assemble(weak, &class_of_state)?;
-    let proper = ProperSchema::try_new(completed)?;
-    Ok((proper, report))
+    (entries, report)
 }
 
 /// [`complete`] with the §4.2 consistency check: every pair of origins of
@@ -188,7 +286,10 @@ fn canonical_meet_class(weak: &WeakSchema, state: &BTreeSet<Class>) -> Class {
 /// canonical under this schema's specialization order (MinS for meets,
 /// MaxS for unions), merging classes that canonicalize to the same name.
 /// Returns `None` when nothing needed renaming.
-fn canonicalize_implicit(weak: &WeakSchema) -> Result<Option<WeakSchema>, SchemaError> {
+fn canonicalize_implicit(
+    weak: &WeakSchema,
+    close: CloseFn,
+) -> Result<Option<WeakSchema>, SchemaError> {
     let mut rename: BTreeMap<Class, Class> = BTreeMap::new();
     for class in weak.classes() {
         let Some(origin) = class.origin() else {
@@ -231,13 +332,17 @@ fn canonicalize_implicit(weak: &WeakSchema) -> Result<Option<WeakSchema>, Schema
         .into_iter()
         .map(|(p, a, q)| (map(&p), a, map(&q)))
         .collect();
-    WeakSchema::close(classes, spec_edges, arrows).map(Some)
+    close(classes, spec_edges, arrows).map(Some)
 }
 
 /// Runs the `I∞` fixpoint, returning every reachable MinS-canonical state
 /// with a discovery witness. States of cardinality 1 are tracked (they seed
 /// longer derivations) but produce no implicit class.
-fn discover_states(weak: &WeakSchema) -> BTreeMap<BTreeSet<Class>, ImplicitWitness> {
+///
+/// This is the symbolic reference implementation;
+/// `compile::discover_states_ids` is the id-space twin the public path
+/// uses.
+pub(crate) fn discover_states(weak: &WeakSchema) -> BTreeMap<BTreeSet<Class>, ImplicitWitness> {
     let mut states: BTreeMap<BTreeSet<Class>, ImplicitWitness> = BTreeMap::new();
     let mut queue: VecDeque<BTreeSet<Class>> = VecDeque::new();
 
@@ -292,10 +397,11 @@ fn discover_states(weak: &WeakSchema) -> BTreeMap<BTreeSet<Class>, ImplicitWitne
 /// Builds `(C̄, Ē, S̄)` from the input schema and the implicit classes.
 fn assemble(
     weak: &WeakSchema,
-    class_of_state: &BTreeMap<BTreeSet<Class>, Class>,
+    class_of_state: &[(BTreeSet<Class>, Class)],
+    close: CloseFn,
 ) -> Result<WeakSchema, SchemaError> {
     let (mut classes, mut spec, mut arrows) = weak.to_raw_parts();
-    classes.extend(class_of_state.values().cloned());
+    classes.extend(class_of_state.iter().map(|(_, class)| class.clone()));
 
     // S̄, rule by rule. `le` below is the reflexive specialization of the
     // *input* schema, as in the paper ("q ⇒ p ∈ S").
@@ -382,7 +488,7 @@ fn assemble(
     }
     let _ = label_universe; // retained for symmetry with the paper's L
 
-    WeakSchema::close(classes, spec, arrows)
+    close(classes, spec, arrows)
 }
 
 #[cfg(test)]

@@ -23,6 +23,14 @@
 //! [`merge::MergeSession`], and alpha-isomorphism for comparing results
 //! modulo implicit-class naming ([`iso`]).
 //!
+//! Internally every hot path runs on the **compiled schema core**
+//! ([`compile`]): classes and labels are interned to dense `u32` ids,
+//! the specialization closure lives in bitset rows and arrows in CSR
+//! adjacency. [`merge_compiled`] is the batch entry point that interns
+//! N schemas once and joins in id space; the original symbolic
+//! algorithms are retained in the [`reference`](mod@crate::reference)
+//! module for differential testing and benchmarking.
+//!
 //! ## Quick example
 //!
 //! ```
@@ -49,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub mod class;
+pub mod compile;
 pub mod complete;
 pub mod consistency;
 pub mod diff;
@@ -62,11 +71,13 @@ pub mod name;
 mod order;
 pub mod participation;
 pub mod proper;
+pub mod reference;
 pub mod rename;
 pub mod restructure;
 pub mod weak;
 
 pub use class::{Class, OriginSet};
+pub use compile::{ClassId, CompiledSchema, LabelId};
 pub use complete::{complete, complete_with_report, CompletionReport, ImplicitClassInfo};
 pub use consistency::ConsistencyRelation;
 pub use diff::{diff, merge_contribution, SchemaDiff};
@@ -77,7 +88,8 @@ pub use lower::{
     annotated_join, lower_complete, lower_merge, AnnotatedSchema, LowerCompletionReport,
 };
 pub use merge::{
-    are_compatible, merge, merge_consistent, weak_join, weak_join_all, MergeOutcome, MergeSession,
+    are_compatible, merge, merge_compiled, merge_consistent, weak_join, weak_join_all,
+    MergeOutcome, MergeSession,
 };
 pub use name::{Label, Name};
 pub use participation::Participation;
@@ -94,12 +106,13 @@ pub use weak::{SchemaBuilder, WeakSchema};
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::class::Class;
+    pub use crate::compile::CompiledSchema;
     pub use crate::complete::complete;
     pub use crate::consistency::ConsistencyRelation;
     pub use crate::error::{MergeError, SchemaError};
     pub use crate::keys::{KeyAssignment, KeySet, SuperkeyFamily};
     pub use crate::lower::{lower_complete, lower_merge, AnnotatedSchema};
-    pub use crate::merge::{merge, weak_join, weak_join_all, MergeSession};
+    pub use crate::merge::{merge, merge_compiled, weak_join, weak_join_all, MergeSession};
     pub use crate::name::{Label, Name};
     pub use crate::participation::Participation;
     pub use crate::proper::ProperSchema;

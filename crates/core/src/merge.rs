@@ -18,10 +18,8 @@
 //! merged with the same operation, so the session's result is independent
 //! of the order in which schemas and assertions arrive.
 
-use std::collections::{BTreeMap, BTreeSet};
-
 use crate::class::Class;
-use crate::complete::{complete_checked, complete_with_report, CompletionReport};
+use crate::complete::{complete_checked, complete_reusing, complete_with_report, CompletionReport};
 use crate::consistency::ConsistencyRelation;
 use crate::error::{MergeError, SchemaError};
 use crate::name::Label;
@@ -43,27 +41,19 @@ pub fn weak_join(left: &WeakSchema, right: &WeakSchema) -> Result<WeakSchema, Me
 /// Computed in one pass rather than by folding binary joins: the result is
 /// the same (associativity), but a single closure computation is cheaper
 /// and reports incompatibility cycles spanning several schemas directly.
+/// Runs on the compiled engine — the inputs are interned once and the
+/// union, closure and W1/W2 passes all happen on bitset rows
+/// ([`crate::compile`]); the symbolic path survives as
+/// [`crate::reference::weak_join_all`].
 pub fn weak_join_all<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<WeakSchema, MergeError> {
-    let mut classes: BTreeSet<Class> = BTreeSet::new();
-    let mut spec: BTreeMap<Class, BTreeSet<Class>> = BTreeMap::new();
-    let mut arrows: Vec<(Class, Label, Class)> = Vec::new();
-    for schema in schemas {
-        classes.extend(schema.classes().cloned());
-        for (sub, sup) in schema.specialization_pairs() {
-            spec.entry(sub.clone()).or_default().insert(sup.clone());
-        }
-        arrows.extend(
-            schema
-                .arrow_triples()
-                .map(|(p, a, q)| (p.clone(), a.clone(), q.clone())),
-        );
-    }
-    WeakSchema::close(classes, spec, arrows).map_err(|err| match err {
-        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
-        other => MergeError::Schema(other),
-    })
+    crate::compile::join_compiled(schemas)
+        .map(|(weak, _)| weak)
+        .map_err(|err| match err {
+            SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
+            other => MergeError::Schema(other),
+        })
 }
 
 /// Whether a collection of schemas is compatible (§4.1): the transitive
@@ -90,6 +80,31 @@ pub fn merge<'a>(
 ) -> Result<MergeOutcome, MergeError> {
     let weak = weak_join_all(schemas)?;
     let (proper, report) = complete_with_report(&weak)?;
+    Ok(MergeOutcome {
+        weak,
+        proper,
+        report,
+    })
+}
+
+/// The paper's merge on the compiled fast path: every input schema is
+/// interned **once** into a shared dense symbol table, the least upper
+/// bound and the implicit-class search both run in id space (bitset
+/// closures, CSR arrows — see [`crate::compile`]), and the symbolic
+/// result is decompiled only at the end.
+///
+/// The outcome is identical to [`merge`] — same weak join, same proper
+/// schema, same report (property-tested against the
+/// [`crate::reference`] engine) — but N-way merges skip the per-schema
+/// symbol churn, which is where large batch merges spend their time.
+pub fn merge_compiled<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<MergeOutcome, MergeError> {
+    let (weak, compiled) = crate::compile::join_compiled(schemas).map_err(|err| match err {
+        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
+        other => MergeError::Schema(other),
+    })?;
+    let (proper, report) = complete_reusing(&weak, &compiled).map_err(MergeError::Schema)?;
     Ok(MergeOutcome {
         weak,
         proper,
@@ -491,5 +506,60 @@ mod tests {
     fn merge_of_nothing_is_empty() {
         let outcome = merge(std::iter::empty::<&WeakSchema>()).unwrap();
         assert_eq!(outcome.proper.num_classes(), 0);
+    }
+
+    #[test]
+    fn merge_compiled_agrees_with_merge() {
+        let g1 = dog_schema_one();
+        let g2 = dog_schema_two();
+        let g3 = WeakSchema::builder()
+            .specialize("C", "Dog")
+            .specialize("C", "Person")
+            .arrow("Dog", "Owner", "Company")
+            .build()
+            .unwrap();
+        let batch = merge_compiled([&g1, &g2, &g3]).unwrap();
+        let symbolic = merge([&g1, &g2, &g3]).unwrap();
+        assert_eq!(batch, symbolic);
+    }
+
+    #[test]
+    fn merge_compiled_of_nothing_is_empty() {
+        let outcome = merge_compiled(std::iter::empty::<&WeakSchema>()).unwrap();
+        assert_eq!(outcome.proper.num_classes(), 0);
+        assert_eq!(outcome.weak, WeakSchema::empty());
+    }
+
+    #[test]
+    fn merge_compiled_reports_incompatibility() {
+        let g1 = WeakSchema::builder().specialize("A", "B").build().unwrap();
+        let g2 = WeakSchema::builder().specialize("B", "A").build().unwrap();
+        match merge_compiled([&g1, &g2]).unwrap_err() {
+            MergeError::Incompatible(witness) => {
+                assert_eq!(witness.path.first(), witness.path.last());
+                assert!(witness.path.contains(&c("A")));
+            }
+            other => panic!("expected incompatibility, got {other}"),
+        }
+    }
+
+    #[test]
+    fn merge_compiled_handles_preexisting_implicit_classes() {
+        // A completed result fed back in (with its implicit class) must
+        // take the canonicalization path and still agree with `merge`.
+        let g1 = WeakSchema::builder()
+            .arrow("C", "a", "B1")
+            .arrow("C", "a", "B2")
+            .build()
+            .unwrap();
+        let first = merge([&g1]).unwrap();
+        let g2 = WeakSchema::builder()
+            .specialize("B1", "B2")
+            .arrow("C", "a", "B3")
+            .build()
+            .unwrap();
+        let batch = merge_compiled([first.proper.as_weak(), &g2]).unwrap();
+        let symbolic = merge([first.proper.as_weak(), &g2]).unwrap();
+        assert_eq!(batch, symbolic);
     }
 }

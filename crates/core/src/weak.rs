@@ -325,7 +325,24 @@ impl WeakSchema {
 
     /// Builds a closed schema from raw parts, applying the closure. Shared
     /// by the builder and the merge/completion internals.
+    ///
+    /// Routed through the compiled engine ([`crate::compile`]): the parts
+    /// are interned to dense ids, closed on bitsets and decompiled. The
+    /// original symbolic closure is retained as
+    /// [`WeakSchema::close_symbolic`] for the [`crate::reference`] path.
     pub(crate) fn close(
+        classes: BTreeSet<Class>,
+        spec_edges: BTreeMap<Class, BTreeSet<Class>>,
+        raw_arrows: Vec<(Class, Label, Class)>,
+    ) -> Result<WeakSchema, SchemaError> {
+        crate::compile::close_ids(classes, spec_edges, raw_arrows)
+    }
+
+    /// The symbolic (pre-compilation) closure: `BTreeMap`/`BTreeSet`
+    /// algorithms over symbol keys. Kept verbatim as the reference
+    /// implementation; produces exactly the same schemas as
+    /// [`WeakSchema::close`].
+    pub(crate) fn close_symbolic(
         mut classes: BTreeSet<Class>,
         spec_edges: BTreeMap<Class, BTreeSet<Class>>,
         raw_arrows: Vec<(Class, Label, Class)>,

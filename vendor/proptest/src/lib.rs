@@ -2,8 +2,9 @@
 //!
 //! The build environment has no network access to crates.io, so this
 //! vendored crate implements the subset of proptest the workspace's
-//! property tests use: the [`Strategy`] trait with `prop_map` and
-//! `boxed`, range / tuple / [`Just`] / [`collection::vec`] strategies,
+//! property tests use: the [`strategy::Strategy`] trait with `prop_map`
+//! and `boxed`, range / tuple / [`strategy::Just`] / [`collection::vec`]
+//! strategies,
 //! [`arbitrary::any`], the `prop_oneof!` union, and the `proptest!` /
 //! `prop_assert!` / `prop_assert_eq!` macros.
 //!
@@ -434,7 +435,7 @@ pub mod collection {
         VecStrategy { element, size }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         element: S,
