@@ -16,4 +16,4 @@ pub mod figures;
 pub mod perf;
 
 pub use figures::{all_rows, Row, Verdict};
-pub use perf::{run_suite, to_json, to_table, BenchRecord, BenchReport, Speedup, Variant};
+pub use perf::{run_suite, to_json, to_table, BenchRecord, BenchReport, Speedup};

@@ -1,55 +1,59 @@
 //! The `bench --json` runner: the machine-readable perf trajectory.
 //!
 //! Criterion benches are great for interactive work but CI never ran
-//! them, so no PR could *claim* a speedup. This module measures the two
-//! merge engines — the symbolic reference path
-//! ([`schema_merge_core::reference`]) and the compiled path (dense ids +
-//! bitset closures, [`schema_merge_core::compile`]) — on the `workload`
-//! generators and emits one `BENCH_<n>.json` datapoint per run:
-//! `(family, op, n_classes, variant, median_ns, throughput)` records plus
-//! derived compiled-over-symbolic speedups. CI uploads the file as an
-//! artifact on every PR, establishing the trajectory every future
-//! scaling PR appends to.
+//! them, so no PR could *claim* a speedup. This module measures paired
+//! engine variants on the `workload` generators and emits one
+//! `BENCH_<n>.json` datapoint per run — `(family, op, n_classes,
+//! variant, median_ns, throughput)` records plus derived
+//! baseline-over-improved speedups. CI uploads the file as an artifact
+//! on every PR, establishing the trajectory every future scaling PR
+//! appends to.
+//!
+//! Two variant pairs are tracked:
+//!
+//! * `symbolic` vs `compiled` — the retained reference engine against
+//!   the dense-id bitset/CSR core (the PR-2 trajectory);
+//! * `full` vs `incremental` — one-shot re-merge of every registry
+//!   member against the registry's cached-join incremental publish
+//!   (`crates/registry`): N members, one changed, the incremental
+//!   engine reuses the join of the N−1 unchanged members.
+//!
+//! JSON schema version 2: `variant` is a free-form engine label and
+//! each speedup names its `baseline`/`improved` pair (version 1 hard
+//! coded symbolic/compiled).
 
 use std::hint::black_box;
 use std::time::Instant;
 
 use schema_merge_core::{merge_compiled, reference, weak_join_all, WeakSchema};
 use schema_merge_er::to_core;
+use schema_merge_registry::Registry;
 use schema_merge_workload::{pathological_nfa, random_er_schema, ErParams, SchemaParams};
 
-/// Which engine a record measured.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Variant {
-    /// The retained pre-compilation `BTreeMap`/`BTreeSet` path.
-    Symbolic,
-    /// The dense-id bitset/CSR path.
-    Compiled,
-}
+/// The retained pre-compilation `BTreeMap`/`BTreeSet` path.
+pub const VARIANT_SYMBOLIC: &str = "symbolic";
+/// The dense-id bitset/CSR path.
+pub const VARIANT_COMPILED: &str = "compiled";
+/// One-shot re-merge of all registry members.
+pub const VARIANT_FULL: &str = "full";
+/// Registry publish reusing the cached join of unchanged members.
+pub const VARIANT_INCREMENTAL: &str = "incremental";
 
-impl Variant {
-    /// The JSON name of the variant.
-    pub fn as_str(self) -> &'static str {
-        match self {
-            Variant::Symbolic => "symbolic",
-            Variant::Compiled => "compiled",
-        }
-    }
-}
-
-/// One measurement: an operation on a workload at a size, on one engine.
+/// One measurement: an operation on a workload at a size, on one engine
+/// variant.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
-    /// Workload family: `random`, `pathological` or `er_roundtrip`.
+    /// Workload family: `random`, `pathological`, `er_roundtrip` or
+    /// `registry`.
     pub family: &'static str,
-    /// Operation: `weak_join`, `complete` or `merge`.
+    /// Operation: `weak_join`, `complete`, `merge` or `publish`.
     pub op: &'static str,
     /// Classes in the (joined) input schema.
     pub n_classes: usize,
     /// Arrows in the (joined) input schema — the throughput element.
     pub n_arrows: usize,
-    /// Engine measured.
-    pub variant: Variant,
+    /// Engine variant measured.
+    pub variant: &'static str,
     /// Timed iterations (after one warmup).
     pub iters: usize,
     /// Median wall time of one iteration, nanoseconds.
@@ -58,7 +62,7 @@ pub struct BenchRecord {
     pub throughput: f64,
 }
 
-/// A derived symbolic-over-compiled ratio for one (family, op, size).
+/// A derived baseline-over-improved ratio for one (family, op, size).
 #[derive(Debug, Clone)]
 pub struct Speedup {
     /// Workload family.
@@ -67,7 +71,11 @@ pub struct Speedup {
     pub op: &'static str,
     /// Classes in the input.
     pub n_classes: usize,
-    /// `symbolic median / compiled median` — > 1 means compiled wins.
+    /// The slower reference variant.
+    pub baseline: &'static str,
+    /// The engine being claimed faster.
+    pub improved: &'static str,
+    /// `baseline median / improved median` — > 1 means improved wins.
     pub speedup: f64,
 }
 
@@ -98,19 +106,22 @@ struct Suite {
 }
 
 impl Suite {
+    #[allow(clippy::too_many_arguments)]
     fn measure_pair(
         &mut self,
         family: &'static str,
         op: &'static str,
         joined: &WeakSchema,
-        mut symbolic: impl FnMut(),
-        mut compiled: impl FnMut(),
+        baseline_variant: &'static str,
+        mut baseline: impl FnMut(),
+        improved_variant: &'static str,
+        mut improved: impl FnMut(),
     ) {
         let n_classes = joined.num_classes();
         let n_arrows = joined.num_arrows();
-        let sym_ns = median_ns(self.iters, &mut symbolic);
-        let comp_ns = median_ns(self.iters, &mut compiled);
-        for (variant, ns) in [(Variant::Symbolic, sym_ns), (Variant::Compiled, comp_ns)] {
+        let base_ns = median_ns(self.iters, &mut baseline);
+        let imp_ns = median_ns(self.iters, &mut improved);
+        for (variant, ns) in [(baseline_variant, base_ns), (improved_variant, imp_ns)] {
             self.report.records.push(BenchRecord {
                 family,
                 op,
@@ -126,7 +137,9 @@ impl Suite {
             family,
             op,
             n_classes,
-            speedup: sym_ns as f64 / comp_ns.max(1) as f64,
+            baseline: baseline_variant,
+            improved: improved_variant,
+            speedup: base_ns as f64 / imp_ns.max(1) as f64,
         });
     }
 
@@ -152,9 +165,11 @@ impl Suite {
             "random",
             "weak_join",
             &joined,
+            VARIANT_SYMBOLIC,
             || {
                 black_box(reference::weak_join_all(refs.iter().copied()).expect("compatible"));
             },
+            VARIANT_COMPILED,
             || {
                 black_box(weak_join_all(refs.iter().copied()).expect("compatible"));
             },
@@ -163,9 +178,11 @@ impl Suite {
             "random",
             "complete",
             &joined,
+            VARIANT_SYMBOLIC,
             || {
                 black_box(reference::complete_with_report(&joined).expect("completes"));
             },
+            VARIANT_COMPILED,
             || {
                 black_box(
                     schema_merge_core::complete::complete_with_report(&joined).expect("completes"),
@@ -176,9 +193,11 @@ impl Suite {
             "random",
             "merge",
             &joined,
+            VARIANT_SYMBOLIC,
             || {
                 black_box(reference::merge(refs.iter().copied()).expect("merges"));
             },
+            VARIANT_COMPILED,
             || {
                 black_box(merge_compiled(refs.iter().copied()).expect("merges"));
             },
@@ -191,9 +210,11 @@ impl Suite {
             "pathological",
             "complete",
             &schema,
+            VARIANT_SYMBOLIC,
             || {
                 black_box(reference::complete_with_report(&schema).expect("completes"));
             },
+            VARIANT_COMPILED,
             || {
                 black_box(
                     schema_merge_core::complete::complete_with_report(&schema).expect("completes"),
@@ -220,11 +241,97 @@ impl Suite {
             "er_roundtrip",
             "merge",
             &joined,
+            VARIANT_SYMBOLIC,
             || {
                 black_box(reference::merge(refs).expect("merges"));
             },
+            VARIANT_COMPILED,
             || {
                 black_box(merge_compiled(refs).expect("merges"));
+            },
+        );
+    }
+
+    /// The registry workload: `members` schemas sharing a large common
+    /// core (the federated-registry traffic shape: every member carries
+    /// the organization's base vocabulary plus its own small delta),
+    /// publish one changed member per iteration. The `full` baseline
+    /// re-merges every member one-shot (what a registry without the join
+    /// cache would do per publish); the `incremental` variant is
+    /// [`Registry::put`] against a warm cache, which joins the cached
+    /// rest-join with the changed member and completes. Both variants
+    /// see a *different* changed schema each iteration, so no run
+    /// degenerates into a content-hash no-op.
+    fn registry_publish(&mut self, members: usize, classes: usize) {
+        // The shared core: attribute-heavy, label-sparse — the federated
+        // supergraph shape (each class carries its own field names, label
+        // collisions across classes are rare). The label pool is several
+        // times the arrow count so completion stays near-linear and the
+        // measurement isolates what incrementality actually saves:
+        // re-interning and re-joining N member schemas per publish. Label
+        // collision stress lives in `random`/`pathological`.
+        let core_params = SchemaParams {
+            vocabulary: classes,
+            classes,
+            labels: classes * 8,
+            arrows: classes,
+            specializations: (classes / 32).max(2),
+            seed: 0x5EED + members as u64,
+        };
+        let core = schema_merge_workload::schema_family(&core_params, 1).remove(0);
+        // Per-member deltas: small, over the same vocabulary.
+        let delta_params = SchemaParams {
+            classes: (classes / 6).max(4),
+            arrows: (classes / 6).max(4),
+            specializations: 0,
+            seed: 0xDE17A + members as u64,
+            ..core_params
+        };
+        let deltas = schema_merge_workload::schema_family(&delta_params, members);
+        let family: Vec<WeakSchema> = deltas
+            .iter()
+            .map(|delta| weak_join_all([&core, delta]).expect("compatible"))
+            .collect();
+        // Distinct "changed member 0" contents, one per timed iteration
+        // (plus warmups), drawn from a disjoint seed stream.
+        let variant_count = 2 * (self.iters + 1);
+        let variants: Vec<WeakSchema> = schema_merge_workload::schema_family(
+            &SchemaParams {
+                seed: 0xC0DE + members as u64,
+                ..delta_params
+            },
+            variant_count,
+        )
+        .iter()
+        .map(|delta| weak_join_all([&core, delta]).expect("compatible"))
+        .collect();
+        let rest: Vec<&WeakSchema> = family[1..].iter().collect();
+        let joined = weak_join_all(family.iter()).expect("compatible family");
+
+        let registry = Registry::new();
+        for (i, member) in family.iter().enumerate() {
+            registry
+                .put(format!("member-{i}"), member.clone())
+                .expect("family publishes");
+        }
+
+        let mut full_idx = 0usize;
+        let mut inc_pool = variants.clone();
+        self.measure_pair(
+            "registry",
+            "publish",
+            &joined,
+            VARIANT_FULL,
+            || {
+                let mut refs: Vec<&WeakSchema> = rest.clone();
+                refs.push(&variants[full_idx % variants.len()]);
+                full_idx += 1;
+                black_box(merge_compiled(refs).expect("merges"));
+            },
+            VARIANT_INCREMENTAL,
+            || {
+                let changed = inc_pool.pop().expect("enough variants");
+                black_box(registry.put("member-0", changed).expect("publishes"));
             },
         );
     }
@@ -232,7 +339,7 @@ impl Suite {
 
 /// Runs the suite. `quick` is the CI profile: fewer iterations and only
 /// the sizes the acceptance trajectory tracks (including the 200-class
-/// random workload).
+/// random workload and the 32-member registry workload).
 pub fn run_suite(quick: bool) -> BenchReport {
     let mut suite = Suite {
         iters: if quick { 7 } else { 15 },
@@ -248,6 +355,10 @@ pub fn run_suite(quick: bool) -> BenchReport {
     }
     suite.pathological(if quick { 8 } else { 10 });
     suite.er_roundtrip(32);
+    suite.registry_publish(32, 200);
+    if !quick {
+        suite.registry_publish(16, 200);
+    }
     suite.report
 }
 
@@ -261,7 +372,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"bench_schema_version\": 1,\n  \"pr\": {pr_index},\n"
+        "  \"bench_schema_version\": 2,\n  \"pr\": {pr_index},\n"
     ));
     out.push_str("  \"records\": [\n");
     for (i, r) in report.records.iter().enumerate() {
@@ -278,7 +389,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
             json_escape(r.op),
             r.n_classes,
             r.n_arrows,
-            r.variant.as_str(),
+            json_escape(r.variant),
             r.iters,
             r.median_ns,
             r.throughput,
@@ -293,10 +404,12 @@ pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
         };
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \
-             \"compiled_speedup\": {:.2}}}{comma}\n",
+             \"baseline\": \"{}\", \"improved\": \"{}\", \"speedup\": {:.2}}}{comma}\n",
             json_escape(s.family),
             json_escape(s.op),
             s.n_classes,
+            json_escape(s.baseline),
+            json_escape(s.improved),
             s.speedup,
         ));
     }
@@ -308,34 +421,28 @@ pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
 pub fn to_table(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14} {:<10} {:>9} {:>9}  {:>14} {:>14} {:>9}\n",
-        "family", "op", "classes", "arrows", "symbolic µs", "compiled µs", "speedup"
+        "{:<14} {:<10} {:>9} {:>9}  {:>12} {:>14} {:>14} {:>9}\n",
+        "family", "op", "classes", "arrows", "pair", "baseline µs", "improved µs", "speedup"
     ));
-    out.push_str(&"-".repeat(88));
+    out.push_str(&"-".repeat(101));
     out.push('\n');
-    for s in &report.speedups {
-        let find = |variant: Variant| {
-            report
-                .records
-                .iter()
-                .find(|r| {
-                    r.family == s.family
-                        && r.op == s.op
-                        && r.n_classes == s.n_classes
-                        && r.variant == variant
-                })
-                .expect("paired record")
-        };
-        let sym = find(Variant::Symbolic);
-        let comp = find(Variant::Compiled);
+    // Records are pushed in pairs, one pair per speedup, in order — index
+    // arithmetic rather than field matching, so repeated (family, op,
+    // size) configurations (e.g. the registry workload at two member
+    // counts) each keep their own row.
+    for (i, s) in report.speedups.iter().enumerate() {
+        let base = &report.records[2 * i];
+        let imp = &report.records[2 * i + 1];
+        debug_assert_eq!((base.variant, imp.variant), (s.baseline, s.improved));
         out.push_str(&format!(
-            "{:<14} {:<10} {:>9} {:>9}  {:>14.1} {:>14.1} {:>8.2}x\n",
+            "{:<14} {:<10} {:>9} {:>9}  {:>12} {:>14.1} {:>14.1} {:>8.2}x\n",
             s.family,
             s.op,
             s.n_classes,
-            sym.n_arrows,
-            sym.median_ns as f64 / 1e3,
-            comp.median_ns as f64 / 1e3,
+            base.n_arrows,
+            format!("{}/{}", s.improved, s.baseline),
+            base.median_ns as f64 / 1e3,
+            imp.median_ns as f64 / 1e3,
             s.speedup,
         ));
     }
@@ -357,13 +464,39 @@ mod tests {
         assert_eq!(report.records.len(), 6, "3 ops × 2 variants");
         assert_eq!(report.speedups.len(), 3);
         let json = to_json(&report, 2);
-        assert!(json.contains("\"bench_schema_version\": 1"));
+        assert!(json.contains("\"bench_schema_version\": 2"));
         assert!(json.contains("\"variant\": \"compiled\""));
         assert!(json.contains("\"op\": \"weak_join\""));
+        assert!(json.contains("\"baseline\": \"symbolic\""));
         // Crude structural sanity: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         let table = to_table(&report);
         assert!(table.contains("weak_join"));
+    }
+
+    #[test]
+    fn registry_workload_measures_both_paths() {
+        let mut suite = Suite {
+            iters: 2,
+            report: BenchReport::default(),
+        };
+        suite.registry_publish(8, 24);
+        let report = suite.report;
+        assert_eq!(report.records.len(), 2);
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.variant == VARIANT_INCREMENTAL && r.family == "registry"));
+        let speedup = &report.speedups[0];
+        assert_eq!(speedup.op, "publish");
+        assert_eq!(
+            (speedup.baseline, speedup.improved),
+            (VARIANT_FULL, VARIANT_INCREMENTAL)
+        );
+        assert!(speedup.speedup > 0.0);
+        let json = to_json(&report, 3);
+        assert!(json.contains("\"family\": \"registry\""));
+        assert!(json.contains("\"variant\": \"incremental\""));
     }
 }

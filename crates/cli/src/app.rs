@@ -73,6 +73,15 @@ commands:
   query <schema-file> <instance-file> <path>
                        evaluate a path query (Start.label[Class].label)
                        against an instance of the merged schema
+  serve [--port P] [--threads N] [file...]
+                       run the registry daemon: members publish schema
+                       versions over TCP and the canonical merged view
+                       is maintained incrementally (files preload
+                       members; --port 0 picks an ephemeral port)
+  client <addr> <cmd> [args]
+                       drive a running daemon: put <name> <file>,
+                       get <name>, delete <name>, merged, stats, list,
+                       query <path>, ping, shutdown
   help                 this message";
 
 /// Entry point shared by `main` and the tests.
@@ -96,6 +105,8 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "ddl" => ddl_command(&rest, out),
         "conform" => conform_command(&rest, out),
         "query" => query_command(&rest, out),
+        "serve" => crate::serve::serve_command(&rest, out),
+        "client" => crate::client::client_command(&rest, out),
         "help" | "--help" | "-h" => {
             writeln!(out, "{USAGE}")?;
             Ok(())
@@ -284,14 +295,14 @@ fn stats_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError>
     let docs = load_documents(paths)?;
     writeln!(
         out,
-        "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
-        "schema", "classes", "isa", "arrows", "opt", "keys", "labels"
+        "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>17}",
+        "schema", "classes", "isa", "arrows", "opt", "keys", "labels", "hash"
     )?;
     for doc in &docs {
         let weak = doc.schema.schema();
         writeln!(
             out,
-            "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+            "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}  {:016x}",
             doc.name,
             weak.num_classes(),
             weak.num_specializations(),
@@ -299,6 +310,7 @@ fn stats_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError>
             doc.schema.num_optional(),
             doc.keys.num_keyed_classes(),
             weak.all_labels().len(),
+            weak.content_hash(),
         )?;
     }
     Ok(())
@@ -589,8 +601,8 @@ fn conform_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliErro
 
 /// Parses `Start.label[Class].label…` into a path query. Labels and
 /// class restrictions must not contain `.` or `[` (use the library API
-/// for exotic names).
-fn parse_path_query(text: &str) -> Result<schema_merge_instance::PathQuery, CliError> {
+/// for exotic names). Shared with the daemon's `QUERY` command.
+pub(crate) fn parse_path_query(text: &str) -> Result<schema_merge_instance::PathQuery, CliError> {
     let bad = |msg: &str| CliError::Usage(format!("bad path `{text}`: {msg}"));
     let mut rest = text;
     let start_end = rest.find(['.', '[', ']']).unwrap_or(rest.len());
@@ -788,11 +800,20 @@ mod tests {
     }
 
     #[test]
-    fn stats_formats_table() {
+    fn stats_formats_table_with_content_hash() {
         let f = write_temp("s1.sm", "schema S { Dog --age--> int; key Dog {age}; }");
         let text = run_ok(&args(&["stats", &f]));
         assert!(text.contains("schema"));
         assert!(text.contains("S"));
+        assert!(text.contains("hash"), "{text}");
+        // The canonical content hash appears, and is stable across runs
+        // and declaration orders.
+        let expected = schema_merge_core::WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap()
+            .content_hash();
+        assert!(text.contains(&format!("{expected:016x}")), "{text}");
     }
 
     #[test]

@@ -1,0 +1,106 @@
+//! `smerge client` — one-shot protocol client for a running
+//! `smerge serve` daemon.
+//!
+//! ```text
+//! smerge client 127.0.0.1:7411 put inventory schemas/inventory.sm
+//! smerge client 127.0.0.1:7411 merged
+//! smerge client 127.0.0.1:7411 query Dog.owner
+//! smerge client 127.0.0.1:7411 shutdown
+//! ```
+//!
+//! Prints the server's status detail (and block payload, if any) to
+//! stdout. An `ERR` response becomes a nonzero exit code, so scripts
+//! and CI can gate on it.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use schema_merge_text::encode_block;
+use schema_merge_text::protocol::{parse_status_line, BlockCollector, Command, Status};
+
+use crate::app::CliError;
+
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Builds the wire command (and payload block, for `put`) from argv.
+fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliError> {
+    let usage = || {
+        CliError::Usage(
+            "expected `client <addr> <put <name> <file> | get <name> | delete <name> | \
+             merged | stats | list | query <path> | ping | shutdown>`"
+                .into(),
+        )
+    };
+    let verb = words.first().ok_or_else(usage)?;
+    match (verb.as_str(), &words[1..]) {
+        ("put", [name, file]) => {
+            let payload = std::fs::read_to_string(file.as_str())
+                .map_err(|err| CliError::Data(format!("{file}: {err}")))?;
+            Ok((Command::Put((*name).clone()), Some(payload)))
+        }
+        ("get", [name]) => Ok((Command::Get((*name).clone()), None)),
+        ("delete", [name]) => Ok((Command::Delete((*name).clone()), None)),
+        ("merged", []) => Ok((Command::Merged, None)),
+        ("stats", []) => Ok((Command::Stats, None)),
+        ("list", []) => Ok((Command::List, None)),
+        ("query", [path]) => Ok((Command::Query((*path).clone()), None)),
+        ("ping", []) => Ok((Command::Ping, None)),
+        ("shutdown", []) => Ok((Command::Shutdown, None)),
+        _ => Err(usage()),
+    }
+}
+
+/// Connects, sends one command, prints the response.
+pub fn client_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (addr, words) = args
+        .split_first()
+        .ok_or_else(|| CliError::Usage("expected `client <addr> <command> [args]`".into()))?;
+    let (command, payload) = build_request(words)?;
+
+    let stream = TcpStream::connect(addr.as_str())
+        .map_err(|err| CliError::Data(format!("{addr}: {err}")))?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    writeln!(writer, "{command}")?;
+    if let Some(payload) = payload {
+        write!(writer, "{}", encode_block(&payload))?;
+    }
+    writer.flush()?;
+
+    let mut status = String::new();
+    if reader.read_line(&mut status)? == 0 {
+        return Err(CliError::Data("server closed the connection".into()));
+    }
+    let (status, detail) = parse_status_line(&status)
+        .map_err(|err| CliError::Data(format!("malformed response: {err}")))?;
+    match status {
+        Status::Ok => {
+            writeln!(out, "{detail}")?;
+            Ok(())
+        }
+        Status::Data => {
+            if !detail.is_empty() {
+                writeln!(out, "// {detail}")?;
+            }
+            let mut collector = BlockCollector::new();
+            loop {
+                let mut line = String::new();
+                if reader.read_line(&mut line)? == 0 {
+                    return Err(CliError::Data("connection closed mid-block".into()));
+                }
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                if collector.push(&line) {
+                    break;
+                }
+            }
+            write!(out, "{}", collector.finish())?;
+            Ok(())
+        }
+        Status::Err => Err(CliError::Data(detail.to_string())),
+    }
+}

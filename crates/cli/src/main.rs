@@ -6,6 +6,8 @@
 #![forbid(unsafe_code)]
 
 mod app;
+mod client;
+mod serve;
 
 use std::process::ExitCode;
 

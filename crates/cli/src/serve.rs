@@ -1,0 +1,368 @@
+//! `smerge serve` — the registry daemon.
+//!
+//! A `std`-only TCP server: one acceptor thread (the caller), a fixed
+//! pool of worker threads draining a shared connection queue, and a
+//! [`Registry`] shared by everyone. The wire protocol is the
+//! line-oriented command/block format of [`schema_merge_text::protocol`];
+//! `smerge client` (see [`crate::client`]) speaks the other side.
+//!
+//! The daemon announces `listening on 127.0.0.1:<port>` on stdout once
+//! the socket is bound — with `--port 0` the kernel picks an ephemeral
+//! port and the announcement is how callers (the e2e smoke test, shell
+//! scripts) learn it. `SHUTDOWN` from any client stops accepting,
+//! drains the worker pool and returns.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+use schema_merge_core::weak_join_all;
+use schema_merge_registry::{MergedView, Registry};
+use schema_merge_text::protocol::{status_line, BlockCollector, Command, Status};
+use schema_merge_text::{encode_block, parse_document, print_schema, NamedSchema};
+
+use crate::app::{parse_path_query, CliError};
+
+/// How long a worker waits on an idle connection before dropping it —
+/// keeps dead clients from pinning workers forever.
+const READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+struct Options {
+    port: u16,
+    threads: usize,
+    preload: Vec<String>,
+}
+
+fn parse_options(args: &[&String]) -> Result<Options, CliError> {
+    let mut options = Options {
+        port: 7411,
+        threads: 4,
+        preload: Vec::new(),
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--port" => {
+                options.port = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--port requires a port number".into()))?;
+            }
+            "--threads" => {
+                options.threads = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .ok_or_else(|| CliError::Usage("--threads requires a positive count".into()))?;
+            }
+            other if other.starts_with('-') => {
+                return Err(CliError::Usage(format!("unknown serve flag `{other}`")));
+            }
+            file => options.preload.push(file.to_string()),
+        }
+    }
+    Ok(options)
+}
+
+/// The blocking handoff between the acceptor and the workers.
+struct ConnQueue {
+    state: Mutex<QueueState>,
+    ready: Condvar,
+}
+
+struct QueueState {
+    conns: VecDeque<TcpStream>,
+    closed: bool,
+}
+
+impl ConnQueue {
+    fn new() -> Self {
+        ConnQueue {
+            state: Mutex::new(QueueState {
+                conns: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+        }
+    }
+
+    fn push(&self, stream: TcpStream) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.conns.push_back(stream);
+        self.ready.notify_one();
+    }
+
+    fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a connection arrives; `None` once closed and drained.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(stream) = state.conns.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.ready.wait(state).expect("queue lock");
+        }
+    }
+}
+
+/// Runs the daemon. Returns once a client issues `SHUTDOWN`.
+pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let options = parse_options(args)?;
+    let registry = Arc::new(Registry::new());
+
+    for path in &options.preload {
+        let source = std::fs::read_to_string(path)
+            .map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+        let docs =
+            parse_document(&source).map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+        for doc in docs {
+            registry
+                .put(doc.name.clone(), doc.schema.schema().clone())
+                .map_err(|err| CliError::Data(format!("{path}: preload failed: {err}")))?;
+        }
+    }
+
+    let listener = TcpListener::bind(("127.0.0.1", options.port))?;
+    let addr = listener.local_addr()?;
+    writeln!(out, "listening on {addr}")?;
+    out.flush()?;
+
+    let queue = Arc::new(ConnQueue::new());
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..options.threads)
+        .map(|_| {
+            let queue = Arc::clone(&queue);
+            let registry = Arc::clone(&registry);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::spawn(move || {
+                while let Some(stream) = queue.pop() {
+                    // A broken connection only affects that client.
+                    let _ = handle_connection(stream, &registry, &shutdown, addr);
+                }
+            })
+        })
+        .collect();
+
+    for incoming in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match incoming {
+            Ok(stream) => queue.push(stream),
+            Err(err) => eprintln!("smerge serve: accept failed: {err}"),
+        }
+    }
+
+    queue.close();
+    for worker in workers {
+        let _ = worker.join();
+    }
+    writeln!(out, "shutdown complete")?;
+    Ok(())
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<String>> {
+    let mut buf = String::new();
+    if reader.read_line(&mut buf)? == 0 {
+        return Ok(None);
+    }
+    while buf.ends_with('\n') || buf.ends_with('\r') {
+        buf.pop();
+    }
+    Ok(Some(buf))
+}
+
+fn handle_connection(
+    stream: TcpStream,
+    registry: &Registry,
+    shutdown: &AtomicBool,
+    addr: SocketAddr,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = stream;
+
+    while let Some(line) = read_line(&mut reader)? {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let command = match Command::parse(&line) {
+            Ok(command) => command,
+            Err(err) => {
+                writeln!(writer, "{}", status_line(Status::Err, &err.to_string()))?;
+                continue;
+            }
+        };
+        match command {
+            Command::Quit => {
+                writeln!(writer, "{}", status_line(Status::Ok, "bye"))?;
+                return Ok(());
+            }
+            Command::Shutdown => {
+                writeln!(writer, "{}", status_line(Status::Ok, "shutting down"))?;
+                writer.flush()?;
+                shutdown.store(true, Ordering::SeqCst);
+                // Unblock the acceptor with a throwaway connection.
+                let _ = TcpStream::connect(addr);
+                return Ok(());
+            }
+            Command::Ping => writeln!(writer, "{}", status_line(Status::Ok, "pong"))?,
+            Command::Put(name) => {
+                let mut collector = BlockCollector::new();
+                let mut complete = false;
+                while let Some(payload_line) = read_line(&mut reader)? {
+                    if collector.push(&payload_line) {
+                        complete = true;
+                        break;
+                    }
+                }
+                if !complete {
+                    // Connection died mid-block; nothing to answer.
+                    return Ok(());
+                }
+                let response = put_member(registry, &name, &collector.finish());
+                writeln!(writer, "{response}")?;
+            }
+            Command::Get(name) => match registry.get(&name) {
+                Some(version) => {
+                    let doc = NamedSchema {
+                        name: name.clone(),
+                        schema: schema_merge_core::AnnotatedSchema::all_required(
+                            version.schema.as_ref().clone(),
+                        ),
+                        keys: schema_merge_core::KeyAssignment::new(),
+                    };
+                    let detail = format!(
+                        "hash={:016x} sequence={} generation={}",
+                        version.hash, version.sequence, version.generation
+                    );
+                    writeln!(writer, "{}", status_line(Status::Data, &detail))?;
+                    write!(writer, "{}", encode_block(&print_schema(&doc)))?;
+                }
+                None => writeln!(
+                    writer,
+                    "{}",
+                    status_line(Status::Err, &format!("no member named `{name}`"))
+                )?,
+            },
+            Command::Delete(name) => match registry.delete(&name) {
+                Ok(outcome) => {
+                    let detail = format!(
+                        "generation={} remaining={} strategy={}",
+                        outcome.generation,
+                        outcome.remaining,
+                        outcome.strategy.as_str()
+                    );
+                    writeln!(writer, "{}", status_line(Status::Ok, &detail))?;
+                }
+                Err(err) => writeln!(writer, "{}", status_line(Status::Err, &err.to_string()))?,
+            },
+            Command::Merged => {
+                let view = registry.merged();
+                let detail = merged_detail(&view);
+                let doc = NamedSchema {
+                    name: "merged".into(),
+                    schema: schema_merge_core::AnnotatedSchema::all_required(
+                        view.proper.as_weak().clone(),
+                    ),
+                    keys: schema_merge_core::KeyAssignment::new(),
+                };
+                let mut payload = print_schema(&doc);
+                payload.push_str(&format!(
+                    "// implicit classes: {}\n",
+                    view.report.num_implicit()
+                ));
+                writeln!(writer, "{}", status_line(Status::Data, &detail))?;
+                write!(writer, "{}", encode_block(&payload))?;
+            }
+            Command::Stats => {
+                let stats = registry.stats();
+                writeln!(
+                    writer,
+                    "{}",
+                    status_line(Status::Data, &format!("generation={}", stats.generation))
+                )?;
+                write!(writer, "{}", encode_block(&format!("{stats}\n")))?;
+            }
+            Command::List => {
+                let members = registry.list();
+                let mut payload = String::new();
+                for m in &members {
+                    payload.push_str(&format!(
+                        "{} hash={:016x} v{} classes={} arrows={}\n",
+                        m.name, m.hash, m.sequence, m.num_classes, m.num_arrows
+                    ));
+                }
+                writeln!(
+                    writer,
+                    "{}",
+                    status_line(Status::Data, &format!("members={}", members.len()))
+                )?;
+                write!(writer, "{}", encode_block(&payload))?;
+            }
+            Command::Query(path) => match parse_path_query(&path) {
+                Ok(query) => {
+                    let classes = registry.query(&query);
+                    let rendered: Vec<String> = classes.iter().map(|c| c.to_string()).collect();
+                    let detail = format!("{} result(s): {}", rendered.len(), rendered.join(", "));
+                    writeln!(writer, "{}", status_line(Status::Ok, detail.trim_end()))?;
+                }
+                Err(err) => writeln!(writer, "{}", status_line(Status::Err, &err.to_string()))?,
+            },
+        }
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+fn merged_detail(view: &MergedView) -> String {
+    let weak = view.proper.as_weak();
+    format!(
+        "generation={} hash={:016x} classes={} arrows={}",
+        view.generation,
+        view.hash(),
+        weak.num_classes(),
+        weak.num_arrows()
+    )
+}
+
+/// Parses and publishes a `PUT` payload: every schema in the document is
+/// weak-joined into the member's single published schema (publishing a
+/// document *is* publishing its merge — associativity makes the grouping
+/// irrelevant).
+fn put_member(registry: &Registry, name: &str, payload: &str) -> String {
+    let docs = match parse_document(payload) {
+        Ok(docs) => docs,
+        Err(err) => return status_line(Status::Err, &format!("parse failed: {err}")),
+    };
+    if docs.is_empty() {
+        return status_line(Status::Err, "payload contains no schemas");
+    }
+    let joined = match weak_join_all(docs.iter().map(|d| d.schema.schema())) {
+        Ok(joined) => joined,
+        Err(err) => return status_line(Status::Err, &format!("payload does not merge: {err}")),
+    };
+    match registry.put(name, joined) {
+        Ok(outcome) => status_line(
+            Status::Ok,
+            &format!(
+                "hash={:016x} sequence={} generation={} strategy={}",
+                outcome.hash,
+                outcome.sequence,
+                outcome.generation,
+                outcome.strategy.as_str()
+            ),
+        ),
+        Err(err) => status_line(Status::Err, &err.to_string()),
+    }
+}

@@ -1,0 +1,105 @@
+//! Process-level regression tests: `smerge bench` and `smerge stats`
+//! must *fail with a nonzero exit code* — never panic, never exit 0 —
+//! on unreadable or unparseable input files, and say which file was at
+//! fault.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (std::process::ExitStatus, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_smerge"))
+        .args(args)
+        .output()
+        .expect("smerge runs");
+    let mut text = String::from_utf8_lossy(&output.stderr).into_owned();
+    text.push_str(&String::from_utf8_lossy(&output.stdout));
+    (output.status, text)
+}
+
+fn write_temp(name: &str, contents: &str) -> String {
+    let dir = std::env::temp_dir().join("smerge-exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+/// The failure contract: exit code 1 (a controlled error, not a 101
+/// panic abort), and the offending path named on stderr.
+fn assert_controlled_failure(args: &[&str], path: &str) {
+    let (status, text) = run(args);
+    assert!(!status.success(), "`{args:?}` must fail: {text}");
+    assert_eq!(
+        status.code(),
+        Some(1),
+        "controlled exit, not a panic: {text}"
+    );
+    assert!(
+        !text.contains("panicked"),
+        "`{args:?}` panicked instead of erroring: {text}"
+    );
+    assert!(text.contains(path), "error names the file: {text}");
+}
+
+#[test]
+fn bench_fails_cleanly_on_missing_file() {
+    assert_controlled_failure(&["bench", "/nonexistent/xyz.sm"], "/nonexistent/xyz.sm");
+}
+
+#[test]
+fn bench_fails_cleanly_on_unparseable_file() {
+    let bad = write_temp("bad-bench.sm", "schema Broken {{{");
+    assert_controlled_failure(&["bench", &bad], &bad);
+}
+
+#[test]
+fn bench_fails_cleanly_on_directory_input() {
+    let dir = std::env::temp_dir().join("smerge-exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dir.to_string_lossy().into_owned();
+    assert_controlled_failure(&["bench", &dir], &dir);
+}
+
+#[test]
+fn bench_fails_cleanly_on_empty_document() {
+    let empty = write_temp("empty-bench.sm", "");
+    let (status, text) = run(&["bench", &empty]);
+    assert_eq!(status.code(), Some(1), "{text}");
+    assert!(text.contains("no schemas"), "{text}");
+}
+
+#[test]
+fn stats_fails_cleanly_on_missing_file() {
+    assert_controlled_failure(&["stats", "/nonexistent/xyz.sm"], "/nonexistent/xyz.sm");
+}
+
+#[test]
+fn stats_fails_cleanly_on_unparseable_file() {
+    let bad = write_temp("bad-stats.sm", "schema Broken { C --a-> }");
+    assert_controlled_failure(&["stats", &bad], &bad);
+}
+
+#[test]
+fn stats_fails_cleanly_on_directory_input() {
+    let dir = std::env::temp_dir().join("smerge-exit-codes");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dir = dir.to_string_lossy().into_owned();
+    assert_controlled_failure(&["stats", &dir], &dir);
+}
+
+#[test]
+fn good_files_still_exit_zero() {
+    let good = write_temp("good.sm", "schema G { Dog --age--> int; }");
+    let (status, text) = run(&["stats", &good]);
+    assert!(status.success(), "{text}");
+    let (status, text) = run(&["bench", &good, "--iters", "1"]);
+    assert!(status.success(), "{text}");
+}
+
+#[test]
+fn one_bad_file_among_good_ones_fails_the_whole_run() {
+    let good = write_temp("good2.sm", "schema G { Dog --age--> int; }");
+    assert_controlled_failure(
+        &["bench", &good, "/nonexistent/other.sm"],
+        "/nonexistent/other.sm",
+    );
+}

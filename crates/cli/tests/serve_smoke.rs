@@ -1,0 +1,242 @@
+//! End-to-end smoke test of the registry daemon: spawns the real
+//! `smerge serve` binary on an ephemeral port, drives PUT / MERGED /
+//! QUERY / STATS through the real `smerge client` binary, hammers the
+//! daemon with ≥4 *simultaneously open* raw connections, and shuts it
+//! down cleanly.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, ChildStdout, Command, Stdio};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Kills the daemon on panic so failed tests don't leak processes.
+struct Daemon {
+    child: Child,
+    stdout: BufReader<ChildStdout>,
+    addr: String,
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+fn spawn_daemon(preload: &[&str]) -> Daemon {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_smerge"))
+        .args(["serve", "--port", "0", "--threads", "4"])
+        .args(preload)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("daemon spawns");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut reader = BufReader::new(stdout);
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("announcement line");
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .unwrap_or_else(|| panic!("unexpected announcement: {line}"))
+        .to_string();
+    Daemon {
+        child,
+        stdout: reader,
+        addr,
+    }
+}
+
+/// Runs `smerge client <addr> <args…>`, returning (success, combined output).
+fn client(addr: &str, args: &[&str]) -> (bool, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_smerge"))
+        .arg("client")
+        .arg(addr)
+        .args(args)
+        .output()
+        .expect("client runs");
+    let mut text = String::from_utf8_lossy(&output.stdout).into_owned();
+    text.push_str(&String::from_utf8_lossy(&output.stderr));
+    (output.status.success(), text)
+}
+
+fn write_temp(name: &str, contents: &str) -> String {
+    let dir = std::env::temp_dir().join("smerge-serve-smoke");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join(name);
+    std::fs::write(&path, contents).unwrap();
+    path.to_string_lossy().into_owned()
+}
+
+fn wait_for_exit(child: &mut Child, limit: Duration) -> Option<std::process::ExitStatus> {
+    let deadline = Instant::now() + limit;
+    loop {
+        if let Some(status) = child.try_wait().expect("try_wait") {
+            return Some(status);
+        }
+        if Instant::now() > deadline {
+            return None;
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+#[test]
+fn daemon_serves_puts_merges_queries_and_shuts_down() {
+    let f1 = write_temp("one.sm", "schema one { C --a--> B1; }");
+    let f2 = write_temp("two.sm", "schema two { C --a--> B2; Guide => C; }");
+    let bad = write_temp("bad.sm", "schema broken {{{");
+
+    let mut daemon = spawn_daemon(&[]);
+    let addr = daemon.addr.clone();
+
+    // PUT two members through the real client binary.
+    let (ok, text) = client(&addr, &["put", "alpha", &f1]);
+    assert!(ok, "{text}");
+    assert!(
+        text.contains("hash=") && text.contains("sequence=1"),
+        "{text}"
+    );
+    let (ok, text) = client(&addr, &["put", "beta", &f2]);
+    assert!(ok, "{text}");
+    assert!(text.contains("generation=2"), "{text}");
+
+    // Republishing identical content is a no-op.
+    let (ok, text) = client(&addr, &["put", "alpha", &f1]);
+    assert!(ok, "{text}");
+    assert!(text.contains("strategy=noop"), "{text}");
+
+    // An unparseable payload is an ERR → nonzero client exit.
+    let (ok, text) = client(&addr, &["put", "gamma", &bad]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("parse failed"), "{text}");
+
+    // MERGED carries the canonical view with the implicit class.
+    let (ok, text) = client(&addr, &["merged"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("schema merged {"), "{text}");
+    assert!(text.contains("{B1,B2}"), "{text}");
+    assert!(text.contains("// implicit classes: 1"), "{text}");
+
+    // QUERY answers in schema space: C.a reaches the implicit meet.
+    let (ok, text) = client(&addr, &["query", "C.a"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("{B1,B2}"), "{text}");
+
+    // STATS reflects the commits.
+    let (ok, text) = client(&addr, &["stats"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("generation 2 | members 2"), "{text}");
+    assert!(text.contains("merges:"), "{text}");
+
+    // GET / LIST / DELETE round out the surface.
+    let (ok, text) = client(&addr, &["get", "alpha"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("schema alpha {"), "{text}");
+    let (ok, text) = client(&addr, &["list"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("alpha") && text.contains("beta"), "{text}");
+    let (ok, text) = client(&addr, &["delete", "beta"]);
+    assert!(ok, "{text}");
+    let (ok, text) = client(&addr, &["query", "C.a"]);
+    assert!(ok, "{text}");
+    assert!(
+        !text.contains("{B1,B2}"),
+        "beta's contribution gone: {text}"
+    );
+    let (ok, _) = client(&addr, &["put", "beta", &f2]);
+    assert!(ok);
+
+    // ≥4 connections held open and served simultaneously: every thread
+    // must receive its response while all four connections are up.
+    let barrier = Arc::new(Barrier::new(4));
+    std::thread::scope(|scope| {
+        for i in 0..4 {
+            let barrier = Arc::clone(&barrier);
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let stream = TcpStream::connect(&addr).expect("connects");
+                let mut reader = BufReader::new(stream.try_clone().unwrap());
+                let mut writer = stream;
+                barrier.wait(); // all four connections open
+                writeln!(writer, "PING").unwrap();
+                let mut line = String::new();
+                reader.read_line(&mut line).unwrap();
+                assert_eq!(line.trim(), "OK pong", "connection {i}");
+                // Hold the connection open until everyone has been served:
+                // with a pool of 4 threads this proves 4-way concurrency.
+                barrier.wait();
+                writeln!(writer, "QUIT").unwrap();
+                line.clear();
+                reader.read_line(&mut line).unwrap();
+                assert_eq!(line.trim(), "OK bye", "connection {i}");
+            });
+        }
+    });
+
+    // Concurrent publishes from several client processes converge.
+    std::thread::scope(|scope| {
+        for i in 0..4 {
+            let addr = addr.clone();
+            scope.spawn(move || {
+                let file = write_temp(
+                    &format!("extra-{i}.sm"),
+                    &format!("schema extra {{ Extra{i} --f--> T; }}"),
+                );
+                let (ok, text) = client(&addr, &["put", &format!("extra-{i}"), &file]);
+                assert!(ok, "{text}");
+            });
+        }
+    });
+    let (ok, text) = client(&addr, &["merged"]);
+    assert!(ok, "{text}");
+    for i in 0..4 {
+        assert!(text.contains(&format!("Extra{i}")), "{text}");
+    }
+
+    // Clean shutdown: the client call succeeds, the daemon exits 0 and
+    // prints its closing line.
+    let (ok, text) = client(&addr, &["shutdown"]);
+    assert!(ok, "{text}");
+    let status = wait_for_exit(&mut daemon.child, Duration::from_secs(30))
+        .expect("daemon exits after SHUTDOWN");
+    assert!(status.success(), "daemon exit: {status:?}");
+    let mut rest = String::new();
+    std::io::Read::read_to_string(&mut daemon.stdout, &mut rest).unwrap();
+    assert!(rest.contains("shutdown complete"), "{rest}");
+}
+
+#[test]
+fn daemon_preloads_members_and_rejects_incompatible_publish() {
+    let seed = write_temp(
+        "seed.sm",
+        "schema pets { Dog --owner--> Person; }\nschema kinds { Guide-dog => Dog; }",
+    );
+    let hostile = write_temp("hostile.sm", "schema h { Dog => Guide-dog; }");
+
+    let mut daemon = spawn_daemon(&[&seed]);
+    let addr = daemon.addr.clone();
+
+    let (ok, text) = client(&addr, &["list"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("pets") && text.contains("kinds"), "{text}");
+
+    // A publish that would create a specialization cycle is rejected and
+    // the view stays intact.
+    let (ok, text) = client(&addr, &["put", "rogue", &hostile]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("rejected"), "{text}");
+    let (ok, text) = client(&addr, &["stats"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("1 rejected"), "{text}");
+    let (ok, text) = client(&addr, &["query", "Dog.owner"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("Person"), "{text}");
+
+    let (ok, _) = client(&addr, &["shutdown"]);
+    assert!(ok);
+    let status = wait_for_exit(&mut daemon.child, Duration::from_secs(30))
+        .expect("daemon exits after SHUTDOWN");
+    assert!(status.success());
+}

@@ -318,6 +318,12 @@ impl CompiledSchema {
         self.supers.count_ones()
     }
 
+    /// Whether any class carries an origin set (a pre-existing implicit
+    /// or union class from an earlier merge result fed back in).
+    pub(crate) fn has_origin_classes(&self) -> bool {
+        self.classes.iter().any(|c| c.origin().is_some())
+    }
+
     /// The class behind `id`.
     pub fn class(&self, id: ClassId) -> &Class {
         &self.classes[id as usize]
@@ -774,8 +780,11 @@ pub(crate) fn close_ids(
 
 /// Merges an already-merged sorted run with another sorted iterator,
 /// deduplicating.
-fn merge_sorted<'a>(merged: &[&'a Class], next: impl Iterator<Item = &'a Class>) -> Vec<&'a Class> {
-    let mut out: Vec<&'a Class> = Vec::with_capacity(merged.len());
+fn merge_sorted<'a, T: Ord + ?Sized>(
+    merged: &[&'a T],
+    next: impl Iterator<Item = &'a T>,
+) -> Vec<&'a T> {
+    let mut out: Vec<&'a T> = Vec::with_capacity(merged.len());
     let mut left = merged.iter().peekable();
     let mut right = next.peekable();
     loop {
@@ -878,17 +887,188 @@ pub(crate) fn join_compiled<'a>(
     Ok((compiled.decompile(), compiled))
 }
 
+/// Builds the canonical-class view of a proper schema in id space: for
+/// every `(class, label)` arrow pair, the least target — the `t` with
+/// every other target equal to `t` or strictly above it. Returns exactly
+/// what the symbolic walk in `ProperSchema::try_new` computes (least =
+/// unique minimal below-or-equal everything, for finite posets), with
+/// the same `NoCanonicalClass` witness when a pair has no least target,
+/// but via per-pair bit tests against the closed `supers` rows.
+pub(crate) fn canonical_map(
+    cs: &CompiledSchema,
+) -> Result<BTreeMap<Class, BTreeMap<Label, Class>>, SchemaError> {
+    let mut canonical: BTreeMap<Class, BTreeMap<Label, Class>> = BTreeMap::new();
+    for p in 0..cs.classes.len() as u32 {
+        let mut by_label: BTreeMap<Label, Class> = BTreeMap::new();
+        for (label, (start, end)) in cs.pairs_of(p) {
+            let targets = &cs.targets[start as usize..end as usize];
+            let least = targets.iter().copied().find(|&t| {
+                targets
+                    .iter()
+                    .all(|&u| u == t || get_bit(cs.supers.row(t), u))
+            });
+            match least {
+                Some(t) => {
+                    by_label.insert(
+                        cs.labels[label as usize].clone(),
+                        cs.classes[t as usize].clone(),
+                    );
+                }
+                None => {
+                    return Err(SchemaError::NoCanonicalClass {
+                        class: cs.classes[p as usize].clone(),
+                        label: cs.labels[label as usize].clone(),
+                        minimal_targets: cs
+                            .min_s(targets)
+                            .into_iter()
+                            .map(|t| cs.classes[t as usize].clone())
+                            .collect(),
+                    });
+                }
+            }
+        }
+        if !by_label.is_empty() {
+            canonical.insert(cs.classes[p as usize].clone(), by_label);
+        }
+    }
+    Ok(canonical)
+}
+
+/// Joins `extras` onto an already-compiled join result without walking
+/// the base symbolically: the base's class/label tables, closed bit rows
+/// and CSR arrows transfer through an old-id → new-id remap (pure row
+/// copies when the extras introduce no symbol sorting before an existing
+/// one), and only the extras pay the symbolic interning walk.
+///
+/// This is the *cross-generation interner reuse* behind the registry's
+/// incremental re-merge: the cached join of the unchanged members enters
+/// the next join as a compiled artifact, so a publish pays interning
+/// proportional to the changed member, not the whole member set. The
+/// result is identical to [`join_compiled`] over the base's decompiled
+/// form plus the extras — both feed the same closed relations into the
+/// same closure engine.
+pub(crate) fn join_onto_compiled(
+    base: &CompiledSchema,
+    extras: &[&WeakSchema],
+) -> Result<CompiledSchema, SchemaError> {
+    // Merged symbol tables: sorted unions of the base tables (already
+    // sorted) and the extras' symbols.
+    let mut merged_classes: Vec<&Class> = base.classes.iter().collect();
+    for schema in extras {
+        merged_classes = merge_sorted(&merged_classes, schema.classes());
+    }
+    let mut merged_labels: Vec<&Label> = base.labels.iter().collect();
+    for schema in extras {
+        let mut extra: BTreeSet<&Label> = BTreeSet::new();
+        for by_label in schema.arrows.values() {
+            extra.extend(by_label.keys());
+        }
+        merged_labels = merge_sorted(&merged_labels, extra.into_iter());
+    }
+
+    // Old-id → new-id maps by a linear co-walk (both tables sorted; every
+    // base symbol survives into the union).
+    fn remap<T: Ord>(old: &[T], merged: &[&T]) -> Vec<u32> {
+        let mut map = Vec::with_capacity(old.len());
+        let mut j = 0usize;
+        for symbol in old {
+            while merged[j] != symbol {
+                j += 1;
+            }
+            map.push(j as u32);
+            j += 1;
+        }
+        map
+    }
+    let cmap = remap(&base.classes, &merged_classes);
+    let lmap = remap(&base.labels, &merged_labels);
+    // Identity iff no extra symbol sorts before an existing one (in
+    // particular whenever the extras' symbols all already exist — the
+    // steady-state registry publish).
+    let ids_stable = cmap.iter().enumerate().all(|(i, &m)| i as u32 == m);
+
+    let class_vec: Vec<Class> = merged_classes.into_iter().cloned().collect();
+    let label_vec: Vec<Label> = merged_labels.into_iter().cloned().collect();
+    let mut parts = RawDense::new(class_vec, label_vec);
+    let words = parts.words();
+    let old_words = base.supers.words;
+
+    // Base specializations: the closed rows feed in as direct edges (a
+    // union of closed relations re-closes to the same result).
+    for p in 0..base.classes.len() as u32 {
+        if ids_stable {
+            parts.direct.row_mut(p)[..old_words].copy_from_slice(base.supers.row(p));
+        } else {
+            let row = parts.direct.row_mut(cmap[p as usize]);
+            for q in iter_bits(base.supers.row(p)) {
+                set_bit(row, cmap[q as usize]);
+            }
+        }
+    }
+    // Base arrows: CSR runs become per-label bit rows under the remap.
+    for p in 0..base.classes.len() as u32 {
+        let np = if ids_stable { p } else { cmap[p as usize] };
+        let row = &mut parts.raw_arrows[np as usize];
+        for (label, (start, end)) in base.pairs_of(p) {
+            let mut bits = vec![0u64; words];
+            for &t in &base.targets[start as usize..end as usize] {
+                set_bit(&mut bits, if ids_stable { t } else { cmap[t as usize] });
+            }
+            row.insert(lmap[label as usize], bits);
+        }
+    }
+
+    // Extras: the same symbolic walk as `join_compiled`, unioning into
+    // the seeded rows.
+    let cid: FastMap<&Class, u32> = parts
+        .classes
+        .iter()
+        .enumerate()
+        .map(|(i, c)| (c, i as u32))
+        .collect();
+    let lid: FastMap<&Label, u32> = parts
+        .labels
+        .iter()
+        .enumerate()
+        .map(|(i, l)| (l, i as u32))
+        .collect();
+    for schema in extras {
+        for (sub, sups) in &schema.supers {
+            let row = parts.direct.row_mut(cid[sub]);
+            for sup in sups {
+                set_bit(row, cid[sup]);
+            }
+        }
+        for (src, by_label) in &schema.arrows {
+            let by_label_ids = &mut parts.raw_arrows[cid[src] as usize];
+            for (label, tgts) in by_label {
+                let bits = by_label_ids
+                    .entry(lid[label])
+                    .or_insert_with(|| vec![0u64; words]);
+                for tgt in tgts {
+                    set_bit(bits, cid[tgt]);
+                }
+            }
+        }
+    }
+
+    drop((cid, lid));
+    Ok(compile_dense(parts)?)
+}
+
 /// Builds the completed schema `(C̄, Ē, S̄)` in id space — the compiled
 /// twin of the symbolic `assemble` in [`crate::complete`] (which see for
 /// the rule-by-rule commentary). `entries` pairs each `Imp` state (bits
 /// over `cs` ids) with the class standing for its meet; the paper's S̄/Ē
 /// rules become bit operations over the old rows, the implicit classes
 /// get fresh ids appended after the old table, and one `compile_dense`
-/// pass closes the extended graph.
+/// pass closes the extended graph. Returns the completed schema in both
+/// forms (the compiled twin feeds the canonical-map construction of
+/// `ProperSchema`).
 pub(crate) fn assemble_ids(
     cs: &CompiledSchema,
     entries: &[(Vec<u64>, Class)],
-) -> Result<WeakSchema, SchemaError> {
+) -> Result<(WeakSchema, CompiledSchema), SchemaError> {
     let n = cs.classes.len();
     let old_words = cs.supers.words;
 
@@ -1052,7 +1232,8 @@ pub(crate) fn assemble_ids(
         }
     }
 
-    Ok(compile_dense(parts)?.decompile())
+    let compiled = compile_dense(parts)?;
+    Ok((compiled.decompile(), compiled))
 }
 
 // ---------------------------------------------------------------------------
@@ -1078,10 +1259,15 @@ pub(crate) fn discover_states_ids(cs: &CompiledSchema) -> Vec<(Vec<u64>, IdWitne
     let mut queue: VecDeque<usize> = VecDeque::new();
 
     // I₁: R(p, a) for every class and label, canonicalized by MinS.
+    // Singleton target sets (the common case) are their own MinS.
     for p in 0..n {
         for (label, (start, end)) in cs.pairs_of(p) {
             let reached = cs.bits_of(&cs.targets[start as usize..end as usize]);
-            let state = cs.min_s_bits(&reached);
+            let state = if end - start == 1 {
+                reached
+            } else {
+                cs.min_s_bits(&reached)
+            };
             if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(state.clone()) {
                 entry.insert(states.len());
                 queue.push_back(states.len());

@@ -111,14 +111,83 @@ pub fn complete_with_report(
     complete_impl(weak, None, Engine::Compiled)
 }
 
-/// [`complete_with_report`] reusing an already-compiled form of `weak`
-/// (the [`crate::merge::merge_compiled`] fast path: the join's compiled
-/// result feeds straight into the implicit-class search).
-pub(crate) fn complete_reusing(
+/// [`complete_with_report`] reusing an already-compiled form of `weak` —
+/// the interner-reuse fast path behind [`crate::merge::merge_compiled`],
+/// public so callers holding a partial join from
+/// [`crate::merge::weak_join_all_compiled`] (the registry's incremental
+/// re-merge) can complete it without recompiling.
+///
+/// `compiled` must be the compiled twin of `weak`, as returned alongside
+/// it by the join; passing the compiled form of a *different* schema
+/// yields an unspecified (memory-safe) completion.
+pub fn complete_compiled(
     weak: &WeakSchema,
     compiled: &CompiledSchema,
 ) -> Result<(ProperSchema, CompletionReport), SchemaError> {
     complete_impl(weak, Some(compiled), Engine::Compiled)
+}
+
+/// Completes a schema directly from its compiled form — the end-to-end
+/// id-space pipeline behind the registry's incremental re-merge: the
+/// symbolic schema is materialized exactly once, for the completed
+/// result, instead of once for the join and again for the completion.
+///
+/// Equivalent to decompiling and calling [`complete_with_report`]. When
+/// the schema carries pre-existing implicit classes (whose origin sets
+/// may need symbolic canonicalization) it does exactly that; for plain
+/// schemas the fixpoint, the naming of implicit classes and the
+/// assembly all run in id space.
+///
+/// # Errors
+///
+/// As for [`complete`].
+pub fn complete_from_compiled(
+    compiled: &CompiledSchema,
+) -> Result<(ProperSchema, CompletionReport), SchemaError> {
+    if compiled.has_origin_classes() {
+        let weak = compiled.decompile();
+        return complete_impl(&weak, Some(compiled), Engine::Compiled);
+    }
+    // No implicit classes anywhere: origin-set canonicalization is a
+    // no-op, every discovered state is a set of named classes already in
+    // MinS-canonical (antichain) form, and each multi-element state names
+    // a genuinely new implicit class — `name_states` collapses to naming
+    // each state by its own members.
+    let mut states: BTreeMap<BTreeSet<Class>, (Vec<u64>, ImplicitWitness)> = BTreeMap::new();
+    for (bits, witness) in compile::discover_states_ids(compiled) {
+        if bits.iter().map(|w| w.count_ones()).sum::<u32>() < 2 {
+            continue;
+        }
+        let members = compile::state_classes(compiled, &bits);
+        let witness = ImplicitWitness {
+            start: compiled.class(witness.start).clone(),
+            labels: witness
+                .labels
+                .iter()
+                .map(|&l| compiled.label(l).clone())
+                .collect(),
+        };
+        states.insert(members, (bits, witness));
+    }
+    if states.is_empty() {
+        let proper = ProperSchema::from_compiled(compiled.decompile(), compiled)?;
+        return Ok((proper, CompletionReport::default()));
+    }
+    let mut report = CompletionReport::default();
+    let mut id_entries: Vec<(Vec<u64>, Class)> = Vec::with_capacity(states.len());
+    for (members, (bits, witness)) in states {
+        let class = Class::implicit(members.clone());
+        report.implicit.push(ImplicitClassInfo {
+            class: class.clone(),
+            members,
+            witness,
+        });
+        id_entries.push((bits, class));
+    }
+    report.implicit.sort_by(|a, b| a.class.cmp(&b.class));
+    let (completed, completed_compiled) = compile::assemble_ids(compiled, &id_entries)?;
+    let proper = ProperSchema::from_compiled(completed, &completed_compiled)?;
+    Ok((proper, report))
 }
 
 /// Which implementation the completion pipeline runs on: the compiled
@@ -205,8 +274,19 @@ pub(crate) fn complete_impl(
                 .iter()
                 .map(|(state, class)| (bits_of_state[state].clone(), class.clone()))
                 .collect();
-            let completed = compile::assemble_ids(compiled, &id_entries)?;
-            Ok((ProperSchema::try_new(completed)?, report))
+            // No multi-element states means every C̄/Ē/S̄ rule quantifies
+            // over an empty `Imp`: the completion IS the input, so the
+            // assembly (a rebuild + re-close + decompile that would
+            // reproduce `weak` exactly) is skipped. This is the common
+            // case for schemas without label collisions — notably every
+            // registry re-merge of members that already completed cleanly.
+            if id_entries.is_empty() {
+                let proper = ProperSchema::from_compiled(weak.clone(), compiled)?;
+                return Ok((proper, report));
+            }
+            let (completed, completed_compiled) = compile::assemble_ids(compiled, &id_entries)?;
+            let proper = ProperSchema::from_compiled(completed, &completed_compiled)?;
+            Ok((proper, report))
         }
     }
 }

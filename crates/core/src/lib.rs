@@ -78,7 +78,10 @@ pub mod weak;
 
 pub use class::{Class, OriginSet};
 pub use compile::{ClassId, CompiledSchema, LabelId};
-pub use complete::{complete, complete_with_report, CompletionReport, ImplicitClassInfo};
+pub use complete::{
+    complete, complete_compiled, complete_from_compiled, complete_with_report, CompletionReport,
+    ImplicitClassInfo,
+};
 pub use consistency::ConsistencyRelation;
 pub use diff::{diff, merge_contribution, SchemaDiff};
 pub use error::{CycleWitness, MergeError, SchemaError};
@@ -89,7 +92,7 @@ pub use lower::{
 };
 pub use merge::{
     are_compatible, merge, merge_compiled, merge_consistent, weak_join, weak_join_all,
-    MergeOutcome, MergeSession,
+    weak_join_all_compiled, weak_join_onto_compiled, MergeOutcome, MergeSession,
 };
 pub use name::{Label, Name};
 pub use participation::Participation;

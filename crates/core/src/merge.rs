@@ -19,7 +19,10 @@
 //! of the order in which schemas and assertions arrive.
 
 use crate::class::Class;
-use crate::complete::{complete_checked, complete_reusing, complete_with_report, CompletionReport};
+use crate::compile::CompiledSchema;
+use crate::complete::{
+    complete_checked, complete_compiled, complete_with_report, CompletionReport,
+};
 use crate::consistency::ConsistencyRelation;
 use crate::error::{MergeError, SchemaError};
 use crate::name::Label;
@@ -54,6 +57,49 @@ pub fn weak_join_all<'a>(
             SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
             other => MergeError::Schema(other),
         })
+}
+
+/// [`weak_join_all`], additionally returning the compiled form of the
+/// join — the partial-join entry point for callers that keep merging.
+///
+/// The returned [`CompiledSchema`] feeds
+/// [`complete_compiled`] without a
+/// recompilation, and the returned weak join can itself re-enter a later
+/// join: because `⊔` is associative, `join(join(G₁…Gₙ₋₁), Gₙ)` equals
+/// `join(G₁…Gₙ)`, so a cached join of unchanged inputs plus one changed
+/// input reproduces the full batch merge. The registry's incremental
+/// re-merge (`crates/registry`) is built on exactly this pair.
+pub fn weak_join_all_compiled<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<(WeakSchema, CompiledSchema), MergeError> {
+    crate::compile::join_compiled(schemas).map_err(|err| match err {
+        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
+        other => MergeError::Schema(other),
+    })
+}
+
+/// Joins `extras` onto an already-compiled join — the cross-generation
+/// interner-reuse entry point.
+///
+/// `base` must be the compiled form of a closed weak schema, as returned
+/// by [`weak_join_all_compiled`] (or an earlier call to this function);
+/// the result equals joining the base's symbolic form with the extras,
+/// but the base is transferred in id space instead of being re-walked
+/// and re-interned symbolically, and the result stays compiled (feed it
+/// to [`crate::complete_from_compiled`], a further join, or
+/// [`CompiledSchema::decompile`]). The registry (`crates/registry`)
+/// keeps the compiled join of the unchanged members warm across
+/// generations, making a publish's interning cost proportional to the
+/// changed member rather than the whole member set.
+pub fn weak_join_onto_compiled<'a>(
+    base: &CompiledSchema,
+    extras: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<CompiledSchema, MergeError> {
+    let extras: Vec<&WeakSchema> = extras.into_iter().collect();
+    crate::compile::join_onto_compiled(base, &extras).map_err(|err| match err {
+        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
+        other => MergeError::Schema(other),
+    })
 }
 
 /// Whether a collection of schemas is compatible (§4.1): the transitive
@@ -104,7 +150,7 @@ pub fn merge_compiled<'a>(
         SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
         other => MergeError::Schema(other),
     })?;
-    let (proper, report) = complete_reusing(&weak, &compiled).map_err(MergeError::Schema)?;
+    let (proper, report) = complete_compiled(&weak, &compiled).map_err(MergeError::Schema)?;
     Ok(MergeOutcome {
         weak,
         proper,
@@ -541,6 +587,74 @@ mod tests {
             }
             other => panic!("expected incompatibility, got {other}"),
         }
+    }
+
+    #[test]
+    fn partial_join_entry_points_reproduce_merge_compiled() {
+        // The registry's incremental shape: join N-1 schemas, cache the
+        // weak result, join it with the last schema and complete reusing
+        // the compiled form — all three stages must agree with the batch.
+        let g1 = dog_schema_one();
+        let g2 = dog_schema_two();
+        let g3 = WeakSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .arrow("Dog", "Owner", "Company")
+            .build()
+            .unwrap();
+        let (rest, _) = weak_join_all_compiled([&g1, &g2]).unwrap();
+        let (weak, compiled) = weak_join_all_compiled([&rest, &g3]).unwrap();
+        let (proper, report) = complete_compiled(&weak, &compiled).unwrap();
+        let batch = merge_compiled([&g1, &g2, &g3]).unwrap();
+        assert_eq!(weak, batch.weak);
+        assert_eq!(proper, batch.proper);
+        assert_eq!(report, batch.report);
+    }
+
+    #[test]
+    fn join_onto_compiled_equals_symbolic_join() {
+        let g1 = dog_schema_one();
+        let g2 = dog_schema_two();
+        // Extras whose symbols all exist (id-stable), sort before existing
+        // ones (remap path), and add fresh labels.
+        for extra in [
+            WeakSchema::builder().arrow("Dog", "Owner", "Dog").build(),
+            WeakSchema::builder()
+                .specialize("Aardvark-dog", "Dog")
+                .arrow("Aardvark-dog", "AAA-first", "Dog")
+                .build(),
+        ] {
+            let extra = extra.unwrap();
+            let (_, base) = weak_join_all_compiled([&g1, &g2]).unwrap();
+            let compiled = weak_join_onto_compiled(&base, [&extra]).unwrap();
+            let direct = weak_join_all([&g1, &g2, &extra]).unwrap();
+            assert_eq!(compiled.decompile(), direct);
+            // The compiled join chains straight into completion.
+            let (proper, report) = crate::complete::complete_from_compiled(&compiled).unwrap();
+            let batch = merge_compiled([&g1, &g2, &extra]).unwrap();
+            assert_eq!(proper, batch.proper);
+            assert_eq!(report, batch.report);
+        }
+    }
+
+    #[test]
+    fn join_onto_compiled_reports_incompatibility() {
+        let up = WeakSchema::builder().specialize("A", "B").build().unwrap();
+        let (_, base) = weak_join_all_compiled([&up]).unwrap();
+        let down = WeakSchema::builder().specialize("B", "A").build().unwrap();
+        assert!(matches!(
+            weak_join_onto_compiled(&base, [&down]),
+            Err(MergeError::Incompatible(_))
+        ));
+    }
+
+    #[test]
+    fn partial_join_reports_incompatibility() {
+        let g1 = WeakSchema::builder().specialize("A", "B").build().unwrap();
+        let g2 = WeakSchema::builder().specialize("B", "A").build().unwrap();
+        assert!(matches!(
+            weak_join_all_compiled([&g1, &g2]),
+            Err(MergeError::Incompatible(_))
+        ));
     }
 
     #[test]

@@ -40,7 +40,15 @@ impl ProperSchema {
         let mut canonical: BTreeMap<Class, BTreeMap<Label, Class>> = BTreeMap::new();
         for (src, by_label) in &schema.arrows {
             for (label, targets) in by_label {
-                match order::least_element(&schema.supers, targets) {
+                // Singleton target sets (the overwhelmingly common case)
+                // are trivially canonical; the order machinery is only
+                // consulted for genuine multi-target arrows.
+                let least = if targets.len() == 1 {
+                    targets.iter().next()
+                } else {
+                    order::least_element(&schema.supers, targets)
+                };
+                match least {
                     Some(least) => {
                         canonical
                             .entry(src.clone())
@@ -61,6 +69,19 @@ impl ProperSchema {
         Ok(ProperSchema { schema, canonical })
     }
 
+    /// [`ProperSchema::try_new`] with the canonical view built from the
+    /// schema's compiled twin — id-space bit tests instead of symbolic
+    /// order walks. `compiled` must be the compiled form of `schema`; the
+    /// result (including the failure witness) is identical to
+    /// [`ProperSchema::try_new`] on `schema` alone.
+    pub(crate) fn from_compiled(
+        schema: WeakSchema,
+        compiled: &crate::compile::CompiledSchema,
+    ) -> Result<Self, SchemaError> {
+        let canonical = crate::compile::canonical_map(compiled)?;
+        Ok(ProperSchema { schema, canonical })
+    }
+
     /// The underlying weak schema.
     pub fn as_weak(&self) -> &WeakSchema {
         &self.schema
@@ -69,6 +90,14 @@ impl ProperSchema {
     /// Consumes the wrapper, returning the weak schema.
     pub fn into_weak(self) -> WeakSchema {
         self.schema
+    }
+
+    /// The canonical content hash — identical to
+    /// [`WeakSchema::content_hash`] of the underlying weak schema, since
+    /// the canonical view is derived data. Stable across class ordering;
+    /// see the weak-schema method for the framing.
+    pub fn content_hash(&self) -> u64 {
+        self.schema.content_hash()
     }
 
     /// The canonical class of the `a`-arrow of `p` — the least target, `p

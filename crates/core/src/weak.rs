@@ -259,6 +259,44 @@ impl WeakSchema {
         }
     }
 
+    /// A canonical FNV-1a content hash of the closed schema.
+    ///
+    /// The hash runs over the canonical (sorted) iteration order of the
+    /// closed form — classes, then specialization pairs, then arrow
+    /// triples, each length-framed — so it is independent of how the
+    /// schema was built: schemas that compare equal hash equal no matter
+    /// the declaration or merge order of their parts. Two different
+    /// schemas collide only with ordinary 64-bit-hash probability.
+    ///
+    /// This is the identity of an immutable schema *version* in the
+    /// registry (`crates/registry`) and is surfaced by `smerge stats`.
+    pub fn content_hash(&self) -> u64 {
+        use std::hash::Hasher as _;
+        let mut fnv = crate::compile::Fnv::default();
+        let item = |fnv: &mut crate::compile::Fnv, text: &str| {
+            fnv.write(&(text.len() as u64).to_le_bytes());
+            fnv.write(text.as_bytes());
+        };
+        fnv.write(b"C");
+        for class in &self.classes {
+            item(&mut fnv, &class.to_string());
+        }
+        fnv.write(b"S");
+        for (sub, sups) in &self.supers {
+            for sup in sups {
+                item(&mut fnv, &sub.to_string());
+                item(&mut fnv, &sup.to_string());
+            }
+        }
+        fnv.write(b"E");
+        for (src, label, tgt) in self.arrow_triples() {
+            item(&mut fnv, &src.to_string());
+            item(&mut fnv, label.as_str());
+            item(&mut fnv, &tgt.to_string());
+        }
+        fnv.finish()
+    }
+
     /// Checks the closed-form invariants: endpoints are classes, `S` is a
     /// strict transitively closed order, and `E` is closed under W1/W2.
     /// Always `Ok` for schemas produced by this crate; exposed so tests and
@@ -527,6 +565,48 @@ mod tests {
         assert_eq!(g.num_classes(), 0);
         assert_eq!(g.num_arrows(), 0);
         assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn content_hash_is_order_independent() {
+        // Same information declared in opposite orders: equal schemas,
+        // equal hashes.
+        let g1 = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .arrow("Dog", "owner", "Person")
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .arrow("Dog", "owner", "Person")
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap();
+        assert_eq!(g1, g2);
+        assert_eq!(g1.content_hash(), g2.content_hash());
+    }
+
+    #[test]
+    fn content_hash_distinguishes_components() {
+        let base = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap();
+        let extra_class = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .class("Cat")
+            .build()
+            .unwrap();
+        let extra_spec = WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .specialize("int", "Dog")
+            .build()
+            .unwrap();
+        assert_ne!(base.content_hash(), extra_class.content_hash());
+        assert_ne!(base.content_hash(), extra_spec.content_hash());
+        assert_ne!(extra_class.content_hash(), extra_spec.content_hash());
+        assert_ne!(base.content_hash(), WeakSchema::empty().content_hash());
     }
 
     #[test]

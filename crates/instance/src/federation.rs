@@ -130,6 +130,14 @@ impl FederatedView {
         query.eval(&self.instance)
     }
 
+    /// Runs a path query in schema space against the completed federated
+    /// schema — "which classes can this path reach", answerable even for
+    /// a schema-only federation with no member data (the registry daemon's
+    /// `QUERY`). See [`PathQuery::eval_classes`].
+    pub fn query_classes(&self, query: &PathQuery) -> BTreeSet<schema_merge_core::Class> {
+        query.eval_classes(self.proper.as_weak())
+    }
+
     /// Verifies the §6 guarantee on the view itself: the coalesced union
     /// instance conforms to the lower-merged (annotated, completed)
     /// schema and satisfies the shared keys.
@@ -406,6 +414,20 @@ mod tests {
         );
         assert_eq!(homes.len(), 2);
         view.check().expect("conforms");
+    }
+
+    #[test]
+    fn schema_space_queries_need_no_instance_data() {
+        // A schema-only federation (no member data at all) still answers
+        // class-space path queries over the completed view.
+        let (s1, s2) = member_schemas();
+        let fed = Federation::new()
+            .member("a", s1, Instance::default())
+            .member("b", s2, Instance::default());
+        let view = fed.view().expect("builds");
+        let names = view.query_classes(&PathQuery::extent("Dog").follow("name"));
+        assert_eq!(names, [c("string")].into());
+        assert!(view.query(&PathQuery::extent("Dog")).is_empty());
     }
 
     #[test]

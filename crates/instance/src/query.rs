@@ -19,7 +19,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-use schema_merge_core::{Class, KeyAssignment, KeySet, Label};
+use schema_merge_core::{Class, KeyAssignment, KeySet, Label, WeakSchema};
 
 use crate::instance::{Instance, Oid};
 
@@ -99,6 +99,45 @@ impl PathQuery {
         let mut current = instance.extent(&self.start);
         for step in &self.steps {
             current = apply(instance, &current, step);
+        }
+        current
+    }
+
+    /// Evaluates the query in *schema space*: instead of walking object
+    /// attributes, walks the schema's closed arrow relation, answering
+    /// "which classes can this path reach in the merged view".
+    ///
+    /// The starting extent is the class together with everything
+    /// specializing it (the classes whose objects would populate the
+    /// extent); [`Step::Follow`] maps each class to the *minimal* targets
+    /// of its labelled arrows (the canonical answers — W2 would otherwise
+    /// drag in every generalization); [`Step::Restrict`] keeps classes
+    /// specializing the restriction, so implicit-class restrictions like
+    /// `[{A,B}]` work over merged schemas. This is how the registry
+    /// daemon serves `QUERY` against the canonical merged schema without
+    /// holding any instance data.
+    pub fn eval_classes(&self, schema: &WeakSchema) -> BTreeSet<Class> {
+        let mut current: BTreeSet<Class> = if schema.contains_class(&self.start) {
+            let mut extent = schema.strict_subs(&self.start);
+            extent.insert(self.start.clone());
+            extent
+        } else {
+            BTreeSet::new()
+        };
+        for step in &self.steps {
+            current = match step {
+                Step::Follow(label) => {
+                    let mut reached = BTreeSet::new();
+                    for class in &current {
+                        reached.extend(schema.min_s(&schema.arrow_targets(class, label)));
+                    }
+                    reached
+                }
+                Step::Restrict(class) => current
+                    .into_iter()
+                    .filter(|member| schema.specializes(member, class))
+                    .collect(),
+            };
         }
         current
     }
@@ -277,6 +316,50 @@ mod tests {
         let traced = PathQuery::extent("Dog").follow("owner").trace(&instance);
         assert_eq!(traced[&rex], [ann].into());
         assert!(traced[&fido].is_empty(), "fido's path dies but is reported");
+    }
+
+    #[test]
+    fn schema_space_extent_includes_specializations() {
+        let schema = WeakSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .arrow("Dog", "owner", "Person")
+            .build()
+            .unwrap();
+        let dogs = PathQuery::extent("Dog").eval_classes(&schema);
+        assert_eq!(dogs, [c("Dog"), c("Guide-dog")].into());
+        assert!(PathQuery::extent("Unicorn")
+            .eval_classes(&schema)
+            .is_empty());
+    }
+
+    #[test]
+    fn schema_space_follow_takes_minimal_targets() {
+        // W2 closes `owner` targets upward to Agent; the canonical answer
+        // is the minimal class Person.
+        let schema = WeakSchema::builder()
+            .specialize("Person", "Agent")
+            .arrow("Dog", "owner", "Person")
+            .build()
+            .unwrap();
+        let owners = PathQuery::extent("Dog")
+            .follow("owner")
+            .eval_classes(&schema);
+        assert_eq!(owners, [c("Person")].into());
+    }
+
+    #[test]
+    fn schema_space_restrict_uses_specialization() {
+        let schema = WeakSchema::builder()
+            .specialize("Guide-dog", "Dog")
+            .arrow("Kennel", "houses", "Guide-dog")
+            .arrow("Kennel", "houses", "Cat")
+            .build()
+            .unwrap();
+        let housed_dogs = PathQuery::extent("Kennel")
+            .follow("houses")
+            .restrict(c("Dog"))
+            .eval_classes(&schema);
+        assert_eq!(housed_dogs, [c("Guide-dog")].into());
     }
 
     #[test]

@@ -1,0 +1,178 @@
+//! The join cache: weak joins of member-version *sets*, keyed by
+//! fingerprint.
+//!
+//! Incremental re-merge needs the join of "everything except the member
+//! being republished". Joins are not invertible — the old contribution
+//! cannot be subtracted from the cached total — so instead the registry
+//! remembers joins it has already computed, keyed by the exact set of
+//! `(member, content-hash)` pairs that produced them. The two seeds per
+//! commit (the rest-join used and the new total join) make the common
+//! traffic shapes hit:
+//!
+//! * republish member `k` → the rest-set `{all} ∖ {k}` was seeded by the
+//!   previous publish of `k` (or by the probe that missed), so every
+//!   subsequent publish of `k` is incremental;
+//! * publish a *new* member → the rest-set is the full previous set,
+//!   whose join was seeded by the previous commit — always incremental;
+//! * delete member `k` → same rest-set as a republish of `k`.
+//!
+//! Entries are evicted least-recently-touched once the cache exceeds its
+//! cap; the joins are `Arc`-shared so eviction never invalidates a
+//! computation in flight.
+//!
+//! Entries are stored *compiled* ([`CompiledSchema`]): the next
+//! incremental publish re-enters the engine through
+//! [`schema_merge_core::weak_join_onto_compiled`] without re-interning
+//! the unchanged members — the interner survives across registry
+//! generations and the join never detours through the symbolic form.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use schema_merge_core::CompiledSchema;
+
+/// How many joined sets to remember. Generous for the traffic shapes
+/// above (each needs O(1) entries per actively-churning member) while
+/// bounding memory on adversarial access patterns.
+const CAP: usize = 64;
+
+/// A fingerprint of a member-version set: FNV-1a over the sorted
+/// `(name, content-hash)` pairs, length-framed. Callers must feed pairs
+/// in sorted name order (the registry's member map is a `BTreeMap`, so
+/// iteration order is already canonical).
+pub(crate) fn fingerprint<'a>(pairs: impl Iterator<Item = (&'a str, u64)>) -> u64 {
+    // FNV-1a, same parameters as the core's interning hasher.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut write = |bytes: &[u8]| {
+        for &b in bytes {
+            hash ^= u64::from(b);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+    };
+    for (name, content) in pairs {
+        write(&(name.len() as u64).to_le_bytes());
+        write(name.as_bytes());
+        write(&content.to_le_bytes());
+    }
+    hash
+}
+
+struct Entry {
+    join: Arc<CompiledSchema>,
+    touched: u64,
+}
+
+/// The cache proper. Not itself synchronized — the registry wraps it in
+/// its own `Mutex` (separate from the state `RwLock`; the two are never
+/// held at once), and every probe/insert happens under that `Mutex`.
+#[derive(Default)]
+pub(crate) struct JoinCache {
+    entries: HashMap<u64, Entry>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl JoinCache {
+    /// Looks up the join of a fingerprinted set, refreshing its LRU
+    /// position. Counts a hit or miss.
+    pub(crate) fn probe(&mut self, fp: u64) -> Option<Arc<CompiledSchema>> {
+        self.clock += 1;
+        match self.entries.get_mut(&fp) {
+            Some(entry) => {
+                entry.touched = self.clock;
+                self.hits += 1;
+                Some(Arc::clone(&entry.join))
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Remembers a computed join, evicting the least-recently-touched
+    /// entry if over cap. Inserting an already-present fingerprint just
+    /// refreshes it (same set ⇒ same join).
+    pub(crate) fn insert(&mut self, fp: u64, join: Arc<CompiledSchema>) {
+        self.clock += 1;
+        let clock = self.clock;
+        self.entries
+            .entry(fp)
+            .and_modify(|entry| entry.touched = clock)
+            .or_insert(Entry {
+                join,
+                touched: clock,
+            });
+        if self.entries.len() > CAP {
+            if let Some((&oldest, _)) = self.entries.iter().min_by_key(|(_, e)| e.touched) {
+                self.entries.remove(&oldest);
+                self.evictions += 1;
+            }
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub(crate) fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    pub(crate) fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    pub(crate) fn evictions(&self) -> u64 {
+        self.evictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fingerprint_depends_on_names_and_hashes() {
+        let a = fingerprint([("a", 1u64), ("b", 2u64)].into_iter());
+        let same = fingerprint([("a", 1u64), ("b", 2u64)].into_iter());
+        let diff_hash = fingerprint([("a", 1u64), ("b", 3u64)].into_iter());
+        let diff_name = fingerprint([("a", 1u64), ("c", 2u64)].into_iter());
+        let subset = fingerprint([("a", 1u64)].into_iter());
+        assert_eq!(a, same);
+        assert_ne!(a, diff_hash);
+        assert_ne!(a, diff_name);
+        assert_ne!(a, subset);
+    }
+
+    #[test]
+    fn fingerprint_framing_resists_concatenation_ambiguity() {
+        // ("ab", h) vs ("a", h') + ("b", ...) style collisions are ruled
+        // out by length framing.
+        let joined = fingerprint([("ab", 1u64)].into_iter());
+        let split = fingerprint([("a", 1u64), ("b", 1u64)].into_iter());
+        assert_ne!(joined, split);
+    }
+
+    #[test]
+    fn cache_probes_hit_and_evict_lru() {
+        let mut cache = JoinCache::default();
+        let join = Arc::new(CompiledSchema::compile(
+            &schema_merge_core::WeakSchema::empty(),
+        ));
+        assert!(cache.probe(7).is_none());
+        cache.insert(7, Arc::clone(&join));
+        assert!(cache.probe(7).is_some());
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+
+        for fp in 100..100 + (CAP as u64) {
+            cache.insert(fp, Arc::clone(&join));
+        }
+        assert!(cache.len() <= CAP);
+        assert!(cache.evictions() >= 1);
+        // 7 was the least recently touched after the flood began.
+        assert!(cache.probe(7).is_none());
+    }
+}

@@ -1,0 +1,44 @@
+//! Registry failures.
+
+use std::fmt;
+
+use schema_merge_core::MergeError;
+
+/// Why a registry operation was rejected. Rejected operations leave the
+/// registry exactly as it was — like [`schema_merge_core::MergeSession`],
+/// a failed addition never corrupts the accumulated state.
+#[derive(Debug)]
+pub enum RegistryError {
+    /// The named member does not exist.
+    UnknownMember(String),
+    /// Publishing the schema would make the member set unmergeable (a
+    /// specialization cycle across members, or an inconsistent
+    /// completion). Carries the underlying merge failure with its
+    /// witness.
+    Rejected {
+        /// The member whose publication was rejected.
+        member: String,
+        /// The merge failure that would have resulted.
+        cause: MergeError,
+    },
+}
+
+impl fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegistryError::UnknownMember(name) => write!(f, "no member named `{name}`"),
+            RegistryError::Rejected { member, cause } => {
+                write!(f, "publishing `{member}` rejected: {cause}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RegistryError::UnknownMember(_) => None,
+            RegistryError::Rejected { cause, .. } => Some(cause),
+        }
+    }
+}

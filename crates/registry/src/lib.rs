@@ -1,0 +1,68 @@
+//! # schema-merge-registry
+//!
+//! A concurrent, versioned, in-memory schema registry with an
+//! incremental merge engine — the paper's merge run as a *service*.
+//!
+//! Because the upper merge is a least upper bound — associative,
+//! commutative, idempotent (§4.1) — it is the ideal backbone for a
+//! long-lived registry: clients publish schema versions independently,
+//! in any order, and the registry maintains the one canonical merged
+//! view they all agree on. This is the supergraph-composition shape of
+//! federated schema registries: each *member* (a team, a data source, a
+//! subgraph) owns its piece; the registry owns the merge.
+//!
+//! The crate provides:
+//!
+//! * [`Registry`] — the store. Named members hold content-hashed
+//!   immutable [`SchemaVersion`]s; a generation-stamped merged view sits
+//!   behind an `RwLock`, so reads are wait-free Arc clones and writers
+//!   recompute optimistically outside the lock.
+//! * **Incremental re-merge** — on [`Registry::put`] / [`Registry::delete`]
+//!   the engine reuses the cached *compiled* join of the unchanged
+//!   members (associativity: `⊔ᵢGᵢ = (⊔ᵢ≠ₖGᵢ) ⊔ Gₖ`) and re-runs only
+//!   the final join and completion through the compiled core's
+//!   partial-join entry points
+//!   ([`schema_merge_core::weak_join_onto_compiled`] /
+//!   [`schema_merge_core::complete_from_compiled`] — the interner
+//!   survives across generations), falling back to a full
+//!   [`schema_merge_core::merge_compiled`]-shaped pass when no cached
+//!   join applies. The incremental result is always equal to the
+//!   one-shot merge (differentially property-tested against
+//!   `reference::merge`).
+//! * Schema-space queries — [`Registry::query`] answers path queries
+//!   ("which classes does `Dog.owner` reach?") against the merged view
+//!   via [`schema_merge_instance::PathQuery::eval_classes`], no instance
+//!   data required.
+//!
+//! The `smerge serve` daemon in `crates/cli` exposes all of this over a
+//! line-oriented TCP protocol (`schema_merge_text::protocol`).
+//!
+//! ```
+//! use schema_merge_core::WeakSchema;
+//! use schema_merge_registry::Registry;
+//!
+//! let registry = Registry::new();
+//! let inventory = WeakSchema::builder().arrow("Part", "price", "money").build()?;
+//! let orders = WeakSchema::builder().arrow("Order", "item", "Part").build()?;
+//! registry.put("inventory", inventory)?;
+//! registry.put("orders", orders)?;
+//!
+//! let view = registry.merged();
+//! assert_eq!(view.generation, 2);
+//! assert_eq!(view.proper.num_classes(), 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cache;
+pub mod error;
+pub mod stats;
+pub mod store;
+pub mod version;
+
+pub use error::RegistryError;
+pub use stats::RegistryStats;
+pub use store::{DeleteOutcome, MergeStrategy, MergedView, PutOutcome, Registry};
+pub use version::{MemberInfo, SchemaVersion};

@@ -1,0 +1,80 @@
+//! Registry observability: one coherent snapshot of state and counters.
+
+use std::fmt;
+
+/// A point-in-time snapshot of the registry. The sizes and the merged
+/// view's shape are read coherently (one read-lock acquisition, so they
+/// describe the same generation); the engine counters are monotone
+/// relaxed atomics sampled alongside — under concurrent writers they may
+/// run slightly ahead of or behind the locked fields.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RegistryStats {
+    /// Monotone commit counter; bumped by every successful `put`/`delete`.
+    pub generation: u64,
+    /// Current member count.
+    pub members: usize,
+    /// Total immutable versions across all members.
+    pub total_versions: usize,
+    /// Classes in the merged proper schema.
+    pub merged_classes: usize,
+    /// Arrows (closed) in the merged proper schema.
+    pub merged_arrows: usize,
+    /// Strict specialization pairs in the merged proper schema.
+    pub merged_specializations: usize,
+    /// Implicit classes completion introduced in the merged view.
+    pub implicit_classes: usize,
+    /// Canonical content hash of the merged proper schema.
+    pub merged_hash: u64,
+    /// Commits that reused a cached rest-join (the incremental path).
+    pub incremental_merges: u64,
+    /// Commits that re-joined every member from scratch.
+    pub full_merges: u64,
+    /// Publishes dropped because the content hash was unchanged.
+    pub noop_puts: u64,
+    /// Publishes rejected as incompatible/inconsistent.
+    pub rejected_puts: u64,
+    /// Join-cache hits.
+    pub cache_hits: u64,
+    /// Join-cache misses.
+    pub cache_misses: u64,
+    /// Join-cache evictions.
+    pub cache_evictions: u64,
+    /// Join-cache resident entries.
+    pub cache_entries: usize,
+    /// Optimistic commit attempts that lost the generation race and
+    /// retried.
+    pub commit_retries: u64,
+}
+
+impl fmt::Display for RegistryStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "generation {} | members {} | versions {}",
+            self.generation, self.members, self.total_versions
+        )?;
+        writeln!(
+            f,
+            "merged: {} classes, {} arrows, {} specializations, {} implicit, hash {:016x}",
+            self.merged_classes,
+            self.merged_arrows,
+            self.merged_specializations,
+            self.implicit_classes,
+            self.merged_hash,
+        )?;
+        writeln!(
+            f,
+            "merges: {} incremental, {} full, {} no-op, {} rejected, {} commit retries",
+            self.incremental_merges,
+            self.full_merges,
+            self.noop_puts,
+            self.rejected_puts,
+            self.commit_retries,
+        )?;
+        write!(
+            f,
+            "join cache: {} entries, {} hits, {} misses, {} evictions",
+            self.cache_entries, self.cache_hits, self.cache_misses, self.cache_evictions,
+        )
+    }
+}

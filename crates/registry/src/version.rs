@@ -1,0 +1,52 @@
+//! Immutable, content-hashed schema versions.
+
+use std::sync::Arc;
+
+use schema_merge_core::WeakSchema;
+
+/// One published version of a member's schema. Versions are immutable:
+/// publishing new content appends a new version, it never rewrites an
+/// old one, so a client holding a version can keep reading it while the
+/// registry moves on.
+#[derive(Debug, Clone)]
+pub struct SchemaVersion {
+    /// The canonical content hash ([`WeakSchema::content_hash`]) — the
+    /// version's identity. Publishing content with the hash of the
+    /// current version is a no-op.
+    pub hash: u64,
+    /// 1-based position in the member's version history.
+    pub sequence: u32,
+    /// The registry generation at which this version was committed.
+    pub generation: u64,
+    /// The schema itself (shared, never mutated).
+    pub schema: Arc<WeakSchema>,
+}
+
+/// A member's row in [`crate::Registry::list`].
+#[derive(Debug, Clone)]
+pub struct MemberInfo {
+    /// The member name.
+    pub name: String,
+    /// Content hash of the current version.
+    pub hash: u64,
+    /// Sequence number of the current version.
+    pub sequence: u32,
+    /// How many versions the member has published.
+    pub versions: usize,
+    /// Classes in the current version.
+    pub num_classes: usize,
+    /// Arrows (closed) in the current version.
+    pub num_arrows: usize,
+}
+
+/// The per-member record: an append-only version history.
+#[derive(Debug, Clone)]
+pub(crate) struct MemberRecord {
+    pub(crate) versions: Vec<SchemaVersion>,
+}
+
+impl MemberRecord {
+    pub(crate) fn current(&self) -> &SchemaVersion {
+        self.versions.last().expect("members have >= 1 version")
+    }
+}

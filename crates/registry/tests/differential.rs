@@ -1,0 +1,159 @@
+//! Differential property tests: the registry's incremental merged view
+//! vs the one-shot engines.
+//!
+//! For random publish/delete sequences over workload-generated schema
+//! families, the registry's view after every operation must equal the
+//! one-shot [`merge_compiled`] of its current members — and, at the end
+//! of each sequence, the fully symbolic [`reference::merge`] too
+//! (schemas *and* completion reports). Rejected publishes must
+//! correspond exactly to member sets the one-shot merge also rejects,
+//! and must leave the view untouched.
+
+use std::collections::BTreeMap;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use schema_merge_core::{merge_compiled, reference, WeakSchema};
+use schema_merge_registry::{MergeStrategy, Registry, RegistryError};
+use schema_merge_workload::{schema_family, SchemaParams};
+
+const MEMBERS: usize = 5;
+const VARIANTS: usize = 4;
+
+/// One step of a registry workload. `Put` publishes variant `v` of
+/// member slot `m`; `PutHostile` publishes a reversed-specialization
+/// schema that may be incompatible with the generated family; `Delete`
+/// removes the member if present.
+#[derive(Debug, Clone)]
+enum Op {
+    Put(usize, usize),
+    PutHostile(usize),
+    Delete(usize),
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    let op = prop_oneof![
+        (0usize..MEMBERS, 0usize..VARIANTS).prop_map(|(m, v)| Op::Put(m, v)),
+        (0usize..MEMBERS).prop_map(Op::PutHostile),
+        (0usize..MEMBERS).prop_map(Op::Delete),
+    ];
+    vec(op, 1..20)
+}
+
+/// A pool of mutually compatible member schemas: `MEMBERS × VARIANTS`
+/// draws from one workload family over a shared vocabulary (the
+/// generator directs specializations along the vocabulary order, so any
+/// subset merges).
+fn pool(seed: u64) -> Vec<WeakSchema> {
+    let params = SchemaParams {
+        vocabulary: 18,
+        classes: 8,
+        labels: 4,
+        arrows: 7,
+        specializations: 3,
+        seed,
+    };
+    schema_family(&params, MEMBERS * VARIANTS)
+}
+
+/// A schema that reverses the vocabulary order, making it incompatible
+/// with any family member that specializes across `lo ⇒ hi` — sometimes
+/// rejected, sometimes accepted, which is the point.
+fn hostile() -> WeakSchema {
+    WeakSchema::builder()
+        .specialize("C017", "C000")
+        .specialize("C016", "C001")
+        .build()
+        .expect("acyclic alone")
+}
+
+fn member_name(slot: usize) -> String {
+    format!("member-{slot}")
+}
+
+fn assert_view_matches<'a>(
+    registry: &Registry,
+    model: impl Iterator<Item = &'a WeakSchema>,
+) -> Result<(), TestCaseError> {
+    let schemas: Vec<&WeakSchema> = model.collect();
+    let oneshot = merge_compiled(schemas.iter().copied()).expect("model members are compatible");
+    let view = registry.merged();
+    prop_assert_eq!(view.proper.as_ref(), &oneshot.proper);
+    prop_assert_eq!(view.report.as_ref(), &oneshot.report);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn incremental_view_equals_oneshot_merge(ops in ops(), seed in 0u64..64) {
+        let schemas = pool(seed);
+        let registry = Registry::new();
+        let mut model: BTreeMap<String, WeakSchema> = BTreeMap::new();
+
+        for op in &ops {
+            match op {
+                Op::Put(m, v) => {
+                    let name = member_name(*m);
+                    let schema = schemas[m * VARIANTS + v].clone();
+                    let outcome = registry.put(&name, schema.clone()).expect("family members are compatible");
+                    if model.get(&name) == Some(&schema) {
+                        prop_assert_eq!(outcome.strategy, MergeStrategy::Noop);
+                    }
+                    model.insert(name, schema);
+                }
+                Op::PutHostile(m) => {
+                    let name = member_name(*m);
+                    let schema = hostile();
+                    match registry.put(&name, schema.clone()) {
+                        Ok(_) => {
+                            model.insert(name, schema);
+                        }
+                        Err(RegistryError::Rejected { .. }) => {
+                            // The one-shot merge over (model ∖ name) ∪ {schema}
+                            // must reject the same set.
+                            let mut attempted: Vec<&WeakSchema> = model
+                                .iter()
+                                .filter(|(n, _)| *n != &name)
+                                .map(|(_, s)| s)
+                                .collect();
+                            attempted.push(&schema);
+                            prop_assert!(merge_compiled(attempted).is_err());
+                        }
+                        Err(other) => prop_assert!(false, "unexpected error: {other}"),
+                    }
+                }
+                Op::Delete(m) => {
+                    let name = member_name(*m);
+                    match registry.delete(&name) {
+                        Ok(_) => {
+                            prop_assert!(model.remove(&name).is_some());
+                        }
+                        Err(RegistryError::UnknownMember(_)) => {
+                            prop_assert!(!model.contains_key(&name));
+                        }
+                        Err(other) => prop_assert!(false, "unexpected error: {other}"),
+                    }
+                }
+            }
+            // After every operation, the view is the one-shot compiled
+            // merge of the current members.
+            assert_view_matches(&registry, model.values())?;
+        }
+
+        // And at sequence end, the fully symbolic engine agrees too —
+        // schemas and completion reports.
+        let members: Vec<&WeakSchema> = model.values().collect();
+        let symbolic = reference::merge(members.iter().copied())
+            .expect("model members are compatible");
+        let view = registry.merged();
+        prop_assert_eq!(view.proper.as_ref(), &symbolic.proper);
+        prop_assert_eq!(view.report.as_ref(), &symbolic.report);
+
+        // Sanity on the bookkeeping: generation counts exactly the commits.
+        let stats = registry.stats();
+        prop_assert_eq!(stats.generation, stats.incremental_merges + stats.full_merges);
+    }
+}
