@@ -151,6 +151,17 @@ mod tests {
     use schema_merge_core::iso::alpha_isomorphic;
     use schema_merge_core::Label;
 
+    /// The paper's (order-independent) merge, through the façade.
+    fn facade_proper<'a>(
+        schemas: impl IntoIterator<Item = &'a WeakSchema>,
+    ) -> schema_merge_core::ProperSchema {
+        schema_merge_core::Merger::new()
+            .schemas(schemas)
+            .execute()
+            .unwrap()
+            .proper
+    }
+
     fn c(s: &str) -> Class {
         Class::named(s)
     }
@@ -171,7 +182,7 @@ mod tests {
         let g1 = WeakSchema::builder().arrow("C", "a", "B1").build().unwrap();
         let g2 = WeakSchema::builder().arrow("C", "a", "B2").build().unwrap();
         let naive = NaiveMerger::new().merge_pair(&g1, &g2).unwrap();
-        let ours = schema_merge_core::merge([&g1, &g2]).unwrap().proper;
+        let ours = facade_proper([&g1, &g2]);
         // Alpha-equivalent: the only difference is the implicit class's
         // name.
         assert!(alpha_isomorphic(&naive, ours.as_weak(), |class| is_opaque(
@@ -197,8 +208,8 @@ mod tests {
 
         // While the paper's merge is order-independent and produces the
         // single implicit class {D,E,F}.
-        let ours_a = schema_merge_core::merge([&g1, &g2, &g3]).unwrap().proper;
-        let ours_b = schema_merge_core::merge([&g1, &g3, &g2]).unwrap().proper;
+        let ours_a = facade_proper([&g1, &g2, &g3]);
+        let ours_b = facade_proper([&g1, &g3, &g2]);
         assert_eq!(ours_a, ours_b);
         let def = Class::implicit([c("D"), c("E"), c("F")]);
         assert!(ours_a.contains_class(&def));
@@ -295,7 +306,7 @@ mod tests {
         // With B1 ⇒ B2 the merged schema needs no implicit class at all —
         // but the opaque ?1 lingers.
         assert!(step2.contains_class(&c("?1")));
-        let ours = schema_merge_core::merge([&g1, &g2, &g3]).unwrap().proper;
+        let ours = facade_proper([&g1, &g2, &g3]);
         assert_eq!(
             ours.classes().filter(|cl| cl.is_implicit()).count(),
             0,

@@ -4,7 +4,20 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use schema_merge_baseline::NaiveMerger;
-use schema_merge_core::merge;
+use schema_merge_core::{MergeOutcome, Merger};
+
+fn merge<'a>(
+    schemas: impl IntoIterator<Item = &'a schema_merge_core::WeakSchema>,
+) -> Result<MergeOutcome, schema_merge_core::MergeError> {
+    Merger::new()
+        .schemas(schemas)
+        .execute()
+        .map(|report| MergeOutcome {
+            weak: report.weak.expect("batch merges materialize the weak join"),
+            proper: report.proper,
+            report: report.implicit,
+        })
+}
 use schema_merge_workload::{schema_family, SchemaParams};
 
 fn family(count: usize) -> Vec<schema_merge_core::WeakSchema> {

@@ -1,7 +1,7 @@
 //! E3: weak least-upper-bound throughput vs schema size and arity.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use schema_merge_core::weak_join_all;
+use schema_merge_bench::facade_join as weak_join_all;
 use schema_merge_workload::{schema_family, SchemaParams};
 
 fn params(classes: usize) -> SchemaParams {

@@ -5,10 +5,11 @@
 
 use std::time::Instant;
 
+use crate::facade_merge;
 use schema_merge_baseline::NaiveMerger;
 use schema_merge_core::complete::complete_with_report;
 use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
-use schema_merge_core::{merge, weak_join_all, KeyAssignment, KeySet};
+use schema_merge_core::{KeyAssignment, KeySet, Merger};
 use schema_merge_er::merge_er;
 use schema_merge_workload::{
     expected_pathological_implicit_classes, pathological_nfa, random_er_schema, random_schema,
@@ -64,15 +65,15 @@ pub fn e1_associativity(sizes: &[usize]) -> Series {
         let refs: Vec<_> = family.iter().collect();
 
         let start = Instant::now();
-        let forward = merge(refs.iter().copied())
+        let forward = facade_merge(refs.iter().copied())
             .expect("compatible family")
             .proper;
         let ours_time = start.elapsed();
 
         let reversed: Vec<_> = refs.iter().rev().copied().collect();
-        let backward = merge(reversed).expect("compatible family").proper;
+        let backward = facade_merge(reversed).expect("compatible family").proper;
         let rotated: Vec<_> = refs[1..].iter().chain(&refs[..1]).copied().collect();
-        let rotated = merge(rotated).expect("compatible family").proper;
+        let rotated = facade_merge(rotated).expect("compatible family").proper;
         let agree = forward == backward && backward == rotated;
 
         let start = Instant::now();
@@ -167,7 +168,11 @@ pub fn e3_weak_merge(sizes: &[usize]) -> Series {
         };
         let family = schema_family(&params, 2);
         let start = Instant::now();
-        let joined = weak_join_all(family.iter()).expect("compatible");
+        let joined = Merger::new()
+            .schemas(family.iter())
+            .join()
+            .expect("compatible")
+            .into_weak();
         let elapsed = start.elapsed();
         points.push(SeriesPoint {
             x: classes.to_string(),

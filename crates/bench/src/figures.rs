@@ -11,8 +11,7 @@ use schema_merge_core::complete::complete_with_report;
 use schema_merge_core::iso::alpha_isomorphic;
 use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
 use schema_merge_core::{
-    merge, weak_join, Class, KeyAssignment, KeySet, Label, Participation, SuperkeyFamily,
-    WeakSchema,
+    weak_join, Class, KeyAssignment, KeySet, Label, Participation, SuperkeyFamily, WeakSchema,
 };
 use schema_merge_er::{
     cardinality_keys, figure_1_dogs, figure_9_advisor, from_core, keys_to_cardinalities, merge_er,
@@ -56,6 +55,8 @@ impl Row {
         }
     }
 }
+
+use crate::facade_outcome as facade_merge;
 
 fn c(s: &str) -> Class {
     Class::named(s)
@@ -118,7 +119,7 @@ pub fn figure_3() -> Row {
         .arrow("A2", "a", "B2")
         .build()
         .expect("figure 3 G2");
-    let outcome = merge([&g1, &g2]).expect("figure 3 merge");
+    let outcome = facade_merge([&g1, &g2]).expect("figure 3 merge");
     let x = Class::implicit([c("B1"), c("B2")]);
     let ok = outcome.report.num_implicit() == 1
         && outcome.proper.canonical_target(&c("C"), &l("a")) == Some(&x)
@@ -166,9 +167,9 @@ pub fn figure_5() -> Row {
     let naive_b = stepwise_merge([&g1, &g3, &g2]).expect("naive order B");
     let naive_differ = !alpha_isomorphic(&naive_a, &naive_b, is_opaque);
 
-    let ours_a = merge([&g1, &g2, &g3]).expect("merge A").proper;
-    let ours_b = merge([&g1, &g3, &g2]).expect("merge B").proper;
-    let ours_c = merge([&g3, &g2, &g1]).expect("merge C").proper;
+    let ours_a = facade_merge([&g1, &g2, &g3]).expect("merge A").proper;
+    let ours_b = facade_merge([&g1, &g3, &g2]).expect("merge B").proper;
+    let ours_c = facade_merge([&g3, &g2, &g1]).expect("merge C").proper;
     let def = Class::implicit([c("D"), c("E"), c("F")]);
     let ours_agree = ours_a == ours_b && ours_b == ours_c && ours_a.contains_class(&def);
 

@@ -17,3 +17,32 @@ pub mod perf;
 
 pub use figures::{all_rows, Row, Verdict};
 pub use perf::{run_suite, to_json, to_table, BenchRecord, BenchReport, Speedup};
+
+use schema_merge_core::{MergeError, MergeOutcome, MergeReport, Merger, WeakSchema};
+
+/// The paper's merge through the production `Merger` façade — the single
+/// wrapper every experiment, figure check and Criterion bench in this
+/// crate measures, so façade overhead (planning, provenance,
+/// diagnostics) is part of every measurement.
+pub fn facade_merge<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<MergeReport, MergeError> {
+    Merger::new().schemas(schemas).execute()
+}
+
+/// [`facade_merge`] shaped as the historical outcome triple.
+pub fn facade_outcome<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<MergeOutcome, MergeError> {
+    facade_merge(schemas).map(MergeReport::into_outcome)
+}
+
+/// The weak least upper bound through the façade.
+pub fn facade_join<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<WeakSchema, MergeError> {
+    Merger::new()
+        .schemas(schemas)
+        .join()
+        .map(schema_merge_core::Joined::into_weak)
+}

@@ -1,5 +1,7 @@
-//! The ISSUE-2 acceptance property: across every `workload` generator
-//! family, `merge_compiled` agrees with the symbolic `reference` merge —
+//! The ISSUE-2/ISSUE-4 acceptance property: across every `workload`
+//! generator family, **every plan configuration of the `Merger` façade**
+//! — compiled (the default), symbolic, and compiled-onto-base at every
+//! split of the inputs — agrees with the symbolic `reference` merge:
 //! equal weak joins, equal proper schemas and reports, and (the weaker
 //! public contract) alpha-isomorphism modulo implicit-class naming — and
 //! the compiled representation round-trips losslessly.
@@ -7,18 +9,25 @@
 use proptest::prelude::*;
 
 use schema_merge_core::iso::alpha_isomorphic;
-use schema_merge_core::{merge_compiled, reference, Class, CompiledSchema, WeakSchema};
+use schema_merge_core::{reference, Class, CompiledSchema, EnginePreference, Merger, WeakSchema};
 use schema_merge_er::to_core;
 use schema_merge_workload::{
     pathological_nfa, random_er_schema, schema_family, ErParams, SchemaParams,
 };
 
 fn assert_engines_agree(schemas: &[&WeakSchema]) {
-    let compiled = merge_compiled(schemas.iter().copied()).expect("compiled merge");
+    let compiled = Merger::new()
+        .schemas(schemas.iter().copied())
+        .execute()
+        .expect("compiled merge");
     let symbolic = reference::merge(schemas.iter().copied()).expect("symbolic merge");
-    assert_eq!(compiled.weak, symbolic.weak, "weak joins agree");
+    let compiled_weak = compiled
+        .weak
+        .clone()
+        .expect("batch merges keep the weak join");
+    assert_eq!(compiled_weak, symbolic.weak, "weak joins agree");
     assert_eq!(compiled.proper, symbolic.proper, "proper schemas agree");
-    assert_eq!(compiled.report, symbolic.report, "reports agree");
+    assert_eq!(compiled.implicit, symbolic.report, "reports agree");
     assert!(
         alpha_isomorphic(
             compiled.proper.as_weak(),
@@ -27,8 +36,37 @@ fn assert_engines_agree(schemas: &[&WeakSchema]) {
         ),
         "alpha-isomorphic modulo implicit naming"
     );
+
+    // The symbolic plan configuration through the same façade.
+    let sym_plan = Merger::new()
+        .schemas(schemas.iter().copied())
+        .engine(EnginePreference::Symbolic)
+        .execute()
+        .expect("symbolic plan");
+    assert_eq!(sym_plan.proper, symbolic.proper, "symbolic plan agrees");
+    assert_eq!(sym_plan.implicit, symbolic.report);
+
+    // The onto-base plan configuration, splitting the inputs at the
+    // midpoint (and at zero: completing extras onto the empty base).
+    for k in [0, schemas.len() / 2] {
+        let base = Merger::new()
+            .schemas(schemas[..k].iter().copied())
+            .join()
+            .expect("base joins")
+            .into_parts()
+            .1
+            .expect("compiled base");
+        let onto = Merger::new()
+            .onto_base(&base)
+            .schemas(schemas[k..].iter().copied())
+            .execute()
+            .expect("onto-base plan");
+        assert_eq!(onto.proper, symbolic.proper, "onto-base plan agrees");
+        assert_eq!(onto.implicit, symbolic.report);
+    }
+
     // Lossless compilation of both the join and the completed result.
-    for schema in [&compiled.weak, compiled.proper.as_weak()] {
+    for schema in [&compiled_weak, compiled.proper.as_weak()] {
         assert_eq!(&CompiledSchema::compile(schema).decompile(), schema);
     }
 }
@@ -104,7 +142,10 @@ fn merge_result_feedback_loop_agrees() {
         seed: 99,
     };
     let family = schema_family(&params, 3);
-    let first = merge_compiled([&family[0], &family[1]]).expect("first merge");
+    let first = Merger::new()
+        .schemas([&family[0], &family[1]])
+        .execute()
+        .expect("first merge");
     let followup = [first.proper.as_weak(), &family[2]];
     assert_engines_agree(&followup);
 }

@@ -1,17 +1,27 @@
 //! The `smerge` subcommands.
+//!
+//! Every merging command builds a [`Merger`] from its parsed documents
+//! and CLI flags, so the CLI, the daemon and the library all exercise
+//! the same code path; `--format json` on `merge`, `stats` and `check`
+//! emits the façade's `MergeReport`/`Diagnostic` structures through the
+//! hand-rolled serializer in [`crate::json`].
 
 use std::fmt;
 use std::io::Write;
 
-use schema_merge_core::complete::complete_with_report;
-use schema_merge_core::lower::{annotated_join, lower_complete, lower_merge};
-use schema_merge_core::{Class, KeyAssignment, SuperkeyFamily};
+use schema_merge_core::{KeyAssignment, MergeError, Merger, SuperkeyFamily};
 use schema_merge_text::{
     parse_document, print_schema, render_ascii, to_dot, DotOptions, NamedSchema,
 };
 
+use crate::json;
+
 /// A CLI failure: message plus a hint at fault (usage vs data).
+///
+/// Marked `#[non_exhaustive]`; each variant carries a stable
+/// [`code`](CliError::code) surfaced in the CLI's error output.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CliError {
     /// Bad invocation.
     Usage(String),
@@ -19,6 +29,22 @@ pub enum CliError {
     Io(std::io::Error),
     /// Parsing or merging failed.
     Data(String),
+}
+
+impl CliError {
+    /// The stable machine-readable code for this error (`E-CLI-…`).
+    pub fn code(&self) -> &'static str {
+        match self {
+            CliError::Usage(_) => "E-CLI-USAGE",
+            CliError::Io(_) => "E-CLI-IO",
+            CliError::Data(_) => "E-CLI-DATA",
+        }
+    }
+
+    /// Wraps a merge failure, embedding its stable code in the message.
+    fn merge(context: &str, err: &MergeError) -> CliError {
+        CliError::Data(format!("{context} [{}]: {err}", err.code()))
+    }
 }
 
 impl fmt::Display for CliError {
@@ -39,22 +65,59 @@ impl From<std::io::Error> for CliError {
     }
 }
 
+/// Output format selected with `--format` (merge, stats and check).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum Format {
+    #[default]
+    Text,
+    Json,
+}
+
+/// Strips a `--format <text|json>` flag out of the argument list.
+fn split_format<'a>(args: &[&'a String]) -> Result<(Format, Vec<&'a String>), CliError> {
+    let mut format = Format::Text;
+    let mut rest: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg.as_str() == "--format" {
+            format = match iter.next().map(|v| v.as_str()) {
+                Some("text") => Format::Text,
+                Some("json") => Format::Json,
+                other => {
+                    return Err(CliError::Usage(format!(
+                        "--format expects `text` or `json`, got {}",
+                        other.map_or_else(|| "nothing".to_string(), |v| format!("`{v}`"))
+                    )))
+                }
+            };
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((format, rest))
+}
+
 const USAGE: &str = "\
 usage: smerge <command> [args]
 
 commands:
-  merge <file>...      upper-merge every schema in the files; print the
+  merge <file>... [--format text|json]
+                       upper-merge every schema in the files; print the
                        merged schema, its keys and the implicit classes
+                       (json: the full MergeReport with plan, provenance
+                       and diagnostics)
   diff <file>          print the symmetric difference of two schemas
                        (the file must contain exactly two)
   lower <file>...      lower-merge every schema (federated view); print
                        the completed result with participation marks
-  check <file>...      validate schemas; report whether each is proper
+  check <file>... [--format text|json]
+                       validate schemas; report whether each is proper
   explain <file>...    like merge, but print only the implicit-class
                        provenance report
   dot <file> [name]    print Graphviz DOT for one schema (default: first)
   ascii <file> [name]  print an ASCII rendering of one schema
-  stats <file>...      print size statistics per schema
+  stats <file>... [--format text|json]
+                       print size statistics per schema
   bench <file>... [--iters N]
                        time the symbolic vs compiled merge of the given
                        schemas (median of N runs, default 9) and print
@@ -133,14 +196,19 @@ fn load_documents(paths: &[&String]) -> Result<Vec<NamedSchema>, CliError> {
     Ok(docs)
 }
 
-fn combined_keys(docs: &[NamedSchema]) -> Vec<(Class, SuperkeyFamily)> {
-    let mut contributions = Vec::new();
+/// The standard CLI merger: every parsed document is a named annotated
+/// input, and every document's key families are contributed to the §5
+/// key pass. This is THE code path — `merge`, `explain`, `functional`,
+/// `ddl`, `conform` and `query` all build their merges here.
+fn build_merger(docs: &[NamedSchema]) -> Merger<'_> {
+    let mut merger = Merger::new();
     for doc in docs {
+        merger = merger.with_participation_named(doc.name.clone(), &doc.schema);
         for class in doc.keys.keyed_classes() {
-            contributions.push((class.clone(), doc.keys.family(class)));
+            merger = merger.with_keys(class.clone(), doc.keys.family(class));
         }
     }
-    contributions
+    merger
 }
 
 fn merge_command(
@@ -148,29 +216,44 @@ fn merge_command(
     out: &mut dyn Write,
     explain_only: bool,
 ) -> Result<(), CliError> {
-    let docs = load_documents(paths)?;
-    let annotated = annotated_join(docs.iter().map(|d| &d.schema))
-        .map_err(|err| CliError::Data(format!("merge failed: {err}")))?;
-    let (proper, report) = complete_with_report(annotated.schema())
-        .map_err(|err| CliError::Data(format!("completion failed: {err}")))?;
+    let (format, paths) = split_format(paths)?;
+    if explain_only && format == Format::Json {
+        // `merge --format json` already carries the full implicit-class
+        // table; a second, differently-shaped document would fragment the
+        // machine-readable surface.
+        return Err(CliError::Usage(
+            "explain has no JSON form; use `merge --format json` (its \
+             `implicit_classes` field is the explain report)"
+                .into(),
+        ));
+    }
+    let docs = load_documents(&paths)?;
+    let report = build_merger(&docs)
+        .execute()
+        .map_err(|err| CliError::merge("merge failed", &err))?;
 
-    let contributions = combined_keys(&docs);
-    let keys = KeyAssignment::minimal_satisfactory(
-        proper.as_weak(),
-        contributions.iter().map(|(c, f)| (c, f)),
-    );
+    if format == Format::Json {
+        write!(out, "{}", json::merge_report(&report))?;
+        return Ok(());
+    }
 
     if !explain_only {
         let merged = NamedSchema {
             name: "merged".into(),
-            schema: schema_merge_core::AnnotatedSchema::all_required(proper.as_weak().clone()),
-            keys,
+            schema: schema_merge_core::AnnotatedSchema::all_required(
+                report.proper.as_weak().clone(),
+            ),
+            keys: report.keys.clone(),
         };
         write!(out, "{}", print_schema(&merged))?;
         writeln!(out)?;
     }
-    writeln!(out, "// implicit classes: {}", report.num_implicit())?;
-    for info in &report.implicit {
+    writeln!(
+        out,
+        "// implicit classes: {}",
+        report.implicit.num_implicit()
+    )?;
+    for info in &report.implicit.implicit {
         writeln!(out, "//   {} introduced below {{", info.class)?;
         for member in &info.members {
             writeln!(out, "//     {member}")?;
@@ -209,53 +292,103 @@ fn diff_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> 
 
 fn lower_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
     let docs = load_documents(paths)?;
-    let merged = lower_merge(docs.iter().map(|d| &d.schema));
-    let (annotated, _proper, report) = lower_complete(&merged)
-        .map_err(|err| CliError::Data(format!("lower completion failed: {err}")))?;
+    let mut merger = Merger::new().lower();
+    for doc in &docs {
+        merger = merger.with_participation_named(doc.name.clone(), &doc.schema);
+    }
+    let report = merger
+        .execute()
+        .map_err(|err| CliError::merge("lower completion failed", &err))?;
+    let lower = report.lower.expect("lower mode fills the union report");
     let named = NamedSchema {
         name: "lower-merged".into(),
-        schema: annotated,
+        schema: report.annotated.expect("lower mode returns annotations"),
         keys: KeyAssignment::new(),
     };
     write!(out, "{}", print_schema(&named))?;
     writeln!(out)?;
-    writeln!(out, "// union classes: {}", report.unions.len())?;
-    for info in &report.unions {
+    writeln!(out, "// union classes: {}", lower.unions.len())?;
+    for info in &lower.unions {
         writeln!(
             out,
             "//   {} demanded by ({}, {})",
             info.class, info.demanded_by.0, info.demanded_by.1
         )?;
     }
-    if !report.meet_classes.is_empty() {
+    if !lower.meet_classes.is_empty() {
         writeln!(
             out,
             "// meet fallback classes: {}",
-            report.meet_classes.len()
+            lower.meet_classes.len()
         )?;
     }
     Ok(())
 }
 
+/// One validated document: the JSON row plus the text path's pre-rendered
+/// error details, so every validation runs exactly once.
+struct CheckedDoc {
+    row: json::CheckRow,
+    proper_error: Option<String>,
+    key_error: Option<String>,
+}
+
 fn check_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
-    let docs = load_documents(paths)?;
-    for doc in &docs {
-        let weak = doc.schema.schema();
-        let status = match schema_merge_core::ProperSchema::try_new(weak.clone()) {
-            Ok(_) => "proper".to_string(),
-            Err(err) => format!("weak only ({err})"),
-        };
-        let key_status = match doc.keys.validate(weak) {
-            Ok(()) => String::new(),
-            Err(err) => format!("; keys invalid: {err}"),
+    let (format, paths) = split_format(paths)?;
+    let docs = load_documents(&paths)?;
+    let checked: Vec<CheckedDoc> = docs
+        .iter()
+        .map(|doc| {
+            let weak = doc.schema.schema();
+            let mut diagnostics = Vec::new();
+            let proper_error = match schema_merge_core::ProperSchema::try_new(weak.clone()) {
+                Ok(_) => None,
+                Err(err) => {
+                    diagnostics.push(schema_merge_core::Diagnostic::from(&err));
+                    Some(err.to_string())
+                }
+            };
+            let key_error = match doc.keys.validate(weak) {
+                Ok(()) => None,
+                Err(err) => {
+                    let rendered = format!("; keys invalid [{}]: {err}", err.code());
+                    diagnostics.push(schema_merge_core::Diagnostic::from(&err));
+                    Some(rendered)
+                }
+            };
+            CheckedDoc {
+                row: json::CheckRow {
+                    name: doc.name.clone(),
+                    classes: weak.num_classes(),
+                    arrows: weak.num_arrows(),
+                    specializations: weak.num_specializations(),
+                    proper: proper_error.is_none(),
+                    diagnostics,
+                },
+                proper_error,
+                key_error,
+            }
+        })
+        .collect();
+
+    if format == Format::Json {
+        let rows: Vec<&json::CheckRow> = checked.iter().map(|c| &c.row).collect();
+        write!(out, "{}", json::check(&rows))?;
+        return Ok(());
+    }
+    for doc in &checked {
+        let status = match &doc.proper_error {
+            None => "proper".to_string(),
+            Some(detail) => format!("weak only ({detail})"),
         };
         writeln!(
             out,
-            "{}: {} classes, {} arrows, {} — {status}{key_status}",
-            doc.name,
-            weak.num_classes(),
-            weak.num_arrows(),
-            plural(weak.num_specializations(), "specialization"),
+            "{}: {} classes, {} arrows, {} — {status}{}",
+            doc.row.name,
+            doc.row.classes,
+            doc.row.arrows,
+            plural(doc.row.specializations, "specialization"),
+            doc.key_error.as_deref().unwrap_or(""),
         )?;
     }
     Ok(())
@@ -292,7 +425,12 @@ fn render_command(
 }
 
 fn stats_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
-    let docs = load_documents(paths)?;
+    let (format, paths) = split_format(paths)?;
+    let docs = load_documents(&paths)?;
+    if format == Format::Json {
+        write!(out, "{}", json::stats(&docs))?;
+        return Ok(());
+    }
     writeln!(
         out,
         "{:<20} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8} {:>17}",
@@ -336,8 +474,10 @@ fn bench_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError>
         docs.iter().map(|d| d.schema.schema()).collect();
     // Surface incompatibility up front — timing error construction would
     // print meaningless numbers with exit code 0.
-    schema_merge_core::merge_compiled(schemas.iter().copied())
-        .map_err(|err| CliError::Data(format!("merge failed: {err}")))?;
+    Merger::new()
+        .schemas(schemas.iter().copied())
+        .execute()
+        .map_err(|err| CliError::merge("merge failed", &err))?;
 
     fn median_ns(iters: usize, mut routine: impl FnMut()) -> u128 {
         routine(); // warmup
@@ -351,10 +491,15 @@ fn bench_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError>
         samples[samples.len() / 2]
     }
     let symbolic = median_ns(iters, || {
-        let _ = std::hint::black_box(schema_merge_core::reference::merge(schemas.iter().copied()));
+        let _ = std::hint::black_box(
+            Merger::new()
+                .schemas(schemas.iter().copied())
+                .engine(schema_merge_core::EnginePreference::Symbolic)
+                .execute(),
+        );
     });
     let compiled = median_ns(iters, || {
-        let _ = std::hint::black_box(schema_merge_core::merge_compiled(schemas.iter().copied()));
+        let _ = std::hint::black_box(Merger::new().schemas(schemas.iter().copied()).execute());
     });
 
     writeln!(out, "// merge of {} schemas, median of {iters}", docs.len())?;
@@ -505,16 +650,10 @@ fn merged_proper(
     paths: &[&String],
 ) -> Result<(schema_merge_core::ProperSchema, KeyAssignment), CliError> {
     let docs = load_documents(paths)?;
-    let annotated = annotated_join(docs.iter().map(|d| &d.schema))
-        .map_err(|err| CliError::Data(format!("merge failed: {err}")))?;
-    let (proper, _) = complete_with_report(annotated.schema())
-        .map_err(|err| CliError::Data(format!("completion failed: {err}")))?;
-    let contributions = combined_keys(&docs);
-    let keys = KeyAssignment::minimal_satisfactory(
-        proper.as_weak(),
-        contributions.iter().map(|(c, f)| (c, f)),
-    );
-    Ok((proper, keys))
+    let report = build_merger(&docs)
+        .execute()
+        .map_err(|err| CliError::merge("merge failed", &err))?;
+    Ok((report.proper, report.keys))
 }
 
 fn functional_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
@@ -564,18 +703,15 @@ fn conform_command(paths: &[&String], out: &mut dyn Write) -> Result<(), CliErro
         ));
     };
     let docs = load_documents(&[schema_file])?;
-    let annotated = annotated_join(docs.iter().map(|d| &d.schema))
-        .map_err(|err| CliError::Data(format!("merge failed: {err}")))?;
-    let (proper, _) = complete_with_report(annotated.schema())
-        .map_err(|err| CliError::Data(format!("completion failed: {err}")))?;
-    let contributions = combined_keys(&docs);
-    let keys = KeyAssignment::minimal_satisfactory(
-        proper.as_weak(),
-        contributions.iter().map(|(c, f)| (c, f)),
-    );
-    // Re-derive participation from the joined inputs so optional arrows
-    // stay optional through completion.
-    let completed_annotated = annotated.transfer_to(proper.as_weak());
+    let report = build_merger(&docs)
+        .execute()
+        .map_err(|err| CliError::merge("merge failed", &err))?;
+    let (proper, keys) = (report.proper, report.keys);
+    // The merger transferred the joined participation onto the completed
+    // schema, so optional arrows stay optional through completion.
+    let completed_annotated = report
+        .annotated
+        .expect("annotated inputs produce an annotated result");
 
     let mut failures = 0;
     for named in load_instances(instance_file)? {
@@ -753,6 +889,98 @@ mod tests {
         let text = run_ok(&args(&["explain", &f1, &f2]));
         assert!(!text.contains("schema merged"));
         assert!(text.contains("demanded by C --a-->"));
+    }
+
+    #[test]
+    fn merge_format_json_emits_the_report() {
+        let f1 = write_temp("mj1.sm", "schema A { C --a--> B1; }");
+        let f2 = write_temp("mj2.sm", "schema B { C --a--> B2; key C {a}; }");
+        let text = run_ok(&args(&["merge", "--format", "json", &f1, &f2]));
+        assert!(text.contains("\"command\": \"merge\""), "{text}");
+        assert!(text.contains("\"engine\": \"compiled\""), "{text}");
+        assert!(
+            text.contains("\"passes\": [\"join\", \"completion\", \"key-assignment\", \"participation-transfer\"]"),
+            "{text}"
+        );
+        assert!(text.contains("\"class\": \"{B1,B2}\""), "{text}");
+        assert!(text.contains("\"members\": [\"B1\", \"B2\"]"), "{text}");
+        assert!(text.contains("\"name\": \"A\""), "{text}");
+        assert!(text.contains("\"code\": \"I-IMPLICIT-CLASSES\""), "{text}");
+        assert!(text.contains("\"keys\": [{\"class\": \"C\""), "{text}");
+        // Balanced braces/brackets: crude structural sanity ({B1,B2}
+        // class names inside string literals are themselves balanced).
+        assert_eq!(
+            text.matches('{').count(),
+            text.matches('}').count(),
+            "{text}"
+        );
+        assert_eq!(
+            text.matches('[').count(),
+            text.matches(']').count(),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn stats_format_json_emits_rows() {
+        let f = write_temp("sj1.sm", "schema S { Dog --age--> int; key Dog {age}; }");
+        let text = run_ok(&args(&["stats", "--format", "json", &f]));
+        assert!(text.contains("\"command\": \"stats\""), "{text}");
+        assert!(text.contains("\"name\": \"S\""), "{text}");
+        assert!(text.contains("\"keyed_classes\": 1"), "{text}");
+        let expected = schema_merge_core::WeakSchema::builder()
+            .arrow("Dog", "age", "int")
+            .build()
+            .unwrap()
+            .content_hash();
+        assert!(
+            text.contains(&format!("\"content_hash\": \"{expected:016x}\"")),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn check_format_json_carries_diagnostic_codes() {
+        let f = write_temp(
+            "cj1.sm",
+            "schema Good { Dog --age--> int; }\nschema Bad { C --a--> B1; C --a--> B2; }",
+        );
+        let text = run_ok(&args(&["check", "--format", "json", &f]));
+        assert!(text.contains("\"command\": \"check\""), "{text}");
+        assert!(text.contains("\"proper\": true"), "{text}");
+        assert!(text.contains("\"proper\": false"), "{text}");
+        assert!(
+            text.contains("\"code\": \"E-SCHEMA-NO-CANONICAL\""),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn explain_rejects_json_format() {
+        let f = write_temp("ej1.sm", "schema A { class X; }");
+        let mut out = Vec::new();
+        let err = run(&args(&["explain", "--format", "json", &f]), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        assert!(err.to_string().contains("merge --format json"), "{err}");
+    }
+
+    #[test]
+    fn bad_format_value_is_a_usage_error() {
+        let f = write_temp("bf1.sm", "schema A { class X; }");
+        let mut out = Vec::new();
+        let err = run(&args(&["merge", "--format", "yaml", &f]), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert_eq!(err.code(), "E-CLI-USAGE");
+    }
+
+    #[test]
+    fn merge_errors_carry_stable_codes() {
+        let f1 = write_temp("ec1.sm", "schema A { X => Y; }");
+        let f2 = write_temp("ec2.sm", "schema B { Y => X; }");
+        let mut out = Vec::new();
+        let err = run(&args(&["merge", &f1, &f2]), &mut out).unwrap_err();
+        assert_eq!(err.code(), "E-CLI-DATA");
+        assert!(err.to_string().contains("[E-MERGE-INCOMPATIBLE]"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 
 mod app;
 mod client;
+mod json;
 mod serve;
 
 use std::process::ExitCode;
@@ -17,7 +18,7 @@ fn main() -> ExitCode {
     match app::run(&args, &mut stdout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(err) => {
-            eprintln!("smerge: {err}");
+            eprintln!("smerge: error[{}]: {err}", err.code());
             ExitCode::FAILURE
         }
     }

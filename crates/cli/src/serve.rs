@@ -19,7 +19,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::Duration;
 
-use schema_merge_core::weak_join_all;
+use schema_merge_core::Merger;
 use schema_merge_registry::{MergedView, Registry};
 use schema_merge_text::protocol::{status_line, BlockCollector, Command, Status};
 use schema_merge_text::{encode_block, parse_document, print_schema, NamedSchema};
@@ -348,9 +348,17 @@ fn put_member(registry: &Registry, name: &str, payload: &str) -> String {
     if docs.is_empty() {
         return status_line(Status::Err, "payload contains no schemas");
     }
-    let joined = match weak_join_all(docs.iter().map(|d| d.schema.schema())) {
-        Ok(joined) => joined,
-        Err(err) => return status_line(Status::Err, &format!("payload does not merge: {err}")),
+    let joined = match Merger::new()
+        .schemas(docs.iter().map(|d| d.schema.schema()))
+        .join()
+    {
+        Ok(joined) => joined.into_weak(),
+        Err(err) => {
+            return status_line(
+                Status::Err,
+                &format!("payload does not merge [{}]: {err}", err.code()),
+            )
+        }
     };
     match registry.put(name, joined) {
         Ok(outcome) => status_line(

@@ -103,3 +103,21 @@ fn one_bad_file_among_good_ones_fails_the_whole_run() {
         "/nonexistent/other.sm",
     );
 }
+
+#[test]
+fn errors_carry_stable_codes_on_stderr() {
+    // Every CLI failure names its stable code — scripts match on
+    // `error[E-CLI-…]`, and merge failures embed the merge code too.
+    let (_, text) = run(&["merge", "/nonexistent/xyz.sm"]);
+    assert!(text.contains("error[E-CLI-DATA]"), "{text}");
+
+    let up = write_temp("code-up.sm", "schema A { X => Y; }");
+    let down = write_temp("code-down.sm", "schema B { Y => X; }");
+    let (status, text) = run(&["merge", &up, &down]);
+    assert!(!status.success());
+    assert!(text.contains("error[E-CLI-DATA]"), "{text}");
+    assert!(text.contains("[E-MERGE-INCOMPATIBLE]"), "{text}");
+
+    let (_, text) = run(&["frobnicate"]);
+    assert!(text.contains("error[E-CLI-USAGE]"), "{text}");
+}

@@ -141,7 +141,20 @@ pub fn complete_compiled(
 /// # Errors
 ///
 /// As for [`complete`].
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `Merger::new().onto_base(..).execute()`; \
+            see `schema_merge_core::merger`"
+)]
 pub fn complete_from_compiled(
+    compiled: &CompiledSchema,
+) -> Result<(ProperSchema, CompletionReport), SchemaError> {
+    complete_from_compiled_impl(compiled)
+}
+
+/// The engine behind [`complete_from_compiled`] and the merger's
+/// onto-base completion pass.
+pub(crate) fn complete_from_compiled_impl(
     compiled: &CompiledSchema,
 ) -> Result<(ProperSchema, CompletionReport), SchemaError> {
     if compiled.has_origin_classes() {
@@ -329,6 +342,20 @@ pub fn complete_checked(
     consistency: &ConsistencyRelation,
 ) -> Result<(ProperSchema, CompletionReport), MergeError> {
     let (proper, report) = complete_with_report(weak)?;
+    check_consistency(&report, consistency)?;
+    Ok((proper, report))
+}
+
+/// The §4.2 consistency pass, applied to the report of *any* completion
+/// engine: every pair of origins of every implicit class must be
+/// declared consistent. This is the single implementation behind
+/// [`complete_checked`], [`crate::merger::Merger::with_consistency`] and
+/// (through the merger) the deprecated [`crate::merge_consistent`] and
+/// [`crate::MergeSession`] paths.
+pub(crate) fn check_consistency(
+    report: &CompletionReport,
+    consistency: &ConsistencyRelation,
+) -> Result<(), MergeError> {
     for info in &report.implicit {
         let members: Vec<&Class> = info.members.iter().collect();
         for (i, left) in members.iter().enumerate() {
@@ -342,7 +369,7 @@ pub fn complete_checked(
             }
         }
     }
-    Ok((proper, report))
+    Ok(())
 }
 
 /// The class standing for the meet of `state`, named canonically: the

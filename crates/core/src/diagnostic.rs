@@ -1,0 +1,313 @@
+//! Structured merge diagnostics: severity, stable code, message and
+//! origin information.
+//!
+//! The [`crate::merger::Merger`] façade reports everything it noticed
+//! while planning and executing a merge as [`Diagnostic`]s instead of
+//! scattering information across tuples and ad-hoc strings. Each
+//! diagnostic carries a **stable machine-readable code** (surfaced by
+//! the `smerge` CLI in both text and `--format json` output) so scripts
+//! and CI can match on codes rather than message prose, a severity, and
+//! span-like origin info pointing back at the merge inputs — the input
+//! index plus the classes and labels involved.
+//!
+//! Hard failures stay `Result`-shaped ([`crate::MergeError`] /
+//! [`crate::SchemaError`], which expose the same stable codes through
+//! their `code()` methods); `Diagnostic`s cover everything worth
+//! reporting on the *successful* path, plus conversions from the error
+//! types for uniform rendering.
+
+use std::fmt;
+
+use crate::class::Class;
+use crate::error::{MergeError, SchemaError};
+use crate::name::Label;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum Severity {
+    /// Informational: something the merge did that callers may want to
+    /// surface (implicit classes introduced, a cached base reused).
+    Info,
+    /// Suspicious but not fatal: the merge proceeded, the result may not
+    /// be what the caller intended.
+    Warning,
+    /// Fatal: the corresponding operation failed. Produced only by the
+    /// [`From`] conversions from the error types.
+    Error,
+}
+
+impl Severity {
+    /// The lower-case wire name, stable across releases.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Span-like origin information: which merge input a diagnostic points
+/// at, and which classes/labels within it.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct DiagnosticOrigin {
+    /// Zero-based index of the offending input in the order it was added
+    /// to the [`crate::merger::Merger`], when the diagnostic concerns one
+    /// input rather than the merge as a whole.
+    pub input: Option<usize>,
+    /// The input's name, when the caller supplied one
+    /// (e.g. `schema <name> { … }` documents in the CLI).
+    pub input_name: Option<String>,
+    /// Classes involved, in deterministic order.
+    pub classes: Vec<Class>,
+    /// Labels involved, in deterministic order.
+    pub labels: Vec<Label>,
+}
+
+impl DiagnosticOrigin {
+    /// Whether no origin information is attached.
+    pub fn is_empty(&self) -> bool {
+        self.input.is_none()
+            && self.input_name.is_none()
+            && self.classes.is_empty()
+            && self.labels.is_empty()
+    }
+}
+
+impl fmt::Display for DiagnosticOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut sep = "";
+        if let Some(index) = self.input {
+            write!(f, "input #{index}")?;
+            sep = "; ";
+        }
+        if let Some(name) = &self.input_name {
+            write!(f, "{sep}`{name}`")?;
+            sep = "; ";
+        }
+        if !self.classes.is_empty() {
+            write!(f, "{sep}classes: ")?;
+            for (i, class) in self.classes.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{class}")?;
+            }
+            sep = "; ";
+        }
+        if !self.labels.is_empty() {
+            write!(f, "{sep}labels: ")?;
+            for (i, label) in self.labels.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{label}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One structured diagnostic from planning or executing a merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct Diagnostic {
+    /// How serious it is.
+    pub severity: Severity,
+    /// Stable machine-readable code (`W-EMPTY-INPUT`, `I-IMPLICIT-CLASSES`,
+    /// `E-MERGE-INCOMPATIBLE`, …). Codes never change meaning across
+    /// releases; new codes may be added.
+    pub code: &'static str,
+    /// Human-readable explanation.
+    pub message: String,
+    /// Where it points.
+    pub origin: DiagnosticOrigin,
+}
+
+impl Diagnostic {
+    /// A new diagnostic with no origin info.
+    pub fn new(severity: Severity, code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            code,
+            message: message.into(),
+            origin: DiagnosticOrigin::default(),
+        }
+    }
+
+    /// An informational diagnostic.
+    pub fn info(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Info, code, message)
+    }
+
+    /// A warning.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Warning, code, message)
+    }
+
+    /// An error diagnostic.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Error, code, message)
+    }
+
+    /// Attaches the input index (and name, when known) the diagnostic
+    /// concerns.
+    pub fn with_input(mut self, index: usize, name: Option<&str>) -> Self {
+        self.origin.input = Some(index);
+        self.origin.input_name = name.map(str::to_owned);
+        self
+    }
+
+    /// Attaches the classes involved.
+    pub fn with_classes<I>(mut self, classes: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Class>,
+    {
+        self.origin.classes = classes.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Attaches the labels involved.
+    pub fn with_labels<I>(mut self, labels: I) -> Self
+    where
+        I: IntoIterator,
+        I::Item: Into<Label>,
+    {
+        self.origin.labels = labels.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// The stable code. Identical to reading the `code` field; provided
+    /// so `Diagnostic`, [`SchemaError`], [`MergeError`] and the CLI error
+    /// type present one uniform `code()` API.
+    pub fn code(&self) -> &'static str {
+        self.code
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        if !self.origin.is_empty() {
+            write!(f, " ({})", self.origin)?;
+        }
+        Ok(())
+    }
+}
+
+impl From<&SchemaError> for Diagnostic {
+    fn from(err: &SchemaError) -> Self {
+        let diag = Diagnostic::error(err.code(), err.to_string());
+        match err {
+            SchemaError::SpecializationCycle(witness) => {
+                diag.with_classes(witness.path.iter().cloned())
+            }
+            SchemaError::NoCanonicalClass { class, label, .. } => diag
+                .with_classes([class.clone()])
+                .with_labels([label.clone()]),
+            SchemaError::UnknownClass(class) => diag.with_classes([class.clone()]),
+            SchemaError::KeyLabelNotAnArrow { class, label } => diag
+                .with_classes([class.clone()])
+                .with_labels([label.clone()]),
+            SchemaError::KeyNotInherited { sub, sup } => {
+                diag.with_classes([sub.clone(), sup.clone()])
+            }
+            SchemaError::AnnotationOnMissingArrow {
+                class,
+                label,
+                target,
+            } => diag
+                .with_classes([class.clone(), target.clone()])
+                .with_labels([label.clone()]),
+        }
+    }
+}
+
+impl From<&MergeError> for Diagnostic {
+    fn from(err: &MergeError) -> Self {
+        match err {
+            MergeError::Incompatible(witness) => Diagnostic::error(err.code(), err.to_string())
+                .with_classes(witness.path.iter().cloned()),
+            MergeError::Inconsistent { left, right } => {
+                Diagnostic::error(err.code(), err.to_string())
+                    .with_classes([left.clone(), right.clone()])
+            }
+            MergeError::ParticipationConflict {
+                class,
+                label,
+                target,
+            } => Diagnostic::error(err.code(), err.to_string())
+                .with_classes([class.clone(), target.clone()])
+                .with_labels([label.clone()]),
+            MergeError::Schema(inner) => {
+                let mut diag = Diagnostic::from(inner);
+                diag.message = err.to_string();
+                diag
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::CycleWitness;
+
+    #[test]
+    fn display_includes_code_and_origin() {
+        let diag = Diagnostic::warning("W-EMPTY-INPUT", "input schema is empty")
+            .with_input(2, Some("orders"));
+        let text = diag.to_string();
+        assert_eq!(
+            text,
+            "warning[W-EMPTY-INPUT]: input schema is empty (input #2; `orders`)"
+        );
+    }
+
+    #[test]
+    fn origin_renders_classes_and_labels() {
+        let diag = Diagnostic::info("I-X", "msg")
+            .with_classes(["A", "B"])
+            .with_labels(["a"]);
+        assert_eq!(
+            diag.to_string(),
+            "info[I-X]: msg (classes: A, B; labels: a)"
+        );
+    }
+
+    #[test]
+    fn merge_error_conversion_keeps_code_and_witness() {
+        let err = MergeError::Incompatible(CycleWitness {
+            path: vec![Class::named("A"), Class::named("B"), Class::named("A")],
+        });
+        let diag = Diagnostic::from(&err);
+        assert_eq!(diag.severity, Severity::Error);
+        assert_eq!(diag.code(), err.code());
+        assert_eq!(diag.origin.classes.len(), 3);
+    }
+
+    #[test]
+    fn schema_error_conversion_delegates_through_merge_error() {
+        let err = MergeError::Schema(SchemaError::UnknownClass(Class::named("X")));
+        let diag = Diagnostic::from(&err);
+        assert_eq!(diag.code(), "E-SCHEMA-UNKNOWN-CLASS");
+        assert!(diag.message.contains("invalid input schema"));
+        assert_eq!(diag.origin.classes, vec![Class::named("X")]);
+    }
+
+    #[test]
+    fn severity_ordering_and_names() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Warning.as_str(), "warning");
+    }
+}

@@ -33,7 +33,13 @@ impl fmt::Display for CycleWitness {
 }
 
 /// Errors raised while building or validating a single schema.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may be added without a
+/// breaking release, so downstream matches need a wildcard arm. Every
+/// variant has a stable machine-readable [`code`](SchemaError::code)
+/// surfaced in CLI output.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum SchemaError {
     /// The declared specialization edges form a cycle, so `S` cannot be a
     /// partial order (antisymmetry fails).
@@ -77,6 +83,22 @@ pub enum SchemaError {
         /// The arrow target.
         target: Class,
     },
+}
+
+impl SchemaError {
+    /// The stable machine-readable code for this error (`E-SCHEMA-…`).
+    /// Codes never change meaning across releases; scripts and CI should
+    /// match on them rather than on message prose.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SchemaError::SpecializationCycle(_) => "E-SCHEMA-CYCLE",
+            SchemaError::NoCanonicalClass { .. } => "E-SCHEMA-NO-CANONICAL",
+            SchemaError::UnknownClass(_) => "E-SCHEMA-UNKNOWN-CLASS",
+            SchemaError::KeyLabelNotAnArrow { .. } => "E-SCHEMA-KEY-LABEL",
+            SchemaError::KeyNotInherited { .. } => "E-SCHEMA-KEY-INHERIT",
+            SchemaError::AnnotationOnMissingArrow { .. } => "E-SCHEMA-ANNOTATION",
+        }
+    }
 }
 
 impl fmt::Display for SchemaError {
@@ -129,7 +151,13 @@ impl fmt::Display for SchemaError {
 impl std::error::Error for SchemaError {}
 
 /// Errors raised while merging schemas.
+///
+/// Marked `#[non_exhaustive]`: new failure modes may be added without a
+/// breaking release, so downstream matches need a wildcard arm. Every
+/// variant has a stable machine-readable [`code`](MergeError::code)
+/// surfaced in CLI output.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum MergeError {
     /// The schemas are *incompatible*: the transitive closure of the union
     /// of their specialization relations is not antisymmetric (§4.1), so no
@@ -157,6 +185,19 @@ pub enum MergeError {
     },
     /// A schema participating in the merge was itself invalid.
     Schema(SchemaError),
+}
+
+impl MergeError {
+    /// The stable machine-readable code for this error (`E-MERGE-…`, or
+    /// the wrapped [`SchemaError::code`] for [`MergeError::Schema`]).
+    pub fn code(&self) -> &'static str {
+        match self {
+            MergeError::Incompatible(_) => "E-MERGE-INCOMPATIBLE",
+            MergeError::Inconsistent { .. } => "E-MERGE-INCONSISTENT",
+            MergeError::ParticipationConflict { .. } => "E-MERGE-PARTICIPATION",
+            MergeError::Schema(err) => err.code(),
+        }
+    }
 }
 
 impl fmt::Display for MergeError {

@@ -299,7 +299,9 @@ pub fn merge_functional<'a>(
         }
         translated.push(input.to_proper()?.into_weak());
     }
-    let outcome = crate::merge::merge(translated.iter())?;
+    let outcome = crate::merger::Merger::new()
+        .schemas(translated.iter())
+        .execute()?;
     // Valences propagate down the merged specialization order so that a
     // subclass's refined function keeps (at least) the superclass's
     // valence.

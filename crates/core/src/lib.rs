@@ -16,20 +16,37 @@
 //!    introducing *implicit classes* below incomparable arrow targets
 //!    (§4.2), named by their origin set (`{C,D}`).
 //!
-//! Around that core the crate provides: key constraints with the unique
+//! **Every merge goes through one façade: the [`merger::Merger`]
+//! builder.** It collects inputs (schemas, annotated schemas, §3 user
+//! assertions, an optional cached compiled base), constraints
+//! (§4.2 consistency relation, §5 key contributions) and preferences
+//! (engine, upper vs §6 lower mode), produces an inspectable
+//! [`merger::MergePlan`], and executes into a unified
+//! [`merger::MergeReport`] — merged schema, implicit-class table, key
+//! assignment, per-input provenance and structured
+//! [`diagnostic::Diagnostic`]s with stable codes. The CLI, the `smerge
+//! serve` daemon, the registry's incremental re-merge and the benchmark
+//! suite all construct `Merger`s, so one code path carries all traffic.
+//!
+//! Around the façade the crate provides: key constraints with the unique
 //! minimal satisfactory assignment (§5, [`keys`]), participation
 //! constraints and greatest-lower-bound *lower merges* (§6, [`lower`]),
 //! consistency-relation checks (§4.2, [`consistency`]), an interactive
-//! [`merge::MergeSession`], and alpha-isomorphism for comparing results
-//! modulo implicit-class naming ([`iso`]).
+//! [`merge::MergeSession`] (an incremental `Merger` holding its running
+//! join compiled), and alpha-isomorphism for comparing results modulo
+//! implicit-class naming ([`iso`]).
 //!
 //! Internally every hot path runs on the **compiled schema core**
 //! ([`compile`]): classes and labels are interned to dense `u32` ids,
 //! the specialization closure lives in bitset rows and arrows in CSR
-//! adjacency. [`merge_compiled`] is the batch entry point that interns
-//! N schemas once and joins in id space; the original symbolic
-//! algorithms are retained in the [`reference`](mod@crate::reference)
-//! module for differential testing and benchmarking.
+//! adjacency. Planning picks the engine — batch compiled, incremental
+//! onto a cached base, or the retained symbolic algorithms of
+//! [`reference`](mod@crate::reference) for differential testing — and
+//! all engines produce equal results. The pre-façade free functions
+//! ([`merge`](fn@crate::merge), [`merge_compiled`], [`merge_consistent`],
+//! [`weak_join_all`], [`weak_join_all_compiled`],
+//! [`weak_join_onto_compiled`], [`complete_from_compiled`]) survive as
+//! deprecated shims over the merger.
 //!
 //! ## Quick example
 //!
@@ -46,10 +63,10 @@
 //!     .specialize("Guide-dog", "Dog")
 //!     .build()?;
 //!
-//! let outcome = merge([&g1, &g2])?;
+//! let report = Merger::new().schema(&g1).schema(&g2).execute()?;
 //! let dog = Class::named("Dog");
-//! assert_eq!(outcome.proper.labels_of(&dog).len(), 3);
-//! assert!(outcome.proper.specializes(&Class::named("Guide-dog"), &dog));
+//! assert_eq!(report.proper.labels_of(&dog).len(), 3);
+//! assert!(report.proper.specializes(&Class::named("Guide-dog"), &dog));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -60,6 +77,7 @@ pub mod class;
 pub mod compile;
 pub mod complete;
 pub mod consistency;
+pub mod diagnostic;
 pub mod diff;
 pub mod error;
 pub mod functional;
@@ -67,6 +85,7 @@ pub mod iso;
 pub mod keys;
 pub mod lower;
 pub mod merge;
+pub mod merger;
 pub mod name;
 mod order;
 pub mod participation;
@@ -78,11 +97,13 @@ pub mod weak;
 
 pub use class::{Class, OriginSet};
 pub use compile::{ClassId, CompiledSchema, LabelId};
+#[allow(deprecated)]
+pub use complete::complete_from_compiled;
 pub use complete::{
-    complete, complete_compiled, complete_from_compiled, complete_with_report, CompletionReport,
-    ImplicitClassInfo,
+    complete, complete_compiled, complete_with_report, CompletionReport, ImplicitClassInfo,
 };
 pub use consistency::ConsistencyRelation;
+pub use diagnostic::{Diagnostic, DiagnosticOrigin, Severity};
 pub use diff::{diff, merge_contribution, SchemaDiff};
 pub use error::{CycleWitness, MergeError, SchemaError};
 pub use functional::{merge_functional, FunctionalSchema, Valence};
@@ -90,9 +111,15 @@ pub use keys::{KeyAssignment, KeySet, SuperkeyFamily};
 pub use lower::{
     annotated_join, lower_complete, lower_merge, AnnotatedSchema, LowerCompletionReport,
 };
+pub use merge::{are_compatible, weak_join, MergeOutcome, MergeSession};
+#[allow(deprecated)]
 pub use merge::{
-    are_compatible, merge, merge_compiled, merge_consistent, weak_join, weak_join_all,
-    weak_join_all_compiled, weak_join_onto_compiled, MergeOutcome, MergeSession,
+    merge, merge_compiled, merge_consistent, weak_join_all, weak_join_all_compiled,
+    weak_join_onto_compiled,
+};
+pub use merger::{
+    EnginePreference, InputProvenance, Joined, MergeMode, MergePass, MergePlan, MergeReport,
+    Merger, PlannedEngine,
 };
 pub use name::{Label, Name};
 pub use participation::Participation;
@@ -112,10 +139,14 @@ pub mod prelude {
     pub use crate::compile::CompiledSchema;
     pub use crate::complete::complete;
     pub use crate::consistency::ConsistencyRelation;
+    pub use crate::diagnostic::{Diagnostic, Severity};
     pub use crate::error::{MergeError, SchemaError};
     pub use crate::keys::{KeyAssignment, KeySet, SuperkeyFamily};
     pub use crate::lower::{lower_complete, lower_merge, AnnotatedSchema};
-    pub use crate::merge::{merge, merge_compiled, weak_join, weak_join_all, MergeSession};
+    #[allow(deprecated)]
+    pub use crate::merge::{merge, merge_compiled, weak_join_all};
+    pub use crate::merge::{weak_join, MergeSession};
+    pub use crate::merger::{EnginePreference, MergePlan, MergeReport, Merger};
     pub use crate::name::{Label, Name};
     pub use crate::participation::Participation;
     pub use crate::proper::ProperSchema;

@@ -13,18 +13,29 @@
 //! same result. A collection is *compatible* iff `(S₁ ∪ … ∪ Sₙ)*` is
 //! antisymmetric; incompatibility is reported with a cycle witness.
 //!
+//! **The entry point is the [`crate::merger::Merger`] façade** — one
+//! builder over the symbolic, compiled and incremental (onto-base)
+//! engines and every constraint pass. The historical free functions in
+//! this module (`merge`, `merge_compiled`, `merge_consistent`,
+//! `weak_join_all`, `weak_join_all_compiled`, `weak_join_onto_compiled`)
+//! are retained as thin deprecated shims over the merger so existing
+//! callers keep compiling, and `CI` builds the non-shim code with
+//! `-D deprecated` to keep new internal callers off them.
+//!
 //! [`MergeSession`] packages the interactive workflow of §3: user
 //! assertions (`a₁ ⇒ a₂`, shared arrows) are themselves elementary schemas
 //! merged with the same operation, so the session's result is independent
-//! of the order in which schemas and assertions arrive.
+//! of the order in which schemas and assertions arrive. It is an
+//! incremental [`Merger`] in disguise: the session holds its running
+//! least upper bound *compiled*, and every addition joins one new schema
+//! onto that cached base.
 
 use crate::class::Class;
 use crate::compile::CompiledSchema;
-use crate::complete::{
-    complete_checked, complete_compiled, complete_with_report, CompletionReport,
-};
+use crate::complete::CompletionReport;
 use crate::consistency::ConsistencyRelation;
-use crate::error::{MergeError, SchemaError};
+use crate::error::MergeError;
+use crate::merger::{Joined, Merger};
 use crate::name::Label;
 use crate::proper::ProperSchema;
 use crate::weak::WeakSchema;
@@ -36,76 +47,65 @@ use crate::weak::WeakSchema;
 /// [`MergeError::Incompatible`] when the union of the specialization
 /// relations is cyclic — no upper bound exists.
 pub fn weak_join(left: &WeakSchema, right: &WeakSchema) -> Result<WeakSchema, MergeError> {
-    weak_join_all([left, right])
+    Merger::new()
+        .schema(left)
+        .schema(right)
+        .join()
+        .map(Joined::into_weak)
 }
 
 /// The least upper bound of any finite collection of weak schemas.
-///
-/// Computed in one pass rather than by folding binary joins: the result is
-/// the same (associativity), but a single closure computation is cheaper
-/// and reports incompatibility cycles spanning several schemas directly.
-/// Runs on the compiled engine — the inputs are interned once and the
-/// union, closure and W1/W2 passes all happen on bitset rows
-/// ([`crate::compile`]); the symbolic path survives as
-/// [`crate::reference::weak_join_all`].
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `Merger::new().schemas(..).join()`; \
+            see `schema_merge_core::merger`"
+)]
 pub fn weak_join_all<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<WeakSchema, MergeError> {
-    crate::compile::join_compiled(schemas)
-        .map(|(weak, _)| weak)
-        .map_err(|err| match err {
-            SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
-            other => MergeError::Schema(other),
-        })
+    Merger::new().schemas(schemas).join().map(Joined::into_weak)
 }
 
 /// [`weak_join_all`], additionally returning the compiled form of the
-/// join — the partial-join entry point for callers that keep merging.
-///
-/// The returned [`CompiledSchema`] feeds
-/// [`complete_compiled`] without a
-/// recompilation, and the returned weak join can itself re-enter a later
-/// join: because `⊔` is associative, `join(join(G₁…Gₙ₋₁), Gₙ)` equals
-/// `join(G₁…Gₙ)`, so a cached join of unchanged inputs plus one changed
-/// input reproduces the full batch merge. The registry's incremental
-/// re-merge (`crates/registry`) is built on exactly this pair.
+/// join.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `Merger::new().schemas(..).join()` and read \
+            both representations off the `Joined`; see `schema_merge_core::merger`"
+)]
 pub fn weak_join_all_compiled<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<(WeakSchema, CompiledSchema), MergeError> {
-    crate::compile::join_compiled(schemas).map_err(|err| match err {
-        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
-        other => MergeError::Schema(other),
-    })
+    let (weak, compiled) = Merger::new().schemas(schemas).join()?.into_parts();
+    Ok((
+        weak.expect("the compiled engine materializes the weak join"),
+        compiled.expect("the default engine is compiled"),
+    ))
 }
 
 /// Joins `extras` onto an already-compiled join — the cross-generation
 /// interner-reuse entry point.
-///
-/// `base` must be the compiled form of a closed weak schema, as returned
-/// by [`weak_join_all_compiled`] (or an earlier call to this function);
-/// the result equals joining the base's symbolic form with the extras,
-/// but the base is transferred in id space instead of being re-walked
-/// and re-interned symbolically, and the result stays compiled (feed it
-/// to [`crate::complete_from_compiled`], a further join, or
-/// [`CompiledSchema::decompile`]). The registry (`crates/registry`)
-/// keeps the compiled join of the unchanged members warm across
-/// generations, making a publish's interning cost proportional to the
-/// changed member rather than the whole member set.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `Merger::new().onto_base(base).schemas(..).join()`; \
+            see `schema_merge_core::merger`"
+)]
 pub fn weak_join_onto_compiled<'a>(
-    base: &CompiledSchema,
+    base: &'a CompiledSchema,
     extras: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<CompiledSchema, MergeError> {
-    let extras: Vec<&WeakSchema> = extras.into_iter().collect();
-    crate::compile::join_onto_compiled(base, &extras).map_err(|err| match err {
-        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
-        other => MergeError::Schema(other),
-    })
+    let (_, compiled) = Merger::new()
+        .onto_base(base)
+        .schemas(extras)
+        .join()?
+        .into_parts();
+    Ok(compiled.expect("the onto-base engine stays compiled"))
 }
 
 /// Whether a collection of schemas is compatible (§4.1): the transitive
 /// closure of the union of their specialization relations is antisymmetric.
 pub fn are_compatible<'a>(schemas: impl IntoIterator<Item = &'a WeakSchema>) -> bool {
-    weak_join_all(schemas).is_ok()
+    Merger::new().schemas(schemas).join().is_ok()
 }
 
 /// The result of a full upper merge.
@@ -121,57 +121,53 @@ pub struct MergeOutcome {
 
 /// The paper's merge of a compatible collection of schemas: the weak least
 /// upper bound, completed into a proper schema (§4.2).
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `Merger::new().schemas(..).execute()`; \
+            see `schema_merge_core::merger`"
+)]
 pub fn merge<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<MergeOutcome, MergeError> {
-    let weak = weak_join_all(schemas)?;
-    let (proper, report) = complete_with_report(&weak)?;
-    Ok(MergeOutcome {
-        weak,
-        proper,
-        report,
-    })
+    Merger::new()
+        .schemas(schemas)
+        .execute()
+        .map(crate::merger::MergeReport::into_outcome)
 }
 
-/// The paper's merge on the compiled fast path: every input schema is
-/// interned **once** into a shared dense symbol table, the least upper
-/// bound and the implicit-class search both run in id space (bitset
-/// closures, CSR arrows — see [`crate::compile`]), and the symbolic
-/// result is decompiled only at the end.
-///
-/// The outcome is identical to [`merge`] — same weak join, same proper
-/// schema, same report (property-tested against the
-/// [`crate::reference`] engine) — but N-way merges skip the per-schema
-/// symbol churn, which is where large batch merges spend their time.
+/// The paper's merge on the compiled fast path. Identical to [`merge`]
+/// since the façade routed both entry points onto the compiled engine.
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `Merger::new().schemas(..).execute()`; \
+            see `schema_merge_core::merger`"
+)]
 pub fn merge_compiled<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<MergeOutcome, MergeError> {
-    let (weak, compiled) = crate::compile::join_compiled(schemas).map_err(|err| match err {
-        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
-        other => MergeError::Schema(other),
-    })?;
-    let (proper, report) = complete_compiled(&weak, &compiled).map_err(MergeError::Schema)?;
-    Ok(MergeOutcome {
-        weak,
-        proper,
-        report,
-    })
+    Merger::new()
+        .schemas(schemas)
+        .execute()
+        .map(crate::merger::MergeReport::into_outcome)
 }
 
 /// [`merge`] under a consistency relationship: fails with
 /// [`MergeError::Inconsistent`] if an implicit class would identify classes
 /// declared inconsistent (§4.2).
+#[deprecated(
+    since = "0.1.0",
+    note = "route through `Merger::new().schemas(..).with_consistency(..).execute()`; \
+            see `schema_merge_core::merger`"
+)]
 pub fn merge_consistent<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
     consistency: &ConsistencyRelation,
 ) -> Result<MergeOutcome, MergeError> {
-    let weak = weak_join_all(schemas)?;
-    let (proper, report) = complete_checked(&weak, consistency)?;
-    Ok(MergeOutcome {
-        weak,
-        proper,
-        report,
-    })
+    Merger::new()
+        .schemas(schemas)
+        .with_consistency(consistency)
+        .execute()
+        .map(crate::merger::MergeReport::into_outcome)
 }
 
 /// An interactive merging session (§3).
@@ -183,10 +179,31 @@ pub fn merge_consistent<'a>(
 ///
 /// Failed additions leave the session unchanged, so an interactive tool
 /// can report the conflict and continue.
-#[derive(Debug, Clone, Default)]
+///
+/// Internally the session is an incremental [`Merger`]: the running join
+/// is held **compiled**, every [`add_schema`](MergeSession::add_schema)
+/// joins the new schema onto that cached base (interning only the
+/// addition), and [`merged`](MergeSession::merged) completes straight off
+/// the compiled form with the session's consistency relation as a merger
+/// pass. The symbolic view is materialized lazily, on the first
+/// [`current`](MergeSession::current) after a change — sessions that only
+/// add and complete never decompile at all.
+#[derive(Debug, Clone)]
 pub struct MergeSession {
-    current: WeakSchema,
+    base: CompiledSchema,
+    /// Lazily decompiled view of `base`; cleared on every mutation.
+    current: std::sync::OnceLock<WeakSchema>,
     consistency: ConsistencyRelation,
+}
+
+impl Default for MergeSession {
+    fn default() -> Self {
+        MergeSession {
+            base: CompiledSchema::compile(&WeakSchema::empty()),
+            current: std::sync::OnceLock::new(),
+            consistency: ConsistencyRelation::default(),
+        }
+    }
 }
 
 impl MergeSession {
@@ -198,14 +215,15 @@ impl MergeSession {
     /// An empty session with the given consistency relation.
     pub fn with_consistency(consistency: ConsistencyRelation) -> Self {
         MergeSession {
-            current: WeakSchema::empty(),
             consistency,
+            ..MergeSession::default()
         }
     }
 
-    /// The accumulated weak schema.
+    /// The accumulated weak schema (decompiled from the session's
+    /// compiled join on first access after a change).
     pub fn current(&self) -> &WeakSchema {
-        &self.current
+        self.current.get_or_init(|| self.base.decompile())
     }
 
     /// Mutable access to the consistency relation (assertions about
@@ -214,10 +232,13 @@ impl MergeSession {
         &mut self.consistency
     }
 
-    /// Merges a weak schema into the session.
+    /// Merges a weak schema into the session: one incremental join onto
+    /// the session's compiled base.
     pub fn add_schema(&mut self, schema: &WeakSchema) -> Result<(), MergeError> {
-        let joined = weak_join(&self.current, schema)?;
-        self.current = joined;
+        let joined = Merger::new().onto_base(&self.base).schema(schema).join()?;
+        let (_, compiled) = joined.into_parts();
+        self.base = compiled.expect("the onto-base engine stays compiled");
+        self.current = std::sync::OnceLock::new();
         Ok(())
     }
 
@@ -257,20 +278,26 @@ impl MergeSession {
     }
 
     /// Completes the session's weak schema into the merged proper schema,
-    /// applying the consistency check.
+    /// applying the consistency check — a [`Merger`] execution over the
+    /// session's compiled base.
     pub fn merged(&self) -> Result<MergeOutcome, MergeError> {
-        let (proper, report) = complete_checked(&self.current, &self.consistency)?;
+        let report = Merger::new()
+            .onto_base(&self.base)
+            .with_consistency(&self.consistency)
+            .execute()?;
         Ok(MergeOutcome {
-            weak: self.current.clone(),
-            proper,
-            report,
+            weak: self.current().clone(),
+            proper: report.proper,
+            report: report.implicit,
         })
     }
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the shims themselves are under test here
 mod tests {
     use super::*;
+    use crate::complete::complete_compiled;
     use crate::name::Label;
 
     fn c(s: &str) -> Class {

@@ -1,0 +1,1409 @@
+//! The unified merge façade: one builder over every engine and pass.
+//!
+//! The paper's central result is that merging is a *single* associative,
+//! commutative least-upper-bound operator (§4); this module is the single
+//! API that operator is reached through. A [`Merger`] collects inputs
+//! (schemas, annotated schemas, user assertions, an optional cached
+//! compiled base), constraints (consistency relation, key contributions)
+//! and preferences (engine, upper vs lower mode), produces an inspectable
+//! [`MergePlan`] describing exactly what will run, and executes it into a
+//! unified [`MergeReport`] — merged schema, implicit-class table, key
+//! assignment, per-input provenance and structured
+//! [`Diagnostic`]s.
+//!
+//! ```
+//! use schema_merge_core::merger::Merger;
+//! use schema_merge_core::{Class, WeakSchema};
+//!
+//! let g1 = WeakSchema::builder().arrow("Dog", "license", "int").build()?;
+//! let g2 = WeakSchema::builder().arrow("Dog", "name", "string").build()?;
+//!
+//! let merger = Merger::new()
+//!     .schema(&g1)
+//!     .schema(&g2)
+//!     .assert_specialization("Guide-dog", "Dog");
+//! println!("{}", merger.plan());
+//! let report = merger.execute()?;
+//! assert_eq!(report.proper.labels_of(&Class::named("Guide-dog")).len(), 2);
+//! # Ok::<(), schema_merge_core::MergeError>(())
+//! ```
+//!
+//! ## Engines
+//!
+//! Planning resolves an [`EnginePreference`] into the [`PlannedEngine`]
+//! that actually runs:
+//!
+//! * **`Compiled`** (the default) — inputs are interned once into dense
+//!   ids; join and completion run on bitset closures and CSR adjacency
+//!   ([`crate::compile`]).
+//! * **`CompiledOntoBase`** — chosen automatically when
+//!   [`Merger::onto_base`] supplies a cached [`CompiledSchema`]: the base
+//!   is transferred in id space and only the extra inputs are interned
+//!   (the registry's incremental re-merge shape).
+//! * **`Symbolic`** — the retained reference algorithms
+//!   ([`crate::reference`]), for differential testing.
+//!
+//! All three produce **equal** results (property-tested per workload
+//! family); the engine is a cost choice, never a semantics choice.
+//!
+//! ## Modes
+//!
+//! Upper mode (default) computes the paper's merge: weak least upper
+//! bound, then completion with implicit *meet* classes (§4). Lower mode
+//! ([`Merger::lower`]) computes the federated greatest lower bound with
+//! union classes and participation weakening (§6).
+
+use crate::class::Class;
+use crate::compile::{self, CompiledSchema};
+use crate::complete::{
+    check_consistency, complete_from_compiled_impl, complete_impl, CompletionReport,
+    Engine as CompletionEngine,
+};
+use crate::consistency::ConsistencyRelation;
+use crate::diagnostic::Diagnostic;
+use crate::error::{MergeError, SchemaError};
+use crate::keys::{KeyAssignment, SuperkeyFamily};
+use crate::lower::{
+    annotated_join, lower_complete, lower_merge, AnnotatedSchema, LowerCompletionReport,
+};
+use crate::name::Label;
+use crate::proper::ProperSchema;
+use crate::weak::WeakSchema;
+use std::fmt;
+
+/// Which engine the caller *prefers*; planning resolves it into the
+/// [`PlannedEngine`] that actually runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum EnginePreference {
+    /// Let the planner pick: the compiled engine, reusing the base when
+    /// one was supplied. The right choice outside differential tests.
+    #[default]
+    Auto,
+    /// Force the retained symbolic reference algorithms.
+    Symbolic,
+    /// Force the compiled engine (re-interning the base if one was
+    /// supplied).
+    Compiled,
+}
+
+/// The engine a [`MergePlan`] resolved to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PlannedEngine {
+    /// Symbolic `BTreeMap`/`BTreeSet` algorithms ([`crate::reference`]).
+    Symbolic,
+    /// Dense-id bitset/CSR engine ([`crate::compile`]).
+    Compiled,
+    /// Compiled engine joining extras onto a cached compiled base.
+    CompiledOntoBase,
+}
+
+impl PlannedEngine {
+    /// The lower-case wire/report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PlannedEngine::Symbolic => "symbolic",
+            PlannedEngine::Compiled => "compiled",
+            PlannedEngine::CompiledOntoBase => "compiled-onto-base",
+        }
+    }
+}
+
+impl fmt::Display for PlannedEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Upper (least upper bound, §4) or lower (greatest lower bound, §6)
+/// merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MergeMode {
+    /// The paper's merge: weak join + completion with meet classes.
+    Upper,
+    /// The federated view: GLB + union classes + participation weakening.
+    Lower,
+}
+
+impl MergeMode {
+    /// The lower-case wire/report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MergeMode::Upper => "upper",
+            MergeMode::Lower => "lower",
+        }
+    }
+}
+
+impl fmt::Display for MergeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One pass of a [`MergePlan`], in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MergePass {
+    /// The least-upper-bound (or, in lower mode, greatest-lower-bound)
+    /// join of the inputs.
+    Join,
+    /// §4.2 completion: implicit meet classes below incomparable arrow
+    /// targets.
+    Completion,
+    /// §6 lower completion: union classes above incomparable arrow
+    /// targets.
+    LowerCompletion,
+    /// The §4.2 consistency check over the implicit-class table.
+    ConsistencyCheck,
+    /// §5: the unique minimal satisfactory key assignment.
+    KeyAssignment,
+    /// Transfer of the joined participation annotations onto the
+    /// completed schema.
+    ParticipationTransfer,
+}
+
+impl MergePass {
+    /// The lower-case wire/report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MergePass::Join => "join",
+            MergePass::Completion => "completion",
+            MergePass::LowerCompletion => "lower-completion",
+            MergePass::ConsistencyCheck => "consistency-check",
+            MergePass::KeyAssignment => "key-assignment",
+            MergePass::ParticipationTransfer => "participation-transfer",
+        }
+    }
+}
+
+impl fmt::Display for MergePass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What a [`Merger`] will do when executed: engine, passes and an
+/// estimate of the work involved. Produced by [`Merger::plan`] — cheap,
+/// side-effect free, and inspectable before committing to the merge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct MergePlan {
+    /// Upper or lower merge.
+    pub mode: MergeMode,
+    /// The engine that will run. When annotated inputs force the
+    /// participation-aware join, the closure and completion still run on
+    /// this engine, but the compiled join is not retained
+    /// ([`MergeReport::compiled`] is `None`): the participation
+    /// bookkeeping lives on the symbolic representation.
+    pub engine: PlannedEngine,
+    /// The passes, in execution order.
+    pub passes: Vec<MergePass>,
+    /// Number of input schemas (weak + annotated; assertions counted
+    /// separately).
+    pub num_inputs: usize,
+    /// Number of user assertions (elementary schemas).
+    pub num_assertions: usize,
+    /// Whether a cached compiled base is reused.
+    pub reuses_base: bool,
+    /// Classes carried by the reused base (0 without one).
+    pub base_classes: usize,
+    /// Upper bound on the classes the join must consider (sum over
+    /// inputs and base — the merged schema can only be smaller).
+    pub estimated_classes: usize,
+    /// Upper bound on the arrows the join must consider.
+    pub estimated_arrows: usize,
+}
+
+impl fmt::Display for MergePlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "plan: {} merge, engine={}, inputs={}",
+            self.mode, self.engine, self.num_inputs
+        )?;
+        if self.num_assertions > 0 {
+            write!(f, " (+{} assertions)", self.num_assertions)?;
+        }
+        if self.reuses_base {
+            write!(f, ", cached base of {} classes", self.base_classes)?;
+        }
+        writeln!(f)?;
+        write!(f, "passes:")?;
+        for (i, pass) in self.passes.iter().enumerate() {
+            write!(f, "{} {pass}", if i == 0 { "" } else { " ->" })?;
+        }
+        writeln!(f)?;
+        write!(
+            f,
+            "estimated work: <= {} classes, <= {} arrows",
+            self.estimated_classes, self.estimated_arrows
+        )
+    }
+}
+
+/// Where one input came from and what it contributed — recorded per
+/// input, in the order they were added.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct InputProvenance {
+    /// Zero-based position in the merge.
+    pub index: usize,
+    /// The caller-supplied name, when one was given.
+    pub name: Option<String>,
+    /// Classes in the input.
+    pub classes: usize,
+    /// Arrows in the input.
+    pub arrows: usize,
+    /// Strict specialization pairs in the input.
+    pub specializations: usize,
+    /// `0/1` arrows the input carried (annotated inputs only).
+    pub optional_arrows: usize,
+    /// The input's canonical content hash — recorded for **named**
+    /// inputs only. Naming an input opts it into traceability; anonymous
+    /// batch inputs skip the canonical hashing walk, which keeps the
+    /// façade overhead-free on the hot merge paths (the walk costs ~5%
+    /// of a large batch merge).
+    pub content_hash: Option<u64>,
+}
+
+/// Everything a merge produced, in one structure.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct MergeReport {
+    /// The plan that was executed.
+    pub plan: MergePlan,
+    /// The weak join of the inputs (upper mode) or the GLB schema (lower
+    /// mode). `None` only on the onto-base path, where materializing the
+    /// pre-completion join symbolically would cost an extra decompile the
+    /// incremental callers (the registry) deliberately avoid — the
+    /// completed schema is [`MergeReport::proper`] either way.
+    pub weak: Option<WeakSchema>,
+    /// The completed merged schema — the paper's `Ḡ`.
+    pub proper: ProperSchema,
+    /// The implicit-class table: which meet classes completion introduced
+    /// and why (empty in lower mode; see [`MergeReport::lower`]).
+    pub implicit: CompletionReport,
+    /// The §5 minimal satisfactory key assignment (empty when no key
+    /// contributions were supplied).
+    pub keys: KeyAssignment,
+    /// The completed schema with participation marks — present when any
+    /// input was annotated, and always in lower mode.
+    pub annotated: Option<AnnotatedSchema>,
+    /// The §6 union-class report (lower mode only).
+    pub lower: Option<LowerCompletionReport>,
+    /// Per-input provenance, in input order.
+    pub provenance: Vec<InputProvenance>,
+    /// Structured diagnostics from planning and execution. Fatal errors
+    /// are returned as `Err` from [`Merger::execute`] instead.
+    pub diagnostics: Vec<Diagnostic>,
+    /// The compiled form of the weak join, when the compiled engine ran
+    /// a join — the interner a later incremental merge (or the
+    /// registry's join cache) can build on. `None` when a cached base
+    /// was completed with nothing joined onto it: the base itself is the
+    /// join, and the caller already holds it.
+    pub compiled: Option<CompiledSchema>,
+}
+
+impl MergeReport {
+    /// Extracts the historical outcome triple (weak join, proper schema,
+    /// completion report) that pre-façade callers consume.
+    ///
+    /// # Panics
+    ///
+    /// When the report came from an onto-base plan, which deliberately
+    /// does not materialize the weak join (see [`MergeReport::weak`]).
+    pub fn into_outcome(self) -> crate::merge::MergeOutcome {
+        crate::merge::MergeOutcome {
+            weak: self
+                .weak
+                .expect("merges without a compiled base materialize the weak join"),
+            proper: self.proper,
+            report: self.implicit,
+        }
+    }
+
+    /// A deterministic multi-line text summary (plan, result shape,
+    /// implicit classes, diagnostics) — the stable rendering used by the
+    /// CLI's human output and the snapshot tests.
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.plan);
+        let weak = self.proper.as_weak();
+        let _ = writeln!(
+            out,
+            "result: {} classes, {} arrows, {} specializations, {} implicit",
+            weak.num_classes(),
+            weak.num_arrows(),
+            weak.num_specializations(),
+            self.implicit.num_implicit(),
+        );
+        for info in &self.implicit.implicit {
+            let _ = writeln!(out, "implicit: {} demanded by {}", info.class, info.witness);
+        }
+        if let Some(lower) = &self.lower {
+            for info in &lower.unions {
+                let _ = writeln!(
+                    out,
+                    "union: {} demanded by ({}, {})",
+                    info.class, info.demanded_by.0, info.demanded_by.1
+                );
+            }
+        }
+        if self.keys.num_keyed_classes() > 0 {
+            let _ = writeln!(out, "keys: {} keyed classes", self.keys.num_keyed_classes());
+        }
+        for diag in &self.diagnostics {
+            let _ = writeln!(out, "{diag}");
+        }
+        out
+    }
+}
+
+/// The result of [`Merger::join`]: the pre-completion least upper bound,
+/// in whichever representations the engine produced.
+#[derive(Debug, Clone)]
+pub struct Joined {
+    weak: Option<WeakSchema>,
+    compiled: Option<CompiledSchema>,
+}
+
+impl Joined {
+    /// The symbolic join, when the engine materialized it (all engines
+    /// except onto-base do).
+    pub fn weak(&self) -> Option<&WeakSchema> {
+        self.weak.as_ref()
+    }
+
+    /// The compiled join, when the compiled engine ran.
+    pub fn compiled(&self) -> Option<&CompiledSchema> {
+        self.compiled.as_ref()
+    }
+
+    /// The symbolic join, decompiling the compiled form if the engine
+    /// skipped the symbolic materialization.
+    pub fn into_weak(self) -> WeakSchema {
+        match self.weak {
+            Some(weak) => weak,
+            None => self
+                .compiled
+                .expect("a join always produces at least one representation")
+                .decompile(),
+        }
+    }
+
+    /// Both representations.
+    pub fn into_parts(self) -> (Option<WeakSchema>, Option<CompiledSchema>) {
+        (self.weak, self.compiled)
+    }
+}
+
+/// A user assertion (§3): an elementary schema merged like any other
+/// input, materialized at execution time.
+#[derive(Debug, Clone)]
+enum Assertion {
+    Specialization(Class, Class),
+    Arrow(Class, Label, Class),
+}
+
+#[derive(Debug, Clone, Copy)]
+enum InputKind<'a> {
+    Weak(&'a WeakSchema),
+    Annotated(&'a AnnotatedSchema),
+}
+
+impl InputKind<'_> {
+    fn weak(&self) -> &WeakSchema {
+        match self {
+            InputKind::Weak(schema) => schema,
+            InputKind::Annotated(annotated) => annotated.schema(),
+        }
+    }
+
+    fn optional_arrows(&self) -> usize {
+        match self {
+            InputKind::Weak(_) => 0,
+            InputKind::Annotated(annotated) => annotated.num_optional(),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Input<'a> {
+    name: Option<String>,
+    kind: InputKind<'a>,
+}
+
+/// Owned-or-borrowed annotated schema, so the participation-aware paths
+/// can mix borrowed annotated inputs with on-the-fly conversions of
+/// plain weak inputs without cloning the former.
+enum Ann<'a> {
+    Borrowed(&'a AnnotatedSchema),
+    Owned(AnnotatedSchema),
+}
+
+impl Ann<'_> {
+    fn get(&self) -> &AnnotatedSchema {
+        match self {
+            Ann::Borrowed(annotated) => annotated,
+            Ann::Owned(annotated) => annotated,
+        }
+    }
+}
+
+/// The unified merge builder. See the [module docs](self) for the full
+/// story and `examples/merger_facade.rs` for a tour.
+///
+/// The builder is typestate-flavoured: every method consumes and returns
+/// the `Merger`, so a merge reads as one chain ending in
+/// [`plan`](Merger::plan), [`execute`](Merger::execute) or
+/// [`join`](Merger::join).
+#[derive(Default)]
+#[must_use = "a Merger does nothing until `.execute()`, `.join()` or `.plan()` is called"]
+pub struct Merger<'a> {
+    inputs: Vec<Input<'a>>,
+    assertions: Vec<Assertion>,
+    base: Option<&'a CompiledSchema>,
+    consistency: Option<&'a ConsistencyRelation>,
+    keys: Vec<(Class, SuperkeyFamily)>,
+    engine: EnginePreference,
+    lower: bool,
+}
+
+impl<'a> Merger<'a> {
+    /// An empty merger: upper mode, `Auto` engine, no inputs.
+    pub fn new() -> Self {
+        Merger::default()
+    }
+
+    /// Adds one input schema.
+    pub fn schema(mut self, schema: &'a WeakSchema) -> Self {
+        self.inputs.push(Input {
+            name: None,
+            kind: InputKind::Weak(schema),
+        });
+        self
+    }
+
+    /// Adds one named input schema; the name flows into provenance and
+    /// diagnostics.
+    pub fn schema_named(mut self, name: impl Into<String>, schema: &'a WeakSchema) -> Self {
+        self.inputs.push(Input {
+            name: Some(name.into()),
+            kind: InputKind::Weak(schema),
+        });
+        self
+    }
+
+    /// Adds every schema in the iterator.
+    pub fn schemas(mut self, schemas: impl IntoIterator<Item = &'a WeakSchema>) -> Self {
+        for schema in schemas {
+            self = self.schema(schema);
+        }
+        self
+    }
+
+    /// Adds an input with participation annotations (`0/1` arrows). The
+    /// joined annotations are transferred onto the completed schema and
+    /// returned in [`MergeReport::annotated`].
+    pub fn with_participation(mut self, annotated: &'a AnnotatedSchema) -> Self {
+        self.inputs.push(Input {
+            name: None,
+            kind: InputKind::Annotated(annotated),
+        });
+        self
+    }
+
+    /// [`with_participation`](Merger::with_participation) with a name for
+    /// provenance and diagnostics.
+    pub fn with_participation_named(
+        mut self,
+        name: impl Into<String>,
+        annotated: &'a AnnotatedSchema,
+    ) -> Self {
+        self.inputs.push(Input {
+            name: Some(name.into()),
+            kind: InputKind::Annotated(annotated),
+        });
+        self
+    }
+
+    /// Asserts `sub ⇒ sup` — an elementary two-class schema merged like
+    /// any other input (§3), so assertion order never matters.
+    pub fn assert_specialization(mut self, sub: impl Into<Class>, sup: impl Into<Class>) -> Self {
+        self.assertions
+            .push(Assertion::Specialization(sub.into(), sup.into()));
+        self
+    }
+
+    /// Asserts the arrow `src --label--> tgt` as an elementary schema.
+    pub fn assert_arrow(
+        mut self,
+        src: impl Into<Class>,
+        label: impl Into<Label>,
+        tgt: impl Into<Class>,
+    ) -> Self {
+        self.assertions
+            .push(Assertion::Arrow(src.into(), label.into(), tgt.into()));
+        self
+    }
+
+    /// Applies the §4.2 consistency check after completion: the merge
+    /// fails with [`MergeError::Inconsistent`] if an implicit class would
+    /// identify classes the relation declares inconsistent. Ignored (with
+    /// a warning diagnostic) in lower mode, which introduces union — not
+    /// meet — classes.
+    pub fn with_consistency(mut self, consistency: &'a ConsistencyRelation) -> Self {
+        self.consistency = Some(consistency);
+        self
+    }
+
+    /// Contributes key families for `class` (§5). All contributions are
+    /// combined into the unique minimal satisfactory assignment over the
+    /// completed schema, returned in [`MergeReport::keys`].
+    pub fn with_keys(mut self, class: impl Into<Class>, family: SuperkeyFamily) -> Self {
+        self.keys.push((class.into(), family));
+        self
+    }
+
+    /// Reuses a cached compiled join as the base of this merge: the base
+    /// is transferred in id space and only the other inputs are interned
+    /// (the registry's incremental re-merge, [`crate::MergeSession`]'s
+    /// accumulation). `base` must be the compiled form of a closed weak
+    /// schema, as produced by an earlier compiled join.
+    pub fn onto_base(mut self, base: &'a CompiledSchema) -> Self {
+        self.base = Some(base);
+        self
+    }
+
+    /// Overrides the engine choice. Outside differential tests, leave it
+    /// on [`EnginePreference::Auto`].
+    pub fn engine(mut self, engine: EnginePreference) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Switches to the §6 *lower* merge: the greatest lower bound of the
+    /// inputs (the federated view every source can serve), completed with
+    /// union classes, with participation constraints weakened pointwise.
+    pub fn lower(mut self) -> Self {
+        self.lower = true;
+        self
+    }
+
+    /// Resolves what executing this merger will do — engine, passes and
+    /// a work estimate — without running anything.
+    pub fn plan(&self) -> MergePlan {
+        let mode = if self.lower {
+            MergeMode::Lower
+        } else {
+            MergeMode::Upper
+        };
+        let engine = self.resolved_engine();
+        let mut passes = Vec::new();
+        if !self.is_base_only(engine) {
+            passes.push(MergePass::Join);
+        }
+        match mode {
+            MergeMode::Upper => {
+                passes.push(MergePass::Completion);
+                if self.consistency.is_some() {
+                    passes.push(MergePass::ConsistencyCheck);
+                }
+            }
+            MergeMode::Lower => passes.push(MergePass::LowerCompletion),
+        }
+        if !self.keys.is_empty() {
+            passes.push(MergePass::KeyAssignment);
+        }
+        if self.has_annotated() || mode == MergeMode::Lower {
+            passes.push(MergePass::ParticipationTransfer);
+        }
+
+        let mut estimated_classes = 0;
+        let mut estimated_arrows = 0;
+        for input in &self.inputs {
+            estimated_classes += input.kind.weak().num_classes();
+            estimated_arrows += input.kind.weak().num_arrows();
+        }
+        estimated_classes += 2 * self.assertions.len();
+        estimated_arrows += self
+            .assertions
+            .iter()
+            .filter(|a| matches!(a, Assertion::Arrow(..)))
+            .count();
+        let base_classes = self.base.map_or(0, CompiledSchema::num_classes);
+        estimated_classes += base_classes;
+        estimated_arrows += self.base.map_or(0, CompiledSchema::num_arrows);
+
+        MergePlan {
+            mode,
+            engine,
+            passes,
+            num_inputs: self.inputs.len(),
+            num_assertions: self.assertions.len(),
+            reuses_base: self.base.is_some(),
+            base_classes,
+            estimated_classes,
+            estimated_arrows,
+        }
+    }
+
+    /// Executes the plan: join, completion, and every configured
+    /// constraint pass, into one [`MergeReport`].
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::Incompatible`] when the inputs' specialization
+    /// relations union to a cycle, [`MergeError::Inconsistent`] when the
+    /// consistency check vetoes an implicit class, and
+    /// [`MergeError::Schema`] when an input (or assertion) is itself
+    /// invalid.
+    pub fn execute(&self) -> Result<MergeReport, MergeError> {
+        let plan = self.plan();
+        match plan.mode {
+            MergeMode::Upper => self.execute_upper(plan),
+            MergeMode::Lower => self.execute_lower(plan),
+        }
+    }
+
+    /// Runs only the join pass: the weak least upper bound of the inputs
+    /// (mode-independent), in whichever representations the planned
+    /// engine produces. This is the entry point for callers that keep
+    /// merging — the registry joins without completing, `smerge serve`
+    /// folds a published document into one member schema.
+    pub fn join(&self) -> Result<Joined, MergeError> {
+        let atoms = self.materialize_assertions()?;
+        let (weak, compiled, _) = self.join_stage(self.resolved_engine(), &atoms)?;
+        Ok(Joined { weak, compiled })
+    }
+
+    // ---- internals -------------------------------------------------------
+
+    fn has_annotated(&self) -> bool {
+        self.inputs
+            .iter()
+            .any(|input| matches!(input.kind, InputKind::Annotated(_)))
+    }
+
+    fn resolved_engine(&self) -> PlannedEngine {
+        if self.lower {
+            // The lower pipeline is a symbolic fixpoint (§6); no compiled
+            // variant exists yet.
+            return PlannedEngine::Symbolic;
+        }
+        match self.engine {
+            EnginePreference::Symbolic => PlannedEngine::Symbolic,
+            // An explicit `Compiled` forces the batch engine even over a
+            // base (the base is decompiled and re-interned) — that is
+            // the differential-test knob for batch vs onto-base.
+            EnginePreference::Compiled => PlannedEngine::Compiled,
+            EnginePreference::Auto => {
+                if self.base.is_some() && !self.has_annotated() {
+                    PlannedEngine::CompiledOntoBase
+                } else {
+                    PlannedEngine::Compiled
+                }
+            }
+        }
+    }
+
+    /// Whether the plan completes a cached base with nothing joined onto
+    /// it — the registry's delete path, a session's `merged()`. The join
+    /// pass (and the copy it would make of the base) is skipped.
+    fn is_base_only(&self, engine: PlannedEngine) -> bool {
+        engine == PlannedEngine::CompiledOntoBase
+            && self.inputs.is_empty()
+            && self.assertions.is_empty()
+    }
+
+    fn materialize_assertions(&self) -> Result<Vec<WeakSchema>, MergeError> {
+        self.assertions
+            .iter()
+            .map(|assertion| {
+                let builder = WeakSchema::builder();
+                let builder = match assertion {
+                    Assertion::Specialization(sub, sup) => {
+                        builder.specialize(sub.clone(), sup.clone())
+                    }
+                    Assertion::Arrow(src, label, tgt) => {
+                        builder.arrow(src.clone(), label.clone(), tgt.clone())
+                    }
+                };
+                builder.build().map_err(MergeError::Schema)
+            })
+            .collect()
+    }
+
+    /// The join pass. Returns the representations produced (at least one
+    /// is always present) plus, on the participation-aware path, the
+    /// joined annotated schema for the later transfer pass.
+    fn join_stage(
+        &self,
+        engine: PlannedEngine,
+        atoms: &[WeakSchema],
+    ) -> Result<JoinStageOutput, MergeError> {
+        if self.has_annotated() {
+            // Participation-aware join: annotated semantics over every
+            // input (plain schemas read as all-required), then the plain
+            // engines never see participation at all.
+            let decompiled_base = self.base.map(CompiledSchema::decompile);
+            let anns = self.annotated_inputs(decompiled_base, atoms);
+            let joined = annotated_join(anns.iter().map(Ann::get))?;
+            let weak = joined.schema().clone();
+            return Ok((Some(weak), None, Some(joined)));
+        }
+
+        let weak_refs: Vec<&WeakSchema> = self
+            .inputs
+            .iter()
+            .map(|input| input.kind.weak())
+            .chain(atoms.iter())
+            .collect();
+        match engine {
+            PlannedEngine::Symbolic => {
+                let decompiled_base = self.base.map(CompiledSchema::decompile);
+                let refs = decompiled_base.iter().chain(weak_refs.iter().copied());
+                let weak = crate::reference::weak_join_all(refs)?;
+                Ok((Some(weak), None, None))
+            }
+            PlannedEngine::Compiled => {
+                // A forced-compiled plan over a base re-interns the
+                // base's symbolic form like any other input.
+                let decompiled_base = self.base.map(CompiledSchema::decompile);
+                let refs = decompiled_base.iter().chain(weak_refs.iter().copied());
+                let (weak, compiled) = compile::join_compiled(refs).map_err(schema_to_merge)?;
+                Ok((Some(weak), Some(compiled), None))
+            }
+            PlannedEngine::CompiledOntoBase => {
+                let base = self.base.expect("onto-base engine implies a base");
+                let compiled =
+                    compile::join_onto_compiled(base, &weak_refs).map_err(schema_to_merge)?;
+                Ok((None, Some(compiled), None))
+            }
+        }
+    }
+
+    /// Every input as an annotated schema (weak inputs and assertion
+    /// atoms read as all-required), preserving input order.
+    fn annotated_inputs(&self, base: Option<WeakSchema>, atoms: &[WeakSchema]) -> Vec<Ann<'_>> {
+        let mut anns: Vec<Ann<'_>> = Vec::new();
+        if let Some(base) = base {
+            anns.push(Ann::Owned(AnnotatedSchema::all_required(base)));
+        }
+        for input in &self.inputs {
+            anns.push(match input.kind {
+                InputKind::Annotated(annotated) => Ann::Borrowed(annotated),
+                InputKind::Weak(weak) => Ann::Owned(AnnotatedSchema::all_required(weak.clone())),
+            });
+        }
+        for atom in atoms {
+            anns.push(Ann::Owned(AnnotatedSchema::all_required(atom.clone())));
+        }
+        anns
+    }
+
+    fn execute_upper(&self, plan: MergePlan) -> Result<MergeReport, MergeError> {
+        let atoms = self.materialize_assertions()?;
+        let (weak, compiled, joined_annotated) = if self.is_base_only(plan.engine) {
+            (None, None, None)
+        } else {
+            self.join_stage(plan.engine, &atoms)?
+        };
+
+        let (proper, implicit) = match (&weak, &compiled, plan.engine) {
+            (Some(weak), _, PlannedEngine::Symbolic) => {
+                complete_impl(weak, None, CompletionEngine::Symbolic).map_err(MergeError::Schema)?
+            }
+            (Some(weak), Some(compiled), _) => {
+                complete_impl(weak, Some(compiled), CompletionEngine::Compiled)
+                    .map_err(MergeError::Schema)?
+            }
+            (Some(weak), None, _) => {
+                complete_impl(weak, None, CompletionEngine::Compiled).map_err(MergeError::Schema)?
+            }
+            (None, Some(compiled), _) => {
+                complete_from_compiled_impl(compiled).map_err(MergeError::Schema)?
+            }
+            (None, None, _) => {
+                let base = self.base.expect("the base-only path implies a base");
+                complete_from_compiled_impl(base).map_err(MergeError::Schema)?
+            }
+        };
+
+        if let Some(consistency) = self.consistency {
+            check_consistency(&implicit, consistency)?;
+        }
+
+        let keys = self.key_pass(&proper);
+        let annotated = joined_annotated.map(|joined| joined.transfer_to(proper.as_weak()));
+        let mut diagnostics = self.input_diagnostics();
+        // Only the onto-base engine actually transfers the base in id
+        // space; the symbolic/annotated/forced-compiled plans decompile
+        // and re-walk it, so claiming reuse there would be false.
+        if plan.engine == PlannedEngine::CompiledOntoBase {
+            diagnostics.push(Diagnostic::info(
+                "I-BASE-REUSED",
+                format!(
+                    "reused a cached compiled base of {} classes; only {} input(s) interned",
+                    plan.base_classes,
+                    plan.num_inputs + plan.num_assertions
+                ),
+            ));
+        }
+        if implicit.num_implicit() > 0 {
+            diagnostics.push(
+                Diagnostic::info(
+                    "I-IMPLICIT-CLASSES",
+                    format!(
+                        "completion introduced {} implicit class(es)",
+                        implicit.num_implicit()
+                    ),
+                )
+                .with_classes(implicit.implicit.iter().map(|info| info.class.clone())),
+            );
+        }
+
+        Ok(MergeReport {
+            plan,
+            provenance: self.provenance(),
+            weak,
+            proper,
+            implicit,
+            keys,
+            annotated,
+            lower: None,
+            diagnostics,
+            compiled,
+        })
+    }
+
+    fn execute_lower(&self, plan: MergePlan) -> Result<MergeReport, MergeError> {
+        let atoms = self.materialize_assertions()?;
+        let anns = self.annotated_inputs(self.base.map(CompiledSchema::decompile), &atoms);
+        let merged = lower_merge(anns.iter().map(Ann::get));
+        let (annotated, proper, lower_report) =
+            lower_complete(&merged).map_err(MergeError::Schema)?;
+
+        let keys = self.key_pass(&proper);
+        let mut diagnostics = self.input_diagnostics();
+        if self.consistency.is_some() {
+            diagnostics.push(Diagnostic::warning(
+                "W-CONSISTENCY-IGNORED",
+                "consistency relations constrain implicit meet classes; \
+                 the lower merge introduces union classes and ignores them",
+            ));
+        }
+        if !lower_report.unions.is_empty() {
+            diagnostics.push(
+                Diagnostic::info(
+                    "I-UNION-CLASSES",
+                    format!(
+                        "lower completion introduced {} union class(es)",
+                        lower_report.unions.len()
+                    ),
+                )
+                .with_classes(lower_report.unions.iter().map(|info| info.class.clone())),
+            );
+        }
+
+        Ok(MergeReport {
+            plan,
+            provenance: self.provenance(),
+            weak: Some(merged.schema().clone()),
+            proper,
+            implicit: CompletionReport::default(),
+            keys,
+            annotated: Some(annotated),
+            lower: Some(lower_report),
+            diagnostics,
+            compiled: None,
+        })
+    }
+
+    fn key_pass(&self, proper: &ProperSchema) -> KeyAssignment {
+        if self.keys.is_empty() {
+            return KeyAssignment::new();
+        }
+        KeyAssignment::minimal_satisfactory(
+            proper.as_weak(),
+            self.keys.iter().map(|(class, family)| (class, family)),
+        )
+    }
+
+    fn provenance(&self) -> Vec<InputProvenance> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .map(|(index, input)| {
+                let weak = input.kind.weak();
+                InputProvenance {
+                    index,
+                    name: input.name.clone(),
+                    classes: weak.num_classes(),
+                    arrows: weak.num_arrows(),
+                    specializations: weak.num_specializations(),
+                    optional_arrows: input.kind.optional_arrows(),
+                    content_hash: input.name.as_ref().map(|_| weak.content_hash()),
+                }
+            })
+            .collect()
+    }
+
+    fn input_diagnostics(&self) -> Vec<Diagnostic> {
+        self.inputs
+            .iter()
+            .enumerate()
+            .filter(|(_, input)| input.kind.weak().num_classes() == 0)
+            .map(|(index, input)| {
+                Diagnostic::warning(
+                    "W-EMPTY-INPUT",
+                    "input schema contributes no classes to the merge",
+                )
+                .with_input(index, input.name.as_deref())
+            })
+            .collect()
+    }
+}
+
+impl fmt::Debug for Merger<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Merger")
+            .field("inputs", &self.inputs.len())
+            .field("assertions", &self.assertions.len())
+            .field("base", &self.base.is_some())
+            .field("engine", &self.engine)
+            .field("lower", &self.lower)
+            .finish_non_exhaustive()
+    }
+}
+
+/// What the join pass hands to completion: the symbolic and/or compiled
+/// join, plus (on the participation-aware path) the joined annotated
+/// schema for the later transfer pass.
+type JoinStageOutput = (
+    Option<WeakSchema>,
+    Option<CompiledSchema>,
+    Option<AnnotatedSchema>,
+);
+
+/// The standard error mapping: a specialization cycle discovered while
+/// joining means the inputs are incompatible (§4.1).
+fn schema_to_merge(err: SchemaError) -> MergeError {
+    match err {
+        SchemaError::SpecializationCycle(witness) => MergeError::Incompatible(witness),
+        other => MergeError::Schema(other),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::Class;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    fn dogs() -> (WeakSchema, WeakSchema) {
+        let g1 = WeakSchema::builder()
+            .arrow("Dog", "license", "int")
+            .arrow("Dog", "owner", "Person")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .arrow("Dog", "name", "string")
+            .specialize("Guide-dog", "Dog")
+            .build()
+            .unwrap();
+        (g1, g2)
+    }
+
+    #[test]
+    fn plan_resolves_engine_and_passes() {
+        let (g1, g2) = dogs();
+        let merger = Merger::new().schema(&g1).schema(&g2);
+        let plan = merger.plan();
+        assert_eq!(plan.engine, PlannedEngine::Compiled);
+        assert_eq!(plan.mode, MergeMode::Upper);
+        assert_eq!(plan.passes, vec![MergePass::Join, MergePass::Completion]);
+        assert_eq!(plan.num_inputs, 2);
+        assert!(!plan.reuses_base);
+        assert!(plan.estimated_classes >= 4);
+
+        let rel = ConsistencyRelation::assume_consistent();
+        let merger = Merger::new()
+            .schema(&g1)
+            .with_consistency(&rel)
+            .with_keys(
+                "Dog",
+                SuperkeyFamily::single(crate::keys::KeySet::new(["license"])),
+            )
+            .engine(EnginePreference::Symbolic);
+        let plan = merger.plan();
+        assert_eq!(plan.engine, PlannedEngine::Symbolic);
+        assert_eq!(
+            plan.passes,
+            vec![
+                MergePass::Join,
+                MergePass::Completion,
+                MergePass::ConsistencyCheck,
+                MergePass::KeyAssignment
+            ]
+        );
+    }
+
+    #[test]
+    fn plan_display_is_stable() {
+        let (g1, g2) = dogs();
+        let plan = Merger::new()
+            .schema(&g1)
+            .schema(&g2)
+            .assert_specialization("Puppy", "Dog")
+            .plan();
+        let text = plan.to_string();
+        assert_eq!(
+            text,
+            "plan: upper merge, engine=compiled, inputs=2 (+1 assertions)\n\
+             passes: join -> completion\n\
+             estimated work: <= 8 classes, <= 4 arrows"
+        );
+    }
+
+    #[test]
+    fn execute_matches_reference_merge() {
+        let (g1, g2) = dogs();
+        let report = Merger::new().schema(&g1).schema(&g2).execute().unwrap();
+        let expected = crate::reference::merge([&g1, &g2]).unwrap();
+        assert_eq!(report.proper, expected.proper);
+        assert_eq!(report.weak.as_ref().unwrap(), &expected.weak);
+        assert_eq!(report.implicit, expected.report);
+        assert!(report.compiled.is_some());
+    }
+
+    #[test]
+    fn symbolic_and_onto_base_configurations_agree() {
+        let (g1, g2) = dogs();
+        let g3 = WeakSchema::builder()
+            .arrow("Dog", "owner", "Company")
+            .build()
+            .unwrap();
+        let expected = crate::reference::merge([&g1, &g2, &g3]).unwrap();
+
+        let symbolic = Merger::new()
+            .schemas([&g1, &g2, &g3])
+            .engine(EnginePreference::Symbolic)
+            .execute()
+            .unwrap();
+        assert_eq!(symbolic.plan.engine, PlannedEngine::Symbolic);
+        assert_eq!(symbolic.proper, expected.proper);
+        assert_eq!(symbolic.implicit, expected.report);
+
+        let base = Merger::new()
+            .schemas([&g1, &g2])
+            .join()
+            .unwrap()
+            .into_parts()
+            .1
+            .unwrap();
+        let onto = Merger::new()
+            .onto_base(&base)
+            .schema(&g3)
+            .execute()
+            .unwrap();
+        assert_eq!(onto.plan.engine, PlannedEngine::CompiledOntoBase);
+        assert_eq!(onto.proper, expected.proper);
+        assert_eq!(onto.implicit, expected.report);
+        assert!(onto.weak.is_none(), "onto-base skips the symbolic join");
+        // The symbolic engine overrides the base reuse but not the result.
+        let sym_onto = Merger::new()
+            .onto_base(&base)
+            .schema(&g3)
+            .engine(EnginePreference::Symbolic)
+            .execute()
+            .unwrap();
+        assert_eq!(sym_onto.plan.engine, PlannedEngine::Symbolic);
+        assert_eq!(sym_onto.proper, expected.proper);
+        // And an explicit `Compiled` forces the batch engine even over a
+        // base — the differential knob for batch vs onto-base — again
+        // with the same result.
+        let forced = Merger::new()
+            .onto_base(&base)
+            .schema(&g3)
+            .engine(EnginePreference::Compiled)
+            .execute()
+            .unwrap();
+        assert_eq!(forced.plan.engine, PlannedEngine::Compiled);
+        assert_eq!(forced.proper, expected.proper);
+        assert!(
+            !forced
+                .diagnostics
+                .iter()
+                .any(|d| d.code() == "I-BASE-REUSED"),
+            "the forced-compiled plan re-interns the base and must not claim reuse"
+        );
+    }
+
+    #[test]
+    fn base_only_plan_skips_the_join_pass() {
+        let (g1, g2) = dogs();
+        let base = Merger::new()
+            .schemas([&g1, &g2])
+            .join()
+            .unwrap()
+            .into_parts()
+            .1
+            .unwrap();
+        let merger = Merger::new().onto_base(&base);
+        let plan = merger.plan();
+        assert_eq!(plan.engine, PlannedEngine::CompiledOntoBase);
+        assert_eq!(
+            plan.passes,
+            vec![MergePass::Completion],
+            "the base IS the join; no join pass runs or is reported"
+        );
+        let report = merger.execute().unwrap();
+        assert_eq!(report.plan, plan);
+        assert!(
+            report.compiled.is_none(),
+            "the caller already holds the base"
+        );
+        assert_eq!(
+            report.proper,
+            Merger::new().schemas([&g1, &g2]).execute().unwrap().proper
+        );
+    }
+
+    #[test]
+    fn assertions_merge_like_elementary_schemas() {
+        let (g1, g2) = dogs();
+        let report = Merger::new()
+            .schema(&g1)
+            .schema(&g2)
+            .assert_specialization("Puppy", "Dog")
+            .assert_arrow("Dog", "chip", "Chip")
+            .execute()
+            .unwrap();
+        assert!(report.proper.specializes(&c("Puppy"), &c("Dog")));
+        assert!(report
+            .proper
+            .has_arrow(&c("Puppy"), &Label::new("chip"), &c("Chip")));
+    }
+
+    #[test]
+    fn incompatibility_is_reported_with_witness() {
+        let up = WeakSchema::builder().specialize("A", "B").build().unwrap();
+        let down = WeakSchema::builder().specialize("B", "A").build().unwrap();
+        let err = Merger::new()
+            .schema(&up)
+            .schema(&down)
+            .execute()
+            .unwrap_err();
+        match err {
+            MergeError::Incompatible(witness) => {
+                assert_eq!(witness.path.first(), witness.path.last());
+            }
+            other => panic!("expected incompatibility, got {other}"),
+        }
+    }
+
+    #[test]
+    fn consistency_pass_vetoes_identifications() {
+        let g = WeakSchema::builder()
+            .arrow("C", "a", "B1")
+            .arrow("C", "a", "B2")
+            .build()
+            .unwrap();
+        let mut rel = ConsistencyRelation::assume_consistent();
+        rel.declare_inconsistent(c("B1"), c("B2"));
+        let err = Merger::new()
+            .schema(&g)
+            .with_consistency(&rel)
+            .execute()
+            .unwrap_err();
+        assert!(matches!(err, MergeError::Inconsistent { .. }));
+        // Same merger without the veto succeeds and reports the implicit
+        // class as a diagnostic.
+        let report = Merger::new().schema(&g).execute().unwrap();
+        assert_eq!(report.implicit.num_implicit(), 1);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code() == "I-IMPLICIT-CLASSES"));
+    }
+
+    #[test]
+    fn keys_pass_computes_minimal_satisfactory_assignment() {
+        let (g1, g2) = dogs();
+        let report = Merger::new()
+            .schema(&g1)
+            .schema(&g2)
+            .with_keys(
+                "Dog",
+                SuperkeyFamily::single(crate::keys::KeySet::new(["license"])),
+            )
+            .execute()
+            .unwrap();
+        assert!(report
+            .keys
+            .family(&c("Guide-dog"))
+            .is_superkey(&crate::keys::KeySet::new(["license"])));
+    }
+
+    #[test]
+    fn participation_flows_through_upper_merge() {
+        let site_a = AnnotatedSchema::builder()
+            .arrow("Dog", "license", "int")
+            .optional_arrow("Dog", "chip", "Chip")
+            .build()
+            .unwrap();
+        let site_b = AnnotatedSchema::builder()
+            .optional_arrow("Dog", "chip", "Chip")
+            .build()
+            .unwrap();
+        let report = Merger::new()
+            .with_participation(&site_a)
+            .with_participation(&site_b)
+            .execute()
+            .unwrap();
+        let annotated = report.annotated.expect("annotated inputs produce one");
+        assert_eq!(
+            annotated.participation(&c("Dog"), &Label::new("chip"), &c("Chip")),
+            crate::participation::Participation::ZeroOrOne
+        );
+        assert_eq!(
+            annotated.participation(&c("Dog"), &Label::new("license"), &c("int")),
+            crate::participation::Participation::One
+        );
+        assert!(report
+            .plan
+            .passes
+            .contains(&MergePass::ParticipationTransfer));
+    }
+
+    #[test]
+    fn lower_mode_produces_union_classes() {
+        let a = AnnotatedSchema::builder()
+            .arrow("Pet", "home", "House")
+            .build()
+            .unwrap();
+        let b = AnnotatedSchema::builder()
+            .arrow("Pet", "home", "Kennel")
+            .build()
+            .unwrap();
+        let report = Merger::new()
+            .with_participation(&a)
+            .with_participation(&b)
+            .lower()
+            .execute()
+            .unwrap();
+        assert_eq!(report.plan.mode, MergeMode::Lower);
+        let lower = report.lower.expect("lower mode fills the union report");
+        assert_eq!(lower.unions.len(), 1);
+        assert!(report.annotated.is_some());
+        let expected = {
+            let merged = lower_merge([&a, &b]);
+            lower_complete(&merged).unwrap().1
+        };
+        assert_eq!(report.proper, expected);
+    }
+
+    #[test]
+    fn lower_mode_warns_about_ignored_consistency() {
+        let a = AnnotatedSchema::builder()
+            .arrow("Pet", "home", "House")
+            .build()
+            .unwrap();
+        let rel = ConsistencyRelation::assume_consistent();
+        let report = Merger::new()
+            .with_participation(&a)
+            .with_consistency(&rel)
+            .lower()
+            .execute()
+            .unwrap();
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code() == "W-CONSISTENCY-IGNORED"));
+    }
+
+    #[test]
+    fn provenance_records_names_and_shapes() {
+        let (g1, g2) = dogs();
+        let empty = WeakSchema::empty();
+        let report = Merger::new()
+            .schema_named("municipal", &g1)
+            .schema(&g2)
+            .schema_named("void", &empty)
+            .execute()
+            .unwrap();
+        assert_eq!(report.provenance.len(), 3);
+        assert_eq!(report.provenance[0].name.as_deref(), Some("municipal"));
+        assert_eq!(report.provenance[0].content_hash, Some(g1.content_hash()));
+        assert_eq!(report.provenance[1].name, None);
+        assert_eq!(
+            report.provenance[1].content_hash, None,
+            "anonymous inputs skip the hashing walk"
+        );
+        let warning = report
+            .diagnostics
+            .iter()
+            .find(|d| d.code() == "W-EMPTY-INPUT")
+            .expect("empty input warned about");
+        assert_eq!(warning.origin.input, Some(2));
+        assert_eq!(warning.origin.input_name.as_deref(), Some("void"));
+    }
+
+    #[test]
+    fn join_returns_both_representations() {
+        let (g1, g2) = dogs();
+        let joined = Merger::new().schema(&g1).schema(&g2).join().unwrap();
+        assert!(joined.weak().is_some());
+        assert!(joined.compiled().is_some());
+        let weak = joined.into_weak();
+        assert_eq!(weak, crate::reference::weak_join_all([&g1, &g2]).unwrap());
+
+        // Onto-base join skips the symbolic materialization; into_weak
+        // decompiles on demand.
+        let base = Merger::new()
+            .schema(&g1)
+            .join()
+            .unwrap()
+            .into_parts()
+            .1
+            .unwrap();
+        let onto = Merger::new().onto_base(&base).schema(&g2).join().unwrap();
+        assert!(onto.weak().is_none());
+        assert_eq!(onto.into_weak(), weak);
+    }
+
+    #[test]
+    fn report_summary_is_deterministic() {
+        let g1 = WeakSchema::builder().arrow("C", "a", "B1").build().unwrap();
+        let g2 = WeakSchema::builder().arrow("C", "a", "B2").build().unwrap();
+        let report = Merger::new()
+            .schema_named("one", &g1)
+            .schema_named("two", &g2)
+            .execute()
+            .unwrap();
+        assert_eq!(
+            report.summary(),
+            "plan: upper merge, engine=compiled, inputs=2\n\
+             passes: join -> completion\n\
+             estimated work: <= 4 classes, <= 2 arrows\n\
+             result: 4 classes, 3 arrows, 2 specializations, 1 implicit\n\
+             implicit: {B1,B2} demanded by C --a-->\n\
+             info[I-IMPLICIT-CLASSES]: completion introduced 1 implicit class(es) (classes: {B1,B2})\n"
+        );
+    }
+
+    #[test]
+    fn empty_merger_produces_the_empty_merge() {
+        let report = Merger::new().execute().unwrap();
+        assert_eq!(report.proper.num_classes(), 0);
+        assert_eq!(report.weak.as_ref().unwrap(), &WeakSchema::empty());
+    }
+}

@@ -80,6 +80,7 @@ pub fn merge<'a>(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // differential tests of the shims against this engine
 mod tests {
     use super::*;
 

@@ -404,7 +404,16 @@ pub fn homonym_candidates(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::merge::{merge, weak_join};
+    use crate::merge::weak_join;
+
+    fn merge<'a>(
+        schemas: impl IntoIterator<Item = &'a WeakSchema>,
+    ) -> Result<crate::merge::MergeOutcome, crate::error::MergeError> {
+        crate::merger::Merger::new()
+            .schemas(schemas)
+            .execute()
+            .map(crate::merger::MergeReport::into_outcome)
+    }
 
     fn c(s: &str) -> Class {
         Class::named(s)

@@ -7,6 +7,10 @@
 //! produce results *equal* to the retained symbolic implementations in
 //! `reference` (alpha-isomorphism is implied by equality; it is asserted
 //! separately to pin the weaker public contract too).
+//!
+//! Deliberately `allow(deprecated)`: the historical batch entry points
+//! are differential-tested here as shims over the `Merger` façade.
+#![allow(deprecated)]
 
 use proptest::collection::vec;
 use proptest::prelude::*;

@@ -1,0 +1,266 @@
+//! The `Merger` façade's contract, property-tested:
+//!
+//! * every **plan configuration** — symbolic, compiled, compiled-onto-base
+//!   (with every split of the inputs into base and extras) — produces
+//!   schemas *equal* to the retained `reference::merge`, and
+//!   alpha-isomorphic modulo implicit-class naming;
+//! * the **consistency pass** is one implementation: the deprecated
+//!   `merge_consistent` and `MergeSession::with_consistency` paths are
+//!   differential-tested against `Merger::with_consistency` (accepting
+//!   and rejecting identically, with identical witnesses);
+//! * `MergeReport` renders **deterministically** (snapshot tests).
+//!
+//! Workload-scale differential coverage (random/pathological/ER
+//! generator families) lives in
+//! `crates/bench/tests/compiled_vs_symbolic.rs`, which drives the same
+//! configurations through the `workload` generators.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use schema_merge_core::iso::alpha_isomorphic;
+use schema_merge_core::{
+    reference, Class, ConsistencyRelation, EnginePreference, MergeError, MergeSession, Merger,
+    PlannedEngine, WeakSchema,
+};
+
+const NAMES: [&str; 8] = ["c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"];
+const LABELS: [&str; 3] = ["a", "b", "f"];
+
+#[derive(Debug, Clone)]
+enum RawEdge {
+    Spec(usize, usize),
+    Arrow(usize, usize, usize),
+}
+
+fn raw_edges() -> impl Strategy<Value = Vec<RawEdge>> {
+    let edge = prop_oneof![
+        (0usize..NAMES.len(), 0usize..NAMES.len())
+            .prop_map(|(i, j)| RawEdge::Spec(i.min(j), i.max(j))),
+        (
+            0usize..NAMES.len(),
+            0usize..LABELS.len(),
+            0usize..NAMES.len()
+        )
+            .prop_map(|(s, l, t)| RawEdge::Arrow(s, l, t)),
+    ];
+    vec(edge, 0..14)
+}
+
+fn build(edges: &[RawEdge]) -> WeakSchema {
+    let mut builder = WeakSchema::builder();
+    for edge in edges {
+        builder = match edge {
+            RawEdge::Spec(sub, sup) if sub != sup => builder.specialize(NAMES[*sub], NAMES[*sup]),
+            RawEdge::Spec(..) => builder,
+            RawEdge::Arrow(s, l, t) => builder.arrow(NAMES[*s], LABELS[*l], NAMES[*t]),
+        };
+    }
+    builder.build().expect("order-directed schemas are acyclic")
+}
+
+fn family() -> impl Strategy<Value = Vec<WeakSchema>> {
+    vec(raw_edges().prop_map(|edges| build(&edges)), 1..5)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every plan configuration equals `reference::merge`: the engine is
+    /// a cost choice, never a semantics choice.
+    #[test]
+    fn every_plan_configuration_equals_reference_merge(family in family(), split in 0usize..5) {
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        let expected = reference::merge(refs.iter().copied()).expect("compatible");
+
+        // Compiled (the default plan).
+        let compiled = Merger::new().schemas(refs.iter().copied()).execute().expect("compiled");
+        prop_assert_eq!(compiled.plan.engine, PlannedEngine::Compiled);
+        prop_assert_eq!(&compiled.proper, &expected.proper);
+        prop_assert_eq!(compiled.weak.as_ref().unwrap(), &expected.weak);
+        prop_assert_eq!(&compiled.implicit, &expected.report);
+
+        // Symbolic.
+        let symbolic = Merger::new()
+            .schemas(refs.iter().copied())
+            .engine(EnginePreference::Symbolic)
+            .execute()
+            .expect("symbolic");
+        prop_assert_eq!(symbolic.plan.engine, PlannedEngine::Symbolic);
+        prop_assert_eq!(&symbolic.proper, &expected.proper);
+        prop_assert_eq!(&symbolic.implicit, &expected.report);
+
+        // Compiled onto a cached base, at every split point of the
+        // inputs into (base, extras) — including the all-in-base and
+        // all-in-extras degenerate splits.
+        let k = split % (refs.len() + 1);
+        let base = Merger::new()
+            .schemas(refs[..k].iter().copied())
+            .join()
+            .expect("base joins")
+            .into_parts()
+            .1
+            .expect("compiled base");
+        let onto = Merger::new()
+            .onto_base(&base)
+            .schemas(refs[k..].iter().copied())
+            .execute()
+            .expect("onto-base");
+        prop_assert_eq!(onto.plan.engine, PlannedEngine::CompiledOntoBase);
+        prop_assert_eq!(&onto.proper, &expected.proper);
+        prop_assert_eq!(&onto.implicit, &expected.report);
+
+        // And the weaker public contract: alpha-isomorphism modulo
+        // implicit-class naming.
+        prop_assert!(alpha_isomorphic(
+            compiled.proper.as_weak(),
+            expected.proper.as_weak(),
+            Class::is_implicit,
+        ));
+    }
+
+    /// The consistency check is ONE merger pass: the two historical
+    /// paths (`merge_consistent`, `MergeSession::with_consistency`)
+    /// accept and reject exactly as the façade does, with identical
+    /// witnesses and identical results.
+    #[test]
+    #[allow(deprecated)] // differential test of the shimmed paths
+    fn consistency_paths_agree(family in family(), veto in (0usize..NAMES.len(), 0usize..NAMES.len())) {
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        let mut relation = ConsistencyRelation::assume_consistent();
+        relation.declare_inconsistent(NAMES[veto.0], NAMES[veto.1]);
+
+        let facade = Merger::new()
+            .schemas(refs.iter().copied())
+            .with_consistency(&relation)
+            .execute();
+
+        // Path 1: the deprecated free function.
+        let free = schema_merge_core::merge_consistent(refs.iter().copied(), &relation);
+
+        // Path 2: a session seeded with the relation.
+        let mut session = MergeSession::with_consistency(relation.clone());
+        for schema in &refs {
+            session.add_schema(schema).expect("family is compatible");
+        }
+        let session_result = session.merged();
+
+        match (&facade, &free, &session_result) {
+            (Ok(a), Ok(b), Ok(c)) => {
+                prop_assert_eq!(&a.proper, &b.proper);
+                prop_assert_eq!(&a.implicit, &b.report);
+                prop_assert_eq!(&b.proper, &c.proper);
+                prop_assert_eq!(&b.report, &c.report);
+            }
+            (Err(a), Err(b), Err(c)) => {
+                prop_assert_eq!(a, b);
+                prop_assert_eq!(b, c);
+                let inconsistent = matches!(a, MergeError::Inconsistent { .. });
+                prop_assert!(inconsistent);
+            }
+            other => prop_assert!(
+                false,
+                "consistency paths disagree on accept/reject: {other:?}"
+            ),
+        }
+    }
+
+    /// `join()` agrees with the reference weak join in every engine.
+    #[test]
+    fn join_configurations_agree(family in family(), split in 0usize..5) {
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        let expected = reference::weak_join_all(refs.iter().copied()).expect("compatible");
+
+        let compiled = Merger::new().schemas(refs.iter().copied()).join().expect("joins");
+        prop_assert_eq!(&compiled.into_weak(), &expected);
+
+        let symbolic = Merger::new()
+            .schemas(refs.iter().copied())
+            .engine(EnginePreference::Symbolic)
+            .join()
+            .expect("joins");
+        prop_assert_eq!(&symbolic.into_weak(), &expected);
+
+        let k = split % (refs.len() + 1);
+        let base = Merger::new()
+            .schemas(refs[..k].iter().copied())
+            .join()
+            .expect("base joins")
+            .into_parts()
+            .1
+            .expect("compiled base");
+        let onto = Merger::new()
+            .onto_base(&base)
+            .schemas(refs[k..].iter().copied())
+            .join()
+            .expect("joins");
+        prop_assert_eq!(&onto.into_weak(), &expected);
+    }
+}
+
+// ---- MergeReport snapshots -----------------------------------------------
+
+#[test]
+fn merge_report_snapshot_plain() {
+    let g1 = WeakSchema::builder()
+        .arrow("Dog", "license", "int")
+        .build()
+        .unwrap();
+    let g2 = WeakSchema::builder()
+        .arrow("Dog", "owner", "Person")
+        .specialize("Guide-dog", "Dog")
+        .build()
+        .unwrap();
+    let report = Merger::new()
+        .schema_named("municipal", &g1)
+        .schema_named("club", &g2)
+        .execute()
+        .unwrap();
+    assert_eq!(
+        report.summary(),
+        "plan: upper merge, engine=compiled, inputs=2\n\
+         passes: join -> completion\n\
+         estimated work: <= 5 classes, <= 3 arrows\n\
+         result: 4 classes, 4 arrows, 1 specializations, 0 implicit\n"
+    );
+    let names: Vec<Option<&str>> = report
+        .provenance
+        .iter()
+        .map(|p| p.name.as_deref())
+        .collect();
+    assert_eq!(names, vec![Some("municipal"), Some("club")]);
+}
+
+#[test]
+fn merge_report_snapshot_with_implicit_and_assertions() {
+    let g1 = WeakSchema::builder().arrow("C", "a", "B1").build().unwrap();
+    let g2 = WeakSchema::builder().arrow("C", "a", "B2").build().unwrap();
+    let report = Merger::new()
+        .schema(&g1)
+        .schema(&g2)
+        .assert_specialization("Sub", "C")
+        .execute()
+        .unwrap();
+    assert_eq!(
+        report.summary(),
+        "plan: upper merge, engine=compiled, inputs=2 (+1 assertions)\n\
+         passes: join -> completion\n\
+         estimated work: <= 6 classes, <= 2 arrows\n\
+         result: 5 classes, 6 arrows, 3 specializations, 1 implicit\n\
+         implicit: {B1,B2} demanded by C --a-->\n\
+         info[I-IMPLICIT-CLASSES]: completion introduced 1 implicit class(es) (classes: {B1,B2})\n"
+    );
+}
+
+#[test]
+fn merge_plan_is_side_effect_free_and_stable() {
+    let g = WeakSchema::builder().arrow("A", "x", "B").build().unwrap();
+    let merger = Merger::new().schema(&g);
+    let first = merger.plan();
+    let second = merger.plan();
+    assert_eq!(first, second);
+    // Planning did not consume anything: execution still works and
+    // reports the same plan.
+    let report = merger.execute().unwrap();
+    assert_eq!(report.plan, first);
+}

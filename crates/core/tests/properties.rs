@@ -1,10 +1,18 @@
 //! Property-based tests of the core algebraic laws.
 //!
+//! Deliberately `allow(deprecated)`: the laws are asserted through the
+//! historical entry points, which are now thin shims over the `Merger`
+//! façade — keeping these tests on the shims is exactly what proves the
+//! shims still honor the laws. Façade-first coverage lives in
+//! `tests/facade.rs` and the workload-scale differential tests in
+//! `crates/bench/tests/compiled_vs_symbolic.rs`.
+//!
 //! Schemas are generated over a small vocabulary with specialization edges
 //! directed along a fixed total order on names (`c0 ⇒ c1 ⇒ …` only goes
 //! up-index), so any collection of generated schemas is *compatible* —
 //! which lets the LUB laws be tested without conditioning on cycle-freedom.
 //! Incompatible inputs are exercised by dedicated generators below.
+#![allow(deprecated)]
 
 use proptest::collection::vec;
 use proptest::prelude::*;

@@ -9,9 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use schema_merge_core::{
-    merge as core_merge, Class, KeyAssignment, MergeOutcome, Name, SuperkeyFamily,
-};
+use schema_merge_core::{Class, KeyAssignment, MergeOutcome, Merger, Name, SuperkeyFamily};
 
 use crate::cardinality::cardinality_keys;
 use crate::model::{ErSchema, Stratum};
@@ -61,7 +59,10 @@ pub fn merge_er<'a>(
     }
 
     let translated: Vec<_> = inputs.iter().map(|er| to_core(er).0).collect();
-    let core = core_merge(translated.iter())?;
+    let core = Merger::new()
+        .schemas(translated.iter())
+        .execute()?
+        .into_outcome();
     let er = from_core(core.proper.as_weak(), &strata)?;
 
     // Key contributions from every input's cardinalities, merged into the

@@ -473,7 +473,11 @@ mod tests {
             .specialize("Guide-dog", "Dog")
             .build()
             .unwrap();
-        let merged = schema_merge_core::merge([&g1, &g2]).unwrap().proper;
+        let merged = schema_merge_core::Merger::new()
+            .schemas([&g1, &g2])
+            .execute()
+            .unwrap()
+            .proper;
 
         let mut b = Instance::builder();
         let five = b.object(["int"]);

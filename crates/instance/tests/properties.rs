@@ -258,7 +258,11 @@ fn projection_theorem_reference_case() {
         .specialize("D", "A")
         .build()
         .unwrap();
-    let merged = schema_merge_core::merge([&g1, &g2]).unwrap().proper;
+    let merged = schema_merge_core::Merger::new()
+        .schemas([&g1, &g2])
+        .execute()
+        .unwrap()
+        .proper;
     let instance = conforming_instance(&merged, 3, 5).populate_implicit_extents(merged.as_weak());
     assert_eq!(instance.conforms(&merged), Ok(()));
     for input in [&g1, &g2] {

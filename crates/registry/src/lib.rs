@@ -20,15 +20,13 @@
 //! * **Incremental re-merge** — on [`Registry::put`] / [`Registry::delete`]
 //!   the engine reuses the cached *compiled* join of the unchanged
 //!   members (associativity: `⊔ᵢGᵢ = (⊔ᵢ≠ₖGᵢ) ⊔ Gₖ`) and re-runs only
-//!   the final join and completion through the compiled core's
-//!   partial-join entry points
-//!   ([`schema_merge_core::weak_join_onto_compiled`] /
-//!   [`schema_merge_core::complete_from_compiled`] — the interner
-//!   survives across generations), falling back to a full
-//!   [`schema_merge_core::merge_compiled`]-shaped pass when no cached
-//!   join applies. The incremental result is always equal to the
-//!   one-shot merge (differentially property-tested against
-//!   `reference::merge`).
+//!   the final join and completion, as a
+//!   [`schema_merge_core::merger::MergePlan`] with the cached join
+//!   handed to [`Merger::onto_base`](schema_merge_core::Merger::onto_base)
+//!   — the interner survives across generations — falling back to a
+//!   full batch `Merger` execution when no cached join applies. The
+//!   incremental result is always equal to the one-shot merge
+//!   (differentially property-tested against `reference::merge`).
 //! * Schema-space queries — [`Registry::query`] answers path queries
 //!   ("which classes does `Dog.owner` reach?") against the merged view
 //!   via [`schema_merge_instance::PathQuery::eval_classes`], no instance

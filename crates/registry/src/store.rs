@@ -23,24 +23,25 @@
 //! cannot subtract `k`'s old contribution from the cached total;
 //! instead it remembers the joins it has computed — compiled, so the
 //! interner survives across generations — keyed by the exact
-//! member-version set, and each publish of `k` reduces to one
-//! [`weak_join_onto_compiled`] (interning only the changed member) plus
-//! one [`complete_from_compiled`] (materializing the symbolic schema
-//! exactly once, for the committed view). When no cached join matches,
-//! the engine falls back to joining every unchanged member from scratch
-//! (the same work a one-shot [`schema_merge_core::merge_compiled`]
-//! would do) and seeds the cache so the next publish is incremental.
-//! Either way the committed view is **equal** to the one-shot merge of
-//! the current members — associativity is not an optimization that
-//! changes answers.
+//! member-version set. Every re-merge is built as a
+//! [`schema_merge_core::merger::MergePlan`]: the cached compiled join of
+//! the unchanged members is handed to
+//! [`Merger::onto_base`](schema_merge_core::Merger::onto_base), so each
+//! publish of `k` interns only the changed member and completes straight
+//! off the compiled join (materializing the symbolic schema exactly
+//! once, for the committed view). When no cached join matches, the
+//! engine falls back to joining every unchanged member from scratch (a
+//! plain batch `Merger` execution) and seeds the cache so the next
+//! publish is incremental. Either way the committed view is **equal** to
+//! the one-shot merge of the current members — associativity is not an
+//! optimization that changes answers.
 
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 
 use schema_merge_core::{
-    complete_from_compiled, weak_join_all_compiled, weak_join_onto_compiled, Class, CompiledSchema,
-    CompletionReport, MergeError, ProperSchema, WeakSchema,
+    Class, CompiledSchema, CompletionReport, MergeError, Merger, ProperSchema, WeakSchema,
 };
 use schema_merge_instance::PathQuery;
 
@@ -236,15 +237,15 @@ impl Registry {
                 Ok(pair) => pair,
                 Err(cause) => return Err(self.reject(name, cause)),
             };
-            // The incremental step proper: the cached compiled join is the
-            // base interner — only the changed member is walked
-            // symbolically — and the completion runs straight off the
-            // compiled join, materializing the symbolic schema once.
-            let candidate =
-                match complete_candidate(weak_join_onto_compiled(&rest, [schema.as_ref()])) {
-                    Ok(candidate) => candidate,
-                    Err(cause) => return Err(self.reject(name, cause)),
-                };
+            // The incremental step proper, as a merge plan: the cached
+            // compiled join is the `onto_base` interner — only the
+            // changed member is walked symbolically — and the completion
+            // runs straight off the compiled join, materializing the
+            // symbolic schema once.
+            let candidate = match merge_onto(&rest, Some(schema.as_ref())) {
+                Ok(candidate) => candidate,
+                Err(cause) => return Err(self.reject(name, cause)),
+            };
 
             let mut shared = self.shared.write().expect("registry lock");
             if shared.generation != snapshot.generation {
@@ -312,9 +313,10 @@ impl Registry {
                 Ok(pair) => pair,
                 Err(cause) => return Err(self.reject(name.to_string(), cause)),
             };
-            // The remainder's join IS the new total — no join step at all;
-            // only the completion runs (against the cached compiled form).
-            let candidate = match complete_rest(&rest) {
+            // The remainder's join IS the new total — the merge plan has
+            // no extras, so the merger skips the join pass and only the
+            // completion runs (against the cached compiled form).
+            let candidate = match merge_onto(&rest, None) {
                 Ok(candidate) => candidate,
                 Err(cause) => return Err(self.reject(name.to_string(), cause)),
             };
@@ -480,8 +482,11 @@ impl Registry {
         if let Some(join) = self.cache.lock().expect("cache lock").probe(fp) {
             return Ok((join, MergeStrategy::Incremental));
         }
-        let (_, compiled) =
-            weak_join_all_compiled(snapshot.rest.iter().map(|(_, _, s)| s.as_ref()))?;
+        let joined = Merger::new()
+            .schemas(snapshot.rest.iter().map(|(_, _, s)| s.as_ref()))
+            .join()?;
+        let (_, compiled) = joined.into_parts();
+        let compiled = compiled.expect("the default engine is compiled");
         Ok((Arc::new(compiled), MergeStrategy::Full))
     }
 
@@ -512,25 +517,28 @@ impl Registry {
     }
 }
 
-/// Completes a compiled join into a pre-`Arc`ed candidate view.
-fn complete_candidate(joined: Result<CompiledSchema, MergeError>) -> Result<Candidate, MergeError> {
-    let compiled = joined?;
-    let (proper, report) = complete_from_compiled(&compiled).map_err(MergeError::Schema)?;
+/// Executes the incremental merge plan — `extra` joined onto the cached
+/// compiled `rest` (or, on the delete path, no extra at all: the rest IS
+/// the total and the merger skips the join pass) — into a pre-`Arc`ed
+/// candidate view.
+fn merge_onto(
+    rest: &Arc<CompiledSchema>,
+    extra: Option<&WeakSchema>,
+) -> Result<Candidate, MergeError> {
+    let mut merger = Merger::new().onto_base(rest);
+    if let Some(extra) = extra {
+        merger = merger.schema(extra);
+    }
+    let report = merger.execute()?;
+    let compiled = match report.compiled {
+        Some(compiled) => Arc::new(compiled),
+        // No extras joined: the caller's rest is already the total join.
+        None => Arc::clone(rest),
+    };
     Ok(Candidate {
-        compiled: Arc::new(compiled),
-        proper: Arc::new(proper),
-        report: Arc::new(report),
-    })
-}
-
-/// Completes an already-joined (cached) rest set — the delete path, where
-/// the remainder's join is the new total and no join step runs at all.
-fn complete_rest(rest: &Arc<CompiledSchema>) -> Result<Candidate, MergeError> {
-    let (proper, report) = complete_from_compiled(rest).map_err(MergeError::Schema)?;
-    Ok(Candidate {
-        compiled: Arc::clone(rest),
-        proper: Arc::new(proper),
-        report: Arc::new(report),
+        compiled,
+        proper: Arc::new(report.proper),
+        report: Arc::new(report.implicit),
     })
 }
 
@@ -548,7 +556,6 @@ impl std::fmt::Debug for Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use schema_merge_core::merge_compiled;
 
     fn schema(src: &str, label: &str, tgt: &str) -> WeakSchema {
         WeakSchema::builder()
@@ -565,10 +572,13 @@ mod tests {
             .iter()
             .map(|m| registry.get(&m.name).unwrap().schema)
             .collect();
-        let oneshot = merge_compiled(schemas.iter().map(|s| s.as_ref())).unwrap();
+        let oneshot = Merger::new()
+            .schemas(schemas.iter().map(|s| s.as_ref()))
+            .execute()
+            .unwrap();
         let view = registry.merged();
         assert_eq!(view.proper.as_ref(), &oneshot.proper);
-        assert_eq!(view.report.as_ref(), &oneshot.report);
+        assert_eq!(view.report.as_ref(), &oneshot.implicit);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use std::collections::BTreeMap;
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use schema_merge_core::{merge_compiled, reference, WeakSchema};
+use schema_merge_core::{reference, Merger, WeakSchema};
 use schema_merge_registry::{MergeStrategy, Registry, RegistryError};
 use schema_merge_workload::{schema_family, SchemaParams};
 
@@ -77,10 +77,13 @@ fn assert_view_matches<'a>(
     model: impl Iterator<Item = &'a WeakSchema>,
 ) -> Result<(), TestCaseError> {
     let schemas: Vec<&WeakSchema> = model.collect();
-    let oneshot = merge_compiled(schemas.iter().copied()).expect("model members are compatible");
+    let oneshot = Merger::new()
+        .schemas(schemas.iter().copied())
+        .execute()
+        .expect("model members are compatible");
     let view = registry.merged();
     prop_assert_eq!(view.proper.as_ref(), &oneshot.proper);
-    prop_assert_eq!(view.report.as_ref(), &oneshot.report);
+    prop_assert_eq!(view.report.as_ref(), &oneshot.implicit);
     Ok(())
 }
 
@@ -120,7 +123,7 @@ proptest! {
                                 .map(|(_, s)| s)
                                 .collect();
                             attempted.push(&schema);
-                            prop_assert!(merge_compiled(attempted).is_err());
+                            prop_assert!(Merger::new().schemas(attempted).execute().is_err());
                         }
                         Err(other) => prop_assert!(false, "unexpected error: {other}"),
                     }

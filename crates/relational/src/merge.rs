@@ -2,9 +2,7 @@
 
 use std::collections::BTreeMap;
 
-use schema_merge_core::{
-    merge as core_merge, Class, KeyAssignment, MergeOutcome, Name, SuperkeyFamily,
-};
+use schema_merge_core::{Class, KeyAssignment, MergeOutcome, Merger, Name, SuperkeyFamily};
 
 use crate::model::RelSchema;
 use crate::translate::{from_core, to_core, RelStrata, RelStratum};
@@ -47,7 +45,10 @@ pub fn merge_relational<'a>(
     }
 
     let translated: Vec<_> = inputs.iter().map(|s| to_core(s).0).collect();
-    let core = core_merge(translated.iter())?;
+    let core = Merger::new()
+        .schemas(translated.iter())
+        .execute()?
+        .into_outcome();
 
     let mut contributions: Vec<(Class, SuperkeyFamily)> = Vec::new();
     for input in &inputs {

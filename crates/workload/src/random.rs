@@ -102,7 +102,16 @@ pub fn schema_family(params: &SchemaParams, count: usize) -> Vec<WeakSchema> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use schema_merge_core::{are_compatible, complete, weak_join_all};
+    use schema_merge_core::{are_compatible, complete, Merger};
+
+    fn weak_join_all(
+        schemas: &[schema_merge_core::WeakSchema],
+    ) -> Result<schema_merge_core::WeakSchema, schema_merge_core::MergeError> {
+        Merger::new()
+            .schemas(schemas.iter())
+            .join()
+            .map(|j| j.into_weak())
+    }
 
     #[test]
     fn generation_is_deterministic() {
@@ -133,7 +142,7 @@ mod tests {
         let family = schema_family(&SchemaParams::default(), 6);
         assert_eq!(family.len(), 6);
         assert!(are_compatible(family.iter()));
-        let joined = weak_join_all(family.iter()).unwrap();
+        let joined = weak_join_all(&family).unwrap();
         for schema in &family {
             assert!(schema.is_subschema_of(&joined));
         }
@@ -155,7 +164,7 @@ mod tests {
     #[test]
     fn generated_schemas_complete() {
         let family = schema_family(&SchemaParams::default(), 3);
-        let joined = weak_join_all(family.iter()).unwrap();
+        let joined = weak_join_all(&family).unwrap();
         let proper = complete(&joined).unwrap();
         assert!(proper.check_d1());
     }

@@ -3,8 +3,7 @@
 //!
 //! Run with `cargo run --example dsl_and_dot`.
 
-use schema_merge_core::complete::complete_with_report;
-use schema_merge_core::lower::annotated_join;
+use schema_merge_core::Merger;
 use schema_merge_core::{AnnotatedSchema, KeyAssignment};
 use schema_merge_text::{
     parse_document, print_schema, render_ascii, to_dot, DotOptions, NamedSchema,
@@ -41,8 +40,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // Merge the two views (upper merge on the annotated schemas).
-    let joined = annotated_join(docs.iter().map(|d| &d.schema))?;
-    let (proper, report) = complete_with_report(joined.schema())?;
+    let mut merger = Merger::new();
+    for doc in &docs {
+        merger = merger.with_participation_named(doc.name.clone(), &doc.schema);
+    }
+    let merged = merger.execute()?;
+    let (proper, report) = (merged.proper, merged.implicit);
     let mut keys = KeyAssignment::new();
     for doc in &docs {
         for class in doc.keys.keyed_classes() {

@@ -21,8 +21,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .build()?;
 
     // The merge is a least upper bound: associative, commutative, and
-    // independent of the order of its inputs.
-    let outcome = merge([&municipal, &veterinary])?;
+    // independent of the order of its inputs. Every merge goes through
+    // the `Merger` façade: build, (optionally) inspect the plan, execute.
+    let outcome = Merger::new()
+        .schema(&municipal)
+        .schema(&veterinary)
+        .execute()?;
     println!("merged schema:\n{}\n", outcome.proper.as_weak());
 
     let dog = Class::named("Dog");
@@ -46,8 +50,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nGuide-dog inherits the municipal license attribute.");
 
     // Merging in the other order gives the identical schema.
-    let reversed = merge([&veterinary, &municipal])?;
+    let reversed = Merger::new()
+        .schema(&veterinary)
+        .schema(&municipal)
+        .execute()?;
     assert_eq!(outcome.proper, reversed.proper);
-    println!("merge([a, b]) == merge([b, a]) — the paper's headline property.");
+    println!("merge(a, b) == merge(b, a) — the paper's headline property.");
     Ok(())
 }

@@ -2,8 +2,6 @@
 //! the full dogs-and-kennels pipeline across the ER and instance crates.
 
 use schema_merge::prelude::*;
-use schema_merge_core::complete::complete_with_report;
-use schema_merge_core::lower::annotated_join;
 use schema_merge_core::{Class, KeyAssignment, Label};
 use schema_merge_er::{figure_1_dogs, to_core};
 use schema_merge_instance::Instance;
@@ -26,25 +24,19 @@ fn dsl_to_merged_dot_pipeline() {
     .unwrap();
     assert_eq!(docs.len(), 2);
 
-    let joined = annotated_join(docs.iter().map(|d| &d.schema)).unwrap();
-    let (proper, report) = complete_with_report(joined.schema()).unwrap();
-    assert_eq!(report.num_implicit(), 1);
+    let mut merger = Merger::new();
+    for doc in &docs {
+        merger = merger.with_participation_named(doc.name.clone(), &doc.schema);
+        for class in doc.keys.keyed_classes() {
+            merger = merger.with_keys(class.clone(), doc.keys.family(class));
+        }
+    }
+    let report = merger.execute().unwrap();
+    assert_eq!(report.implicit.num_implicit(), 1);
+    let (proper, keys) = (report.proper, report.keys);
 
     // Raw declarations must be propagated down the isa order (§5):
     // Guide-dog inherits Dog's key in the satisfactory assignment.
-    let contributions: Vec<_> = docs
-        .iter()
-        .flat_map(|doc| {
-            doc.keys
-                .keyed_classes()
-                .map(|class| (class.clone(), doc.keys.family(class)))
-                .collect::<Vec<_>>()
-        })
-        .collect();
-    let keys = KeyAssignment::minimal_satisfactory(
-        proper.as_weak(),
-        contributions.iter().map(|(c, f)| (c, f)),
-    );
     assert!(keys.validate(proper.as_weak()).is_ok());
     assert!(
         !keys.family(&c("Guide-dog")).is_none(),
@@ -97,7 +89,7 @@ fn merged_schema_keys_constrain_instances() {
         .arrow("Person", "SS#", "int")
         .build()
         .unwrap();
-    let outcome = merge([&g1, &g2]).unwrap();
+    let outcome = Merger::new().schema(&g1).schema(&g2).execute().unwrap();
 
     let mut keys = KeyAssignment::new();
     keys.add_key(c("Person"), schema_merge_core::KeySet::new(["SS#"]));
@@ -133,7 +125,11 @@ fn session_and_batch_agree_through_the_facade() {
         session.add_schema(g).unwrap();
     }
     let stepwise = session.merged().unwrap().proper;
-    let batch = merge([&g1, &g2, &g3]).unwrap().proper;
+    let batch = Merger::new()
+        .schemas([&g1, &g2, &g3])
+        .execute()
+        .unwrap()
+        .proper;
     assert_eq!(stepwise, batch);
     assert!(batch.contains_class(&Class::implicit([c("A"), c("B")])));
     assert!(batch.has_arrow(&c("X"), &l("f"), &c("Top")), "W2 closure");
@@ -155,7 +151,13 @@ fn upper_and_lower_merge_bracket_the_inputs() {
         .build()
         .unwrap();
     let lower = lower_merge([&a, &b]);
-    let upper = annotated_join([&a, &b]).unwrap();
+    let upper = Merger::new()
+        .with_participation(&a)
+        .with_participation(&b)
+        .execute()
+        .unwrap()
+        .annotated
+        .unwrap();
 
     let classes: Vec<Class> = upper.schema().classes().cloned().collect();
     let a_padded = a.pad_with_classes(classes.clone());

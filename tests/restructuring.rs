@@ -4,7 +4,7 @@
 
 use schema_merge_core::restructure::{flatten_class, reify_arrow, Restructuring};
 use schema_merge_core::{
-    homonym_candidates, merge, synonym_candidates, weak_join, Class, Label, Renaming,
+    homonym_candidates, synonym_candidates, weak_join, Class, Label, Merger, Renaming,
 };
 use schema_merge_er::{
     detect_conflicts, merge_er, normalize_pair, to_core, ErSchema, NormalPolicy,
@@ -38,12 +38,20 @@ fn synonym_workflow_matches_agreed_names() {
         .unifying_renaming()
         .apply(veterinary.schema.schema())
         .expect("applies");
-    let merged = merge([municipal.schema.schema(), &renamed]).expect("merges");
+    let merged = Merger::new()
+        .schema(municipal.schema.schema())
+        .schema(&renamed)
+        .execute()
+        .expect("merges");
 
     // The counterfactual where both schemas said Dog all along.
     let agreed =
         parse_schema("schema v2 { Dog --owner--> Person; Dog --age--> int; }").expect("parses");
-    let expected = merge([municipal.schema.schema(), agreed.schema.schema()]).expect("merges");
+    let expected = Merger::new()
+        .schema(municipal.schema.schema())
+        .schema(agreed.schema.schema())
+        .execute()
+        .expect("merges");
     assert_eq!(merged.proper, expected.proper);
 }
 
@@ -93,7 +101,10 @@ fn er_normalization_agrees_with_graph_restructuring() {
     // Graph route: translate the normalized pair and merge there.
     let (left_core, _) = to_core(&outcome.left);
     let (right_core, _) = to_core(&outcome.right);
-    let core_merged = merge([&left_core, &right_core]).expect("merges");
+    let core_merged = Merger::new()
+        .schemas([&left_core, &right_core])
+        .execute()
+        .expect("merges");
 
     // The ER merge's underlying graph equals the direct graph merge.
     assert_eq!(er_merged.core.proper, core_merged.proper);

@@ -3,7 +3,7 @@
 //! exercised with generated schemas and generated conforming instances.
 
 use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
-use schema_merge_core::{complete, merge, KeyAssignment, ProperSchema};
+use schema_merge_core::{complete, KeyAssignment, Merger, ProperSchema};
 use schema_merge_instance::generator::conforming_instance;
 use schema_merge_instance::union_instances;
 use schema_merge_workload::{random_schema, schema_family, SchemaParams};
@@ -27,7 +27,10 @@ fn projection_theorem_at_scale() {
     // input.
     for seed in [3u64, 17, 99] {
         let family = schema_family(&params(seed), 3);
-        let outcome = merge(family.iter()).expect("compatible family");
+        let outcome = Merger::new()
+            .schemas(family.iter())
+            .execute()
+            .expect("compatible family");
         let instance = conforming_instance(&outcome.proper, 2, seed)
             .populate_implicit_extents(outcome.proper.as_weak());
         assert_eq!(instance.conforms(&outcome.proper), Ok(()), "seed {seed}");
@@ -99,7 +102,10 @@ fn conformance_is_monotone_down_the_information_order() {
     // An instance of a bigger schema, projected, conforms to any smaller
     // proper schema — the semantic content of ⊑.
     let small = random_schema(&params(11));
-    let big = merge([&small, &random_schema(&params(12))])
+    let big = Merger::new()
+        .schema(&small)
+        .schema(&random_schema(&params(12)))
+        .execute()
         .expect("compatible")
         .proper;
     let instance = conforming_instance(&big, 2, 11).populate_implicit_extents(big.as_weak());
