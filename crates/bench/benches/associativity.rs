@@ -9,14 +9,12 @@ use schema_merge_core::{MergeOutcome, Merger};
 fn merge<'a>(
     schemas: impl IntoIterator<Item = &'a schema_merge_core::WeakSchema>,
 ) -> Result<MergeOutcome, schema_merge_core::MergeError> {
+    // `into_outcome` decompiles the join on demand when the Auto plan
+    // resolves an engine (parallel) that skips the symbolic join.
     Merger::new()
         .schemas(schemas)
         .execute()
-        .map(|report| MergeOutcome {
-            weak: report.weak.expect("batch merges materialize the weak join"),
-            proper: report.proper,
-            report: report.implicit,
-        })
+        .map(schema_merge_core::MergeReport::into_outcome)
 }
 use schema_merge_workload::{schema_family, SchemaParams};
 

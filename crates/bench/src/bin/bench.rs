@@ -8,10 +8,13 @@
 //! bench --quick          # the CI profile: fewer iterations/sizes
 //! bench --pr 2           # trajectory index recorded in the document
 //!                        # (defaults to 0, an unlabeled local run)
+//! bench --threads 4      # worker budget for the parallel variants
+//!                        # (defaults to the machine's parallelism)
 //! ```
 //!
-//! Measures the symbolic reference engine against the compiled engine
-//! (dense ids + bitset closures) on the `workload` generators; see
+//! Measures the symbolic reference engine, the compiled engine (dense
+//! ids + bitset closures) and the parallel engine (sharded interning +
+//! frontier-parallel completion) on the `workload` generators; see
 //! `schema_merge_bench::perf` for the record format.
 
 #![forbid(unsafe_code)]
@@ -26,6 +29,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out_path: Option<String> = None;
     let mut pr_index: u32 = 0;
+    let mut threads: usize = schema_merge_core::default_threads();
     let mut iter = args.iter();
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -45,8 +49,15 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--threads" => match iter.next().and_then(|v| v.parse().ok()).filter(|&n| n > 0) {
+                Some(count) => threads = count,
+                None => {
+                    eprintln!("bench: --threads requires a positive count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
-                println!("usage: bench [--json] [--quick] [--out PATH] [--pr N]");
+                println!("usage: bench [--json] [--quick] [--out PATH] [--pr N] [--threads N]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -56,9 +67,9 @@ fn main() -> ExitCode {
         }
     }
 
-    let report = perf::run_suite(quick);
+    let report = perf::run_suite(quick, threads);
     let rendered = if json || out_path.is_some() {
-        perf::to_json(&report, pr_index)
+        perf::to_json(&report, pr_index, threads)
     } else {
         perf::to_table(&report)
     };

@@ -1,0 +1,235 @@
+//! `guard` — the perf-trajectory regression gate.
+//!
+//! ```text
+//! guard --baseline BENCH_5.json --current BENCH_42.json [--tolerance 0.15]
+//! ```
+//!
+//! Compares a freshly measured `BENCH_<n>.json` against the trajectory
+//! document committed in the tree and **fails (exit 1) if any speedup
+//! ratio present in both degrades by more than the tolerance** (default
+//! 15%). Entries only in the baseline (e.g. full-profile sizes a
+//! `--quick` CI run skips) are reported and skipped; entries only in the
+//! current run are new coverage and pass silently. At least one entry
+//! must match, so a malformed file can never pass vacuously.
+//!
+//! The parser is deliberately tiny and std-only: it reads the exact
+//! line-oriented document `bench --json` emits (one speedup object per
+//! line), not general JSON.
+
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+/// One speedup entry: identity key plus the measured ratio.
+#[derive(Debug, Clone, PartialEq)]
+struct Entry {
+    family: String,
+    op: String,
+    n_classes: u64,
+    n_arrows: u64,
+    baseline: String,
+    improved: String,
+    speedup: f64,
+}
+
+impl Entry {
+    fn key(&self) -> String {
+        format!(
+            "{}/{} @{}c/{}a {}->{}",
+            self.family, self.op, self.n_classes, self.n_arrows, self.baseline, self.improved
+        )
+    }
+}
+
+/// Extracts `"key": "value"` from a single speedup line.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let marker = format!("\"{key}\": \"");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..].find('"')? + start;
+    Some(line[start..end].to_string())
+}
+
+/// Extracts `"key": <number>` from a single speedup line.
+fn field_num(line: &str, key: &str) -> Option<f64> {
+    let marker = format!("\"{key}\": ");
+    let start = line.find(&marker)? + marker.len();
+    let end = line[start..]
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-'))
+        .map_or(line.len(), |i| i + start);
+    line[start..end].parse().ok()
+}
+
+/// Parses the `"speedups"` entries out of a `bench --json` document.
+fn parse_speedups(text: &str) -> Vec<Entry> {
+    let Some(section) = text.split("\"speedups\"").nth(1) else {
+        return Vec::new();
+    };
+    section
+        .lines()
+        .filter(|line| line.contains("\"speedup\":"))
+        .filter_map(|line| {
+            Some(Entry {
+                family: field_str(line, "family")?,
+                op: field_str(line, "op")?,
+                n_classes: field_num(line, "n_classes")? as u64,
+                n_arrows: field_num(line, "n_arrows")? as u64,
+                baseline: field_str(line, "baseline")?,
+                improved: field_str(line, "improved")?,
+                speedup: field_num(line, "speedup")?,
+            })
+        })
+        .collect()
+}
+
+fn run(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<(), String> {
+    let read = |path: &str| {
+        std::fs::read_to_string(path).map_err(|err| format!("guard: reading {path}: {err}"))
+    };
+    let committed = parse_speedups(&read(baseline_path)?);
+    let current = parse_speedups(&read(current_path)?);
+    if committed.is_empty() {
+        return Err(format!("guard: no speedup entries in {baseline_path}"));
+    }
+    if current.is_empty() {
+        return Err(format!("guard: no speedup entries in {current_path}"));
+    }
+
+    let mut matched = 0usize;
+    let mut failures = Vec::new();
+    for entry in &committed {
+        let Some(fresh) = current.iter().find(|c| c.key() == entry.key()) else {
+            eprintln!("guard: skip (not in current run): {}", entry.key());
+            continue;
+        };
+        matched += 1;
+        let floor = entry.speedup * (1.0 - tolerance);
+        let status = if fresh.speedup < floor { "FAIL" } else { "ok" };
+        eprintln!(
+            "guard: {status:>4} {:<44} committed {:>7.2}x measured {:>7.2}x (floor {:.2}x)",
+            entry.key(),
+            entry.speedup,
+            fresh.speedup,
+            floor,
+        );
+        if fresh.speedup < floor {
+            failures.push(entry.key());
+        }
+    }
+    if matched == 0 {
+        return Err("guard: no committed entry matched the current run — wrong file?".into());
+    }
+    if !failures.is_empty() {
+        return Err(format!(
+            "guard: {} speedup(s) degraded more than {:.0}% vs {}: {}",
+            failures.len(),
+            tolerance * 100.0,
+            baseline_path,
+            failures.join("; ")
+        ));
+    }
+    eprintln!(
+        "guard: {matched} speedup(s) within {:.0}% of the committed trajectory",
+        tolerance * 100.0
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut tolerance = 0.15f64;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--baseline" => baseline = iter.next().cloned(),
+            "--current" => current = iter.next().cloned(),
+            "--tolerance" => match iter.next().and_then(|v| v.parse().ok()) {
+                Some(t) if (0.0..1.0).contains(&t) => tolerance = t,
+                _ => {
+                    eprintln!("guard: --tolerance requires a fraction in [0, 1)");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!("usage: guard --baseline BENCH_A.json --current BENCH_B.json [--tolerance 0.15]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("guard: unknown flag `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let (Some(baseline), Some(current)) = (baseline, current) else {
+        eprintln!("guard: --baseline and --current are both required");
+        return ExitCode::FAILURE;
+    };
+    match run(&baseline, &current, tolerance) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DOC: &str = r#"{
+  "bench_schema_version": 3,
+  "pr": 5,
+  "threads": 4,
+  "records": [
+    {"family": "wide", "op": "merge", "n_classes": 160, "n_arrows": 9000, "variant": "compiled", "iters": 15, "median_ns": 20000000, "allocs_per_iter": 90000, "throughput_arrows_per_s": 450.0}
+  ],
+  "speedups": [
+    {"family": "wide", "op": "merge", "n_classes": 160, "n_arrows": 9000, "baseline": "compiled", "improved": "parallel", "speedup": 2.50, "alloc_ratio": 1.80},
+    {"family": "random", "op": "complete", "n_classes": 200, "n_arrows": 1209, "baseline": "compiled-nopool", "improved": "compiled", "speedup": 1.20, "alloc_ratio": 4.10}
+  ]
+}
+"#;
+
+    #[test]
+    fn parses_the_emitted_document_shape() {
+        let entries = parse_speedups(DOC);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].family, "wide");
+        assert_eq!(entries[0].improved, "parallel");
+        assert!((entries[0].speedup - 2.5).abs() < 1e-9);
+        assert_eq!(entries[1].n_classes, 200);
+        assert_eq!(entries[1].baseline, "compiled-nopool");
+    }
+
+    #[test]
+    fn record_lines_are_not_mistaken_for_speedups() {
+        let entries = parse_speedups(DOC);
+        assert!(entries.iter().all(|e| e.op != "weak_join"));
+        // The records section mentions no "speedup" key, so nothing
+        // before the speedups array parses.
+        assert_eq!(entries.len(), 2);
+    }
+
+    #[test]
+    fn degradation_detection_works_end_to_end() {
+        let dir = std::env::temp_dir().join("smerge-guard-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let committed = dir.join("committed.json");
+        let fresh_ok = dir.join("ok.json");
+        let fresh_bad = dir.join("bad.json");
+        std::fs::write(&committed, DOC).unwrap();
+        std::fs::write(&fresh_ok, DOC.replace("2.50", "2.30")).unwrap();
+        std::fs::write(&fresh_bad, DOC.replace("2.50", "1.90")).unwrap();
+
+        let path = |p: &std::path::Path| p.to_str().unwrap().to_string();
+        assert!(
+            run(&path(&committed), &path(&fresh_ok), 0.15).is_ok(),
+            "-8% passes"
+        );
+        let err = run(&path(&committed), &path(&fresh_bad), 0.15).unwrap_err();
+        assert!(err.contains("degraded"), "{err}");
+        assert!(err.contains("wide/merge"), "{err}");
+    }
+}

@@ -8,7 +8,10 @@
 //! emits the machine-readable `BENCH_<n>.json` perf trajectory that CI
 //! records per PR.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the counting global allocator in `perf` needs a
+// (trivially auditable) `unsafe impl GlobalAlloc` and carries a scoped
+// `allow`; everything else stays denied.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -4,38 +4,125 @@
 //! them, so no PR could *claim* a speedup. This module measures paired
 //! engine variants on the `workload` generators and emits one
 //! `BENCH_<n>.json` datapoint per run — `(family, op, n_classes,
-//! variant, median_ns, throughput)` records plus derived
-//! baseline-over-improved speedups. CI uploads the file as an artifact
-//! on every PR, establishing the trajectory every future scaling PR
-//! appends to.
+//! variant, median_ns, allocs_per_iter, throughput)` records plus
+//! derived baseline-over-improved speedups (time) and allocation ratios
+//! — which CI uploads as an artifact on every PR and guards with the
+//! `guard` binary against the committed trajectory.
 //!
-//! Two variant pairs are tracked:
+//! Variant pairs tracked:
 //!
 //! * `symbolic` vs `compiled` — the retained reference engine against
 //!   the dense-id bitset/CSR core (the PR-2 trajectory);
+//! * `compiled` vs `parallel` — the sequential compiled engine against
+//!   the parallel engine (shared-interner sharded join, tree reduction,
+//!   frontier-parallel completion, end-to-end id space) at the suite's
+//!   `--threads` budget;
+//! * `compiled-nopool` vs `compiled` — the compiled engine with the
+//!   scratch pool disabled (the pre-pool allocation behavior) against
+//!   the pooled engine, making the allocations-per-merge win measurable
+//!   rather than inferable;
 //! * `full` vs `incremental` — one-shot re-merge of every registry
-//!   member against the registry's cached-join incremental publish
-//!   (`crates/registry`): N members, one changed, the incremental
-//!   engine reuses the join of the N−1 unchanged members.
+//!   member against the registry's cached-join incremental publish, and
+//!   `full` vs `full-parallel` for the cold-rebuild path on the
+//!   parallel engine.
 //!
-//! JSON schema version 2: `variant` is a free-form engine label and
-//! each speedup names its `baseline`/`improved` pair (version 1 hard
-//! coded symbolic/compiled).
+//! JSON schema version 3: records carry `allocs_per_iter` and speedups
+//! carry `alloc_ratio` (version 2 had neither; version 1 hard coded the
+//! symbolic/compiled pair).
+//!
+//! ## The counting allocator
+//!
+//! Allocation counts come from a std-only `#[global_allocator]` hook: a
+//! transparent wrapper over [`std::alloc::System`] that bumps one
+//! relaxed atomic per `alloc`/`alloc_zeroed`/`realloc` call. It is
+//! registered for this crate's binaries and tests only (the allocator of
+//! a Rust program is chosen by the final binary, so the library crates
+//! are unaffected), and the counter costs one uncontended atomic add per
+//! allocation — identical overhead for every variant, so paired
+//! comparisons stay fair.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use schema_merge_core::{reference, Merger, WeakSchema};
+use schema_merge_core::{reference, EnginePreference, Merger, WeakSchema};
 use schema_merge_er::to_core;
 use schema_merge_registry::Registry;
-use schema_merge_workload::{pathological_nfa, random_er_schema, ErParams, SchemaParams};
+use schema_merge_workload::{
+    pathological_nfa, random_er_schema, wide_family, ErParams, SchemaParams,
+};
+
+/// The counting global allocator (see the module docs).
+#[allow(unsafe_code)]
+mod counting_alloc {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// Counts allocations, then defers to [`System`].
+    pub struct CountingAllocator;
+
+    // SAFETY: every method defers verbatim to `System`, which upholds
+    // the `GlobalAlloc` contract; the counter has no effect on layout,
+    // pointers or aliasing.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+    }
+
+    /// Total allocation calls since process start (monotone).
+    pub fn allocations() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}
+
+#[global_allocator]
+static GLOBAL_ALLOCATOR: counting_alloc::CountingAllocator = counting_alloc::CountingAllocator;
+
+pub use counting_alloc::allocations;
 
 /// The compiled engine measured THROUGH the `Merger` façade — what every
 /// production caller (CLI, daemon, registry) actually runs, so any
 /// overhead the façade adds (planning, provenance, diagnostics) is part
-/// of the measurement rather than hidden behind it.
-fn facade_merge<'a>(schemas: impl IntoIterator<Item = &'a WeakSchema>) {
-    black_box(crate::facade_merge(schemas).expect("workload merges"));
+/// of the measurement rather than hidden behind it. Pinned to the
+/// sequential compiled plan so the pair against `parallel` measures the
+/// engines, not the auto-planner.
+fn facade_merge_compiled<'a>(schemas: impl IntoIterator<Item = &'a WeakSchema>) {
+    black_box(
+        Merger::new()
+            .schemas(schemas)
+            .engine(EnginePreference::Compiled)
+            .execute()
+            .expect("workload merges"),
+    );
+}
+
+/// The parallel engine through the same façade, at a fixed budget.
+fn facade_merge_parallel<'a>(schemas: impl IntoIterator<Item = &'a WeakSchema>, threads: usize) {
+    black_box(
+        Merger::new()
+            .schemas(schemas)
+            .engine(EnginePreference::Parallel)
+            .threads(threads)
+            .execute()
+            .expect("workload merges"),
+    );
 }
 
 fn facade_join<'a>(schemas: impl IntoIterator<Item = &'a WeakSchema>) -> WeakSchema {
@@ -44,10 +131,17 @@ fn facade_join<'a>(schemas: impl IntoIterator<Item = &'a WeakSchema>) -> WeakSch
 
 /// The retained pre-compilation `BTreeMap`/`BTreeSet` path.
 pub const VARIANT_SYMBOLIC: &str = "symbolic";
-/// The dense-id bitset/CSR path.
+/// The dense-id bitset/CSR path (sequential).
 pub const VARIANT_COMPILED: &str = "compiled";
+/// The compiled path with the scratch pool disabled — the pre-pool
+/// allocation behavior, kept measurable for the trajectory.
+pub const VARIANT_COMPILED_NOPOOL: &str = "compiled-nopool";
+/// The parallel engine at the suite's thread budget.
+pub const VARIANT_PARALLEL: &str = "parallel";
 /// One-shot re-merge of all registry members.
 pub const VARIANT_FULL: &str = "full";
+/// The one-shot re-merge on the parallel engine.
+pub const VARIANT_FULL_PARALLEL: &str = "full-parallel";
 /// Registry publish reusing the cached join of unchanged members.
 pub const VARIANT_INCREMENTAL: &str = "incremental";
 
@@ -55,8 +149,8 @@ pub const VARIANT_INCREMENTAL: &str = "incremental";
 /// variant.
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
-    /// Workload family: `random`, `pathological`, `er_roundtrip` or
-    /// `registry`.
+    /// Workload family: `random`, `pathological`, `er_roundtrip`,
+    /// `wide` or `registry`.
     pub family: &'static str,
     /// Operation: `weak_join`, `complete`, `merge` or `publish`.
     pub op: &'static str,
@@ -70,6 +164,8 @@ pub struct BenchRecord {
     pub iters: usize,
     /// Median wall time of one iteration, nanoseconds.
     pub median_ns: u128,
+    /// Allocator calls per iteration (mean over the timed iterations).
+    pub allocs_per_iter: u64,
     /// Arrows processed per second at the median.
     pub throughput: f64,
 }
@@ -83,12 +179,18 @@ pub struct Speedup {
     pub op: &'static str,
     /// Classes in the input.
     pub n_classes: usize,
+    /// Arrows in the input — disambiguates same-class-count
+    /// configurations (e.g. the registry workload at two member counts).
+    pub n_arrows: usize,
     /// The slower reference variant.
     pub baseline: &'static str,
     /// The engine being claimed faster.
     pub improved: &'static str,
     /// `baseline median / improved median` — > 1 means improved wins.
     pub speedup: f64,
+    /// `baseline allocs / improved allocs` — > 1 means improved
+    /// allocates less (0 when the baseline made no allocations).
+    pub alloc_ratio: f64,
 }
 
 /// A full run of the suite.
@@ -100,20 +202,9 @@ pub struct BenchReport {
     pub speedups: Vec<Speedup>,
 }
 
-fn median_ns(iters: usize, mut routine: impl FnMut()) -> u128 {
-    routine(); // warmup
-    let mut samples: Vec<u128> = Vec::with_capacity(iters);
-    for _ in 0..iters {
-        let start = Instant::now();
-        routine();
-        samples.push(start.elapsed().as_nanos());
-    }
-    samples.sort_unstable();
-    samples[samples.len() / 2]
-}
-
 struct Suite {
     iters: usize,
+    threads: usize,
     report: BenchReport,
 }
 
@@ -131,9 +222,39 @@ impl Suite {
     ) {
         let n_classes = joined.num_classes();
         let n_arrows = joined.num_arrows();
-        let base_ns = median_ns(self.iters, &mut baseline);
-        let imp_ns = median_ns(self.iters, &mut improved);
-        for (variant, ns) in [(baseline_variant, base_ns), (improved_variant, imp_ns)] {
+        // Interleaved A/B: one baseline run then one improved run per
+        // iteration, so clock-speed drift (thermal throttling, noisy
+        // neighbors) biases both sides equally instead of whichever
+        // happened to run second.
+        baseline(); // warmup
+        improved(); // warmup
+        let mut base_samples: Vec<u128> = Vec::with_capacity(self.iters);
+        let mut imp_samples: Vec<u128> = Vec::with_capacity(self.iters);
+        let mut base_allocs = 0u64;
+        let mut imp_allocs = 0u64;
+        for _ in 0..self.iters {
+            let allocs_before = allocations();
+            let start = Instant::now();
+            baseline();
+            base_samples.push(start.elapsed().as_nanos());
+            base_allocs += allocations() - allocs_before;
+
+            let allocs_before = allocations();
+            let start = Instant::now();
+            improved();
+            imp_samples.push(start.elapsed().as_nanos());
+            imp_allocs += allocations() - allocs_before;
+        }
+        base_samples.sort_unstable();
+        imp_samples.sort_unstable();
+        let base_ns = base_samples[base_samples.len() / 2];
+        let imp_ns = imp_samples[imp_samples.len() / 2];
+        let base_allocs = base_allocs / self.iters as u64;
+        let imp_allocs = imp_allocs / self.iters as u64;
+        for (variant, ns, allocs) in [
+            (baseline_variant, base_ns, base_allocs),
+            (improved_variant, imp_ns, imp_allocs),
+        ] {
             self.report.records.push(BenchRecord {
                 family,
                 op,
@@ -142,6 +263,7 @@ impl Suite {
                 variant,
                 iters: self.iters,
                 median_ns: ns,
+                allocs_per_iter: allocs,
                 throughput: n_arrows as f64 / (ns.max(1) as f64 / 1e9),
             });
         }
@@ -149,10 +271,61 @@ impl Suite {
             family,
             op,
             n_classes,
+            n_arrows,
             baseline: baseline_variant,
             improved: improved_variant,
             speedup: base_ns as f64 / imp_ns.max(1) as f64,
+            alloc_ratio: if imp_allocs == 0 || base_allocs == 0 {
+                0.0
+            } else {
+                base_allocs as f64 / imp_allocs as f64
+            },
         });
+    }
+
+    /// The scratch-pool pairs: the compiled engine with the pool disabled
+    /// (per-step allocation behavior) against the pooled default, on the
+    /// whole `complete` operation and on the `fixpoint` alone
+    /// ([`schema_merge_core::complete::imp_state_count`]). The whole-op
+    /// ratio is diluted by the symbolic materialization of the result
+    /// (BTree nodes the pool cannot recycle); the fixpoint pair is where
+    /// the "stops allocating per iteration" claim is measured.
+    fn complete_pool_pairs(&mut self, family: &'static str, joined: &WeakSchema) {
+        self.measure_pair(
+            family,
+            "complete",
+            joined,
+            VARIANT_COMPILED_NOPOOL,
+            || {
+                schema_merge_core::scratch::set_pool_enabled(false);
+                black_box(
+                    schema_merge_core::complete::complete_with_report(joined).expect("completes"),
+                );
+                schema_merge_core::scratch::set_pool_enabled(true);
+            },
+            VARIANT_COMPILED,
+            || {
+                black_box(
+                    schema_merge_core::complete::complete_with_report(joined).expect("completes"),
+                );
+            },
+        );
+        let compiled = schema_merge_core::CompiledSchema::compile(joined);
+        self.measure_pair(
+            family,
+            "fixpoint",
+            joined,
+            VARIANT_COMPILED_NOPOOL,
+            || {
+                schema_merge_core::scratch::set_pool_enabled(false);
+                black_box(schema_merge_core::complete::imp_state_count(&compiled, 1));
+                schema_merge_core::scratch::set_pool_enabled(true);
+            },
+            VARIANT_COMPILED,
+            || {
+                black_box(schema_merge_core::complete::imp_state_count(&compiled, 1));
+            },
+        );
     }
 
     fn random_family(&mut self, classes: usize) {
@@ -186,6 +359,7 @@ impl Suite {
                 black_box(
                     Merger::new()
                         .schemas(refs.iter().copied())
+                        .engine(EnginePreference::Compiled)
                         .join()
                         .expect("compatible"),
                 );
@@ -206,6 +380,7 @@ impl Suite {
                 );
             },
         );
+        self.complete_pool_pairs("random", &joined);
         self.measure_pair(
             "random",
             "merge",
@@ -216,7 +391,21 @@ impl Suite {
             },
             VARIANT_COMPILED,
             || {
-                facade_merge(refs.iter().copied());
+                facade_merge_compiled(refs.iter().copied());
+            },
+        );
+        let threads = self.threads;
+        self.measure_pair(
+            "random",
+            "merge",
+            &joined,
+            VARIANT_COMPILED,
+            || {
+                facade_merge_compiled(refs.iter().copied());
+            },
+            VARIANT_PARALLEL,
+            || {
+                facade_merge_parallel(refs.iter().copied(), threads);
             },
         );
     }
@@ -236,6 +425,21 @@ impl Suite {
                 black_box(
                     schema_merge_core::complete::complete_with_report(&schema).expect("completes"),
                 );
+            },
+        );
+        self.complete_pool_pairs("pathological", &schema);
+        let threads = self.threads;
+        self.measure_pair(
+            "pathological",
+            "merge",
+            &schema,
+            VARIANT_COMPILED,
+            || {
+                facade_merge_compiled([&schema]);
+            },
+            VARIANT_PARALLEL,
+            || {
+                facade_merge_parallel([&schema], threads);
             },
         );
     }
@@ -264,9 +468,51 @@ impl Suite {
             },
             VARIANT_COMPILED,
             || {
-                facade_merge(refs);
+                facade_merge_compiled(refs);
             },
         );
+        let threads = self.threads;
+        self.measure_pair(
+            "er_roundtrip",
+            "merge",
+            &joined,
+            VARIANT_COMPILED,
+            || {
+                facade_merge_compiled(refs);
+            },
+            VARIANT_PARALLEL,
+            || {
+                facade_merge_parallel(refs, threads);
+            },
+        );
+    }
+
+    /// The *wide* workload — the daemon's real traffic shape: many small
+    /// member schemas over one shared vocabulary, with occasional
+    /// attribute-target disagreements (so completion has genuine
+    /// implicit-class work). This is the parallel engine's headline
+    /// family: the merge is dominated by walking all the members
+    /// (sharded interning), the fixpoint frontier (sharded waves), and
+    /// the symbolic materializations the id-space pipeline skips.
+    fn wide(&mut self, members: usize) {
+        let family = wide_family(members, 0x51DE);
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        let joined = facade_join(refs.iter().copied());
+        let threads = self.threads;
+        self.measure_pair(
+            "wide",
+            "merge",
+            &joined,
+            VARIANT_COMPILED,
+            || {
+                facade_merge_compiled(refs.iter().copied());
+            },
+            VARIANT_PARALLEL,
+            || {
+                facade_merge_parallel(refs.iter().copied(), threads);
+            },
+        );
+        self.complete_pool_pairs("wide", &joined);
     }
 
     /// The registry workload: `members` schemas sharing a large common
@@ -278,7 +524,8 @@ impl Suite {
     /// [`Registry::put`] against a warm cache, which joins the cached
     /// rest-join with the changed member and completes. Both variants
     /// see a *different* changed schema each iteration, so no run
-    /// degenerates into a content-hash no-op.
+    /// degenerates into a content-hash no-op. A third pair measures the
+    /// cold full rebuild on the parallel engine.
     fn registry_publish(&mut self, members: usize, classes: usize) {
         // The shared core: attribute-heavy, label-sparse — the federated
         // supergraph shape (each class carries its own field names, label
@@ -343,7 +590,7 @@ impl Suite {
                 let mut refs: Vec<&WeakSchema> = rest.clone();
                 refs.push(&variants[full_idx % variants.len()]);
                 full_idx += 1;
-                facade_merge(refs);
+                facade_merge_compiled(refs);
             },
             VARIANT_INCREMENTAL,
             || {
@@ -351,15 +598,42 @@ impl Suite {
                 black_box(registry.put("member-0", changed).expect("publishes"));
             },
         );
+        let threads = self.threads;
+        let par_idx = std::cell::Cell::new(0usize);
+        let next_variant = || {
+            let i = par_idx.get();
+            par_idx.set(i + 1);
+            &variants[i % variants.len()]
+        };
+        self.measure_pair(
+            "registry",
+            "publish",
+            &joined,
+            VARIANT_FULL,
+            || {
+                let mut refs: Vec<&WeakSchema> = rest.clone();
+                refs.push(next_variant());
+                facade_merge_compiled(refs);
+            },
+            VARIANT_FULL_PARALLEL,
+            || {
+                let mut refs: Vec<&WeakSchema> = rest.clone();
+                refs.push(next_variant());
+                facade_merge_parallel(refs, threads);
+            },
+        );
     }
 }
 
 /// Runs the suite. `quick` is the CI profile: fewer iterations and only
 /// the sizes the acceptance trajectory tracks (including the 200-class
-/// random workload and the 32-member registry workload).
-pub fn run_suite(quick: bool) -> BenchReport {
+/// random workload, the 64-member wide workload and the 32-member
+/// registry workload). `threads` is the parallel variants' worker
+/// budget.
+pub fn run_suite(quick: bool, threads: usize) -> BenchReport {
     let mut suite = Suite {
         iters: if quick { 7 } else { 15 },
+        threads: threads.max(1),
         report: BenchReport::default(),
     };
     let random_sizes: &[usize] = if quick {
@@ -372,6 +646,7 @@ pub fn run_suite(quick: bool) -> BenchReport {
     }
     suite.pathological(if quick { 8 } else { 10 });
     suite.er_roundtrip(32);
+    suite.wide(64);
     suite.registry_publish(32, 200);
     if !quick {
         suite.registry_publish(16, 200);
@@ -385,11 +660,11 @@ fn json_escape(text: &str) -> String {
 
 /// Renders the report as the `BENCH_<n>.json` document (no external JSON
 /// dependency: the structure is flat and the strings are identifiers).
-pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
+pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"bench_schema_version\": 2,\n  \"pr\": {pr_index},\n"
+        "  \"bench_schema_version\": 3,\n  \"pr\": {pr_index},\n  \"threads\": {threads},\n"
     ));
     out.push_str("  \"records\": [\n");
     for (i, r) in report.records.iter().enumerate() {
@@ -400,7 +675,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
         };
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \"n_arrows\": {}, \
-             \"variant\": \"{}\", \"iters\": {}, \"median_ns\": {}, \
+             \"variant\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"allocs_per_iter\": {}, \
              \"throughput_arrows_per_s\": {:.1}}}{comma}\n",
             json_escape(r.family),
             json_escape(r.op),
@@ -409,6 +684,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
             json_escape(r.variant),
             r.iters,
             r.median_ns,
+            r.allocs_per_iter,
             r.throughput,
         ));
     }
@@ -420,14 +696,17 @@ pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
             ""
         };
         out.push_str(&format!(
-            "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \
-             \"baseline\": \"{}\", \"improved\": \"{}\", \"speedup\": {:.2}}}{comma}\n",
+            "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \"n_arrows\": {}, \
+             \"baseline\": \"{}\", \"improved\": \"{}\", \"speedup\": {:.2}, \
+             \"alloc_ratio\": {:.2}}}{comma}\n",
             json_escape(s.family),
             json_escape(s.op),
             s.n_classes,
+            s.n_arrows,
             json_escape(s.baseline),
             json_escape(s.improved),
             s.speedup,
+            s.alloc_ratio,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -438,10 +717,18 @@ pub fn to_json(report: &BenchReport, pr_index: u32) -> String {
 pub fn to_table(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<14} {:<10} {:>9} {:>9}  {:>12} {:>14} {:>14} {:>9}\n",
-        "family", "op", "classes", "arrows", "pair", "baseline µs", "improved µs", "speedup"
+        "{:<13} {:<9} {:>8} {:>8}  {:>26} {:>12} {:>12} {:>8} {:>8}\n",
+        "family",
+        "op",
+        "classes",
+        "arrows",
+        "pair",
+        "baseline µs",
+        "improved µs",
+        "speedup",
+        "allocs"
     ));
-    out.push_str(&"-".repeat(101));
+    out.push_str(&"-".repeat(114));
     out.push('\n');
     // Records are pushed in pairs, one pair per speedup, in order — index
     // arithmetic rather than field matching, so repeated (family, op,
@@ -452,7 +739,7 @@ pub fn to_table(report: &BenchReport) -> String {
         let imp = &report.records[2 * i + 1];
         debug_assert_eq!((base.variant, imp.variant), (s.baseline, s.improved));
         out.push_str(&format!(
-            "{:<14} {:<10} {:>9} {:>9}  {:>12} {:>14.1} {:>14.1} {:>8.2}x\n",
+            "{:<13} {:<9} {:>8} {:>8}  {:>26} {:>12.1} {:>12.1} {:>7.2}x {:>7.2}x\n",
             s.family,
             s.op,
             s.n_classes,
@@ -461,6 +748,7 @@ pub fn to_table(report: &BenchReport) -> String {
             base.median_ns as f64 / 1e3,
             imp.median_ns as f64 / 1e3,
             s.speedup,
+            s.alloc_ratio,
         ));
     }
     out
@@ -474,17 +762,27 @@ mod tests {
     fn tiny_suite_produces_paired_records_and_valid_json() {
         let mut suite = Suite {
             iters: 1,
+            threads: 2,
             report: BenchReport::default(),
         };
         suite.random_family(16);
         let report = suite.report;
-        assert_eq!(report.records.len(), 6, "3 ops × 2 variants");
-        assert_eq!(report.speedups.len(), 3);
-        let json = to_json(&report, 2);
-        assert!(json.contains("\"bench_schema_version\": 2"));
+        assert_eq!(
+            report.records.len(),
+            12,
+            "3 engine ops + 2 pool pairs + parallel pair, 2 variants each"
+        );
+        assert_eq!(report.speedups.len(), 6);
+        let json = to_json(&report, 2, 2);
+        assert!(json.contains("\"bench_schema_version\": 3"));
+        assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"variant\": \"compiled\""));
+        assert!(json.contains("\"variant\": \"parallel\""));
+        assert!(json.contains("\"variant\": \"compiled-nopool\""));
         assert!(json.contains("\"op\": \"weak_join\""));
         assert!(json.contains("\"baseline\": \"symbolic\""));
+        assert!(json.contains("\"allocs_per_iter\":"));
+        assert!(json.contains("\"alloc_ratio\":"));
         // Crude structural sanity: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -493,18 +791,62 @@ mod tests {
     }
 
     #[test]
-    fn registry_workload_measures_both_paths() {
+    fn allocation_counter_is_live() {
+        let before = allocations();
+        black_box(vec![0u8; 4096]);
+        assert!(allocations() > before, "the hook counts heap allocations");
+    }
+
+    #[test]
+    fn pool_pair_records_an_allocation_win() {
         let mut suite = Suite {
             iters: 2,
+            threads: 1,
+            report: BenchReport::default(),
+        };
+        let family = schema_merge_workload::schema_family(
+            &SchemaParams {
+                vocabulary: 48,
+                classes: 32,
+                labels: 8,
+                arrows: 32,
+                specializations: 8,
+                seed: 7,
+            },
+            3,
+        );
+        let joined = facade_join(family.iter());
+        suite.complete_pool_pairs("random", &joined);
+        let speedup = &suite.report.speedups[0];
+        assert_eq!(
+            (speedup.baseline, speedup.improved),
+            (VARIANT_COMPILED_NOPOOL, VARIANT_COMPILED)
+        );
+        assert!(
+            speedup.alloc_ratio > 1.0,
+            "the pool must allocate less than the unpooled baseline: {}",
+            speedup.alloc_ratio
+        );
+    }
+
+    #[test]
+    fn registry_workload_measures_all_three_paths() {
+        let mut suite = Suite {
+            iters: 2,
+            threads: 2,
             report: BenchReport::default(),
         };
         suite.registry_publish(8, 24);
         let report = suite.report;
-        assert_eq!(report.records.len(), 2);
+        assert_eq!(report.records.len(), 4);
         assert!(report
             .records
             .iter()
             .any(|r| r.variant == VARIANT_INCREMENTAL && r.family == "registry"));
+        assert!(report
+            .records
+            .iter()
+            .any(|r| r.variant == VARIANT_FULL_PARALLEL));
         let speedup = &report.speedups[0];
         assert_eq!(speedup.op, "publish");
         assert_eq!(
@@ -512,8 +854,27 @@ mod tests {
             (VARIANT_FULL, VARIANT_INCREMENTAL)
         );
         assert!(speedup.speedup > 0.0);
-        let json = to_json(&report, 3);
+        let json = to_json(&report, 3, 2);
         assert!(json.contains("\"family\": \"registry\""));
         assert!(json.contains("\"variant\": \"incremental\""));
+        assert!(json.contains("\"variant\": \"full-parallel\""));
+    }
+
+    #[test]
+    fn wide_workload_pairs_compiled_against_parallel() {
+        let mut suite = Suite {
+            iters: 1,
+            threads: 2,
+            report: BenchReport::default(),
+        };
+        suite.wide(6);
+        let report = suite.report;
+        assert_eq!(report.records.len(), 6, "merge pair + 2 pool pairs");
+        let merge = &report.speedups[0];
+        assert_eq!(merge.family, "wide");
+        assert_eq!(
+            (merge.baseline, merge.improved),
+            (VARIANT_COMPILED, VARIANT_PARALLEL)
+        );
     }
 }

@@ -16,15 +16,19 @@ use schema_merge_workload::{
 };
 
 fn assert_engines_agree(schemas: &[&WeakSchema]) {
+    // The default (Auto) plan — compiled below the work threshold,
+    // parallel above it; the parallel plan leaves the symbolic join to
+    // an on-demand decompile.
     let compiled = Merger::new()
         .schemas(schemas.iter().copied())
         .execute()
-        .expect("compiled merge");
+        .expect("default merge");
     let symbolic = reference::merge(schemas.iter().copied()).expect("symbolic merge");
-    let compiled_weak = compiled
-        .weak
-        .clone()
-        .expect("batch merges keep the weak join");
+    let compiled_weak = match (compiled.weak.clone(), &compiled.compiled) {
+        (Some(weak), _) => weak,
+        (None, Some(join)) => join.decompile(),
+        (None, None) => unreachable!("batch merges produce a join"),
+    };
     assert_eq!(compiled_weak, symbolic.weak, "weak joins agree");
     assert_eq!(compiled.proper, symbolic.proper, "proper schemas agree");
     assert_eq!(compiled.implicit, symbolic.report, "reports agree");
@@ -36,6 +40,32 @@ fn assert_engines_agree(schemas: &[&WeakSchema]) {
         ),
         "alpha-isomorphic modulo implicit naming"
     );
+
+    // The parallel plan configuration, across thread counts (and with
+    // them every partition shape of the input list): equal AND
+    // report-identical to the reference and the compiled engine.
+    for threads in [1, 2, 4, 8] {
+        let parallel = Merger::new()
+            .schemas(schemas.iter().copied())
+            .engine(EnginePreference::Parallel)
+            .threads(threads)
+            .execute()
+            .expect("parallel plan");
+        assert_eq!(
+            parallel.proper, symbolic.proper,
+            "parallel plan agrees at {threads} threads"
+        );
+        assert_eq!(parallel.implicit, symbolic.report);
+        assert_eq!(
+            parallel
+                .compiled
+                .as_ref()
+                .expect("parallel keeps the compiled join")
+                .decompile(),
+            compiled_weak,
+            "parallel join is bit-identical at {threads} threads"
+        );
+    }
 
     // The symbolic plan configuration through the same façade.
     let sym_plan = Merger::new()
@@ -112,6 +142,17 @@ proptest! {
             ..params
         }));
         assert_engines_agree(&[&g1, &g2]);
+    }
+
+    #[test]
+    fn wide_family_engines_agree(seed in any::<u64>(), members in 2usize..24) {
+        // The daemon's traffic shape at proptest scale (the bench runs
+        // it at 64 members): many small schemas, one shared vocabulary.
+        // The upper range crosses the 8-schemas-per-worker floor, so the
+        // sharded join's multi-partition path is exercised too.
+        let family = schema_merge_workload::wide_family(members, seed);
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        assert_engines_agree(&refs);
     }
 
     #[test]

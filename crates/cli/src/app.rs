@@ -97,15 +97,37 @@ fn split_format<'a>(args: &[&'a String]) -> Result<(Format, Vec<&'a String>), Cl
     Ok((format, rest))
 }
 
+/// Strips a `--threads N` flag out of the argument list — the merge
+/// engine's worker budget ([`Merger::threads`]).
+fn split_threads<'a>(args: &[&'a String]) -> Result<(Option<usize>, Vec<&'a String>), CliError> {
+    let mut threads = None;
+    let mut rest: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg.as_str() == "--threads" {
+            threads = Some(
+                iter.next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| CliError::Usage("--threads requires a positive count".into()))?,
+            );
+        } else {
+            rest.push(arg);
+        }
+    }
+    Ok((threads, rest))
+}
+
 const USAGE: &str = "\
 usage: smerge <command> [args]
 
 commands:
-  merge <file>... [--format text|json]
+  merge <file>... [--format text|json] [--threads N]
                        upper-merge every schema in the files; print the
                        merged schema, its keys and the implicit classes
                        (json: the full MergeReport with plan, provenance
-                       and diagnostics)
+                       and diagnostics; --threads fixes the merge
+                       engine's worker budget)
   diff <file>          print the symmetric difference of two schemas
                        (the file must contain exactly two)
   lower <file>...      lower-merge every schema (federated view); print
@@ -136,11 +158,13 @@ commands:
   query <schema-file> <instance-file> <path>
                        evaluate a path query (Start.label[Class].label)
                        against an instance of the merged schema
-  serve [--port P] [--threads N] [file...]
+  serve [--port P] [--threads N] [--merge-threads M] [file...]
                        run the registry daemon: members publish schema
                        versions over TCP and the canonical merged view
                        is maintained incrementally (files preload
-                       members; --port 0 picks an ephemeral port)
+                       members; --port 0 picks an ephemeral port;
+                       --merge-threads fixes the worker budget of the
+                       registry's merge plans)
   client <addr> <cmd> [args]
                        drive a running daemon: put <name> <file>,
                        get <name>, delete <name>, merged, stats, list,
@@ -217,6 +241,7 @@ fn merge_command(
     explain_only: bool,
 ) -> Result<(), CliError> {
     let (format, paths) = split_format(paths)?;
+    let (threads, paths) = split_threads(&paths)?;
     if explain_only && format == Format::Json {
         // `merge --format json` already carries the full implicit-class
         // table; a second, differently-shaped document would fragment the
@@ -228,7 +253,11 @@ fn merge_command(
         ));
     }
     let docs = load_documents(&paths)?;
-    let report = build_merger(&docs)
+    let mut merger = build_merger(&docs);
+    if let Some(threads) = threads {
+        merger = merger.threads(threads);
+    }
+    let report = merger
         .execute()
         .map_err(|err| CliError::merge("merge failed", &err))?;
 
@@ -880,6 +909,18 @@ mod tests {
         assert!(text.contains("{B1,B2}"), "implicit class appears: {text}");
         assert!(text.contains("// implicit classes: 1"));
         assert!(text.contains("key C {a};"));
+    }
+
+    #[test]
+    fn merge_accepts_a_threads_budget() {
+        let f1 = write_temp("mt1.sm", "schema A { C --a--> B1; }");
+        let f2 = write_temp("mt2.sm", "schema B { C --a--> B2; }");
+        let plain = run_ok(&args(&["merge", &f1, &f2]));
+        let threaded = run_ok(&args(&["merge", "--threads", "4", &f1, &f2]));
+        assert_eq!(plain, threaded, "thread budgets never change results");
+        let mut out = Vec::new();
+        let err = run(&args(&["merge", "--threads", "zero", &f1]), &mut out).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
     }
 
     #[test]

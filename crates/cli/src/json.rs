@@ -155,17 +155,20 @@ pub(crate) fn merge_report(report: &MergeReport) -> String {
     // Plan.
     let passes: Vec<String> = report.plan.passes.iter().map(|p| p.to_string()).collect();
     out.push_str(&format!(
-        "  \"plan\": {{\"mode\": {}, \"engine\": {}, \"passes\": {}, \"inputs\": {}, \
-         \"assertions\": {}, \"reuses_base\": {}, \"estimated_classes\": {}, \
-         \"estimated_arrows\": {}}},\n",
+        "  \"plan\": {{\"mode\": {}, \"engine\": {}, \"threads\": {}, \"passes\": {}, \
+         \"inputs\": {}, \"assertions\": {}, \"reuses_base\": {}, \"estimated_classes\": {}, \
+         \"estimated_arrows\": {}, \"estimated_spec_pairs\": {}, \"work_units\": {}}},\n",
         quoted(report.plan.mode.as_str()),
         quoted(report.plan.engine.as_str()),
+        report.plan.threads,
         string_array(passes),
         report.plan.num_inputs,
         report.plan.num_assertions,
         report.plan.reuses_base,
         report.plan.estimated_classes,
         report.plan.estimated_arrows,
+        report.plan.estimated_spec_pairs,
+        report.plan.work_units(),
     ));
 
     // Result schema (with participation marks when the merge carried

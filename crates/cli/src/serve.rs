@@ -33,6 +33,7 @@ const READ_TIMEOUT: Duration = Duration::from_secs(120);
 struct Options {
     port: u16,
     threads: usize,
+    merge_threads: Option<usize>,
     preload: Vec<String>,
 }
 
@@ -40,6 +41,7 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
     let mut options = Options {
         port: 7411,
         threads: 4,
+        merge_threads: None,
         preload: Vec::new(),
     };
     let mut iter = args.iter();
@@ -57,6 +59,16 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
                     .and_then(|v| v.parse().ok())
                     .filter(|&n| n > 0)
                     .ok_or_else(|| CliError::Usage("--threads requires a positive count".into()))?;
+            }
+            "--merge-threads" => {
+                options.merge_threads = Some(
+                    iter.next()
+                        .and_then(|v| v.parse().ok())
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            CliError::Usage("--merge-threads requires a positive count".into())
+                        })?,
+                );
             }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown serve flag `{other}`")));
@@ -118,7 +130,10 @@ impl ConnQueue {
 /// Runs the daemon. Returns once a client issues `SHUTDOWN`.
 pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
     let options = parse_options(args)?;
-    let registry = Arc::new(Registry::new());
+    let registry = Arc::new(match options.merge_threads {
+        Some(threads) => Registry::with_merge_threads(threads),
+        None => Registry::new(),
+    });
 
     for path in &options.preload {
         let source = std::fs::read_to_string(path)

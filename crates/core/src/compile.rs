@@ -31,6 +31,8 @@ use crate::class::Class;
 use crate::error::{CycleWitness, SchemaError};
 use crate::name::Label;
 use crate::order::UpSet;
+use crate::parallel;
+use crate::scratch::{self, StateArena};
 use crate::weak::{ArrowMap, WeakSchema};
 
 /// A dense class id: an index into the compiled schema's class table.
@@ -103,6 +105,21 @@ fn intersects(a: &[u64], b: &[u64]) -> bool {
 
 fn is_zero(row: &[u64]) -> bool {
     row.iter().all(|&w| w == 0)
+}
+
+fn popcount(row: &[u64]) -> u32 {
+    row.iter().map(|w| w.count_ones()).sum()
+}
+
+/// FNV-1a over a bitset row, word-wise — the dedup key of the fixpoint's
+/// state table (full rows are compared on hash collision).
+fn hash_row(row: &[u64]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &word in row {
+        hash ^= word;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
 }
 
 /// Iterates the set bit positions of `row` in ascending order.
@@ -318,6 +335,12 @@ impl CompiledSchema {
         self.supers.count_ones()
     }
 
+    /// Number of distinct `(class, label)` arrow pairs (the CSR pair
+    /// count) — the compiled twin of [`WeakSchema::num_arrow_pairs`].
+    pub fn num_arrow_pairs(&self) -> usize {
+        self.pair_labels.len()
+    }
+
     /// Whether any class carries an origin set (a pre-existing implicit
     /// or union class from an earlier merge result fed back in).
     pub(crate) fn has_origin_classes(&self) -> bool {
@@ -405,13 +428,20 @@ impl CompiledSchema {
     /// `MinS` over a bitset state: clears every member with another member
     /// strictly below it (a word-wise intersection per member).
     fn min_s_bits(&self, state: &[u64]) -> Vec<u64> {
-        let mut out = state.to_vec();
+        let mut out = vec![0u64; state.len()];
+        self.min_s_bits_into(state, &mut out);
+        out
+    }
+
+    /// [`CompiledSchema::min_s_bits`] into a caller-provided row — the
+    /// allocation-free form the fixpoint runs on.
+    fn min_s_bits_into(&self, state: &[u64], out: &mut [u64]) {
+        out.copy_from_slice(state);
         for m in iter_bits(state) {
             if intersects(self.subs.row(m), state) {
-                clear_bit(&mut out, m);
+                clear_bit(out, m);
             }
         }
-        out
     }
 
     fn pairs_of(&self, src: ClassId) -> impl Iterator<Item = (LabelId, (u32, u32))> + '_ {
@@ -563,6 +593,17 @@ impl RawDense {
 /// of the specializations, then the W1/W2 arrow closure, all on bitsets.
 /// The error is a specialization cycle as an id path.
 fn compile_dense(parts: RawDense) -> Result<CompiledSchema, CycleIds> {
+    compile_dense_mt(parts, 1)
+}
+
+/// [`compile_dense`] with the W1/W2 arrow closure sharded over `threads`
+/// scoped workers. The specialization closure is one dependency-ordered
+/// pass and stays sequential; the arrow closure is per-class independent
+/// once the closed `supers` rows exist, so each worker emits the CSR
+/// segment for a contiguous class range and the segments are stitched in
+/// chunk order — byte-identical arrays to the sequential pass at every
+/// thread count.
+fn compile_dense_mt(parts: RawDense, threads: usize) -> Result<CompiledSchema, CycleIds> {
     let RawDense {
         classes,
         labels,
@@ -570,18 +611,13 @@ fn compile_dense(parts: RawDense) -> Result<CompiledSchema, CycleIds> {
         raw_arrows: raw,
     } = parts;
     let n = classes.len();
+    let labels_len = labels.len();
     let supers = match closed_supers(n, &direct) {
         Ok(supers) => supers,
         Err(path) => return Err(CycleIds { path, classes }),
     };
     let subs = transpose(&supers, n);
 
-    // W1 (inherit raw arrows from every strict super) then W2 (close each
-    // target set upward); one pass of each suffices, as in the symbolic
-    // engine. Two fast paths skip the per-pair scratch allocations on the
-    // common shape: a class with no strict supers inherits nothing (its
-    // raw rows are final), and a target set containing no class with
-    // supers is already upward closed.
     let words = supers.words;
     let mut has_supers = vec![0u64; words];
     for p in 0..n as u32 {
@@ -589,72 +625,40 @@ fn compile_dense(parts: RawDense) -> Result<CompiledSchema, CycleIds> {
             set_bit(&mut has_supers, p);
         }
     }
-    let mut row_start = Vec::with_capacity(n + 1);
-    let mut pair_labels = Vec::new();
-    let mut pair_ranges = Vec::new();
-    let mut targets: Vec<u32> = Vec::new();
-    row_start.push(0u32);
-    let mut acc: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
-    let mut closed_buf: Vec<u64> = vec![0u64; words];
-    for p in 0..n as u32 {
-        let mut emit = |label: u32,
-                        bits: &[u64],
-                        pair_labels: &mut Vec<u32>,
-                        pair_ranges: &mut Vec<(u32, u32)>,
-                        targets: &mut Vec<u32>| {
-            let start = targets.len() as u32;
-            if intersects(bits, &has_supers) {
-                closed_buf.copy_from_slice(bits);
-                for t in iter_bits(bits) {
-                    or_into(&mut closed_buf, supers.row(t));
-                }
-                targets.extend(iter_bits(&closed_buf));
-            } else {
-                targets.extend(iter_bits(bits));
-            }
-            pair_labels.push(label);
-            pair_ranges.push((start, targets.len() as u32));
-        };
-        if is_zero(supers.row(p)) {
-            for (&label, bits) in &raw[p as usize] {
-                emit(
-                    label,
-                    bits,
-                    &mut pair_labels,
-                    &mut pair_ranges,
-                    &mut targets,
-                );
-            }
-        } else {
-            acc.clear();
-            acc.extend(
-                raw[p as usize]
-                    .iter()
-                    .map(|(&label, bits)| (label, bits.clone())),
-            );
-            for q in iter_bits(supers.row(p)) {
-                for (&label, bits) in &raw[q as usize] {
-                    match acc.entry(label) {
-                        std::collections::btree_map::Entry::Occupied(mut entry) => {
-                            or_into(entry.get_mut(), bits);
-                        }
-                        std::collections::btree_map::Entry::Vacant(entry) => {
-                            entry.insert(bits.clone());
-                        }
-                    }
-                }
-            }
-            for (&label, bits) in &acc {
-                emit(
-                    label,
-                    bits,
-                    &mut pair_labels,
-                    &mut pair_ranges,
-                    &mut targets,
-                );
+
+    let workers = parallel::throttled_threads(threads, n, 64);
+    let segments = parallel::map_chunks(n, workers, |range| {
+        arrow_rows(range, &raw, &supers, &has_supers, words, labels_len)
+    });
+    // The raw rows are spent; recycle them for the next pipeline stage.
+    scratch::with_pool(|pool| {
+        for mut by_label in raw {
+            while let Some((_, row)) = by_label.pop_first() {
+                pool.put(row);
             }
         }
-        row_start.push(pair_labels.len() as u32);
+    });
+
+    let mut row_start = Vec::with_capacity(n + 1);
+    row_start.push(0u32);
+    let mut pair_labels = Vec::new();
+    let mut pair_ranges: Vec<(u32, u32)> = Vec::new();
+    let mut targets: Vec<u32> = Vec::new();
+    for segment in segments {
+        let target_base = targets.len() as u32;
+        let mut pair_count = *row_start.last().expect("seeded with 0");
+        for pairs in segment.pairs_per_class {
+            pair_count += pairs;
+            row_start.push(pair_count);
+        }
+        pair_labels.extend(segment.pair_labels);
+        pair_ranges.extend(
+            segment
+                .pair_ranges
+                .into_iter()
+                .map(|(start, end)| (start + target_base, end + target_base)),
+        );
+        targets.extend(segment.targets);
     }
 
     Ok(CompiledSchema {
@@ -667,6 +671,109 @@ fn compile_dense(parts: RawDense) -> Result<CompiledSchema, CycleIds> {
         pair_ranges,
         targets,
     })
+}
+
+/// One worker's slice of the closed CSR arrow arrays: the rows for a
+/// contiguous class range, with target ranges relative to the segment's
+/// own `targets` array (rebased when segments are stitched).
+struct CsrSegment {
+    pairs_per_class: Vec<u32>,
+    pair_labels: Vec<LabelId>,
+    pair_ranges: Vec<(u32, u32)>,
+    targets: Vec<ClassId>,
+}
+
+/// The W1/W2 arrow closure for the classes in `range`. W1 (inherit raw
+/// arrows from every strict super) then W2 (close each target set
+/// upward); one pass of each suffices, as in the symbolic engine. Two
+/// fast paths skip the per-pair scratch work on the common shape: a
+/// class with no strict supers inherits nothing (its raw rows are
+/// final), and a target set containing no class with supers is already
+/// upward closed.
+///
+/// Inheritance accumulates into a **dense per-label table** (`Option`
+/// slots indexed by label id, plus a touched list) rather than a map:
+/// a class with `s` strict supers of `k` labels each pays `s·k` array
+/// indexings instead of `s·k` tree-map operations — this loop is the
+/// single hottest piece of completing an inheritance-heavy schema,
+/// where every implicit class inherits every origin's arrows. All
+/// scratch rows come from the worker's pool.
+fn arrow_rows(
+    range: std::ops::Range<usize>,
+    raw: &[BTreeMap<u32, Vec<u64>>],
+    supers: &BitMatrix,
+    has_supers: &[u64],
+    words: usize,
+    labels_len: usize,
+) -> CsrSegment {
+    let mut segment = CsrSegment {
+        pairs_per_class: Vec::with_capacity(range.len()),
+        pair_labels: Vec::new(),
+        pair_ranges: Vec::new(),
+        targets: Vec::new(),
+    };
+    scratch::with_pool(|pool| {
+        let mut acc_rows: Vec<Option<Vec<u64>>> = (0..labels_len).map(|_| None).collect();
+        let mut touched: Vec<u32> = Vec::new();
+        let mut closed_buf = pool.take(words);
+        for p in range {
+            let before = segment.pair_labels.len() as u32;
+            let mut emit = |label: u32, bits: &[u64], segment: &mut CsrSegment| {
+                let start = segment.targets.len() as u32;
+                if intersects(bits, has_supers) {
+                    closed_buf.copy_from_slice(bits);
+                    for t in iter_bits(bits) {
+                        or_into(&mut closed_buf, supers.row(t));
+                    }
+                    segment.targets.extend(iter_bits(&closed_buf));
+                } else {
+                    segment.targets.extend(iter_bits(bits));
+                }
+                segment.pair_labels.push(label);
+                segment
+                    .pair_ranges
+                    .push((start, segment.targets.len() as u32));
+            };
+            if is_zero(supers.row(p as u32)) {
+                for (&label, bits) in &raw[p] {
+                    emit(label, bits, &mut segment);
+                }
+            } else {
+                let mut accumulate =
+                    |label: u32, bits: &[u64], touched: &mut Vec<u32>| match &mut acc_rows
+                        [label as usize]
+                    {
+                        Some(row) => or_into(row, bits),
+                        slot @ None => {
+                            let mut row = pool.take(words);
+                            row.copy_from_slice(bits);
+                            *slot = Some(row);
+                            touched.push(label);
+                        }
+                    };
+                for (&label, bits) in &raw[p] {
+                    accumulate(label, bits, &mut touched);
+                }
+                for q in iter_bits(supers.row(p as u32)) {
+                    for (&label, bits) in &raw[q as usize] {
+                        accumulate(label, bits, &mut touched);
+                    }
+                }
+                touched.sort_unstable();
+                for &label in &touched {
+                    let row = acc_rows[label as usize].take().expect("touched label");
+                    emit(label, &row, &mut segment);
+                    pool.put(row);
+                }
+                touched.clear();
+            }
+            segment
+                .pairs_per_class
+                .push(segment.pair_labels.len() as u32 - before);
+        }
+        pool.put(closed_buf);
+    });
+    segment
 }
 
 /// [`compile_dense`] over edge/triple lists — a test-only convenience for
@@ -822,22 +929,111 @@ fn merge_sorted<'a, T: Ord + ?Sized>(
 /// computed entirely in id space and returned in both forms, so callers
 /// (notably [`crate::merge::merge_compiled`]) can continue in id space
 /// without recompiling.
-///
-/// The inputs' nested maps are walked structurally — one id lookup per
-/// class row, label run and target, not three per triple — and the union
-/// accumulates straight into bit rows, which deduplicate for free.
 pub(crate) fn join_compiled<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<(WeakSchema, CompiledSchema), SchemaError> {
     let schemas: Vec<&WeakSchema> = schemas.into_iter().collect();
-    // Class union by successive merges of the inputs' already-sorted
-    // tables — cheaper than per-insert set building.
+    let compiled = join_compiled_ids(&schemas, 1)?;
+    Ok((compiled.decompile(), compiled))
+}
+
+/// One worker's partition of a sharded join: the direct-edge bit matrix
+/// and raw arrow rows of its input slice, over the *shared* interner
+/// (the global class/label tables every partition indexes with the same
+/// ids). Partials merge by pure bitwise OR — the tree-reduction node of
+/// the parallel engine.
+struct DensePartial {
+    direct: BitMatrix,
+    raw_arrows: Vec<BTreeMap<u32, Vec<u64>>>,
+}
+
+impl DensePartial {
+    fn new(n: usize, words: usize) -> Self {
+        DensePartial {
+            direct: BitMatrix::new(n, words),
+            raw_arrows: vec![BTreeMap::new(); n],
+        }
+    }
+
+    /// Walks one closed input into the partial. The inputs are closed,
+    /// and a union of closed relations re-closes to the same result, so
+    /// feeding the closed pairs as direct edges is exact (and how
+    /// Prop. 4.1 computes `S`). The nested maps are walked structurally
+    /// — one id lookup per class row, label run and target, not three
+    /// per triple — and the union accumulates straight into bit rows
+    /// (recycled through the worker's pool), which deduplicate for free.
+    fn intern(
+        &mut self,
+        schema: &WeakSchema,
+        cid: &FastMap<&Class, u32>,
+        lid: &FastMap<&Label, u32>,
+        words: usize,
+        pool: &mut crate::scratch::ScratchPool,
+    ) {
+        for (sub, sups) in &schema.supers {
+            let row = self.direct.row_mut(cid[sub]);
+            for sup in sups {
+                set_bit(row, cid[sup]);
+            }
+        }
+        for (src, by_label) in &schema.arrows {
+            let by_label_ids = &mut self.raw_arrows[cid[src] as usize];
+            for (label, tgts) in by_label {
+                let bits = by_label_ids
+                    .entry(lid[label])
+                    .or_insert_with(|| pool.take(words));
+                for tgt in tgts {
+                    set_bit(bits, cid[tgt]);
+                }
+            }
+        }
+    }
+
+    /// ORs `other` into `self` — one tree-reduction node. Commutative
+    /// and associative (it is a set union in bit form), so the reduction
+    /// shape cannot change the result.
+    fn absorb(&mut self, other: DensePartial) {
+        for (dst, src) in self.direct.bits.iter_mut().zip(&other.direct.bits) {
+            *dst |= src;
+        }
+        for (dst, src) in self.raw_arrows.iter_mut().zip(other.raw_arrows) {
+            for (label, bits) in src {
+                match dst.entry(label) {
+                    std::collections::btree_map::Entry::Occupied(mut entry) => {
+                        or_into(entry.get_mut(), &bits);
+                    }
+                    std::collections::btree_map::Entry::Vacant(entry) => {
+                        entry.insert(bits);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// [`join_compiled`] without the symbolic materialization, sharded over
+/// `threads` workers — the join stage of the parallel engine.
+///
+/// The global class/label tables are built first (sorted unions of the
+/// inputs' already-sorted tables — cheaper than per-insert set
+/// building), so every worker interns against the *same* id space. The
+/// input list is then partitioned into contiguous chunks, each worker
+/// walks its chunk into a [`DensePartial`], and the partials are
+/// reduced pairwise in a tree of scoped workers. One closure pass at
+/// the root finishes the job: closing once over the OR of the partials
+/// equals closing at every tree node (a union of closed relations
+/// re-closes to the same result), so the result is identical to the
+/// sequential [`join_compiled`] at every thread count — only cheaper.
+pub(crate) fn join_compiled_ids(
+    schemas: &[&WeakSchema],
+    threads: usize,
+) -> Result<CompiledSchema, SchemaError> {
     let mut merged: Vec<&Class> = Vec::new();
-    for schema in &schemas {
+    for schema in schemas {
         merged = merge_sorted(&merged, schema.classes());
     }
     let mut labels: BTreeSet<&Label> = BTreeSet::new();
-    for schema in &schemas {
+    for schema in schemas {
         for by_label in schema.arrows.values() {
             labels.extend(by_label.keys());
         }
@@ -846,6 +1042,7 @@ pub(crate) fn join_compiled<'a>(
     let label_vec: Vec<Label> = labels.into_iter().cloned().collect();
 
     let mut parts = RawDense::new(class_vec, label_vec);
+    let n = parts.classes.len();
     let words = parts.words();
     let cid: FastMap<&Class, u32> = parts
         .classes
@@ -859,32 +1056,64 @@ pub(crate) fn join_compiled<'a>(
         .enumerate()
         .map(|(i, l)| (l, i as u32))
         .collect();
-    for schema in &schemas {
-        // The inputs are closed, and a union of closed relations re-closes
-        // to the same result, so feeding the closed pairs as direct edges
-        // is exact (and how Prop. 4.1 computes `S`).
-        for (sub, sups) in &schema.supers {
-            let row = parts.direct.row_mut(cid[sub]);
-            for sup in sups {
-                set_bit(row, cid[sup]);
+
+    let workers = parallel::throttled_threads(threads, schemas.len(), 8);
+    let mut partials = parallel::map_chunks(schemas.len(), workers, |range| {
+        let mut partial = DensePartial::new(n, words);
+        scratch::with_pool(|pool| {
+            for schema in &schemas[range] {
+                partial.intern(schema, &cid, &lid, words, pool);
+            }
+        });
+        partial
+    });
+    // Pairwise tree reduction. OR is commutative/associative, so the
+    // result is the same whatever the pairing; rounds of scoped workers
+    // keep the reduction depth logarithmic in the partition count.
+    while partials.len() > 1 {
+        let mut pairs: Vec<(DensePartial, DensePartial)> = Vec::new();
+        let mut leftover: Option<DensePartial> = None;
+        let mut iter = partials.into_iter();
+        while let Some(left) = iter.next() {
+            match iter.next() {
+                Some(right) => pairs.push((left, right)),
+                None => leftover = Some(left),
             }
         }
-        for (src, by_label) in &schema.arrows {
-            let by_label_ids = &mut parts.raw_arrows[cid[src] as usize];
-            for (label, tgts) in by_label {
-                let bits = by_label_ids
-                    .entry(lid[label])
-                    .or_insert_with(|| vec![0u64; words]);
-                for tgt in tgts {
-                    set_bit(bits, cid[tgt]);
-                }
-            }
-        }
+        partials = if pairs.len() > 1 {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = pairs
+                    .into_iter()
+                    .map(|(mut left, right)| {
+                        scope.spawn(move || {
+                            left.absorb(right);
+                            left
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|handle| handle.join().expect("join reduction worker panicked"))
+                    .collect()
+            })
+        } else {
+            pairs
+                .into_iter()
+                .map(|(mut left, right)| {
+                    left.absorb(right);
+                    left
+                })
+                .collect()
+        };
+        partials.extend(leftover);
+    }
+    if let Some(total) = partials.pop() {
+        parts.direct = total.direct;
+        parts.raw_arrows = total.raw_arrows;
     }
 
     drop((cid, lid));
-    let compiled = compile_dense(parts)?;
-    Ok((compiled.decompile(), compiled))
+    Ok(compile_dense_mt(parts, threads)?)
 }
 
 /// Builds the canonical-class view of a proper schema in id space: for
@@ -1068,6 +1297,7 @@ pub(crate) fn join_onto_compiled(
 pub(crate) fn assemble_ids(
     cs: &CompiledSchema,
     entries: &[(Vec<u64>, Class)],
+    threads: usize,
 ) -> Result<(WeakSchema, CompiledSchema), SchemaError> {
     let n = cs.classes.len();
     let old_words = cs.supers.words;
@@ -1088,151 +1318,216 @@ pub(crate) fn assemble_ids(
         .collect();
     let m = ext_classes.len();
     let ext_words = m.div_ceil(64);
+    // Whether any entry resolved to a pre-existing class id (< n): only
+    // then can setting an implicit-target bit disturb a later subset
+    // test, forcing the Ē pass below onto snapshots.
+    let any_rediscovered = ids.iter().any(|&id| (id as usize) < n);
+
+    // Entries bucketed by their first (lowest-id) state member: `Y ⊆ R`
+    // requires `min(Y) ∈ R`, so scanning R's set bits against these
+    // buckets visits each candidate entry exactly once and skips the
+    // (overwhelmingly common) entries sharing no member with R at all —
+    // the difference between O(pairs × entries) and O(pairs × hits) in
+    // the Ē passes.
+    let mut first_buckets: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut min_state_size = u32::MAX;
+    for (j, (state, _)) in entries.iter().enumerate() {
+        if let Some(first) = iter_bits(state).next() {
+            first_buckets[first as usize].push(j as u32);
+        }
+        min_state_size = min_state_size.min(popcount(state));
+    }
+    let subset = |state: &[u64], reached: &[u64]| -> bool {
+        state.iter().zip(reached).all(|(s, r)| s & !r == 0)
+    };
 
     let mut parts = RawDense::new(ext_classes, cs.labels.clone());
-    // The old closed relations feed in as direct edges: re-closing a
-    // closed relation is the identity.
-    for p in 0..n as u32 {
-        parts.direct.row_mut(p)[..old_words].copy_from_slice(cs.supers.row(p));
-        for (label, (start, end)) in cs.pairs_of(p) {
-            let mut bits = vec![0u64; ext_words];
-            for &t in &cs.targets[start as usize..end as usize] {
-                set_bit(&mut bits, t);
+    scratch::with_pool(|pool| {
+        // The old closed relations feed in as direct edges: re-closing a
+        // closed relation is the identity.
+        for p in 0..n as u32 {
+            parts.direct.row_mut(p)[..old_words].copy_from_slice(cs.supers.row(p));
+            for (label, (start, end)) in cs.pairs_of(p) {
+                let mut bits = pool.take(ext_words);
+                for &t in &cs.targets[start as usize..end as usize] {
+                    set_bit(&mut bits, t);
+                }
+                parts.raw_arrows[p as usize].insert(label, bits);
             }
-            parts.raw_arrows[p as usize].insert(label, bits);
         }
-    }
 
-    // Per entry: `up` = every old class some member specializes (the
-    // reflexive upward closure of the state), and the flattened origin
-    // names as ids (`None` when a name is not a class of the schema — no
-    // rule can then place anything below the implicit class).
-    let mut ups: Vec<Vec<u64>> = Vec::with_capacity(entries.len());
-    let mut flats: Vec<Option<Vec<u32>>> = Vec::with_capacity(entries.len());
-    for (state, _) in entries {
-        let mut up = vec![0u64; ext_words];
-        for q in iter_bits(state) {
-            set_bit(&mut up, q);
-            or_into(&mut up[..old_words], cs.supers.row(q));
+        // Per entry: `up` = every old class some member specializes (the
+        // reflexive upward closure of the state), and the flattened origin
+        // names as ids (`None` when a name is not a class of the schema — no
+        // rule can then place anything below the implicit class).
+        let mut ups = StateArena::new(ext_words);
+        let mut flats: Vec<Option<Vec<u32>>> = Vec::with_capacity(entries.len());
+        let mut up_buf = pool.take(ext_words);
+        for (state, _) in entries {
+            up_buf.iter_mut().for_each(|w| *w = 0);
+            for q in iter_bits(state) {
+                set_bit(&mut up_buf, q);
+                or_into(&mut up_buf[..old_words], cs.supers.row(q));
+            }
+            ups.push(&up_buf);
+
+            let mut flat: Vec<u32> = Vec::new();
+            let mut all_present = true;
+            for q in iter_bits(state) {
+                let class = cs.class(q);
+                if class.origin().is_none() {
+                    flat.push(q);
+                } else {
+                    for name in class.flattened_names() {
+                        match cs.class_id(&Class::Named(name)) {
+                            Some(id) => flat.push(id),
+                            None => all_present = false,
+                        }
+                    }
+                }
+            }
+            flat.sort_unstable();
+            flat.dedup();
+            flats.push(all_present.then_some(flat));
         }
-        ups.push(up);
+        pool.put(up_buf);
 
-        let mut flat: Vec<u32> = Vec::new();
-        let mut all_present = true;
-        for q in iter_bits(state) {
-            let class = cs.class(q);
-            if class.origin().is_none() {
-                flat.push(q);
-            } else {
-                for name in class.flattened_names() {
-                    match cs.class_id(&Class::Named(name)) {
-                        Some(id) => flat.push(id),
-                        None => all_present = false,
+        // S̄: X ⇒ p for p ∈ up(X); p ⇒ X when p specializes every flattened
+        // origin of X; X ⇒ Y when every flattened origin of Y is in up(X).
+        let mut cand = pool.take(ext_words);
+        let mut down = pool.take(ext_words);
+        for i in 0..entries.len() {
+            let xe = ids[i];
+            or_into(parts.direct.row_mut(xe), ups.get(i as u32));
+            if let Some(flat) = &flats[i] {
+                down.iter_mut().for_each(|w| *w = 0);
+                for (word, slot) in down.iter_mut().enumerate().take(old_words) {
+                    let covered = (word + 1) * 64;
+                    *slot = if covered <= n {
+                        u64::MAX
+                    } else {
+                        u64::MAX >> (covered - n)
+                    };
+                }
+                for &f in flat {
+                    cand.iter_mut().for_each(|w| *w = 0);
+                    set_bit(&mut cand, f);
+                    or_into(&mut cand[..old_words], cs.subs.row(f));
+                    for (d, c) in down.iter_mut().zip(&cand) {
+                        *d &= c;
+                    }
+                }
+                for p in iter_bits(&down) {
+                    parts.direct.set(p, xe);
+                }
+            }
+        }
+        pool.put(cand);
+        pool.put(down);
+        for i in 0..entries.len() {
+            let up = ups.get(i as u32);
+            for (j, flat) in flats.iter().enumerate() {
+                if ids[i] == ids[j] {
+                    continue;
+                }
+                let Some(flat) = flat else { continue };
+                if flat.iter().all(|&f| get_bit(up, f)) {
+                    parts.direct.set(ids[i], ids[j]);
+                }
+            }
+        }
+
+        // Ē into implicit targets: x --a--> Y whenever Y ⊆ R(x, a).
+        // Rows with fewer targets than the smallest entry state cannot
+        // contain one; candidate entries come from the first-member
+        // buckets of the row's old-id bits. Rediscovered entry ids are
+        // the one case where setting a target bit can disturb a later
+        // test, so only that (rare, origin-carrying) shape pays for a
+        // snapshot.
+        let mut snapshot = pool.take(ext_words);
+        let mut hits: Vec<u32> = Vec::new();
+        for x in 0..n {
+            for bits in parts.raw_arrows[x].values_mut() {
+                if popcount(bits) < min_state_size {
+                    continue;
+                }
+                let test_row: &[u64] = if any_rediscovered {
+                    snapshot.copy_from_slice(bits);
+                    &snapshot
+                } else {
+                    bits
+                };
+                hits.clear();
+                for b in iter_bits(test_row) {
+                    if (b as usize) >= n {
+                        break;
+                    }
+                    for &j in &first_buckets[b as usize] {
+                        if subset(&entries[j as usize].0, test_row) {
+                            hits.push(j);
+                        }
+                    }
+                }
+                for &j in &hits {
+                    set_bit(bits, ids[j as usize]);
+                }
+            }
+        }
+        pool.put(snapshot);
+
+        // Ē out of implicit classes: R̄(X, a) = R(X, a), plus implicit
+        // targets contained in it.
+        let label_words = cs.labels.len().div_ceil(64);
+        let mut label_bits = pool.take(label_words);
+        for (i, (state, _)) in entries.iter().enumerate() {
+            let xe = ids[i];
+            label_bits.iter_mut().for_each(|w| *w = 0);
+            for q in iter_bits(state) {
+                for &label in cs.labels_of(q) {
+                    set_bit(&mut label_bits, label);
+                }
+            }
+            for label in iter_bits(&label_bits) {
+                let mut reached = pool.take(ext_words);
+                for q in iter_bits(state) {
+                    for &t in cs.arrow_targets(q, label) {
+                        set_bit(&mut reached, t);
+                    }
+                }
+                if is_zero(&reached) {
+                    pool.put(reached);
+                    continue;
+                }
+                let mut full = pool.take(ext_words);
+                full.copy_from_slice(&reached);
+                if popcount(&reached) >= min_state_size {
+                    for b in iter_bits(&reached) {
+                        if (b as usize) >= n {
+                            break;
+                        }
+                        for &j in &first_buckets[b as usize] {
+                            if subset(&entries[j as usize].0, &reached) {
+                                set_bit(&mut full, ids[j as usize]);
+                            }
+                        }
+                    }
+                }
+                pool.put(reached);
+                match parts.raw_arrows[xe as usize].entry(label) {
+                    std::collections::btree_map::Entry::Occupied(mut entry) => {
+                        or_into(entry.get_mut(), &full);
+                        pool.put(full);
+                    }
+                    std::collections::btree_map::Entry::Vacant(entry) => {
+                        entry.insert(full);
                     }
                 }
             }
         }
-        flat.sort_unstable();
-        flat.dedup();
-        flats.push(all_present.then_some(flat));
-    }
+        pool.put(label_bits);
+    });
 
-    // S̄: X ⇒ p for p ∈ up(X); p ⇒ X when p specializes every flattened
-    // origin of X; X ⇒ Y when every flattened origin of Y is in up(X).
-    let mut cand = vec![0u64; ext_words];
-    for (i, up) in ups.iter().enumerate() {
-        let xe = ids[i];
-        or_into(parts.direct.row_mut(xe), up);
-        if let Some(flat) = &flats[i] {
-            let mut down = vec![0u64; ext_words];
-            for (word, slot) in down.iter_mut().enumerate().take(old_words) {
-                let covered = (word + 1) * 64;
-                *slot = if covered <= n {
-                    u64::MAX
-                } else {
-                    u64::MAX >> (covered - n)
-                };
-            }
-            for &f in flat {
-                cand.fill(0);
-                set_bit(&mut cand, f);
-                or_into(&mut cand[..old_words], cs.subs.row(f));
-                for (d, c) in down.iter_mut().zip(&cand) {
-                    *d &= c;
-                }
-            }
-            for p in iter_bits(&down) {
-                parts.direct.set(p, xe);
-            }
-        }
-    }
-    for (i, up) in ups.iter().enumerate() {
-        for (j, flat) in flats.iter().enumerate() {
-            if ids[i] == ids[j] {
-                continue;
-            }
-            let Some(flat) = flat else { continue };
-            if flat.iter().all(|&f| get_bit(up, f)) {
-                parts.direct.set(ids[i], ids[j]);
-            }
-        }
-    }
-
-    // Ē into implicit targets: x --a--> Y whenever Y ⊆ R(x, a). The
-    // subset tests run against a snapshot of the original target set.
-    let subset = |state: &[u64], reached: &[u64]| -> bool {
-        state.iter().zip(reached).all(|(s, r)| s & !r == 0)
-    };
-    for x in 0..n {
-        for bits in parts.raw_arrows[x].values_mut() {
-            let snapshot = bits.clone();
-            for (j, (y_state, _)) in entries.iter().enumerate() {
-                if subset(y_state, &snapshot) {
-                    set_bit(bits, ids[j]);
-                }
-            }
-        }
-    }
-    // Ē out of implicit classes: R̄(X, a) = R(X, a), plus implicit targets
-    // contained in it.
-    let label_words = cs.labels.len().div_ceil(64);
-    let mut label_bits = vec![0u64; label_words];
-    for (i, (state, _)) in entries.iter().enumerate() {
-        let xe = ids[i];
-        label_bits.fill(0);
-        for q in iter_bits(state) {
-            for &label in cs.labels_of(q) {
-                set_bit(&mut label_bits, label);
-            }
-        }
-        for label in iter_bits(&label_bits).collect::<Vec<_>>() {
-            let mut reached = vec![0u64; ext_words];
-            for q in iter_bits(state) {
-                for &t in cs.arrow_targets(q, label) {
-                    set_bit(&mut reached, t);
-                }
-            }
-            if is_zero(&reached) {
-                continue;
-            }
-            let mut full = reached.clone();
-            for (j, (y_state, _)) in entries.iter().enumerate() {
-                if subset(y_state, &reached) {
-                    set_bit(&mut full, ids[j]);
-                }
-            }
-            match parts.raw_arrows[xe as usize].entry(label) {
-                std::collections::btree_map::Entry::Occupied(mut entry) => {
-                    or_into(entry.get_mut(), &full);
-                }
-                std::collections::btree_map::Entry::Vacant(entry) => {
-                    entry.insert(full);
-                }
-            }
-        }
-    }
-
-    let compiled = compile_dense(parts)?;
+    let compiled = compile_dense_mt(parts, threads)?;
     Ok((compiled.decompile(), compiled))
 }
 
@@ -1246,86 +1541,259 @@ pub(crate) struct IdWitness {
     pub(crate) labels: Vec<LabelId>,
 }
 
+/// A dedup bucket: almost always a single state per hash, so the
+/// spill vector (and its allocation) is reserved for actual collisions.
+enum Bucket {
+    One(u32),
+    Many(Vec<u32>),
+}
+
+impl Bucket {
+    fn contains(&self, arena: &StateArena, row: &[u64]) -> bool {
+        match self {
+            Bucket::One(index) => arena.get(*index) == row,
+            Bucket::Many(indices) => indices.iter().any(|&index| arena.get(index) == row),
+        }
+    }
+
+    fn push(&mut self, index: u32) {
+        match self {
+            Bucket::One(first) => *self = Bucket::Many(vec![*first, index]),
+            Bucket::Many(indices) => indices.push(index),
+        }
+    }
+}
+
+/// The fixpoint's dedup table: row hash → arena indices with that hash.
+/// Full rows are compared on collision, so the table is exact; keying by
+/// hash instead of by owned `Vec<u64>` saves one allocation per
+/// *candidate* (most candidates are rediscoveries of known states).
+struct StateTable {
+    arena: StateArena,
+    seen: FastMap<u64, Bucket>,
+}
+
+impl StateTable {
+    fn new(words: usize) -> Self {
+        StateTable {
+            arena: StateArena::new(words),
+            seen: FastMap::default(),
+        }
+    }
+
+    /// Interns `row`, returning its index if it was new.
+    fn insert(&mut self, row: &[u64]) -> Option<u32> {
+        match self.seen.entry(hash_row(row)) {
+            std::collections::hash_map::Entry::Occupied(mut entry) => {
+                if entry.get().contains(&self.arena, row) {
+                    return None;
+                }
+                let index = self.arena.push(row);
+                entry.get_mut().push(index);
+                Some(index)
+            }
+            std::collections::hash_map::Entry::Vacant(entry) => {
+                let index = self.arena.push(row);
+                entry.insert(Bucket::One(index));
+                Some(index)
+            }
+        }
+    }
+}
+
+/// A candidate successor produced by one frontier expansion: the frontier
+/// unit it came from, the label stepped through, and the MinS-canonical
+/// state reached.
+type Candidate = (u32, LabelId, Vec<u64>);
+
+/// How one discovered state was first reached: through `label` from
+/// either a class (`seed`, `parent` is a [`ClassId`]) or an earlier
+/// state (`parent` is a state index). Witness paths materialize by
+/// walking these records backwards — storing the chain instead of a
+/// cloned label path per state turns witness bookkeeping from
+/// O(states × depth) allocations into O(states) plain integers.
+struct Step {
+    parent: u32,
+    label: LabelId,
+    seed: bool,
+}
+
+/// The `I∞` fixpoint's output: every reachable MinS-canonical state (as
+/// a class-id bitset in one flat arena) with its first-discovery step
+/// chain, in discovery order.
+pub(crate) struct DiscoveredStates {
+    arena: StateArena,
+    steps: Vec<Step>,
+}
+
+impl DiscoveredStates {
+    /// Number of discovered states.
+    pub(crate) fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// The state bitset at `index` (ascending class-id bits).
+    pub(crate) fn bits(&self, index: u32) -> &[u64] {
+        self.arena.get(index)
+    }
+
+    /// Materializes the first-discovery witness of state `index`.
+    pub(crate) fn witness(&self, index: u32) -> IdWitness {
+        let mut labels = Vec::new();
+        let mut current = index;
+        loop {
+            let step = &self.steps[current as usize];
+            labels.push(step.label);
+            if step.seed {
+                labels.reverse();
+                return IdWitness {
+                    start: step.parent,
+                    labels,
+                };
+            }
+            current = step.parent;
+        }
+    }
+}
+
 /// Runs the `I∞` fixpoint of §4.2 on the compiled schema: every reachable
 /// MinS-canonical state (as a class-id bitset) with its first-discovery
 /// witness, in discovery order. Mirrors the symbolic
 /// `reference`-module discovery exactly — classes and labels are iterated
 /// in sorted (= id) order, so witnesses agree.
-pub(crate) fn discover_states_ids(cs: &CompiledSchema) -> Vec<(Vec<u64>, IdWitness)> {
-    let n = cs.classes.len() as u32;
+///
+/// The fixpoint is a frontier/worklist BFS. Processing the queue in FIFO
+/// order is the same as processing it index-by-index, so each wave
+/// (`processed..len`) can be *expanded* by up to `threads` scoped workers
+/// — each computes the successor candidates of a contiguous frontier
+/// chunk — while all *insertion* happens on the calling thread, walking
+/// the chunks in frontier order through the same dedup the sequential
+/// path uses. Discovery order, witnesses and the returned states are
+/// therefore identical at every thread count. Scratch rows come from the
+/// per-thread pools; discovered states live in a flat arena.
+pub(crate) fn discover_states_ids(cs: &CompiledSchema, threads: usize) -> DiscoveredStates {
+    let n = cs.classes.len();
+    let words = cs.supers.words;
+    if n == 0 || cs.pair_labels.is_empty() {
+        return DiscoveredStates {
+            arena: StateArena::new(words),
+            steps: Vec::new(),
+        };
+    }
     let label_words = cs.labels.len().div_ceil(64);
-    let mut states: Vec<(Vec<u64>, IdWitness)> = Vec::new();
-    let mut seen: FastMap<Vec<u64>, usize> = FastMap::default();
-    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut table = StateTable::new(words);
+    let mut steps: Vec<Step> = Vec::new();
 
-    // I₁: R(p, a) for every class and label, canonicalized by MinS.
+    // I₁: R(p, a) for every class and label, canonicalized by MinS —
+    // expanded per class chunk, inserted in (class, label) order.
     // Singleton target sets (the common case) are their own MinS.
-    for p in 0..n {
-        for (label, (start, end)) in cs.pairs_of(p) {
-            let reached = cs.bits_of(&cs.targets[start as usize..end as usize]);
-            let state = if end - start == 1 {
-                reached
-            } else {
-                cs.min_s_bits(&reached)
-            };
-            if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(state.clone()) {
-                entry.insert(states.len());
-                queue.push_back(states.len());
-                states.push((
-                    state,
-                    IdWitness {
-                        start: p,
-                        labels: vec![label],
-                    },
-                ));
+    let seed_workers = parallel::throttled_threads(threads, n, 128);
+    let seed_chunks = parallel::map_chunks(n, seed_workers, |range| {
+        let mut out: Vec<Candidate> = Vec::new();
+        scratch::with_pool(|pool| {
+            for p in range {
+                for (label, (start, end)) in cs.pairs_of(p as u32) {
+                    let mut reached = pool.take(words);
+                    for &t in &cs.targets[start as usize..end as usize] {
+                        set_bit(&mut reached, t);
+                    }
+                    let state = if end - start == 1 {
+                        reached
+                    } else {
+                        let mut min = pool.take(words);
+                        cs.min_s_bits_into(&reached, &mut min);
+                        pool.put(reached);
+                        min
+                    };
+                    out.push((p as u32, label, state));
+                }
+            }
+        });
+        out
+    });
+    scratch::with_pool(|pool| {
+        for chunk in seed_chunks {
+            for (p, label, state) in chunk {
+                if table.insert(&state).is_some() {
+                    steps.push(Step {
+                        parent: p,
+                        label,
+                        seed: true,
+                    });
+                }
+                pool.put(state);
             }
         }
-    }
+    });
 
     // Iₙ₊₁ = R(X, a), stepping from canonical states (exact by W1).
     // Singleton states are skipped: stepping from `{q}` through `a` gives
     // `MinS(R(q, a))`, which the I₁ seeding above already inserted — the
     // symbolic engine re-derives (and re-rejects) these, harmlessly.
-    let mut state_labels = vec![0u64; label_words];
-    while let Some(index) = queue.pop_front() {
-        let state = states[index].0.clone();
-        if state.iter().map(|w| w.count_ones()).sum::<u32>() < 2 {
-            continue;
-        }
-        state_labels.iter_mut().for_each(|w| *w = 0);
-        for member in iter_bits(&state) {
-            for &label in cs.labels_of(member) {
-                set_bit(&mut state_labels, label);
-            }
-        }
-        for label in iter_bits(&state_labels).collect::<Vec<_>>() {
-            let mut reached = vec![0u64; cs.supers.words];
-            for member in iter_bits(&state) {
-                for &t in cs.arrow_targets(member, label) {
-                    set_bit(&mut reached, t);
+    let mut processed = 0usize;
+    while processed < table.arena.len() {
+        let frontier_end = table.arena.len();
+        let frontier_len = frontier_end - processed;
+        let arena = &table.arena;
+        let wave_workers = parallel::throttled_threads(threads, frontier_len, 32);
+        let wave_chunks = parallel::map_chunks(frontier_len, wave_workers, |range| {
+            let mut out: Vec<Candidate> = Vec::new();
+            scratch::with_pool(|pool| {
+                let mut state_labels = pool.take(label_words);
+                for offset in range {
+                    let index = (processed + offset) as u32;
+                    let state = arena.get(index);
+                    if popcount(state) < 2 {
+                        continue;
+                    }
+                    state_labels.iter_mut().for_each(|w| *w = 0);
+                    for member in iter_bits(state) {
+                        for &label in cs.labels_of(member) {
+                            set_bit(&mut state_labels, label);
+                        }
+                    }
+                    for label in iter_bits(&state_labels) {
+                        let mut reached = pool.take(words);
+                        for member in iter_bits(state) {
+                            for &t in cs.arrow_targets(member, label) {
+                                set_bit(&mut reached, t);
+                            }
+                        }
+                        if is_zero(&reached) {
+                            pool.put(reached);
+                            continue;
+                        }
+                        let mut next = pool.take(words);
+                        cs.min_s_bits_into(&reached, &mut next);
+                        pool.put(reached);
+                        out.push((index, label, next));
+                    }
+                }
+                pool.put(state_labels);
+            });
+            out
+        });
+        scratch::with_pool(|pool| {
+            for chunk in wave_chunks {
+                for (parent, label, state) in chunk {
+                    if table.insert(&state).is_some() {
+                        steps.push(Step {
+                            parent,
+                            label,
+                            seed: false,
+                        });
+                    }
+                    pool.put(state);
                 }
             }
-            if is_zero(&reached) {
-                continue;
-            }
-            let next = cs.min_s_bits(&reached);
-            if let std::collections::hash_map::Entry::Vacant(entry) = seen.entry(next.clone()) {
-                entry.insert(states.len());
-                queue.push_back(states.len());
-                let witness = IdWitness {
-                    start: states[index].1.start,
-                    labels: {
-                        let mut labels = states[index].1.labels.clone();
-                        labels.push(label);
-                        labels
-                    },
-                };
-                states.push((next, witness));
-            }
-        }
+        });
+        processed = frontier_end;
     }
 
-    states
+    DiscoveredStates {
+        arena: table.arena,
+        steps,
+    }
 }
 
 /// Translates an id-space state bitset back to a symbolic class set.
@@ -1464,14 +1932,83 @@ mod tests {
             .build()
             .unwrap();
         let cs = CompiledSchema::compile(&g);
-        let states = discover_states_ids(&cs);
-        let sets: BTreeSet<BTreeSet<Class>> = states
-            .iter()
-            .map(|(bits, _)| state_classes(&cs, bits))
+        let states = discover_states_ids(&cs, 1);
+        let sets: BTreeSet<BTreeSet<Class>> = (0..states.len() as u32)
+            .map(|i| state_classes(&cs, states.bits(i)))
             .collect();
         // {B1,B2} and {T1,T2} plus the singleton seeds.
         assert!(sets.contains(&[c("B1"), c("B2")].into_iter().collect()));
         assert!(sets.contains(&[c("T1"), c("T2")].into_iter().collect()));
+    }
+
+    #[test]
+    fn discovery_is_thread_count_invariant() {
+        // A chain of multi-target steps plus a specialization order, so
+        // the fixpoint has several waves and non-trivial MinS work.
+        let mut builder = WeakSchema::builder();
+        for i in 0..30usize {
+            builder = builder
+                .arrow(format!("C{i}"), "a", format!("B{i}"))
+                .arrow(format!("C{i}"), "a", format!("B{}", (i + 7) % 30))
+                .arrow(format!("B{i}"), "b", format!("T{}", i % 5))
+                .arrow(format!("B{i}"), "b", format!("T{}", (i + 1) % 5));
+        }
+        for i in 1..10usize {
+            builder = builder.specialize(format!("T{}", i % 5), format!("B{i}"));
+        }
+        let g = builder.build().unwrap();
+        let cs = CompiledSchema::compile(&g);
+        let sequential = discover_states_ids(&cs, 1);
+        for threads in [2, 3, 4, 8] {
+            let parallel = discover_states_ids(&cs, threads);
+            assert_eq!(parallel.len(), sequential.len());
+            for i in 0..sequential.len() as u32 {
+                assert_eq!(
+                    sequential.bits(i),
+                    parallel.bits(i),
+                    "states agree in discovery order"
+                );
+                let (seq, par) = (sequential.witness(i), parallel.witness(i));
+                assert_eq!(seq.start, par.start);
+                assert_eq!(seq.labels, par.labels, "witnesses agree");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_join_is_thread_count_invariant() {
+        // Enough inputs that the per-worker minimum (8 schemas) yields
+        // several partitions — the chunked interning, `absorb` OR-merge
+        // and multi-round tree reduction all genuinely execute.
+        let mut schemas = Vec::new();
+        for i in 0..40usize {
+            schemas.push(
+                WeakSchema::builder()
+                    .arrow(
+                        format!("C{}", i % 7),
+                        format!("f{i}"),
+                        format!("T{}", i % 5),
+                    )
+                    .arrow(format!("C{}", i % 7), "shared", format!("T{}", (i + 1) % 5))
+                    .specialize(format!("C{}", i % 7), "Top")
+                    .build()
+                    .unwrap(),
+            );
+        }
+        let refs: Vec<&WeakSchema> = schemas.iter().collect();
+        assert!(
+            parallel::throttled_threads(8, refs.len(), 8) >= 4,
+            "the test must actually shard"
+        );
+        let sequential = join_compiled_ids(&refs, 1).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let sharded = join_compiled_ids(&refs, threads).unwrap();
+            assert_eq!(sharded, sequential, "bit-identical at {threads} threads");
+        }
+        // And equal to the historical batch join.
+        let (weak, compiled) = join_compiled(refs.iter().copied()).unwrap();
+        assert_eq!(compiled, sequential);
+        assert_eq!(weak, sequential.decompile());
     }
 
     #[test]

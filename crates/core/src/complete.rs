@@ -108,7 +108,21 @@ pub fn complete(weak: &WeakSchema) -> Result<ProperSchema, SchemaError> {
 pub fn complete_with_report(
     weak: &WeakSchema,
 ) -> Result<(ProperSchema, CompletionReport), SchemaError> {
-    complete_impl(weak, None, Engine::Compiled)
+    complete_impl(weak, None, Engine::Compiled { threads: 1 })
+}
+
+/// Runs only the `I∞` fixpoint of §4.2 on a compiled schema and returns
+/// the number of reachable MinS-canonical states — the engine-side cost
+/// driver of completion (each multi-member state demands an implicit
+/// class; singleton states are the search frontier between them).
+///
+/// Exposed for diagnostics and for the benchmark suite, which uses it to
+/// measure the fixpoint in isolation (time and allocations) without the
+/// symbolic materialization that dominates a full [`complete`]. `threads`
+/// shards the frontier across scoped workers; the count is identical at
+/// every thread count.
+pub fn imp_state_count(compiled: &CompiledSchema, threads: usize) -> usize {
+    compile::discover_states_ids(compiled, threads).len()
 }
 
 /// [`complete_with_report`] reusing an already-compiled form of `weak` —
@@ -124,7 +138,7 @@ pub fn complete_compiled(
     weak: &WeakSchema,
     compiled: &CompiledSchema,
 ) -> Result<(ProperSchema, CompletionReport), SchemaError> {
-    complete_impl(weak, Some(compiled), Engine::Compiled)
+    complete_impl(weak, Some(compiled), Engine::Compiled { threads: 1 })
 }
 
 /// Completes a schema directly from its compiled form — the end-to-end
@@ -149,17 +163,20 @@ pub fn complete_compiled(
 pub fn complete_from_compiled(
     compiled: &CompiledSchema,
 ) -> Result<(ProperSchema, CompletionReport), SchemaError> {
-    complete_from_compiled_impl(compiled)
+    complete_from_compiled_impl(compiled, 1)
 }
 
-/// The engine behind [`complete_from_compiled`] and the merger's
-/// onto-base completion pass.
+/// The engine behind [`complete_from_compiled`], the merger's onto-base
+/// completion pass and the parallel engine's completion stage. `threads`
+/// shards the `Imp` fixpoint's frontier (results are identical at every
+/// thread count).
 pub(crate) fn complete_from_compiled_impl(
     compiled: &CompiledSchema,
+    threads: usize,
 ) -> Result<(ProperSchema, CompletionReport), SchemaError> {
     if compiled.has_origin_classes() {
         let weak = compiled.decompile();
-        return complete_impl(&weak, Some(compiled), Engine::Compiled);
+        return complete_impl(&weak, Some(compiled), Engine::Compiled { threads });
     }
     // No implicit classes anywhere: origin-set canonicalization is a
     // no-op, every discovered state is a set of named classes already in
@@ -167,11 +184,14 @@ pub(crate) fn complete_from_compiled_impl(
     // a genuinely new implicit class — `name_states` collapses to naming
     // each state by its own members.
     let mut states: BTreeMap<BTreeSet<Class>, (Vec<u64>, ImplicitWitness)> = BTreeMap::new();
-    for (bits, witness) in compile::discover_states_ids(compiled) {
+    let discovered = compile::discover_states_ids(compiled, threads);
+    for index in 0..discovered.len() as u32 {
+        let bits = discovered.bits(index);
         if bits.iter().map(|w| w.count_ones()).sum::<u32>() < 2 {
             continue;
         }
-        let members = compile::state_classes(compiled, &bits);
+        let members = compile::state_classes(compiled, bits);
+        let witness = discovered.witness(index);
         let witness = ImplicitWitness {
             start: compiled.class(witness.start).clone(),
             labels: witness
@@ -180,7 +200,7 @@ pub(crate) fn complete_from_compiled_impl(
                 .map(|&l| compiled.label(l).clone())
                 .collect(),
         };
-        states.insert(members, (bits, witness));
+        states.insert(members, (bits.to_vec(), witness));
     }
     if states.is_empty() {
         let proper = ProperSchema::from_compiled(compiled.decompile(), compiled)?;
@@ -198,7 +218,7 @@ pub(crate) fn complete_from_compiled_impl(
         id_entries.push((bits, class));
     }
     report.implicit.sort_by(|a, b| a.class.cmp(&b.class));
-    let (completed, completed_compiled) = compile::assemble_ids(compiled, &id_entries)?;
+    let (completed, completed_compiled) = compile::assemble_ids(compiled, &id_entries, threads)?;
     let proper = ProperSchema::from_compiled(completed, &completed_compiled)?;
     Ok((proper, report))
 }
@@ -208,8 +228,14 @@ pub(crate) fn complete_from_compiled_impl(
 /// [`crate::reference`] path).
 #[derive(Clone, Copy, PartialEq, Eq)]
 pub(crate) enum Engine {
-    /// Dense ids, bitset closures, CSR arrows ([`crate::compile`]).
-    Compiled,
+    /// Dense ids, bitset closures, CSR arrows ([`crate::compile`]),
+    /// with the `Imp` fixpoint's frontier sharded over `threads` scoped
+    /// workers (1 = fully sequential; any count yields identical
+    /// results).
+    Compiled {
+        /// Worker threads for the fixpoint frontier.
+        threads: usize,
+    },
     /// The original `BTreeMap`/`BTreeSet` algorithms.
     Symbolic,
 }
@@ -217,7 +243,7 @@ pub(crate) enum Engine {
 impl Engine {
     fn close_fn(self) -> CloseFn {
         match self {
-            Engine::Compiled => WeakSchema::close,
+            Engine::Compiled { .. } => WeakSchema::close,
             Engine::Symbolic => WeakSchema::close_symbolic,
         }
     }
@@ -251,7 +277,7 @@ pub(crate) fn complete_impl(
             let completed = assemble(weak, &entries, close)?;
             Ok((ProperSchema::try_new(completed)?, report))
         }
-        Engine::Compiled => {
+        Engine::Compiled { threads } => {
             // Compile once (or reuse the caller's compiled join), run the
             // fixpoint on bitset states and assemble in id space.
             let owned;
@@ -264,11 +290,14 @@ pub(crate) fn complete_impl(
             };
             let mut imp: BTreeMap<BTreeSet<Class>, ImplicitWitness> = BTreeMap::new();
             let mut bits_of_state: BTreeMap<BTreeSet<Class>, Vec<u64>> = BTreeMap::new();
-            for (bits, witness) in compile::discover_states_ids(compiled) {
+            let discovered = compile::discover_states_ids(compiled, threads);
+            for index in 0..discovered.len() as u32 {
+                let bits = discovered.bits(index);
                 if bits.iter().map(|w| w.count_ones()).sum::<u32>() < 2 {
                     continue;
                 }
-                let state = compile::state_classes(compiled, &bits);
+                let state = compile::state_classes(compiled, bits);
+                let witness = discovered.witness(index);
                 imp.insert(
                     state.clone(),
                     ImplicitWitness {
@@ -280,7 +309,7 @@ pub(crate) fn complete_impl(
                             .collect(),
                     },
                 );
-                bits_of_state.insert(state, bits);
+                bits_of_state.insert(state, bits.to_vec());
             }
             let (entries, report) = name_states(weak, imp);
             let id_entries: Vec<(Vec<u64>, Class)> = entries
@@ -297,7 +326,8 @@ pub(crate) fn complete_impl(
                 let proper = ProperSchema::from_compiled(weak.clone(), compiled)?;
                 return Ok((proper, report));
             }
-            let (completed, completed_compiled) = compile::assemble_ids(compiled, &id_entries)?;
+            let (completed, completed_compiled) =
+                compile::assemble_ids(compiled, &id_entries, threads)?;
             let proper = ProperSchema::from_compiled(completed, &completed_compiled)?;
             Ok((proper, report))
         }

@@ -88,11 +88,13 @@ pub mod merge;
 pub mod merger;
 pub mod name;
 mod order;
+pub mod parallel;
 pub mod participation;
 pub mod proper;
 pub mod reference;
 pub mod rename;
 pub mod restructure;
+pub mod scratch;
 pub mod weak;
 
 pub use class::{Class, OriginSet};
@@ -119,9 +121,10 @@ pub use merge::{
 };
 pub use merger::{
     EnginePreference, InputProvenance, Joined, MergeMode, MergePass, MergePlan, MergeReport,
-    Merger, PlannedEngine,
+    Merger, PlannedEngine, PARALLEL_INPUT_THRESHOLD, PARALLEL_WORK_THRESHOLD,
 };
 pub use name::{Label, Name};
+pub use parallel::default_threads;
 pub use participation::Participation;
 pub use proper::ProperSchema;
 pub use rename::{

@@ -76,10 +76,17 @@ pub fn weak_join_all<'a>(
 pub fn weak_join_all_compiled<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<(WeakSchema, CompiledSchema), MergeError> {
-    let (weak, compiled) = Merger::new().schemas(schemas).join()?.into_parts();
+    // Pinned to the batch compiled engine: the shim promises both
+    // representations, which an auto-selected parallel plan (symbolic
+    // join never materialized) would not produce.
+    let (weak, compiled) = Merger::new()
+        .schemas(schemas)
+        .engine(crate::merger::EnginePreference::Compiled)
+        .join()?
+        .into_parts();
     Ok((
         weak.expect("the compiled engine materializes the weak join"),
-        compiled.expect("the default engine is compiled"),
+        compiled.expect("the compiled engine stays compiled"),
     ))
 }
 
@@ -129,8 +136,11 @@ pub struct MergeOutcome {
 pub fn merge<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<MergeOutcome, MergeError> {
+    // Pinned to the batch compiled engine: the historical outcome triple
+    // includes the symbolic weak join, which the parallel engine skips.
     Merger::new()
         .schemas(schemas)
+        .engine(crate::merger::EnginePreference::Compiled)
         .execute()
         .map(crate::merger::MergeReport::into_outcome)
 }
@@ -147,6 +157,7 @@ pub fn merge_compiled<'a>(
 ) -> Result<MergeOutcome, MergeError> {
     Merger::new()
         .schemas(schemas)
+        .engine(crate::merger::EnginePreference::Compiled)
         .execute()
         .map(crate::merger::MergeReport::into_outcome)
 }
@@ -165,6 +176,7 @@ pub fn merge_consistent<'a>(
 ) -> Result<MergeOutcome, MergeError> {
     Merger::new()
         .schemas(schemas)
+        .engine(crate::merger::EnginePreference::Compiled)
         .with_consistency(consistency)
         .execute()
         .map(crate::merger::MergeReport::into_outcome)

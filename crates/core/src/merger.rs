@@ -67,6 +67,7 @@ use crate::lower::{
     annotated_join, lower_complete, lower_merge, AnnotatedSchema, LowerCompletionReport,
 };
 use crate::name::Label;
+use crate::parallel;
 use crate::proper::ProperSchema;
 use crate::weak::WeakSchema;
 use std::fmt;
@@ -76,8 +77,11 @@ use std::fmt;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 #[non_exhaustive]
 pub enum EnginePreference {
-    /// Let the planner pick: the compiled engine, reusing the base when
-    /// one was supplied. The right choice outside differential tests.
+    /// Let the planner pick: the compiled engine for small merges, the
+    /// parallel engine once the [work estimate](MergePlan::work_units)
+    /// crosses [`PARALLEL_WORK_THRESHOLD`], and the onto-base engine when
+    /// a cached base was supplied. The right choice outside differential
+    /// tests.
     #[default]
     Auto,
     /// Force the retained symbolic reference algorithms.
@@ -85,6 +89,10 @@ pub enum EnginePreference {
     /// Force the compiled engine (re-interning the base if one was
     /// supplied).
     Compiled,
+    /// Force the parallel engine: sharded interning against a shared
+    /// interner, tree-reduction join, frontier-parallel completion —
+    /// end-to-end in id space ([`crate::parallel`]).
+    Parallel,
 }
 
 /// The engine a [`MergePlan`] resolved to.
@@ -97,6 +105,15 @@ pub enum PlannedEngine {
     Compiled,
     /// Compiled engine joining extras onto a cached compiled base.
     CompiledOntoBase,
+    /// Tree-reduction join and frontier-parallel completion over
+    /// [`MergePlan::threads`] scoped workers, never materializing the
+    /// symbolic join ([`MergeReport::weak`] is `None`, as on the
+    /// onto-base path). Bit-identical results to [`Compiled`]
+    /// (`proper`, `implicit` and every downstream pass) at every thread
+    /// count.
+    ///
+    /// [`Compiled`]: PlannedEngine::Compiled
+    Parallel,
 }
 
 impl PlannedEngine {
@@ -106,6 +123,7 @@ impl PlannedEngine {
             PlannedEngine::Symbolic => "symbolic",
             PlannedEngine::Compiled => "compiled",
             PlannedEngine::CompiledOntoBase => "compiled-onto-base",
+            PlannedEngine::Parallel => "parallel",
         }
     }
 }
@@ -185,6 +203,22 @@ impl fmt::Display for MergePass {
     }
 }
 
+/// The [work-unit](MergePlan::work_units) level at which an `Auto` plan
+/// switches from the sequential compiled engine to the parallel engine.
+/// Below it, the parallel pipeline's setup (shared-interner tables, wave
+/// buffers, worker spawns) costs more than it saves; above it, the merge
+/// is dominated by interning and the `Imp` fixpoint, both of which the
+/// parallel engine shards.
+pub const PARALLEL_WORK_THRESHOLD: u64 = 10_000;
+
+/// The input count at which an `Auto` plan switches to the parallel
+/// engine regardless of the work estimate: with this many member
+/// schemas the merge is dominated by walking the inputs (the wide
+/// registry-rebuild shape), which the parallel join shards perfectly —
+/// per-input size signals cannot see this, because the collisions that
+/// make such merges expensive only materialize in the join.
+pub const PARALLEL_INPUT_THRESHOLD: usize = 16;
+
 /// What a [`Merger`] will do when executed: engine, passes and an
 /// estimate of the work involved. Produced by [`Merger::plan`] — cheap,
 /// side-effect free, and inspectable before committing to the merge.
@@ -199,6 +233,13 @@ pub struct MergePlan {
     /// ([`MergeReport::compiled`] is `None`): the participation
     /// bookkeeping lives on the symbolic representation.
     pub engine: PlannedEngine,
+    /// The worker-thread budget: the caller's [`Merger::threads`] if
+    /// set, the machine's available parallelism when the parallel
+    /// engine was auto-selected, 1 otherwise. At execution time the
+    /// budget is additionally capped at the machine's available
+    /// parallelism (oversubscribing cores with CPU-bound bit sweeps
+    /// only adds scheduler overhead).
+    pub threads: usize,
     /// The passes, in execution order.
     pub passes: Vec<MergePass>,
     /// Number of input schemas (weak + annotated; assertions counted
@@ -215,6 +256,55 @@ pub struct MergePlan {
     pub estimated_classes: usize,
     /// Upper bound on the arrows the join must consider.
     pub estimated_arrows: usize,
+    /// Upper bound on the transitively-closed specialization pairs the
+    /// join must consider — inputs arrive closed, so their pair counts
+    /// measure the *density* of the order, which raw class counts miss.
+    pub estimated_spec_pairs: usize,
+    /// Upper bound on the distinct `(class, label)` arrow pairs. The
+    /// excess of [`estimated_arrows`](MergePlan::estimated_arrows) over
+    /// this is the inputs' NFA branching — the driver of the `Imp`
+    /// fixpoint's state count.
+    pub estimated_arrow_pairs: usize,
+}
+
+impl MergePlan {
+    /// A scalar work estimate combining input size with closure density,
+    /// used by `Auto` planning to route merges to the parallel engine.
+    ///
+    /// Linear terms count the symbols the join walks (classes, arrows)
+    /// and the closed specialization pairs the closure and `MinS`/`MaxS`
+    /// sweeps touch. The fixpoint term is driven by *branching* — arrows
+    /// in excess of distinct `(class, label)` pairs — because the `Imp`
+    /// fixpoint is an NFA subset construction: without branching it
+    /// discovers only singleton states (linear), while each extra target
+    /// can double the reachable state space. A pathological 11-class NFA
+    /// therefore out-weighs a plain 400-class schema, which the previous
+    /// raw-size estimate got exactly backwards.
+    ///
+    /// One subtlety keeps the exponential honest: the inputs arrive
+    /// *closed*, and the W2 closure lifts every arrow target upward, so
+    /// a specialization-heavy schema shows excess targets that the
+    /// fixpoint's `MinS` canonicalization collapses straight back to
+    /// singletons. Excess only signals subset-construction hardness when
+    /// it is large *relative to the pair count* (genuinely NFA-shaped
+    /// inputs, where branching is the rule rather than the closure's
+    /// echo); mild excess is weighed linearly instead.
+    pub fn work_units(&self) -> u64 {
+        let linear =
+            (self.estimated_classes + self.estimated_arrows + self.estimated_spec_pairs) as u64;
+        let excess = self
+            .estimated_arrows
+            .saturating_sub(self.estimated_arrow_pairs) as u64;
+        let pairs = self.estimated_arrow_pairs.max(1) as u64;
+        let fixpoint = if excess >= 8 && excess * 2 >= pairs {
+            // NFA-shaped: 2^excess states, saturated past any threshold.
+            (self.estimated_classes as u64).saturating_mul(1u64 << excess.min(20))
+        } else {
+            // Mostly W2 lift: linear in the extra targets per class.
+            (self.estimated_classes as u64).saturating_mul(excess)
+        };
+        linear.saturating_add(fixpoint)
+    }
 }
 
 impl fmt::Display for MergePlan {
@@ -224,6 +314,9 @@ impl fmt::Display for MergePlan {
             "plan: {} merge, engine={}, inputs={}",
             self.mode, self.engine, self.num_inputs
         )?;
+        if self.engine == PlannedEngine::Parallel {
+            write!(f, ", threads={}", self.threads)?;
+        }
         if self.num_assertions > 0 {
             write!(f, " (+{} assertions)", self.num_assertions)?;
         }
@@ -238,8 +331,11 @@ impl fmt::Display for MergePlan {
         writeln!(f)?;
         write!(
             f,
-            "estimated work: <= {} classes, <= {} arrows",
-            self.estimated_classes, self.estimated_arrows
+            "estimated work: <= {} classes, <= {} arrows, <= {} spec pairs ({} work units)",
+            self.estimated_classes,
+            self.estimated_arrows,
+            self.estimated_spec_pairs,
+            self.work_units()
         )
     }
 }
@@ -276,10 +372,10 @@ pub struct MergeReport {
     /// The plan that was executed.
     pub plan: MergePlan,
     /// The weak join of the inputs (upper mode) or the GLB schema (lower
-    /// mode). `None` only on the onto-base path, where materializing the
-    /// pre-completion join symbolically would cost an extra decompile the
-    /// incremental callers (the registry) deliberately avoid — the
-    /// completed schema is [`MergeReport::proper`] either way.
+    /// mode). `None` on the onto-base and parallel paths, where
+    /// materializing the pre-completion join symbolically would cost an
+    /// extra decompile those engines exist to avoid — the completed
+    /// schema is [`MergeReport::proper`] either way.
     pub weak: Option<WeakSchema>,
     /// The completed merged schema — the paper's `Ḡ`.
     pub proper: ProperSchema,
@@ -309,17 +405,25 @@ pub struct MergeReport {
 
 impl MergeReport {
     /// Extracts the historical outcome triple (weak join, proper schema,
-    /// completion report) that pre-façade callers consume.
+    /// completion report) that pre-façade callers consume. Plans that
+    /// skip the symbolic join (parallel, onto-base with extras)
+    /// decompile their compiled join here, on demand.
     ///
     /// # Panics
     ///
-    /// When the report came from an onto-base plan, which deliberately
-    /// does not materialize the weak join (see [`MergeReport::weak`]).
+    /// When the report came from a base-only plan (nothing was joined,
+    /// so no join representation exists — the caller already holds the
+    /// base; see [`MergeReport::weak`]).
     pub fn into_outcome(self) -> crate::merge::MergeOutcome {
+        let weak = match (self.weak, &self.compiled) {
+            (Some(weak), _) => weak,
+            (None, Some(compiled)) => compiled.decompile(),
+            (None, None) => {
+                panic!("base-only plans carry no join; the caller already holds the base")
+            }
+        };
         crate::merge::MergeOutcome {
-            weak: self
-                .weak
-                .expect("merges without a compiled base materialize the weak join"),
+            weak,
             proper: self.proper,
             report: self.implicit,
         }
@@ -470,6 +574,7 @@ pub struct Merger<'a> {
     consistency: Option<&'a ConsistencyRelation>,
     keys: Vec<(Class, SuperkeyFamily)>,
     engine: EnginePreference,
+    threads: Option<usize>,
     lower: bool,
 }
 
@@ -586,6 +691,18 @@ impl<'a> Merger<'a> {
         self
     }
 
+    /// Fixes the worker-thread budget for the parallel engine (and for
+    /// the frontier-parallel completion pass of the other compiled
+    /// plans). Clamped to at least 1 — a budget of 1 keeps the parallel
+    /// engine's end-to-end id-space pipeline but runs every stage on the
+    /// calling thread. Unset, an auto-selected parallel plan uses the
+    /// machine's available parallelism and every other plan stays
+    /// sequential. Thread counts never change results, only wall time.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
+    }
+
     /// Switches to the §6 *lower* merge: the greatest lower bound of the
     /// inputs (the federated view every source can serve), completed with
     /// union classes, with participation constraints weakened pointwise.
@@ -602,54 +719,76 @@ impl<'a> Merger<'a> {
         } else {
             MergeMode::Upper
         };
-        let engine = self.resolved_engine();
-        let mut passes = Vec::new();
-        if !self.is_base_only(engine) {
-            passes.push(MergePass::Join);
-        }
-        match mode {
-            MergeMode::Upper => {
-                passes.push(MergePass::Completion);
-                if self.consistency.is_some() {
-                    passes.push(MergePass::ConsistencyCheck);
-                }
-            }
-            MergeMode::Lower => passes.push(MergePass::LowerCompletion),
-        }
-        if !self.keys.is_empty() {
-            passes.push(MergePass::KeyAssignment);
-        }
-        if self.has_annotated() || mode == MergeMode::Lower {
-            passes.push(MergePass::ParticipationTransfer);
-        }
 
         let mut estimated_classes = 0;
         let mut estimated_arrows = 0;
+        let mut estimated_spec_pairs = 0;
+        let mut estimated_arrow_pairs = 0;
         for input in &self.inputs {
-            estimated_classes += input.kind.weak().num_classes();
-            estimated_arrows += input.kind.weak().num_arrows();
+            let weak = input.kind.weak();
+            estimated_classes += weak.num_classes();
+            estimated_arrows += weak.num_arrows();
+            estimated_spec_pairs += weak.num_specializations();
+            estimated_arrow_pairs += weak.num_arrow_pairs();
         }
         estimated_classes += 2 * self.assertions.len();
-        estimated_arrows += self
-            .assertions
-            .iter()
-            .filter(|a| matches!(a, Assertion::Arrow(..)))
-            .count();
+        for assertion in &self.assertions {
+            match assertion {
+                Assertion::Specialization(..) => estimated_spec_pairs += 1,
+                Assertion::Arrow(..) => {
+                    estimated_arrows += 1;
+                    estimated_arrow_pairs += 1;
+                }
+            }
+        }
         let base_classes = self.base.map_or(0, CompiledSchema::num_classes);
         estimated_classes += base_classes;
         estimated_arrows += self.base.map_or(0, CompiledSchema::num_arrows);
+        estimated_spec_pairs += self.base.map_or(0, CompiledSchema::num_specializations);
+        estimated_arrow_pairs += self.base.map_or(0, CompiledSchema::num_arrow_pairs);
 
-        MergePlan {
+        let mut plan = MergePlan {
             mode,
-            engine,
-            passes,
+            engine: PlannedEngine::Compiled, // resolved below, once work is known
+            threads: 1,
+            passes: Vec::new(),
             num_inputs: self.inputs.len(),
             num_assertions: self.assertions.len(),
             reuses_base: self.base.is_some(),
             base_classes,
             estimated_classes,
             estimated_arrows,
+            estimated_spec_pairs,
+            estimated_arrow_pairs,
+        };
+        plan.engine = self.resolved_engine(plan.work_units());
+        plan.threads = match (self.threads, plan.engine) {
+            // An explicit budget always applies (the compiled plans use
+            // it for the frontier-parallel completion pass).
+            (Some(threads), _) => threads,
+            (None, PlannedEngine::Parallel) => parallel::default_threads(),
+            (None, _) => 1,
+        };
+
+        if !self.is_base_only(plan.engine) {
+            plan.passes.push(MergePass::Join);
         }
+        match mode {
+            MergeMode::Upper => {
+                plan.passes.push(MergePass::Completion);
+                if self.consistency.is_some() {
+                    plan.passes.push(MergePass::ConsistencyCheck);
+                }
+            }
+            MergeMode::Lower => plan.passes.push(MergePass::LowerCompletion),
+        }
+        if !self.keys.is_empty() {
+            plan.passes.push(MergePass::KeyAssignment);
+        }
+        if self.has_annotated() || mode == MergeMode::Lower {
+            plan.passes.push(MergePass::ParticipationTransfer);
+        }
+        plan
     }
 
     /// Executes the plan: join, completion, and every configured
@@ -677,7 +816,8 @@ impl<'a> Merger<'a> {
     /// folds a published document into one member schema.
     pub fn join(&self) -> Result<Joined, MergeError> {
         let atoms = self.materialize_assertions()?;
-        let (weak, compiled, _) = self.join_stage(self.resolved_engine(), &atoms)?;
+        let plan = self.plan();
+        let (weak, compiled, _) = self.join_stage(plan.engine, execution_threads(&plan), &atoms)?;
         Ok(Joined { weak, compiled })
     }
 
@@ -689,7 +829,7 @@ impl<'a> Merger<'a> {
             .any(|input| matches!(input.kind, InputKind::Annotated(_)))
     }
 
-    fn resolved_engine(&self) -> PlannedEngine {
+    fn resolved_engine(&self, work_units: u64) -> PlannedEngine {
         if self.lower {
             // The lower pipeline is a symbolic fixpoint (§6); no compiled
             // variant exists yet.
@@ -701,9 +841,19 @@ impl<'a> Merger<'a> {
             // base (the base is decompiled and re-interned) — that is
             // the differential-test knob for batch vs onto-base.
             EnginePreference::Compiled => PlannedEngine::Compiled,
+            // An explicit `Parallel` forces the parallel pipeline even
+            // over a base (decompiled and re-interned like forced
+            // `Compiled`) — the differential knob for parallel vs the
+            // rest.
+            EnginePreference::Parallel => PlannedEngine::Parallel,
             EnginePreference::Auto => {
                 if self.base.is_some() && !self.has_annotated() {
                     PlannedEngine::CompiledOntoBase
+                } else if !self.has_annotated()
+                    && (work_units >= PARALLEL_WORK_THRESHOLD
+                        || self.inputs.len() >= PARALLEL_INPUT_THRESHOLD)
+                {
+                    PlannedEngine::Parallel
                 } else {
                     PlannedEngine::Compiled
                 }
@@ -744,6 +894,7 @@ impl<'a> Merger<'a> {
     fn join_stage(
         &self,
         engine: PlannedEngine,
+        threads: usize,
         atoms: &[WeakSchema],
     ) -> Result<JoinStageOutput, MergeError> {
         if self.has_annotated() {
@@ -784,6 +935,19 @@ impl<'a> Merger<'a> {
                     compile::join_onto_compiled(base, &weak_refs).map_err(schema_to_merge)?;
                 Ok((None, Some(compiled), None))
             }
+            PlannedEngine::Parallel => {
+                // Sharded interning + tree reduction, straight to the
+                // compiled form: like onto-base, the parallel engine
+                // never materializes the symbolic join.
+                let decompiled_base = self.base.map(CompiledSchema::decompile);
+                let refs: Vec<&WeakSchema> = decompiled_base
+                    .iter()
+                    .chain(weak_refs.iter().copied())
+                    .collect();
+                let compiled =
+                    compile::join_compiled_ids(&refs, threads).map_err(schema_to_merge)?;
+                Ok((None, Some(compiled), None))
+            }
         }
     }
 
@@ -811,26 +975,28 @@ impl<'a> Merger<'a> {
         let (weak, compiled, joined_annotated) = if self.is_base_only(plan.engine) {
             (None, None, None)
         } else {
-            self.join_stage(plan.engine, &atoms)?
+            self.join_stage(plan.engine, execution_threads(&plan), &atoms)?
         };
 
+        let threads = execution_threads(&plan);
         let (proper, implicit) = match (&weak, &compiled, plan.engine) {
             (Some(weak), _, PlannedEngine::Symbolic) => {
                 complete_impl(weak, None, CompletionEngine::Symbolic).map_err(MergeError::Schema)?
             }
             (Some(weak), Some(compiled), _) => {
-                complete_impl(weak, Some(compiled), CompletionEngine::Compiled)
+                complete_impl(weak, Some(compiled), CompletionEngine::Compiled { threads })
                     .map_err(MergeError::Schema)?
             }
             (Some(weak), None, _) => {
-                complete_impl(weak, None, CompletionEngine::Compiled).map_err(MergeError::Schema)?
+                complete_impl(weak, None, CompletionEngine::Compiled { threads })
+                    .map_err(MergeError::Schema)?
             }
             (None, Some(compiled), _) => {
-                complete_from_compiled_impl(compiled).map_err(MergeError::Schema)?
+                complete_from_compiled_impl(compiled, threads).map_err(MergeError::Schema)?
             }
             (None, None, _) => {
                 let base = self.base.expect("the base-only path implies a base");
-                complete_from_compiled_impl(base).map_err(MergeError::Schema)?
+                complete_from_compiled_impl(base, threads).map_err(MergeError::Schema)?
             }
         };
 
@@ -990,6 +1156,15 @@ type JoinStageOutput = (
     Option<AnnotatedSchema>,
 );
 
+/// The worker count a plan actually runs with: the budget, capped at
+/// the machine's available parallelism — the engine's passes are
+/// CPU-bound bit sweeps, so oversubscribing cores only adds scheduler
+/// overhead (a budget is a cap, not a mandate). [`MergePlan::threads`]
+/// keeps the uncapped budget for display and reporting.
+fn execution_threads(plan: &MergePlan) -> usize {
+    plan.threads.min(parallel::default_threads()).max(1)
+}
+
 /// The standard error mapping: a specialization cycle discovered while
 /// joining means the inputs are incompatible (§4.1).
 fn schema_to_merge(err: SchemaError) -> MergeError {
@@ -1069,7 +1244,7 @@ mod tests {
             text,
             "plan: upper merge, engine=compiled, inputs=2 (+1 assertions)\n\
              passes: join -> completion\n\
-             estimated work: <= 8 classes, <= 4 arrows"
+             estimated work: <= 8 classes, <= 4 arrows, <= 2 spec pairs (14 work units)"
         );
     }
 
@@ -1393,7 +1568,7 @@ mod tests {
             report.summary(),
             "plan: upper merge, engine=compiled, inputs=2\n\
              passes: join -> completion\n\
-             estimated work: <= 4 classes, <= 2 arrows\n\
+             estimated work: <= 4 classes, <= 2 arrows, <= 0 spec pairs (6 work units)\n\
              result: 4 classes, 3 arrows, 2 specializations, 1 implicit\n\
              implicit: {B1,B2} demanded by C --a-->\n\
              info[I-IMPLICIT-CLASSES]: completion introduced 1 implicit class(es) (classes: {B1,B2})\n"
@@ -1405,5 +1580,129 @@ mod tests {
         let report = Merger::new().execute().unwrap();
         assert_eq!(report.proper.num_classes(), 0);
         assert_eq!(report.weak.as_ref().unwrap(), &WeakSchema::empty());
+    }
+
+    /// A branchy NFA-shaped schema: few classes and arrows, but every
+    /// `(class, label)` pair has two targets.
+    fn branchy(n: usize) -> WeakSchema {
+        let mut builder = WeakSchema::builder();
+        for i in 0..n {
+            for label in ["zero", "one"] {
+                builder = builder
+                    .arrow(format!("S{i}"), label, format!("S{}", (i + 1) % n))
+                    .arrow(format!("S{i}"), label, format!("S{}", (i + 2) % n));
+            }
+        }
+        builder.build().unwrap()
+    }
+
+    #[test]
+    fn work_estimate_weighs_closure_density_not_just_size() {
+        // A pathological NFA shape: tiny by raw counts, exponential by
+        // fixpoint. The old estimate (raw classes + arrows) ranked it
+        // below a plain 100-class schema; the density-aware one must not.
+        let nfa = branchy(12);
+        let mut plain_builder = WeakSchema::builder();
+        for i in 0..100 {
+            plain_builder = plain_builder.arrow(format!("C{i}"), format!("f{i}"), "T");
+        }
+        let plain = plain_builder.build().unwrap();
+
+        let nfa_plan = Merger::new().schema(&nfa).plan();
+        let plain_plan = Merger::new().schema(&plain).plan();
+        assert!(nfa_plan.estimated_classes < plain_plan.estimated_classes);
+        assert!(
+            nfa_plan.work_units() > plain_plan.work_units(),
+            "branching must dominate raw size: {} vs {}",
+            nfa_plan.work_units(),
+            plain_plan.work_units()
+        );
+        // And the estimate routes the NFA to the parallel engine while
+        // the plain schema stays on the sequential compiled one.
+        assert_eq!(nfa_plan.engine, PlannedEngine::Parallel);
+        assert_eq!(plain_plan.engine, PlannedEngine::Compiled);
+    }
+
+    #[test]
+    fn parallel_engine_matches_compiled_at_every_thread_count() {
+        let nfa = branchy(10);
+        let extra = WeakSchema::builder()
+            .arrow("S0", "zero", "Sink")
+            .specialize("Sink", "S1")
+            .build()
+            .unwrap();
+        let compiled = Merger::new()
+            .schemas([&nfa, &extra])
+            .engine(EnginePreference::Compiled)
+            .execute()
+            .unwrap();
+        for threads in [1, 2, 4, 8] {
+            let parallel = Merger::new()
+                .schemas([&nfa, &extra])
+                .engine(EnginePreference::Parallel)
+                .threads(threads)
+                .execute()
+                .unwrap();
+            assert_eq!(parallel.plan.engine, PlannedEngine::Parallel);
+            assert_eq!(parallel.plan.threads, threads);
+            assert_eq!(parallel.proper, compiled.proper, "at {threads} threads");
+            assert_eq!(parallel.implicit, compiled.implicit);
+            assert_eq!(
+                parallel.compiled.as_ref().unwrap(),
+                compiled.compiled.as_ref().unwrap(),
+                "compiled joins are bit-identical"
+            );
+            assert!(
+                parallel.weak.is_none(),
+                "the parallel engine never materializes the symbolic join"
+            );
+        }
+    }
+
+    #[test]
+    fn forced_parallel_over_a_base_reinterns_like_forced_compiled() {
+        let (g1, g2) = dogs();
+        let g3 = WeakSchema::builder()
+            .arrow("Dog", "owner", "Company")
+            .build()
+            .unwrap();
+        let base = Merger::new()
+            .schemas([&g1, &g2])
+            .join()
+            .unwrap()
+            .into_parts()
+            .1
+            .unwrap();
+        let expected = Merger::new().schemas([&g1, &g2, &g3]).execute().unwrap();
+        let forced = Merger::new()
+            .onto_base(&base)
+            .schema(&g3)
+            .engine(EnginePreference::Parallel)
+            .threads(2)
+            .execute()
+            .unwrap();
+        assert_eq!(forced.plan.engine, PlannedEngine::Parallel);
+        assert_eq!(forced.proper, expected.proper);
+        assert_eq!(forced.implicit, expected.implicit);
+    }
+
+    #[test]
+    fn plan_threads_default_is_sequential_off_the_parallel_engine() {
+        let (g1, g2) = dogs();
+        let plan = Merger::new().schemas([&g1, &g2]).plan();
+        assert_eq!(plan.engine, PlannedEngine::Compiled);
+        assert_eq!(plan.threads, 1, "small auto plans stay sequential");
+        let plan = Merger::new().schemas([&g1, &g2]).threads(3).plan();
+        assert_eq!(plan.threads, 3, "an explicit budget always applies");
+        let plan = Merger::new()
+            .schemas([&g1, &g2])
+            .engine(EnginePreference::Parallel)
+            .plan();
+        assert!(plan.threads >= 1, "parallel defaults to the machine");
+        let display = plan.to_string();
+        assert!(
+            display.contains("engine=parallel") && display.contains(", threads="),
+            "plan display names the budget: {display}"
+        );
     }
 }

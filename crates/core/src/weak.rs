@@ -152,6 +152,14 @@ impl WeakSchema {
             .sum()
     }
 
+    /// Number of distinct `(class, label)` arrow pairs. The excess of
+    /// [`num_arrows`](WeakSchema::num_arrows) over this count is the
+    /// schema's NFA branching — each multi-target pair feeds the `Imp`
+    /// fixpoint of completion — which is why merge planning weighs it.
+    pub fn num_arrow_pairs(&self) -> usize {
+        self.arrows.values().map(BTreeMap::len).sum()
+    }
+
     /// `R(X, a)` for a set `X` of classes (§4.2): the union of `R(p, a)`
     /// over `p ∈ X`.
     pub fn arrow_targets_of_set<'a>(

@@ -73,12 +73,48 @@ proptest! {
         let refs: Vec<&WeakSchema> = family.iter().collect();
         let expected = reference::merge(refs.iter().copied()).expect("compatible");
 
-        // Compiled (the default plan).
-        let compiled = Merger::new().schemas(refs.iter().copied()).execute().expect("compiled");
+        // The default (Auto) plan: compiled for small merges, parallel
+        // once the work estimate crosses the threshold — same results
+        // either way, but only the compiled plan materializes the
+        // symbolic join.
+        let auto = Merger::new().schemas(refs.iter().copied()).execute().expect("auto");
+        prop_assert!(matches!(
+            auto.plan.engine,
+            PlannedEngine::Compiled | PlannedEngine::Parallel
+        ));
+        prop_assert_eq!(&auto.proper, &expected.proper);
+        prop_assert_eq!(&auto.implicit, &expected.report);
+        match &auto.weak {
+            Some(weak) => prop_assert_eq!(weak, &expected.weak),
+            None => prop_assert_eq!(auto.plan.engine, PlannedEngine::Parallel),
+        }
+
+        // Forced compiled.
+        let compiled = Merger::new()
+            .schemas(refs.iter().copied())
+            .engine(EnginePreference::Compiled)
+            .execute()
+            .expect("compiled");
         prop_assert_eq!(compiled.plan.engine, PlannedEngine::Compiled);
         prop_assert_eq!(&compiled.proper, &expected.proper);
         prop_assert_eq!(compiled.weak.as_ref().unwrap(), &expected.weak);
         prop_assert_eq!(&compiled.implicit, &expected.report);
+
+        // Forced parallel, across thread counts: report-identical to the
+        // reference at every budget.
+        for threads in [1, 2, 4, 8] {
+            let parallel = Merger::new()
+                .schemas(refs.iter().copied())
+                .engine(EnginePreference::Parallel)
+                .threads(threads)
+                .execute()
+                .expect("parallel");
+            prop_assert_eq!(parallel.plan.engine, PlannedEngine::Parallel);
+            prop_assert_eq!(parallel.plan.threads, threads);
+            prop_assert_eq!(&parallel.proper, &expected.proper);
+            prop_assert_eq!(&parallel.implicit, &expected.report);
+            prop_assert!(parallel.weak.is_none());
+        }
 
         // Symbolic.
         let symbolic = Merger::new()
@@ -220,7 +256,7 @@ fn merge_report_snapshot_plain() {
         report.summary(),
         "plan: upper merge, engine=compiled, inputs=2\n\
          passes: join -> completion\n\
-         estimated work: <= 5 classes, <= 3 arrows\n\
+         estimated work: <= 5 classes, <= 3 arrows, <= 1 spec pairs (9 work units)\n\
          result: 4 classes, 4 arrows, 1 specializations, 0 implicit\n"
     );
     let names: Vec<Option<&str>> = report
@@ -245,7 +281,7 @@ fn merge_report_snapshot_with_implicit_and_assertions() {
         report.summary(),
         "plan: upper merge, engine=compiled, inputs=2 (+1 assertions)\n\
          passes: join -> completion\n\
-         estimated work: <= 6 classes, <= 2 arrows\n\
+         estimated work: <= 6 classes, <= 2 arrows, <= 1 spec pairs (9 work units)\n\
          result: 5 classes, 6 arrows, 3 specializations, 1 implicit\n\
          implicit: {B1,B2} demanded by C --a-->\n\
          info[I-IMPLICIT-CLASSES]: completion introduced 1 implicit class(es) (classes: {B1,B2})\n"

@@ -155,6 +155,10 @@ pub struct Registry {
     shared: RwLock<Shared>,
     cache: Mutex<JoinCache>,
     counters: Counters,
+    /// Worker budget for the merge engine (`None` = the merger's
+    /// defaults: sequential below the parallel work threshold, the
+    /// machine's parallelism above it).
+    merge_threads: Option<usize>,
 }
 
 impl Default for Registry {
@@ -190,6 +194,21 @@ impl Registry {
             }),
             cache: Mutex::new(JoinCache::default()),
             counters: Counters::default(),
+            merge_threads: None,
+        }
+    }
+
+    /// A registry with a fixed worker budget for its merge plans. Cold
+    /// full rebuilds (cache-miss publishes, preloads, post-delete
+    /// re-merges of many members) run the parallel engine with this many
+    /// workers; the warm incremental path is already one small onto-base
+    /// join and uses the budget for its completion pass. Results are
+    /// identical to [`Registry::new`] — thread counts never change the
+    /// merged view.
+    pub fn with_merge_threads(threads: usize) -> Self {
+        Registry {
+            merge_threads: Some(threads.max(1)),
+            ..Registry::new()
         }
     }
 
@@ -242,7 +261,7 @@ impl Registry {
             // changed member is walked symbolically — and the completion
             // runs straight off the compiled join, materializing the
             // symbolic schema once.
-            let candidate = match merge_onto(&rest, Some(schema.as_ref())) {
+            let candidate = match merge_onto(&rest, Some(schema.as_ref()), self.merge_threads) {
                 Ok(candidate) => candidate,
                 Err(cause) => return Err(self.reject(name, cause)),
             };
@@ -316,7 +335,7 @@ impl Registry {
             // The remainder's join IS the new total — the merge plan has
             // no extras, so the merger skips the join pass and only the
             // completion runs (against the cached compiled form).
-            let candidate = match merge_onto(&rest, None) {
+            let candidate = match merge_onto(&rest, None, self.merge_threads) {
                 Ok(candidate) => candidate,
                 Err(cause) => return Err(self.reject(name.to_string(), cause)),
             };
@@ -473,7 +492,11 @@ impl Registry {
 
     /// The compiled join of the snapshot's unchanged members: from the
     /// cache when their exact version set was joined before, otherwise
-    /// computed from scratch (and later seeded by the commit).
+    /// computed from scratch (and later seeded by the commit). The
+    /// from-scratch rebuild is the registry's widest merge — every
+    /// unchanged member walked at once — so it is exactly the shape the
+    /// parallel engine shards: the merger auto-selects it past the work
+    /// threshold, and [`Registry::with_merge_threads`] fixes its budget.
     fn rest_join(
         &self,
         snapshot: &Snapshot,
@@ -482,11 +505,13 @@ impl Registry {
         if let Some(join) = self.cache.lock().expect("cache lock").probe(fp) {
             return Ok((join, MergeStrategy::Incremental));
         }
-        let joined = Merger::new()
-            .schemas(snapshot.rest.iter().map(|(_, _, s)| s.as_ref()))
-            .join()?;
+        let mut merger = Merger::new().schemas(snapshot.rest.iter().map(|(_, _, s)| s.as_ref()));
+        if let Some(threads) = self.merge_threads {
+            merger = merger.threads(threads);
+        }
+        let joined = merger.join()?;
         let (_, compiled) = joined.into_parts();
-        let compiled = compiled.expect("the default engine is compiled");
+        let compiled = compiled.expect("the compiled engines keep the compiled join");
         Ok((Arc::new(compiled), MergeStrategy::Full))
     }
 
@@ -524,10 +549,14 @@ impl Registry {
 fn merge_onto(
     rest: &Arc<CompiledSchema>,
     extra: Option<&WeakSchema>,
+    threads: Option<usize>,
 ) -> Result<Candidate, MergeError> {
     let mut merger = Merger::new().onto_base(rest);
     if let Some(extra) = extra {
         merger = merger.schema(extra);
+    }
+    if let Some(threads) = threads {
+        merger = merger.threads(threads);
     }
     let report = merger.execute()?;
     let compiled = match report.compiled {
@@ -774,6 +803,26 @@ mod tests {
         );
         assert_eq!(stats.generation as usize, threads * rounds);
         assert_view_matches_oneshot(&registry);
+    }
+
+    #[test]
+    fn merge_threads_budget_never_changes_the_view() {
+        for threads in [1, 2, 4] {
+            let registry = Registry::with_merge_threads(threads);
+            for i in 0..6 {
+                registry
+                    .put(
+                        format!("m{i}"),
+                        schema(&format!("C{}", i % 3), &format!("f{i}"), "T"),
+                    )
+                    .unwrap();
+            }
+            // Cold rebuild path: churn an old member (its rest-join was
+            // never cached alone).
+            registry.put("m0", schema("C0", "g", "U")).unwrap();
+            registry.delete("m3").unwrap();
+            assert_view_matches_oneshot(&registry);
+        }
     }
 
     #[test]

@@ -5,6 +5,9 @@
 //! * [`random_schema`] / [`schema_family`] — random weak schemas over a
 //!   shared vocabulary, with tunable size and edge densities, always
 //!   acyclic (and hence always mutually compatible);
+//! * [`wide_family`] — many small member schemas over one vocabulary:
+//!   the registry daemon's traffic shape, and the headline workload of
+//!   the parallel merge engine;
 //! * [`pathological_nfa`] — the worst-case family for completion: the
 //!   `Imp` fixpoint is an NFA subset construction, so a hard NFA drives
 //!   the implicit-class count exponential. This answers §7's open
@@ -25,4 +28,4 @@ pub mod random;
 pub use conflicts::{conflicting_er_pair, reified_vs_direct_pair};
 pub use er_gen::{random_er_schema, ErParams};
 pub use pathological::{expected_pathological_implicit_classes, pathological_nfa};
-pub use random::{random_schema, schema_family, SchemaParams};
+pub use random::{random_schema, schema_family, wide_family, SchemaParams};

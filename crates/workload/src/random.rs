@@ -99,6 +99,29 @@ pub fn schema_family(params: &SchemaParams, count: usize) -> Vec<WeakSchema> {
     (0..count).map(|_| build_schema(params, &mut rng)).collect()
 }
 
+/// The *wide* workload: `members` small schemas over a shared
+/// vocabulary — the schema-registry daemon's real traffic shape, where
+/// many federated members each publish a modest schema and the merge is
+/// dominated by walking all of them, not by any single input's size.
+/// The label pool scales with the vocabulary so attribute names collide
+/// *sometimes* (each collision seeds the `Imp` fixpoint and can demand
+/// an implicit meet class) but completion never turns pathological.
+/// Deterministic in `seed`.
+pub fn wide_family(members: usize, seed: u64) -> Vec<WeakSchema> {
+    let vocabulary = 160;
+    schema_family(
+        &SchemaParams {
+            vocabulary,
+            classes: 24,
+            labels: vocabulary * 6,
+            arrows: 24,
+            specializations: 2,
+            seed,
+        },
+        members,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
