@@ -7,10 +7,15 @@
 //! Compares a freshly measured `BENCH_<n>.json` against the trajectory
 //! document committed in the tree and **fails (exit 1) if any speedup
 //! ratio present in both degrades by more than the tolerance** (default
-//! 15%). Entries only in the baseline (e.g. full-profile sizes a
-//! `--quick` CI run skips) are reported and skipped; entries only in the
-//! current run are new coverage and pass silently. At least one entry
-//! must match, so a malformed file can never pass vacuously.
+//! 15%). Schema-4 documents also carry a `mem_ratio` (peak-heap
+//! baseline/improved quotient) per speedup; when a positive one is
+//! present on *both* sides of a matched entry it is guarded with the
+//! same tolerance, so the sparse-representation memory win cannot
+//! silently regress — older documents without it stay comparable.
+//! Entries only in the baseline (e.g. full-profile sizes a `--quick` CI
+//! run skips) are reported and skipped; entries only in the current run
+//! are new coverage and pass silently. At least one entry must match,
+//! so a malformed file can never pass vacuously.
 //!
 //! The parser is deliberately tiny and std-only: it reads the exact
 //! line-oriented document `bench --json` emits (one speedup object per
@@ -30,6 +35,9 @@ struct Entry {
     baseline: String,
     improved: String,
     speedup: f64,
+    /// Peak-heap quotient; absent in schema-3 and older documents, and
+    /// treated as "no claim" when 0 (one side's peak rounded to nothing).
+    mem_ratio: Option<f64>,
 }
 
 impl Entry {
@@ -76,6 +84,7 @@ fn parse_speedups(text: &str) -> Vec<Entry> {
                 baseline: field_str(line, "baseline")?,
                 improved: field_str(line, "improved")?,
                 speedup: field_num(line, "speedup")?,
+                mem_ratio: field_num(line, "mem_ratio"),
             })
         })
         .collect()
@@ -113,6 +122,24 @@ fn run(baseline_path: &str, current_path: &str, tolerance: f64) -> Result<(), St
         );
         if fresh.speedup < floor {
             failures.push(entry.key());
+        }
+        if let (Some(committed_mem), Some(fresh_mem)) = (entry.mem_ratio, fresh.mem_ratio) {
+            // 0 means "no memory claim" (a peak rounded to nothing), so
+            // only a positive committed ratio is a guarded claim.
+            if committed_mem > 0.0 && fresh_mem > 0.0 {
+                let mem_floor = committed_mem * (1.0 - tolerance);
+                let status = if fresh_mem < mem_floor { "FAIL" } else { "ok" };
+                eprintln!(
+                    "guard: {status:>4} {:<44} committed {:>7.2}x measured {:>7.2}x (floor {:.2}x) [memory]",
+                    entry.key(),
+                    committed_mem,
+                    fresh_mem,
+                    mem_floor,
+                );
+                if fresh_mem < mem_floor {
+                    failures.push(format!("{} [memory]", entry.key()));
+                }
+            }
         }
     }
     if matched == 0 {
@@ -192,6 +219,20 @@ mod tests {
 }
 "#;
 
+    const DOC_V4: &str = r#"{
+  "bench_schema_version": 4,
+  "pr": 6,
+  "threads": 4,
+  "records": [
+    {"family": "taxonomy", "op": "merge", "n_classes": 6000, "n_arrows": 3000, "variant": "compiled", "iters": 7, "median_ns": 90000000, "allocs_per_iter": 40000, "peak_bytes": 52428800, "throughput_arrows_per_s": 33.0}
+  ],
+  "speedups": [
+    {"family": "wide", "op": "merge", "n_classes": 160, "n_arrows": 9000, "baseline": "compiled", "improved": "parallel", "speedup": 2.50, "alloc_ratio": 1.80, "mem_ratio": 0.00},
+    {"family": "taxonomy", "op": "merge", "n_classes": 6000, "n_arrows": 3000, "baseline": "compiled-dense", "improved": "compiled", "speedup": 1.10, "alloc_ratio": 1.20, "mem_ratio": 8.00}
+  ]
+}
+"#;
+
     #[test]
     fn parses_the_emitted_document_shape() {
         let entries = parse_speedups(DOC);
@@ -201,6 +242,16 @@ mod tests {
         assert!((entries[0].speedup - 2.5).abs() < 1e-9);
         assert_eq!(entries[1].n_classes, 200);
         assert_eq!(entries[1].baseline, "compiled-nopool");
+        assert_eq!(entries[0].mem_ratio, None, "schema-3 carries no memory");
+    }
+
+    #[test]
+    fn parses_schema_4_memory_ratios() {
+        let entries = parse_speedups(DOC_V4);
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].mem_ratio, Some(0.0));
+        assert_eq!(entries[1].improved, "compiled");
+        assert_eq!(entries[1].mem_ratio, Some(8.0));
     }
 
     #[test]
@@ -231,5 +282,32 @@ mod tests {
         let err = run(&path(&committed), &path(&fresh_bad), 0.15).unwrap_err();
         assert!(err.contains("degraded"), "{err}");
         assert!(err.contains("wide/merge"), "{err}");
+    }
+
+    #[test]
+    fn memory_ratio_is_guarded_when_both_sides_claim_one() {
+        let dir = std::env::temp_dir().join("smerge-guard-mem-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let committed = dir.join("committed.json");
+        let fresh_ok = dir.join("ok.json");
+        let fresh_bad = dir.join("bad.json");
+        let fresh_v3 = dir.join("v3.json");
+        std::fs::write(&committed, DOC_V4).unwrap();
+        // Time holds, memory win shrinks 6% — within tolerance.
+        std::fs::write(&fresh_ok, DOC_V4.replace("8.00", "7.50")).unwrap();
+        // Time holds, memory win collapses — must fail.
+        std::fs::write(&fresh_bad, DOC_V4.replace("8.00", "2.00")).unwrap();
+        // A schema-3 run against a schema-4 baseline: no memory claim to
+        // compare, the speedups alone decide.
+        std::fs::write(&fresh_v3, DOC).unwrap();
+
+        let path = |p: &std::path::Path| p.to_str().unwrap().to_string();
+        assert!(run(&path(&committed), &path(&fresh_ok), 0.15).is_ok());
+        let err = run(&path(&committed), &path(&fresh_bad), 0.15).unwrap_err();
+        assert!(err.contains("[memory]"), "{err}");
+        assert!(err.contains("taxonomy/merge"), "{err}");
+        // The wide entry's 0.00 mem_ratio is "no claim", never a failure;
+        // only the wide speedup matches the v3 document and it holds.
+        assert!(run(&path(&committed), &path(&fresh_v3), 0.15).is_ok());
     }
 }

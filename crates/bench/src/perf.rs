@@ -24,31 +24,42 @@
 //! * `full` vs `incremental` — one-shot re-merge of every registry
 //!   member against the registry's cached-join incremental publish, and
 //!   `full` vs `full-parallel` for the cold-rebuild path on the
-//!   parallel engine.
+//!   parallel engine;
+//! * `compiled-dense` vs `compiled` — the compiled engine with the
+//!   adaptive sparse rows disabled (all-dense bitset matrices, the
+//!   pre-adaptive behavior) against the default, on the `taxonomy`
+//!   family where the memory headline (`mem_ratio`) lives;
+//! * `compiled-dense` vs `partitioned` — the same dense monolith
+//!   against the component-split merge on multi-forest taxonomies.
 //!
-//! JSON schema version 3: records carry `allocs_per_iter` and speedups
-//! carry `alloc_ratio` (version 2 had neither; version 1 hard coded the
-//! symbolic/compiled pair).
+//! JSON schema version 4: records carry `peak_bytes` (per-iteration
+//! heap high-water mark) and speedups carry `mem_ratio` (version 3
+//! added `allocs_per_iter`/`alloc_ratio`; version 2 had neither;
+//! version 1 hard coded the symbolic/compiled pair).
 //!
 //! ## The counting allocator
 //!
-//! Allocation counts come from a std-only `#[global_allocator]` hook: a
-//! transparent wrapper over [`std::alloc::System`] that bumps one
-//! relaxed atomic per `alloc`/`alloc_zeroed`/`realloc` call. It is
+//! Allocation and byte counts come from a std-only `#[global_allocator]`
+//! hook: a transparent wrapper over [`std::alloc::System`] that bumps
+//! relaxed atomics per `alloc`/`alloc_zeroed`/`realloc` call — a call
+//! counter plus a live-byte gauge with a resettable high-water mark, so
+//! each measured iteration can report its peak heap footprint. It is
 //! registered for this crate's binaries and tests only (the allocator of
 //! a Rust program is chosen by the final binary, so the library crates
-//! are unaffected), and the counter costs one uncontended atomic add per
-//! allocation — identical overhead for every variant, so paired
+//! are unaffected), and the counters cost a few uncontended atomic adds
+//! per allocation — identical overhead for every variant, so paired
 //! comparisons stay fair.
 
 use std::hint::black_box;
 use std::time::Instant;
 
+use schema_merge_core::row::set_sparse_enabled;
 use schema_merge_core::{reference, EnginePreference, Merger, WeakSchema};
 use schema_merge_er::to_core;
 use schema_merge_registry::Registry;
 use schema_merge_workload::{
-    pathological_nfa, random_er_schema, wide_family, ErParams, SchemaParams,
+    pathological_nfa, random_er_schema, taxonomy_family, wide_family, ErParams, SchemaParams,
+    TaxonomyParams,
 };
 
 /// The counting global allocator (see the module docs).
@@ -58,30 +69,47 @@ mod counting_alloc {
     use std::sync::atomic::{AtomicU64, Ordering};
 
     static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    static CURRENT_BYTES: AtomicU64 = AtomicU64::new(0);
+    static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 
-    /// Counts allocations, then defers to [`System`].
+    fn on_alloc(size: usize) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        let now = CURRENT_BYTES.fetch_add(size as u64, Ordering::Relaxed) + size as u64;
+        PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Counts allocations and tracks live/peak heap bytes, then defers
+    /// to [`System`].
     pub struct CountingAllocator;
 
     // SAFETY: every method defers verbatim to `System`, which upholds
-    // the `GlobalAlloc` contract; the counter has no effect on layout,
+    // the `GlobalAlloc` contract; the counters have no effect on layout,
     // pointers or aliasing.
     unsafe impl GlobalAlloc for CountingAllocator {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            on_alloc(layout.size());
             unsafe { System.alloc(layout) }
         }
 
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            on_alloc(layout.size());
             unsafe { System.alloc_zeroed(layout) }
         }
 
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+            if new_size >= layout.size() {
+                let grown = (new_size - layout.size()) as u64;
+                let now = CURRENT_BYTES.fetch_add(grown, Ordering::Relaxed) + grown;
+                PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
+            } else {
+                CURRENT_BYTES.fetch_sub((layout.size() - new_size) as u64, Ordering::Relaxed);
+            }
             unsafe { System.realloc(ptr, layout, new_size) }
         }
 
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            CURRENT_BYTES.fetch_sub(layout.size() as u64, Ordering::Relaxed);
             unsafe { System.dealloc(ptr, layout) }
         }
     }
@@ -90,12 +118,29 @@ mod counting_alloc {
     pub fn allocations() -> u64 {
         ALLOCATIONS.load(Ordering::Relaxed)
     }
+
+    /// Heap bytes currently live (allocated and not yet freed).
+    pub fn current_bytes() -> u64 {
+        CURRENT_BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Resets the high-water mark to the current live size. Call before
+    /// a measured region, then read [`peak_bytes`] after it.
+    pub fn reset_peak() {
+        PEAK_BYTES.store(CURRENT_BYTES.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// The high-water mark of live heap bytes since the last
+    /// [`reset_peak`] (or process start).
+    pub fn peak_bytes() -> u64 {
+        PEAK_BYTES.load(Ordering::Relaxed)
+    }
 }
 
 #[global_allocator]
 static GLOBAL_ALLOCATOR: counting_alloc::CountingAllocator = counting_alloc::CountingAllocator;
 
-pub use counting_alloc::allocations;
+pub use counting_alloc::{allocations, current_bytes, peak_bytes, reset_peak};
 
 /// The compiled engine measured THROUGH the `Merger` façade — what every
 /// production caller (CLI, daemon, registry) actually runs, so any
@@ -144,6 +189,12 @@ pub const VARIANT_FULL: &str = "full";
 pub const VARIANT_FULL_PARALLEL: &str = "full-parallel";
 /// Registry publish reusing the cached join of unchanged members.
 pub const VARIANT_INCREMENTAL: &str = "incremental";
+/// The compiled engine with the adaptive sparse rows disabled — every
+/// closure matrix dense, the pre-adaptive memory behavior.
+pub const VARIANT_COMPILED_DENSE: &str = "compiled-dense";
+/// The partitioned engine: split along weakly-connected components,
+/// merged per component, stitched at the seams.
+pub const VARIANT_PARTITIONED: &str = "partitioned";
 
 /// One measurement: an operation on a workload at a size, on one engine
 /// variant.
@@ -166,6 +217,9 @@ pub struct BenchRecord {
     pub median_ns: u128,
     /// Allocator calls per iteration (mean over the timed iterations).
     pub allocs_per_iter: u64,
+    /// Peak live heap bytes reached during one iteration, beyond what
+    /// was already live when it started (max over the timed iterations).
+    pub peak_bytes: u64,
     /// Arrows processed per second at the median.
     pub throughput: f64,
 }
@@ -191,6 +245,9 @@ pub struct Speedup {
     /// `baseline allocs / improved allocs` — > 1 means improved
     /// allocates less (0 when the baseline made no allocations).
     pub alloc_ratio: f64,
+    /// `baseline peak bytes / improved peak bytes` — > 1 means improved
+    /// needs less heap (0 when either side's peak rounded to nothing).
+    pub mem_ratio: f64,
 }
 
 /// A full run of the suite.
@@ -232,18 +289,26 @@ impl Suite {
         let mut imp_samples: Vec<u128> = Vec::with_capacity(self.iters);
         let mut base_allocs = 0u64;
         let mut imp_allocs = 0u64;
+        let mut base_peak = 0u64;
+        let mut imp_peak = 0u64;
         for _ in 0..self.iters {
             let allocs_before = allocations();
+            let live_before = current_bytes();
+            reset_peak();
             let start = Instant::now();
             baseline();
             base_samples.push(start.elapsed().as_nanos());
             base_allocs += allocations() - allocs_before;
+            base_peak = base_peak.max(peak_bytes().saturating_sub(live_before));
 
             let allocs_before = allocations();
+            let live_before = current_bytes();
+            reset_peak();
             let start = Instant::now();
             improved();
             imp_samples.push(start.elapsed().as_nanos());
             imp_allocs += allocations() - allocs_before;
+            imp_peak = imp_peak.max(peak_bytes().saturating_sub(live_before));
         }
         base_samples.sort_unstable();
         imp_samples.sort_unstable();
@@ -251,9 +316,9 @@ impl Suite {
         let imp_ns = imp_samples[imp_samples.len() / 2];
         let base_allocs = base_allocs / self.iters as u64;
         let imp_allocs = imp_allocs / self.iters as u64;
-        for (variant, ns, allocs) in [
-            (baseline_variant, base_ns, base_allocs),
-            (improved_variant, imp_ns, imp_allocs),
+        for (variant, ns, allocs, peak) in [
+            (baseline_variant, base_ns, base_allocs, base_peak),
+            (improved_variant, imp_ns, imp_allocs, imp_peak),
         ] {
             self.report.records.push(BenchRecord {
                 family,
@@ -264,6 +329,7 @@ impl Suite {
                 iters: self.iters,
                 median_ns: ns,
                 allocs_per_iter: allocs,
+                peak_bytes: peak,
                 throughput: n_arrows as f64 / (ns.max(1) as f64 / 1e9),
             });
         }
@@ -279,6 +345,11 @@ impl Suite {
                 0.0
             } else {
                 base_allocs as f64 / imp_allocs as f64
+            },
+            mem_ratio: if imp_peak == 0 || base_peak == 0 {
+                0.0
+            } else {
+                base_peak as f64 / imp_peak as f64
             },
         });
     }
@@ -515,6 +586,70 @@ impl Suite {
         self.complete_pool_pairs("wide", &joined);
     }
 
+    /// The taxonomy workload — the 10k-class ontology shape: a
+    /// multi-forest class hierarchy *above the sparse-row floor* (4096
+    /// classes), merged as a two-member federated family. Two pairs:
+    ///
+    /// * `compiled-dense` vs `compiled` — the adaptive representation's
+    ///   memory headline. With sparse rows forced off every closure
+    ///   matrix is O(classes²) bits; the default keeps taxonomy rows
+    ///   (a handful of ancestors each) at O(populated ids), and
+    ///   `mem_ratio` reports the peak-heap quotient.
+    /// * `compiled-dense` vs `partitioned` — the pre-adaptive
+    ///   monolithic dense merge against the weakly-connected-component
+    ///   split (one component per forest, merged concurrently across
+    ///   the thread budget). Both taxonomy pairs share the dense
+    ///   monolith as the baseline deliberately: it is the engine this
+    ///   PR retires at scale, and each successor beats it a different
+    ///   way — the sparse monolith through row representation, the
+    ///   partitioned engine by keeping every component's matrices
+    ///   component-sized (components here sit below the sparse floor,
+    ///   so its win is independent of the row representation).
+    fn taxonomy_merges(&mut self, classes: usize, forests: usize) {
+        let params = TaxonomyParams::dag(classes, forests, 0xC1A55);
+        let family = taxonomy_family(&params, 2);
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        let joined = facade_join(refs.iter().copied());
+        self.measure_pair(
+            "taxonomy",
+            "merge",
+            &joined,
+            VARIANT_COMPILED_DENSE,
+            || {
+                set_sparse_enabled(false);
+                facade_merge_compiled(refs.iter().copied());
+                set_sparse_enabled(true);
+            },
+            VARIANT_COMPILED,
+            || {
+                facade_merge_compiled(refs.iter().copied());
+            },
+        );
+        let threads = self.threads;
+        self.measure_pair(
+            "taxonomy",
+            "merge",
+            &joined,
+            VARIANT_COMPILED_DENSE,
+            || {
+                set_sparse_enabled(false);
+                facade_merge_compiled(refs.iter().copied());
+                set_sparse_enabled(true);
+            },
+            VARIANT_PARTITIONED,
+            || {
+                black_box(
+                    Merger::new()
+                        .schemas(refs.iter().copied())
+                        .engine(EnginePreference::Partitioned)
+                        .threads(threads)
+                        .execute()
+                        .expect("workload merges"),
+                );
+            },
+        );
+    }
+
     /// The registry workload: `members` schemas sharing a large common
     /// core (the federated-registry traffic shape: every member carries
     /// the organization's base vocabulary plus its own small delta),
@@ -627,9 +762,9 @@ impl Suite {
 
 /// Runs the suite. `quick` is the CI profile: fewer iterations and only
 /// the sizes the acceptance trajectory tracks (including the 200-class
-/// random workload, the 64-member wide workload and the 32-member
-/// registry workload). `threads` is the parallel variants' worker
-/// budget.
+/// random workload, the 64-member wide workload, the 32-member registry
+/// workload and the 6000-class taxonomy). `threads` is the parallel
+/// variants' worker budget.
 pub fn run_suite(quick: bool, threads: usize) -> BenchReport {
     let mut suite = Suite {
         iters: if quick { 7 } else { 15 },
@@ -648,8 +783,10 @@ pub fn run_suite(quick: bool, threads: usize) -> BenchReport {
     suite.er_roundtrip(32);
     suite.wide(64);
     suite.registry_publish(32, 200);
+    suite.taxonomy_merges(6_000, 6);
     if !quick {
         suite.registry_publish(16, 200);
+        suite.taxonomy_merges(12_000, 8);
     }
     suite.report
 }
@@ -664,7 +801,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"bench_schema_version\": 3,\n  \"pr\": {pr_index},\n  \"threads\": {threads},\n"
+        "  \"bench_schema_version\": 4,\n  \"pr\": {pr_index},\n  \"threads\": {threads},\n"
     ));
     out.push_str("  \"records\": [\n");
     for (i, r) in report.records.iter().enumerate() {
@@ -676,7 +813,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \"n_arrows\": {}, \
              \"variant\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"allocs_per_iter\": {}, \
-             \"throughput_arrows_per_s\": {:.1}}}{comma}\n",
+             \"peak_bytes\": {}, \"throughput_arrows_per_s\": {:.1}}}{comma}\n",
             json_escape(r.family),
             json_escape(r.op),
             r.n_classes,
@@ -685,6 +822,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
             r.iters,
             r.median_ns,
             r.allocs_per_iter,
+            r.peak_bytes,
             r.throughput,
         ));
     }
@@ -698,7 +836,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \"n_arrows\": {}, \
              \"baseline\": \"{}\", \"improved\": \"{}\", \"speedup\": {:.2}, \
-             \"alloc_ratio\": {:.2}}}{comma}\n",
+             \"alloc_ratio\": {:.2}, \"mem_ratio\": {:.2}}}{comma}\n",
             json_escape(s.family),
             json_escape(s.op),
             s.n_classes,
@@ -707,6 +845,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
             json_escape(s.improved),
             s.speedup,
             s.alloc_ratio,
+            s.mem_ratio,
         ));
     }
     out.push_str("  ]\n}\n");
@@ -717,7 +856,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
 pub fn to_table(report: &BenchReport) -> String {
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<13} {:<9} {:>8} {:>8}  {:>26} {:>12} {:>12} {:>8} {:>8}\n",
+        "{:<13} {:<9} {:>8} {:>8}  {:>26} {:>12} {:>12} {:>8} {:>8} {:>8} {:>8}\n",
         "family",
         "op",
         "classes",
@@ -726,9 +865,11 @@ pub fn to_table(report: &BenchReport) -> String {
         "baseline µs",
         "improved µs",
         "speedup",
-        "allocs"
+        "allocs",
+        "peak MiB",
+        "memory"
     ));
-    out.push_str(&"-".repeat(114));
+    out.push_str(&"-".repeat(132));
     out.push('\n');
     // Records are pushed in pairs, one pair per speedup, in order — index
     // arithmetic rather than field matching, so repeated (family, op,
@@ -739,7 +880,7 @@ pub fn to_table(report: &BenchReport) -> String {
         let imp = &report.records[2 * i + 1];
         debug_assert_eq!((base.variant, imp.variant), (s.baseline, s.improved));
         out.push_str(&format!(
-            "{:<13} {:<9} {:>8} {:>8}  {:>26} {:>12.1} {:>12.1} {:>7.2}x {:>7.2}x\n",
+            "{:<13} {:<9} {:>8} {:>8}  {:>26} {:>12.1} {:>12.1} {:>7.2}x {:>7.2}x {:>8.1} {:>7.2}x\n",
             s.family,
             s.op,
             s.n_classes,
@@ -749,6 +890,8 @@ pub fn to_table(report: &BenchReport) -> String {
             imp.median_ns as f64 / 1e3,
             s.speedup,
             s.alloc_ratio,
+            imp.peak_bytes as f64 / (1024.0 * 1024.0),
+            s.mem_ratio,
         ));
     }
     out
@@ -774,7 +917,7 @@ mod tests {
         );
         assert_eq!(report.speedups.len(), 6);
         let json = to_json(&report, 2, 2);
-        assert!(json.contains("\"bench_schema_version\": 3"));
+        assert!(json.contains("\"bench_schema_version\": 4"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"variant\": \"compiled\""));
         assert!(json.contains("\"variant\": \"parallel\""));
@@ -782,7 +925,9 @@ mod tests {
         assert!(json.contains("\"op\": \"weak_join\""));
         assert!(json.contains("\"baseline\": \"symbolic\""));
         assert!(json.contains("\"allocs_per_iter\":"));
+        assert!(json.contains("\"peak_bytes\":"));
         assert!(json.contains("\"alloc_ratio\":"));
+        assert!(json.contains("\"mem_ratio\":"));
         // Crude structural sanity: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -795,6 +940,54 @@ mod tests {
         let before = allocations();
         black_box(vec![0u8; 4096]);
         assert!(allocations() > before, "the hook counts heap allocations");
+    }
+
+    #[test]
+    fn peak_tracker_observes_a_transient_allocation() {
+        // Other tests in this binary allocate and free concurrently, so
+        // only assert the guaranteed lower bound: while our megabyte is
+        // live it is part of the live-byte gauge, and the alloc hook
+        // folds the post-alloc gauge into the high-water mark — so the
+        // mark must cover at least the megabyte itself.
+        reset_peak();
+        let buffer = black_box(vec![0u8; 1 << 20]);
+        let during = peak_bytes();
+        assert!(
+            during >= 1 << 20,
+            "peak must cover the live megabyte: {during}"
+        );
+        drop(buffer);
+    }
+
+    #[test]
+    fn taxonomy_workload_pairs_representations_and_partitioning() {
+        let mut suite = Suite {
+            iters: 1,
+            threads: 2,
+            report: BenchReport::default(),
+        };
+        // Small forest count keeps this a unit test; the representation
+        // pair still runs (below the sparse floor both sides are dense,
+        // which must also measure cleanly).
+        suite.taxonomy_merges(400, 4);
+        let report = suite.report;
+        assert_eq!(report.records.len(), 4, "2 pairs, 2 variants each");
+        assert_eq!(report.speedups.len(), 2);
+        let rep = &report.speedups[0];
+        assert_eq!(
+            (rep.baseline, rep.improved),
+            (VARIANT_COMPILED_DENSE, VARIANT_COMPILED)
+        );
+        let part = &report.speedups[1];
+        assert_eq!(
+            (part.baseline, part.improved),
+            (VARIANT_COMPILED_DENSE, VARIANT_PARTITIONED)
+        );
+        for record in &report.records {
+            assert_eq!(record.family, "taxonomy");
+            assert!(record.peak_bytes > 0, "a merge allocates a peak");
+        }
+        assert!(rep.mem_ratio > 0.0);
     }
 
     #[test]

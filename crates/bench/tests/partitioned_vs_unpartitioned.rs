@@ -1,0 +1,128 @@
+//! The ISSUE-6 acceptance property: the partitioned merge — split along
+//! weakly-connected components, each component merged independently,
+//! stitched at the seams — is **identical** to the unpartitioned merge
+//! (reference symbolic, compiled, parallel) on every workload family, at
+//! every thread count: equal weak joins, equal proper schemas, equal
+//! implicit-class reports.
+
+use proptest::prelude::*;
+
+use schema_merge_core::{reference, EnginePreference, Merger, PlannedEngine, WeakSchema};
+use schema_merge_workload::{
+    pathological_nfa, schema_family, taxonomy, taxonomy_family, SchemaParams, TaxonomyParams,
+};
+
+fn assert_partitioned_agrees(schemas: &[&WeakSchema]) {
+    let symbolic = reference::merge(schemas.iter().copied()).expect("symbolic merge");
+    let compiled = Merger::new()
+        .schemas(schemas.iter().copied())
+        .engine(EnginePreference::Compiled)
+        .execute()
+        .expect("compiled merge");
+    assert_eq!(compiled.proper, symbolic.proper);
+    assert_eq!(compiled.implicit, symbolic.report);
+
+    for threads in [1, 2, 4] {
+        let part = Merger::new()
+            .schemas(schemas.iter().copied())
+            .engine(EnginePreference::Partitioned)
+            .threads(threads)
+            .execute()
+            .expect("partitioned merge");
+        assert_eq!(
+            part.proper, symbolic.proper,
+            "partitioned proper agrees at {threads} threads"
+        );
+        assert_eq!(
+            part.implicit, symbolic.report,
+            "partitioned implicit report agrees at {threads} threads"
+        );
+        let weak = match (&part.weak, &part.compiled) {
+            (Some(weak), _) => weak.clone(),
+            (None, Some(join)) => join.decompile(),
+            (None, None) => unreachable!("merges produce a join"),
+        };
+        assert_eq!(weak, symbolic.weak, "partitioned weak join agrees");
+        if part.plan.engine == PlannedEngine::Partitioned {
+            assert!(part.plan.partitions >= 2, "partitioned plans split");
+        } else {
+            // Single-component input: the forced preference fell back
+            // and said so.
+            assert!(part
+                .diagnostics
+                .iter()
+                .any(|d| d.code() == "W-PARTITION-CONNECTED"));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn taxonomy_families_agree(seed in any::<u64>(), forests in 1usize..5, members in 2usize..4) {
+        let params = TaxonomyParams {
+            classes: 180,
+            branching: 4,
+            forests,
+            dag_extra_parents: 20,
+            labels: 8,
+            arrows: 90,
+            seed,
+        };
+        let family = taxonomy_family(&params, members);
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        assert_partitioned_agrees(&refs);
+    }
+
+    #[test]
+    fn random_families_agree(seed in any::<u64>(), count in 2usize..5) {
+        // A wide vocabulary with few classes per schema leaves the union
+        // graph disconnected often — both the split and the fallback
+        // paths get exercised.
+        let params = SchemaParams {
+            vocabulary: 96,
+            classes: 12,
+            labels: 12,
+            arrows: 10,
+            specializations: 5,
+            seed,
+        };
+        let family = schema_family(&params, count);
+        let refs: Vec<&WeakSchema> = family.iter().collect();
+        assert_partitioned_agrees(&refs);
+    }
+
+    #[test]
+    fn pathological_inputs_agree(n in 0usize..6, lone in 0usize..3) {
+        // A hard NFA (one dense component) next to `lone` isolated
+        // classes: the implicit-class explosion must stitch through the
+        // partition seams untouched.
+        let nfa = pathological_nfa(n);
+        let mut builder = WeakSchema::builder();
+        for i in 0..lone {
+            builder = builder.class(format!("Lone{i}"));
+        }
+        let isolated = builder.build().unwrap();
+        assert_partitioned_agrees(&[&nfa, &isolated]);
+    }
+}
+
+#[test]
+fn auto_planning_partitions_large_taxonomies() {
+    // Above PARTITION_CLASS_THRESHOLD with several forests, the *auto*
+    // planner must choose the partitioned engine on its own — and the
+    // result must still match the forced-compiled merge exactly.
+    let params = TaxonomyParams::deep(6_000, 6, 11);
+    let schema = taxonomy(&params);
+    let auto = Merger::new().schema(&schema).execute().expect("auto merge");
+    assert_eq!(auto.plan.engine, PlannedEngine::Partitioned);
+    assert_eq!(auto.plan.partitions, 6);
+    let compiled = Merger::new()
+        .schema(&schema)
+        .engine(EnginePreference::Compiled)
+        .execute()
+        .expect("compiled merge");
+    assert_eq!(auto.proper, compiled.proper);
+    assert_eq!(auto.implicit, compiled.implicit);
+}

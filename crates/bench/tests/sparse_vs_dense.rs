@@ -1,0 +1,85 @@
+//! Differential test of the adaptive row representation at merge scale:
+//! the same merges run with sparse rows disabled (all-dense baseline)
+//! and enabled must produce identical results — proper schemas,
+//! implicit-class reports, and the decompiled joins.
+//!
+//! The sparse policy only engages on rows at least `SPARSE_MIN_WORDS`
+//! (64) words wide — merges of 4096+ classes — so these tests run
+//! taxonomy workloads *above* that threshold; anything smaller is
+//! all-dense under either setting (the row-level policy and op
+//! equivalences are property-tested in `core/src/row.rs`).
+//!
+//! This file intentionally holds only these tests: the sparse toggle is
+//! process-global, and a dedicated test binary keeps the dense baseline
+//! isolated from every other (concurrently running) test.
+
+use schema_merge_core::row::set_sparse_enabled;
+use schema_merge_core::{EnginePreference, MergeReport, Merger, WeakSchema};
+use schema_merge_workload::{taxonomy, taxonomy_family, TaxonomyParams};
+
+/// Restores the (default-on) sparse policy even if an assertion panics.
+struct SparseGuard;
+impl Drop for SparseGuard {
+    fn drop(&mut self) {
+        set_sparse_enabled(true);
+    }
+}
+
+fn run(schemas: &[&WeakSchema], engine: EnginePreference, threads: usize) -> MergeReport {
+    Merger::new()
+        .schemas(schemas.iter().copied())
+        .engine(engine)
+        .threads(threads)
+        .execute()
+        .expect("merge succeeds")
+}
+
+fn assert_dense_equals_sparse(schemas: &[&WeakSchema]) {
+    let _guard = SparseGuard;
+    for engine in [
+        EnginePreference::Compiled,
+        EnginePreference::Parallel,
+        EnginePreference::Partitioned,
+    ] {
+        set_sparse_enabled(false);
+        let dense = run(schemas, engine, 2);
+        set_sparse_enabled(true);
+        let sparse = run(schemas, engine, 2);
+        assert_eq!(dense.proper, sparse.proper, "{engine:?}: proper schemas");
+        assert_eq!(dense.implicit, sparse.implicit, "{engine:?}: reports");
+        assert_eq!(dense.weak, sparse.weak, "{engine:?}: weak joins");
+        match (&dense.compiled, &sparse.compiled) {
+            (Some(d), Some(s)) => assert_eq!(
+                d.decompile(),
+                s.decompile(),
+                "{engine:?}: compiled joins are logically identical"
+            ),
+            (d, s) => assert_eq!(d.is_some(), s.is_some()),
+        }
+    }
+}
+
+#[test]
+fn deep_taxonomy_family_is_representation_independent() {
+    // 4800 classes = 75 words per row: past the sparse floor, with the
+    // ~12-ancestor closed rows of a binary tree — the shape where the
+    // sparse representation actually carries the merge.
+    let params = TaxonomyParams {
+        dag_extra_parents: 150,
+        ..TaxonomyParams::deep(4_800, 3, 17)
+    };
+    let family = taxonomy_family(&params, 2);
+    let refs: Vec<&WeakSchema> = family.iter().collect();
+    assert_dense_equals_sparse(&refs);
+}
+
+#[test]
+fn bushy_dag_taxonomy_is_representation_independent() {
+    // High fan-out with multiple inheritance, merged with one of its
+    // partial views: wider closed rows (shared ancestors), still sparse
+    // relative to 5000 classes.
+    let params = TaxonomyParams::dag(5_000, 2, 29);
+    let full = taxonomy(&params);
+    let view = taxonomy_family(&params, 1).pop().unwrap();
+    assert_dense_equals_sparse(&[&full, &view]);
+}

@@ -32,7 +32,11 @@ use crate::error::{CycleWitness, SchemaError};
 use crate::name::Label;
 use crate::order::UpSet;
 use crate::parallel;
-use crate::scratch::{self, StateArena};
+use crate::row::{
+    self, and_into, clear_bit, get_bit, hash_row, is_zero, iter_bits, popcount, set_bit, RowRef,
+    SpecMatrix, SpecRow,
+};
+use crate::scratch::{self, ScratchPool, StateArena};
 use crate::weak::{ArrowMap, WeakSchema};
 
 /// A dense class id: an index into the compiled schema's class table.
@@ -73,118 +77,19 @@ impl std::hash::Hasher for Fnv {
 pub(crate) type FastMap<K, V> = HashMap<K, V, std::hash::BuildHasherDefault<Fnv>>;
 
 // ---------------------------------------------------------------------------
-// Bitset primitives
+// Row primitives
 // ---------------------------------------------------------------------------
+//
+// The bit-twiddling helpers and the adaptive row/matrix types live in
+// [`crate::row`] — one shared ops module for every engine. An empty
+// accumulation row is pool-backed in dense mode (recycled `Vec<u64>`s)
+// and an ordinary small vector in sparse mode.
 
-#[inline]
-fn set_bit(row: &mut [u64], i: u32) {
-    row[(i / 64) as usize] |= 1u64 << (i % 64);
-}
-
-#[inline]
-fn clear_bit(row: &mut [u64], i: u32) {
-    row[(i / 64) as usize] &= !(1u64 << (i % 64));
-}
-
-#[inline]
-fn get_bit(row: &[u64], i: u32) -> bool {
-    row[(i / 64) as usize] >> (i % 64) & 1 == 1
-}
-
-#[inline]
-fn or_into(dst: &mut [u64], src: &[u64]) {
-    for (d, s) in dst.iter_mut().zip(src) {
-        *d |= s;
-    }
-}
-
-#[inline]
-fn intersects(a: &[u64], b: &[u64]) -> bool {
-    a.iter().zip(b).any(|(x, y)| x & y != 0)
-}
-
-fn is_zero(row: &[u64]) -> bool {
-    row.iter().all(|&w| w == 0)
-}
-
-fn popcount(row: &[u64]) -> u32 {
-    row.iter().map(|w| w.count_ones()).sum()
-}
-
-/// FNV-1a over a bitset row, word-wise — the dedup key of the fixpoint's
-/// state table (full rows are compared on hash collision).
-fn hash_row(row: &[u64]) -> u64 {
-    let mut hash = 0xcbf2_9ce4_8422_2325u64;
-    for &word in row {
-        hash ^= word;
-        hash = hash.wrapping_mul(0x100_0000_01b3);
-    }
-    hash
-}
-
-/// Iterates the set bit positions of `row` in ascending order.
-fn iter_bits(row: &[u64]) -> impl Iterator<Item = u32> + '_ {
-    row.iter().enumerate().flat_map(|(word, &bits)| BitIter {
-        bits,
-        base: (word * 64) as u32,
-    })
-}
-
-struct BitIter {
-    bits: u64,
-    base: u32,
-}
-
-impl Iterator for BitIter {
-    type Item = u32;
-
-    fn next(&mut self) -> Option<u32> {
-        if self.bits == 0 {
-            return None;
-        }
-        let tz = self.bits.trailing_zeros();
-        self.bits &= self.bits - 1;
-        Some(self.base + tz)
-    }
-}
-
-/// A rectangular bit matrix: `rows × words` of `u64`.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
-struct BitMatrix {
-    words: usize,
-    bits: Vec<u64>,
-}
-
-impl BitMatrix {
-    fn new(rows: usize, words: usize) -> Self {
-        BitMatrix {
-            words,
-            bits: vec![0; rows * words],
-        }
-    }
-
-    #[inline]
-    fn row(&self, i: u32) -> &[u64] {
-        &self.bits[i as usize * self.words..][..self.words]
-    }
-
-    #[inline]
-    fn row_mut(&mut self, i: u32) -> &mut [u64] {
-        &mut self.bits[i as usize * self.words..][..self.words]
-    }
-
-    #[inline]
-    fn set(&mut self, i: u32, j: u32) {
-        set_bit(self.row_mut(i), j);
-    }
-
-    #[inline]
-    fn get(&self, i: u32, j: u32) -> bool {
-        get_bit(self.row(i), j)
-    }
-
-    fn count_ones(&self) -> usize {
-        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+fn empty_row(words: usize, pool: &mut ScratchPool) -> SpecRow {
+    if row::accumulate_sparse(words) {
+        SpecRow::Sparse(Vec::new())
+    } else {
+        SpecRow::Dense(pool.take(words))
     }
 }
 
@@ -205,9 +110,11 @@ pub struct CompiledSchema {
     /// Id → label, sorted ascending.
     labels: Vec<Label>,
     /// Strict transitively closed "above" rows: bit `q` of row `p` ⇔ `p ⇒ q`.
-    supers: BitMatrix,
+    /// Adaptive per row: dense words or sorted-sparse ids (see
+    /// [`crate::row`]).
+    supers: SpecMatrix,
     /// The transpose: bit `q` of row `p` ⇔ `q ⇒ p`.
-    subs: BitMatrix,
+    subs: SpecMatrix,
     /// CSR row index: class `p`'s labelled pairs are
     /// `pair_labels[row_start[p]..row_start[p+1]]`.
     row_start: Vec<u32>,
@@ -237,13 +144,21 @@ impl CompiledSchema {
             .map(|(i, l)| (l, i as u32))
             .collect();
 
-        let mut supers = BitMatrix::new(n, words);
-        for (sub, sups) in &schema.supers {
-            let row = supers.row_mut(cid[sub]);
-            for sup in sups {
-                set_bit(row, cid[sup]);
-            }
-        }
+        // Each class's closed super set arrives sorted (`BTreeSet`
+        // iteration order is `Class` order, which is id order), so rows
+        // build directly in their final adaptive representation.
+        let super_rows: Vec<SpecRow> = classes
+            .iter()
+            .map(|class| {
+                let ids: Vec<u32> = schema
+                    .supers
+                    .get(class)
+                    .map(|sups| sups.iter().map(|sup| cid[sup]).collect())
+                    .unwrap_or_default();
+                SpecRow::from_sorted_ids(ids, words)
+            })
+            .collect();
+        let supers = SpecMatrix::from_rows(super_rows, words);
         let subs = transpose(&supers, n);
 
         let mut row_start = Vec::with_capacity(n + 1);
@@ -284,9 +199,12 @@ impl CompiledSchema {
     pub fn decompile(&self) -> WeakSchema {
         let classes: BTreeSet<Class> = self.classes.iter().cloned().collect();
         let supers: UpSet<Class> = (0..self.classes.len() as u32)
-            .filter(|&p| !is_zero(self.supers.row(p)))
+            .filter(|&p| !self.supers.row(p).is_empty())
             .map(|p| {
-                let set: BTreeSet<Class> = iter_bits(self.supers.row(p))
+                let set: BTreeSet<Class> = self
+                    .supers
+                    .row(p)
+                    .iter()
                     .map(|q| self.classes[q as usize].clone())
                     .collect();
                 (self.classes[p as usize].clone(), set)
@@ -339,6 +257,23 @@ impl CompiledSchema {
     /// count) — the compiled twin of [`WeakSchema::num_arrow_pairs`].
     pub fn num_arrow_pairs(&self) -> usize {
         self.pair_labels.len()
+    }
+
+    /// Approximate heap footprint of the specialization matrices and CSR
+    /// arrow arrays, in bytes. This is the number the adaptive row
+    /// representation exists to shrink — a 100k-class schema is ~2.5 GB
+    /// in dense rows (two `100_000²`-bit matrices) but only
+    /// `O(spec pairs)` in sparse rows — so the benchmark suite reports it
+    /// alongside wall-clock time. Interned name storage is excluded: it
+    /// is identical under every representation.
+    pub fn heap_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.supers.heap_bytes()
+            + self.subs.heap_bytes()
+            + self.row_start.len() * size_of::<u32>()
+            + self.pair_labels.len() * size_of::<LabelId>()
+            + self.pair_ranges.len() * size_of::<(u32, u32)>()
+            + self.targets.len() * size_of::<ClassId>()
     }
 
     /// Whether any class carries an origin set (a pre-existing implicit
@@ -410,15 +345,20 @@ impl CompiledSchema {
         let state = self.bits_of(members);
         let mut out = state.clone();
         for m in iter_bits(&state) {
-            if intersects(self.supers.row(m), &state) {
+            if self.supers.row(m).intersects_dense(&state) {
                 clear_bit(&mut out, m);
             }
         }
         iter_bits(&out).collect()
     }
 
+    /// Dense row width (in `u64` words) of this schema's id space.
+    pub(crate) fn words(&self) -> usize {
+        self.supers.words()
+    }
+
     fn bits_of(&self, members: &[ClassId]) -> Vec<u64> {
-        let mut bits = vec![0u64; self.supers.words];
+        let mut bits = vec![0u64; self.words()];
         for &m in members {
             set_bit(&mut bits, m);
         }
@@ -438,7 +378,7 @@ impl CompiledSchema {
     fn min_s_bits_into(&self, state: &[u64], out: &mut [u64]) {
         out.copy_from_slice(state);
         for m in iter_bits(state) {
-            if intersects(self.subs.row(m), state) {
+            if self.subs.row(m).intersects_dense(state) {
                 clear_bit(out, m);
             }
         }
@@ -454,14 +394,24 @@ impl CompiledSchema {
     }
 }
 
-fn transpose(supers: &BitMatrix, n: usize) -> BitMatrix {
-    let mut subs = BitMatrix::new(n, supers.words);
+fn transpose(supers: &SpecMatrix, n: usize) -> SpecMatrix {
+    let words = supers.words();
+    // Walking rows in ascending `p` appends each `p` to its targets'
+    // id lists in sorted order, so every transposed row finalizes
+    // without a sort.
+    let mut lists: Vec<Vec<u32>> = vec![Vec::new(); n];
     for p in 0..n as u32 {
-        for q in iter_bits(supers.row(p)) {
-            subs.set(q, p);
+        for q in supers.row(p).iter() {
+            lists[q as usize].push(p);
         }
     }
-    subs
+    SpecMatrix::from_rows(
+        lists
+            .into_iter()
+            .map(|ids| SpecRow::from_sorted_ids(ids, words))
+            .collect(),
+        words,
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -471,7 +421,7 @@ fn transpose(supers: &BitMatrix, n: usize) -> BitMatrix {
 /// Computes the strict transitive closure of the direct edges in the
 /// `direct` bit matrix (self-loops tolerated and dropped), or a cycle
 /// witness as an id path.
-fn closed_supers(n: usize, direct: &BitMatrix) -> Result<BitMatrix, Vec<u32>> {
+fn closed_supers(n: usize, direct: &SpecMatrix) -> Result<SpecMatrix, Vec<u32>> {
     #[derive(Clone, Copy, PartialEq)]
     enum Color {
         White,
@@ -500,7 +450,7 @@ fn closed_supers(n: usize, direct: &BitMatrix) -> Result<BitMatrix, Vec<u32>> {
             }
             color[node as usize] = Color::Gray;
             stack.push((node, true));
-            for next in iter_bits(direct.row(node)) {
+            for next in direct.row(node).iter() {
                 if next == node {
                     continue;
                 }
@@ -515,33 +465,35 @@ fn closed_supers(n: usize, direct: &BitMatrix) -> Result<BitMatrix, Vec<u32>> {
     }
 
     // Finish order lists every reachable node after its descendants, so one
-    // pass suffices: row(p) = ⋃ { {q} ∪ row(q) | p → q direct }.
-    let mut supers = BitMatrix::new(n, words);
+    // pass suffices: row(p) = ⋃ { {q} ∪ row(q) | p → q direct }. The union
+    // accumulates in one dense scratch row (a few KB even at 100k
+    // classes); each finished row then stores adaptively.
+    let mut rows: Vec<SpecRow> = (0..n).map(|_| SpecRow::Sparse(Vec::new())).collect();
     let mut acc = vec![0u64; words];
     for &node in &finish {
         acc.iter_mut().for_each(|w| *w = 0);
-        for next in iter_bits(direct.row(node)) {
+        for next in direct.row(node).iter() {
             if next == node {
                 continue;
             }
             set_bit(&mut acc, next);
-            or_into(&mut acc, supers.row(next));
+            rows[next as usize].as_ref().or_into_dense(&mut acc);
         }
-        supers.row_mut(node).copy_from_slice(&acc);
+        rows[node as usize] = SpecRow::from_dense(&acc, words);
     }
-    Ok(supers)
+    Ok(SpecMatrix::from_rows(rows, words))
 }
 
 /// Reconstructs a shortest cycle through `start` (known to lie on one) by
 /// BFS over the direct edges; mirrors the symbolic witness extraction so
 /// both engines report comparable paths.
-fn extract_cycle_ids(direct: &BitMatrix, start: u32) -> Vec<u32> {
-    let n = direct.bits.len().checked_div(direct.words).unwrap_or(0);
+fn extract_cycle_ids(direct: &SpecMatrix, start: u32) -> Vec<u32> {
+    let n = direct.len();
     let mut pred = vec![u32::MAX; n];
     let mut queue: VecDeque<u32> = VecDeque::new();
     queue.push_back(start);
     while let Some(node) = queue.pop_front() {
-        for next in iter_bits(direct.row(node)) {
+        for next in direct.row(node).iter() {
             if next == start {
                 let mut rev = vec![start, node];
                 let mut current = node;
@@ -568,8 +520,8 @@ fn extract_cycle_ids(direct: &BitMatrix, start: u32) -> Vec<u32> {
 pub(crate) struct RawDense {
     classes: Vec<Class>,
     labels: Vec<Label>,
-    direct: BitMatrix,
-    raw_arrows: Vec<BTreeMap<u32, Vec<u64>>>,
+    direct: SpecMatrix,
+    raw_arrows: Vec<BTreeMap<u32, SpecRow>>,
 }
 
 impl RawDense {
@@ -579,13 +531,13 @@ impl RawDense {
         RawDense {
             classes,
             labels,
-            direct: BitMatrix::new(n, words),
+            direct: SpecMatrix::new(n, words),
             raw_arrows: vec![BTreeMap::new(); n],
         }
     }
 
     fn words(&self) -> usize {
-        self.direct.words
+        self.direct.words()
     }
 }
 
@@ -618,10 +570,10 @@ fn compile_dense_mt(parts: RawDense, threads: usize) -> Result<CompiledSchema, C
     };
     let subs = transpose(&supers, n);
 
-    let words = supers.words;
+    let words = supers.words();
     let mut has_supers = vec![0u64; words];
     for p in 0..n as u32 {
-        if !is_zero(supers.row(p)) {
+        if !supers.row(p).is_empty() {
             set_bit(&mut has_supers, p);
         }
     }
@@ -630,11 +582,12 @@ fn compile_dense_mt(parts: RawDense, threads: usize) -> Result<CompiledSchema, C
     let segments = parallel::map_chunks(n, workers, |range| {
         arrow_rows(range, &raw, &supers, &has_supers, words, labels_len)
     });
-    // The raw rows are spent; recycle them for the next pipeline stage.
+    // The raw rows are spent; recycle dense payloads for the next
+    // pipeline stage (sparse rows are ordinary small vectors).
     scratch::with_pool(|pool| {
         for mut by_label in raw {
             while let Some((_, row)) = by_label.pop_first() {
-                pool.put(row);
+                row.recycle(pool);
             }
         }
     });
@@ -700,8 +653,8 @@ struct CsrSegment {
 /// scratch rows come from the worker's pool.
 fn arrow_rows(
     range: std::ops::Range<usize>,
-    raw: &[BTreeMap<u32, Vec<u64>>],
-    supers: &BitMatrix,
+    raw: &[BTreeMap<u32, SpecRow>],
+    supers: &SpecMatrix,
     has_supers: &[u64],
     words: usize,
     labels_len: usize,
@@ -718,51 +671,53 @@ fn arrow_rows(
         let mut closed_buf = pool.take(words);
         for p in range {
             let before = segment.pair_labels.len() as u32;
-            let mut emit = |label: u32, bits: &[u64], segment: &mut CsrSegment| {
+            let mut emit = |label: u32, bits: RowRef<'_>, segment: &mut CsrSegment| {
                 let start = segment.targets.len() as u32;
-                if intersects(bits, has_supers) {
-                    closed_buf.copy_from_slice(bits);
-                    for t in iter_bits(bits) {
-                        or_into(&mut closed_buf, supers.row(t));
+                if bits.intersects_dense(has_supers) {
+                    closed_buf.iter_mut().for_each(|w| *w = 0);
+                    bits.or_into_dense(&mut closed_buf);
+                    for t in bits.iter() {
+                        supers.row(t).or_into_dense(&mut closed_buf);
                     }
                     segment.targets.extend(iter_bits(&closed_buf));
                 } else {
-                    segment.targets.extend(iter_bits(bits));
+                    segment.targets.extend(bits.iter());
                 }
                 segment.pair_labels.push(label);
                 segment
                     .pair_ranges
                     .push((start, segment.targets.len() as u32));
             };
-            if is_zero(supers.row(p as u32)) {
+            if supers.row(p as u32).is_empty() {
                 for (&label, bits) in &raw[p] {
-                    emit(label, bits, &mut segment);
+                    emit(label, bits.as_ref(), &mut segment);
                 }
             } else {
                 let mut accumulate =
-                    |label: u32, bits: &[u64], touched: &mut Vec<u32>| match &mut acc_rows
+                    |label: u32, bits: RowRef<'_>, touched: &mut Vec<u32>| match &mut acc_rows
                         [label as usize]
                     {
-                        Some(row) => or_into(row, bits),
+                        Some(row) => bits.or_into_dense(row),
                         slot @ None => {
+                            // Pool rows come back zeroed, so OR = copy.
                             let mut row = pool.take(words);
-                            row.copy_from_slice(bits);
+                            bits.or_into_dense(&mut row);
                             *slot = Some(row);
                             touched.push(label);
                         }
                     };
                 for (&label, bits) in &raw[p] {
-                    accumulate(label, bits, &mut touched);
+                    accumulate(label, bits.as_ref(), &mut touched);
                 }
-                for q in iter_bits(supers.row(p as u32)) {
+                for q in supers.row(p as u32).iter() {
                     for (&label, bits) in &raw[q as usize] {
-                        accumulate(label, bits, &mut touched);
+                        accumulate(label, bits.as_ref(), &mut touched);
                     }
                 }
                 touched.sort_unstable();
                 for &label in &touched {
                     let row = acc_rows[label as usize].take().expect("touched label");
-                    emit(label, &row, &mut segment);
+                    emit(label, RowRef::Dense(&row), &mut segment);
                     pool.put(row);
                 }
                 touched.clear();
@@ -796,12 +751,10 @@ pub(crate) fn compile_from_raw(
     }
     let words = parts.words();
     for &(src, label, tgt) in arrows {
-        set_bit(
-            parts.raw_arrows[src as usize]
-                .entry(label)
-                .or_insert_with(|| vec![0u64; words]),
-            tgt,
-        );
+        parts.raw_arrows[src as usize]
+            .entry(label)
+            .or_insert_with(|| SpecRow::empty(words))
+            .set(tgt);
     }
     compile_dense(parts)
 }
@@ -868,17 +821,15 @@ pub(crate) fn close_ids(
         for sup in sups {
             let q = cid[sup];
             if p != q {
-                set_bit(row, q);
+                row.set(q);
             }
         }
     }
     for (src, label, tgt) in &raw_arrows {
-        set_bit(
-            parts.raw_arrows[cid[src] as usize]
-                .entry(lid[label])
-                .or_insert_with(|| vec![0u64; words]),
-            cid[tgt],
-        );
+        parts.raw_arrows[cid[src] as usize]
+            .entry(lid[label])
+            .or_insert_with(|| SpecRow::empty(words))
+            .set(cid[tgt]);
     }
     drop((cid, lid));
 
@@ -943,14 +894,14 @@ pub(crate) fn join_compiled<'a>(
 /// ids). Partials merge by pure bitwise OR — the tree-reduction node of
 /// the parallel engine.
 struct DensePartial {
-    direct: BitMatrix,
-    raw_arrows: Vec<BTreeMap<u32, Vec<u64>>>,
+    direct: SpecMatrix,
+    raw_arrows: Vec<BTreeMap<u32, SpecRow>>,
 }
 
 impl DensePartial {
     fn new(n: usize, words: usize) -> Self {
         DensePartial {
-            direct: BitMatrix::new(n, words),
+            direct: SpecMatrix::new(n, words),
             raw_arrows: vec![BTreeMap::new(); n],
         }
     }
@@ -968,12 +919,14 @@ impl DensePartial {
         cid: &FastMap<&Class, u32>,
         lid: &FastMap<&Label, u32>,
         words: usize,
-        pool: &mut crate::scratch::ScratchPool,
+        pool: &mut ScratchPool,
     ) {
         for (sub, sups) in &schema.supers {
             let row = self.direct.row_mut(cid[sub]);
             for sup in sups {
-                set_bit(row, cid[sup]);
+                // Sups iterate in class (= id) order, so sparse rows
+                // accumulate by appends.
+                row.set(cid[sup]);
             }
         }
         for (src, by_label) in &schema.arrows {
@@ -981,9 +934,9 @@ impl DensePartial {
             for (label, tgts) in by_label {
                 let bits = by_label_ids
                     .entry(lid[label])
-                    .or_insert_with(|| pool.take(words));
+                    .or_insert_with(|| empty_row(words, pool));
                 for tgt in tgts {
-                    set_bit(bits, cid[tgt]);
+                    bits.set(cid[tgt]);
                 }
             }
         }
@@ -993,14 +946,12 @@ impl DensePartial {
     /// and associative (it is a set union in bit form), so the reduction
     /// shape cannot change the result.
     fn absorb(&mut self, other: DensePartial) {
-        for (dst, src) in self.direct.bits.iter_mut().zip(&other.direct.bits) {
-            *dst |= src;
-        }
+        self.direct.or_matrix(&other.direct);
         for (dst, src) in self.raw_arrows.iter_mut().zip(other.raw_arrows) {
             for (label, bits) in src {
                 match dst.entry(label) {
                     std::collections::btree_map::Entry::Occupied(mut entry) => {
-                        or_into(entry.get_mut(), &bits);
+                        entry.get_mut().or_row(bits.as_ref());
                     }
                     std::collections::btree_map::Entry::Vacant(entry) => {
                         entry.insert(bits);
@@ -1131,11 +1082,10 @@ pub(crate) fn canonical_map(
         let mut by_label: BTreeMap<Label, Class> = BTreeMap::new();
         for (label, (start, end)) in cs.pairs_of(p) {
             let targets = &cs.targets[start as usize..end as usize];
-            let least = targets.iter().copied().find(|&t| {
-                targets
-                    .iter()
-                    .all(|&u| u == t || get_bit(cs.supers.row(t), u))
-            });
+            let least = targets
+                .iter()
+                .copied()
+                .find(|&t| targets.iter().all(|&u| u == t || cs.supers.get(t, u)));
             match least {
                 Some(t) => {
                     by_label.insert(
@@ -1220,28 +1170,31 @@ pub(crate) fn join_onto_compiled(
     let label_vec: Vec<Label> = merged_labels.into_iter().cloned().collect();
     let mut parts = RawDense::new(class_vec, label_vec);
     let words = parts.words();
-    let old_words = base.supers.words;
 
     // Base specializations: the closed rows feed in as direct edges (a
-    // union of closed relations re-closes to the same result).
+    // union of closed relations re-closes to the same result). The
+    // seeded rows are empty, so OR-ing a base row in is a copy; under a
+    // remap the ids re-enter ascending (the remap is monotone), keeping
+    // sparse accumulation append-only.
     for p in 0..base.classes.len() as u32 {
         if ids_stable {
-            parts.direct.row_mut(p)[..old_words].copy_from_slice(base.supers.row(p));
+            parts.direct.row_mut(p).or_row(base.supers.row(p));
         } else {
             let row = parts.direct.row_mut(cmap[p as usize]);
-            for q in iter_bits(base.supers.row(p)) {
-                set_bit(row, cmap[q as usize]);
+            for q in base.supers.row(p).iter() {
+                row.set(cmap[q as usize]);
             }
         }
     }
-    // Base arrows: CSR runs become per-label bit rows under the remap.
+    // Base arrows: CSR runs become per-label rows under the remap (the
+    // CSR targets are ascending, so these build append-only too).
     for p in 0..base.classes.len() as u32 {
         let np = if ids_stable { p } else { cmap[p as usize] };
         let row = &mut parts.raw_arrows[np as usize];
         for (label, (start, end)) in base.pairs_of(p) {
-            let mut bits = vec![0u64; words];
+            let mut bits = SpecRow::empty(words);
             for &t in &base.targets[start as usize..end as usize] {
-                set_bit(&mut bits, if ids_stable { t } else { cmap[t as usize] });
+                bits.set(if ids_stable { t } else { cmap[t as usize] });
             }
             row.insert(lmap[label as usize], bits);
         }
@@ -1265,7 +1218,7 @@ pub(crate) fn join_onto_compiled(
         for (sub, sups) in &schema.supers {
             let row = parts.direct.row_mut(cid[sub]);
             for sup in sups {
-                set_bit(row, cid[sup]);
+                row.set(cid[sup]);
             }
         }
         for (src, by_label) in &schema.arrows {
@@ -1273,9 +1226,9 @@ pub(crate) fn join_onto_compiled(
             for (label, tgts) in by_label {
                 let bits = by_label_ids
                     .entry(lid[label])
-                    .or_insert_with(|| vec![0u64; words]);
+                    .or_insert_with(|| SpecRow::empty(words));
                 for tgt in tgts {
-                    set_bit(bits, cid[tgt]);
+                    bits.set(cid[tgt]);
                 }
             }
         }
@@ -1300,7 +1253,7 @@ pub(crate) fn assemble_ids(
     threads: usize,
 ) -> Result<(WeakSchema, CompiledSchema), SchemaError> {
     let n = cs.classes.len();
-    let old_words = cs.supers.words;
+    let old_words = cs.words();
 
     // Extended class table: implicit classes not already present (i.e. not
     // rediscovered from an earlier merge) get fresh ids after the old ones.
@@ -1344,13 +1297,15 @@ pub(crate) fn assemble_ids(
     let mut parts = RawDense::new(ext_classes, cs.labels.clone());
     scratch::with_pool(|pool| {
         // The old closed relations feed in as direct edges: re-closing a
-        // closed relation is the identity.
+        // closed relation is the identity. The seeded rows are empty, so
+        // OR-ing the old row in is a copy; CSR targets are ascending, so
+        // sparse accumulation stays append-only.
         for p in 0..n as u32 {
-            parts.direct.row_mut(p)[..old_words].copy_from_slice(cs.supers.row(p));
+            parts.direct.row_mut(p).or_row(cs.supers.row(p));
             for (label, (start, end)) in cs.pairs_of(p) {
-                let mut bits = pool.take(ext_words);
+                let mut bits = empty_row(ext_words, pool);
                 for &t in &cs.targets[start as usize..end as usize] {
-                    set_bit(&mut bits, t);
+                    bits.set(t);
                 }
                 parts.raw_arrows[p as usize].insert(label, bits);
             }
@@ -1367,7 +1322,7 @@ pub(crate) fn assemble_ids(
             up_buf.iter_mut().for_each(|w| *w = 0);
             for q in iter_bits(state) {
                 set_bit(&mut up_buf, q);
-                or_into(&mut up_buf[..old_words], cs.supers.row(q));
+                cs.supers.row(q).or_into_dense(&mut up_buf[..old_words]);
             }
             ups.push(&up_buf);
 
@@ -1398,7 +1353,10 @@ pub(crate) fn assemble_ids(
         let mut down = pool.take(ext_words);
         for i in 0..entries.len() {
             let xe = ids[i];
-            or_into(parts.direct.row_mut(xe), ups.get(i as u32));
+            parts
+                .direct
+                .row_mut(xe)
+                .or_row(RowRef::Dense(ups.get(i as u32)));
             if let Some(flat) = &flats[i] {
                 down.iter_mut().for_each(|w| *w = 0);
                 for (word, slot) in down.iter_mut().enumerate().take(old_words) {
@@ -1412,10 +1370,8 @@ pub(crate) fn assemble_ids(
                 for &f in flat {
                     cand.iter_mut().for_each(|w| *w = 0);
                     set_bit(&mut cand, f);
-                    or_into(&mut cand[..old_words], cs.subs.row(f));
-                    for (d, c) in down.iter_mut().zip(&cand) {
-                        *d &= c;
-                    }
+                    cs.subs.row(f).or_into_dense(&mut cand[..old_words]);
+                    and_into(&mut down, &cand);
                 }
                 for p in iter_bits(&down) {
                     parts.direct.set(p, xe);
@@ -1448,28 +1404,31 @@ pub(crate) fn assemble_ids(
         let mut hits: Vec<u32> = Vec::new();
         for x in 0..n {
             for bits in parts.raw_arrows[x].values_mut() {
-                if popcount(bits) < min_state_size {
+                if bits.popcount() < min_state_size {
                     continue;
                 }
-                let test_row: &[u64] = if any_rediscovered {
-                    snapshot.copy_from_slice(bits);
-                    &snapshot
-                } else {
-                    bits
-                };
                 hits.clear();
-                for b in iter_bits(test_row) {
-                    if (b as usize) >= n {
-                        break;
-                    }
-                    for &j in &first_buckets[b as usize] {
-                        if subset(&entries[j as usize].0, test_row) {
-                            hits.push(j);
+                {
+                    let test: RowRef<'_> = if any_rediscovered {
+                        snapshot.iter_mut().for_each(|w| *w = 0);
+                        bits.as_ref().or_into_dense(&mut snapshot);
+                        RowRef::Dense(&snapshot)
+                    } else {
+                        bits.as_ref()
+                    };
+                    for b in test.iter() {
+                        if (b as usize) >= n {
+                            break;
+                        }
+                        for &j in &first_buckets[b as usize] {
+                            if test.contains_all_dense(&entries[j as usize].0) {
+                                hits.push(j);
+                            }
                         }
                     }
                 }
                 for &j in &hits {
-                    set_bit(bits, ids[j as usize]);
+                    bits.set(ids[j as usize]);
                 }
             }
         }
@@ -1515,11 +1474,16 @@ pub(crate) fn assemble_ids(
                 pool.put(reached);
                 match parts.raw_arrows[xe as usize].entry(label) {
                     std::collections::btree_map::Entry::Occupied(mut entry) => {
-                        or_into(entry.get_mut(), &full);
+                        entry.get_mut().or_row(RowRef::Dense(&full));
                         pool.put(full);
                     }
                     std::collections::btree_map::Entry::Vacant(entry) => {
-                        entry.insert(full);
+                        if row::accumulate_sparse(ext_words) {
+                            entry.insert(SpecRow::from_dense(&full, ext_words));
+                            pool.put(full);
+                        } else {
+                            entry.insert(SpecRow::Dense(full));
+                        }
                     }
                 }
             }
@@ -1673,7 +1637,7 @@ impl DiscoveredStates {
 /// per-thread pools; discovered states live in a flat arena.
 pub(crate) fn discover_states_ids(cs: &CompiledSchema, threads: usize) -> DiscoveredStates {
     let n = cs.classes.len();
-    let words = cs.supers.words;
+    let words = cs.words();
     if n == 0 || cs.pair_labels.is_empty() {
         return DiscoveredStates {
             arena: StateArena::new(words),

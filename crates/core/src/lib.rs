@@ -90,10 +90,12 @@ pub mod name;
 mod order;
 pub mod parallel;
 pub mod participation;
+mod partition;
 pub mod proper;
 pub mod reference;
 pub mod rename;
 pub mod restructure;
+pub mod row;
 pub mod scratch;
 pub mod weak;
 
@@ -122,6 +124,7 @@ pub use merge::{
 pub use merger::{
     EnginePreference, InputProvenance, Joined, MergeMode, MergePass, MergePlan, MergeReport,
     Merger, PlannedEngine, PARALLEL_INPUT_THRESHOLD, PARALLEL_WORK_THRESHOLD,
+    PARTITION_CLASS_THRESHOLD,
 };
 pub use name::{Label, Name};
 pub use parallel::default_threads;

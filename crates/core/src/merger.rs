@@ -68,6 +68,7 @@ use crate::lower::{
 };
 use crate::name::Label;
 use crate::parallel;
+use crate::partition::{self, Partitioning};
 use crate::proper::ProperSchema;
 use crate::weak::WeakSchema;
 use std::fmt;
@@ -93,6 +94,13 @@ pub enum EnginePreference {
     /// interner, tree-reduction join, frontier-parallel completion —
     /// end-to-end in id space ([`crate::parallel`]).
     Parallel,
+    /// Force the partition pass: split the merge along weakly-connected
+    /// components of the combined specialization+arrow graph and merge
+    /// each component independently, joining at the (empty) seams. Falls
+    /// back to `Auto` resolution when the graph is a single component or
+    /// the shape is ineligible (lower mode, annotated inputs, a cached
+    /// base).
+    Partitioned,
 }
 
 /// The engine a [`MergePlan`] resolved to.
@@ -114,6 +122,15 @@ pub enum PlannedEngine {
     ///
     /// [`Compiled`]: PlannedEngine::Compiled
     Parallel,
+    /// The merge splits along the [`MergePlan::partitions`]
+    /// weakly-connected components of the combined specialization+arrow
+    /// graph; each component merges independently (resolving its own
+    /// sub-engine, so big components still run the parallel pipeline) and
+    /// the results join at the seams as a disjoint union. Results equal
+    /// every other engine's; [`MergeReport::weak`] is stitched from the
+    /// component joins and [`MergeReport::compiled`] is `None` (no single
+    /// interner spans the components).
+    Partitioned,
 }
 
 impl PlannedEngine {
@@ -124,6 +141,7 @@ impl PlannedEngine {
             PlannedEngine::Compiled => "compiled",
             PlannedEngine::CompiledOntoBase => "compiled-onto-base",
             PlannedEngine::Parallel => "parallel",
+            PlannedEngine::Partitioned => "partitioned",
         }
     }
 }
@@ -219,6 +237,15 @@ pub const PARALLEL_WORK_THRESHOLD: u64 = 10_000;
 /// make such merges expensive only materialize in the join.
 pub const PARALLEL_INPUT_THRESHOLD: usize = 16;
 
+/// The class count at which `Auto` planning pays for the
+/// weakly-connected-component analysis that can split the merge into
+/// independent partitions. Below it the analysis walk costs more than
+/// partitioning could save; above it a disconnected vocabulary (taxonomy
+/// forests, federations of unrelated domains) merges per component,
+/// bounding both wall time and the peak closure footprint by the largest
+/// component instead of the whole vocabulary.
+pub const PARTITION_CLASS_THRESHOLD: usize = 4096;
+
 /// What a [`Merger`] will do when executed: engine, passes and an
 /// estimate of the work involved. Produced by [`Merger::plan`] — cheap,
 /// side-effect free, and inspectable before committing to the merge.
@@ -265,6 +292,11 @@ pub struct MergePlan {
     /// this is the inputs' NFA branching — the driver of the `Imp`
     /// fixpoint's state count.
     pub estimated_arrow_pairs: usize,
+    /// The weakly-connected components a
+    /// [`Partitioned`](PlannedEngine::Partitioned) plan merges
+    /// independently. `1` on every other plan (including plans that never
+    /// ran the component analysis).
+    pub partitions: usize,
 }
 
 impl MergePlan {
@@ -288,7 +320,14 @@ impl MergePlan {
     /// singletons. Excess only signals subset-construction hardness when
     /// it is large *relative to the pair count* (genuinely NFA-shaped
     /// inputs, where branching is the rule rather than the closure's
-    /// echo); mild excess is weighed linearly instead.
+    /// echo); mild excess is weighed per closure-row *population*
+    /// instead. The old mild-excess weight was the dense row width
+    /// (every extra target paid a `classes`-wide sweep), which
+    /// over-routed large *sparse* taxonomies — 10k classes, shallow
+    /// closure — to the parallel engine even when their actual `MinS`
+    /// sweeps touch only the handful of ancestors each adaptive row
+    /// stores. With adaptive rows the sweep cost is the average closed
+    /// row population (`spec_pairs / classes`), so that is the weight.
     pub fn work_units(&self) -> u64 {
         let linear =
             (self.estimated_classes + self.estimated_arrows + self.estimated_spec_pairs) as u64;
@@ -300,8 +339,13 @@ impl MergePlan {
             // NFA-shaped: 2^excess states, saturated past any threshold.
             (self.estimated_classes as u64).saturating_mul(1u64 << excess.min(20))
         } else {
-            // Mostly W2 lift: linear in the extra targets per class.
-            (self.estimated_classes as u64).saturating_mul(excess)
+            // Mostly W2 lift: each extra target pays one `MinS` sweep
+            // over an adaptive closure row of average population
+            // `spec_pairs / classes` (dense width would be `classes`).
+            let avg_row = (self.estimated_spec_pairs as u64)
+                .div_ceil(self.estimated_classes.max(1) as u64)
+                .max(1);
+            excess.saturating_mul(avg_row)
         };
         linear.saturating_add(fixpoint)
     }
@@ -316,6 +360,13 @@ impl fmt::Display for MergePlan {
         )?;
         if self.engine == PlannedEngine::Parallel {
             write!(f, ", threads={}", self.threads)?;
+        }
+        if self.engine == PlannedEngine::Partitioned {
+            write!(
+                f,
+                ", partitions={}, threads={}",
+                self.partitions, self.threads
+            )?;
         }
         if self.num_assertions > 0 {
             write!(f, " (+{} assertions)", self.num_assertions)?;
@@ -576,6 +627,15 @@ pub struct Merger<'a> {
     engine: EnginePreference,
     threads: Option<usize>,
     lower: bool,
+    /// Name of the input whose hierarchy is the *target* of the merge
+    /// (ATOM-style target-driven taxonomy merging): the result is the
+    /// same least upper bound — §4's associativity is not negotiable —
+    /// but the report diagnoses everything the other inputs forced onto
+    /// the target's hierarchy.
+    target: Option<String>,
+    /// Internal: set on the per-component sub-mergers of a partitioned
+    /// plan so they never re-run the component analysis.
+    no_partition: bool,
 }
 
 impl<'a> Merger<'a> {
@@ -711,9 +771,33 @@ impl<'a> Merger<'a> {
         self
     }
 
+    /// Declares the **named** input the target hierarchy of the merge —
+    /// the target-driven mode of taxonomy mergers (ATOM): the result is
+    /// still the paper's least upper bound (preference can never change
+    /// the LUB — that associativity is §4's point), but the report
+    /// carries `I-TARGET-*` diagnostics itemizing what the *other*
+    /// inputs forced onto the target's hierarchy: specializations added
+    /// between target classes (`I-TARGET-SPEC`), arrows added to target
+    /// classes (`I-TARGET-ARROW`), and implicit classes demanded below
+    /// target classes (`I-TARGET-IMPLICIT`). When nothing was forced,
+    /// `I-TARGET-PRESERVED` says so. The name must match a
+    /// [`schema_named`](Merger::schema_named) input; otherwise the
+    /// report carries `W-TARGET-UNKNOWN`.
+    pub fn prefer_hierarchy(mut self, name: impl Into<String>) -> Self {
+        self.target = Some(name.into());
+        self
+    }
+
     /// Resolves what executing this merger will do — engine, passes and
     /// a work estimate — without running anything.
     pub fn plan(&self) -> MergePlan {
+        self.plan_with_partitioning().0
+    }
+
+    /// [`plan`](Merger::plan), additionally returning the component
+    /// analysis when the plan resolved to the partitioned engine (so
+    /// execution never walks the inputs twice).
+    fn plan_with_partitioning(&self) -> (MergePlan, Option<Partitioning>) {
         let mode = if self.lower {
             MergeMode::Lower
         } else {
@@ -760,13 +844,24 @@ impl<'a> Merger<'a> {
             estimated_arrows,
             estimated_spec_pairs,
             estimated_arrow_pairs,
+            partitions: 1,
         };
-        plan.engine = self.resolved_engine(plan.work_units());
+        let analysis = self.partition_analysis(estimated_classes);
+        let components = analysis.as_ref().map_or(1, Partitioning::count);
+        plan.engine = self.resolved_engine(plan.work_units(), components);
+        let analysis = if plan.engine == PlannedEngine::Partitioned {
+            plan.partitions = components;
+            analysis
+        } else {
+            None
+        };
         plan.threads = match (self.threads, plan.engine) {
             // An explicit budget always applies (the compiled plans use
             // it for the frontier-parallel completion pass).
             (Some(threads), _) => threads,
-            (None, PlannedEngine::Parallel) => parallel::default_threads(),
+            (None, PlannedEngine::Parallel | PlannedEngine::Partitioned) => {
+                parallel::default_threads()
+            }
             (None, _) => 1,
         };
 
@@ -788,7 +883,36 @@ impl<'a> Merger<'a> {
         if self.has_annotated() || mode == MergeMode::Lower {
             plan.passes.push(MergePass::ParticipationTransfer);
         }
-        plan
+        (plan, analysis)
+    }
+
+    /// Runs the weakly-connected-component analysis when this merger's
+    /// shape and size make partitioning worth considering. `None` means
+    /// "planned as a single component" — either the shape is ineligible
+    /// (lower mode, annotated inputs, a cached base, a partitioned
+    /// sub-merge) or the merge is too small to pay for the walk.
+    fn partition_analysis(&self, estimated_classes: usize) -> Option<Partitioning> {
+        if self.lower || self.base.is_some() || self.has_annotated() || self.no_partition {
+            return None;
+        }
+        let eligible = match self.engine {
+            EnginePreference::Partitioned => true,
+            EnginePreference::Auto => estimated_classes >= PARTITION_CLASS_THRESHOLD,
+            _ => false,
+        };
+        if !eligible {
+            return None;
+        }
+        let weaks: Vec<&WeakSchema> = self.inputs.iter().map(|input| input.kind.weak()).collect();
+        let edges: Vec<(Class, Class)> = self
+            .assertions
+            .iter()
+            .map(|assertion| match assertion {
+                Assertion::Specialization(sub, sup) => (sub.clone(), sup.clone()),
+                Assertion::Arrow(src, _, tgt) => (src.clone(), tgt.clone()),
+            })
+            .collect();
+        Some(partition::analyze(&weaks, &edges))
     }
 
     /// Executes the plan: join, completion, and every configured
@@ -802,10 +926,13 @@ impl<'a> Merger<'a> {
     /// [`MergeError::Schema`] when an input (or assertion) is itself
     /// invalid.
     pub fn execute(&self) -> Result<MergeReport, MergeError> {
-        let plan = self.plan();
-        match plan.mode {
-            MergeMode::Upper => self.execute_upper(plan),
-            MergeMode::Lower => self.execute_lower(plan),
+        let (plan, partitioning) = self.plan_with_partitioning();
+        match (plan.mode, partitioning) {
+            (MergeMode::Upper, Some(parts)) if plan.engine == PlannedEngine::Partitioned => {
+                self.execute_partitioned(plan, &parts)
+            }
+            (MergeMode::Upper, _) => self.execute_upper(plan),
+            (MergeMode::Lower, _) => self.execute_lower(plan),
         }
     }
 
@@ -829,7 +956,7 @@ impl<'a> Merger<'a> {
             .any(|input| matches!(input.kind, InputKind::Annotated(_)))
     }
 
-    fn resolved_engine(&self, work_units: u64) -> PlannedEngine {
+    fn resolved_engine(&self, work_units: u64, components: usize) -> PlannedEngine {
         if self.lower {
             // The lower pipeline is a symbolic fixpoint (§6); no compiled
             // variant exists yet.
@@ -846,9 +973,18 @@ impl<'a> Merger<'a> {
             // `Compiled`) — the differential knob for parallel vs the
             // rest.
             EnginePreference::Parallel => PlannedEngine::Parallel,
-            EnginePreference::Auto => {
+            // A forced `Partitioned` still needs ≥ 2 components to mean
+            // anything; on a connected graph it falls back to the auto
+            // resolution (and `execute_upper` warns).
+            EnginePreference::Partitioned if components >= 2 => PlannedEngine::Partitioned,
+            EnginePreference::Partitioned | EnginePreference::Auto => {
                 if self.base.is_some() && !self.has_annotated() {
                     PlannedEngine::CompiledOntoBase
+                } else if components >= 2 {
+                    // partition_analysis only ran above the class
+                    // threshold, so ≥ 2 components here means a genuinely
+                    // large disconnected merge.
+                    PlannedEngine::Partitioned
                 } else if !self.has_annotated()
                     && (work_units >= PARALLEL_WORK_THRESHOLD
                         || self.inputs.len() >= PARALLEL_INPUT_THRESHOLD)
@@ -935,10 +1071,12 @@ impl<'a> Merger<'a> {
                     compile::join_onto_compiled(base, &weak_refs).map_err(schema_to_merge)?;
                 Ok((None, Some(compiled), None))
             }
-            PlannedEngine::Parallel => {
+            PlannedEngine::Parallel | PlannedEngine::Partitioned => {
                 // Sharded interning + tree reduction, straight to the
                 // compiled form: like onto-base, the parallel engine
-                // never materializes the symbolic join.
+                // never materializes the symbolic join. Partitioning
+                // only pays in completion, so a partitioned plan's join
+                // is the same sharded join.
                 let decompiled_base = self.base.map(CompiledSchema::decompile);
                 let refs: Vec<&WeakSchema> = decompiled_base
                     .iter()
@@ -1007,6 +1145,17 @@ impl<'a> Merger<'a> {
         let keys = self.key_pass(&proper);
         let annotated = joined_annotated.map(|joined| joined.transfer_to(proper.as_weak()));
         let mut diagnostics = self.input_diagnostics();
+        if self.engine == EnginePreference::Partitioned && plan.engine != PlannedEngine::Partitioned
+        {
+            diagnostics.push(Diagnostic::warning(
+                "W-PARTITION-CONNECTED",
+                "partitioned engine requested, but the combined \
+                 specialization+arrow graph is a single weakly-connected \
+                 component (or the shape is ineligible); fell back to the \
+                 auto-resolved engine",
+            ));
+        }
+        diagnostics.extend(self.target_diagnostics(proper.as_weak(), &implicit));
         // Only the onto-base engine actually transfers the base in id
         // space; the symbolic/annotated/forced-compiled plans decompile
         // and re-walk it, so claiming reuse there would be false.
@@ -1047,6 +1196,119 @@ impl<'a> Merger<'a> {
         })
     }
 
+    /// The partitioned pipeline: restrict every input (and assertion
+    /// atom) to each weakly-connected component, merge the components
+    /// independently — each on the engine auto-planned for its size —
+    /// and stitch the results back together. Components never interact
+    /// under any pipeline rule (see [`crate::partition`]), so the
+    /// stitched result is identical to the unpartitioned merge: the
+    /// weak join is the disjoint union of per-component joins, and the
+    /// implicit-class report re-sorted by class is exactly the
+    /// unpartitioned report.
+    fn execute_partitioned(
+        &self,
+        plan: MergePlan,
+        parts: &Partitioning,
+    ) -> Result<MergeReport, MergeError> {
+        let atoms = self.materialize_assertions()?;
+        let threads = execution_threads(&plan);
+
+        // Bucket the restriction of every input by component.
+        let mut buckets: Vec<Vec<WeakSchema>> = Vec::new();
+        buckets.resize_with(parts.count(), Vec::new);
+        for weak in self
+            .inputs
+            .iter()
+            .map(|input| input.kind.weak())
+            .chain(atoms.iter())
+        {
+            for (component, piece) in parts.split(weak) {
+                buckets[component as usize].push(piece);
+            }
+        }
+
+        // Merge each component independently — across the thread budget,
+        // one *single-threaded* sub-merge per component (the components
+        // are the parallelism; nesting the parallel engine underneath
+        // them would oversubscribe the budget). Components are numbered
+        // by their smallest class and stitched in component order, so
+        // the result is deterministic regardless of sizes or scheduling.
+        let work: Vec<&Vec<WeakSchema>> = buckets.iter().filter(|b| !b.is_empty()).collect();
+        let chunk_reports = parallel::map_chunks(work.len(), threads, |range| {
+            range
+                .map(|i| {
+                    let mut sub = Merger::new().schemas(work[i].iter()).threads(1);
+                    sub.no_partition = true;
+                    sub.execute()
+                })
+                .collect::<Vec<Result<MergeReport, MergeError>>>()
+        });
+
+        let mut weak = WeakSchema::empty();
+        let mut propers = Vec::with_capacity(work.len());
+        let mut implicit = CompletionReport::default();
+        for report in chunk_reports.into_iter().flatten() {
+            let report = report?;
+            let piece = match report.weak {
+                Some(piece) => piece,
+                None => report
+                    .compiled
+                    .as_ref()
+                    .expect("a join always produces at least one representation")
+                    .decompile(),
+            };
+            weak.classes.extend(piece.classes);
+            weak.supers.extend(piece.supers);
+            weak.arrows.extend(piece.arrows);
+            implicit.implicit.extend(report.implicit.implicit);
+            propers.push(report.proper);
+        }
+        implicit.implicit.sort_by(|a, b| a.class.cmp(&b.class));
+        let proper = ProperSchema::disjoint_union(propers);
+
+        if let Some(consistency) = self.consistency {
+            check_consistency(&implicit, consistency)?;
+        }
+        let keys = self.key_pass(&proper);
+
+        let mut diagnostics = self.input_diagnostics();
+        diagnostics.extend(self.target_diagnostics(proper.as_weak(), &implicit));
+        diagnostics.push(Diagnostic::info(
+            "I-PARTITIONED",
+            format!(
+                "split the merge into {} weakly-connected component(s) \
+                 (largest: {} class(es)); each merged independently",
+                parts.count(),
+                parts.largest()
+            ),
+        ));
+        if implicit.num_implicit() > 0 {
+            diagnostics.push(
+                Diagnostic::info(
+                    "I-IMPLICIT-CLASSES",
+                    format!(
+                        "completion introduced {} implicit class(es)",
+                        implicit.num_implicit()
+                    ),
+                )
+                .with_classes(implicit.implicit.iter().map(|info| info.class.clone())),
+            );
+        }
+
+        Ok(MergeReport {
+            plan,
+            provenance: self.provenance(),
+            weak: Some(weak),
+            proper,
+            implicit,
+            keys,
+            annotated: None,
+            lower: None,
+            diagnostics,
+            compiled: None,
+        })
+    }
+
     fn execute_lower(&self, plan: MergePlan) -> Result<MergeReport, MergeError> {
         let atoms = self.materialize_assertions()?;
         let anns = self.annotated_inputs(self.base.map(CompiledSchema::decompile), &atoms);
@@ -1061,6 +1323,13 @@ impl<'a> Merger<'a> {
                 "W-CONSISTENCY-IGNORED",
                 "consistency relations constrain implicit meet classes; \
                  the lower merge introduces union classes and ignores them",
+            ));
+        }
+        if self.target.is_some() {
+            diagnostics.push(Diagnostic::warning(
+                "W-TARGET-IGNORED",
+                "target-driven reporting diagnoses upper-merge additions; \
+                 the lower merge subtracts and has no target to preserve",
             ));
         }
         if !lower_report.unions.is_empty() {
@@ -1117,6 +1386,121 @@ impl<'a> Merger<'a> {
                 }
             })
             .collect()
+    }
+
+    /// Target-driven reporting (the ATOM taxonomy-merging mode): with a
+    /// [`prefer_hierarchy`](Merger::prefer_hierarchy) target named, scan
+    /// the merged result for everything the *other* inputs forced onto
+    /// the target's hierarchy. The merge itself is still the least upper
+    /// bound — §4's order-independence is not negotiable — so preference
+    /// is a reporting stance, not a different result.
+    fn target_diagnostics(
+        &self,
+        merged: &WeakSchema,
+        implicit: &CompletionReport,
+    ) -> Vec<Diagnostic> {
+        const SHOWN: usize = 8;
+        let Some(target_name) = self.target.as_deref() else {
+            return Vec::new();
+        };
+        let Some(target) = self
+            .inputs
+            .iter()
+            .find(|input| input.name.as_deref() == Some(target_name))
+            .map(|input| input.kind.weak())
+        else {
+            return vec![Diagnostic::warning(
+                "W-TARGET-UNKNOWN",
+                format!(
+                    "target hierarchy '{target_name}' names no input; \
+                     add the target with `schema_named`"
+                ),
+            )];
+        };
+
+        let mut diagnostics = Vec::new();
+        // Specializations the merge added between target classes. The
+        // target arrives closed, so anything new really came from
+        // another input or transitively through one.
+        let forced_spec: Vec<&Class> = merged
+            .specialization_pairs()
+            .filter(|(sub, sup)| {
+                target.contains_class(sub)
+                    && target.contains_class(sup)
+                    && !target.specializes(sub, sup)
+            })
+            .map(|(sub, _)| sub)
+            .collect();
+        if !forced_spec.is_empty() {
+            diagnostics.push(
+                Diagnostic::info(
+                    "I-TARGET-SPEC",
+                    format!(
+                        "merge added {} specialization(s) between classes of \
+                         target '{target_name}'",
+                        forced_spec.len()
+                    ),
+                )
+                .with_classes(forced_spec.iter().take(SHOWN).map(|&sub| sub.clone())),
+            );
+        }
+        // Arrows added to target classes (implicit targets are reported
+        // separately below — their origin sets name what forced them).
+        let forced_arrows: Vec<&Class> = merged
+            .arrow_triples()
+            .filter(|(src, label, tgt)| {
+                tgt.origin().is_none()
+                    && target.contains_class(src)
+                    && !target.has_arrow(src, label, tgt)
+            })
+            .map(|(src, _, _)| src)
+            .collect();
+        if !forced_arrows.is_empty() {
+            diagnostics.push(
+                Diagnostic::info(
+                    "I-TARGET-ARROW",
+                    format!(
+                        "merge added {} arrow(s) to classes of target '{target_name}'",
+                        forced_arrows.len()
+                    ),
+                )
+                .with_classes(forced_arrows.iter().take(SHOWN).map(|&src| src.clone())),
+            );
+        }
+        // Implicit classes whose member sets reach into the target.
+        let entangled: Vec<&Class> = implicit
+            .implicit
+            .iter()
+            .filter(|info| {
+                info.members
+                    .iter()
+                    .any(|member| target.contains_class(member))
+            })
+            .map(|info| &info.class)
+            .collect();
+        if !entangled.is_empty() {
+            diagnostics.push(
+                Diagnostic::info(
+                    "I-TARGET-IMPLICIT",
+                    format!(
+                        "completion introduced {} implicit class(es) below \
+                         classes of target '{target_name}'",
+                        entangled.len()
+                    ),
+                )
+                .with_classes(entangled.iter().take(SHOWN).map(|&class| class.clone())),
+            );
+        }
+        if diagnostics.is_empty() {
+            diagnostics.push(Diagnostic::info(
+                "I-TARGET-PRESERVED",
+                format!(
+                    "merge preserved the hierarchy of target '{target_name}': \
+                     no foreign specializations, arrows or implicit classes"
+                ),
+            ));
+        }
+        diagnostics
     }
 
     fn input_diagnostics(&self) -> Vec<Diagnostic> {
@@ -1704,5 +2088,216 @@ mod tests {
             display.contains("engine=parallel") && display.contains(", threads="),
             "plan display names the budget: {display}"
         );
+    }
+
+    /// Three families (`A*`, `B*`, `C*`) with no edges between them, the
+    /// `B` family branching enough to demand an implicit class.
+    fn three_families() -> (WeakSchema, WeakSchema) {
+        let g1 = WeakSchema::builder()
+            .specialize("A1", "A0")
+            .arrow("A0", "f", "A2")
+            .arrow("B0", "g", "B1")
+            .arrow("B0", "g", "B2")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .specialize("A2", "A1")
+            .arrow("B0", "g", "B3")
+            .arrow("C0", "h", "C1")
+            .build()
+            .unwrap();
+        (g1, g2)
+    }
+
+    #[test]
+    fn partitioned_engine_matches_unpartitioned() {
+        let (g1, g2) = three_families();
+        let expected = Merger::new()
+            .schemas([&g1, &g2])
+            .engine(EnginePreference::Compiled)
+            .execute()
+            .unwrap();
+        let reference = crate::reference::merge([&g1, &g2]).unwrap();
+        let part = Merger::new()
+            .schemas([&g1, &g2])
+            .engine(EnginePreference::Partitioned)
+            .execute()
+            .unwrap();
+        assert_eq!(part.plan.engine, PlannedEngine::Partitioned);
+        assert_eq!(part.plan.partitions, 3);
+        assert_eq!(part.proper, expected.proper);
+        assert_eq!(part.proper, reference.proper);
+        assert_eq!(part.weak.as_ref().unwrap(), expected.weak.as_ref().unwrap());
+        assert_eq!(part.implicit, expected.implicit);
+        assert_eq!(part.implicit, reference.report);
+        assert!(
+            part.implicit.num_implicit() > 0,
+            "the B family must exercise implicit-class stitching"
+        );
+        assert!(part.diagnostics.iter().any(|d| d.code() == "I-PARTITIONED"));
+        let display = part.plan.to_string();
+        assert!(
+            display.contains("engine=partitioned") && display.contains(", partitions=3, threads="),
+            "plan display names the split: {display}"
+        );
+    }
+
+    #[test]
+    fn forced_partitioned_falls_back_when_connected() {
+        let (g1, g2) = dogs();
+        let report = Merger::new()
+            .schemas([&g1, &g2])
+            .engine(EnginePreference::Partitioned)
+            .execute()
+            .unwrap();
+        assert_ne!(report.plan.engine, PlannedEngine::Partitioned);
+        assert_eq!(report.plan.partitions, 1);
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code() == "W-PARTITION-CONNECTED"));
+        let expected = crate::reference::merge([&g1, &g2]).unwrap();
+        assert_eq!(report.proper, expected.proper);
+    }
+
+    #[test]
+    fn assertions_bridge_partition_components() {
+        // An assertion relates classes like any other input, so a
+        // specialization between the A and B families fuses their
+        // components — and the merged result must reflect the bridge.
+        let (g1, g2) = three_families();
+        let part = Merger::new()
+            .schemas([&g1, &g2])
+            .assert_specialization("B0", "A0")
+            .engine(EnginePreference::Partitioned)
+            .execute()
+            .unwrap();
+        assert_eq!(part.plan.engine, PlannedEngine::Partitioned);
+        assert_eq!(part.plan.partitions, 2, "A+B fused, C separate");
+        let expected = Merger::new()
+            .schemas([&g1, &g2])
+            .assert_specialization("B0", "A0")
+            .engine(EnginePreference::Compiled)
+            .execute()
+            .unwrap();
+        assert_eq!(part.proper, expected.proper);
+        assert_eq!(part.implicit, expected.implicit);
+        assert!(part.proper.specializes(&c("B0"), &c("A0")));
+    }
+
+    #[test]
+    fn auto_partitioning_is_gated_by_size() {
+        // Disconnected but tiny: the auto planner never pays for the
+        // component walk below the class threshold.
+        let g = WeakSchema::builder().class("X").class("Y").build().unwrap();
+        let plan = Merger::new().schema(&g).plan();
+        assert_eq!(plan.engine, PlannedEngine::Compiled);
+        assert_eq!(plan.partitions, 1);
+    }
+
+    #[test]
+    fn work_estimate_weighs_excess_by_row_population_not_dense_width() {
+        // A 3k-class taxonomy shape: shallow closure (about one closed
+        // ancestor per class), mild arrow branching. The old mild-excess
+        // weight was the dense row width (`classes`), pushing this to
+        // 1.5M work units and the parallel engine; the adaptive-row
+        // weight is the average closed-row population, keeping the
+        // estimate honest and the merge sequential.
+        let (g1, _) = dogs();
+        let mut plan = Merger::new().schema(&g1).plan();
+        plan.estimated_classes = 3_000;
+        plan.estimated_spec_pairs = 2_000;
+        plan.estimated_arrows = 2_200;
+        plan.estimated_arrow_pairs = 1_700; // excess 500, mild: 2*500 < 1700
+        assert!(
+            plan.work_units() < PARALLEL_WORK_THRESHOLD,
+            "sparse taxonomy must stay below the parallel threshold: {}",
+            plan.work_units()
+        );
+        let dense_width_estimate = 3_000u64 * 500;
+        assert!(
+            dense_width_estimate >= PARALLEL_WORK_THRESHOLD,
+            "the regression this guards against: the dense-width weight over-routed"
+        );
+    }
+
+    #[test]
+    fn target_mode_reports_forced_additions() {
+        let target = WeakSchema::builder()
+            .specialize("Dog", "Animal")
+            .class("Cat")
+            .arrow("Dog", "name", "string")
+            .arrow("Dog", "friend", "Dog")
+            .build()
+            .unwrap();
+        let other = WeakSchema::builder()
+            .specialize("Cat", "Animal")
+            .arrow("Dog", "age", "int")
+            .arrow("Dog", "friend", "Cat")
+            .build()
+            .unwrap();
+        let report = Merger::new()
+            .schema_named("zoo", &target)
+            .schema(&other)
+            .prefer_hierarchy("zoo")
+            .execute()
+            .unwrap();
+        let code = |c: &str| report.diagnostics.iter().find(|d| d.code() == c).cloned();
+        let spec = code("I-TARGET-SPEC").expect("Cat <= Animal was forced");
+        assert!(spec.to_string().contains("1 specialization(s)"), "{spec}");
+        let arrow = code("I-TARGET-ARROW").expect("Dog.age was forced");
+        assert!(arrow.to_string().contains("arrow(s)"), "{arrow}");
+        assert!(
+            code("I-TARGET-IMPLICIT").is_some(),
+            "friend branching entangles Dog and Cat in an implicit class"
+        );
+        assert!(code("I-TARGET-PRESERVED").is_none());
+        // The preference never changes the result itself.
+        let plain = Merger::new().schemas([&target, &other]).execute().unwrap();
+        assert_eq!(report.proper, plain.proper);
+    }
+
+    #[test]
+    fn target_mode_preserved_unknown_and_lower() {
+        let (g1, _) = dogs();
+        let subset = WeakSchema::builder()
+            .arrow("Dog", "license", "int")
+            .build()
+            .unwrap();
+        let report = Merger::new()
+            .schema_named("registry", &g1)
+            .schema(&subset)
+            .prefer_hierarchy("registry")
+            .execute()
+            .unwrap();
+        assert!(
+            report
+                .diagnostics
+                .iter()
+                .any(|d| d.code() == "I-TARGET-PRESERVED"),
+            "a subschema forces nothing onto the target"
+        );
+
+        let report = Merger::new()
+            .schema(&g1)
+            .prefer_hierarchy("nope")
+            .execute()
+            .unwrap();
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code() == "W-TARGET-UNKNOWN"));
+
+        let report = Merger::new()
+            .schema_named("registry", &g1)
+            .schema(&subset)
+            .prefer_hierarchy("registry")
+            .lower()
+            .execute()
+            .unwrap();
+        assert!(report
+            .diagnostics
+            .iter()
+            .any(|d| d.code() == "W-TARGET-IGNORED"));
     }
 }

@@ -1,0 +1,249 @@
+//! Partitioned merging: splitting a merge along weakly-connected
+//! components.
+//!
+//! The paper's merge is a least upper bound over the *union* of the
+//! inputs' specialization orders and arrow relations, and every rule the
+//! pipeline runs — transitive closure, W1/W2 arrow closure, the `Imp`
+//! fixpoint, the S̄/Ē extension rules — only ever relates classes that
+//! are connected in the combined specialization+arrow graph. Classes in
+//! different weakly-connected components therefore never interact:
+//!
+//! * closure and W1/W2 propagate along edges, which stay inside a
+//!   component;
+//! * an `Imp` state is `MinS(R(X, a))` for `X` inside one component, so
+//!   every state (and every implicit class it demands) stays inside it;
+//! * the S̄/Ē extension rules relate implicit classes to their origin
+//!   classes, again inside one component.
+//!
+//! The merge of the whole is consequently the **disjoint union of the
+//! merges of the components** — which is exactly how partition-based
+//! schema matchers scale to 10k–100k-class taxonomies. [`analyze`]
+//! computes the components with a union–find over the class vocabulary;
+//! [`Partitioning::split`] restricts each input to each component (the
+//! restriction of a closed schema to a component-closed class set is
+//! still closed, so no re-closure runs). The planner surfaces the
+//! decision as `PlannedEngine::Partitioned` with
+//! `MergePlan::partitions` components.
+
+use std::collections::BTreeMap;
+
+use crate::class::Class;
+use crate::weak::WeakSchema;
+
+/// Union–find with path halving and union by rank.
+struct UnionFind {
+    parent: Vec<u32>,
+    rank: Vec<u8>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as u32).collect(),
+            rank: vec![0; n],
+        }
+    }
+
+    fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let grand = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = grand;
+            x = grand;
+        }
+        x
+    }
+
+    fn union(&mut self, a: u32, b: u32) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+    }
+}
+
+/// The weakly-connected components of a merge's combined
+/// specialization+arrow graph, with a component index per class.
+/// Components are numbered `0..count` in order of their smallest class,
+/// so the numbering — and everything derived from it — is deterministic.
+pub(crate) struct Partitioning {
+    component_of: BTreeMap<Class, u32>,
+    /// Classes per component, indexed by component.
+    sizes: Vec<usize>,
+}
+
+/// Computes the weakly-connected components of the union graph of
+/// `schemas` plus `extra_edges` (user assertions, which relate classes
+/// like any other input).
+pub(crate) fn analyze(schemas: &[&WeakSchema], extra_edges: &[(Class, Class)]) -> Partitioning {
+    // Intern every class name mentioned anywhere.
+    let mut ids: BTreeMap<&Class, u32> = BTreeMap::new();
+    for schema in schemas {
+        for class in schema.classes() {
+            let next = ids.len() as u32;
+            ids.entry(class).or_insert(next);
+        }
+    }
+    for (a, b) in extra_edges {
+        for class in [a, b] {
+            let next = ids.len() as u32;
+            ids.entry(class).or_insert(next);
+        }
+    }
+
+    // Union across every specialization pair and arrow. The closed
+    // relations contain their direct edges, so walking them connects
+    // exactly what the direct graph connects.
+    let mut uf = UnionFind::new(ids.len());
+    for schema in schemas {
+        for (sub, sups) in &schema.supers {
+            let sub = ids[sub];
+            for sup in sups {
+                uf.union(sub, ids[sup]);
+            }
+        }
+        for (src, by_label) in &schema.arrows {
+            let src = ids[src];
+            for targets in by_label.values() {
+                for tgt in targets {
+                    uf.union(src, ids[tgt]);
+                }
+            }
+        }
+    }
+    for (a, b) in extra_edges {
+        uf.union(ids[a], ids[b]);
+    }
+
+    // Number components by first appearance in sorted class order.
+    let mut component_of = BTreeMap::new();
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut root_component: BTreeMap<u32, u32> = BTreeMap::new();
+    for (class, &id) in &ids {
+        let root = uf.find(id);
+        let next = sizes.len() as u32;
+        let component = *root_component.entry(root).or_insert_with(|| {
+            sizes.push(0);
+            next
+        });
+        sizes[component as usize] += 1;
+        component_of.insert((*class).clone(), component);
+    }
+    Partitioning {
+        component_of,
+        sizes,
+    }
+}
+
+impl Partitioning {
+    /// Number of components.
+    pub(crate) fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Classes in the largest component.
+    pub(crate) fn largest(&self) -> usize {
+        self.sizes.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Splits `schema` into its induced sub-schemas, one per component it
+    /// touches, in component order. Every edge of a closed schema stays
+    /// inside one component (components are WCCs of a graph containing
+    /// all of the schema's edges), so each piece is the *restriction* of
+    /// the closed schema — itself closed, no re-closure needed — and the
+    /// pieces partition the schema's classes.
+    pub(crate) fn split(&self, schema: &WeakSchema) -> Vec<(u32, WeakSchema)> {
+        let mut pieces: BTreeMap<u32, WeakSchema> = BTreeMap::new();
+        for class in schema.classes() {
+            let component = self.component_of[class];
+            pieces
+                .entry(component)
+                .or_default()
+                .classes
+                .insert(class.clone());
+        }
+        for (sub, sups) in &schema.supers {
+            let piece = pieces
+                .get_mut(&self.component_of[sub])
+                .expect("a schema class always lands in a piece");
+            piece.supers.insert(sub.clone(), sups.clone());
+        }
+        for (src, by_label) in &schema.arrows {
+            let piece = pieces
+                .get_mut(&self.component_of[src])
+                .expect("a schema class always lands in a piece");
+            piece.arrows.insert(src.clone(), by_label.clone());
+        }
+        pieces.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn c(s: &str) -> Class {
+        Class::named(s)
+    }
+
+    #[test]
+    fn components_follow_spec_and_arrow_edges() {
+        let g1 = WeakSchema::builder()
+            .specialize("A1", "A0")
+            .arrow("B0", "f", "B1")
+            .build()
+            .unwrap();
+        let g2 = WeakSchema::builder()
+            .specialize("A2", "A1")
+            .class("Lone")
+            .build()
+            .unwrap();
+        let parts = analyze(&[&g1, &g2], &[]);
+        // {A0,A1,A2}, {B0,B1}, {Lone} — numbered by smallest class.
+        assert_eq!(parts.count(), 3);
+        assert_eq!(parts.largest(), 3);
+        assert_eq!(parts.component_of[&c("A0")], parts.component_of[&c("A2")]);
+        assert_ne!(parts.component_of[&c("A0")], parts.component_of[&c("B1")]);
+        assert_eq!(parts.component_of[&c("A0")], 0);
+        assert_eq!(parts.component_of[&c("B0")], 1);
+        assert_eq!(parts.component_of[&c("Lone")], 2);
+    }
+
+    #[test]
+    fn assertion_edges_bridge_components() {
+        let g = WeakSchema::builder().class("X").class("Y").build().unwrap();
+        assert_eq!(analyze(&[&g], &[]).count(), 2);
+        assert_eq!(analyze(&[&g], &[(c("X"), c("Y"))]).count(), 1);
+    }
+
+    #[test]
+    fn split_restricts_without_reclosing() {
+        let g = WeakSchema::builder()
+            .specialize("A1", "A0")
+            .arrow("A1", "f", "A0")
+            .arrow("B0", "g", "B1")
+            .build()
+            .unwrap();
+        let parts = analyze(&[&g], &[]);
+        let pieces = parts.split(&g);
+        assert_eq!(pieces.len(), 2);
+        let (_, ref a) = pieces[0];
+        let (_, ref b) = pieces[1];
+        assert_eq!(a.num_classes(), 2);
+        assert!(a.specializes(&c("A1"), &c("A0")));
+        // W1 lifted f onto A1's generalization walk already in g; the
+        // restriction carries the closed rows verbatim.
+        assert_eq!(a.num_arrows(), g.num_arrows() - b.num_arrows());
+        assert!(b.has_arrow(&c("B0"), &crate::name::Label::new("g"), &c("B1")));
+        assert!(a.validate().is_ok());
+        assert!(b.validate().is_ok());
+    }
+}

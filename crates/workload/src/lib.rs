@@ -15,7 +15,11 @@
 //!   in which the number of implicit classes is very large") in the
 //!   affirmative, quantitatively;
 //! * [`random_er_schema`] — random Entity–Relationship schemas for the
-//!   model-preservation experiments.
+//!   model-preservation experiments;
+//! * [`fn@taxonomy`] / [`taxonomy_family`] — 10k–100k-class taxonomy
+//!   forests (deep trees, high fan-out, DAG multiple inheritance): the
+//!   headline workload for the adaptive sparse row representation and
+//!   the partitioned merge engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -24,8 +28,10 @@ pub mod conflicts;
 pub mod er_gen;
 pub mod pathological;
 pub mod random;
+pub mod taxonomy;
 
 pub use conflicts::{conflicting_er_pair, reified_vs_direct_pair};
 pub use er_gen::{random_er_schema, ErParams};
 pub use pathological::{expected_pathological_implicit_classes, pathological_nfa};
 pub use random::{random_schema, schema_family, wide_family, SchemaParams};
+pub use taxonomy::{taxonomy, taxonomy_family, TaxonomyParams};
