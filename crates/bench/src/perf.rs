@@ -25,6 +25,10 @@
 //!   member against the registry's cached-join incremental publish, and
 //!   `full` vs `full-parallel` for the cold-rebuild path on the
 //!   parallel engine;
+//! * `durable` vs `memory` — the same warm incremental publish on a
+//!   registry whose commits are WAL'd and fsync'd to a local data dir
+//!   against a purely in-memory one: the measured per-commit cost of
+//!   crash safety;
 //! * `compiled-dense` vs `compiled` — the compiled engine with the
 //!   adaptive sparse rows disabled (all-dense bitset matrices, the
 //!   pre-adaptive behavior) against the default, on the `taxonomy`
@@ -189,6 +193,11 @@ pub const VARIANT_FULL: &str = "full";
 pub const VARIANT_FULL_PARALLEL: &str = "full-parallel";
 /// Registry publish reusing the cached join of unchanged members.
 pub const VARIANT_INCREMENTAL: &str = "incremental";
+/// Registry publish on a durable registry: the commit is framed,
+/// appended to the WAL and fsync'd before it is acknowledged.
+pub const VARIANT_DURABLE: &str = "durable";
+/// Registry publish on a purely in-memory registry.
+pub const VARIANT_MEMORY: &str = "memory";
 /// The compiled engine with the adaptive sparse rows disabled — every
 /// closure matrix dense, the pre-adaptive memory behavior.
 pub const VARIANT_COMPILED_DENSE: &str = "compiled-dense";
@@ -758,6 +767,85 @@ impl Suite {
             },
         );
     }
+
+    /// The durability tax: the same warm incremental publish against an
+    /// in-memory registry and against one whose commits are framed,
+    /// WAL-appended and fsync'd to a local data dir before they are
+    /// acknowledged. The speedup column is the per-commit cost factor of
+    /// crash safety — dominated by the fsync, not the framing.
+    fn registry_durability(&mut self, members: usize, classes: usize) {
+        let core_params = SchemaParams {
+            vocabulary: classes,
+            classes,
+            labels: classes * 8,
+            arrows: classes,
+            specializations: (classes / 32).max(2),
+            seed: 0xD07A + members as u64,
+        };
+        let core = schema_merge_workload::schema_family(&core_params, 1).remove(0);
+        let delta_params = SchemaParams {
+            classes: (classes / 6).max(4),
+            arrows: (classes / 6).max(4),
+            specializations: 0,
+            seed: 0x0D15C + members as u64,
+            ..core_params
+        };
+        let deltas = schema_merge_workload::schema_family(&delta_params, members);
+        let family: Vec<WeakSchema> = deltas
+            .iter()
+            .map(|delta| facade_join([&core, delta]))
+            .collect();
+        let joined = facade_join(family.iter());
+        let variants: Vec<WeakSchema> = schema_merge_workload::schema_family(
+            &SchemaParams {
+                seed: 0xF5AC + members as u64,
+                ..delta_params
+            },
+            2 * (self.iters + 1),
+        )
+        .iter()
+        .map(|delta| facade_join([&core, delta]))
+        .collect();
+
+        let dir = std::env::temp_dir().join(format!(
+            "smerge-bench-durable-{}-{}",
+            members,
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let durable = Registry::builder()
+            .data_dir(&dir)
+            .open()
+            .expect("durable registry opens");
+        let memory = Registry::new();
+        for (i, member) in family.iter().enumerate() {
+            for registry in [&durable, &memory] {
+                registry
+                    .put(format!("member-{i}"), member.clone())
+                    .expect("family publishes");
+            }
+        }
+        // Both sides pop the same variant sequence, so every iteration
+        // pairs identical merge work and only persistence differs.
+        let mut durable_pool = variants.clone();
+        let mut memory_pool = variants;
+        self.measure_pair(
+            "registry",
+            "durable_publish",
+            &joined,
+            VARIANT_DURABLE,
+            || {
+                let changed = durable_pool.pop().expect("enough variants");
+                black_box(durable.put("member-0", changed).expect("publishes"));
+            },
+            VARIANT_MEMORY,
+            || {
+                let changed = memory_pool.pop().expect("enough variants");
+                black_box(memory.put("member-0", changed).expect("publishes"));
+            },
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
 }
 
 /// Runs the suite. `quick` is the CI profile: fewer iterations and only
@@ -783,6 +871,7 @@ pub fn run_suite(quick: bool, threads: usize) -> BenchReport {
     suite.er_roundtrip(32);
     suite.wide(64);
     suite.registry_publish(32, 200);
+    suite.registry_durability(8, 64);
     suite.taxonomy_merges(6_000, 6);
     if !quick {
         suite.registry_publish(16, 200);
@@ -1051,6 +1140,28 @@ mod tests {
         assert!(json.contains("\"family\": \"registry\""));
         assert!(json.contains("\"variant\": \"incremental\""));
         assert!(json.contains("\"variant\": \"full-parallel\""));
+    }
+
+    #[test]
+    fn durable_publish_pair_measures_the_persistence_tax() {
+        let mut suite = Suite {
+            iters: 2,
+            threads: 2,
+            report: BenchReport::default(),
+        };
+        suite.registry_durability(4, 24);
+        let report = suite.report;
+        assert_eq!(report.records.len(), 2);
+        assert!(report
+            .records
+            .iter()
+            .all(|r| r.family == "registry" && r.op == "durable_publish"));
+        let speedup = &report.speedups[0];
+        assert_eq!(
+            (speedup.baseline, speedup.improved),
+            (VARIANT_DURABLE, VARIANT_MEMORY)
+        );
+        assert!(speedup.speedup > 0.0);
     }
 
     #[test]

@@ -158,17 +158,22 @@ commands:
   query <schema-file> <instance-file> <path>
                        evaluate a path query (Start.label[Class].label)
                        against an instance of the merged schema
-  serve [--port P] [--threads N] [--merge-threads M] [file...]
+  serve [--port P] [--threads N] [--merge-threads M]
+        [--data-dir DIR] [--snapshot-every K] [file...]
                        run the registry daemon: members publish schema
                        versions over TCP and the canonical merged view
                        is maintained incrementally (files preload
                        members; --port 0 picks an ephemeral port;
                        --merge-threads fixes the worker budget of the
-                       registry's merge plans)
+                       registry's merge plans; --data-dir makes the
+                       registry durable — commits are WAL'd and
+                       snapshotted there, and restart recovers them;
+                       --snapshot-every sets the compaction cadence in
+                       records, 0 = manual SNAPSHOT only)
   client <addr> <cmd> [args]
                        drive a running daemon: put <name> <file>,
                        get <name>, delete <name>, merged, stats, list,
-                       query <path>, ping, shutdown
+                       query <path>, snapshot, ping, shutdown
   help                 this message";
 
 /// Entry point shared by `main` and the tests.

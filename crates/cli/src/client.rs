@@ -28,7 +28,7 @@ fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliErro
     let usage = || {
         CliError::Usage(
             "expected `client <addr> <put <name> <file> | get <name> | delete <name> | \
-             merged | stats | list | query <path> | ping | shutdown>`"
+             merged | stats | list | query <path> | snapshot | ping | shutdown>`"
                 .into(),
         )
     };
@@ -45,6 +45,7 @@ fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliErro
         ("stats", []) => Ok((Command::Stats, None)),
         ("list", []) => Ok((Command::List, None)),
         ("query", [path]) => Ok((Command::Query((*path).clone()), None)),
+        ("snapshot", []) => Ok((Command::Snapshot, None)),
         ("ping", []) => Ok((Command::Ping, None)),
         ("shutdown", []) => Ok((Command::Shutdown, None)),
         _ => Err(usage()),

@@ -34,6 +34,8 @@ struct Options {
     port: u16,
     threads: usize,
     merge_threads: Option<usize>,
+    data_dir: Option<String>,
+    snapshot_every: Option<u64>,
     preload: Vec<String>,
 }
 
@@ -42,6 +44,8 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
         port: 7411,
         threads: 4,
         merge_threads: None,
+        data_dir: None,
+        snapshot_every: None,
         preload: Vec::new(),
     };
     let mut iter = args.iter();
@@ -69,6 +73,19 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
                             CliError::Usage("--merge-threads requires a positive count".into())
                         })?,
                 );
+            }
+            "--data-dir" => {
+                options.data_dir = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--data-dir requires a path".into()))?
+                        .to_string(),
+                );
+            }
+            "--snapshot-every" => {
+                options.snapshot_every =
+                    Some(iter.next().and_then(|v| v.parse().ok()).ok_or_else(|| {
+                        CliError::Usage("--snapshot-every requires a record count".into())
+                    })?);
             }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown serve flag `{other}`")));
@@ -130,10 +147,31 @@ impl ConnQueue {
 /// Runs the daemon. Returns once a client issues `SHUTDOWN`.
 pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
     let options = parse_options(args)?;
-    let registry = Arc::new(match options.merge_threads {
-        Some(threads) => Registry::with_merge_threads(threads),
-        None => Registry::new(),
-    });
+    let mut builder = Registry::builder();
+    if let Some(threads) = options.merge_threads {
+        builder = builder.merge_threads(threads);
+    }
+    if let Some(dir) = &options.data_dir {
+        builder = builder.data_dir(dir);
+    }
+    if let Some(every) = options.snapshot_every {
+        builder = builder.snapshot_every(every);
+    }
+    let registry = Arc::new(
+        builder
+            .open()
+            .map_err(|err| CliError::Data(format!("opening registry: {err}")))?,
+    );
+    if options.data_dir.is_some() {
+        let stats = registry.stats();
+        writeln!(
+            out,
+            "recovered generation {} ({} members) from {}",
+            stats.generation,
+            stats.members,
+            options.data_dir.as_deref().unwrap_or_default()
+        )?;
+    }
 
     for path in &options.preload {
         let source = std::fs::read_to_string(path)
@@ -232,6 +270,14 @@ fn handle_connection(
                 return Ok(());
             }
             Command::Ping => writeln!(writer, "{}", status_line(Status::Ok, "pong"))?,
+            Command::Snapshot => match registry.snapshot() {
+                Ok(generation) => writeln!(
+                    writer,
+                    "{}",
+                    status_line(Status::Ok, &format!("generation={generation}"))
+                )?,
+                Err(err) => writeln!(writer, "{}", status_line(Status::Err, &err.to_string()))?,
+            },
             Command::Put(name) => {
                 let mut collector = BlockCollector::new();
                 let mut complete = false;

@@ -1,0 +1,410 @@
+//! Registry configuration: the builder that opens in-memory or durable
+//! registries, and the boot-time recovery it performs for the latter.
+//!
+//! ## Recovery
+//!
+//! [`RegistryBuilder::open`] rebuilds a durable registry from its store
+//! in four steps:
+//!
+//! 1. **Snapshot.** Load and validate the *newest* snapshot object.
+//!    Only the newest is usable — the log was truncated when it was
+//!    installed, so an older snapshot plus the current log would be
+//!    missing records; a corrupt newest snapshot is therefore a hard
+//!    [`StorageError::Corrupt`], never a silent fall-back.
+//! 2. **Log replay.** Scan the WAL's valid prefix, truncate any torn
+//!    tail (un-acknowledged by construction), and apply every record
+//!    with a generation past the snapshot's. Records at or before it are
+//!    stale — a crash between snapshot install and log truncation leaves
+//!    them behind — and are skipped, though the schema bodies they carry
+//!    still feed the blob table.
+//! 3. **Re-merge.** The merged view is a deterministic least upper
+//!    bound of the current members, so it is *recomputed*, not stored:
+//!    one batch join plus completion, exactly the engine's cold path.
+//! 4. **Verify.** The recomputed view's content hash must equal the
+//!    `view_hash` carried by the last applied record (or the snapshot,
+//!    when the log is empty) — an end-to-end check that recovery
+//!    reproduced the view the writer actually served.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex, RwLock};
+
+use schema_merge_core::{CompletionReport, Merger, ProperSchema, WeakSchema};
+
+use crate::cache::{fingerprint, JoinCache};
+use crate::error::RegistryError;
+use crate::registry::{merge_onto, Counters, Persistence, Registry, Shared};
+use crate::storage::snapshot::SnapshotState;
+use crate::storage::wal::{self, WalRecord};
+use crate::storage::{snapshot, LocalStore, StorageError, Store};
+use crate::version::{MemberRecord, SchemaVersion};
+
+/// Records between auto-snapshots unless
+/// [`RegistryBuilder::snapshot_every`] says otherwise.
+const DEFAULT_SNAPSHOT_EVERY: u64 = 256;
+
+/// Configures and opens a [`Registry`]. Obtained from
+/// [`Registry::builder`].
+///
+/// ```
+/// use schema_merge_registry::Registry;
+///
+/// // In-memory, two merge workers:
+/// let registry = Registry::builder().merge_threads(2).open().unwrap();
+/// assert!(registry.is_empty());
+/// ```
+#[must_use = "a builder does nothing until `open` is called"]
+pub struct RegistryBuilder {
+    merge_threads: Option<usize>,
+    data_dir: Option<PathBuf>,
+    snapshot_every: u64,
+    store: Option<Box<dyn Store>>,
+}
+
+impl Default for RegistryBuilder {
+    fn default() -> Self {
+        RegistryBuilder::new()
+    }
+}
+
+impl RegistryBuilder {
+    /// A builder with defaults: in-memory, engine-chosen parallelism,
+    /// auto-snapshot every 256 records once a store is configured.
+    pub fn new() -> Self {
+        RegistryBuilder {
+            merge_threads: None,
+            data_dir: None,
+            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            store: None,
+        }
+    }
+
+    /// Fixes the worker budget for the registry's merge plans. Cold
+    /// full rebuilds (cache-miss publishes, preloads, post-delete
+    /// re-merges, recovery's re-merge) run the parallel engine with this
+    /// many workers; the warm incremental path uses it for the
+    /// completion pass. Thread counts never change the merged view.
+    pub fn merge_threads(mut self, threads: usize) -> Self {
+        self.merge_threads = Some(threads.max(1));
+        self
+    }
+
+    /// Makes the registry durable on a local directory: a WAL plus
+    /// snapshot objects under `dir` (created if absent), via
+    /// [`LocalStore`]. Opening recovers whatever state the directory
+    /// holds. Ignored when an explicit [`RegistryBuilder::store`] is
+    /// also configured.
+    pub fn data_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.data_dir = Some(dir.into());
+        self
+    }
+
+    /// Auto-snapshot (and compact the log) after this many WAL records;
+    /// `0` disables the cadence, leaving compaction to explicit
+    /// [`Registry::snapshot`] calls. Meaningless without a store.
+    pub fn snapshot_every(mut self, records: u64) -> Self {
+        self.snapshot_every = records;
+        self
+    }
+
+    /// Makes the registry durable on a custom [`Store`] backend (an
+    /// object-store adapter, or [`crate::storage::MemoryStore`] in
+    /// tests). Takes precedence over [`RegistryBuilder::data_dir`].
+    pub fn store(mut self, store: impl Store + 'static) -> Self {
+        self.store = Some(Box::new(store));
+        self
+    }
+
+    /// Opens the registry. With no store configured this is
+    /// [`Registry::new`] plus the thread budget; with one, the durable
+    /// state is recovered as described in the [module docs](self).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Storage`] when the store cannot be opened or
+    /// read, or when the durable state fails validation (corrupt
+    /// snapshot, blob references that resolve nowhere, a recovered view
+    /// that does not hash to what the log says was served).
+    pub fn open(self) -> Result<Registry, RegistryError> {
+        let store: Option<Box<dyn Store>> = match (self.store, self.data_dir) {
+            (Some(store), _) => Some(store),
+            (None, Some(dir)) => Some(Box::new(LocalStore::open(dir)?)),
+            (None, None) => None,
+        };
+        let Some(mut store) = store else {
+            let mut registry = Registry::new();
+            registry.merge_threads = self.merge_threads;
+            return Ok(registry);
+        };
+        let recovered = recover(&mut store, self.merge_threads)?;
+        let mut cache = JoinCache::default();
+        if let Some(compiled) = &recovered.compiled {
+            // Seed the join cache with the full-set join so the first
+            // publish after reboot is already incremental.
+            let fp = fingerprint(
+                recovered
+                    .members
+                    .iter()
+                    .map(|(n, r)| (n.as_str(), r.current().hash)),
+            );
+            cache.insert(fp, Arc::clone(compiled));
+        }
+        Ok(Registry {
+            shared: RwLock::new(Shared {
+                generation: recovered.generation,
+                members: recovered.members,
+                proper: recovered.proper,
+                report: recovered.report,
+            }),
+            cache: Mutex::new(cache),
+            counters: Counters::default(),
+            merge_threads: self.merge_threads,
+            persistence: Some(Mutex::new(Persistence {
+                store,
+                snapshot_every: self.snapshot_every,
+                wal_records: recovered.wal_records,
+                records_since_snapshot: recovered.wal_records,
+                snapshot_generation: recovered.snapshot_generation,
+                snapshot_bytes: recovered.snapshot_bytes,
+                snapshots_written: 0,
+                on_disk: recovered.on_disk,
+            })),
+        })
+    }
+}
+
+/// Everything [`recover`] rebuilds from the store.
+struct Recovered {
+    generation: u64,
+    members: BTreeMap<String, MemberRecord>,
+    proper: Arc<ProperSchema>,
+    report: Arc<CompletionReport>,
+    /// The compiled full-set join (absent when there are no members).
+    compiled: Option<Arc<schema_merge_core::CompiledSchema>>,
+    snapshot_generation: u64,
+    snapshot_bytes: u64,
+    wal_records: u64,
+    on_disk: HashSet<u64>,
+}
+
+fn recover(store: &mut Box<dyn Store>, threads: Option<usize>) -> Result<Recovered, StorageError> {
+    // 1. The newest snapshot, if any.
+    let snapshots = store.list_snapshots()?;
+    let mut state = SnapshotState::default();
+    let mut snapshot_bytes = 0u64;
+    let mut last_view_hash = None;
+    if let Some(&latest) = snapshots.last() {
+        let image = store.read_snapshot(latest)?;
+        snapshot_bytes = image.len() as u64;
+        state = snapshot::decode(&image)?;
+        last_view_hash = Some(state.view_hash);
+    }
+
+    // 2. The log's valid prefix; a torn tail was never acknowledged and
+    // is truncated away so appends resume on a frame boundary.
+    let image = store.read_log()?;
+    let scan = wal::read_frames(&image)?;
+    if scan.valid_len < image.len() as u64 {
+        store.truncate_log(scan.valid_len)?;
+    }
+
+    // Blob table: snapshot bodies plus every body carried in the log
+    // (stale records — generation at or before the snapshot's, left by a
+    // crash between snapshot install and log truncation — still
+    // contribute theirs; a later by-reference record may need them).
+    let mut blobs: HashMap<u64, Arc<WeakSchema>> = state
+        .blobs
+        .iter()
+        .map(|(hash, schema)| (*hash, Arc::clone(schema)))
+        .collect();
+    for record in &scan.records {
+        if let WalRecord::Put {
+            hash,
+            schema: Some(schema),
+            ..
+        } = record
+        {
+            blobs.insert(*hash, Arc::clone(schema));
+        }
+    }
+
+    // Member histories: the snapshot's, then the post-snapshot records.
+    let mut members: BTreeMap<String, MemberRecord> = BTreeMap::new();
+    for (name, versions) in &state.members {
+        let mut record = MemberRecord {
+            versions: Vec::new(),
+        };
+        for meta in versions {
+            // Unreachable after `snapshot::decode` validated references,
+            // but kept honest rather than unwrapped.
+            let schema = blobs.get(&meta.hash).cloned().ok_or_else(|| {
+                StorageError::corrupt(format!(
+                    "snapshot member `{name}` references missing blob {:#018x}",
+                    meta.hash
+                ))
+            })?;
+            record.versions.push(SchemaVersion {
+                hash: meta.hash,
+                sequence: meta.sequence,
+                generation: meta.generation,
+                schema,
+            });
+        }
+        members.insert(name.clone(), record);
+    }
+    let mut generation = state.generation;
+    let mut wal_records = 0u64;
+    for record in &scan.records {
+        wal_records += 1;
+        if record.generation() <= state.generation {
+            continue; // stale: the snapshot already captured it
+        }
+        if record.generation() != generation + 1 {
+            return Err(StorageError::corrupt(format!(
+                "log jumps from generation {generation} to {}",
+                record.generation()
+            )));
+        }
+        match record {
+            WalRecord::Put {
+                generation: g,
+                member,
+                hash,
+                sequence,
+                ..
+            } => {
+                let schema = blobs.get(hash).cloned().ok_or_else(|| {
+                    StorageError::corrupt(format!(
+                        "put of `{member}` references blob {hash:#018x} \
+                         carried by no snapshot or earlier record"
+                    ))
+                })?;
+                members
+                    .entry(member.clone())
+                    .or_insert_with(|| MemberRecord {
+                        versions: Vec::new(),
+                    })
+                    .versions
+                    .push(SchemaVersion {
+                        hash: *hash,
+                        sequence: *sequence,
+                        generation: *g,
+                        schema,
+                    });
+            }
+            WalRecord::Delete { member, .. } => {
+                if members.remove(member.as_str()).is_none() {
+                    return Err(StorageError::corrupt(format!(
+                        "delete of `{member}`, which does not exist at that point"
+                    )));
+                }
+            }
+        }
+        generation = record.generation();
+        last_view_hash = Some(record.view_hash());
+    }
+
+    // 3. Recompute the merged view — it is a deterministic LUB of the
+    // recovered members, so it is derived, never trusted from disk.
+    let (proper, report, compiled) = if members.is_empty() {
+        let empty = ProperSchema::try_new(WeakSchema::empty()).expect("the empty schema is proper");
+        (Arc::new(empty), Arc::new(CompletionReport::default()), None)
+    } else {
+        let remerge = || -> Result<_, schema_merge_core::MergeError> {
+            let mut merger =
+                Merger::new().schemas(members.values().map(|r| r.current().schema.as_ref()));
+            if let Some(threads) = threads {
+                merger = merger.threads(threads);
+            }
+            let (_, compiled) = merger.join()?.into_parts();
+            let compiled = Arc::new(compiled.expect("the compiled engines keep the compiled join"));
+            let candidate = merge_onto(&compiled, None, threads)?;
+            Ok((candidate.proper, candidate.report, Some(candidate.compiled)))
+        };
+        remerge().map_err(|cause| {
+            StorageError::corrupt(format!("recovered member set does not merge: {cause}"))
+        })?
+    };
+
+    // 4. End-to-end verification against the last committed view hash.
+    if let Some(expected) = last_view_hash {
+        let actual = proper.content_hash();
+        if actual != expected {
+            return Err(StorageError::corrupt(format!(
+                "recovered view hashes to {actual:#018x}, but the last committed \
+                 record served {expected:#018x}"
+            )));
+        }
+    }
+
+    Ok(Recovered {
+        generation,
+        members,
+        proper,
+        report,
+        compiled,
+        snapshot_generation: snapshots.last().copied().unwrap_or(0),
+        snapshot_bytes,
+        wal_records,
+        on_disk: blobs.keys().copied().collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::storage::MemoryStore;
+
+    fn schema(src: &str, label: &str, tgt: &str) -> WeakSchema {
+        WeakSchema::builder()
+            .arrow(src, label, tgt)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn builder_without_store_is_in_memory() {
+        let registry = Registry::builder().merge_threads(3).open().unwrap();
+        assert!(!registry.stats().persistent);
+        assert!(matches!(
+            registry.snapshot(),
+            Err(RegistryError::NotPersistent)
+        ));
+    }
+
+    #[test]
+    fn fresh_store_opens_empty() {
+        let registry = Registry::builder()
+            .store(MemoryStore::new())
+            .open()
+            .unwrap();
+        assert!(registry.is_empty());
+        let stats = registry.stats();
+        assert!(stats.persistent);
+        assert_eq!(stats.wal_records, 0);
+        assert_eq!(stats.generation, 0);
+    }
+
+    #[test]
+    fn commits_are_logged_and_deduped_by_content() {
+        let registry = Registry::builder()
+            .store(MemoryStore::new())
+            .snapshot_every(0)
+            .open()
+            .unwrap();
+        let g = schema("Part", "price", "money");
+        registry.put("a", g.clone()).unwrap();
+        let after_first = registry.stats().wal_bytes;
+        // Same content under another member: a by-reference record, so
+        // the log grows by far less than the first (body-carrying) one.
+        registry.put("b", g).unwrap();
+        let stats = registry.stats();
+        assert_eq!(stats.wal_records, 2);
+        let second_growth = stats.wal_bytes - after_first;
+        assert!(
+            second_growth < after_first / 2,
+            "by-reference record grew the log by {second_growth} B \
+             (first record: {after_first} B)"
+        );
+    }
+}

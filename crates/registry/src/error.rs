@@ -4,10 +4,13 @@ use std::fmt;
 
 use schema_merge_core::MergeError;
 
+use crate::storage::StorageError;
+
 /// Why a registry operation was rejected. Rejected operations leave the
 /// registry exactly as it was — like [`schema_merge_core::MergeSession`],
 /// a failed addition never corrupts the accumulated state.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum RegistryError {
     /// The named member does not exist.
     UnknownMember(String),
@@ -21,6 +24,13 @@ pub enum RegistryError {
         /// The merge failure that would have resulted.
         cause: MergeError,
     },
+    /// The persistence layer failed. On the commit path this is raised
+    /// *before* the in-memory state changes, so a commit that could not
+    /// be made durable was never visible either.
+    Storage(StorageError),
+    /// A persistence-only operation (like [`crate::Registry::snapshot`])
+    /// was asked of a registry opened without a store.
+    NotPersistent,
 }
 
 impl fmt::Display for RegistryError {
@@ -30,6 +40,10 @@ impl fmt::Display for RegistryError {
             RegistryError::Rejected { member, cause } => {
                 write!(f, "publishing `{member}` rejected: {cause}")
             }
+            RegistryError::Storage(cause) => write!(f, "{cause}"),
+            RegistryError::NotPersistent => {
+                write!(f, "registry was opened without a data dir or store")
+            }
         }
     }
 }
@@ -37,8 +51,15 @@ impl fmt::Display for RegistryError {
 impl std::error::Error for RegistryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RegistryError::UnknownMember(_) => None,
+            RegistryError::UnknownMember(_) | RegistryError::NotPersistent => None,
             RegistryError::Rejected { cause, .. } => Some(cause),
+            RegistryError::Storage(cause) => Some(cause),
         }
+    }
+}
+
+impl From<StorageError> for RegistryError {
+    fn from(err: StorageError) -> Self {
+        RegistryError::Storage(err)
     }
 }

@@ -1,7 +1,7 @@
 //! # schema-merge-registry
 //!
-//! A concurrent, versioned, in-memory schema registry with an
-//! incremental merge engine — the paper's merge run as a *service*.
+//! A concurrent, versioned, durable schema registry with an incremental
+//! merge engine — the paper's merge run as a *service*.
 //!
 //! Because the upper merge is a least upper bound — associative,
 //! commutative, idempotent (§4.1) — it is the ideal backbone for a
@@ -13,7 +13,7 @@
 //!
 //! The crate provides:
 //!
-//! * [`Registry`] — the store. Named members hold content-hashed
+//! * [`Registry`] — the engine. Named members hold content-hashed
 //!   immutable [`SchemaVersion`]s; a generation-stamped merged view sits
 //!   behind an `RwLock`, so reads are wait-free Arc clones and writers
 //!   recompute optimistically outside the lock.
@@ -27,6 +27,15 @@
 //!   full batch `Merger` execution when no cached join applies. The
 //!   incremental result is always equal to the one-shot merge
 //!   (differentially property-tested against `reference::merge`).
+//! * **Durability** ([`storage`]) — an append-only, checksummed,
+//!   fsync'd write-ahead log of content-hashed put/delete records plus
+//!   periodic compacting snapshots, behind the pluggable
+//!   [`storage::Store`] trait ([`storage::LocalStore`] on a local
+//!   directory now, an object-store-shaped surface later).
+//!   `Registry::builder().data_dir(p).open()?` replays snapshot + WAL
+//!   suffix on boot and recovers the exact generation lineage; the merge
+//!   being deterministic, the recovered view is *equal* to the
+//!   never-crashed one.
 //! * Schema-space queries — [`Registry::query`] answers path queries
 //!   ("which classes does `Dog.owner` reach?") against the merged view
 //!   via [`schema_merge_instance::PathQuery::eval_classes`], no instance
@@ -55,12 +64,21 @@
 #![warn(missing_docs)]
 
 mod cache;
+pub mod config;
 pub mod error;
+pub mod registry;
 pub mod stats;
+pub mod storage;
+#[deprecated(
+    since = "0.2.0",
+    note = "the in-memory registry moved to `schema_merge_registry::registry`; \
+            `store` now refers to the persistence trait in `schema_merge_registry::storage`"
+)]
 pub mod store;
 pub mod version;
 
+pub use config::RegistryBuilder;
 pub use error::RegistryError;
+pub use registry::{DeleteOutcome, MergeStrategy, MergedView, PutOutcome, Registry};
 pub use stats::RegistryStats;
-pub use store::{DeleteOutcome, MergeStrategy, MergedView, PutOutcome, Registry};
 pub use version::{MemberInfo, SchemaVersion};

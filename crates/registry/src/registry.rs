@@ -1,0 +1,1044 @@
+//! The registry: concurrent versioned members and the incremental merge
+//! engine.
+//!
+//! ## Concurrency
+//!
+//! The mutable state (members, generation, merged view) lives behind one
+//! `RwLock`; the join cache behind its own `Mutex` (the two are never
+//! held at once). Reads — [`Registry::merged`], [`Registry::get`],
+//! [`Registry::stats`], [`Registry::query`] — take the read lock just
+//! long enough to clone an `Arc`. Writers are *optimistic*: they
+//! snapshot under the read lock, compute the candidate merged view with
+//! no lock held, then take the write lock only to validate the
+//! generation and commit. A writer that lost the race recomputes from a
+//! fresh snapshot — every retry means another writer committed, so the
+//! system as a whole always makes progress and the expensive merge work
+//! never blocks readers.
+//!
+//! ## Incrementality
+//!
+//! The merge is a least upper bound, so for any member `k`,
+//! `⊔ᵢ Gᵢ = (⊔ᵢ≠ₖ Gᵢ) ⊔ Gₖ` — the join of everything else is a
+//! *reusable intermediate*. Joins are not invertible, so the engine
+//! cannot subtract `k`'s old contribution from the cached total;
+//! instead it remembers the joins it has computed — compiled, so the
+//! interner survives across generations — keyed by the exact
+//! member-version set. Every re-merge is built as a
+//! [`schema_merge_core::merger::MergePlan`]: the cached compiled join of
+//! the unchanged members is handed to
+//! [`Merger::onto_base`](schema_merge_core::Merger::onto_base), so each
+//! publish of `k` interns only the changed member and completes straight
+//! off the compiled join (materializing the symbolic schema exactly
+//! once, for the committed view). When no cached join matches, the
+//! engine falls back to joining every unchanged member from scratch (a
+//! plain batch `Merger` execution) and seeds the cache so the next
+//! publish is incremental. Either way the committed view is **equal** to
+//! the one-shot merge of the current members — associativity is not an
+//! optimization that changes answers.
+//!
+//! ## Durability
+//!
+//! A registry opened with a store ([`crate::RegistryBuilder::data_dir`]
+//! or [`crate::RegistryBuilder::store`]) writes every commit to an
+//! append-only WAL *before* it becomes visible: inside the commit
+//! critical section, after the generation race is won but before the
+//! shared state mutates, the put/delete record is framed, appended and
+//! fsync'd ([`crate::storage`]). A commit that cannot be made durable is
+//! returned as [`RegistryError::Storage`] with the registry untouched,
+//! so the in-memory state never runs ahead of the log — crash anywhere
+//! and recovery replays exactly the acknowledged sequence. Every
+//! `snapshot_every` records the registry compacts: it snapshots the full
+//! member state (schema bodies deduplicated by content hash) and
+//! truncates the log.
+
+use std::collections::{BTreeMap, BTreeSet, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+
+use schema_merge_core::{
+    Class, CompiledSchema, CompletionReport, MergeError, Merger, ProperSchema, WeakSchema,
+};
+use schema_merge_instance::PathQuery;
+
+use crate::cache::{fingerprint, JoinCache};
+use crate::config::RegistryBuilder;
+use crate::error::RegistryError;
+use crate::stats::RegistryStats;
+use crate::storage::snapshot::{SnapshotState, VersionMeta};
+use crate::storage::wal::WalRecord;
+use crate::storage::{snapshot, wal, StorageError, Store};
+use crate::version::{MemberInfo, MemberRecord, SchemaVersion};
+
+/// How a commit's merged view was computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MergeStrategy {
+    /// The content hash matched the current version: nothing recomputed.
+    Noop,
+    /// A cached join of the unchanged members was reused; only the final
+    /// two-way join and the completion ran.
+    Incremental,
+    /// No cached join applied; every unchanged member was re-joined.
+    Full,
+}
+
+impl MergeStrategy {
+    /// The lower-case wire/report name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MergeStrategy::Noop => "noop",
+            MergeStrategy::Incremental => "incremental",
+            MergeStrategy::Full => "full",
+        }
+    }
+}
+
+/// The result of a successful [`Registry::put`].
+#[derive(Debug, Clone)]
+pub struct PutOutcome {
+    /// Content hash of the published schema.
+    pub hash: u64,
+    /// The version's sequence number within the member (unchanged for a
+    /// no-op republish).
+    pub sequence: u32,
+    /// Registry generation after the operation (unchanged for a no-op).
+    pub generation: u64,
+    /// Which engine path produced the new merged view.
+    pub strategy: MergeStrategy,
+}
+
+/// The result of a successful [`Registry::delete`].
+#[derive(Debug, Clone)]
+pub struct DeleteOutcome {
+    /// Registry generation after the delete.
+    pub generation: u64,
+    /// Members remaining.
+    pub remaining: usize,
+    /// Which engine path produced the new merged view.
+    pub strategy: MergeStrategy,
+}
+
+/// A generation-stamped handle on the merged view. Everything is
+/// `Arc`-shared — taking a view never copies a schema, and the registry
+/// moving on to later generations never invalidates it.
+///
+/// The pre-completion weak join is not materialized symbolically — it
+/// lives compiled in the join cache, where the next incremental publish
+/// reuses it; the canonical merged schema (and its weak form, via
+/// [`ProperSchema::as_weak`]) is what clients consume.
+#[derive(Debug, Clone)]
+pub struct MergedView {
+    /// The generation whose commit produced this view.
+    pub generation: u64,
+    /// The completed merge — the canonical merged schema served to
+    /// clients.
+    pub proper: Arc<ProperSchema>,
+    /// Implicit-class provenance from the completion.
+    pub report: Arc<CompletionReport>,
+}
+
+impl MergedView {
+    /// Canonical content hash of the merged proper schema.
+    pub fn hash(&self) -> u64 {
+        self.proper.content_hash()
+    }
+}
+
+/// The computed pieces of a candidate view, pre-`Arc`ed so commit is
+/// pointer shuffling only. The compiled join rides along to seed the
+/// cache: it is the interner the *next* incremental publish will reuse.
+pub(crate) struct Candidate {
+    pub(crate) compiled: Arc<CompiledSchema>,
+    pub(crate) proper: Arc<ProperSchema>,
+    pub(crate) report: Arc<CompletionReport>,
+}
+
+pub(crate) struct Shared {
+    pub(crate) generation: u64,
+    pub(crate) members: BTreeMap<String, MemberRecord>,
+    pub(crate) proper: Arc<ProperSchema>,
+    pub(crate) report: Arc<CompletionReport>,
+}
+
+/// The registry's persistence arm: the pluggable store plus the
+/// bookkeeping that makes WAL dedup and compaction cadence work. Locked
+/// only while the commit (shared-state) lock is held by the same caller
+/// or while no shared lock is needed at all, so the lock order
+/// shared → persistence is global and deadlock-free.
+pub(crate) struct Persistence {
+    pub(crate) store: Box<dyn Store>,
+    /// Auto-snapshot after this many WAL records (0 = manual only).
+    pub(crate) snapshot_every: u64,
+    /// Records in the log since the last compaction.
+    pub(crate) wal_records: u64,
+    pub(crate) records_since_snapshot: u64,
+    /// Generation of the newest snapshot object (0 = none).
+    pub(crate) snapshot_generation: u64,
+    pub(crate) snapshot_bytes: u64,
+    pub(crate) snapshots_written: u64,
+    /// Content hashes whose schema bodies are currently recoverable from
+    /// the store (snapshot blob table ∪ bodies carried in the live log).
+    /// A put whose hash is present appends a by-reference record — the
+    /// WAL-level content-hash dedup.
+    pub(crate) on_disk: HashSet<u64>,
+}
+
+impl Persistence {
+    /// Frames, appends and fsyncs one record. On success the record is
+    /// durable; only then may the caller make the commit visible.
+    fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
+        self.store.append(&wal::encode_frame(record))?;
+        self.wal_records += 1;
+        self.records_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Writes a snapshot of `members` at `generation`, truncates the
+    /// log, and drops superseded snapshot objects. The caller must hold
+    /// the shared lock (read or write) so no commit can interleave
+    /// between the state capture and the log truncation.
+    fn write_snapshot(
+        &mut self,
+        members: &BTreeMap<String, MemberRecord>,
+        generation: u64,
+        view_hash: u64,
+    ) -> Result<u64, StorageError> {
+        let mut state = SnapshotState {
+            generation,
+            view_hash,
+            ..SnapshotState::default()
+        };
+        for (name, record) in members {
+            let mut versions = Vec::with_capacity(record.versions.len());
+            for v in &record.versions {
+                state
+                    .blobs
+                    .entry(v.hash)
+                    .or_insert_with(|| Arc::clone(&v.schema));
+                versions.push(VersionMeta {
+                    hash: v.hash,
+                    sequence: v.sequence,
+                    generation: v.generation,
+                });
+            }
+            state.members.insert(name.clone(), versions);
+        }
+        let image = snapshot::encode(&state);
+        self.store.write_snapshot(generation, &image)?;
+        // The snapshot holds everything: the log is now redundant, and
+        // older snapshot objects are superseded.
+        self.store.truncate_log(0)?;
+        for old in self.store.list_snapshots()? {
+            if old != generation {
+                self.store.remove_snapshot(old)?;
+            }
+        }
+        self.snapshot_generation = generation;
+        self.snapshot_bytes = image.len() as u64;
+        self.snapshots_written += 1;
+        self.wal_records = 0;
+        self.records_since_snapshot = 0;
+        self.on_disk = state.blobs.keys().copied().collect();
+        Ok(generation)
+    }
+}
+
+#[derive(Default)]
+pub(crate) struct Counters {
+    incremental: AtomicU64,
+    full: AtomicU64,
+    noop: AtomicU64,
+    rejected: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// The concurrent schema registry. See the [module docs](self) for the
+/// locking, incrementality and durability story.
+pub struct Registry {
+    pub(crate) shared: RwLock<Shared>,
+    pub(crate) cache: Mutex<JoinCache>,
+    pub(crate) counters: Counters,
+    /// Worker budget for the merge engine (`None` = the merger's
+    /// defaults: sequential below the parallel work threshold, the
+    /// machine's parallelism above it).
+    pub(crate) merge_threads: Option<usize>,
+    /// The durability arm; `None` for a purely in-memory registry.
+    pub(crate) persistence: Option<Mutex<Persistence>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::new()
+    }
+}
+
+/// A writer's snapshot: the generation it read plus the unchanged
+/// members it will merge against.
+struct Snapshot {
+    generation: u64,
+    rest: Vec<(String, u64, Arc<WeakSchema>)>,
+}
+
+impl Snapshot {
+    fn fingerprint(&self) -> u64 {
+        fingerprint(self.rest.iter().map(|(n, h, _)| (n.as_str(), *h)))
+    }
+}
+
+impl Registry {
+    /// An empty registry: generation 0, the merge of nothing (the empty
+    /// proper schema) as its view.
+    pub fn new() -> Self {
+        let empty = ProperSchema::try_new(WeakSchema::empty()).expect("the empty schema is proper");
+        Registry {
+            shared: RwLock::new(Shared {
+                generation: 0,
+                members: BTreeMap::new(),
+                proper: Arc::new(empty),
+                report: Arc::new(CompletionReport::default()),
+            }),
+            cache: Mutex::new(JoinCache::default()),
+            counters: Counters::default(),
+            merge_threads: None,
+            persistence: None,
+        }
+    }
+
+    /// Starts configuring a registry: merge-thread budget, data
+    /// directory (or custom [`Store`]) and snapshot cadence, ending in
+    /// [`RegistryBuilder::open`]. `Registry::builder().open()` is
+    /// equivalent to [`Registry::new`].
+    pub fn builder() -> RegistryBuilder {
+        RegistryBuilder::new()
+    }
+
+    /// A registry with a fixed worker budget for its merge plans.
+    /// Results are identical to [`Registry::new`] — thread counts never
+    /// change the merged view.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `Registry::builder().merge_threads(n).open()`"
+    )]
+    pub fn with_merge_threads(threads: usize) -> Self {
+        Registry {
+            merge_threads: Some(threads.max(1)),
+            ..Registry::new()
+        }
+    }
+
+    /// Publishes `schema` as the next version of member `name`.
+    ///
+    /// Content-addressed: if the canonical content hash equals the
+    /// member's current version, nothing is recomputed and no generation
+    /// is spent ([`MergeStrategy::Noop`]). Otherwise the merged view is
+    /// recomputed — incrementally when a cached join of the unchanged
+    /// members applies — and committed together with the new immutable
+    /// version.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::Rejected`] when the published schema is
+    /// incompatible with the other members (specialization cycle across
+    /// the member set). The registry is left exactly as it was.
+    pub fn put(
+        &self,
+        name: impl Into<String>,
+        schema: WeakSchema,
+    ) -> Result<PutOutcome, RegistryError> {
+        let name = name.into();
+        let schema = Arc::new(schema);
+        let hash = schema.content_hash();
+        loop {
+            let snapshot = {
+                let shared = self.shared.read().expect("registry lock");
+                if let Some(record) = shared.members.get(&name) {
+                    let current = record.current();
+                    if current.hash == hash {
+                        self.counters.noop.fetch_add(1, Ordering::Relaxed);
+                        return Ok(PutOutcome {
+                            hash,
+                            sequence: current.sequence,
+                            generation: shared.generation,
+                            strategy: MergeStrategy::Noop,
+                        });
+                    }
+                }
+                self.snapshot_excluding(&shared, &name)
+            };
+
+            let (rest, strategy) = match self.rest_join(&snapshot) {
+                Ok(pair) => pair,
+                Err(cause) => return Err(self.reject(name, cause)),
+            };
+            // The incremental step proper, as a merge plan: the cached
+            // compiled join is the `onto_base` interner — only the
+            // changed member is walked symbolically — and the completion
+            // runs straight off the compiled join, materializing the
+            // symbolic schema once.
+            let candidate = match merge_onto(&rest, Some(schema.as_ref()), self.merge_threads) {
+                Ok(candidate) => candidate,
+                Err(cause) => return Err(self.reject(name, cause)),
+            };
+
+            let mut shared = self.shared.write().expect("registry lock");
+            if shared.generation != snapshot.generation {
+                drop(shared);
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let generation = shared.generation + 1;
+            let sequence = shared
+                .members
+                .get(&name)
+                .map_or(0, |r| r.versions.len() as u32)
+                + 1;
+            // Durability point: the record is fsync'd before any shared
+            // state mutates, so a storage failure rejects the commit with
+            // the registry untouched, and a crash after this line replays
+            // to exactly this state.
+            if let Some(persistence) = &self.persistence {
+                let mut p = persistence.lock().expect("persistence lock");
+                let carry = !p.on_disk.contains(&hash);
+                p.append(&WalRecord::Put {
+                    generation,
+                    member: name.clone(),
+                    hash,
+                    sequence,
+                    view_hash: candidate.proper.content_hash(),
+                    schema: carry.then(|| Arc::clone(&schema)),
+                })?;
+                p.on_disk.insert(hash);
+            }
+            shared.generation = generation;
+            let record = shared
+                .members
+                .entry(name.clone())
+                .or_insert_with(|| MemberRecord {
+                    versions: Vec::new(),
+                });
+            record.versions.push(SchemaVersion {
+                hash,
+                sequence,
+                generation,
+                schema: Arc::clone(&schema),
+            });
+            let full_fp = fingerprint(
+                shared
+                    .members
+                    .iter()
+                    .map(|(n, r)| (n.as_str(), r.current().hash)),
+            );
+            let total = Arc::clone(&candidate.compiled);
+            shared.proper = candidate.proper;
+            shared.report = candidate.report;
+            self.auto_snapshot(&shared);
+            drop(shared);
+
+            self.seed_cache(snapshot.fingerprint(), rest, full_fp, total);
+            self.count_commit(strategy);
+            return Ok(PutOutcome {
+                hash,
+                sequence,
+                generation,
+                strategy,
+            });
+        }
+    }
+
+    /// Removes member `name` and re-merges the remainder (incrementally
+    /// when the remainder's join is cached — it is whenever `name` was
+    /// the most recently churned member).
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::UnknownMember`] when no such member exists.
+    pub fn delete(&self, name: &str) -> Result<DeleteOutcome, RegistryError> {
+        loop {
+            let snapshot = {
+                let shared = self.shared.read().expect("registry lock");
+                if !shared.members.contains_key(name) {
+                    return Err(RegistryError::UnknownMember(name.to_string()));
+                }
+                self.snapshot_excluding(&shared, name)
+            };
+
+            // Deleting from a compatible set cannot make it incompatible,
+            // but the error path is kept honest rather than unwrapped.
+            let (rest, strategy) = match self.rest_join(&snapshot) {
+                Ok(pair) => pair,
+                Err(cause) => return Err(self.reject(name.to_string(), cause)),
+            };
+            // The remainder's join IS the new total — the merge plan has
+            // no extras, so the merger skips the join pass and only the
+            // completion runs (against the cached compiled form).
+            let candidate = match merge_onto(&rest, None, self.merge_threads) {
+                Ok(candidate) => candidate,
+                Err(cause) => return Err(self.reject(name.to_string(), cause)),
+            };
+
+            let mut shared = self.shared.write().expect("registry lock");
+            if shared.generation != snapshot.generation {
+                drop(shared);
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let generation = shared.generation + 1;
+            // Same durability point as `put`: fsync first, mutate after.
+            if let Some(persistence) = &self.persistence {
+                let mut p = persistence.lock().expect("persistence lock");
+                p.append(&WalRecord::Delete {
+                    generation,
+                    member: name.to_string(),
+                    view_hash: candidate.proper.content_hash(),
+                })?;
+            }
+            shared.generation = generation;
+            shared.members.remove(name);
+            let remaining = shared.members.len();
+            let full_fp = fingerprint(
+                shared
+                    .members
+                    .iter()
+                    .map(|(n, r)| (n.as_str(), r.current().hash)),
+            );
+            let total = Arc::clone(&candidate.compiled);
+            shared.proper = candidate.proper;
+            shared.report = candidate.report;
+            self.auto_snapshot(&shared);
+            drop(shared);
+
+            self.seed_cache(snapshot.fingerprint(), rest, full_fp, total);
+            self.count_commit(strategy);
+            return Ok(DeleteOutcome {
+                generation,
+                remaining,
+                strategy,
+            });
+        }
+    }
+
+    /// The current merged view (three `Arc` clones; never blocks writers
+    /// for longer than that).
+    pub fn merged(&self) -> MergedView {
+        let shared = self.shared.read().expect("registry lock");
+        MergedView {
+            generation: shared.generation,
+            proper: Arc::clone(&shared.proper),
+            report: Arc::clone(&shared.report),
+        }
+    }
+
+    /// The current version of member `name`.
+    pub fn get(&self, name: &str) -> Option<SchemaVersion> {
+        let shared = self.shared.read().expect("registry lock");
+        shared.members.get(name).map(|r| r.current().clone())
+    }
+
+    /// The full immutable version history of member `name`, oldest
+    /// first.
+    pub fn history(&self, name: &str) -> Option<Vec<SchemaVersion>> {
+        let shared = self.shared.read().expect("registry lock");
+        shared.members.get(name).map(|r| r.versions.clone())
+    }
+
+    /// All members with their current-version identity, sorted by name.
+    pub fn list(&self) -> Vec<MemberInfo> {
+        let shared = self.shared.read().expect("registry lock");
+        shared
+            .members
+            .iter()
+            .map(|(name, record)| {
+                let current = record.current();
+                MemberInfo {
+                    name: name.clone(),
+                    hash: current.hash,
+                    sequence: current.sequence,
+                    versions: record.versions.len(),
+                    num_classes: current.schema.num_classes(),
+                    num_arrows: current.schema.num_arrows(),
+                }
+            })
+            .collect()
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.shared.read().expect("registry lock").members.len()
+    }
+
+    /// Whether the registry has no members.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Evaluates a schema-space path query against the merged view:
+    /// which classes does the path reach in the canonical merged schema
+    /// ([`PathQuery::eval_classes`]).
+    pub fn query(&self, query: &PathQuery) -> BTreeSet<Class> {
+        let view = self.merged();
+        query.eval_classes(view.proper.as_weak())
+    }
+
+    /// Forces a snapshot and log compaction now, regardless of cadence:
+    /// the full member state is written as one atomically-installed
+    /// image (schema bodies deduplicated by content hash), the WAL is
+    /// truncated, and superseded snapshot objects are removed. Returns
+    /// the generation the snapshot captured.
+    ///
+    /// # Errors
+    ///
+    /// [`RegistryError::NotPersistent`] for a registry opened without a
+    /// data dir or store; [`RegistryError::Storage`] when the store
+    /// fails — the previous snapshot and the log are still intact then
+    /// (the new image is installed before anything is discarded), so
+    /// nothing committed is ever lost.
+    pub fn snapshot(&self) -> Result<u64, RegistryError> {
+        let persistence = self
+            .persistence
+            .as_ref()
+            .ok_or(RegistryError::NotPersistent)?;
+        let shared = self.shared.read().expect("registry lock");
+        let mut p = persistence.lock().expect("persistence lock");
+        let view_hash = shared.proper.content_hash();
+        Ok(p.write_snapshot(&shared.members, shared.generation, view_hash)?)
+    }
+
+    /// A statistics snapshot: state sizes and merged-view shape are
+    /// coherent (read under one lock acquisition); the engine counters
+    /// are monotone and read atomically alongside.
+    pub fn stats(&self) -> RegistryStats {
+        let (generation, members, total_versions, proper, report) = {
+            let shared = self.shared.read().expect("registry lock");
+            (
+                shared.generation,
+                shared.members.len(),
+                shared.members.values().map(|r| r.versions.len()).sum(),
+                Arc::clone(&shared.proper),
+                Arc::clone(&shared.report),
+            )
+        };
+        let (cache_entries, cache_hits, cache_misses, cache_evictions) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (cache.len(), cache.hits(), cache.misses(), cache.evictions())
+        };
+        let durability = self.persistence.as_ref().map(|persistence| {
+            let p = persistence.lock().expect("persistence lock");
+            (
+                p.wal_records,
+                p.store.log_bytes().unwrap_or(0),
+                p.snapshot_generation,
+                p.snapshot_bytes,
+                p.snapshots_written,
+            )
+        });
+        let weak = proper.as_weak();
+        RegistryStats {
+            generation,
+            members,
+            total_versions,
+            merged_classes: weak.num_classes(),
+            merged_arrows: weak.num_arrows(),
+            merged_specializations: weak.num_specializations(),
+            implicit_classes: report.num_implicit(),
+            merged_hash: proper.content_hash(),
+            incremental_merges: self.counters.incremental.load(Ordering::Relaxed),
+            full_merges: self.counters.full.load(Ordering::Relaxed),
+            noop_puts: self.counters.noop.load(Ordering::Relaxed),
+            rejected_puts: self.counters.rejected.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_evictions,
+            cache_entries,
+            commit_retries: self.counters.retries.load(Ordering::Relaxed),
+            persistent: durability.is_some(),
+            wal_records: durability.map_or(0, |d| d.0),
+            wal_bytes: durability.map_or(0, |d| d.1),
+            snapshot_generation: durability.map_or(0, |d| d.2),
+            snapshot_bytes: durability.map_or(0, |d| d.3),
+            snapshots_written: durability.map_or(0, |d| d.4),
+        }
+    }
+
+    // ---- engine internals ------------------------------------------------
+
+    fn snapshot_excluding(&self, shared: &Shared, name: &str) -> Snapshot {
+        Snapshot {
+            generation: shared.generation,
+            rest: shared
+                .members
+                .iter()
+                .filter(|(n, _)| n.as_str() != name)
+                .map(|(n, r)| {
+                    let current = r.current();
+                    (n.clone(), current.hash, Arc::clone(&current.schema))
+                })
+                .collect(),
+        }
+    }
+
+    /// The compiled join of the snapshot's unchanged members: from the
+    /// cache when their exact version set was joined before, otherwise
+    /// computed from scratch (and later seeded by the commit). The
+    /// from-scratch rebuild is the registry's widest merge — every
+    /// unchanged member walked at once — so it is exactly the shape the
+    /// parallel engine shards: the merger auto-selects it past the work
+    /// threshold, and [`Registry::with_merge_threads`] fixes its budget.
+    fn rest_join(
+        &self,
+        snapshot: &Snapshot,
+    ) -> Result<(Arc<CompiledSchema>, MergeStrategy), MergeError> {
+        let fp = snapshot.fingerprint();
+        if let Some(join) = self.cache.lock().expect("cache lock").probe(fp) {
+            return Ok((join, MergeStrategy::Incremental));
+        }
+        let mut merger = Merger::new().schemas(snapshot.rest.iter().map(|(_, _, s)| s.as_ref()));
+        if let Some(threads) = self.merge_threads {
+            merger = merger.threads(threads);
+        }
+        let joined = merger.join()?;
+        let (_, compiled) = joined.into_parts();
+        let compiled = compiled.expect("the compiled engines keep the compiled join");
+        Ok((Arc::new(compiled), MergeStrategy::Full))
+    }
+
+    fn seed_cache(
+        &self,
+        rest_fp: u64,
+        rest: Arc<CompiledSchema>,
+        full_fp: u64,
+        total: Arc<CompiledSchema>,
+    ) {
+        let mut cache = self.cache.lock().expect("cache lock");
+        cache.insert(rest_fp, rest);
+        cache.insert(full_fp, total);
+    }
+
+    fn count_commit(&self, strategy: MergeStrategy) {
+        let counter = match strategy {
+            MergeStrategy::Incremental => &self.counters.incremental,
+            MergeStrategy::Full => &self.counters.full,
+            MergeStrategy::Noop => return,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn reject(&self, member: String, cause: MergeError) -> RegistryError {
+        self.counters.rejected.fetch_add(1, Ordering::Relaxed);
+        RegistryError::Rejected { member, cause }
+    }
+
+    /// Compacts if the auto-snapshot cadence is due. Called with the
+    /// write lock held, right after a commit mutated the shared state.
+    /// Errors are swallowed: the commit is already durable in the log,
+    /// and the snapshot will simply be retried at the next commit.
+    fn auto_snapshot(&self, shared: &Shared) {
+        let Some(persistence) = &self.persistence else {
+            return;
+        };
+        let mut p = persistence.lock().expect("persistence lock");
+        if p.snapshot_every > 0 && p.records_since_snapshot >= p.snapshot_every {
+            let view_hash = shared.proper.content_hash();
+            let _ = p.write_snapshot(&shared.members, shared.generation, view_hash);
+        }
+    }
+}
+
+/// Executes the incremental merge plan — `extra` joined onto the cached
+/// compiled `rest` (or, on the delete path, no extra at all: the rest IS
+/// the total and the merger skips the join pass) — into a pre-`Arc`ed
+/// candidate view.
+pub(crate) fn merge_onto(
+    rest: &Arc<CompiledSchema>,
+    extra: Option<&WeakSchema>,
+    threads: Option<usize>,
+) -> Result<Candidate, MergeError> {
+    let mut merger = Merger::new().onto_base(rest);
+    if let Some(extra) = extra {
+        merger = merger.schema(extra);
+    }
+    if let Some(threads) = threads {
+        merger = merger.threads(threads);
+    }
+    let report = merger.execute()?;
+    let compiled = match report.compiled {
+        Some(compiled) => Arc::new(compiled),
+        // No extras joined: the caller's rest is already the total join.
+        None => Arc::clone(rest),
+    };
+    Ok(Candidate {
+        compiled,
+        proper: Arc::new(report.proper),
+        report: Arc::new(report.implicit),
+    })
+}
+
+impl std::fmt::Debug for Registry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Registry")
+            .field("generation", &stats.generation)
+            .field("members", &stats.members)
+            .field("merged_classes", &stats.merged_classes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema(src: &str, label: &str, tgt: &str) -> WeakSchema {
+        WeakSchema::builder()
+            .arrow(src, label, tgt)
+            .build()
+            .unwrap()
+    }
+
+    /// The key invariant: the registry's view equals the one-shot merge
+    /// of its current members.
+    fn assert_view_matches_oneshot(registry: &Registry) {
+        let members = registry.list();
+        let schemas: Vec<Arc<WeakSchema>> = members
+            .iter()
+            .map(|m| registry.get(&m.name).unwrap().schema)
+            .collect();
+        let oneshot = Merger::new()
+            .schemas(schemas.iter().map(|s| s.as_ref()))
+            .execute()
+            .unwrap();
+        let view = registry.merged();
+        assert_eq!(view.proper.as_ref(), &oneshot.proper);
+        assert_eq!(view.report.as_ref(), &oneshot.implicit);
+    }
+
+    #[test]
+    fn empty_registry_serves_the_empty_merge() {
+        let registry = Registry::new();
+        let view = registry.merged();
+        assert_eq!(view.generation, 0);
+        assert_eq!(view.proper.num_classes(), 0);
+        assert!(registry.is_empty());
+        assert_view_matches_oneshot(&registry);
+    }
+
+    #[test]
+    fn puts_accumulate_and_version() {
+        let registry = Registry::new();
+        let first = registry
+            .put("inv", schema("Part", "price", "money"))
+            .unwrap();
+        assert_eq!((first.sequence, first.generation), (1, 1));
+        let second = registry
+            .put("orders", schema("Order", "item", "Part"))
+            .unwrap();
+        assert_eq!((second.sequence, second.generation), (1, 2));
+        let third = registry.put("inv", schema("Part", "weight", "kg")).unwrap();
+        assert_eq!((third.sequence, third.generation), (2, 3));
+
+        assert_eq!(registry.len(), 2);
+        assert_eq!(registry.history("inv").unwrap().len(), 2);
+        let current = registry.get("inv").unwrap();
+        assert_eq!(current.sequence, 2);
+        assert!(current.schema.contains_class(&Class::named("kg")));
+        assert_view_matches_oneshot(&registry);
+    }
+
+    #[test]
+    fn republish_same_content_is_a_noop() {
+        let registry = Registry::new();
+        let g = schema("Part", "price", "money");
+        let first = registry.put("inv", g.clone()).unwrap();
+        let again = registry.put("inv", g).unwrap();
+        assert_eq!(again.strategy, MergeStrategy::Noop);
+        assert_eq!(again.generation, first.generation, "no generation spent");
+        assert_eq!(again.sequence, first.sequence);
+        assert_eq!(registry.history("inv").unwrap().len(), 1);
+        assert_eq!(registry.stats().noop_puts, 1);
+    }
+
+    #[test]
+    fn growth_is_incremental_and_churn_warms_up() {
+        let registry = Registry::new();
+        // Sequential growth: every put after the first finds the previous
+        // total join in the cache.
+        registry.put("a", schema("A", "x", "T")).unwrap();
+        let b = registry.put("b", schema("B", "x", "T")).unwrap();
+        let c = registry.put("c", schema("C", "x", "T")).unwrap();
+        assert_eq!(b.strategy, MergeStrategy::Incremental);
+        assert_eq!(c.strategy, MergeStrategy::Incremental);
+
+        // First republish of `a` misses ({b,c} was never joined alone)…
+        let cold = registry.put("a", schema("A", "y", "U")).unwrap();
+        assert_eq!(cold.strategy, MergeStrategy::Full);
+        // …and seeds the cache, so churning `a` is incremental from then on.
+        let warm = registry.put("a", schema("A", "z", "V")).unwrap();
+        assert_eq!(warm.strategy, MergeStrategy::Incremental);
+        let stats = registry.stats();
+        assert!(stats.incremental_merges >= 3);
+        assert_view_matches_oneshot(&registry);
+    }
+
+    #[test]
+    fn incompatible_publish_is_rejected_without_damage() {
+        let registry = Registry::new();
+        registry
+            .put(
+                "up",
+                WeakSchema::builder().specialize("A", "B").build().unwrap(),
+            )
+            .unwrap();
+        let before = registry.merged();
+        let err = registry
+            .put(
+                "down",
+                WeakSchema::builder().specialize("B", "A").build().unwrap(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Rejected { ref member, .. } if member == "down"));
+        let after = registry.merged();
+        assert_eq!(after.generation, before.generation);
+        assert_eq!(after.proper, before.proper);
+        assert!(registry.get("down").is_none());
+        assert_eq!(registry.stats().rejected_puts, 1);
+        assert_view_matches_oneshot(&registry);
+    }
+
+    #[test]
+    fn delete_removes_contribution() {
+        let registry = Registry::new();
+        registry.put("a", schema("A", "x", "T")).unwrap();
+        registry.put("b", schema("B", "y", "U")).unwrap();
+        let outcome = registry.delete("a").unwrap();
+        assert_eq!(outcome.remaining, 1);
+        let view = registry.merged();
+        assert!(!view.proper.contains_class(&Class::named("A")));
+        assert!(view.proper.contains_class(&Class::named("B")));
+        assert_view_matches_oneshot(&registry);
+
+        assert!(matches!(
+            registry.delete("a"),
+            Err(RegistryError::UnknownMember(_))
+        ));
+    }
+
+    #[test]
+    fn delete_after_publish_hits_the_cache() {
+        let registry = Registry::new();
+        registry.put("a", schema("A", "x", "T")).unwrap();
+        registry.put("b", schema("B", "y", "U")).unwrap();
+        // Publishing `b` cached the rest-join {a}; deleting `b` needs
+        // exactly that set.
+        let outcome = registry.delete("b").unwrap();
+        assert_eq!(outcome.strategy, MergeStrategy::Incremental);
+        assert_view_matches_oneshot(&registry);
+    }
+
+    #[test]
+    fn implicit_classes_flow_through_the_view() {
+        let registry = Registry::new();
+        registry.put("one", schema("C", "a", "B1")).unwrap();
+        registry.put("two", schema("C", "a", "B2")).unwrap();
+        let view = registry.merged();
+        assert_eq!(view.report.num_implicit(), 1);
+        let implicit = Class::implicit([Class::named("B1"), Class::named("B2")]);
+        assert!(view.proper.contains_class(&implicit));
+        let stats = registry.stats();
+        assert_eq!(stats.implicit_classes, 1);
+        assert_eq!(stats.merged_hash, view.hash());
+    }
+
+    #[test]
+    fn schema_space_queries_answer_from_the_merged_view() {
+        let registry = Registry::new();
+        registry
+            .put("dogs", schema("Dog", "owner", "Person"))
+            .unwrap();
+        registry
+            .put(
+                "kinds",
+                WeakSchema::builder()
+                    .specialize("Guide-dog", "Dog")
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        let owners = registry.query(&PathQuery::extent("Dog").follow("owner"));
+        assert_eq!(owners, [Class::named("Person")].into());
+        let dogs = registry.query(&PathQuery::extent("Dog"));
+        assert!(dogs.contains(&Class::named("Guide-dog")));
+    }
+
+    #[test]
+    fn concurrent_writers_converge_to_the_oneshot_merge() {
+        let registry = Arc::new(Registry::new());
+        let threads = 8;
+        let rounds = 6;
+        std::thread::scope(|scope| {
+            for t in 0..threads {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    for round in 0..rounds {
+                        let name = format!("member-{t}");
+                        let g = WeakSchema::builder()
+                            .arrow(
+                                format!("Shared{}", (t + round) % 3),
+                                format!("attr-{t}-{round}"),
+                                "T",
+                            )
+                            .build()
+                            .unwrap();
+                        registry.put(name, g).unwrap();
+                        // Interleave reads to exercise the read path.
+                        let _ = registry.merged();
+                        let _ = registry.stats();
+                    }
+                });
+            }
+        });
+        let stats = registry.stats();
+        assert_eq!(registry.len(), threads);
+        assert_eq!(
+            stats.generation,
+            stats.incremental_merges + stats.full_merges,
+            "every commit spent exactly one generation"
+        );
+        assert_eq!(stats.generation as usize, threads * rounds);
+        assert_view_matches_oneshot(&registry);
+    }
+
+    #[test]
+    fn merge_threads_budget_never_changes_the_view() {
+        for threads in [1, 2, 4] {
+            let registry = Registry::builder().merge_threads(threads).open().unwrap();
+            for i in 0..6 {
+                registry
+                    .put(
+                        format!("m{i}"),
+                        schema(&format!("C{}", i % 3), &format!("f{i}"), "T"),
+                    )
+                    .unwrap();
+            }
+            // Cold rebuild path: churn an old member (its rest-join was
+            // never cached alone).
+            registry.put("m0", schema("C0", "g", "U")).unwrap();
+            registry.delete("m3").unwrap();
+            assert_view_matches_oneshot(&registry);
+        }
+    }
+
+    #[test]
+    fn concurrent_same_member_races_serialize() {
+        let registry = Arc::new(Registry::new());
+        std::thread::scope(|scope| {
+            for round in 0..8 {
+                let registry = Arc::clone(&registry);
+                scope.spawn(move || {
+                    let g = schema("X", &format!("v{round}"), "T");
+                    registry.put("contended", g).unwrap();
+                });
+            }
+        });
+        assert_eq!(registry.len(), 1);
+        assert_eq!(registry.history("contended").unwrap().len(), 8);
+        assert_view_matches_oneshot(&registry);
+    }
+}

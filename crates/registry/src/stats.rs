@@ -44,6 +44,21 @@ pub struct RegistryStats {
     /// Optimistic commit attempts that lost the generation race and
     /// retried.
     pub commit_retries: u64,
+    /// Whether the registry has a persistence layer (a WAL + snapshot
+    /// store). All fields below are zero when it does not.
+    pub persistent: bool,
+    /// Records currently in the write-ahead log (since the last
+    /// compaction).
+    pub wal_records: u64,
+    /// Bytes currently in the write-ahead log.
+    pub wal_bytes: u64,
+    /// Generation captured by the newest snapshot (0 = none yet).
+    pub snapshot_generation: u64,
+    /// Bytes of the newest snapshot object.
+    pub snapshot_bytes: u64,
+    /// Snapshots written by this process (the session counter, like the
+    /// merge counters; it restarts at zero on reopen).
+    pub snapshots_written: u64,
 }
 
 impl fmt::Display for RegistryStats {
@@ -75,6 +90,18 @@ impl fmt::Display for RegistryStats {
             f,
             "join cache: {} entries, {} hits, {} misses, {} evictions",
             self.cache_entries, self.cache_hits, self.cache_misses, self.cache_evictions,
-        )
+        )?;
+        if self.persistent {
+            write!(
+                f,
+                "\ndurability: wal {} records ({} B), snapshot gen {} ({} B), {} written this run",
+                self.wal_records,
+                self.wal_bytes,
+                self.snapshot_generation,
+                self.snapshot_bytes,
+                self.snapshots_written,
+            )?;
+        }
+        Ok(())
     }
 }

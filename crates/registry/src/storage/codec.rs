@@ -1,0 +1,263 @@
+//! Binary encoding primitives shared by the WAL and snapshot formats.
+//!
+//! Hand-rolled, `std`-only, little-endian throughout. Strings are
+//! length-prefixed UTF-8, so arbitrary member and class names — spaces,
+//! braces, anything — round-trip without escaping (the registry API
+//! accepts names the text DSL cannot spell). Schemas are serialized
+//! *structurally* (classes, closed specialization pairs, closed arrow
+//! triples) and rebuilt through [`WeakSchema::builder`]; re-closing an
+//! already-closed relation is the identity, so the decoded schema is
+//! equal to — and shares the content hash of — the encoded one.
+
+use std::collections::BTreeSet;
+
+use schema_merge_core::{Class, WeakSchema};
+
+use super::StorageError;
+
+/// FNV-1a 64 over a byte slice — the same parameters as the core's
+/// interning hasher. Used as the WAL frame and snapshot checksum;
+/// guards against torn writes and bit rot, not adversaries.
+pub(crate) fn fnv64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+pub(crate) fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked forward reader over an encoded buffer. Every decode
+/// error is [`StorageError::Corrupt`] — the caller decides whether that
+/// means a torn tail (stop replaying) or real damage (refuse to open).
+pub(crate) struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    pub(crate) fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], StorageError> {
+        if self.remaining() < n {
+            return Err(StorageError::corrupt(format!(
+                "truncated: wanted {n} bytes, {} remain",
+                self.remaining()
+            )));
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn byte(&mut self) -> Result<u8, StorageError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, StorageError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, StorageError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub(crate) fn str(&mut self) -> Result<&'a str, StorageError> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| StorageError::corrupt("string is not valid UTF-8".to_string()))
+    }
+}
+
+const CLASS_NAMED: u8 = 0;
+const CLASS_IMPLICIT: u8 = 1;
+const CLASS_IMPLICIT_UNION: u8 = 2;
+
+pub(crate) fn put_class(out: &mut Vec<u8>, class: &Class) {
+    match class {
+        Class::Named(name) => {
+            out.push(CLASS_NAMED);
+            put_str(out, name.as_str());
+        }
+        Class::Implicit(origin) => {
+            out.push(CLASS_IMPLICIT);
+            put_u32(out, origin.len() as u32);
+            for name in origin.iter() {
+                put_str(out, name.as_str());
+            }
+        }
+        Class::ImplicitUnion(origin) => {
+            out.push(CLASS_IMPLICIT_UNION);
+            put_u32(out, origin.len() as u32);
+            for name in origin.iter() {
+                put_str(out, name.as_str());
+            }
+        }
+    }
+}
+
+pub(crate) fn read_class(r: &mut Reader<'_>) -> Result<Class, StorageError> {
+    let tag = r.byte()?;
+    match tag {
+        CLASS_NAMED => Ok(Class::named(r.str()?)),
+        CLASS_IMPLICIT | CLASS_IMPLICIT_UNION => {
+            let count = r.u32()? as usize;
+            let mut origins = BTreeSet::new();
+            for _ in 0..count {
+                origins.insert(Class::named(r.str()?));
+            }
+            let class = if tag == CLASS_IMPLICIT {
+                Class::try_implicit(origins)
+            } else {
+                Class::try_implicit_union(origins)
+            };
+            class.ok_or_else(|| {
+                StorageError::corrupt("implicit class with fewer than two origins".to_string())
+            })
+        }
+        other => Err(StorageError::corrupt(format!("unknown class tag {other}"))),
+    }
+}
+
+/// Serializes a schema structurally: class set, strict closed
+/// specialization pairs, closed arrow triples.
+pub(crate) fn put_schema(out: &mut Vec<u8>, schema: &WeakSchema) {
+    put_u32(out, schema.num_classes() as u32);
+    for class in schema.classes() {
+        put_class(out, class);
+    }
+    put_u32(out, schema.num_specializations() as u32);
+    for (sub, sup) in schema.specialization_pairs() {
+        put_class(out, sub);
+        put_class(out, sup);
+    }
+    put_u32(out, schema.num_arrows() as u32);
+    for (src, label, tgt) in schema.arrow_triples() {
+        put_class(out, src);
+        put_str(out, label.as_str());
+        put_class(out, tgt);
+    }
+}
+
+/// Rebuilds a schema through the builder. The stored relations are
+/// already closed, so the rebuild's closure pass is the identity.
+pub(crate) fn read_schema(r: &mut Reader<'_>) -> Result<WeakSchema, StorageError> {
+    let mut builder = WeakSchema::builder();
+    let classes = r.u32()?;
+    for _ in 0..classes {
+        builder = builder.class(read_class(r)?);
+    }
+    let specs = r.u32()?;
+    for _ in 0..specs {
+        let sub = read_class(r)?;
+        let sup = read_class(r)?;
+        builder = builder.specialize(sub, sup);
+    }
+    let arrows = r.u32()?;
+    for _ in 0..arrows {
+        let src = read_class(r)?;
+        let label = r.str()?.to_string();
+        let tgt = read_class(r)?;
+        builder = builder.arrow(src, label, tgt);
+    }
+    builder
+        .build()
+        .map_err(|err| StorageError::corrupt(format!("stored schema does not validate: {err}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(schema: &WeakSchema) -> WeakSchema {
+        let mut buf = Vec::new();
+        put_schema(&mut buf, schema);
+        let mut reader = Reader::new(&buf);
+        let decoded = read_schema(&mut reader).expect("decodes");
+        assert!(reader.is_empty(), "no trailing bytes");
+        decoded
+    }
+
+    #[test]
+    fn schema_round_trips_bit_exact() {
+        let schema = WeakSchema::builder()
+            .arrow("Dog", "owner", "Person")
+            .specialize("Guide-dog", "Dog")
+            .class("Kennel")
+            .build()
+            .unwrap();
+        let decoded = round_trip(&schema);
+        assert_eq!(decoded, schema);
+        assert_eq!(decoded.content_hash(), schema.content_hash());
+    }
+
+    #[test]
+    fn implicit_classes_and_hostile_names_round_trip() {
+        let implicit = Class::implicit([Class::named("B1"), Class::named("B2")]);
+        let union = Class::implicit_union([Class::named("X"), Class::named("Y")]);
+        // Names the text DSL could never parse: spaces, braces, dots,
+        // newlines. The structural codec must not care.
+        let schema = WeakSchema::builder()
+            .class(implicit.clone())
+            .class(union)
+            .arrow(Class::named("has space"), "a.b", implicit)
+            .specialize(Class::named("{braces}"), Class::named("with\nnewline"))
+            .build()
+            .unwrap();
+        let decoded = round_trip(&schema);
+        assert_eq!(decoded, schema);
+        assert_eq!(decoded.content_hash(), schema.content_hash());
+    }
+
+    #[test]
+    fn empty_schema_round_trips() {
+        assert_eq!(round_trip(&WeakSchema::empty()), WeakSchema::empty());
+    }
+
+    #[test]
+    fn truncated_input_is_corrupt_not_panic() {
+        let mut buf = Vec::new();
+        put_schema(
+            &mut buf,
+            &WeakSchema::builder().arrow("A", "f", "B").build().unwrap(),
+        );
+        for len in 0..buf.len() {
+            let mut reader = Reader::new(&buf[..len]);
+            assert!(
+                read_schema(&mut reader).is_err(),
+                "prefix of {len} bytes must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn fnv64_matches_reference_vector() {
+        // FNV-1a("a") with 64-bit parameters.
+        assert_eq!(fnv64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv64(b""), 0xcbf2_9ce4_8422_2325);
+    }
+}

@@ -23,7 +23,7 @@ pub struct SchemaVersion {
 }
 
 /// A member's row in [`crate::Registry::list`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MemberInfo {
     /// The member name.
     pub name: String,

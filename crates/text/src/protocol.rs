@@ -48,6 +48,8 @@ pub enum Command {
     List,
     /// Evaluate a schema-space path query against the merged view.
     Query(String),
+    /// Force a snapshot + WAL compaction on a durable registry.
+    Snapshot,
     /// Liveness probe.
     Ping,
     /// Stop the daemon (after draining in-flight connections).
@@ -97,6 +99,7 @@ impl Command {
                     Ok(Command::Query(rest.to_string()))
                 }
             }
+            "SNAPSHOT" => bare(Command::Snapshot),
             "PING" => bare(Command::Ping),
             "SHUTDOWN" => bare(Command::Shutdown),
             "QUIT" => bare(Command::Quit),
@@ -115,6 +118,7 @@ impl fmt::Display for Command {
             Command::Stats => write!(f, "STATS"),
             Command::List => write!(f, "LIST"),
             Command::Query(path) => write!(f, "QUERY {path}"),
+            Command::Snapshot => write!(f, "SNAPSHOT"),
             Command::Ping => write!(f, "PING"),
             Command::Shutdown => write!(f, "SHUTDOWN"),
             Command::Quit => write!(f, "QUIT"),
@@ -278,6 +282,7 @@ mod tests {
                 "QUERY Dog.owner[{A,B}]",
                 Command::Query("Dog.owner[{A,B}]".into()),
             ),
+            ("snapshot", Command::Snapshot),
             ("PING", Command::Ping),
             ("SHUTDOWN", Command::Shutdown),
             ("QUIT", Command::Quit),
