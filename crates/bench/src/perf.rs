@@ -36,10 +36,13 @@
 //! * `compiled-dense` vs `partitioned` — the same dense monolith
 //!   against the component-split merge on multi-forest taxonomies.
 //!
-//! JSON schema version 4: records carry `peak_bytes` (per-iteration
-//! heap high-water mark) and speedups carry `mem_ratio` (version 3
-//! added `allocs_per_iter`/`alloc_ratio`; version 2 had neither;
-//! version 1 hard coded the symbolic/compiled pair).
+//! JSON schema version 5: records carry a `phases` map — wall time per
+//! pipeline stage (span name → nanoseconds, from one extra untimed
+//! instrumented run), so a speedup can be attributed to the stage that
+//! earned it. Version 4 added `peak_bytes` (per-iteration heap
+//! high-water mark) and `mem_ratio` per speedup; version 3 added
+//! `allocs_per_iter`/`alloc_ratio`; version 2 had neither; version 1
+//! hard coded the symbolic/compiled pair.
 //!
 //! ## The counting allocator
 //!
@@ -61,6 +64,7 @@ use schema_merge_core::row::set_sparse_enabled;
 use schema_merge_core::{reference, EnginePreference, Merger, WeakSchema};
 use schema_merge_er::to_core;
 use schema_merge_registry::Registry;
+use schema_merge_telemetry as telemetry;
 use schema_merge_workload::{
     pathological_nfa, random_er_schema, taxonomy_family, wide_family, ErParams, SchemaParams,
     TaxonomyParams,
@@ -231,6 +235,14 @@ pub struct BenchRecord {
     pub peak_bytes: u64,
     /// Arrows processed per second at the median.
     pub throughput: f64,
+    /// Wall time attributed to each pipeline phase (span name →
+    /// nanoseconds), captured from one extra *untimed* instrumented run
+    /// of the variant. Nested spans overlap (a `merge` root covers its
+    /// `join`/`completion` children; a `commit` covers `plan`/`execute`/
+    /// `wal-append`), so entries are a breakdown, not a partition. Empty
+    /// when the variant's code path opens no spans (the symbolic
+    /// reference engine, bare completion calls).
+    pub phases: Vec<(&'static str, u64)>,
 }
 
 /// A derived baseline-over-improved ratio for one (family, op, size).
@@ -274,6 +286,26 @@ struct Suite {
     report: BenchReport,
 }
 
+/// One extra, untimed run of `f` with span capture enabled for this
+/// thread only, aggregated by span name — the per-variant `phases`
+/// breakdown that attributes a pair's medians to pipeline stages (join,
+/// completion, wal-append, …). Capture is thread-scoped and dropped
+/// before returning, so it cannot leak instrumentation cost into the
+/// timed iterations.
+fn capture_phases(f: &mut impl FnMut()) -> Vec<(&'static str, u64)> {
+    let _scope = telemetry::thread_span_scope();
+    let mark = telemetry::span_mark();
+    f();
+    let mut totals: Vec<(&'static str, u64)> = Vec::new();
+    for span in telemetry::drain_spans_since(mark) {
+        match totals.iter_mut().find(|(name, _)| *name == span.name) {
+            Some((_, total)) => *total = total.saturating_add(span.duration_ns),
+            None => totals.push((span.name, span.duration_ns)),
+        }
+    }
+    totals
+}
+
 impl Suite {
     #[allow(clippy::too_many_arguments)]
     fn measure_pair(
@@ -294,6 +326,10 @@ impl Suite {
         // happened to run second.
         baseline(); // warmup
         improved(); // warmup
+                    // Phase attribution runs between warmup and timing: warm caches,
+                    // and the span scope is closed again before any clock starts.
+        let base_phases = capture_phases(&mut baseline);
+        let imp_phases = capture_phases(&mut improved);
         let mut base_samples: Vec<u128> = Vec::with_capacity(self.iters);
         let mut imp_samples: Vec<u128> = Vec::with_capacity(self.iters);
         let mut base_allocs = 0u64;
@@ -325,9 +361,15 @@ impl Suite {
         let imp_ns = imp_samples[imp_samples.len() / 2];
         let base_allocs = base_allocs / self.iters as u64;
         let imp_allocs = imp_allocs / self.iters as u64;
-        for (variant, ns, allocs, peak) in [
-            (baseline_variant, base_ns, base_allocs, base_peak),
-            (improved_variant, imp_ns, imp_allocs, imp_peak),
+        for (variant, ns, allocs, peak, phases) in [
+            (
+                baseline_variant,
+                base_ns,
+                base_allocs,
+                base_peak,
+                base_phases,
+            ),
+            (improved_variant, imp_ns, imp_allocs, imp_peak, imp_phases),
         ] {
             self.report.records.push(BenchRecord {
                 family,
@@ -340,6 +382,7 @@ impl Suite {
                 allocs_per_iter: allocs,
                 peak_bytes: peak,
                 throughput: n_arrows as f64 / (ns.max(1) as f64 / 1e9),
+                phases,
             });
         }
         self.report.speedups.push(Speedup {
@@ -890,7 +933,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!(
-        "  \"bench_schema_version\": 4,\n  \"pr\": {pr_index},\n  \"threads\": {threads},\n"
+        "  \"bench_schema_version\": 5,\n  \"pr\": {pr_index},\n  \"threads\": {threads},\n"
     ));
     out.push_str("  \"records\": [\n");
     for (i, r) in report.records.iter().enumerate() {
@@ -899,10 +942,16 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
         } else {
             ""
         };
+        let phases: Vec<String> = r
+            .phases
+            .iter()
+            .map(|(name, ns)| format!("\"{}\": {ns}", json_escape(name)))
+            .collect();
         out.push_str(&format!(
             "    {{\"family\": \"{}\", \"op\": \"{}\", \"n_classes\": {}, \"n_arrows\": {}, \
              \"variant\": \"{}\", \"iters\": {}, \"median_ns\": {}, \"allocs_per_iter\": {}, \
-             \"peak_bytes\": {}, \"throughput_arrows_per_s\": {:.1}}}{comma}\n",
+             \"peak_bytes\": {}, \"throughput_arrows_per_s\": {:.1}, \
+             \"phases\": {{{}}}}}{comma}\n",
             json_escape(r.family),
             json_escape(r.op),
             r.n_classes,
@@ -913,6 +962,7 @@ pub fn to_json(report: &BenchReport, pr_index: u32, threads: usize) -> String {
             r.allocs_per_iter,
             r.peak_bytes,
             r.throughput,
+            phases.join(", "),
         ));
     }
     out.push_str("  ],\n  \"speedups\": [\n");
@@ -1006,7 +1056,7 @@ mod tests {
         );
         assert_eq!(report.speedups.len(), 6);
         let json = to_json(&report, 2, 2);
-        assert!(json.contains("\"bench_schema_version\": 4"));
+        assert!(json.contains("\"bench_schema_version\": 5"));
         assert!(json.contains("\"threads\": 2"));
         assert!(json.contains("\"variant\": \"compiled\""));
         assert!(json.contains("\"variant\": \"parallel\""));
@@ -1017,6 +1067,17 @@ mod tests {
         assert!(json.contains("\"peak_bytes\":"));
         assert!(json.contains("\"alloc_ratio\":"));
         assert!(json.contains("\"mem_ratio\":"));
+        // Phase attribution: every façade-merge variant carries a span
+        // breakdown with the completion pass in it.
+        assert!(json.contains("\"phases\": {"));
+        assert!(
+            report.records.iter().filter(|r| r.op == "merge").all(|r| r
+                .phases
+                .iter()
+                .any(|(name, _)| *name == "completion")
+                || r.variant == VARIANT_SYMBOLIC),
+            "façade merges attribute time to the completion pass"
+        );
         // Crude structural sanity: balanced braces/brackets.
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
@@ -1136,10 +1197,21 @@ mod tests {
             (VARIANT_FULL, VARIANT_INCREMENTAL)
         );
         assert!(speedup.speedup > 0.0);
+        let incremental = report
+            .records
+            .iter()
+            .find(|r| r.variant == VARIANT_INCREMENTAL)
+            .unwrap();
+        assert!(
+            incremental.phases.iter().any(|(name, _)| *name == "commit"),
+            "registry publishes attribute time to the commit span: {:?}",
+            incremental.phases
+        );
         let json = to_json(&report, 3, 2);
         assert!(json.contains("\"family\": \"registry\""));
         assert!(json.contains("\"variant\": \"incremental\""));
         assert!(json.contains("\"variant\": \"full-parallel\""));
+        assert!(json.contains("\"commit\": "));
     }
 
     #[test]

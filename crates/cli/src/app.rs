@@ -118,16 +118,32 @@ fn split_threads<'a>(args: &[&'a String]) -> Result<(Option<usize>, Vec<&'a Stri
     Ok((threads, rest))
 }
 
+/// Strips a bare `--trace` flag out of the argument list — phase-level
+/// span capture ([`Merger::trace`]).
+fn split_trace<'a>(args: &[&'a String]) -> (bool, Vec<&'a String>) {
+    let mut trace = false;
+    let mut rest: Vec<&String> = Vec::new();
+    for arg in args {
+        if arg.as_str() == "--trace" {
+            trace = true;
+        } else {
+            rest.push(arg);
+        }
+    }
+    (trace, rest)
+}
+
 const USAGE: &str = "\
 usage: smerge <command> [args]
 
 commands:
-  merge <file>... [--format text|json] [--threads N]
+  merge <file>... [--format text|json] [--threads N] [--trace]
                        upper-merge every schema in the files; print the
                        merged schema, its keys and the implicit classes
                        (json: the full MergeReport with plan, provenance
                        and diagnostics; --threads fixes the merge
-                       engine's worker budget)
+                       engine's worker budget; --trace appends one timed
+                       span per executed merge pass)
   diff <file>          print the symmetric difference of two schemas
                        (the file must contain exactly two)
   lower <file>...      lower-merge every schema (federated view); print
@@ -159,7 +175,7 @@ commands:
                        evaluate a path query (Start.label[Class].label)
                        against an instance of the merged schema
   serve [--port P] [--threads N] [--merge-threads M]
-        [--data-dir DIR] [--snapshot-every K] [file...]
+        [--data-dir DIR] [--snapshot-every K] [--trace-log FILE] [file...]
                        run the registry daemon: members publish schema
                        versions over TCP and the canonical merged view
                        is maintained incrementally (files preload
@@ -169,11 +185,14 @@ commands:
                        registry durable — commits are WAL'd and
                        snapshotted there, and restart recovers them;
                        --snapshot-every sets the compaction cadence in
-                       records, 0 = manual SNAPSHOT only)
+                       records, 0 = manual SNAPSHOT only; --trace-log
+                       appends Chrome trace-event JSONL spans for every
+                       request the daemon serves)
   client <addr> <cmd> [args]
                        drive a running daemon: put <name> <file>,
-                       get <name>, delete <name>, merged, stats, list,
-                       query <path>, snapshot, ping, shutdown
+                       get <name>, delete <name>, merged, stats,
+                       metrics, list, query <path>, snapshot, ping,
+                       shutdown
   help                 this message";
 
 /// Entry point shared by `main` and the tests.
@@ -247,6 +266,7 @@ fn merge_command(
 ) -> Result<(), CliError> {
     let (format, paths) = split_format(paths)?;
     let (threads, paths) = split_threads(&paths)?;
+    let (trace, paths) = split_trace(&paths);
     if explain_only && format == Format::Json {
         // `merge --format json` already carries the full implicit-class
         // table; a second, differently-shaped document would fragment the
@@ -261,6 +281,9 @@ fn merge_command(
     let mut merger = build_merger(&docs);
     if let Some(threads) = threads {
         merger = merger.threads(threads);
+    }
+    if trace {
+        merger = merger.trace(true);
     }
     let report = merger
         .execute()
@@ -293,6 +316,12 @@ fn merge_command(
             writeln!(out, "//     {member}")?;
         }
         writeln!(out, "//   }} demanded by {}", info.witness)?;
+    }
+    if let Some(trace) = &report.trace {
+        writeln!(out, "// trace:")?;
+        for line in trace.render().lines() {
+            writeln!(out, "//   {line}")?;
+        }
     }
     Ok(())
 }
@@ -926,6 +955,39 @@ mod tests {
         let mut out = Vec::new();
         let err = run(&args(&["merge", "--threads", "zero", &f1]), &mut out).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
+    }
+
+    #[test]
+    fn merge_trace_prints_one_span_per_pass() {
+        let f1 = write_temp("tr1.sm", "schema A { C --a--> B1; }");
+        let f2 = write_temp("tr2.sm", "schema B { C --a--> B2; }");
+        let plain = run_ok(&args(&["merge", &f1, &f2]));
+        let traced = run_ok(&args(&["merge", "--trace", &f1, &f2]));
+        let (body, trace) = traced.split_once("// trace:\n").expect("trace section");
+        assert_eq!(plain, body, "tracing never changes the merge output");
+        assert!(trace.contains("//   merge "), "root span: {trace}");
+        assert!(trace.contains("//     join "), "join pass: {trace}");
+        assert!(
+            trace.contains("//     completion "),
+            "completion pass: {trace}"
+        );
+        assert!(trace.contains("//     participation-transfer "));
+    }
+
+    #[test]
+    fn merge_trace_rides_in_the_json_report() {
+        let f1 = write_temp("trj1.sm", "schema A { C --a--> B1; }");
+        let f2 = write_temp("trj2.sm", "schema B { C --a--> B2; }");
+        let traced = run_ok(&args(&["merge", "--trace", "--format", "json", &f1, &f2]));
+        assert!(traced.contains("\"trace\": ["));
+        assert!(traced.contains("\"name\": \"merge\""));
+        assert!(traced.contains("\"name\": \"join\""));
+        assert!(traced.contains("\"duration_ns\": "));
+        let plain = run_ok(&args(&["merge", "--format", "json", &f1, &f2]));
+        assert!(
+            !plain.contains("\"trace\""),
+            "no trace field without --trace"
+        );
     }
 
     #[test]

@@ -28,7 +28,7 @@ fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliErro
     let usage = || {
         CliError::Usage(
             "expected `client <addr> <put <name> <file> | get <name> | delete <name> | \
-             merged | stats | list | query <path> | snapshot | ping | shutdown>`"
+             merged | stats | metrics | list | query <path> | snapshot | ping | shutdown>`"
                 .into(),
         )
     };
@@ -43,6 +43,7 @@ fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliErro
         ("delete", [name]) => Ok((Command::Delete((*name).clone()), None)),
         ("merged", []) => Ok((Command::Merged, None)),
         ("stats", []) => Ok((Command::Stats, None)),
+        ("metrics", []) => Ok((Command::Metrics, None)),
         ("list", []) => Ok((Command::List, None)),
         ("query", [path]) => Ok((Command::Query((*path).clone()), None)),
         ("snapshot", []) => Ok((Command::Snapshot, None)),

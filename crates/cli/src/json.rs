@@ -237,6 +237,32 @@ pub(crate) fn merge_report(report: &MergeReport) -> String {
         .collect();
     out.push_str(&format!("  \"provenance\": [{}],\n", provenance.join(", ")));
 
+    // Phase-level spans (only when the merge ran with `--trace`).
+    if let Some(trace) = &report.trace {
+        let spans: Vec<String> = trace
+            .spans
+            .iter()
+            .map(|span| {
+                let attrs: Vec<String> = span
+                    .attrs
+                    .iter()
+                    .map(|(key, value)| format!("\"{key}\": {value}"))
+                    .collect();
+                format!(
+                    "{{\"name\": {}, \"id\": {}, \"parent\": {}, \"start_ns\": {}, \
+                     \"duration_ns\": {}, \"attrs\": {{{}}}}}",
+                    quoted(span.name),
+                    span.id,
+                    span.parent.map_or("null".to_string(), |p| p.to_string()),
+                    span.start_ns,
+                    span.duration_ns,
+                    attrs.join(", "),
+                )
+            })
+            .collect();
+        out.push_str(&format!("  \"trace\": [{}],\n", spans.join(", ")));
+    }
+
     out.push_str(&format!(
         "  \"diagnostics\": {}\n}}\n",
         diagnostics_array(&report.diagnostics)

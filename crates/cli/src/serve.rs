@@ -13,14 +13,16 @@
 //! drains the worker pool and returns.
 
 use std::collections::VecDeque;
-use std::io::{BufRead, BufReader, Write};
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use schema_merge_core::Merger;
 use schema_merge_registry::{MergedView, Registry};
+use schema_merge_telemetry::{self as telemetry, render_counter, render_gauge, Histogram};
 use schema_merge_text::protocol::{status_line, BlockCollector, Command, Status};
 use schema_merge_text::{encode_block, parse_document, print_schema, NamedSchema};
 
@@ -36,6 +38,7 @@ struct Options {
     merge_threads: Option<usize>,
     data_dir: Option<String>,
     snapshot_every: Option<u64>,
+    trace_log: Option<String>,
     preload: Vec<String>,
 }
 
@@ -46,6 +49,7 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
         merge_threads: None,
         data_dir: None,
         snapshot_every: None,
+        trace_log: None,
         preload: Vec::new(),
     };
     let mut iter = args.iter();
@@ -87,6 +91,13 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
                         CliError::Usage("--snapshot-every requires a record count".into())
                     })?);
             }
+            "--trace-log" => {
+                options.trace_log = Some(
+                    iter.next()
+                        .ok_or_else(|| CliError::Usage("--trace-log requires a path".into()))?
+                        .to_string(),
+                );
+            }
             other if other.starts_with('-') => {
                 return Err(CliError::Usage(format!("unknown serve flag `{other}`")));
             }
@@ -94,6 +105,157 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
         }
     }
     Ok(options)
+}
+
+/// Verbs the worker loop times individually. Connection-terminating
+/// verbs (`QUIT`, `SHUTDOWN`) are excluded — their latency is the
+/// teardown, not the service.
+const TIMED_VERBS: [&str; 10] = [
+    "put", "get", "delete", "merged", "stats", "metrics", "list", "query", "snapshot", "ping",
+];
+
+/// Per-verb request-latency histograms, recorded by the worker loop
+/// around every dispatched command.
+struct RequestMetrics {
+    verbs: [(&'static str, Histogram); TIMED_VERBS.len()],
+}
+
+impl RequestMetrics {
+    fn new() -> Self {
+        RequestMetrics {
+            verbs: TIMED_VERBS.map(|verb| (verb, Histogram::new())),
+        }
+    }
+
+    fn record(&self, verb: &str, elapsed: Duration) {
+        if let Some((_, histogram)) = self.verbs.iter().find(|(name, _)| *name == verb) {
+            histogram.record(elapsed);
+        }
+    }
+}
+
+/// The lower-case metrics label for a dispatched command, or `None` for
+/// the connection-terminating verbs the loop does not time.
+fn verb_label(command: &Command) -> Option<&'static str> {
+    Some(match command {
+        Command::Put(_) => "put",
+        Command::Get(_) => "get",
+        Command::Delete(_) => "delete",
+        Command::Merged => "merged",
+        Command::Stats => "stats",
+        Command::Metrics => "metrics",
+        Command::List => "list",
+        Command::Query(_) => "query",
+        Command::Snapshot => "snapshot",
+        Command::Ping => "ping",
+        Command::Quit | Command::Shutdown => return None,
+    })
+}
+
+/// The `--trace-log` sink: one Chrome trace-event JSON object per line
+/// (loadable in `chrome://tracing` / Perfetto after wrapping in `[...]`,
+/// or parsed as JSONL). Workers drain their thread-local span buffers
+/// here after every request, so one mutex'd writer serializes the file
+/// without serializing the traced work itself.
+struct TraceSink {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl TraceSink {
+    fn open(path: &str) -> Result<TraceSink, CliError> {
+        let file = File::create(path)
+            .map_err(|err| CliError::Data(format!("opening trace log {path}: {err}")))?;
+        Ok(TraceSink {
+            writer: Mutex::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Drains the calling thread's finished spans into the log as
+    /// worker `tid`.
+    fn drain_thread(&self, tid: u64) {
+        let spans = telemetry::drain_spans();
+        if spans.is_empty() {
+            return;
+        }
+        let mut writer = self.writer.lock().expect("trace log lock");
+        for span in &spans {
+            let _ = writeln!(writer, "{}", span.to_trace_event(tid));
+        }
+        let _ = writer.flush();
+    }
+}
+
+/// Composes the METRICS exposition text: Prometheus-style counters,
+/// gauges and latency summaries for the registry and the request loop.
+fn render_metrics(registry: &Registry, requests: &RequestMetrics) -> String {
+    let stats = registry.stats();
+    let mut out = String::new();
+    render_gauge(
+        &mut out,
+        "smerge_uptime_seconds",
+        "Seconds since the registry instance was opened",
+        i64::try_from(stats.uptime_secs).unwrap_or(i64::MAX),
+    );
+    render_counter(
+        &mut out,
+        "smerge_requests_total",
+        "Protocol requests served",
+        stats.requests_served,
+    );
+    render_counter(
+        &mut out,
+        "smerge_registry_generation",
+        "Registry generation (successful commits)",
+        stats.generation,
+    );
+    render_gauge(
+        &mut out,
+        "smerge_registry_members",
+        "Current member count",
+        i64::try_from(stats.members).unwrap_or(i64::MAX),
+    );
+
+    let summary = |out: &mut String, name: &str, help: &str| {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
+    };
+    summary(
+        &mut out,
+        "smerge_registry_commit_seconds",
+        "End-to-end latency of generation-spending commits",
+    );
+    registry
+        .commit_latency()
+        .render_prometheus(&mut out, "smerge_registry_commit_seconds", "");
+    summary(
+        &mut out,
+        "smerge_registry_fsync_seconds",
+        "Per-commit durability wait (WAL append + fsync)",
+    );
+    registry
+        .fsync_latency()
+        .render_prometheus(&mut out, "smerge_registry_fsync_seconds", "");
+    summary(
+        &mut out,
+        "smerge_registry_recovery_seconds",
+        "Boot-time recovery latency (one sample per durable open)",
+    );
+    registry
+        .recovery_latency()
+        .render_prometheus(&mut out, "smerge_registry_recovery_seconds", "");
+
+    summary(
+        &mut out,
+        "smerge_request_seconds",
+        "Request latency by protocol verb",
+    );
+    for (verb, histogram) in &requests.verbs {
+        histogram.snapshot().render_prometheus(
+            &mut out,
+            "smerge_request_seconds",
+            &format!("verb=\"{verb}\""),
+        );
+    }
+    out
 }
 
 /// The blocking handoff between the acceptor and the workers.
@@ -185,22 +347,47 @@ pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliErr
         }
     }
 
+    let metrics = Arc::new(RequestMetrics::new());
+
     let listener = TcpListener::bind(("127.0.0.1", options.port))?;
     let addr = listener.local_addr()?;
+    // The announcement line comes first — callers parsing stdout for the
+    // ephemeral port (the smoke test, shell scripts) read it as line one.
     writeln!(out, "listening on {addr}")?;
+    let trace = match &options.trace_log {
+        Some(path) => {
+            let sink = Arc::new(TraceSink::open(path)?);
+            // Spans everywhere: the workers drain their thread buffers
+            // into the sink after every request.
+            telemetry::set_spans_enabled(true);
+            writeln!(out, "tracing to {path}")?;
+            Some(sink)
+        }
+        None => None,
+    };
     out.flush()?;
 
     let queue = Arc::new(ConnQueue::new());
     let shutdown = Arc::new(AtomicBool::new(false));
     let workers: Vec<_> = (0..options.threads)
-        .map(|_| {
+        .map(|tid| {
             let queue = Arc::clone(&queue);
             let registry = Arc::clone(&registry);
             let shutdown = Arc::clone(&shutdown);
+            let metrics = Arc::clone(&metrics);
+            let trace = trace.clone();
             std::thread::spawn(move || {
                 while let Some(stream) = queue.pop() {
                     // A broken connection only affects that client.
-                    let _ = handle_connection(stream, &registry, &shutdown, addr);
+                    let _ = handle_connection(
+                        stream,
+                        &registry,
+                        &shutdown,
+                        addr,
+                        &metrics,
+                        trace.as_deref(),
+                        tid as u64,
+                    );
                 }
             })
         })
@@ -219,6 +406,9 @@ pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliErr
     queue.close();
     for worker in workers {
         let _ = worker.join();
+    }
+    if trace.is_some() {
+        telemetry::set_spans_enabled(false);
     }
     writeln!(out, "shutdown complete")?;
     Ok(())
@@ -240,6 +430,9 @@ fn handle_connection(
     registry: &Registry,
     shutdown: &AtomicBool,
     addr: SocketAddr,
+    metrics: &RequestMetrics,
+    trace: Option<&TraceSink>,
+    tid: u64,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
@@ -256,6 +449,13 @@ fn handle_connection(
                 continue;
             }
         };
+        registry.note_request();
+        let verb = verb_label(&command);
+        let started = Instant::now();
+        // With `--trace-log` every request becomes a root span named
+        // after its verb; the registry's commit/plan/execute spans nest
+        // under it on this worker thread.
+        let request_span = verb.map(telemetry::span);
         match command {
             Command::Quit => {
                 writeln!(writer, "{}", status_line(Status::Ok, "bye"))?;
@@ -355,6 +555,15 @@ fn handle_connection(
                 )?;
                 write!(writer, "{}", encode_block(&format!("{stats}\n")))?;
             }
+            Command::Metrics => {
+                let payload = render_metrics(registry, metrics);
+                writeln!(
+                    writer,
+                    "{}",
+                    status_line(Status::Data, &format!("bytes={}", payload.len()))
+                )?;
+                write!(writer, "{}", encode_block(&payload))?;
+            }
             Command::List => {
                 let members = registry.list();
                 let mut payload = String::new();
@@ -380,6 +589,13 @@ fn handle_connection(
                 }
                 Err(err) => writeln!(writer, "{}", status_line(Status::Err, &err.to_string()))?,
             },
+        }
+        drop(request_span);
+        if let Some(verb) = verb {
+            metrics.record(verb, started.elapsed());
+        }
+        if let Some(trace) = trace {
+            trace.drain_thread(tid);
         }
         writer.flush()?;
     }

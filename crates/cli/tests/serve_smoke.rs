@@ -124,11 +124,45 @@ fn daemon_serves_puts_merges_queries_and_shuts_down() {
     assert!(ok, "{text}");
     assert!(text.contains("{B1,B2}"), "{text}");
 
-    // STATS reflects the commits.
+    // STATS reflects the commits and the service uptime/request line.
     let (ok, text) = client(&addr, &["stats"]);
     assert!(ok, "{text}");
     assert!(text.contains("generation 2 | members 2"), "{text}");
     assert!(text.contains("merges:"), "{text}");
+    assert!(text.contains("requests served"), "{text}");
+
+    // METRICS exposes Prometheus-style text: commit-latency and per-verb
+    // request-latency summaries with quantile lines.
+    let (ok, text) = client(&addr, &["metrics"]);
+    assert!(ok, "{text}");
+    assert!(
+        text.contains("# TYPE smerge_registry_commit_seconds summary"),
+        "{text}"
+    );
+    assert!(
+        text.contains("smerge_registry_commit_seconds{quantile=\"0.5\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("smerge_registry_commit_seconds{quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("smerge_registry_commit_seconds_count 2"),
+        "{text}"
+    );
+    assert!(
+        text.contains("smerge_request_seconds{verb=\"put\",quantile=\"0.5\"}"),
+        "{text}"
+    );
+    assert!(
+        text.contains("smerge_request_seconds{verb=\"stats\",quantile=\"0.99\"}"),
+        "{text}"
+    );
+    assert!(text.contains("smerge_requests_total"), "{text}");
+    assert!(text.contains("smerge_uptime_seconds"), "{text}");
+    assert!(text.contains("smerge_registry_generation 2"), "{text}");
+    assert!(text.contains("smerge_registry_members 2"), "{text}");
 
     // GET / LIST / DELETE round out the surface.
     let (ok, text) = client(&addr, &["get", "alpha"]);
@@ -239,4 +273,42 @@ fn daemon_preloads_members_and_rejects_incompatible_publish() {
     let status = wait_for_exit(&mut daemon.child, Duration::from_secs(30))
         .expect("daemon exits after SHUTDOWN");
     assert!(status.success());
+}
+
+#[test]
+fn daemon_trace_log_captures_request_and_commit_spans() {
+    let f1 = write_temp("trace-one.sm", "schema one { C --a--> B1; }");
+    let trace_path = std::env::temp_dir()
+        .join("smerge-serve-smoke")
+        .join("trace.jsonl");
+    let _ = std::fs::remove_file(&trace_path);
+    let trace_arg = trace_path.to_string_lossy().into_owned();
+
+    let mut daemon = spawn_daemon(&["--trace-log", &trace_arg]);
+    let addr = daemon.addr.clone();
+
+    let (ok, text) = client(&addr, &["put", "alpha", &f1]);
+    assert!(ok, "{text}");
+    let (ok, text) = client(&addr, &["merged"]);
+    assert!(ok, "{text}");
+
+    let (ok, _) = client(&addr, &["shutdown"]);
+    assert!(ok);
+    let status = wait_for_exit(&mut daemon.child, Duration::from_secs(30))
+        .expect("daemon exits after SHUTDOWN");
+    assert!(status.success());
+
+    // One Chrome trace-event JSON line per span: the per-request root
+    // spans plus the registry's nested commit phases.
+    let log = std::fs::read_to_string(&trace_path).expect("trace log written");
+    assert!(!log.trim().is_empty(), "trace log has events");
+    for line in log.lines() {
+        assert!(line.starts_with("{\"name\":\""), "JSONL line: {line}");
+        assert!(line.contains("\"ph\":\"X\""), "complete event: {line}");
+    }
+    assert!(log.contains("\"name\":\"put\""), "{log}");
+    assert!(log.contains("\"name\":\"commit\""), "{log}");
+    assert!(log.contains("\"name\":\"plan\""), "{log}");
+    assert!(log.contains("\"name\":\"execute\""), "{log}");
+    assert!(log.contains("\"name\":\"merged\""), "{log}");
 }

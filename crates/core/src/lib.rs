@@ -123,7 +123,7 @@ pub use merge::{
 };
 pub use merger::{
     EnginePreference, InputProvenance, Joined, MergeMode, MergePass, MergePlan, MergeReport,
-    Merger, PlannedEngine, PARALLEL_INPUT_THRESHOLD, PARALLEL_WORK_THRESHOLD,
+    MergeTrace, Merger, PlannedEngine, PARALLEL_INPUT_THRESHOLD, PARALLEL_WORK_THRESHOLD,
     PARTITION_CLASS_THRESHOLD,
 };
 pub use name::{Label, Name};

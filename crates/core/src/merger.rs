@@ -71,6 +71,7 @@ use crate::parallel;
 use crate::partition::{self, Partitioning};
 use crate::proper::ProperSchema;
 use crate::weak::WeakSchema;
+use schema_merge_telemetry::{self as telemetry, SpanRecord};
 use std::fmt;
 
 /// Which engine the caller *prefers*; planning resolves it into the
@@ -416,6 +417,110 @@ pub struct InputProvenance {
     pub content_hash: Option<u64>,
 }
 
+/// The phase-level execution trace of one merge: every telemetry span
+/// the engine emitted while executing the plan — one per executed
+/// [`MergePass`] (named by [`MergePass::as_str`]), plus the
+/// `partition-split`/`partition-stitch` bookkeeping of a partitioned
+/// plan and one `merge` root span covering the whole execution.
+/// Collected only when [`Merger::trace`] asked for it; a trace never
+/// changes the merge result, only observes it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MergeTrace {
+    /// The captured spans, in completion order (children before
+    /// parents on the same thread; partitioned component spans first).
+    pub spans: Vec<SpanRecord>,
+}
+
+/// Renders a nanosecond duration at human scale (`870ns`, `13.4µs`,
+/// `2.08ms`, `1.50s`).
+fn human_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}\u{b5}s", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+impl MergeTrace {
+    /// The root `merge` span (the last one captured: a partitioned
+    /// plan's component sub-merges contribute their own inner `merge`
+    /// spans, which finish before the outer root does).
+    pub fn root(&self) -> Option<&SpanRecord> {
+        self.spans.iter().rev().find(|span| span.name == "merge")
+    }
+
+    /// Wall-clock duration of the root span, nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.root().map_or(0, |root| root.duration_ns)
+    }
+
+    /// Total duration per phase name, in first-appearance order —
+    /// every non-root span summed by name, so a partitioned merge's
+    /// per-component `join` spans fold into one `join` entry.
+    pub fn phase_ns(&self) -> Vec<(&'static str, u64)> {
+        let mut totals: Vec<(&'static str, u64)> = Vec::new();
+        for span in &self.spans {
+            if span.name == "merge" {
+                continue;
+            }
+            match totals.iter_mut().find(|(name, _)| *name == span.name) {
+                Some((_, total)) => *total = total.saturating_add(span.duration_ns),
+                None => totals.push((span.name, span.duration_ns)),
+            }
+        }
+        totals
+    }
+
+    /// A deterministic indented tree rendering: one line per span with
+    /// its human-scale duration and `key=value` attrs, children under
+    /// parents ordered by start time.
+    pub fn render(&self) -> String {
+        fn write_span(out: &mut String, spans: &[SpanRecord], span: &SpanRecord, depth: usize) {
+            out.push_str(&"  ".repeat(depth));
+            out.push_str(span.name);
+            out.push(' ');
+            out.push_str(&human_ns(span.duration_ns));
+            if !span.attrs.is_empty() {
+                out.push_str(" (");
+                for (i, (key, value)) in span.attrs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    out.push_str(&format!("{key}={value}"));
+                }
+                out.push(')');
+            }
+            out.push('\n');
+            let mut children: Vec<&SpanRecord> = spans
+                .iter()
+                .filter(|child| child.parent == Some(span.id))
+                .collect();
+            children.sort_by_key(|child| (child.start_ns, child.id));
+            for child in children {
+                write_span(out, spans, child, depth + 1);
+            }
+        }
+
+        let known: std::collections::BTreeSet<u64> =
+            self.spans.iter().map(|span| span.id).collect();
+        let mut roots: Vec<&SpanRecord> = self
+            .spans
+            .iter()
+            .filter(|span| span.parent.is_none_or(|parent| !known.contains(&parent)))
+            .collect();
+        roots.sort_by_key(|span| (span.start_ns, span.id));
+        let mut out = String::new();
+        for root in roots {
+            write_span(&mut out, &self.spans, root, 0);
+        }
+        out
+    }
+}
+
 /// Everything a merge produced, in one structure.
 #[derive(Debug, Clone)]
 #[non_exhaustive]
@@ -452,6 +557,10 @@ pub struct MergeReport {
     /// was completed with nothing joined onto it: the base itself is the
     /// join, and the caller already holds it.
     pub compiled: Option<CompiledSchema>,
+    /// The phase-level execution trace — present only when the merge
+    /// ran with [`Merger::trace`] enabled. Purely observational: every
+    /// other field is bit-identical with tracing on or off.
+    pub trace: Option<MergeTrace>,
 }
 
 impl MergeReport {
@@ -636,6 +745,8 @@ pub struct Merger<'a> {
     /// Internal: set on the per-component sub-mergers of a partitioned
     /// plan so they never re-run the component analysis.
     no_partition: bool,
+    /// Capture a phase-level span trace into [`MergeReport::trace`].
+    trace: bool,
 }
 
 impl<'a> Merger<'a> {
@@ -768,6 +879,18 @@ impl<'a> Merger<'a> {
     /// union classes, with participation constraints weakened pointwise.
     pub fn lower(mut self) -> Self {
         self.lower = true;
+        self
+    }
+
+    /// Captures a phase-level execution trace into
+    /// [`MergeReport::trace`]: one telemetry span per executed
+    /// [`MergePass`] (plus partition split/stitch bookkeeping) under a
+    /// `merge` root span. Tracing is collected on the executing thread
+    /// only and never changes the merge result; disabled (the default),
+    /// the execution path is the pre-telemetry one — span collection
+    /// short-circuits on one flag check.
+    pub fn trace(mut self, on: bool) -> Self {
+        self.trace = on;
         self
     }
 
@@ -926,7 +1049,42 @@ impl<'a> Merger<'a> {
     /// [`MergeError::Schema`] when an input (or assertion) is itself
     /// invalid.
     pub fn execute(&self) -> Result<MergeReport, MergeError> {
+        if !self.trace {
+            return self.execute_inner();
+        }
+        // Tracing mode: enable span collection on this thread for the
+        // duration, then drain exactly the spans this merge recorded
+        // (the mark keeps an enclosing caller's spans — a registry
+        // commit, say — out of this report). Drained unconditionally so
+        // a failed merge never leaks spans into a later trace.
+        let _scope = telemetry::thread_span_scope();
+        let mark = telemetry::span_mark();
+        let result = self.execute_inner();
+        let captured = telemetry::drain_spans_since(mark);
+        result.map(|mut report| {
+            // A partitioned plan already collected its component
+            // sub-merge spans (recorded on worker threads) into the
+            // report; the calling thread's spans go after them.
+            let mut spans = report
+                .trace
+                .take()
+                .map(|trace| trace.spans)
+                .unwrap_or_default();
+            spans.extend(captured);
+            report.trace = Some(MergeTrace { spans });
+            report
+        })
+    }
+
+    /// [`execute`](Merger::execute) without the trace capture wrapper.
+    /// Span emission inside is unconditional code-wise but free when
+    /// collection is disabled (see [`telemetry::span`]).
+    fn execute_inner(&self) -> Result<MergeReport, MergeError> {
         let (plan, partitioning) = self.plan_with_partitioning();
+        let mut root = telemetry::span("merge");
+        root.attr_usize("inputs", plan.num_inputs);
+        root.attr_usize("threads", plan.threads);
+        root.attr("work_units", plan.work_units());
         match (plan.mode, partitioning) {
             (MergeMode::Upper, Some(parts)) if plan.engine == PlannedEngine::Partitioned => {
                 self.execute_partitioned(plan, &parts)
@@ -1110,13 +1268,27 @@ impl<'a> Merger<'a> {
 
     fn execute_upper(&self, plan: MergePlan) -> Result<MergeReport, MergeError> {
         let atoms = self.materialize_assertions()?;
+        let threads = execution_threads(&plan);
         let (weak, compiled, joined_annotated) = if self.is_base_only(plan.engine) {
             (None, None, None)
         } else {
-            self.join_stage(plan.engine, execution_threads(&plan), &atoms)?
+            let mut span = telemetry::span(MergePass::Join.as_str());
+            let joined = self.join_stage(plan.engine, threads, &atoms)?;
+            match (&joined.0, &joined.1) {
+                (_, Some(compiled)) => {
+                    span.attr_usize("classes", compiled.num_classes());
+                    span.attr_usize("arrows", compiled.num_arrows());
+                }
+                (Some(weak), None) => {
+                    span.attr_usize("classes", weak.num_classes());
+                    span.attr_usize("arrows", weak.num_arrows());
+                }
+                (None, None) => {}
+            }
+            joined
         };
 
-        let threads = execution_threads(&plan);
+        let mut completion_span = telemetry::span(MergePass::Completion.as_str());
         let (proper, implicit) = match (&weak, &compiled, plan.engine) {
             (Some(weak), _, PlannedEngine::Symbolic) => {
                 complete_impl(weak, None, CompletionEngine::Symbolic).map_err(MergeError::Schema)?
@@ -1137,13 +1309,27 @@ impl<'a> Merger<'a> {
                 complete_from_compiled_impl(base, threads).map_err(MergeError::Schema)?
             }
         };
+        completion_span.attr_usize("classes", proper.as_weak().num_classes());
+        completion_span.attr_usize("implicit_classes", implicit.num_implicit());
+        drop(completion_span);
 
         if let Some(consistency) = self.consistency {
+            let _span = telemetry::span(MergePass::ConsistencyCheck.as_str());
             check_consistency(&implicit, consistency)?;
         }
 
-        let keys = self.key_pass(&proper);
-        let annotated = joined_annotated.map(|joined| joined.transfer_to(proper.as_weak()));
+        let keys = if self.keys.is_empty() {
+            KeyAssignment::new()
+        } else {
+            let mut span = telemetry::span(MergePass::KeyAssignment.as_str());
+            let keys = self.key_pass(&proper);
+            span.attr_usize("keyed_classes", keys.num_keyed_classes());
+            keys
+        };
+        let annotated = joined_annotated.map(|joined| {
+            let _span = telemetry::span(MergePass::ParticipationTransfer.as_str());
+            joined.transfer_to(proper.as_weak())
+        });
         let mut diagnostics = self.input_diagnostics();
         if self.engine == EnginePreference::Partitioned && plan.engine != PlannedEngine::Partitioned
         {
@@ -1193,6 +1379,7 @@ impl<'a> Merger<'a> {
             lower: None,
             diagnostics,
             compiled,
+            trace: None,
         })
     }
 
@@ -1216,14 +1403,19 @@ impl<'a> Merger<'a> {
         // Bucket the restriction of every input by component.
         let mut buckets: Vec<Vec<WeakSchema>> = Vec::new();
         buckets.resize_with(parts.count(), Vec::new);
-        for weak in self
-            .inputs
-            .iter()
-            .map(|input| input.kind.weak())
-            .chain(atoms.iter())
         {
-            for (component, piece) in parts.split(weak) {
-                buckets[component as usize].push(piece);
+            let mut split_span = telemetry::span("partition-split");
+            split_span.attr_usize("components", parts.count());
+            split_span.attr_usize("largest_component", parts.largest());
+            for weak in self
+                .inputs
+                .iter()
+                .map(|input| input.kind.weak())
+                .chain(atoms.iter())
+            {
+                for (component, piece) in parts.split(weak) {
+                    buckets[component as usize].push(piece);
+                }
             }
         }
 
@@ -1234,21 +1426,33 @@ impl<'a> Merger<'a> {
         // by their smallest class and stitched in component order, so
         // the result is deterministic regardless of sizes or scheduling.
         let work: Vec<&Vec<WeakSchema>> = buckets.iter().filter(|b| !b.is_empty()).collect();
+        // Component sub-merges run on worker threads, where the calling
+        // thread's trace scope does not reach; propagating the flag lets
+        // each sub-merge capture its own spans, collected below.
+        let trace_components = self.trace;
         let chunk_reports = parallel::map_chunks(work.len(), threads, |range| {
             range
                 .map(|i| {
-                    let mut sub = Merger::new().schemas(work[i].iter()).threads(1);
+                    let mut sub = Merger::new()
+                        .schemas(work[i].iter())
+                        .threads(1)
+                        .trace(trace_components);
                     sub.no_partition = true;
                     sub.execute()
                 })
                 .collect::<Vec<Result<MergeReport, MergeError>>>()
         });
 
+        let mut component_spans: Vec<SpanRecord> = Vec::new();
+        let mut stitch_span = telemetry::span("partition-stitch");
         let mut weak = WeakSchema::empty();
         let mut propers = Vec::with_capacity(work.len());
         let mut implicit = CompletionReport::default();
         for report in chunk_reports.into_iter().flatten() {
-            let report = report?;
+            let mut report = report?;
+            if let Some(trace) = report.trace.take() {
+                component_spans.extend(trace.spans);
+            }
             let piece = match report.weak {
                 Some(piece) => piece,
                 None => report
@@ -1265,6 +1469,8 @@ impl<'a> Merger<'a> {
         }
         implicit.implicit.sort_by(|a, b| a.class.cmp(&b.class));
         let proper = ProperSchema::disjoint_union(propers);
+        stitch_span.attr_usize("classes", proper.as_weak().num_classes());
+        drop(stitch_span);
 
         if let Some(consistency) = self.consistency {
             check_consistency(&implicit, consistency)?;
@@ -1306,17 +1512,37 @@ impl<'a> Merger<'a> {
             lower: None,
             diagnostics,
             compiled: None,
+            trace: (!component_spans.is_empty()).then_some(MergeTrace {
+                spans: component_spans,
+            }),
         })
     }
 
     fn execute_lower(&self, plan: MergePlan) -> Result<MergeReport, MergeError> {
         let atoms = self.materialize_assertions()?;
-        let anns = self.annotated_inputs(self.base.map(CompiledSchema::decompile), &atoms);
-        let merged = lower_merge(anns.iter().map(Ann::get));
-        let (annotated, proper, lower_report) =
-            lower_complete(&merged).map_err(MergeError::Schema)?;
+        let merged = {
+            let mut span = telemetry::span(MergePass::Join.as_str());
+            let anns = self.annotated_inputs(self.base.map(CompiledSchema::decompile), &atoms);
+            let merged = lower_merge(anns.iter().map(Ann::get));
+            span.attr_usize("classes", merged.schema().num_classes());
+            span.attr_usize("arrows", merged.schema().num_arrows());
+            merged
+        };
+        let (annotated, proper, lower_report) = {
+            let mut span = telemetry::span(MergePass::LowerCompletion.as_str());
+            let completed = lower_complete(&merged).map_err(MergeError::Schema)?;
+            span.attr_usize("union_classes", completed.2.unions.len());
+            completed
+        };
 
-        let keys = self.key_pass(&proper);
+        let keys = if self.keys.is_empty() {
+            KeyAssignment::new()
+        } else {
+            let mut span = telemetry::span(MergePass::KeyAssignment.as_str());
+            let keys = self.key_pass(&proper);
+            span.attr_usize("keyed_classes", keys.num_keyed_classes());
+            keys
+        };
         let mut diagnostics = self.input_diagnostics();
         if self.consistency.is_some() {
             diagnostics.push(Diagnostic::warning(
@@ -1356,6 +1582,7 @@ impl<'a> Merger<'a> {
             lower: Some(lower_report),
             diagnostics,
             compiled: None,
+            trace: None,
         })
     }
 
@@ -2299,5 +2526,157 @@ mod tests {
             .diagnostics
             .iter()
             .any(|d| d.code() == "W-TARGET-IGNORED"));
+    }
+
+    #[test]
+    fn untraced_merges_carry_no_trace() {
+        let (g1, g2) = dogs();
+        let report = Merger::new().schema(&g1).schema(&g2).execute().unwrap();
+        assert!(report.trace.is_none());
+    }
+
+    #[test]
+    fn traced_merge_emits_one_span_per_executed_pass() {
+        let (g1, g2) = dogs();
+        let rel = ConsistencyRelation::assume_consistent();
+        let merger = Merger::new()
+            .schema(&g1)
+            .schema(&g2)
+            .with_consistency(&rel)
+            .with_keys(
+                "Dog",
+                SuperkeyFamily::single(crate::keys::KeySet::new(["license"])),
+            )
+            .trace(true);
+        let plan = merger.plan();
+        let report = merger.execute().unwrap();
+        let trace = report.trace.as_ref().expect("trace requested");
+        let root = trace.root().expect("a merge root span");
+        assert!(root.parent.is_none());
+        assert!(
+            root.attrs.iter().any(|&(key, v)| key == "inputs" && v == 2),
+            "{root:?}"
+        );
+        // One span per planned pass, named by `MergePass::as_str`, all
+        // children of the root.
+        for pass in &plan.passes {
+            let span = trace
+                .spans
+                .iter()
+                .find(|span| span.name == pass.as_str())
+                .unwrap_or_else(|| panic!("no span for pass {pass}: {:?}", trace.spans));
+            assert_eq!(span.parent, Some(root.id), "pass {pass} hangs off the root");
+        }
+        // Pass durations are contained in the root's wall-clock window.
+        let pass_total: u64 = trace.phase_ns().iter().map(|(_, ns)| ns).sum();
+        assert!(
+            pass_total <= root.duration_ns,
+            "pass total {pass_total} exceeds root {}",
+            root.duration_ns
+        );
+        // The join span carries work attrs.
+        let join = trace.spans.iter().find(|s| s.name == "join").unwrap();
+        assert!(join.attrs.iter().any(|&(key, _)| key == "classes"));
+        // The rendering is a tree rooted at `merge`.
+        let rendered = trace.render();
+        assert!(rendered.starts_with("merge "), "{rendered}");
+        assert!(rendered.contains("\n  join "), "{rendered}");
+        assert!(rendered.contains("\n  completion "), "{rendered}");
+    }
+
+    #[test]
+    fn tracing_never_changes_the_result() {
+        // The differential guarantee: a traced merge and an untraced
+        // merge produce bit-identical reports (modulo the trace itself).
+        let (g1, g2) = dogs();
+        let g3 = WeakSchema::builder()
+            .arrow("Dog", "owner", "Company")
+            .specialize("Puppy", "Dog")
+            .build()
+            .unwrap();
+        for engine in [
+            EnginePreference::Auto,
+            EnginePreference::Symbolic,
+            EnginePreference::Compiled,
+            EnginePreference::Parallel,
+        ] {
+            let plain = Merger::new()
+                .schemas([&g1, &g2, &g3])
+                .engine(engine)
+                .execute()
+                .unwrap();
+            let traced = Merger::new()
+                .schemas([&g1, &g2, &g3])
+                .engine(engine)
+                .trace(true)
+                .execute()
+                .unwrap();
+            assert_eq!(plain.proper, traced.proper, "{engine:?}");
+            assert_eq!(plain.weak, traced.weak, "{engine:?}");
+            assert_eq!(plain.implicit, traced.implicit, "{engine:?}");
+            assert_eq!(plain.keys, traced.keys, "{engine:?}");
+            assert_eq!(plain.provenance, traced.provenance, "{engine:?}");
+            assert_eq!(plain.plan, traced.plan, "{engine:?}");
+            assert_eq!(plain.summary(), traced.summary(), "{engine:?}");
+            assert!(plain.trace.is_none());
+            assert!(traced.trace.is_some());
+        }
+    }
+
+    #[test]
+    fn traced_partitioned_merge_collects_component_and_stitch_spans() {
+        // Two disconnected vocabularies force two components.
+        let left = WeakSchema::builder()
+            .arrow("Dog", "name", "string")
+            .specialize("Puppy", "Dog")
+            .build()
+            .unwrap();
+        let right = WeakSchema::builder()
+            .arrow("Star", "magnitude", "float")
+            .build()
+            .unwrap();
+        let report = Merger::new()
+            .schemas([&left, &right])
+            .engine(EnginePreference::Partitioned)
+            .trace(true)
+            .execute()
+            .unwrap();
+        assert_eq!(report.plan.engine, PlannedEngine::Partitioned);
+        let trace = report.trace.as_ref().expect("trace requested");
+        let names: Vec<&str> = trace.spans.iter().map(|s| s.name).collect();
+        assert!(names.contains(&"partition-split"), "{names:?}");
+        assert!(names.contains(&"partition-stitch"), "{names:?}");
+        // Each component sub-merge contributed its own join+completion.
+        assert_eq!(
+            names.iter().filter(|&&n| n == "join").count(),
+            2,
+            "{names:?}"
+        );
+        let phases = trace.phase_ns();
+        assert!(
+            phases.iter().any(|&(name, _)| name == "join"),
+            "component joins fold into one phase entry: {phases:?}"
+        );
+        // The untraced result is identical.
+        let plain = Merger::new()
+            .schemas([&left, &right])
+            .engine(EnginePreference::Partitioned)
+            .execute()
+            .unwrap();
+        assert_eq!(plain.proper, report.proper);
+    }
+
+    #[test]
+    fn traced_lower_merge_spans_lower_completion() {
+        let (g1, g2) = dogs();
+        let report = Merger::new()
+            .schemas([&g1, &g2])
+            .lower()
+            .trace(true)
+            .execute()
+            .unwrap();
+        let trace = report.trace.as_ref().expect("trace requested");
+        assert!(trace.spans.iter().any(|s| s.name == "join"));
+        assert!(trace.spans.iter().any(|s| s.name == "lower-completion"));
     }
 }

@@ -28,12 +28,14 @@
 use std::collections::{BTreeMap, HashMap, HashSet};
 use std::path::PathBuf;
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use schema_merge_core::{CompletionReport, Merger, ProperSchema, WeakSchema};
+use schema_merge_telemetry as telemetry;
 
 use crate::cache::{fingerprint, JoinCache};
 use crate::error::RegistryError;
-use crate::registry::{merge_onto, Counters, Persistence, Registry, Shared};
+use crate::registry::{merge_onto, Counters, Persistence, Registry, RegistryMetrics, Shared};
 use crate::storage::snapshot::SnapshotState;
 use crate::storage::wal::{self, WalRecord};
 use crate::storage::{snapshot, LocalStore, StorageError, Store};
@@ -136,7 +138,14 @@ impl RegistryBuilder {
             registry.merge_threads = self.merge_threads;
             return Ok(registry);
         };
-        let recovered = recover(&mut store, self.merge_threads)?;
+        let recovery_started = Instant::now();
+        let recovered = {
+            let mut span = telemetry::span("recover");
+            let recovered = recover(&mut store, self.merge_threads)?;
+            span.attr("generation", recovered.generation);
+            span.attr("wal_records", recovered.wal_records);
+            recovered
+        };
         let mut cache = JoinCache::default();
         if let Some(compiled) = &recovered.compiled {
             // Seed the join cache with the full-set join so the first
@@ -149,7 +158,7 @@ impl RegistryBuilder {
             );
             cache.insert(fp, Arc::clone(compiled));
         }
-        Ok(Registry {
+        let registry = Registry {
             shared: RwLock::new(Shared {
                 generation: recovered.generation,
                 members: recovered.members,
@@ -169,7 +178,13 @@ impl RegistryBuilder {
                 snapshots_written: 0,
                 on_disk: recovered.on_disk,
             })),
-        })
+            metrics: RegistryMetrics::default(),
+        };
+        registry
+            .metrics
+            .recovery_latency
+            .record(recovery_started.elapsed());
+        Ok(registry)
     }
 }
 
@@ -383,6 +398,27 @@ mod tests {
         assert!(stats.persistent);
         assert_eq!(stats.wal_records, 0);
         assert_eq!(stats.generation, 0);
+    }
+
+    #[test]
+    fn durable_opens_record_fsync_and_recovery_latency() {
+        let registry = Registry::builder()
+            .store(MemoryStore::new())
+            .open()
+            .unwrap();
+        assert_eq!(
+            registry.recovery_latency().count,
+            1,
+            "every durable open is one recovery sample"
+        );
+        registry.put("a", schema("Part", "price", "money")).unwrap();
+        registry.put("b", schema("Order", "item", "Part")).unwrap();
+        assert_eq!(
+            registry.fsync_latency().count,
+            2,
+            "one durability wait per commit"
+        );
+        assert_eq!(registry.commit_latency().count, 2);
     }
 
     #[test]

@@ -69,12 +69,6 @@ pub mod error;
 pub mod registry;
 pub mod stats;
 pub mod storage;
-#[deprecated(
-    since = "0.2.0",
-    note = "the in-memory registry moved to `schema_merge_registry::registry`; \
-            `store` now refers to the persistence trait in `schema_merge_registry::storage`"
-)]
-pub mod store;
 pub mod version;
 
 pub use config::RegistryBuilder;

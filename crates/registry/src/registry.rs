@@ -54,11 +54,13 @@
 use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
 
 use schema_merge_core::{
     Class, CompiledSchema, CompletionReport, MergeError, Merger, ProperSchema, WeakSchema,
 };
 use schema_merge_instance::PathQuery;
+use schema_merge_telemetry::{self as telemetry, Histogram, HistogramSnapshot};
 
 use crate::cache::{fingerprint, JoinCache};
 use crate::config::RegistryBuilder;
@@ -184,9 +186,18 @@ pub(crate) struct Persistence {
 
 impl Persistence {
     /// Frames, appends and fsyncs one record. On success the record is
-    /// durable; only then may the caller make the commit visible.
-    fn append(&mut self, record: &WalRecord) -> Result<(), StorageError> {
-        self.store.append(&wal::encode_frame(record))?;
+    /// durable; only then may the caller make the commit visible. The
+    /// store call — write plus fsync, per the [`Store::append`]
+    /// contract — is timed into `fsync`, the registry's durability-wait
+    /// histogram.
+    fn append(&mut self, record: &WalRecord, fsync: &Histogram) -> Result<(), StorageError> {
+        let frame = wal::encode_frame(record);
+        let mut span = telemetry::span("wal-append");
+        span.attr_usize("bytes", frame.len());
+        let started = Instant::now();
+        self.store.append(&frame)?;
+        fsync.record(started.elapsed());
+        drop(span);
         self.wal_records += 1;
         self.records_since_snapshot += 1;
         Ok(())
@@ -202,6 +213,8 @@ impl Persistence {
         generation: u64,
         view_hash: u64,
     ) -> Result<u64, StorageError> {
+        let mut span = telemetry::span("snapshot");
+        span.attr("generation", generation);
         let mut state = SnapshotState {
             generation,
             view_hash,
@@ -223,6 +236,7 @@ impl Persistence {
             state.members.insert(name.clone(), versions);
         }
         let image = snapshot::encode(&state);
+        span.attr_usize("bytes", image.len());
         self.store.write_snapshot(generation, &image)?;
         // The snapshot holds everything: the log is now redundant, and
         // older snapshot objects are superseded.
@@ -249,6 +263,35 @@ pub(crate) struct Counters {
     noop: AtomicU64,
     rejected: AtomicU64,
     retries: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// The registry's always-on latency telemetry: lock-free log₂ histograms
+/// ([`Histogram`]) recorded on every commit regardless of span
+/// enablement — cheap enough to never gate — plus the instance epoch
+/// that anchors uptime.
+pub(crate) struct RegistryMetrics {
+    /// When this registry instance was opened (new or recovered).
+    pub(crate) started_at: Instant,
+    /// End-to-end latency of successful generation-spending commits
+    /// (put/delete, noops excluded), snapshot-to-visible.
+    pub(crate) commit_latency: Histogram,
+    /// Durability wait per commit: the WAL append + fsync store call.
+    pub(crate) fsync_latency: Histogram,
+    /// Boot-time recovery (snapshot load + log replay + re-merge +
+    /// verify); one sample per durable open.
+    pub(crate) recovery_latency: Histogram,
+}
+
+impl Default for RegistryMetrics {
+    fn default() -> Self {
+        RegistryMetrics {
+            started_at: Instant::now(),
+            commit_latency: Histogram::new(),
+            fsync_latency: Histogram::new(),
+            recovery_latency: Histogram::new(),
+        }
+    }
 }
 
 /// The concurrent schema registry. See the [module docs](self) for the
@@ -263,6 +306,8 @@ pub struct Registry {
     pub(crate) merge_threads: Option<usize>,
     /// The durability arm; `None` for a purely in-memory registry.
     pub(crate) persistence: Option<Mutex<Persistence>>,
+    /// Latency histograms and the uptime epoch.
+    pub(crate) metrics: RegistryMetrics,
 }
 
 impl Default for Registry {
@@ -300,6 +345,7 @@ impl Registry {
             counters: Counters::default(),
             merge_threads: None,
             persistence: None,
+            metrics: RegistryMetrics::default(),
         }
     }
 
@@ -309,20 +355,6 @@ impl Registry {
     /// equivalent to [`Registry::new`].
     pub fn builder() -> RegistryBuilder {
         RegistryBuilder::new()
-    }
-
-    /// A registry with a fixed worker budget for its merge plans.
-    /// Results are identical to [`Registry::new`] — thread counts never
-    /// change the merged view.
-    #[deprecated(
-        since = "0.2.0",
-        note = "use `Registry::builder().merge_threads(n).open()`"
-    )]
-    pub fn with_merge_threads(threads: usize) -> Self {
-        Registry {
-            merge_threads: Some(threads.max(1)),
-            ..Registry::new()
-        }
     }
 
     /// Publishes `schema` as the next version of member `name`.
@@ -347,6 +379,9 @@ impl Registry {
         let name = name.into();
         let schema = Arc::new(schema);
         let hash = schema.content_hash();
+        let commit_started = Instant::now();
+        let mut commit_span = telemetry::span("commit");
+        commit_span.attr("content_hash", hash);
         loop {
             let snapshot = {
                 let shared = self.shared.read().expect("registry lock");
@@ -365,18 +400,31 @@ impl Registry {
                 self.snapshot_excluding(&shared, &name)
             };
 
-            let (rest, strategy) = match self.rest_join(&snapshot) {
-                Ok(pair) => pair,
-                Err(cause) => return Err(self.reject(name, cause)),
+            let (rest, strategy) = {
+                let mut plan_span = telemetry::span("plan");
+                plan_span.attr_usize("rest_members", snapshot.rest.len());
+                match self.rest_join(&snapshot) {
+                    Ok(pair) => {
+                        plan_span.attr("cached", u64::from(pair.1 == MergeStrategy::Incremental));
+                        pair
+                    }
+                    Err(cause) => return Err(self.reject(name, cause)),
+                }
             };
             // The incremental step proper, as a merge plan: the cached
             // compiled join is the `onto_base` interner — only the
             // changed member is walked symbolically — and the completion
             // runs straight off the compiled join, materializing the
             // symbolic schema once.
-            let candidate = match merge_onto(&rest, Some(schema.as_ref()), self.merge_threads) {
-                Ok(candidate) => candidate,
-                Err(cause) => return Err(self.reject(name, cause)),
+            let candidate = {
+                let mut exec_span = telemetry::span("execute");
+                match merge_onto(&rest, Some(schema.as_ref()), self.merge_threads) {
+                    Ok(candidate) => {
+                        exec_span.attr_usize("classes", candidate.proper.num_classes());
+                        candidate
+                    }
+                    Err(cause) => return Err(self.reject(name, cause)),
+                }
             };
 
             let mut shared = self.shared.write().expect("registry lock");
@@ -398,14 +446,17 @@ impl Registry {
             if let Some(persistence) = &self.persistence {
                 let mut p = persistence.lock().expect("persistence lock");
                 let carry = !p.on_disk.contains(&hash);
-                p.append(&WalRecord::Put {
-                    generation,
-                    member: name.clone(),
-                    hash,
-                    sequence,
-                    view_hash: candidate.proper.content_hash(),
-                    schema: carry.then(|| Arc::clone(&schema)),
-                })?;
+                p.append(
+                    &WalRecord::Put {
+                        generation,
+                        member: name.clone(),
+                        hash,
+                        sequence,
+                        view_hash: candidate.proper.content_hash(),
+                        schema: carry.then(|| Arc::clone(&schema)),
+                    },
+                    &self.metrics.fsync_latency,
+                )?;
                 p.on_disk.insert(hash);
             }
             shared.generation = generation;
@@ -435,6 +486,8 @@ impl Registry {
 
             self.seed_cache(snapshot.fingerprint(), rest, full_fp, total);
             self.count_commit(strategy);
+            commit_span.attr("generation", generation);
+            self.metrics.commit_latency.record(commit_started.elapsed());
             return Ok(PutOutcome {
                 hash,
                 sequence,
@@ -452,6 +505,8 @@ impl Registry {
     ///
     /// [`RegistryError::UnknownMember`] when no such member exists.
     pub fn delete(&self, name: &str) -> Result<DeleteOutcome, RegistryError> {
+        let commit_started = Instant::now();
+        let mut commit_span = telemetry::span("commit");
         loop {
             let snapshot = {
                 let shared = self.shared.read().expect("registry lock");
@@ -463,16 +518,29 @@ impl Registry {
 
             // Deleting from a compatible set cannot make it incompatible,
             // but the error path is kept honest rather than unwrapped.
-            let (rest, strategy) = match self.rest_join(&snapshot) {
-                Ok(pair) => pair,
-                Err(cause) => return Err(self.reject(name.to_string(), cause)),
+            let (rest, strategy) = {
+                let mut plan_span = telemetry::span("plan");
+                plan_span.attr_usize("rest_members", snapshot.rest.len());
+                match self.rest_join(&snapshot) {
+                    Ok(pair) => {
+                        plan_span.attr("cached", u64::from(pair.1 == MergeStrategy::Incremental));
+                        pair
+                    }
+                    Err(cause) => return Err(self.reject(name.to_string(), cause)),
+                }
             };
             // The remainder's join IS the new total — the merge plan has
             // no extras, so the merger skips the join pass and only the
             // completion runs (against the cached compiled form).
-            let candidate = match merge_onto(&rest, None, self.merge_threads) {
-                Ok(candidate) => candidate,
-                Err(cause) => return Err(self.reject(name.to_string(), cause)),
+            let candidate = {
+                let mut exec_span = telemetry::span("execute");
+                match merge_onto(&rest, None, self.merge_threads) {
+                    Ok(candidate) => {
+                        exec_span.attr_usize("classes", candidate.proper.num_classes());
+                        candidate
+                    }
+                    Err(cause) => return Err(self.reject(name.to_string(), cause)),
+                }
             };
 
             let mut shared = self.shared.write().expect("registry lock");
@@ -485,11 +553,14 @@ impl Registry {
             // Same durability point as `put`: fsync first, mutate after.
             if let Some(persistence) = &self.persistence {
                 let mut p = persistence.lock().expect("persistence lock");
-                p.append(&WalRecord::Delete {
-                    generation,
-                    member: name.to_string(),
-                    view_hash: candidate.proper.content_hash(),
-                })?;
+                p.append(
+                    &WalRecord::Delete {
+                        generation,
+                        member: name.to_string(),
+                        view_hash: candidate.proper.content_hash(),
+                    },
+                    &self.metrics.fsync_latency,
+                )?;
             }
             shared.generation = generation;
             shared.members.remove(name);
@@ -508,6 +579,8 @@ impl Registry {
 
             self.seed_cache(snapshot.fingerprint(), rest, full_fp, total);
             self.count_commit(strategy);
+            commit_span.attr("generation", generation);
+            self.metrics.commit_latency.record(commit_started.elapsed());
             return Ok(DeleteOutcome {
                 generation,
                 remaining,
@@ -649,6 +722,8 @@ impl Registry {
             cache_evictions,
             cache_entries,
             commit_retries: self.counters.retries.load(Ordering::Relaxed),
+            uptime_secs: self.uptime_secs(),
+            requests_served: self.counters.requests.load(Ordering::Relaxed),
             persistent: durability.is_some(),
             wal_records: durability.map_or(0, |d| d.0),
             wal_bytes: durability.map_or(0, |d| d.1),
@@ -656,6 +731,40 @@ impl Registry {
             snapshot_bytes: durability.map_or(0, |d| d.3),
             snapshots_written: durability.map_or(0, |d| d.4),
         }
+    }
+
+    // ---- telemetry -------------------------------------------------------
+
+    /// Notes one served request. The registry never counts for itself —
+    /// its front end (the `smerge serve` worker loop) calls this once
+    /// per protocol request, making [`RegistryStats::requests_served`]
+    /// a service-level counter rather than an engine one.
+    pub fn note_request(&self) {
+        self.counters.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Whole seconds since this registry instance was opened.
+    pub fn uptime_secs(&self) -> u64 {
+        self.metrics.started_at.elapsed().as_secs()
+    }
+
+    /// Snapshot of the end-to-end commit latency histogram (successful
+    /// generation-spending `put`/`delete` calls; noops excluded).
+    pub fn commit_latency(&self) -> HistogramSnapshot {
+        self.metrics.commit_latency.snapshot()
+    }
+
+    /// Snapshot of the per-commit durability wait (WAL append + fsync).
+    /// Empty for an in-memory registry.
+    pub fn fsync_latency(&self) -> HistogramSnapshot {
+        self.metrics.fsync_latency.snapshot()
+    }
+
+    /// Snapshot of the boot-time recovery latency — one sample per
+    /// durable open ([`crate::RegistryBuilder::open`]); empty for an
+    /// in-memory registry.
+    pub fn recovery_latency(&self) -> HistogramSnapshot {
+        self.metrics.recovery_latency.snapshot()
     }
 
     // ---- engine internals ------------------------------------------------
@@ -681,7 +790,8 @@ impl Registry {
     /// from-scratch rebuild is the registry's widest merge — every
     /// unchanged member walked at once — so it is exactly the shape the
     /// parallel engine shards: the merger auto-selects it past the work
-    /// threshold, and [`Registry::with_merge_threads`] fixes its budget.
+    /// threshold, and [`crate::RegistryBuilder::merge_threads`] fixes
+    /// its budget.
     fn rest_join(
         &self,
         snapshot: &Snapshot,
@@ -1023,6 +1133,34 @@ mod tests {
             registry.delete("m3").unwrap();
             assert_view_matches_oneshot(&registry);
         }
+    }
+
+    #[test]
+    fn latency_histograms_and_request_counter_track_the_service() {
+        let registry = Registry::new();
+        registry.put("a", schema("A", "x", "T")).unwrap();
+        registry.put("b", schema("B", "y", "U")).unwrap();
+        // A noop republish spends no generation and records no commit.
+        registry.put("a", schema("A", "x", "T")).unwrap();
+        let commits = registry.commit_latency();
+        assert_eq!(
+            commits.count, 2,
+            "one sample per generation-spending commit"
+        );
+        assert!(commits.sum_ns > 0);
+        assert_eq!(
+            registry.fsync_latency().count,
+            0,
+            "an in-memory registry never waits on a WAL"
+        );
+        assert_eq!(registry.recovery_latency().count, 0);
+
+        assert_eq!(registry.stats().requests_served, 0);
+        registry.note_request();
+        registry.note_request();
+        let stats = registry.stats();
+        assert_eq!(stats.requests_served, 2);
+        assert_eq!(stats.uptime_secs, registry.uptime_secs());
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub struct RegistryStats {
     /// Optimistic commit attempts that lost the generation race and
     /// retried.
     pub commit_retries: u64,
+    /// Whole seconds since this registry instance was opened.
+    pub uptime_secs: u64,
+    /// Requests this registry has served, as noted by its front end
+    /// ([`crate::Registry::note_request`]); monotone, zero when nothing
+    /// calls it (e.g. embedded library use).
+    pub requests_served: u64,
     /// Whether the registry has a persistence layer (a WAL + snapshot
     /// store). All fields below are zero when it does not.
     pub persistent: bool,
@@ -59,6 +65,62 @@ pub struct RegistryStats {
     /// Snapshots written by this process (the session counter, like the
     /// merge counters; it restarts at zero on reopen).
     pub snapshots_written: u64,
+}
+
+impl RegistryStats {
+    /// Renders the snapshot as one JSON object with a pinned field
+    /// order (declaration order). Mirroring [`fmt::Display`], the
+    /// durability fields are emitted only when `persistent` is true —
+    /// an in-memory registry reports no WAL or snapshot numbers rather
+    /// than a misleading row of zeros.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        out.push_str(&format!("\"generation\": {}", self.generation));
+        out.push_str(&format!(", \"members\": {}", self.members));
+        out.push_str(&format!(", \"total_versions\": {}", self.total_versions));
+        out.push_str(&format!(", \"merged_classes\": {}", self.merged_classes));
+        out.push_str(&format!(", \"merged_arrows\": {}", self.merged_arrows));
+        out.push_str(&format!(
+            ", \"merged_specializations\": {}",
+            self.merged_specializations
+        ));
+        out.push_str(&format!(
+            ", \"implicit_classes\": {}",
+            self.implicit_classes
+        ));
+        out.push_str(&format!(", \"merged_hash\": \"{:016x}\"", self.merged_hash));
+        out.push_str(&format!(
+            ", \"incremental_merges\": {}",
+            self.incremental_merges
+        ));
+        out.push_str(&format!(", \"full_merges\": {}", self.full_merges));
+        out.push_str(&format!(", \"noop_puts\": {}", self.noop_puts));
+        out.push_str(&format!(", \"rejected_puts\": {}", self.rejected_puts));
+        out.push_str(&format!(", \"cache_hits\": {}", self.cache_hits));
+        out.push_str(&format!(", \"cache_misses\": {}", self.cache_misses));
+        out.push_str(&format!(", \"cache_evictions\": {}", self.cache_evictions));
+        out.push_str(&format!(", \"cache_entries\": {}", self.cache_entries));
+        out.push_str(&format!(", \"commit_retries\": {}", self.commit_retries));
+        out.push_str(&format!(", \"uptime_secs\": {}", self.uptime_secs));
+        out.push_str(&format!(", \"requests_served\": {}", self.requests_served));
+        out.push_str(&format!(", \"persistent\": {}", self.persistent));
+        if self.persistent {
+            out.push_str(&format!(", \"wal_records\": {}", self.wal_records));
+            out.push_str(&format!(", \"wal_bytes\": {}", self.wal_bytes));
+            out.push_str(&format!(
+                ", \"snapshot_generation\": {}",
+                self.snapshot_generation
+            ));
+            out.push_str(&format!(", \"snapshot_bytes\": {}", self.snapshot_bytes));
+            out.push_str(&format!(
+                ", \"snapshots_written\": {}",
+                self.snapshots_written
+            ));
+        }
+        out.push('}');
+        out
+    }
 }
 
 impl fmt::Display for RegistryStats {
@@ -86,10 +148,15 @@ impl fmt::Display for RegistryStats {
             self.rejected_puts,
             self.commit_retries,
         )?;
-        write!(
+        writeln!(
             f,
             "join cache: {} entries, {} hits, {} misses, {} evictions",
             self.cache_entries, self.cache_hits, self.cache_misses, self.cache_evictions,
+        )?;
+        write!(
+            f,
+            "service: up {} s, {} requests served",
+            self.uptime_secs, self.requests_served,
         )?;
         if self.persistent {
             write!(
@@ -103,5 +170,92 @@ impl fmt::Display for RegistryStats {
             )?;
         }
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RegistryStats {
+        RegistryStats {
+            generation: 7,
+            members: 3,
+            total_versions: 9,
+            merged_classes: 11,
+            merged_arrows: 13,
+            merged_specializations: 2,
+            implicit_classes: 1,
+            merged_hash: 0x00ab_cdef_0123_4567,
+            incremental_merges: 5,
+            full_merges: 2,
+            noop_puts: 1,
+            rejected_puts: 0,
+            cache_hits: 5,
+            cache_misses: 2,
+            cache_evictions: 0,
+            cache_entries: 4,
+            commit_retries: 1,
+            uptime_secs: 42,
+            requests_served: 100,
+            persistent: false,
+            wal_records: 0,
+            wal_bytes: 0,
+            snapshot_generation: 0,
+            snapshot_bytes: 0,
+            snapshots_written: 0,
+        }
+    }
+
+    /// The JSON field order is part of the wire contract: clients parse
+    /// positionally at their peril, but goldens and diffs depend on it
+    /// being stable, so it is pinned here verbatim.
+    #[test]
+    fn json_field_order_is_pinned() {
+        let json = sample().to_json();
+        assert_eq!(
+            json,
+            "{\"generation\": 7, \"members\": 3, \"total_versions\": 9, \
+             \"merged_classes\": 11, \"merged_arrows\": 13, \
+             \"merged_specializations\": 2, \"implicit_classes\": 1, \
+             \"merged_hash\": \"00abcdef01234567\", \
+             \"incremental_merges\": 5, \"full_merges\": 2, \
+             \"noop_puts\": 1, \"rejected_puts\": 0, \"cache_hits\": 5, \
+             \"cache_misses\": 2, \"cache_evictions\": 0, \
+             \"cache_entries\": 4, \"commit_retries\": 1, \
+             \"uptime_secs\": 42, \"requests_served\": 100, \
+             \"persistent\": false}"
+        );
+    }
+
+    /// Durability fields appear exactly when `persistent` — the JSON
+    /// mirrors the Display gating instead of printing dead zeros.
+    #[test]
+    fn json_gates_durability_fields_on_persistent() {
+        let mut stats = sample();
+        assert!(!stats.to_json().contains("wal_records"));
+
+        stats.persistent = true;
+        stats.wal_records = 12;
+        stats.wal_bytes = 3456;
+        stats.snapshot_generation = 5;
+        stats.snapshot_bytes = 789;
+        stats.snapshots_written = 2;
+        let json = stats.to_json();
+        assert!(json.ends_with(
+            "\"persistent\": true, \"wal_records\": 12, \"wal_bytes\": 3456, \
+             \"snapshot_generation\": 5, \"snapshot_bytes\": 789, \
+             \"snapshots_written\": 2}"
+        ));
+    }
+
+    #[test]
+    fn display_gates_durability_and_reports_service_line() {
+        let mut stats = sample();
+        let text = stats.to_string();
+        assert!(text.contains("service: up 42 s, 100 requests served"));
+        assert!(!text.contains("durability:"));
+        stats.persistent = true;
+        assert!(stats.to_string().contains("durability:"));
     }
 }

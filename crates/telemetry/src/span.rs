@@ -1,0 +1,309 @@
+//! Structured span tracing: a thread-local span stack.
+//!
+//! A span is opened with [`span("name")`](span), carries `key=value`
+//! attributes, and records itself when its guard drops. Records land in
+//! a per-thread buffer of finished spans that the *owner of the traced
+//! region* drains ([`span_mark`] + [`drain_spans_since`]) — there is no
+//! global sink, so a traced merge inside a registry commit never steals
+//! the commit's own spans and concurrent traced threads never contend.
+//!
+//! Parent/child structure survives draining: every span gets a
+//! process-unique id at open time and remembers the id of the span that
+//! was on top of its thread's stack. A drained slice can therefore be
+//! rendered as a tree even when its root's parent (still open, or owned
+//! by an enclosing drain) is absent.
+//!
+//! ## Enablement
+//!
+//! Disabled (the default), [`span`] reads one relaxed atomic and one
+//! thread-local flag and returns an inert guard — no clock read, no
+//! allocation. Enable process-wide with [`set_spans_enabled`] (the
+//! daemon's `--trace-log`) or per-thread with the RAII
+//! [`thread_span_scope`] (one traced merge).
+
+use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Process-wide span switch (the daemon-style "trace everything" mode).
+static GLOBAL_SPANS: AtomicBool = AtomicBool::new(false);
+
+/// Monotone process-unique span id source.
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// The process epoch all span start times are relative to.
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+thread_local! {
+    /// Nesting depth of [`ThreadSpanScope`]s on this thread.
+    static THREAD_SPANS: Cell<u32> = const { Cell::new(0) };
+    /// Ids of the currently open spans, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Finished spans awaiting a drain.
+    static FINISHED: RefCell<Vec<SpanRecord>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Nanoseconds since the process epoch (first telemetry use).
+pub fn now_ns() -> u64 {
+    u64::try_from(EPOCH.get_or_init(Instant::now).elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Turns span collection on or off for every thread.
+pub fn set_spans_enabled(on: bool) {
+    GLOBAL_SPANS.store(on, Ordering::Relaxed);
+}
+
+/// Whether span collection is live for the current thread.
+pub fn spans_enabled() -> bool {
+    GLOBAL_SPANS.load(Ordering::Relaxed) || THREAD_SPANS.with(|depth| depth.get() > 0)
+}
+
+/// RAII guard enabling span collection on the current thread; see
+/// [`thread_span_scope`].
+#[derive(Debug)]
+pub struct ThreadSpanScope(());
+
+/// Enables span collection on this thread until the returned scope
+/// drops. Scopes nest; collection stays on while any is alive.
+pub fn thread_span_scope() -> ThreadSpanScope {
+    THREAD_SPANS.with(|depth| depth.set(depth.get() + 1));
+    ThreadSpanScope(())
+}
+
+impl Drop for ThreadSpanScope {
+    fn drop(&mut self) {
+        THREAD_SPANS.with(|depth| depth.set(depth.get().saturating_sub(1)));
+    }
+}
+
+/// One finished span: what happened, under what, when, for how long.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any was open.
+    pub parent: Option<u64>,
+    /// Static span name (e.g. `"pass:join"`).
+    pub name: &'static str,
+    /// Start, nanoseconds since the process epoch ([`now_ns`]).
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub duration_ns: u64,
+    /// `key=value` work attributes (classes, arrows, waves, bytes, …).
+    pub attrs: Vec<(&'static str, u64)>,
+}
+
+impl SpanRecord {
+    /// Renders the record as one Chrome `trace_event` "complete" (`X`)
+    /// JSON object — one line of the daemon's `--trace-log` JSONL sink,
+    /// loadable in `chrome://tracing` or Perfetto. Timestamps and
+    /// durations are microseconds per the trace-event spec; span
+    /// identity and attrs ride in `args`.
+    pub fn to_trace_event(&self, tid: u64) -> String {
+        let mut args = format!("\"id\":{}", self.id);
+        if let Some(parent) = self.parent {
+            args.push_str(&format!(",\"parent\":{parent}"));
+        }
+        for (key, value) in &self.attrs {
+            args.push_str(&format!(",\"{key}\":{value}"));
+        }
+        format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{},\"dur\":{},\"args\":{{{}}}}}",
+            self.name,
+            tid,
+            self.start_ns / 1_000,
+            self.duration_ns / 1_000,
+            args,
+        )
+    }
+}
+
+/// An open span; records itself to the thread buffer on drop. Inert
+/// (and free) when collection was disabled at open time.
+#[derive(Debug)]
+pub struct Span {
+    /// `Some` while live and enabled.
+    record: Option<(SpanRecord, Instant)>,
+}
+
+/// Opens a span. When collection is disabled this is one atomic load
+/// plus one thread-local read, and the returned guard does nothing.
+pub fn span(name: &'static str) -> Span {
+    if !spans_enabled() {
+        return Span { record: None };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let start_ns = now_ns();
+    Span {
+        record: Some((
+            SpanRecord {
+                id,
+                parent,
+                name,
+                start_ns,
+                duration_ns: 0,
+                attrs: Vec::new(),
+            },
+            Instant::now(),
+        )),
+    }
+}
+
+impl Span {
+    /// Attaches a `key=value` work attribute (no-op when inert).
+    pub fn attr(&mut self, key: &'static str, value: u64) {
+        if let Some((record, _)) = &mut self.record {
+            record.attrs.push((key, value));
+        }
+    }
+
+    /// Attaches an attribute from a `usize` (the common case for
+    /// class/arrow counts).
+    pub fn attr_usize(&mut self, key: &'static str, value: usize) {
+        self.attr(key, value as u64);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some((mut record, started)) = self.record.take() {
+            record.duration_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            STACK.with(|stack| {
+                // Spans are scope guards, so drops are LIFO; a stale id
+                // (leaked guard) is removed wherever it sits.
+                let mut stack = stack.borrow_mut();
+                if let Some(at) = stack.iter().rposition(|&id| id == record.id) {
+                    stack.remove(at);
+                }
+            });
+            FINISHED.with(|finished| finished.borrow_mut().push(record));
+        }
+    }
+}
+
+/// A position in this thread's finished-span buffer; pair with
+/// [`drain_spans_since`] to drain only the spans recorded after it.
+pub fn span_mark() -> usize {
+    FINISHED.with(|finished| finished.borrow().len())
+}
+
+/// Removes and returns the spans this thread finished since `mark`
+/// (clamped to the buffer, so a stale mark cannot panic).
+pub fn drain_spans_since(mark: usize) -> Vec<SpanRecord> {
+    FINISHED.with(|finished| {
+        let mut finished = finished.borrow_mut();
+        let at = mark.min(finished.len());
+        finished.split_off(at)
+    })
+}
+
+/// Removes and returns every finished span on this thread.
+pub fn drain_spans() -> Vec<SpanRecord> {
+    drain_spans_since(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        assert!(!spans_enabled());
+        let mark = span_mark();
+        {
+            let mut s = span("noop");
+            s.attr("classes", 7);
+        }
+        assert!(drain_spans_since(mark).is_empty());
+    }
+
+    #[test]
+    fn thread_scope_captures_nested_spans_with_parents() {
+        let _scope = thread_span_scope();
+        let mark = span_mark();
+        {
+            let mut root = span("merge");
+            root.attr_usize("inputs", 2);
+            {
+                let _child = span("pass:join");
+                let _grandchild = span("intern");
+            }
+            let _sibling = span("pass:completion");
+        }
+        let spans = drain_spans_since(mark);
+        assert_eq!(spans.len(), 4, "{spans:?}");
+        // Drop order: intern, pass:join, pass:completion, merge.
+        let by_name = |name: &str| spans.iter().find(|s| s.name == name).unwrap();
+        let root = by_name("merge");
+        let join = by_name("pass:join");
+        let intern = by_name("intern");
+        let completion = by_name("pass:completion");
+        assert_eq!(join.parent, Some(root.id));
+        assert_eq!(intern.parent, Some(join.id));
+        assert_eq!(completion.parent, Some(root.id));
+        assert_eq!(root.attrs, vec![("inputs", 2)]);
+        assert_eq!(spans.last().unwrap().name, "merge", "root finishes last");
+        // Children are contained in the root's wall-clock window.
+        assert!(root.duration_ns >= join.duration_ns + completion.duration_ns);
+    }
+
+    #[test]
+    fn scope_is_thread_local() {
+        let _scope = thread_span_scope();
+        let handle = std::thread::spawn(|| {
+            let mark = span_mark();
+            let _s = span("other-thread");
+            drop(_s);
+            drain_spans_since(mark).len()
+        });
+        assert_eq!(
+            handle.join().unwrap(),
+            0,
+            "a thread scope must not leak to other threads"
+        );
+    }
+
+    #[test]
+    fn marks_isolate_nested_drains() {
+        let _scope = thread_span_scope();
+        let outer_mark = span_mark();
+        let _outer = span("commit");
+        let inner_mark = span_mark();
+        {
+            let _inner = span("merge");
+        }
+        let inner = drain_spans_since(inner_mark);
+        assert_eq!(inner.len(), 1);
+        assert_eq!(inner[0].name, "merge");
+        drop(_outer);
+        let outer = drain_spans_since(outer_mark);
+        assert_eq!(outer.len(), 1, "the inner drain already took `merge`");
+        assert_eq!(outer[0].name, "commit");
+        assert_eq!(inner[0].parent, Some(outer[0].id), "parent ids survive");
+    }
+
+    #[test]
+    fn trace_event_line_is_wellformed() {
+        let record = SpanRecord {
+            id: 42,
+            parent: Some(7),
+            name: "pass:join",
+            start_ns: 5_000,
+            duration_ns: 12_345,
+            attrs: vec![("classes", 10), ("arrows", 20)],
+        };
+        let line = record.to_trace_event(3);
+        assert_eq!(
+            line,
+            "{\"name\":\"pass:join\",\"ph\":\"X\",\"pid\":1,\"tid\":3,\"ts\":5,\"dur\":12,\
+             \"args\":{\"id\":42,\"parent\":7,\"classes\":10,\"arrows\":20}}"
+        );
+    }
+}

@@ -44,6 +44,9 @@ pub enum Command {
     Merged,
     /// Fetch registry statistics.
     Stats,
+    /// Fetch the daemon's telemetry as Prometheus-style exposition text
+    /// (latency summaries, counters, gauges).
+    Metrics,
     /// List members with their current version hashes.
     List,
     /// Evaluate a schema-space path query against the merged view.
@@ -91,6 +94,7 @@ impl Command {
             "DELETE" => Ok(Command::Delete(name_arg("member name")?)),
             "MERGED" => bare(Command::Merged),
             "STATS" => bare(Command::Stats),
+            "METRICS" => bare(Command::Metrics),
             "LIST" => bare(Command::List),
             "QUERY" => {
                 if rest.is_empty() {
@@ -116,6 +120,7 @@ impl fmt::Display for Command {
             Command::Delete(name) => write!(f, "DELETE {name}"),
             Command::Merged => write!(f, "MERGED"),
             Command::Stats => write!(f, "STATS"),
+            Command::Metrics => write!(f, "METRICS"),
             Command::List => write!(f, "LIST"),
             Command::Query(path) => write!(f, "QUERY {path}"),
             Command::Snapshot => write!(f, "SNAPSHOT"),
@@ -277,6 +282,8 @@ mod tests {
             ("DELETE a-b", Command::Delete("a-b".into())),
             ("MERGED", Command::Merged),
             ("stats", Command::Stats),
+            ("METRICS", Command::Metrics),
+            ("metrics", Command::Metrics),
             ("LIST", Command::List),
             (
                 "QUERY Dog.owner[{A,B}]",
