@@ -63,7 +63,8 @@ use std::time::Instant;
 use schema_merge_core::row::set_sparse_enabled;
 use schema_merge_core::{reference, EnginePreference, Merger, WeakSchema};
 use schema_merge_er::to_core;
-use schema_merge_registry::Registry;
+use schema_merge_registry::{MergeStrategy, Registry};
+use schema_merge_supergraph::Supergraph;
 use schema_merge_telemetry as telemetry;
 use schema_merge_workload::{
     pathological_nfa, random_er_schema, taxonomy_family, wide_family, ErParams, SchemaParams,
@@ -214,9 +215,10 @@ pub const VARIANT_PARTITIONED: &str = "partitioned";
 #[derive(Debug, Clone)]
 pub struct BenchRecord {
     /// Workload family: `random`, `pathological`, `er_roundtrip`,
-    /// `wide` or `registry`.
+    /// `wide`, `registry` or `supergraph`.
     pub family: &'static str,
-    /// Operation: `weak_join`, `complete`, `merge` or `publish`.
+    /// Operation: `weak_join`, `complete`, `merge`, `publish` or
+    /// `recompose`.
     pub op: &'static str,
     /// Classes in the (joined) input schema.
     pub n_classes: usize,
@@ -811,6 +813,129 @@ impl Suite {
         );
     }
 
+    /// The federation workload: `registries` member registries, each
+    /// publishing one member over a shared organizational core, composed
+    /// by a [`Supergraph`]; one registry publishes a changed member per
+    /// iteration, then the supergraph recomposes. The `full` baseline
+    /// attaches the same member registries to a *cold* supergraph and
+    /// composes from scratch (each registry's own cached join is reused,
+    /// but the cross-registry composition re-runs in full — what a
+    /// federation without the registry-set join cache would do per
+    /// publish); the `incremental` variant is [`Supergraph::compose`] on
+    /// a warm supergraph, which completes the changed registry's join
+    /// onto the cached join of the other N−1. Both sides pop the same
+    /// variant sequence, so every iteration pairs identical publish and
+    /// delta content and only the recompose engine path differs.
+    fn supergraph_recompose(&mut self, registries: usize, classes: usize) {
+        let core_params = SchemaParams {
+            vocabulary: classes,
+            classes,
+            labels: classes * 8,
+            arrows: classes,
+            specializations: (classes / 32).max(2),
+            seed: 0x50B0 + registries as u64,
+        };
+        let core = schema_merge_workload::schema_family(&core_params, 1).remove(0);
+        let delta_params = SchemaParams {
+            classes: (classes / 6).max(4),
+            arrows: (classes / 6).max(4),
+            specializations: 0,
+            seed: 0xFED0 + registries as u64,
+            ..core_params
+        };
+        let deltas = schema_merge_workload::schema_family(&delta_params, registries);
+        let members: Vec<WeakSchema> = deltas
+            .iter()
+            .map(|delta| facade_join([&core, delta]))
+            .collect();
+        let joined = facade_join(members.iter());
+        // Distinct publishes for registry zero's member, one per call on
+        // each side (warmup + phase capture + timed iterations, plus the
+        // incremental side's cache warm-up), drawn from a disjoint seed
+        // stream.
+        let variants: Vec<WeakSchema> = schema_merge_workload::schema_family(
+            &SchemaParams {
+                seed: 0xFEE5 + registries as u64,
+                ..delta_params
+            },
+            2 * (self.iters + 4),
+        )
+        .iter()
+        .map(|delta| facade_join([&core, delta]))
+        .collect();
+
+        let build_fleet = |threads: usize| -> (Supergraph, Vec<std::sync::Arc<Registry>>) {
+            let supergraph = Supergraph::with_threads(threads);
+            let fleet: Vec<_> = members
+                .iter()
+                .enumerate()
+                .map(|(i, member)| {
+                    let registry = supergraph
+                        .attach_new(format!("r{i}"))
+                        .expect("fresh names attach");
+                    registry
+                        .put("member", member.clone())
+                        .expect("family publishes");
+                    registry
+                })
+                .collect();
+            (supergraph, fleet)
+        };
+
+        // Incremental side: warm the supergraph past the first
+        // single-registry recompose (which is a full compose that seeds
+        // the rest-join of the stable N−1 registries), then verify the
+        // steady state really is incremental so the bench cannot
+        // silently measure the full path twice.
+        let (inc_supergraph, inc_fleet) = build_fleet(self.threads);
+        let mut inc_pool = variants.clone();
+        inc_supergraph.compose().expect("initial compose");
+        for _ in 0..2 {
+            inc_fleet[0]
+                .put("member", inc_pool.pop().expect("enough variants"))
+                .expect("publishes");
+            inc_supergraph.compose().expect("warm compose");
+        }
+        inc_fleet[0]
+            .put("member", inc_pool.pop().expect("enough variants"))
+            .expect("publishes");
+        let probe = inc_supergraph.compose().expect("probe compose");
+        assert_eq!(
+            probe.strategy,
+            MergeStrategy::Incremental,
+            "steady-state supergraph recompose must be incremental"
+        );
+
+        let (_, full_fleet) = build_fleet(self.threads);
+        let mut full_pool = variants.clone();
+        let threads = self.threads;
+        self.measure_pair(
+            "supergraph",
+            "recompose",
+            &joined,
+            VARIANT_FULL,
+            || {
+                full_fleet[0]
+                    .put("member", full_pool.pop().expect("enough variants"))
+                    .expect("publishes");
+                let supergraph = Supergraph::with_threads(threads);
+                for (i, registry) in full_fleet.iter().enumerate() {
+                    supergraph
+                        .attach(format!("r{i}"), std::sync::Arc::clone(registry))
+                        .expect("fresh names attach");
+                }
+                black_box(supergraph.compose().expect("composes"));
+            },
+            VARIANT_INCREMENTAL,
+            || {
+                inc_fleet[0]
+                    .put("member", inc_pool.pop().expect("enough variants"))
+                    .expect("publishes");
+                black_box(inc_supergraph.compose().expect("composes"));
+            },
+        );
+    }
+
     /// The durability tax: the same warm incremental publish against an
     /// in-memory registry and against one whose commits are framed,
     /// WAL-appended and fsync'd to a local data dir before they are
@@ -894,8 +1019,9 @@ impl Suite {
 /// Runs the suite. `quick` is the CI profile: fewer iterations and only
 /// the sizes the acceptance trajectory tracks (including the 200-class
 /// random workload, the 64-member wide workload, the 32-member registry
-/// workload and the 6000-class taxonomy). `threads` is the parallel
-/// variants' worker budget.
+/// workload, the 8- and 32-registry supergraph recompose and the
+/// 6000-class taxonomy). `threads` is the parallel variants' worker
+/// budget.
 pub fn run_suite(quick: bool, threads: usize) -> BenchReport {
     let mut suite = Suite {
         iters: if quick { 7 } else { 15 },
@@ -915,6 +1041,8 @@ pub fn run_suite(quick: bool, threads: usize) -> BenchReport {
     suite.wide(64);
     suite.registry_publish(32, 200);
     suite.registry_durability(8, 64);
+    suite.supergraph_recompose(8, 200);
+    suite.supergraph_recompose(32, 200);
     suite.taxonomy_merges(6_000, 6);
     if !quick {
         suite.registry_publish(16, 200);

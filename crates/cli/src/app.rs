@@ -174,6 +174,13 @@ commands:
   query <schema-file> <instance-file> <path>
                        evaluate a path query (Start.label[Class].label)
                        against an instance of the merged schema
+  compose <file>... [--format text|json] [--threads N]
+                       federate: each file becomes one member registry
+                       (named by its file stem, each document a member)
+                       and the supergraph composes them all; prints the
+                       composed schema with per-registry contributions,
+                       cross-registry `registry/member@vN` origins and
+                       H-COMPOSE-* hints (json: the full composed view)
   serve [--port P] [--threads N] [--merge-threads M]
         [--data-dir DIR] [--snapshot-every K] [--trace-log FILE] [file...]
                        run the registry daemon: members publish schema
@@ -191,8 +198,11 @@ commands:
   client <addr> <cmd> [args]
                        drive a running daemon: put <name> <file>,
                        get <name>, delete <name>, merged, stats,
-                       metrics, list, query <path>, snapshot, ping,
-                       shutdown
+                       metrics, list, query <path>, attach <registry>,
+                       detach <registry>, compose, supergraph,
+                       snapshot, ping, shutdown (member names may be
+                       namespaced `registry/member` to route to an
+                       attached registry)
   help                 this message";
 
 /// Entry point shared by `main` and the tests.
@@ -216,6 +226,7 @@ pub fn run(args: &[String], out: &mut dyn Write) -> Result<(), CliError> {
         "ddl" => ddl_command(&rest, out),
         "conform" => conform_command(&rest, out),
         "query" => query_command(&rest, out),
+        "compose" => compose_command(&rest, out),
         "serve" => crate::serve::serve_command(&rest, out),
         "client" => crate::client::client_command(&rest, out),
         "help" | "--help" | "-h" => {
@@ -242,6 +253,95 @@ fn load_documents(paths: &[&String]) -> Result<Vec<NamedSchema>, CliError> {
         return Err(CliError::Data("no schemas found in the input files".into()));
     }
     Ok(docs)
+}
+
+/// Wraps a supergraph failure, embedding its stable `E-SG-…` code.
+fn supergraph_error(context: &str, err: &schema_merge_supergraph::SupergraphError) -> CliError {
+    CliError::Data(format!("{context} [{}]: {err}", err.code()))
+}
+
+/// `smerge compose` — offline federation: each file becomes one member
+/// registry (named by its file stem), each document in it a member, and
+/// the supergraph composes them all. The same engine the daemon serves
+/// behind `ATTACH`/`COMPOSE`, without a socket.
+fn compose_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (format, rest) = split_format(args)?;
+    let (threads, rest) = split_threads(&rest)?;
+    if rest.is_empty() {
+        return Err(CliError::Usage(
+            "expected at least one schema file (one member registry per file)".into(),
+        ));
+    }
+    let supergraph = match threads {
+        Some(threads) => schema_merge_supergraph::Supergraph::with_threads(threads),
+        None => schema_merge_supergraph::Supergraph::new(),
+    };
+    for path in &rest {
+        let name = std::path::Path::new(path.as_str())
+            .file_stem()
+            .and_then(|stem| stem.to_str())
+            .unwrap_or(path.as_str())
+            .to_string();
+        let registry = supergraph
+            .attach_new(&name)
+            .map_err(|err| supergraph_error(path, &err))?;
+        let source = std::fs::read_to_string(path.as_str())
+            .map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+        let docs =
+            parse_document(&source).map_err(|err| CliError::Data(format!("{path}: {err}")))?;
+        if docs.is_empty() {
+            return Err(CliError::Data(format!("{path}: contains no schemas")));
+        }
+        for doc in docs {
+            registry
+                .put(doc.name.clone(), doc.schema.schema().clone())
+                .map_err(|err| {
+                    CliError::Data(format!("{path}: publishing `{}`: {err}", doc.name))
+                })?;
+        }
+    }
+    let outcome = supergraph
+        .compose()
+        .map_err(|err| supergraph_error("compose", &err))?;
+    let view = outcome.view;
+
+    if format == Format::Json {
+        writeln!(out, "{}", json::compose(&view))?;
+        return Ok(());
+    }
+
+    let weak = view.proper().as_weak();
+    writeln!(
+        out,
+        "generation={} strategy={} registries={} classes={} arrows={} hints={}",
+        view.generation,
+        outcome.strategy.as_str(),
+        view.members.len(),
+        weak.num_classes(),
+        weak.num_arrows(),
+        view.hints().count()
+    )?;
+    for member in &view.members {
+        writeln!(
+            out,
+            "registry {} generation={} members={}",
+            member.registry, member.generation, member.members
+        )?;
+    }
+    for hint in view.hints() {
+        writeln!(out, "hint[{}] {}", hint.code, hint.message)?;
+    }
+    let doc = NamedSchema {
+        name: "supergraph".into(),
+        schema: schema_merge_core::AnnotatedSchema::all_required(weak.clone()),
+        keys: KeyAssignment::new(),
+    };
+    write!(out, "{}", print_schema(&doc))?;
+    writeln!(out, "// origins:")?;
+    for (class, labels) in &view.origins().classes {
+        writeln!(out, "//   {class}: {}", labels.join(", "))?;
+    }
+    Ok(())
 }
 
 /// The standard CLI merger: every parsed document is a named annotated
@@ -890,6 +990,56 @@ mod tests {
 
     fn args(items: &[&str]) -> Vec<String> {
         items.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn compose_federates_files_as_registries() {
+        let f1 = write_temp(
+            "compose-inventory.sm",
+            "schema parts { Part --price--> money; }",
+        );
+        let f2 = write_temp(
+            "compose-sales.sm",
+            "schema orders { Order --item--> Part; }",
+        );
+        let text = run_ok(&args(&["compose", &f1, &f2]));
+        assert!(
+            text.contains("strategy=full registries=2 classes=3"),
+            "{text}"
+        );
+        assert!(
+            text.contains("registry compose-inventory generation=1 members=1"),
+            "{text}"
+        );
+        assert!(text.contains("schema supergraph {"), "{text}");
+        assert!(
+            text.contains("//   Part: compose-inventory/parts@v1, compose-sales/orders@v1"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn compose_json_carries_origins_and_hints() {
+        let f1 = write_temp("compose-a.sm", "schema shared { Dog --age--> int; }");
+        let f2 = write_temp("compose-b.sm", "schema shared { Dog --name--> str; }");
+        let text = run_ok(&args(&["compose", &f1, &f2, "--format", "json"]));
+        assert!(text.contains("\"command\": \"compose\""), "{text}");
+        assert!(text.contains("\"strategy\": \"full\""), "{text}");
+        assert!(
+            text.contains("\"origins\": [\"compose-a/shared@v1\", \"compose-b/shared@v1\"]"),
+            "{text}"
+        );
+        // Both registries publish a member named `shared` — the
+        // collision hint fires and rides in the diagnostics array.
+        assert!(text.contains("\"code\": \"H-COMPOSE-COLLISION\""), "{text}");
+        assert!(text.contains("\"severity\": \"hint\""), "{text}");
+    }
+
+    #[test]
+    fn compose_requires_input_files() {
+        let mut out = Vec::new();
+        let err = run(&args(&["compose"]), &mut out).unwrap_err();
+        assert_eq!(err.code(), "E-CLI-USAGE");
     }
 
     #[test]

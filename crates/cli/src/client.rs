@@ -4,15 +4,18 @@
 //! ```text
 //! smerge client 127.0.0.1:7411 put inventory schemas/inventory.sm
 //! smerge client 127.0.0.1:7411 merged
-//! smerge client 127.0.0.1:7411 query Dog.owner
+//! smerge client 127.0.0.1:7411 attach billing
+//! smerge client 127.0.0.1:7411 compose
 //! smerge client 127.0.0.1:7411 shutdown
 //! ```
 //!
 //! Prints the server's status detail (and block payload, if any) to
 //! stdout. An `ERR` response becomes a nonzero exit code, so scripts
-//! and CI can gate on it.
+//! and CI can gate on it. A daemon that drops the connection mid-frame
+//! (before the status line, or inside a dot-framed block) is reported
+//! as a diagnosable `error[E-CLI-DATA]` — never a raw I/O failure.
 
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
 use std::time::Duration;
 
@@ -28,7 +31,8 @@ fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliErro
     let usage = || {
         CliError::Usage(
             "expected `client <addr> <put <name> <file> | get <name> | delete <name> | \
-             merged | stats | metrics | list | query <path> | snapshot | ping | shutdown>`"
+             merged | stats | metrics | list | query <path> | attach <registry> | \
+             detach <registry> | compose | supergraph | snapshot | ping | shutdown>`"
                 .into(),
         )
     };
@@ -46,10 +50,81 @@ fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliErro
         ("metrics", []) => Ok((Command::Metrics, None)),
         ("list", []) => Ok((Command::List, None)),
         ("query", [path]) => Ok((Command::Query((*path).clone()), None)),
+        ("attach", [name]) => Ok((Command::Attach((*name).clone()), None)),
+        ("detach", [name]) => Ok((Command::Detach((*name).clone()), None)),
+        ("compose", []) => Ok((Command::Compose, None)),
+        ("supergraph", []) => Ok((Command::Supergraph, None)),
         ("snapshot", []) => Ok((Command::Snapshot, None)),
         ("ping", []) => Ok((Command::Ping, None)),
         ("shutdown", []) => Ok((Command::Shutdown, None)),
         _ => Err(usage()),
+    }
+}
+
+/// The error reported when the daemon drops the connection partway
+/// through a response frame.
+fn closed(context: &str) -> CliError {
+    CliError::Data(format!("connection closed {context}"))
+}
+
+/// Reads one line, translating both clean EOF (`Ok(0)`) and the
+/// connection-teardown error kinds into the mid-frame error — a daemon
+/// crash surfaces the same way regardless of how the socket died.
+fn read_response_line(
+    reader: &mut impl BufRead,
+    buf: &mut String,
+    context: &str,
+) -> Result<(), CliError> {
+    match reader.read_line(buf) {
+        Ok(0) => Err(closed(context)),
+        Ok(_) => Ok(()),
+        Err(err)
+            if matches!(
+                err.kind(),
+                ErrorKind::UnexpectedEof
+                    | ErrorKind::ConnectionReset
+                    | ErrorKind::ConnectionAborted
+                    | ErrorKind::BrokenPipe
+            ) =>
+        {
+            Err(closed(context))
+        }
+        Err(err) => Err(err.into()),
+    }
+}
+
+/// Reads and prints one response (status line plus optional dot-framed
+/// block). Generic over the reader so the mid-frame disconnect paths are
+/// unit-testable without a socket.
+fn read_response(reader: &mut impl BufRead, out: &mut dyn Write) -> Result<(), CliError> {
+    let mut status = String::new();
+    read_response_line(reader, &mut status, "before a response arrived")?;
+    let (status, detail) = parse_status_line(&status)
+        .map_err(|err| CliError::Data(format!("malformed response: {err}")))?;
+    match status {
+        Status::Ok => {
+            writeln!(out, "{detail}")?;
+            Ok(())
+        }
+        Status::Data => {
+            if !detail.is_empty() {
+                writeln!(out, "// {detail}")?;
+            }
+            let mut collector = BlockCollector::new();
+            loop {
+                let mut line = String::new();
+                read_response_line(reader, &mut line, "mid-block")?;
+                while line.ends_with('\n') || line.ends_with('\r') {
+                    line.pop();
+                }
+                if collector.push(&line) {
+                    break;
+                }
+            }
+            write!(out, "{}", collector.finish())?;
+            Ok(())
+        }
+        Status::Err => Err(CliError::Data(detail.to_string())),
     }
 }
 
@@ -72,37 +147,114 @@ pub fn client_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliEr
     }
     writer.flush()?;
 
-    let mut status = String::new();
-    if reader.read_line(&mut status)? == 0 {
-        return Err(CliError::Data("server closed the connection".into()));
+    read_response(&mut reader, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn respond(wire: &str) -> Result<String, CliError> {
+        let mut reader = Cursor::new(wire.as_bytes().to_vec());
+        let mut out = Vec::new();
+        read_response(&mut reader, &mut out).map(|()| String::from_utf8(out).unwrap())
     }
-    let (status, detail) = parse_status_line(&status)
-        .map_err(|err| CliError::Data(format!("malformed response: {err}")))?;
-    match status {
-        Status::Ok => {
-            writeln!(out, "{detail}")?;
-            Ok(())
-        }
-        Status::Data => {
-            if !detail.is_empty() {
-                writeln!(out, "// {detail}")?;
+
+    #[test]
+    fn ok_and_data_responses_print() {
+        assert_eq!(respond("OK pong\n").unwrap(), "pong\n");
+        assert_eq!(
+            respond("DATA members=1\nshelf hash=1 v1\n.\n").unwrap(),
+            "// members=1\nshelf hash=1 v1\n"
+        );
+    }
+
+    #[test]
+    fn err_response_is_a_data_error() {
+        let err = respond("ERR no member named `x`\n").unwrap_err();
+        assert_eq!(err.code(), "E-CLI-DATA");
+        assert!(err.to_string().contains("no member named"), "{err}");
+    }
+
+    #[test]
+    fn connection_dropped_before_any_response() {
+        let err = respond("").unwrap_err();
+        assert_eq!(err.code(), "E-CLI-DATA");
+        assert!(
+            err.to_string()
+                .contains("connection closed before a response arrived"),
+            "{err}"
+        );
+    }
+
+    /// The daemon died after the `DATA` status line, half-way through the
+    /// dot-framed block: the client must exit with a diagnosable
+    /// `E-CLI-DATA` error, not a raw I/O failure or an endless wait.
+    #[test]
+    fn connection_dropped_mid_block_is_diagnosed() {
+        let err =
+            respond("DATA generation=3\nschema merged {\n    Dog --age--> int;\n").unwrap_err();
+        assert_eq!(err.code(), "E-CLI-DATA");
+        assert!(
+            err.to_string().contains("connection closed mid-block"),
+            "{err}"
+        );
+    }
+
+    /// Teardown surfacing as an error (reset) diagnoses identically to a
+    /// clean EOF.
+    #[test]
+    fn connection_reset_mid_block_is_diagnosed() {
+        struct Reset<'a>(Cursor<&'a [u8]>);
+        impl std::io::Read for Reset<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                match self.0.read(buf) {
+                    Ok(0) => Err(std::io::Error::from(ErrorKind::ConnectionReset)),
+                    other => other,
+                }
             }
-            let mut collector = BlockCollector::new();
-            loop {
-                let mut line = String::new();
-                if reader.read_line(&mut line)? == 0 {
-                    return Err(CliError::Data("connection closed mid-block".into()));
-                }
-                while line.ends_with('\n') || line.ends_with('\r') {
-                    line.pop();
-                }
-                if collector.push(&line) {
-                    break;
-                }
-            }
-            write!(out, "{}", collector.finish())?;
-            Ok(())
         }
-        Status::Err => Err(CliError::Data(detail.to_string())),
+        impl BufRead for Reset<'_> {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                if self.0.position() >= self.0.get_ref().len() as u64 {
+                    return Err(std::io::Error::from(ErrorKind::ConnectionReset));
+                }
+                self.0.fill_buf()
+            }
+            fn consume(&mut self, amt: usize) {
+                self.0.consume(amt)
+            }
+        }
+        let mut reader = Reset(Cursor::new(b"DATA bytes=512\npartial payload\n"));
+        let mut out = Vec::new();
+        let err = read_response(&mut reader, &mut out).unwrap_err();
+        assert_eq!(err.code(), "E-CLI-DATA");
+        assert!(
+            err.to_string().contains("connection closed mid-block"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn new_verbs_build_requests() {
+        let attach = "attach".to_string();
+        let billing = "billing".to_string();
+        let words = [&attach, &billing];
+        let (command, payload) = build_request(&words).unwrap();
+        assert_eq!(command, Command::Attach("billing".into()));
+        assert!(payload.is_none());
+
+        let compose = "compose".to_string();
+        let (command, _) = build_request(&[&compose]).unwrap();
+        assert_eq!(command, Command::Compose);
+
+        let supergraph = "supergraph".to_string();
+        let (command, _) = build_request(&[&supergraph]).unwrap();
+        assert_eq!(command, Command::Supergraph);
+
+        // Trailing junk on a bare verb is a usage error.
+        let err = build_request(&[&compose, &billing]).unwrap_err();
+        assert_eq!(err.code(), "E-CLI-USAGE");
     }
 }

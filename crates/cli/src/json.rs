@@ -13,6 +13,7 @@
 use schema_merge_core::{
     AnnotatedSchema, Diagnostic, KeyAssignment, MergeReport, Participation, WeakSchema,
 };
+use schema_merge_supergraph::ComposedView;
 use schema_merge_text::NamedSchema;
 
 /// Escapes a string for a JSON string literal (without the quotes).
@@ -271,6 +272,87 @@ pub(crate) fn merge_report(report: &MergeReport) -> String {
 }
 
 /// The `smerge stats --format json` document.
+/// The `smerge compose --format json` document: the composed supergraph
+/// view with per-registry contributions, cross-registry provenance and
+/// the full diagnostics list (merger diagnostics plus `H-COMPOSE-*`
+/// hints).
+pub(crate) fn compose(view: &ComposedView) -> String {
+    let report = &view.report;
+    let weak = report.proper.as_weak();
+    let mut out = String::from("{\n  \"command\": \"compose\",\n");
+    out.push_str(&format!("  \"generation\": {},\n", view.generation));
+    out.push_str(&format!(
+        "  \"strategy\": {},\n",
+        quoted(view.strategy.as_str())
+    ));
+    let registries: Vec<String> = view
+        .members
+        .iter()
+        .map(|m| {
+            format!(
+                "{{\"registry\": {}, \"generation\": {}, \"members\": {}}}",
+                quoted(&m.registry),
+                m.generation,
+                m.members
+            )
+        })
+        .collect();
+    out.push_str(&format!("  \"registries\": [{}],\n", registries.join(", ")));
+    out.push_str(&format!(
+        "  \"schema\": {},\n",
+        schema_object(weak, &report.keys, None)
+    ));
+
+    let origins = view.origins();
+    let classes: Vec<String> = origins
+        .classes
+        .iter()
+        .map(|(class, labels)| {
+            format!(
+                "{{\"class\": {}, \"origins\": {}}}",
+                quoted(&class.to_string()),
+                string_array(labels.iter().cloned())
+            )
+        })
+        .collect();
+    let arrows: Vec<String> = origins
+        .arrows
+        .iter()
+        .map(|((src, label, tgt), labels)| {
+            format!(
+                "{{\"arrow\": [{}, {}, {}], \"origins\": {}}}",
+                quoted(&src.to_string()),
+                quoted(label.as_ref()),
+                quoted(&tgt.to_string()),
+                string_array(labels.iter().cloned())
+            )
+        })
+        .collect();
+    let implicit: Vec<String> = origins
+        .implicit
+        .iter()
+        .map(|(class, labels)| {
+            format!(
+                "{{\"class\": {}, \"origins\": {}}}",
+                quoted(&class.to_string()),
+                string_array(labels.iter().cloned())
+            )
+        })
+        .collect();
+    out.push_str(&format!(
+        "  \"origins\": {{\n    \"classes\": [{}],\n    \"arrows\": [{}],\n    \
+         \"implicit\": [{}]\n  }},\n",
+        classes.join(", "),
+        arrows.join(", "),
+        implicit.join(", ")
+    ));
+    out.push_str(&format!(
+        "  \"diagnostics\": {}\n}}",
+        diagnostics_array(&report.diagnostics)
+    ));
+    out
+}
+
 pub(crate) fn stats(docs: &[NamedSchema]) -> String {
     let rows: Vec<String> = docs
         .iter()

@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 
 use schema_merge_core::Merger;
 use schema_merge_registry::{MergedView, Registry};
+use schema_merge_supergraph::{Supergraph, SupergraphError};
 use schema_merge_telemetry::{self as telemetry, render_counter, render_gauge, Histogram};
 use schema_merge_text::protocol::{status_line, BlockCollector, Command, Status};
 use schema_merge_text::{encode_block, parse_document, print_schema, NamedSchema};
@@ -31,6 +32,10 @@ use crate::app::{parse_path_query, CliError};
 /// How long a worker waits on an idle connection before dropping it —
 /// keeps dead clients from pinning workers forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// The namespace the daemon's own registry is attached under. Bare
+/// (slash-free) member names route here.
+const DEFAULT_REGISTRY: &str = "default";
 
 struct Options {
     port: u16,
@@ -110,8 +115,21 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
 /// Verbs the worker loop times individually. Connection-terminating
 /// verbs (`QUIT`, `SHUTDOWN`) are excluded — their latency is the
 /// teardown, not the service.
-const TIMED_VERBS: [&str; 10] = [
-    "put", "get", "delete", "merged", "stats", "metrics", "list", "query", "snapshot", "ping",
+const TIMED_VERBS: [&str; 14] = [
+    "put",
+    "get",
+    "delete",
+    "merged",
+    "stats",
+    "metrics",
+    "list",
+    "query",
+    "snapshot",
+    "ping",
+    "attach",
+    "detach",
+    "compose",
+    "supergraph",
 ];
 
 /// Per-verb request-latency histograms, recorded by the worker loop
@@ -148,6 +166,10 @@ fn verb_label(command: &Command) -> Option<&'static str> {
         Command::Query(_) => "query",
         Command::Snapshot => "snapshot",
         Command::Ping => "ping",
+        Command::Attach(_) => "attach",
+        Command::Detach(_) => "detach",
+        Command::Compose => "compose",
+        Command::Supergraph => "supergraph",
         Command::Quit | Command::Shutdown => return None,
     })
 }
@@ -187,7 +209,11 @@ impl TraceSink {
 
 /// Composes the METRICS exposition text: Prometheus-style counters,
 /// gauges and latency summaries for the registry and the request loop.
-fn render_metrics(registry: &Registry, requests: &RequestMetrics) -> String {
+fn render_metrics(
+    registry: &Registry,
+    supergraph: &Supergraph,
+    requests: &RequestMetrics,
+) -> String {
     let stats = registry.stats();
     let mut out = String::new();
     render_gauge(
@@ -242,6 +268,46 @@ fn render_metrics(registry: &Registry, requests: &RequestMetrics) -> String {
     registry
         .recovery_latency()
         .render_prometheus(&mut out, "smerge_registry_recovery_seconds", "");
+
+    let sg = supergraph.stats();
+    render_counter(
+        &mut out,
+        "smerge_supergraph_generation",
+        "Supergraph generation (attach/detach/compose commits)",
+        sg.generation,
+    );
+    render_gauge(
+        &mut out,
+        "smerge_supergraph_registries",
+        "Member registries attached to the supergraph",
+        i64::try_from(sg.registries).unwrap_or(i64::MAX),
+    );
+    render_counter(
+        &mut out,
+        "smerge_composes_full_total",
+        "Supergraph composes that re-joined every registry",
+        sg.full_composes,
+    );
+    render_counter(
+        &mut out,
+        "smerge_composes_incremental_total",
+        "Supergraph composes that completed onto a cached rest-join",
+        sg.incremental_composes,
+    );
+    render_counter(
+        &mut out,
+        "smerge_composes_noop_total",
+        "Supergraph composes that found nothing changed",
+        sg.noop_composes,
+    );
+    summary(
+        &mut out,
+        "smerge_compose_seconds",
+        "End-to-end supergraph compose latency",
+    );
+    supergraph
+        .compose_latency()
+        .render_prometheus(&mut out, "smerge_compose_seconds", "");
 
     summary(
         &mut out,
@@ -347,6 +413,20 @@ pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliErr
         }
     }
 
+    // The federation layer: the daemon's own registry is attached under
+    // the reserved `default` namespace, and `ATTACH` grows the
+    // supergraph with fresh in-memory member registries at runtime.
+    // Bare member names keep routing to the default registry; namespaced
+    // `registry/member` names route to attached registries.
+    let mut supergraph = Supergraph::new();
+    if let Some(threads) = options.merge_threads {
+        supergraph = Supergraph::with_threads(threads);
+    }
+    let supergraph = Arc::new(supergraph);
+    supergraph
+        .attach(DEFAULT_REGISTRY, Arc::clone(&registry))
+        .expect("fresh supergraph accepts the default registry");
+
     let metrics = Arc::new(RequestMetrics::new());
 
     let listener = TcpListener::bind(("127.0.0.1", options.port))?;
@@ -373,6 +453,7 @@ pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliErr
         .map(|tid| {
             let queue = Arc::clone(&queue);
             let registry = Arc::clone(&registry);
+            let supergraph = Arc::clone(&supergraph);
             let shutdown = Arc::clone(&shutdown);
             let metrics = Arc::clone(&metrics);
             let trace = trace.clone();
@@ -382,6 +463,7 @@ pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliErr
                     let _ = handle_connection(
                         stream,
                         &registry,
+                        &supergraph,
                         &shutdown,
                         addr,
                         &metrics,
@@ -425,9 +507,42 @@ fn read_line(reader: &mut BufReader<TcpStream>) -> std::io::Result<Option<String
     Ok(Some(buf))
 }
 
+/// Resolves a protocol member name to its registry: `registry/member`
+/// routes to an attached supergraph registry, bare names to the daemon's
+/// default registry.
+fn route_member(
+    registry: &Arc<Registry>,
+    supergraph: &Supergraph,
+    name: &str,
+) -> Result<(Arc<Registry>, String), String> {
+    match name.split_once('/') {
+        None => Ok((Arc::clone(registry), name.to_string())),
+        Some((namespace, member)) => {
+            if namespace.is_empty() || member.is_empty() || member.contains('/') {
+                return Err(format!(
+                    "invalid member name `{name}`: expected `member` or `registry/member`"
+                ));
+            }
+            match supergraph.registry(namespace) {
+                Some(routed) => Ok((routed, member.to_string())),
+                None => Err(format!(
+                    "[{}] no registry `{namespace}` is attached",
+                    SupergraphError::UnknownRegistry(namespace.to_string()).code()
+                )),
+            }
+        }
+    }
+}
+
+fn supergraph_err(err: &SupergraphError) -> String {
+    status_line(Status::Err, &format!("[{}] {err}", err.code()))
+}
+
+#[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
-    registry: &Registry,
+    registry: &Arc<Registry>,
+    supergraph: &Supergraph,
     shutdown: &AtomicBool,
     addr: SocketAddr,
     metrics: &RequestMetrics,
@@ -491,42 +606,51 @@ fn handle_connection(
                     // Connection died mid-block; nothing to answer.
                     return Ok(());
                 }
-                let response = put_member(registry, &name, &collector.finish());
+                let response = match route_member(registry, supergraph, &name) {
+                    Ok((routed, member)) => put_member(&routed, &member, &collector.finish()),
+                    Err(detail) => status_line(Status::Err, &detail),
+                };
                 writeln!(writer, "{response}")?;
             }
-            Command::Get(name) => match registry.get(&name) {
-                Some(version) => {
-                    let doc = NamedSchema {
-                        name: name.clone(),
-                        schema: schema_merge_core::AnnotatedSchema::all_required(
-                            version.schema.as_ref().clone(),
-                        ),
-                        keys: schema_merge_core::KeyAssignment::new(),
-                    };
-                    let detail = format!(
-                        "hash={:016x} sequence={} generation={}",
-                        version.hash, version.sequence, version.generation
-                    );
-                    writeln!(writer, "{}", status_line(Status::Data, &detail))?;
-                    write!(writer, "{}", encode_block(&print_schema(&doc)))?;
-                }
-                None => writeln!(
-                    writer,
-                    "{}",
-                    status_line(Status::Err, &format!("no member named `{name}`"))
-                )?,
+            Command::Get(name) => match route_member(registry, supergraph, &name) {
+                Err(detail) => writeln!(writer, "{}", status_line(Status::Err, &detail))?,
+                Ok((routed, member)) => match routed.get(&member) {
+                    Some(version) => {
+                        let doc = NamedSchema {
+                            name: member.clone(),
+                            schema: schema_merge_core::AnnotatedSchema::all_required(
+                                version.schema.as_ref().clone(),
+                            ),
+                            keys: schema_merge_core::KeyAssignment::new(),
+                        };
+                        let detail = format!(
+                            "hash={:016x} sequence={} generation={}",
+                            version.hash, version.sequence, version.generation
+                        );
+                        writeln!(writer, "{}", status_line(Status::Data, &detail))?;
+                        write!(writer, "{}", encode_block(&print_schema(&doc)))?;
+                    }
+                    None => writeln!(
+                        writer,
+                        "{}",
+                        status_line(Status::Err, &format!("no member named `{name}`"))
+                    )?,
+                },
             },
-            Command::Delete(name) => match registry.delete(&name) {
-                Ok(outcome) => {
-                    let detail = format!(
-                        "generation={} remaining={} strategy={}",
-                        outcome.generation,
-                        outcome.remaining,
-                        outcome.strategy.as_str()
-                    );
-                    writeln!(writer, "{}", status_line(Status::Ok, &detail))?;
-                }
-                Err(err) => writeln!(writer, "{}", status_line(Status::Err, &err.to_string()))?,
+            Command::Delete(name) => match route_member(registry, supergraph, &name) {
+                Err(detail) => writeln!(writer, "{}", status_line(Status::Err, &detail))?,
+                Ok((routed, member)) => match routed.delete(&member) {
+                    Ok(outcome) => {
+                        let detail = format!(
+                            "generation={} remaining={} strategy={}",
+                            outcome.generation,
+                            outcome.remaining,
+                            outcome.strategy.as_str()
+                        );
+                        writeln!(writer, "{}", status_line(Status::Ok, &detail))?;
+                    }
+                    Err(err) => writeln!(writer, "{}", status_line(Status::Err, &err.to_string()))?,
+                },
             },
             Command::Merged => {
                 let view = registry.merged();
@@ -556,7 +680,7 @@ fn handle_connection(
                 write!(writer, "{}", encode_block(&format!("{stats}\n")))?;
             }
             Command::Metrics => {
-                let payload = render_metrics(registry, metrics);
+                let payload = render_metrics(registry, supergraph, metrics);
                 writeln!(
                     writer,
                     "{}",
@@ -578,6 +702,71 @@ fn handle_connection(
                     "{}",
                     status_line(Status::Data, &format!("members={}", members.len()))
                 )?;
+                write!(writer, "{}", encode_block(&payload))?;
+            }
+            Command::Attach(name) => match supergraph.attach_new(&name) {
+                Ok(_) => {
+                    let detail = format!("registry={name} registries={}", supergraph.len());
+                    writeln!(writer, "{}", status_line(Status::Ok, &detail))?;
+                }
+                Err(err) => writeln!(writer, "{}", supergraph_err(&err))?,
+            },
+            Command::Detach(name) => match supergraph.detach(&name) {
+                Ok(_) => {
+                    let detail = format!("registry={name} registries={}", supergraph.len());
+                    writeln!(writer, "{}", status_line(Status::Ok, &detail))?;
+                }
+                Err(err) => writeln!(writer, "{}", supergraph_err(&err))?,
+            },
+            Command::Compose => match supergraph.compose() {
+                Ok(outcome) => {
+                    let weak = outcome.view.proper().as_weak();
+                    let detail = format!(
+                        "generation={} strategy={} registries={} classes={} arrows={} hints={}",
+                        outcome.generation,
+                        outcome.strategy.as_str(),
+                        outcome.view.members.len(),
+                        weak.num_classes(),
+                        weak.num_arrows(),
+                        outcome.view.hints().count()
+                    );
+                    writeln!(writer, "{}", status_line(Status::Ok, &detail))?;
+                }
+                Err(err) => writeln!(writer, "{}", supergraph_err(&err))?,
+            },
+            Command::Supergraph => {
+                let view = supergraph.composed();
+                let weak = view.proper().as_weak();
+                let detail = format!(
+                    "generation={} registries={} classes={} arrows={} hints={} hash={:016x}",
+                    view.generation,
+                    view.members.len(),
+                    weak.num_classes(),
+                    weak.num_arrows(),
+                    view.hints().count(),
+                    view.hash()
+                );
+                let mut payload = String::new();
+                for member in &view.members {
+                    payload.push_str(&format!(
+                        "registry {} generation={} members={}\n",
+                        member.registry, member.generation, member.members
+                    ));
+                }
+                for hint in view.hints() {
+                    payload.push_str(&format!("hint[{}] {}\n", hint.code, hint.message));
+                }
+                let doc = NamedSchema {
+                    name: "supergraph".into(),
+                    schema: schema_merge_core::AnnotatedSchema::all_required(weak.clone()),
+                    keys: schema_merge_core::KeyAssignment::new(),
+                };
+                payload.push_str(&print_schema(&doc));
+                payload.push_str(&format!(
+                    "// implicit classes: {}\n",
+                    view.report.implicit.num_implicit()
+                ));
+                writeln!(writer, "{}", status_line(Status::Data, &detail))?;
                 write!(writer, "{}", encode_block(&payload))?;
             }
             Command::Query(path) => match parse_path_query(&path) {

@@ -312,3 +312,95 @@ fn daemon_trace_log_captures_request_and_commit_spans() {
     assert!(log.contains("\"name\":\"execute\""), "{log}");
     assert!(log.contains("\"name\":\"merged\""), "{log}");
 }
+
+#[test]
+fn daemon_federates_attach_compose_supergraph_and_detach() {
+    let inventory = write_temp(
+        "fed-inventory.sm",
+        "schema parts { Part --price--> money; }",
+    );
+    let orders = write_temp("fed-orders.sm", "schema orders { Order --item--> Part; }");
+
+    let mut daemon = spawn_daemon(&[]);
+    let addr = daemon.addr.clone();
+
+    // A bare PUT routes to the daemon's default registry, which is
+    // attached to the supergraph from the start.
+    let (ok, text) = client(&addr, &["put", "parts", &inventory]);
+    assert!(ok, "{text}");
+
+    // ATTACH a second registry and publish into it with namespaced
+    // `registry/member` routing.
+    let (ok, text) = client(&addr, &["attach", "sales"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("registry=sales registries=2"), "{text}");
+    let (ok, text) = client(&addr, &["put", "sales/orders", &orders]);
+    assert!(ok, "{text}");
+    assert!(text.contains("sequence=1"), "{text}");
+
+    // A PUT naming an unattached registry is a protocol error with the
+    // stable supergraph code.
+    let (ok, text) = client(&addr, &["put", "billing/invoices", &orders]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("E-SG-UNKNOWN"), "{text}");
+    assert!(text.contains("no registry `billing`"), "{text}");
+
+    // COMPOSE merges both registries' views.
+    let (ok, text) = client(&addr, &["compose"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("strategy=full"), "{text}");
+    assert!(text.contains("registries=2 classes=3 arrows=2"), "{text}");
+
+    // SUPERGRAPH dumps the composed view: contributions + schema.
+    let (ok, text) = client(&addr, &["supergraph"]);
+    assert!(ok, "{text}");
+    assert!(
+        text.contains("registry default generation=1 members=1"),
+        "{text}"
+    );
+    assert!(
+        text.contains("registry sales generation=1 members=1"),
+        "{text}"
+    );
+    assert!(text.contains("Order --item--> Part;"), "{text}");
+    assert!(text.contains("Part --price--> money;"), "{text}");
+
+    // Composing again with nothing changed is a noop.
+    let (ok, text) = client(&addr, &["compose"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("strategy=noop"), "{text}");
+
+    // ATTACH of a duplicate name is rejected.
+    let (ok, text) = client(&addr, &["attach", "sales"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("E-SG-DUPLICATE"), "{text}");
+
+    // DETACH drops the registry's contribution from the next compose…
+    let (ok, text) = client(&addr, &["detach", "sales"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("registries=1"), "{text}");
+    let (ok, text) = client(&addr, &["compose"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("classes=2 arrows=1"), "{text}");
+
+    // …and a detached namespace no longer routes.
+    let (ok, text) = client(&addr, &["put", "sales/orders", &orders]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("E-SG-UNKNOWN"), "{text}");
+    let (ok, text) = client(&addr, &["detach", "sales"]);
+    assert!(!ok, "{text}");
+    assert!(text.contains("E-SG-UNKNOWN"), "{text}");
+
+    // The compose latency histogram rides in METRICS.
+    let (ok, text) = client(&addr, &["metrics"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("smerge_compose_seconds"), "{text}");
+    assert!(text.contains("smerge_supergraph_registries 1"), "{text}");
+    assert!(text.contains("smerge_composes_noop_total 1"), "{text}");
+
+    let (ok, _) = client(&addr, &["shutdown"]);
+    assert!(ok);
+    let status = wait_for_exit(&mut daemon.child, Duration::from_secs(30))
+        .expect("daemon exits after SHUTDOWN");
+    assert!(status.success());
+}

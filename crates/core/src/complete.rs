@@ -126,10 +126,9 @@ pub fn imp_state_count(compiled: &CompiledSchema, threads: usize) -> usize {
 }
 
 /// [`complete_with_report`] reusing an already-compiled form of `weak` —
-/// the interner-reuse fast path behind [`crate::merge::merge_compiled`],
-/// public so callers holding a partial join from
-/// [`crate::merge::weak_join_all_compiled`] (the registry's incremental
-/// re-merge) can complete it without recompiling.
+/// the interner-reuse fast path, public so callers holding a partial
+/// join (both representations off a compiled-engine
+/// [`crate::Merger::join`]) can complete it without recompiling.
 ///
 /// `compiled` must be the compiled twin of `weak`, as returned alongside
 /// it by the join; passing the compiled form of a *different* schema
@@ -145,31 +144,9 @@ pub fn complete_compiled(
 /// id-space pipeline behind the registry's incremental re-merge: the
 /// symbolic schema is materialized exactly once, for the completed
 /// result, instead of once for the join and again for the completion.
-///
-/// Equivalent to decompiling and calling [`complete_with_report`]. When
-/// the schema carries pre-existing implicit classes (whose origin sets
-/// may need symbolic canonicalization) it does exactly that; for plain
-/// schemas the fixpoint, the naming of implicit classes and the
-/// assembly all run in id space.
-///
-/// # Errors
-///
-/// As for [`complete`].
-#[deprecated(
-    since = "0.1.0",
-    note = "route through `Merger::new().onto_base(..).execute()`; \
-            see `schema_merge_core::merger`"
-)]
-pub fn complete_from_compiled(
-    compiled: &CompiledSchema,
-) -> Result<(ProperSchema, CompletionReport), SchemaError> {
-    complete_from_compiled_impl(compiled, 1)
-}
-
-/// The engine behind [`complete_from_compiled`], the merger's onto-base
-/// completion pass and the parallel engine's completion stage. `threads`
-/// shards the `Imp` fixpoint's frontier (results are identical at every
-/// thread count).
+/// The engine behind the merger's onto-base completion pass and the
+/// parallel engine's completion stage. `threads` shards the `Imp`
+/// fixpoint's frontier (results are identical at every thread count).
 pub(crate) fn complete_from_compiled_impl(
     compiled: &CompiledSchema,
     threads: usize,

@@ -26,6 +26,12 @@ use crate::name::Label;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 #[non_exhaustive]
 pub enum Severity {
+    /// Advisory: a composition observation worth surfacing but below
+    /// informational noise — the rover-style tier the supergraph layer
+    /// uses for its `H-COMPOSE-*` codes (cross-registry specialization
+    /// introduced, implicit class spanning registries, namespace
+    /// collision resolved). Ordered below [`Severity::Info`].
+    Hint,
     /// Informational: something the merge did that callers may want to
     /// surface (implicit classes introduced, a cached base reused).
     Info,
@@ -41,6 +47,7 @@ impl Severity {
     /// The lower-case wire name, stable across releases.
     pub fn as_str(self) -> &'static str {
         match self {
+            Severity::Hint => "hint",
             Severity::Info => "info",
             Severity::Warning => "warning",
             Severity::Error => "error",
@@ -141,6 +148,11 @@ impl Diagnostic {
             message: message.into(),
             origin: DiagnosticOrigin::default(),
         }
+    }
+
+    /// An advisory composition hint (`H-…` codes).
+    pub fn hint(code: &'static str, message: impl Into<String>) -> Self {
+        Diagnostic::new(Severity::Hint, code, message)
     }
 
     /// An informational diagnostic.
@@ -306,8 +318,20 @@ mod tests {
 
     #[test]
     fn severity_ordering_and_names() {
+        assert!(Severity::Hint < Severity::Info);
         assert!(Severity::Info < Severity::Warning);
         assert!(Severity::Warning < Severity::Error);
+        assert_eq!(Severity::Hint.as_str(), "hint");
         assert_eq!(Severity::Warning.as_str(), "warning");
+    }
+
+    #[test]
+    fn hint_constructor_renders_like_the_other_tiers() {
+        let diag = Diagnostic::hint("H-COMPOSE-SPAN", "implicit class spans registries");
+        assert_eq!(diag.severity, Severity::Hint);
+        assert_eq!(
+            diag.to_string(),
+            "hint[H-COMPOSE-SPAN]: implicit class spans registries"
+        );
     }
 }

@@ -10,8 +10,8 @@
 //! independent of the order in which schemas — or user assertions — are
 //! considered. The calculus proceeds in two steps:
 //!
-//! 1. [`merge::weak_join_all`] computes the least upper bound of
-//!    compatible [`WeakSchema`]s (§4.1);
+//! 1. the weak join computes the least upper bound of compatible
+//!    [`WeakSchema`]s (§4.1);
 //! 2. [`complete::complete`] turns the result into a [`ProperSchema`] by
 //!    introducing *implicit classes* below incomparable arrow targets
 //!    (§4.2), named by their origin set (`{C,D}`).
@@ -42,11 +42,7 @@
 //! adjacency. Planning picks the engine — batch compiled, incremental
 //! onto a cached base, or the retained symbolic algorithms of
 //! [`reference`](mod@crate::reference) for differential testing — and
-//! all engines produce equal results. The pre-façade free functions
-//! ([`merge`](fn@crate::merge), [`merge_compiled`], [`merge_consistent`],
-//! [`weak_join_all`], [`weak_join_all_compiled`],
-//! [`weak_join_onto_compiled`], [`complete_from_compiled`]) survive as
-//! deprecated shims over the merger.
+//! all engines produce equal results.
 //!
 //! ## Quick example
 //!
@@ -76,6 +72,7 @@
 pub mod class;
 pub mod compile;
 pub mod complete;
+pub mod compose;
 pub mod consistency;
 pub mod diagnostic;
 pub mod diff;
@@ -101,11 +98,10 @@ pub mod weak;
 
 pub use class::{Class, OriginSet};
 pub use compile::{ClassId, CompiledSchema, LabelId};
-#[allow(deprecated)]
-pub use complete::complete_from_compiled;
 pub use complete::{
     complete, complete_compiled, complete_with_report, CompletionReport, ImplicitClassInfo,
 };
+pub use compose::{registry_of, ComposeProvenance};
 pub use consistency::ConsistencyRelation;
 pub use diagnostic::{Diagnostic, DiagnosticOrigin, Severity};
 pub use diff::{diff, merge_contribution, SchemaDiff};
@@ -116,11 +112,6 @@ pub use lower::{
     annotated_join, lower_complete, lower_merge, AnnotatedSchema, LowerCompletionReport,
 };
 pub use merge::{are_compatible, weak_join, MergeOutcome, MergeSession};
-#[allow(deprecated)]
-pub use merge::{
-    merge, merge_compiled, merge_consistent, weak_join_all, weak_join_all_compiled,
-    weak_join_onto_compiled,
-};
 pub use merger::{
     EnginePreference, InputProvenance, Joined, MergeMode, MergePass, MergePlan, MergeReport,
     MergeTrace, Merger, PlannedEngine, PARALLEL_INPUT_THRESHOLD, PARALLEL_WORK_THRESHOLD,
@@ -149,8 +140,6 @@ pub mod prelude {
     pub use crate::error::{MergeError, SchemaError};
     pub use crate::keys::{KeyAssignment, KeySet, SuperkeyFamily};
     pub use crate::lower::{lower_complete, lower_merge, AnnotatedSchema};
-    #[allow(deprecated)]
-    pub use crate::merge::{merge, merge_compiled, weak_join_all};
     pub use crate::merge::{weak_join, MergeSession};
     pub use crate::merger::{EnginePreference, MergePlan, MergeReport, Merger};
     pub use crate::name::{Label, Name};

@@ -15,12 +15,13 @@
 //!
 //! **The entry point is the [`crate::merger::Merger`] façade** — one
 //! builder over the symbolic, compiled and incremental (onto-base)
-//! engines and every constraint pass. The historical free functions in
-//! this module (`merge`, `merge_compiled`, `merge_consistent`,
+//! engines and every constraint pass. The historical pre-façade free
+//! functions (`merge`, `merge_compiled`, `merge_consistent`,
 //! `weak_join_all`, `weak_join_all_compiled`, `weak_join_onto_compiled`)
-//! are retained as thin deprecated shims over the merger so existing
-//! callers keep compiling, and `CI` builds the non-shim code with
-//! `-D deprecated` to keep new internal callers off them.
+//! lived here as deprecated shims for several releases and have been
+//! removed; only the binary [`weak_join`] convenience and
+//! [`are_compatible`] remain as free functions, both routed through the
+//! merger.
 //!
 //! [`MergeSession`] packages the interactive workflow of §3: user
 //! assertions (`a₁ ⇒ a₂`, shared arrows) are themselves elementary schemas
@@ -54,61 +55,6 @@ pub fn weak_join(left: &WeakSchema, right: &WeakSchema) -> Result<WeakSchema, Me
         .map(Joined::into_weak)
 }
 
-/// The least upper bound of any finite collection of weak schemas.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through `Merger::new().schemas(..).join()`; \
-            see `schema_merge_core::merger`"
-)]
-pub fn weak_join_all<'a>(
-    schemas: impl IntoIterator<Item = &'a WeakSchema>,
-) -> Result<WeakSchema, MergeError> {
-    Merger::new().schemas(schemas).join().map(Joined::into_weak)
-}
-
-/// [`weak_join_all`], additionally returning the compiled form of the
-/// join.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through `Merger::new().schemas(..).join()` and read \
-            both representations off the `Joined`; see `schema_merge_core::merger`"
-)]
-pub fn weak_join_all_compiled<'a>(
-    schemas: impl IntoIterator<Item = &'a WeakSchema>,
-) -> Result<(WeakSchema, CompiledSchema), MergeError> {
-    // Pinned to the batch compiled engine: the shim promises both
-    // representations, which an auto-selected parallel plan (symbolic
-    // join never materialized) would not produce.
-    let (weak, compiled) = Merger::new()
-        .schemas(schemas)
-        .engine(crate::merger::EnginePreference::Compiled)
-        .join()?
-        .into_parts();
-    Ok((
-        weak.expect("the compiled engine materializes the weak join"),
-        compiled.expect("the compiled engine stays compiled"),
-    ))
-}
-
-/// Joins `extras` onto an already-compiled join — the cross-generation
-/// interner-reuse entry point.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through `Merger::new().onto_base(base).schemas(..).join()`; \
-            see `schema_merge_core::merger`"
-)]
-pub fn weak_join_onto_compiled<'a>(
-    base: &'a CompiledSchema,
-    extras: impl IntoIterator<Item = &'a WeakSchema>,
-) -> Result<CompiledSchema, MergeError> {
-    let (_, compiled) = Merger::new()
-        .onto_base(base)
-        .schemas(extras)
-        .join()?
-        .into_parts();
-    Ok(compiled.expect("the onto-base engine stays compiled"))
-}
-
 /// Whether a collection of schemas is compatible (§4.1): the transitive
 /// closure of the union of their specialization relations is antisymmetric.
 pub fn are_compatible<'a>(schemas: impl IntoIterator<Item = &'a WeakSchema>) -> bool {
@@ -124,62 +70,6 @@ pub struct MergeOutcome {
     pub proper: ProperSchema,
     /// Provenance of the implicit classes completion introduced.
     pub report: CompletionReport,
-}
-
-/// The paper's merge of a compatible collection of schemas: the weak least
-/// upper bound, completed into a proper schema (§4.2).
-#[deprecated(
-    since = "0.1.0",
-    note = "route through `Merger::new().schemas(..).execute()`; \
-            see `schema_merge_core::merger`"
-)]
-pub fn merge<'a>(
-    schemas: impl IntoIterator<Item = &'a WeakSchema>,
-) -> Result<MergeOutcome, MergeError> {
-    // Pinned to the batch compiled engine: the historical outcome triple
-    // includes the symbolic weak join, which the parallel engine skips.
-    Merger::new()
-        .schemas(schemas)
-        .engine(crate::merger::EnginePreference::Compiled)
-        .execute()
-        .map(crate::merger::MergeReport::into_outcome)
-}
-
-/// The paper's merge on the compiled fast path. Identical to [`merge`]
-/// since the façade routed both entry points onto the compiled engine.
-#[deprecated(
-    since = "0.1.0",
-    note = "route through `Merger::new().schemas(..).execute()`; \
-            see `schema_merge_core::merger`"
-)]
-pub fn merge_compiled<'a>(
-    schemas: impl IntoIterator<Item = &'a WeakSchema>,
-) -> Result<MergeOutcome, MergeError> {
-    Merger::new()
-        .schemas(schemas)
-        .engine(crate::merger::EnginePreference::Compiled)
-        .execute()
-        .map(crate::merger::MergeReport::into_outcome)
-}
-
-/// [`merge`] under a consistency relationship: fails with
-/// [`MergeError::Inconsistent`] if an implicit class would identify classes
-/// declared inconsistent (§4.2).
-#[deprecated(
-    since = "0.1.0",
-    note = "route through `Merger::new().schemas(..).with_consistency(..).execute()`; \
-            see `schema_merge_core::merger`"
-)]
-pub fn merge_consistent<'a>(
-    schemas: impl IntoIterator<Item = &'a WeakSchema>,
-    consistency: &ConsistencyRelation,
-) -> Result<MergeOutcome, MergeError> {
-    Merger::new()
-        .schemas(schemas)
-        .engine(crate::merger::EnginePreference::Compiled)
-        .with_consistency(consistency)
-        .execute()
-        .map(crate::merger::MergeReport::into_outcome)
 }
 
 /// An interactive merging session (§3).
@@ -306,10 +196,10 @@ impl MergeSession {
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the shims themselves are under test here
 mod tests {
     use super::*;
     use crate::complete::complete_compiled;
+    use crate::merger::EnginePreference;
     use crate::name::Label;
 
     fn c(s: &str) -> Class {
@@ -318,6 +208,37 @@ mod tests {
 
     fn l(s: &str) -> Label {
         Label::new(s)
+    }
+
+    /// The n-ary weak join through the façade.
+    fn join_all<'a>(
+        schemas: impl IntoIterator<Item = &'a WeakSchema>,
+    ) -> Result<WeakSchema, MergeError> {
+        Merger::new().schemas(schemas).join().map(Joined::into_weak)
+    }
+
+    /// The n-ary join on the batch compiled engine, both representations.
+    fn join_all_compiled<'a>(
+        schemas: impl IntoIterator<Item = &'a WeakSchema>,
+    ) -> Result<(WeakSchema, CompiledSchema), MergeError> {
+        let (weak, compiled) = Merger::new()
+            .schemas(schemas)
+            .engine(EnginePreference::Compiled)
+            .join()?
+            .into_parts();
+        Ok((weak.unwrap(), compiled.unwrap()))
+    }
+
+    /// The paper's full merge through the façade (compiled engine, so
+    /// the outcome triple carries the symbolic weak join).
+    fn merge_all<'a>(
+        schemas: impl IntoIterator<Item = &'a WeakSchema>,
+    ) -> Result<MergeOutcome, MergeError> {
+        Merger::new()
+            .schemas(schemas)
+            .engine(EnginePreference::Compiled)
+            .execute()
+            .map(crate::merger::MergeReport::into_outcome)
     }
 
     fn dog_schema_one() -> WeakSchema {
@@ -394,7 +315,7 @@ mod tests {
         let right = weak_join(&g1, &weak_join(&g2, &g3).unwrap()).unwrap();
         assert_eq!(left, right);
         // n-ary agrees with folds.
-        assert_eq!(weak_join_all([&g1, &g2, &g3]).unwrap(), left);
+        assert_eq!(join_all([&g1, &g2, &g3]).unwrap(), left);
         // Idempotence and unit.
         assert_eq!(weak_join(&g1, &g1).unwrap(), g1);
         assert_eq!(weak_join(&g1, &WeakSchema::empty()).unwrap(), g1);
@@ -441,7 +362,7 @@ mod tests {
             .arrow("A2", "a", "B2")
             .build()
             .unwrap();
-        let outcome = merge([&g1, &g2]).unwrap();
+        let outcome = merge_all([&g1, &g2]).unwrap();
         assert!(outcome.proper.check_d1());
         assert!(outcome.proper.check_d2());
         assert_eq!(outcome.report.num_implicit(), 1);
@@ -472,7 +393,7 @@ mod tests {
         ];
         let results: Vec<ProperSchema> = orders
             .into_iter()
-            .map(|order| merge(order).unwrap().proper)
+            .map(|order| merge_all(order).unwrap().proper)
             .collect();
         for pair in results.windows(2) {
             assert_eq!(pair[0], pair[1]);
@@ -543,7 +464,7 @@ mod tests {
             .arrow("C", "a", "B2")
             .build()
             .unwrap();
-        let first = merge([&g1]).unwrap();
+        let first = merge_all([&g1]).unwrap();
 
         let g2 = WeakSchema::builder().arrow("C", "a", "B3").build().unwrap();
 
@@ -552,7 +473,7 @@ mod tests {
         stepwise.add_schema(&g2).unwrap();
         let stepwise_result = stepwise.merged().unwrap().proper;
 
-        let batch = merge([&g1, &g2]).unwrap().proper;
+        let batch = merge_all([&g1, &g2]).unwrap().proper;
         assert_eq!(stepwise_result, batch);
         let b123 = Class::implicit([c("B1"), c("B2"), c("B3")]);
         assert!(batch.contains_class(&b123));
@@ -571,30 +492,34 @@ mod tests {
     }
 
     #[test]
-    fn merge_consistent_convenience() {
+    fn consistency_veto_through_the_facade() {
         let g = WeakSchema::builder()
             .arrow("C", "a", "B1")
             .arrow("C", "a", "B2")
             .build()
             .unwrap();
-        let ok = merge_consistent([&g], &ConsistencyRelation::assume_consistent());
+        let ok = Merger::new()
+            .schema(&g)
+            .with_consistency(&ConsistencyRelation::assume_consistent())
+            .execute();
         assert!(ok.is_ok());
         let mut rel = ConsistencyRelation::assume_consistent();
         rel.declare_inconsistent(c("B1"), c("B2"));
         assert!(matches!(
-            merge_consistent([&g], &rel),
+            Merger::new().schema(&g).with_consistency(&rel).execute(),
             Err(MergeError::Inconsistent { .. })
         ));
     }
 
     #[test]
     fn merge_of_nothing_is_empty() {
-        let outcome = merge(std::iter::empty::<&WeakSchema>()).unwrap();
+        let outcome = merge_all(std::iter::empty::<&WeakSchema>()).unwrap();
         assert_eq!(outcome.proper.num_classes(), 0);
+        assert_eq!(outcome.weak, WeakSchema::empty());
     }
 
     #[test]
-    fn merge_compiled_agrees_with_merge() {
+    fn compiled_engine_agrees_with_symbolic() {
         let g1 = dog_schema_one();
         let g2 = dog_schema_two();
         let g3 = WeakSchema::builder()
@@ -603,23 +528,21 @@ mod tests {
             .arrow("Dog", "Owner", "Company")
             .build()
             .unwrap();
-        let batch = merge_compiled([&g1, &g2, &g3]).unwrap();
-        let symbolic = merge([&g1, &g2, &g3]).unwrap();
+        let batch = merge_all([&g1, &g2, &g3]).unwrap();
+        let symbolic = Merger::new()
+            .schemas([&g1, &g2, &g3])
+            .engine(EnginePreference::Symbolic)
+            .execute()
+            .map(crate::merger::MergeReport::into_outcome)
+            .unwrap();
         assert_eq!(batch, symbolic);
     }
 
     #[test]
-    fn merge_compiled_of_nothing_is_empty() {
-        let outcome = merge_compiled(std::iter::empty::<&WeakSchema>()).unwrap();
-        assert_eq!(outcome.proper.num_classes(), 0);
-        assert_eq!(outcome.weak, WeakSchema::empty());
-    }
-
-    #[test]
-    fn merge_compiled_reports_incompatibility() {
+    fn compiled_engine_reports_incompatibility() {
         let g1 = WeakSchema::builder().specialize("A", "B").build().unwrap();
         let g2 = WeakSchema::builder().specialize("B", "A").build().unwrap();
-        match merge_compiled([&g1, &g2]).unwrap_err() {
+        match merge_all([&g1, &g2]).unwrap_err() {
             MergeError::Incompatible(witness) => {
                 assert_eq!(witness.path.first(), witness.path.last());
                 assert!(witness.path.contains(&c("A")));
@@ -640,10 +563,10 @@ mod tests {
             .arrow("Dog", "Owner", "Company")
             .build()
             .unwrap();
-        let (rest, _) = weak_join_all_compiled([&g1, &g2]).unwrap();
-        let (weak, compiled) = weak_join_all_compiled([&rest, &g3]).unwrap();
+        let (rest, _) = join_all_compiled([&g1, &g2]).unwrap();
+        let (weak, compiled) = join_all_compiled([&rest, &g3]).unwrap();
         let (proper, report) = complete_compiled(&weak, &compiled).unwrap();
-        let batch = merge_compiled([&g1, &g2, &g3]).unwrap();
+        let batch = merge_all([&g1, &g2, &g3]).unwrap();
         assert_eq!(weak, batch.weak);
         assert_eq!(proper, batch.proper);
         assert_eq!(report, batch.report);
@@ -663,25 +586,32 @@ mod tests {
                 .build(),
         ] {
             let extra = extra.unwrap();
-            let (_, base) = weak_join_all_compiled([&g1, &g2]).unwrap();
-            let compiled = weak_join_onto_compiled(&base, [&extra]).unwrap();
-            let direct = weak_join_all([&g1, &g2, &extra]).unwrap();
+            let (_, base) = join_all_compiled([&g1, &g2]).unwrap();
+            let (_, compiled) = Merger::new()
+                .onto_base(&base)
+                .schema(&extra)
+                .join()
+                .unwrap()
+                .into_parts();
+            let compiled = compiled.unwrap();
+            let direct = join_all([&g1, &g2, &extra]).unwrap();
             assert_eq!(compiled.decompile(), direct);
-            // The compiled join chains straight into completion.
-            let (proper, report) = crate::complete::complete_from_compiled(&compiled).unwrap();
-            let batch = merge_compiled([&g1, &g2, &extra]).unwrap();
-            assert_eq!(proper, batch.proper);
-            assert_eq!(report, batch.report);
+            // The compiled join chains straight into completion: a
+            // base-only execution completes the cached join as-is.
+            let completed = Merger::new().onto_base(&compiled).execute().unwrap();
+            let batch = merge_all([&g1, &g2, &extra]).unwrap();
+            assert_eq!(completed.proper, batch.proper);
+            assert_eq!(completed.implicit, batch.report);
         }
     }
 
     #[test]
     fn join_onto_compiled_reports_incompatibility() {
         let up = WeakSchema::builder().specialize("A", "B").build().unwrap();
-        let (_, base) = weak_join_all_compiled([&up]).unwrap();
+        let (_, base) = join_all_compiled([&up]).unwrap();
         let down = WeakSchema::builder().specialize("B", "A").build().unwrap();
         assert!(matches!(
-            weak_join_onto_compiled(&base, [&down]),
+            Merger::new().onto_base(&base).schema(&down).join(),
             Err(MergeError::Incompatible(_))
         ));
     }
@@ -691,28 +621,34 @@ mod tests {
         let g1 = WeakSchema::builder().specialize("A", "B").build().unwrap();
         let g2 = WeakSchema::builder().specialize("B", "A").build().unwrap();
         assert!(matches!(
-            weak_join_all_compiled([&g1, &g2]),
+            join_all_compiled([&g1, &g2]),
             Err(MergeError::Incompatible(_))
         ));
     }
 
     #[test]
-    fn merge_compiled_handles_preexisting_implicit_classes() {
+    fn compiled_engine_handles_preexisting_implicit_classes() {
         // A completed result fed back in (with its implicit class) must
-        // take the canonicalization path and still agree with `merge`.
+        // take the canonicalization path and still agree with the
+        // symbolic engine.
         let g1 = WeakSchema::builder()
             .arrow("C", "a", "B1")
             .arrow("C", "a", "B2")
             .build()
             .unwrap();
-        let first = merge([&g1]).unwrap();
+        let first = merge_all([&g1]).unwrap();
         let g2 = WeakSchema::builder()
             .specialize("B1", "B2")
             .arrow("C", "a", "B3")
             .build()
             .unwrap();
-        let batch = merge_compiled([first.proper.as_weak(), &g2]).unwrap();
-        let symbolic = merge([first.proper.as_weak(), &g2]).unwrap();
+        let batch = merge_all([first.proper.as_weak(), &g2]).unwrap();
+        let symbolic = Merger::new()
+            .schemas([first.proper.as_weak(), &g2])
+            .engine(EnginePreference::Symbolic)
+            .execute()
+            .map(crate::merger::MergeReport::into_outcome)
+            .unwrap();
         assert_eq!(batch, symbolic);
     }
 }

@@ -561,6 +561,11 @@ pub struct MergeReport {
     /// ran with [`Merger::trace`] enabled. Purely observational: every
     /// other field is bit-identical with tracing on or off.
     pub trace: Option<MergeTrace>,
+    /// Cross-registry composition provenance — attached by the
+    /// supergraph layer after a composed merge
+    /// ([`crate::compose::ComposeProvenance`]); `None` on every direct
+    /// merge.
+    pub origins: Option<crate::compose::ComposeProvenance>,
 }
 
 impl MergeReport {
@@ -1380,6 +1385,7 @@ impl<'a> Merger<'a> {
             diagnostics,
             compiled,
             trace: None,
+            origins: None,
         })
     }
 
@@ -1515,6 +1521,7 @@ impl<'a> Merger<'a> {
             trace: (!component_spans.is_empty()).then_some(MergeTrace {
                 spans: component_spans,
             }),
+            origins: None,
         })
     }
 
@@ -1583,6 +1590,7 @@ impl<'a> Merger<'a> {
             diagnostics,
             compiled: None,
             trace: None,
+            origins: None,
         })
     }
 

@@ -27,7 +27,7 @@ use crate::weak::WeakSchema;
 use std::collections::{BTreeMap, BTreeSet};
 
 /// The least upper bound of a collection of weak schemas, computed with
-/// the symbolic closure. Equal to [`crate::weak_join_all`].
+/// the symbolic closure. Equal to the façade's compiled join.
 pub fn weak_join_all<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<WeakSchema, MergeError> {
@@ -65,8 +65,8 @@ pub fn complete(weak: &WeakSchema) -> Result<ProperSchema, SchemaError> {
 }
 
 /// The paper's merge on the symbolic engine end to end: symbolic weak
-/// join, then symbolic completion. Equal to [`merge`](fn@crate::merge)
-/// (and to [`crate::merge_compiled`]).
+/// join, then symbolic completion. Equal to a compiled-engine
+/// [`crate::Merger::execute`] over the same inputs.
 pub fn merge<'a>(
     schemas: impl IntoIterator<Item = &'a WeakSchema>,
 ) -> Result<MergeOutcome, MergeError> {
@@ -80,9 +80,27 @@ pub fn merge<'a>(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // differential tests of the shims against this engine
 mod tests {
     use super::*;
+    use crate::merger::{EnginePreference, Joined, Merger};
+
+    /// The façade's compiled-engine join, for differential comparison.
+    fn facade_join(schemas: &[&WeakSchema]) -> Result<WeakSchema, MergeError> {
+        Merger::new()
+            .schemas(schemas.iter().copied())
+            .engine(EnginePreference::Compiled)
+            .join()
+            .map(Joined::into_weak)
+    }
+
+    /// The façade's compiled-engine merge, as the historical triple.
+    fn facade_merge(schemas: &[&WeakSchema]) -> Result<MergeOutcome, MergeError> {
+        Merger::new()
+            .schemas(schemas.iter().copied())
+            .engine(EnginePreference::Compiled)
+            .execute()
+            .map(crate::merger::MergeReport::into_outcome)
+    }
 
     fn sample_pair() -> (WeakSchema, WeakSchema) {
         let g1 = WeakSchema::builder()
@@ -104,14 +122,14 @@ mod tests {
         let (g1, g2) = sample_pair();
         assert_eq!(
             weak_join_all([&g1, &g2]).unwrap(),
-            crate::merge::weak_join_all([&g1, &g2]).unwrap()
+            facade_join(&[&g1, &g2]).unwrap()
         );
     }
 
     #[test]
     fn symbolic_completion_equals_compiled_completion() {
         let (g1, g2) = sample_pair();
-        let joined = crate::merge::weak_join_all([&g1, &g2]).unwrap();
+        let joined = facade_join(&[&g1, &g2]).unwrap();
         let (sym, sym_report) = complete_with_report(&joined).unwrap();
         let (compiled, compiled_report) = crate::complete::complete_with_report(&joined).unwrap();
         assert_eq!(sym, compiled);
@@ -122,7 +140,7 @@ mod tests {
     fn symbolic_merge_equals_public_merge() {
         let (g1, g2) = sample_pair();
         let sym = merge([&g1, &g2]).unwrap();
-        let public = crate::merge::merge([&g1, &g2]).unwrap();
+        let public = facade_merge(&[&g1, &g2]).unwrap();
         assert_eq!(sym, public);
     }
 

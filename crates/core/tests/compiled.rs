@@ -3,21 +3,52 @@
 //!
 //! The compiled schema core (`compile`) must be a pure change of
 //! representation: `decompile(compile(g)) == g`, and every routed hot
-//! path — weak join, completion, the batch `merge_compiled` — must
+//! path — weak join, completion, the batch compiled-engine merge — must
 //! produce results *equal* to the retained symbolic implementations in
 //! `reference` (alpha-isomorphism is implied by equality; it is asserted
-//! separately to pin the weaker public contract too).
-//!
-//! Deliberately `allow(deprecated)`: the historical batch entry points
-//! are differential-tested here as shims over the `Merger` façade.
-#![allow(deprecated)]
+//! separately to pin the weaker public contract too). All compiled paths
+//! are driven through the [`Merger`] façade, the same entry point every
+//! production caller uses.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use schema_merge_core::iso::alpha_isomorphic;
-use schema_merge_core::merge::{merge, merge_compiled, weak_join_all};
-use schema_merge_core::{reference, Class, CompiledSchema, WeakSchema};
+use schema_merge_core::merge::MergeOutcome;
+use schema_merge_core::merger::{EnginePreference, Joined, MergeReport};
+use schema_merge_core::{reference, Class, CompiledSchema, MergeError, Merger, WeakSchema};
+
+/// N-ary join on the compiled engine, through the façade.
+fn weak_join_all<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<WeakSchema, MergeError> {
+    Merger::new()
+        .schemas(schemas)
+        .engine(EnginePreference::Compiled)
+        .join()
+        .map(Joined::into_weak)
+}
+
+/// Batch merge on the compiled engine, through the façade.
+fn merge_compiled<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<MergeOutcome, MergeError> {
+    Merger::new()
+        .schemas(schemas)
+        .engine(EnginePreference::Compiled)
+        .execute()
+        .map(MergeReport::into_outcome)
+}
+
+/// The public default-planned merge, through the façade.
+fn merge<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<MergeOutcome, MergeError> {
+    Merger::new()
+        .schemas(schemas)
+        .execute()
+        .map(MergeReport::into_outcome)
+}
 
 const NAMES: [&str; 8] = ["c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"];
 const LABELS: [&str; 3] = ["a", "b", "f"];

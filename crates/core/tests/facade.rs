@@ -155,12 +155,11 @@ proptest! {
         ));
     }
 
-    /// The consistency check is ONE merger pass: the two historical
-    /// paths (`merge_consistent`, `MergeSession::with_consistency`)
-    /// accept and reject exactly as the façade does, with identical
-    /// witnesses and identical results.
+    /// The consistency check is ONE merger pass: the incremental path
+    /// (`MergeSession::with_consistency`) accepts and rejects exactly as
+    /// the batch façade does, with identical witnesses and identical
+    /// results.
     #[test]
-    #[allow(deprecated)] // differential test of the shimmed paths
     fn consistency_paths_agree(family in family(), veto in (0usize..NAMES.len(), 0usize..NAMES.len())) {
         let refs: Vec<&WeakSchema> = family.iter().collect();
         let mut relation = ConsistencyRelation::assume_consistent();
@@ -171,26 +170,20 @@ proptest! {
             .with_consistency(&relation)
             .execute();
 
-        // Path 1: the deprecated free function.
-        let free = schema_merge_core::merge_consistent(refs.iter().copied(), &relation);
-
-        // Path 2: a session seeded with the relation.
+        // The incremental path: a session seeded with the relation.
         let mut session = MergeSession::with_consistency(relation.clone());
         for schema in &refs {
             session.add_schema(schema).expect("family is compatible");
         }
         let session_result = session.merged();
 
-        match (&facade, &free, &session_result) {
-            (Ok(a), Ok(b), Ok(c)) => {
-                prop_assert_eq!(&a.proper, &b.proper);
-                prop_assert_eq!(&a.implicit, &b.report);
-                prop_assert_eq!(&b.proper, &c.proper);
-                prop_assert_eq!(&b.report, &c.report);
+        match (&facade, &session_result) {
+            (Ok(a), Ok(c)) => {
+                prop_assert_eq!(&a.proper, &c.proper);
+                prop_assert_eq!(&a.implicit, &c.report);
             }
-            (Err(a), Err(b), Err(c)) => {
-                prop_assert_eq!(a, b);
-                prop_assert_eq!(b, c);
+            (Err(a), Err(c)) => {
+                prop_assert_eq!(a, c);
                 let inconsistent = matches!(a, MergeError::Inconsistent { .. });
                 prop_assert!(inconsistent);
             }

@@ -1,10 +1,9 @@
 //! Property-based tests of the core algebraic laws.
 //!
-//! Deliberately `allow(deprecated)`: the laws are asserted through the
-//! historical entry points, which are now thin shims over the `Merger`
-//! façade — keeping these tests on the shims is exactly what proves the
-//! shims still honor the laws. Façade-first coverage lives in
-//! `tests/facade.rs` and the workload-scale differential tests in
+//! The laws are asserted through the [`Merger`] façade (plus the binary
+//! [`weak_join`] convenience), the same entry points every production
+//! caller uses. Façade-plan coverage lives in `tests/facade.rs` and the
+//! workload-scale differential tests in
 //! `crates/bench/tests/compiled_vs_symbolic.rs`.
 //!
 //! Schemas are generated over a small vocabulary with specialization edges
@@ -12,17 +11,36 @@
 //! up-index), so any collection of generated schemas is *compatible* —
 //! which lets the LUB laws be tested without conditioning on cycle-freedom.
 //! Incompatible inputs are exercised by dedicated generators below.
-#![allow(deprecated)]
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use schema_merge_core::complete::complete_with_report;
 use schema_merge_core::lower::{lower_complete, lower_merge, AnnotatedSchema};
-use schema_merge_core::merge::{merge, weak_join, weak_join_all, MergeSession};
+use schema_merge_core::merge::{weak_join, MergeOutcome, MergeSession};
+use schema_merge_core::merger::{Joined, MergeReport};
 use schema_merge_core::{
-    Class, KeyAssignment, KeySet, Label, ProperSchema, SuperkeyFamily, WeakSchema,
+    Class, KeyAssignment, KeySet, Label, MergeError, Merger, ProperSchema, SuperkeyFamily,
+    WeakSchema,
 };
+
+/// N-ary join through the façade.
+fn weak_join_all<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<WeakSchema, MergeError> {
+    Merger::new().schemas(schemas).join().map(Joined::into_weak)
+}
+
+/// Full merge (join + completion) through the façade, as the historical
+/// triple.
+fn merge<'a>(
+    schemas: impl IntoIterator<Item = &'a WeakSchema>,
+) -> Result<MergeOutcome, MergeError> {
+    Merger::new()
+        .schemas(schemas)
+        .execute()
+        .map(MergeReport::into_outcome)
+}
 
 const NAMES: [&str; 8] = ["c0", "c1", "c2", "c3", "c4", "c5", "c6", "c7"];
 const LABELS: [&str; 3] = ["a", "b", "f"];

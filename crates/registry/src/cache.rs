@@ -22,9 +22,17 @@
 //!
 //! Entries are stored *compiled* ([`CompiledSchema`]): the next
 //! incremental publish re-enters the engine through
-//! [`schema_merge_core::weak_join_onto_compiled`] without re-interning
-//! the unchanged members — the interner survives across registry
-//! generations and the join never detours through the symbolic form.
+//! [`Merger::onto_base`](schema_merge_core::Merger::onto_base) without
+//! re-interning the unchanged members — the interner survives across
+//! registry generations and the join never detours through the symbolic
+//! form.
+//!
+//! The module is public so the federation layer (`crates/supergraph`)
+//! can run the identical caching discipline one level up: its entries
+//! are joins of *registry* join-sets, keyed by
+//! [`fingerprint`] over `(registry-name, join content-hash)` pairs, and
+//! its incremental recompose builds onto cached composed rests exactly
+//! as the registry builds onto cached member rests.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -40,7 +48,7 @@ const CAP: usize = 64;
 /// `(name, content-hash)` pairs, length-framed. Callers must feed pairs
 /// in sorted name order (the registry's member map is a `BTreeMap`, so
 /// iteration order is already canonical).
-pub(crate) fn fingerprint<'a>(pairs: impl Iterator<Item = (&'a str, u64)>) -> u64 {
+pub fn fingerprint<'a>(pairs: impl Iterator<Item = (&'a str, u64)>) -> u64 {
     // FNV-1a, same parameters as the core's interning hasher.
     let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
     let mut write = |bytes: &[u8]| {
@@ -66,7 +74,7 @@ struct Entry {
 /// its own `Mutex` (separate from the state `RwLock`; the two are never
 /// held at once), and every probe/insert happens under that `Mutex`.
 #[derive(Default)]
-pub(crate) struct JoinCache {
+pub struct JoinCache {
     entries: HashMap<u64, Entry>,
     clock: u64,
     hits: u64,
@@ -77,7 +85,7 @@ pub(crate) struct JoinCache {
 impl JoinCache {
     /// Looks up the join of a fingerprinted set, refreshing its LRU
     /// position. Counts a hit or miss.
-    pub(crate) fn probe(&mut self, fp: u64) -> Option<Arc<CompiledSchema>> {
+    pub fn probe(&mut self, fp: u64) -> Option<Arc<CompiledSchema>> {
         self.clock += 1;
         match self.entries.get_mut(&fp) {
             Some(entry) => {
@@ -95,7 +103,7 @@ impl JoinCache {
     /// Remembers a computed join, evicting the least-recently-touched
     /// entry if over cap. Inserting an already-present fingerprint just
     /// refreshes it (same set ⇒ same join).
-    pub(crate) fn insert(&mut self, fp: u64, join: Arc<CompiledSchema>) {
+    pub fn insert(&mut self, fp: u64, join: Arc<CompiledSchema>) {
         self.clock += 1;
         let clock = self.clock;
         self.entries
@@ -113,19 +121,28 @@ impl JoinCache {
         }
     }
 
-    pub(crate) fn len(&self) -> usize {
+    /// Entries currently held.
+    pub fn len(&self) -> usize {
         self.entries.len()
     }
 
-    pub(crate) fn hits(&self) -> u64 {
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Probes that found their fingerprint.
+    pub fn hits(&self) -> u64 {
         self.hits
     }
 
-    pub(crate) fn misses(&self) -> u64 {
+    /// Probes that missed.
+    pub fn misses(&self) -> u64 {
         self.misses
     }
 
-    pub(crate) fn evictions(&self) -> u64 {
+    /// Entries dropped by the LRU cap.
+    pub fn evictions(&self) -> u64 {
         self.evictions
     }
 }

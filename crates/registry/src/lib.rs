@@ -63,7 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod cache;
+pub mod cache;
 pub mod config;
 pub mod error;
 pub mod registry;
@@ -73,6 +73,6 @@ pub mod version;
 
 pub use config::RegistryBuilder;
 pub use error::RegistryError;
-pub use registry::{DeleteOutcome, MergeStrategy, MergedView, PutOutcome, Registry};
+pub use registry::{DeleteOutcome, MergeStrategy, MergedView, PutOutcome, Registry, RegistryJoin};
 pub use stats::RegistryStats;
 pub use version::{MemberInfo, SchemaVersion};

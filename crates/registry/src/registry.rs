@@ -145,6 +145,26 @@ impl MergedView {
     }
 }
 
+/// A coherent snapshot of the registry's pre-completion compiled join —
+/// what [`Registry::compiled_join`] hands to the federation layer. The
+/// member list, fingerprint and join all describe the *same* member-set
+/// (captured under one lock acquisition), so a supergraph compose can
+/// detect deltas by fingerprint and attribute provenance by member
+/// without racing concurrent publishes.
+#[derive(Clone)]
+pub struct RegistryJoin {
+    /// The registry generation the join reflects.
+    pub generation: u64,
+    /// [`crate::cache::fingerprint`] over the `(member, content-hash)`
+    /// pairs of `members` — the join's set identity.
+    pub fingerprint: u64,
+    /// Every member's current version at the snapshot, sorted by name.
+    pub members: Vec<(String, SchemaVersion)>,
+    /// The compiled weak join of all member schemas (no implicit
+    /// classes — completion has not run).
+    pub join: Arc<CompiledSchema>,
+}
+
 /// The computed pieces of a candidate view, pre-`Arc`ed so commit is
 /// pointer shuffling only. The compiled join rides along to seed the
 /// cache: it is the interner the *next* incremental publish will reuse.
@@ -598,6 +618,75 @@ impl Registry {
             proper: Arc::clone(&shared.proper),
             report: Arc::clone(&shared.report),
         }
+    }
+
+    /// The compiled pre-completion join of every current member version —
+    /// the registry's contribution to a federated supergraph compose
+    /// (`crates/supergraph`). Probes the join cache with the full
+    /// member-set fingerprint (the commit path seeds that entry on every
+    /// generation, so steady-state calls are O(1) `Arc` clones) and
+    /// computes — then seeds — the join on a miss. Returns the generation
+    /// the join reflects alongside the join itself.
+    ///
+    /// This is the *join*, not the merged view: completion has not run,
+    /// no implicit classes are present — exactly the representation the
+    /// composition law `⊔ᵢⱼGᵢⱼ = ⊔ᵢ(⊔ⱼGᵢⱼ)` needs to make a supergraph
+    /// compose equal to the one-shot merge of every member everywhere.
+    ///
+    /// # Errors
+    ///
+    /// [`MergeError::Incompatible`] cannot actually occur for a registry
+    /// that accepted all its members (every commit validated the total
+    /// join), but the signature carries it for the cold-cache recompute
+    /// path.
+    pub fn compiled_join(&self) -> Result<RegistryJoin, MergeError> {
+        let (generation, members) = {
+            let shared = self.shared.read().expect("registry lock");
+            let members: Vec<(String, SchemaVersion)> = shared
+                .members
+                .iter()
+                .map(|(n, r)| (n.clone(), r.current().clone()))
+                .collect();
+            (shared.generation, members)
+        };
+        let fp = fingerprint(members.iter().map(|(n, v)| (n.as_str(), v.hash)));
+        if let Some(join) = self.cache.lock().expect("cache lock").probe(fp) {
+            return Ok(RegistryJoin {
+                generation,
+                fingerprint: fp,
+                members,
+                join,
+            });
+        }
+        let mut merger = Merger::new().schemas(members.iter().map(|(_, v)| v.schema.as_ref()));
+        if let Some(threads) = self.merge_threads {
+            merger = merger.threads(threads);
+        }
+        let (_, compiled) = merger.join()?.into_parts();
+        let join = Arc::new(compiled.expect("the compiled engines keep the compiled join"));
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(fp, Arc::clone(&join));
+        Ok(RegistryJoin {
+            generation,
+            fingerprint: fp,
+            members,
+            join,
+        })
+    }
+
+    /// A coherent snapshot of every member's current version (one lock
+    /// acquisition), sorted by name — the supergraph's provenance pass
+    /// walks this to attribute composed classes to
+    /// `registry/member@vN` origins.
+    pub fn current_members(&self) -> Vec<(String, SchemaVersion)> {
+        let shared = self.shared.read().expect("registry lock");
+        shared
+            .members
+            .iter()
+            .map(|(name, record)| (name.clone(), record.current().clone()))
+            .collect()
     }
 
     /// The current version of member `name`.

@@ -1,0 +1,993 @@
+//! The [`Supergraph`] engine: namespaced member registries composed
+//! into one federated merged view.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+use schema_merge_core::compose::ComposeProvenance;
+use schema_merge_core::merger::MergeReport;
+use schema_merge_core::{CompiledSchema, Diagnostic, Merger, ProperSchema, Severity, WeakSchema};
+use schema_merge_registry::cache::{fingerprint, JoinCache};
+use schema_merge_registry::version::SchemaVersion;
+use schema_merge_registry::{MergeStrategy, Registry, RegistryJoin};
+use schema_merge_telemetry::{self as telemetry, Histogram, HistogramSnapshot};
+
+use crate::error::SupergraphError;
+
+/// A federation of named [`Registry`] instances composed into one
+/// supergraph view.
+///
+/// Structurally this is the registry design run one level up. Each
+/// attached registry owns its members and its merged view; the
+/// supergraph owns the *composition* — the merge of every registry's
+/// pre-completion join, completed once. Associativity of the weak join
+/// (`⊔ᵢⱼGᵢⱼ = ⊔ᵢ(⊔ⱼGᵢⱼ)`, §4.1) makes the composed view equal to the
+/// one-shot merge of every member schema of every registry; the
+/// supergraph exploits the same law the registry does to recompose
+/// incrementally:
+///
+/// * each registry hands over its cached compiled join
+///   ([`Registry::compiled_join`] — O(1) in steady state, the commit
+///   path keeps it seeded);
+/// * the supergraph keeps its own [`JoinCache`] of *registry-set* joins,
+///   fingerprinted over `(registry, join-set-fingerprint)` pairs;
+/// * when exactly one registry changed since the last compose, the
+///   cached join of the *rest* becomes a
+///   [`Merger::onto_base`] and only the changed registry's join is
+///   walked — completion runs once, off the compiled total.
+///
+/// Every composed view carries cross-registry provenance
+/// ([`MergeReport::origins`], labels `registry/member@vN`) and
+/// rover-style [`Severity::Hint`] diagnostics (`H-COMPOSE-*`) surfacing
+/// composition observations: subtyping no single registry declared,
+/// implicit classes spanning registries, member-name collisions resolved
+/// by namespacing.
+pub struct Supergraph {
+    shared: RwLock<Shared>,
+    cache: Mutex<JoinCache>,
+    counters: Counters,
+    compose_latency: Histogram,
+    started_at: Instant,
+    merge_threads: Option<usize>,
+}
+
+struct Shared {
+    /// Bumped by attach, detach, and every non-noop compose; the
+    /// optimistic-commit guard.
+    generation: u64,
+    members: BTreeMap<String, Member>,
+    /// Fingerprint over the `(registry, join-set-fingerprint)` pairs the
+    /// current composed view reflects — the compose noop detector.
+    composed_fp: u64,
+    composed: Arc<ComposedView>,
+}
+
+struct Member {
+    registry: Arc<Registry>,
+    /// The registry's join as of the last compose that saw it.
+    state: Option<MemberState>,
+}
+
+/// A member registry's join captured for composition: both schema forms
+/// plus the member versions the join reflects (for provenance), all
+/// describing the same registry snapshot.
+#[derive(Clone)]
+struct MemberState {
+    fingerprint: u64,
+    generation: u64,
+    members: Arc<Vec<(String, SchemaVersion)>>,
+    compiled: Arc<CompiledSchema>,
+    weak: Arc<WeakSchema>,
+}
+
+impl MemberState {
+    fn capture(join: RegistryJoin) -> Self {
+        let weak = Arc::new(join.join.decompile());
+        MemberState {
+            fingerprint: join.fingerprint,
+            generation: join.generation,
+            members: Arc::new(join.members),
+            compiled: join.join,
+            weak,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    full: AtomicU64,
+    incremental: AtomicU64,
+    noop: AtomicU64,
+    retries: AtomicU64,
+}
+
+/// A generation-stamped handle on the composed supergraph view.
+/// Everything is `Arc`-shared; the supergraph moving on to later
+/// generations never invalidates a view a client holds.
+#[derive(Clone)]
+pub struct ComposedView {
+    /// The supergraph generation whose compose produced this view.
+    pub generation: u64,
+    /// The member registries composed in, sorted by name.
+    pub members: Vec<ComposedMember>,
+    /// The full merge report: composed proper schema, implicit-class
+    /// table, diagnostics (merger diagnostics followed by the
+    /// `H-COMPOSE-*` hints), and cross-registry provenance in
+    /// [`MergeReport::origins`].
+    pub report: Arc<MergeReport>,
+    /// Which engine path produced this view.
+    pub strategy: MergeStrategy,
+}
+
+impl ComposedView {
+    /// The composed merged schema.
+    pub fn proper(&self) -> &ProperSchema {
+        &self.report.proper
+    }
+
+    /// Canonical content hash of the composed proper schema.
+    pub fn hash(&self) -> u64 {
+        self.report.proper.content_hash()
+    }
+
+    /// Cross-registry provenance: which `registry/member@vN` origins
+    /// contributed each composed class, arrow, and implicit class.
+    pub fn origins(&self) -> &ComposeProvenance {
+        self.report
+            .origins
+            .as_ref()
+            .expect("every compose attaches origins")
+    }
+
+    /// The `H-COMPOSE-*` composition hints, in deterministic order.
+    pub fn hints(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.report
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Hint)
+    }
+}
+
+/// One member registry's row in a [`ComposedView`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComposedMember {
+    /// The namespace the registry is attached under.
+    pub registry: String,
+    /// The registry generation whose join was composed.
+    pub generation: u64,
+    /// How many members the registry contributed.
+    pub members: usize,
+}
+
+/// The result of a successful [`Supergraph::compose`].
+#[derive(Clone)]
+pub struct ComposeOutcome {
+    /// Supergraph generation after the compose (unchanged for a noop).
+    pub generation: u64,
+    /// Which engine path ran: `noop` when nothing moved since the last
+    /// compose, `incremental` when a cached rest-join was completed onto,
+    /// `full` otherwise.
+    pub strategy: MergeStrategy,
+    /// The (possibly pre-existing, for a noop) composed view.
+    pub view: Arc<ComposedView>,
+}
+
+/// A coherent statistics snapshot of the supergraph engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct SupergraphStats {
+    /// Current supergraph generation.
+    pub generation: u64,
+    /// Attached registries.
+    pub registries: usize,
+    /// Classes in the composed view.
+    pub composed_classes: usize,
+    /// Arrows in the composed view.
+    pub composed_arrows: usize,
+    /// Implicit classes completion introduced across registries.
+    pub implicit_classes: usize,
+    /// `H-COMPOSE-*` hints on the composed view.
+    pub hints: usize,
+    /// Content hash of the composed proper schema.
+    pub composed_hash: u64,
+    /// Composes that re-joined every registry.
+    pub full_composes: u64,
+    /// Composes that completed onto a cached rest-join.
+    pub incremental_composes: u64,
+    /// Composes that found nothing changed.
+    pub noop_composes: u64,
+    /// Optimistic-commit retries (concurrent attach/detach/compose).
+    pub compose_retries: u64,
+    /// Registry-set join cache hits.
+    pub cache_hits: u64,
+    /// Registry-set join cache misses.
+    pub cache_misses: u64,
+    /// Registry-set join cache entries.
+    pub cache_entries: usize,
+}
+
+impl Default for Supergraph {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Supergraph {
+    /// An empty supergraph: no registries attached, composed view empty
+    /// at generation zero.
+    pub fn new() -> Self {
+        Supergraph {
+            shared: RwLock::new(Shared {
+                generation: 0,
+                members: BTreeMap::new(),
+                composed_fp: fingerprint(std::iter::empty()),
+                composed: empty_view(),
+            }),
+            cache: Mutex::new(JoinCache::default()),
+            counters: Counters::default(),
+            compose_latency: Histogram::default(),
+            started_at: Instant::now(),
+            merge_threads: None,
+        }
+    }
+
+    /// Fixes the thread budget handed to every composition merge (the
+    /// member registries keep their own budgets).
+    pub fn with_threads(threads: usize) -> Self {
+        let mut supergraph = Self::new();
+        supergraph.merge_threads = Some(threads);
+        supergraph
+    }
+
+    /// Attaches `registry` under namespace `name`.
+    ///
+    /// # Errors
+    ///
+    /// [`SupergraphError::InvalidName`] for names unusable as namespace
+    /// prefixes; [`SupergraphError::DuplicateRegistry`] when the name is
+    /// taken.
+    pub fn attach(
+        &self,
+        name: impl Into<String>,
+        registry: Arc<Registry>,
+    ) -> Result<(), SupergraphError> {
+        let name = name.into();
+        if name.is_empty() || name.contains('/') || name.chars().any(char::is_whitespace) {
+            return Err(SupergraphError::InvalidName(name));
+        }
+        let mut shared = self.shared.write().expect("supergraph lock");
+        if shared.members.contains_key(&name) {
+            return Err(SupergraphError::DuplicateRegistry(name));
+        }
+        shared.generation += 1;
+        shared.members.insert(
+            name,
+            Member {
+                registry,
+                state: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Creates a fresh empty registry, attaches it under `name`, and
+    /// returns it — the `ATTACH` protocol verb.
+    pub fn attach_new(&self, name: impl Into<String>) -> Result<Arc<Registry>, SupergraphError> {
+        let registry = Arc::new(Registry::new());
+        self.attach(name, Arc::clone(&registry))?;
+        Ok(registry)
+    }
+
+    /// Detaches and returns the registry at `name`. The current composed
+    /// view is untouched (it is a snapshot); the next
+    /// [`compose`](Supergraph::compose) drops the registry's
+    /// contribution.
+    ///
+    /// # Errors
+    ///
+    /// [`SupergraphError::UnknownRegistry`] when nothing is attached
+    /// under `name`.
+    pub fn detach(&self, name: &str) -> Result<Arc<Registry>, SupergraphError> {
+        let mut shared = self.shared.write().expect("supergraph lock");
+        match shared.members.remove(name) {
+            Some(member) => {
+                shared.generation += 1;
+                Ok(member.registry)
+            }
+            None => Err(SupergraphError::UnknownRegistry(name.to_string())),
+        }
+    }
+
+    /// The registry attached under `name`, if any.
+    pub fn registry(&self, name: &str) -> Option<Arc<Registry>> {
+        let shared = self.shared.read().expect("supergraph lock");
+        shared.members.get(name).map(|m| Arc::clone(&m.registry))
+    }
+
+    /// The attached registry names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        let shared = self.shared.read().expect("supergraph lock");
+        shared.members.keys().cloned().collect()
+    }
+
+    /// Number of attached registries.
+    pub fn len(&self) -> usize {
+        self.shared.read().expect("supergraph lock").members.len()
+    }
+
+    /// Whether no registries are attached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The current composed view (two `Arc` clones; never recomputes).
+    /// Stale after member registries publish — [`compose`] refreshes it.
+    ///
+    /// [`compose`]: Supergraph::compose
+    pub fn composed(&self) -> Arc<ComposedView> {
+        Arc::clone(&self.shared.read().expect("supergraph lock").composed)
+    }
+
+    /// Recomposes the supergraph view from the attached registries'
+    /// current joins and installs it (generation-stamped), returning the
+    /// outcome. Noop when nothing changed; incremental (the changed
+    /// registry's join completed onto the cached join of the rest) when
+    /// exactly one registry moved; full otherwise. All three paths
+    /// produce the same view as the one-shot merge of every member
+    /// schema of every registry — the associativity of the join is
+    /// differentially property-tested, not assumed.
+    ///
+    /// # Errors
+    ///
+    /// [`SupergraphError::Member`] when a registry's own join fails,
+    /// [`SupergraphError::Compose`] when the cross-registry composition
+    /// is incompatible (e.g. a specialization cycle spanning
+    /// registries). The installed view is untouched on error.
+    pub fn compose(&self) -> Result<ComposeOutcome, SupergraphError> {
+        let started = Instant::now();
+        let mut compose_span = telemetry::span("compose");
+        loop {
+            let (generation, snapshot) = {
+                let shared = self.shared.read().expect("supergraph lock");
+                let snapshot: Vec<(String, Arc<Registry>, Option<MemberState>)> = shared
+                    .members
+                    .iter()
+                    .map(|(n, m)| (n.clone(), Arc::clone(&m.registry), m.state.clone()))
+                    .collect();
+                (shared.generation, snapshot)
+            };
+
+            // Refresh every registry's join handle; the delta walk for a
+            // changed registry is its own `recompose` child span.
+            let mut states: Vec<(String, MemberState)> = Vec::with_capacity(snapshot.len());
+            let mut changed: Vec<usize> = Vec::new();
+            for (index, (name, registry, prev)) in snapshot.iter().enumerate() {
+                let join = registry
+                    .compiled_join()
+                    .map_err(|cause| SupergraphError::Member {
+                        registry: name.clone(),
+                        cause,
+                    })?;
+                let state = match prev {
+                    Some(prev) if prev.fingerprint == join.fingerprint => prev.clone(),
+                    _ => {
+                        let mut member_span = telemetry::span("recompose");
+                        member_span.attr("registry_generation", join.generation);
+                        member_span.attr_usize("members", join.members.len());
+                        changed.push(index);
+                        MemberState::capture(join)
+                    }
+                };
+                states.push((name.clone(), state));
+            }
+
+            let full_fp = fingerprint(states.iter().map(|(n, s)| (n.as_str(), s.fingerprint)));
+            {
+                let shared = self.shared.read().expect("supergraph lock");
+                if shared.generation == generation && shared.composed_fp == full_fp {
+                    self.counters.noop.fetch_add(1, Ordering::Relaxed);
+                    compose_span.attr("noop", 1);
+                    return Ok(ComposeOutcome {
+                        generation: shared.generation,
+                        strategy: MergeStrategy::Noop,
+                        view: Arc::clone(&shared.composed),
+                    });
+                }
+            }
+
+            // Pick the engine path and run the composition merge.
+            let (strategy, mut report, total, seed_rest) = match changed.as_slice() {
+                [changed_index] if states.len() == 1 => {
+                    // One registry: its cached compiled join IS the
+                    // composed join — base-only completion, no join pass.
+                    let state = &states[*changed_index].1;
+                    let report = self
+                        .merger(Merger::new().onto_base(&state.compiled))
+                        .execute()
+                        .map_err(SupergraphError::Compose)?;
+                    (
+                        MergeStrategy::Incremental,
+                        report,
+                        Arc::clone(&state.compiled),
+                        None,
+                    )
+                }
+                [changed_index] => {
+                    // Exactly one registry moved: complete its join onto
+                    // the join of the rest — cached in steady state,
+                    // recomputed (and then seeded) otherwise.
+                    let rest_fp = fingerprint(
+                        states
+                            .iter()
+                            .enumerate()
+                            .filter(|(i, _)| i != changed_index)
+                            .map(|(_, (n, s))| (n.as_str(), s.fingerprint)),
+                    );
+                    let (rest, strategy) =
+                        match self.cache.lock().expect("cache lock").probe(rest_fp) {
+                            Some(rest) => (rest, MergeStrategy::Incremental),
+                            None => {
+                                let rest = self.join_of(
+                                    states
+                                        .iter()
+                                        .enumerate()
+                                        .filter(|(i, _)| i != changed_index)
+                                        .map(|(_, (_, s))| s),
+                                )?;
+                                (rest, MergeStrategy::Full)
+                            }
+                        };
+                    let extra = Arc::clone(&states[*changed_index].1.weak);
+                    let mut report = self
+                        .merger(Merger::new().onto_base(&rest).schema(extra.as_ref()))
+                        .execute()
+                        .map_err(SupergraphError::Compose)?;
+                    let total = match report.compiled.take() {
+                        Some(compiled) => Arc::new(compiled),
+                        None => Arc::clone(&rest),
+                    };
+                    (strategy, report, total, Some((rest_fp, rest)))
+                }
+                _ => {
+                    // Zero or several registries moved: batch-compose
+                    // every registry's join at once.
+                    let mut report = self
+                        .merger(Merger::new().schemas(states.iter().map(|(_, s)| s.weak.as_ref())))
+                        .execute()
+                        .map_err(SupergraphError::Compose)?;
+                    let total = match report.compiled.take() {
+                        Some(compiled) => Arc::new(compiled),
+                        None => Arc::new(CompiledSchema::compile(
+                            report
+                                .weak
+                                .as_ref()
+                                .expect("non-base compose plans keep a join"),
+                        )),
+                    };
+                    (MergeStrategy::Full, report, total, None)
+                }
+            };
+
+            // Provenance and hints are computed from the member inputs
+            // and the composed result only — never from the path taken —
+            // so incremental and full composes attach identical origins.
+            let provenance = ComposeProvenance::compute(
+                states.iter().flat_map(|(registry, state)| {
+                    state.members.iter().map(move |(member, version)| {
+                        (
+                            format!("{registry}/{member}@v{}", version.sequence),
+                            version.schema.as_ref(),
+                        )
+                    })
+                }),
+                &report.proper,
+            );
+            let hints = compose_hints(&states, &provenance, &report.proper);
+            compose_span.attr_usize("hints", hints.len());
+            report.diagnostics.extend(hints);
+            report.origins = Some(provenance);
+
+            let members_meta: Vec<ComposedMember> = states
+                .iter()
+                .map(|(n, s)| ComposedMember {
+                    registry: n.clone(),
+                    generation: s.generation,
+                    members: s.members.len(),
+                })
+                .collect();
+
+            let mut shared = self.shared.write().expect("supergraph lock");
+            if shared.generation != generation {
+                drop(shared);
+                self.counters.retries.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let next_generation = shared.generation + 1;
+            shared.generation = next_generation;
+            for (name, state) in &states {
+                if let Some(member) = shared.members.get_mut(name) {
+                    member.state = Some(state.clone());
+                }
+            }
+            let view = Arc::new(ComposedView {
+                generation: next_generation,
+                members: members_meta,
+                report: Arc::new(report),
+                strategy,
+            });
+            shared.composed = Arc::clone(&view);
+            shared.composed_fp = full_fp;
+            drop(shared);
+
+            {
+                let mut cache = self.cache.lock().expect("cache lock");
+                if let Some((rest_fp, rest)) = seed_rest {
+                    cache.insert(rest_fp, rest);
+                }
+                cache.insert(full_fp, total);
+            }
+            let counter = match strategy {
+                MergeStrategy::Incremental => &self.counters.incremental,
+                _ => &self.counters.full,
+            };
+            counter.fetch_add(1, Ordering::Relaxed);
+            compose_span.attr("generation", next_generation);
+            compose_span.attr_usize("registries", view.members.len());
+            self.compose_latency.record(started.elapsed());
+            return Ok(ComposeOutcome {
+                generation: next_generation,
+                strategy,
+                view,
+            });
+        }
+    }
+
+    /// A coherent statistics snapshot.
+    pub fn stats(&self) -> SupergraphStats {
+        let (generation, registries, composed) = {
+            let shared = self.shared.read().expect("supergraph lock");
+            (
+                shared.generation,
+                shared.members.len(),
+                Arc::clone(&shared.composed),
+            )
+        };
+        let (cache_entries, cache_hits, cache_misses) = {
+            let cache = self.cache.lock().expect("cache lock");
+            (cache.len(), cache.hits(), cache.misses())
+        };
+        let weak = composed.report.proper.as_weak();
+        SupergraphStats {
+            generation,
+            registries,
+            composed_classes: weak.num_classes(),
+            composed_arrows: weak.num_arrows(),
+            implicit_classes: composed.report.implicit.num_implicit(),
+            hints: composed.hints().count(),
+            composed_hash: composed.hash(),
+            full_composes: self.counters.full.load(Ordering::Relaxed),
+            incremental_composes: self.counters.incremental.load(Ordering::Relaxed),
+            noop_composes: self.counters.noop.load(Ordering::Relaxed),
+            compose_retries: self.counters.retries.load(Ordering::Relaxed),
+            cache_hits,
+            cache_misses,
+            cache_entries,
+        }
+    }
+
+    /// Snapshot of the compose latency histogram (non-noop
+    /// [`compose`](Supergraph::compose) calls).
+    pub fn compose_latency(&self) -> HistogramSnapshot {
+        self.compose_latency.snapshot()
+    }
+
+    /// Whole seconds since this supergraph was created.
+    pub fn uptime_secs(&self) -> u64 {
+        self.started_at.elapsed().as_secs()
+    }
+
+    fn merger<'a>(&self, merger: Merger<'a>) -> Merger<'a> {
+        match self.merge_threads {
+            Some(threads) => merger.threads(threads),
+            None => merger,
+        }
+    }
+
+    /// The compiled join of a set of member states, from scratch.
+    fn join_of<'a>(
+        &self,
+        states: impl Iterator<Item = &'a MemberState>,
+    ) -> Result<Arc<CompiledSchema>, SupergraphError> {
+        let (_, compiled) = self
+            .merger(Merger::new().schemas(states.map(|s| s.weak.as_ref())))
+            .join()
+            .map_err(SupergraphError::Compose)?
+            .into_parts();
+        Ok(Arc::new(
+            compiled.expect("the compiled engines keep the compiled join"),
+        ))
+    }
+}
+
+fn empty_view() -> Arc<ComposedView> {
+    let mut report = Merger::new()
+        .execute()
+        .expect("the empty merge cannot fail");
+    report.compiled = None;
+    report.origins = Some(ComposeProvenance::default());
+    Arc::new(ComposedView {
+        generation: 0,
+        members: Vec::new(),
+        report: Arc::new(report),
+        strategy: MergeStrategy::Full,
+    })
+}
+
+/// Derives the `H-COMPOSE-*` hints from the member inputs and the
+/// composed result. Pure and path-independent: the same member states
+/// and proper schema produce the same hints in the same order whether
+/// the compose ran full or incremental.
+fn compose_hints(
+    states: &[(String, MemberState)],
+    provenance: &ComposeProvenance,
+    proper: &ProperSchema,
+) -> Vec<Diagnostic> {
+    let mut hints = Vec::new();
+
+    // H-COMPOSE-COLLISION: the same member name published by more than
+    // one registry — namespacing (`registry/member`) resolves what would
+    // collide in a flat registry.
+    let mut owners: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (registry, state) in states {
+        for (member, _) in state.members.iter() {
+            owners
+                .entry(member.as_str())
+                .or_default()
+                .push(registry.as_str());
+        }
+    }
+    for (member, registries) in owners {
+        if registries.len() >= 2 {
+            let qualified: Vec<String> = registries
+                .iter()
+                .map(|registry| format!("`{registry}/{member}`"))
+                .collect();
+            hints.push(Diagnostic::hint(
+                "H-COMPOSE-COLLISION",
+                format!(
+                    "member name `{member}` is published by {} registries; \
+                     origins are namespaced as {}",
+                    registries.len(),
+                    qualified.join(", "),
+                ),
+            ));
+        }
+    }
+
+    // H-COMPOSE-SPAN: an implicit meet class whose constituents come
+    // from more than one registry — the federation, not any single
+    // registry, forced it into existence.
+    for class in provenance.implicit.keys() {
+        let registries = provenance.registries_of(class);
+        if registries.len() >= 2 {
+            hints.push(Diagnostic::hint(
+                "H-COMPOSE-SPAN",
+                format!(
+                    "implicit class `{class}` spans registries {}",
+                    quote_join(&registries),
+                ),
+            ));
+        }
+    }
+
+    // H-COMPOSE-SPECIALIZATION: a subtyping edge whose endpoints come
+    // from disjoint registry sets — no single registry knew both
+    // classes, so the composition introduced the relationship.
+    // Conservative: an edge whose endpoints share any contributing
+    // registry is never flagged.
+    for (sub, sup) in proper.as_weak().specialization_pairs() {
+        if sub.is_implicit() || sup.is_implicit() {
+            continue;
+        }
+        let sub_registries = provenance.registries_of(sub);
+        let sup_registries = provenance.registries_of(sup);
+        if sub_registries.is_empty() || sup_registries.is_empty() {
+            continue;
+        }
+        if sub_registries
+            .iter()
+            .all(|registry| !sup_registries.contains(registry))
+        {
+            hints.push(Diagnostic::hint(
+                "H-COMPOSE-SPECIALIZATION",
+                format!(
+                    "cross-registry specialization: `{sub}` ({}) is placed under `{sup}` ({})",
+                    quote_join(&sub_registries),
+                    quote_join(&sup_registries),
+                ),
+            ));
+        }
+    }
+
+    hints
+}
+
+fn quote_join(names: &[&str]) -> String {
+    let quoted: Vec<String> = names.iter().map(|name| format!("`{name}`")).collect();
+    quoted.join(", ")
+}
+
+impl std::fmt::Debug for Supergraph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("Supergraph")
+            .field("generation", &stats.generation)
+            .field("registries", &stats.registries)
+            .field("composed_classes", &stats.composed_classes)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use schema_merge_core::Class;
+
+    fn schema(src: &str, label: &str, tgt: &str) -> WeakSchema {
+        WeakSchema::builder()
+            .arrow(src, label, tgt)
+            .build()
+            .unwrap()
+    }
+
+    fn two_registry_supergraph() -> Supergraph {
+        let supergraph = Supergraph::new();
+        let a = supergraph.attach_new("a").unwrap();
+        let b = supergraph.attach_new("b").unwrap();
+        a.put("inventory", schema("Part", "price", "money"))
+            .unwrap();
+        b.put("orders", schema("Order", "item", "Part")).unwrap();
+        supergraph
+    }
+
+    /// The composed view must equal the one-shot merge of every member
+    /// schema of every registry.
+    fn assert_view_matches_oneshot(supergraph: &Supergraph) {
+        let view = supergraph.composed();
+        let mut schemas: Vec<Arc<WeakSchema>> = Vec::new();
+        for name in supergraph.names() {
+            let registry = supergraph.registry(&name).unwrap();
+            for (_, version) in registry.current_members() {
+                schemas.push(version.schema);
+            }
+        }
+        let expected = Merger::new()
+            .schemas(schemas.iter().map(|s| s.as_ref()))
+            .execute()
+            .expect("one-shot merge succeeds");
+        assert_eq!(view.report.proper, expected.proper);
+        assert_eq!(view.report.implicit, expected.implicit);
+    }
+
+    #[test]
+    fn compose_of_empty_supergraph_is_a_noop_on_the_empty_view() {
+        let supergraph = Supergraph::new();
+        let outcome = supergraph.compose().unwrap();
+        assert_eq!(outcome.strategy, MergeStrategy::Noop);
+        assert_eq!(outcome.generation, 0);
+        assert_eq!(outcome.view.report.proper.num_classes(), 0);
+    }
+
+    #[test]
+    fn attach_validates_names_and_rejects_duplicates() {
+        let supergraph = Supergraph::new();
+        supergraph.attach_new("a").unwrap();
+        assert!(matches!(
+            supergraph.attach_new("a"),
+            Err(SupergraphError::DuplicateRegistry(_))
+        ));
+        for bad in ["", "a/b", "a b", "a\tb"] {
+            assert!(matches!(
+                supergraph.attach_new(bad),
+                Err(SupergraphError::InvalidName(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn detach_returns_the_registry_and_unknown_names_error() {
+        let supergraph = Supergraph::new();
+        let attached = supergraph.attach_new("a").unwrap();
+        let detached = supergraph.detach("a").unwrap();
+        assert!(Arc::ptr_eq(&attached, &detached));
+        assert!(matches!(
+            supergraph.detach("a"),
+            Err(SupergraphError::UnknownRegistry(_))
+        ));
+    }
+
+    #[test]
+    fn compose_merges_across_registries_and_matches_oneshot() {
+        let supergraph = two_registry_supergraph();
+        let outcome = supergraph.compose().unwrap();
+        assert_eq!(outcome.strategy, MergeStrategy::Full);
+        assert!(outcome.view.proper().contains_class(&Class::named("Part")));
+        assert!(outcome.view.proper().contains_class(&Class::named("Order")));
+        assert_view_matches_oneshot(&supergraph);
+    }
+
+    #[test]
+    fn recompose_after_one_publish_is_incremental_and_matches_oneshot() {
+        let supergraph = two_registry_supergraph();
+        supergraph.compose().unwrap();
+        let b = supergraph.registry("b").unwrap();
+        // First single-registry recompose computes (and seeds) the
+        // rest-join; steady-state churn on the same registry is then
+        // incremental — the registry cache discipline, one level up.
+        b.put("shipping", schema("Order", "dest", "Address"))
+            .unwrap();
+        let warm = supergraph.compose().unwrap();
+        assert_eq!(warm.strategy, MergeStrategy::Full);
+        b.put("billing", schema("Order", "bill", "Invoice"))
+            .unwrap();
+        let outcome = supergraph.compose().unwrap();
+        assert_eq!(outcome.strategy, MergeStrategy::Incremental);
+        assert!(outcome
+            .view
+            .proper()
+            .contains_class(&Class::named("Address")));
+        assert!(outcome
+            .view
+            .proper()
+            .contains_class(&Class::named("Invoice")));
+        assert_view_matches_oneshot(&supergraph);
+        // Nothing moved since: noop, same view.
+        let again = supergraph.compose().unwrap();
+        assert_eq!(again.strategy, MergeStrategy::Noop);
+        assert_eq!(again.view.generation, outcome.view.generation);
+    }
+
+    #[test]
+    fn single_registry_compose_reuses_the_registry_join() {
+        let supergraph = Supergraph::new();
+        let a = supergraph.attach_new("solo").unwrap();
+        a.put("m", schema("Dog", "name", "string")).unwrap();
+        let outcome = supergraph.compose().unwrap();
+        // The registry's cached compiled join is completed base-only.
+        assert_eq!(outcome.strategy, MergeStrategy::Incremental);
+        assert_view_matches_oneshot(&supergraph);
+    }
+
+    #[test]
+    fn compose_after_detach_drops_the_contribution() {
+        let supergraph = two_registry_supergraph();
+        supergraph.compose().unwrap();
+        supergraph.detach("b").unwrap();
+        let outcome = supergraph.compose().unwrap();
+        assert!(!outcome.view.proper().contains_class(&Class::named("Order")));
+        assert_view_matches_oneshot(&supergraph);
+    }
+
+    #[test]
+    fn origins_carry_namespaced_member_labels() {
+        let supergraph = two_registry_supergraph();
+        let outcome = supergraph.compose().unwrap();
+        let origins = outcome.view.origins();
+        assert_eq!(
+            origins.origins_of(&Class::named("Part")),
+            ["a/inventory@v1", "b/orders@v1"]
+        );
+        assert_eq!(origins.origins_of(&Class::named("Order")), ["b/orders@v1"]);
+    }
+
+    #[test]
+    fn collision_and_span_hints_fire() {
+        let supergraph = Supergraph::new();
+        let a = supergraph.attach_new("a").unwrap();
+        let b = supergraph.attach_new("b").unwrap();
+        // Same member name in both registries → collision hint. The two
+        // schemas give C incomparable targets under `f` → an implicit
+        // class spanning both registries.
+        a.put(
+            "shared",
+            WeakSchema::builder().arrow("C", "f", "B1").build().unwrap(),
+        )
+        .unwrap();
+        b.put(
+            "shared",
+            WeakSchema::builder().arrow("C", "f", "B2").build().unwrap(),
+        )
+        .unwrap();
+        let outcome = supergraph.compose().unwrap();
+        let codes: Vec<&str> = outcome.view.hints().map(|d| d.code).collect();
+        assert!(codes.contains(&"H-COMPOSE-COLLISION"), "{codes:?}");
+        assert!(codes.contains(&"H-COMPOSE-SPAN"), "{codes:?}");
+    }
+
+    #[test]
+    fn cross_registry_specialization_hint_fires() {
+        let supergraph = Supergraph::new();
+        let a = supergraph.attach_new("a").unwrap();
+        let b = supergraph.attach_new("b").unwrap();
+        // `b` subtypes a class only `a` declares — but `b` knows both
+        // names, so the edge endpoints share registry `b`. Use three
+        // registries: the edge itself must come from somewhere, so a
+        // *declared* edge always shares its declarer. Cross-registry
+        // introduction happens through transitivity instead.
+        let c = supergraph.attach_new("c").unwrap();
+        a.put("base", schema("Animal", "alive", "bool")).unwrap();
+        b.put(
+            "mid",
+            WeakSchema::builder()
+                .specialize("Dog", "Animal")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        c.put(
+            "leaf",
+            WeakSchema::builder()
+                .specialize("Puppy", "Dog")
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let outcome = supergraph.compose().unwrap();
+        // Transitive closure introduces Puppy ⇒ Animal; Puppy is known
+        // only to `c`, Animal only to `a`.
+        let codes: Vec<&str> = outcome.view.hints().map(|d| d.code).collect();
+        assert!(codes.contains(&"H-COMPOSE-SPECIALIZATION"), "{codes:?}");
+    }
+
+    #[test]
+    fn incremental_and_full_views_agree_on_provenance_and_hints() {
+        // Drive one supergraph incrementally; compose a fresh one from
+        // the same final state; everything observable must be equal.
+        let supergraph = two_registry_supergraph();
+        supergraph.compose().unwrap();
+        let b = supergraph.registry("b").unwrap();
+        b.put("orders", schema("Order", "qty", "int")).unwrap();
+        supergraph.compose().unwrap(); // warms the rest-join
+        b.put("orders", schema("Order", "price", "money")).unwrap();
+        let incremental = supergraph.compose().unwrap();
+        assert_eq!(incremental.strategy, MergeStrategy::Incremental);
+
+        let fresh = Supergraph::new();
+        for name in supergraph.names() {
+            fresh
+                .attach(&name, supergraph.registry(&name).unwrap())
+                .unwrap();
+        }
+        let full = fresh.compose().unwrap();
+        assert_eq!(full.strategy, MergeStrategy::Full);
+
+        assert_eq!(incremental.view.report.proper, full.view.report.proper);
+        assert_eq!(incremental.view.report.implicit, full.view.report.implicit);
+        assert_eq!(incremental.view.origins(), full.view.origins());
+        let incremental_hints: Vec<&Diagnostic> = incremental.view.hints().collect();
+        let full_hints: Vec<&Diagnostic> = full.view.hints().collect();
+        assert_eq!(incremental_hints, full_hints);
+    }
+
+    #[test]
+    fn stats_track_strategies_and_cache_traffic() {
+        let supergraph = two_registry_supergraph();
+        supergraph.compose().unwrap();
+        supergraph.compose().unwrap(); // noop
+        let b = supergraph.registry("b").unwrap();
+        b.put("orders2", schema("X", "y", "Z")).unwrap();
+        supergraph.compose().unwrap(); // full; seeds the rest-join
+        b.put("orders3", schema("X", "w", "W")).unwrap();
+        supergraph.compose().unwrap(); // incremental
+        let stats = supergraph.stats();
+        assert_eq!(stats.registries, 2);
+        assert_eq!(stats.full_composes, 2);
+        assert_eq!(stats.incremental_composes, 1);
+        assert_eq!(stats.noop_composes, 1);
+        assert!(stats.cache_hits >= 1);
+        assert!(stats.composed_classes >= 4);
+        assert!(supergraph.compose_latency().count >= 2);
+    }
+}

@@ -1,0 +1,213 @@
+//! Differential property tests of the federation guarantee:
+//! [`Supergraph::compose`] is *equal* to the one-shot
+//! [`Merger`](schema_merge_core::Merger) over every member schema of
+//! every attached registry — proper schema and implicit-class report —
+//! and attaches the same provenance and `H-COMPOSE-*` hints as a fresh
+//! full compose of the same state, across random
+//! attach/publish/delete/detach sequences and thread budgets (1/2/4).
+//!
+//! Schemas are generated over a small vocabulary with specialization
+//! edges directed along a fixed total order on names, so any collection
+//! of generated schemas — across members *and* registries — is
+//! compatible and every compose must succeed.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use schema_merge_core::{Diagnostic, Merger, WeakSchema};
+use schema_merge_registry::{MergeStrategy, Registry};
+use schema_merge_supergraph::Supergraph;
+
+const NAMES: [&str; 6] = ["c0", "c1", "c2", "c3", "c4", "c5"];
+const LABELS: [&str; 3] = ["a", "b", "f"];
+const REGISTRIES: [&str; 3] = ["r0", "r1", "r2"];
+const MEMBERS: [&str; 3] = ["m0", "m1", "m2"];
+
+#[derive(Debug, Clone)]
+enum RawEdge {
+    Spec(usize, usize),
+    Arrow(usize, usize, usize),
+}
+
+fn raw_edges() -> impl Strategy<Value = Vec<RawEdge>> {
+    let edge = prop_oneof![
+        (0usize..NAMES.len(), 0usize..NAMES.len())
+            .prop_map(|(i, j)| RawEdge::Spec(i.min(j), i.max(j))),
+        (
+            0usize..NAMES.len(),
+            0usize..LABELS.len(),
+            0usize..NAMES.len()
+        )
+            .prop_map(|(s, l, t)| RawEdge::Arrow(s, l, t)),
+    ];
+    vec(edge, 0..10)
+}
+
+fn build(edges: &[RawEdge]) -> WeakSchema {
+    let mut builder = WeakSchema::builder();
+    for edge in edges {
+        builder = match edge {
+            RawEdge::Spec(sub, sup) => {
+                if sub == sup {
+                    builder
+                } else {
+                    builder.specialize(NAMES[*sub], NAMES[*sup])
+                }
+            }
+            RawEdge::Arrow(s, l, t) => builder.arrow(NAMES[*s], LABELS[*l], NAMES[*t]),
+        };
+    }
+    builder.build().expect("order-directed schemas are acyclic")
+}
+
+/// One step of a federation history.
+#[derive(Debug, Clone)]
+enum Op {
+    Put {
+        registry: usize,
+        member: usize,
+        edges: Vec<RawEdge>,
+    },
+    Delete {
+        registry: usize,
+        member: usize,
+    },
+    Detach(usize),
+    Attach(usize),
+    Compose,
+}
+
+fn put() -> impl Strategy<Value = Op> {
+    (0usize..REGISTRIES.len(), 0usize..MEMBERS.len(), raw_edges()).prop_map(
+        |(registry, member, edges)| Op::Put {
+            registry,
+            member,
+            edges,
+        },
+    )
+}
+
+// The vendored `prop_oneof!` is unweighted; repeating an arm biases the
+// uniform union toward publishes and composes.
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        put(),
+        put(),
+        put(),
+        (0usize..REGISTRIES.len(), 0usize..MEMBERS.len())
+            .prop_map(|(registry, member)| Op::Delete { registry, member }),
+        (0usize..REGISTRIES.len()).prop_map(Op::Detach),
+        (0usize..REGISTRIES.len()).prop_map(Op::Attach),
+        Just(Op::Compose),
+        Just(Op::Compose),
+        Just(Op::Compose),
+    ]
+}
+
+/// Every member schema of every attached registry, in a deterministic
+/// order — the one-shot merge input.
+fn all_schemas(supergraph: &Supergraph) -> Vec<Arc<WeakSchema>> {
+    let mut schemas = Vec::new();
+    for name in supergraph.names() {
+        let registry = supergraph.registry(&name).expect("listed name is attached");
+        for (_, version) in registry.current_members() {
+            schemas.push(version.schema);
+        }
+    }
+    schemas
+}
+
+/// The composed view must equal the one-shot merge, and carry the same
+/// origins and hints as a fresh full compose of identical state.
+fn check_composed(supergraph: &Supergraph) -> Result<(), TestCaseError> {
+    let view = supergraph.composed();
+
+    let schemas = all_schemas(supergraph);
+    let oneshot = Merger::new()
+        .schemas(schemas.iter().map(|s| s.as_ref()))
+        .execute()
+        .expect("compatible inputs merge");
+    prop_assert_eq!(
+        &view.report.proper,
+        &oneshot.proper,
+        "proper schemas differ"
+    );
+    prop_assert_eq!(
+        &view.report.implicit,
+        &oneshot.implicit,
+        "implicit-class reports differ"
+    );
+
+    let fresh = Supergraph::new();
+    for name in supergraph.names() {
+        fresh
+            .attach(&name, supergraph.registry(&name).unwrap())
+            .expect("fresh attach");
+    }
+    let full = fresh.compose().expect("fresh full compose");
+    prop_assert_eq!(&view.report.proper, &full.view.report.proper);
+    prop_assert_eq!(view.origins(), full.view.origins(), "origins differ");
+    let history_hints: Vec<&Diagnostic> = view.hints().collect();
+    let full_hints: Vec<&Diagnostic> = full.view.hints().collect();
+    prop_assert_eq!(history_hints, full_hints, "hints differ");
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replays a random federation history at each thread budget; every
+    /// compose along the way (and one final compose) must reproduce the
+    /// one-shot merge, origins and hints included, regardless of which
+    /// engine path (full, incremental, base-only, noop) each step took.
+    #[test]
+    fn compose_equals_oneshot_across_histories(
+        ops in vec(op(), 1..14),
+        threads in prop_oneof![Just(1usize), Just(2usize), Just(4usize)],
+    ) {
+        let supergraph = Supergraph::with_threads(threads);
+        // Registries survive detach (the Arc is kept) so a later Attach
+        // brings their members back — exercising compose-after-detach
+        // and compose-after-reattach transitions.
+        let mut pool: BTreeMap<&str, Arc<Registry>> = BTreeMap::new();
+        for name in REGISTRIES {
+            pool.insert(name, supergraph.attach_new(name).unwrap());
+        }
+
+        for op in &ops {
+            match op {
+                Op::Put { registry, member, edges } => {
+                    pool[REGISTRIES[*registry]]
+                        .put(MEMBERS[*member], build(edges))
+                        .expect("order-directed schemas are compatible");
+                }
+                Op::Delete { registry, member } => {
+                    // Deleting an absent member is a rejected no-op.
+                    let _ = pool[REGISTRIES[*registry]].delete(MEMBERS[*member]);
+                }
+                Op::Detach(registry) => {
+                    let _ = supergraph.detach(REGISTRIES[*registry]);
+                }
+                Op::Attach(registry) => {
+                    let name = REGISTRIES[*registry];
+                    let _ = supergraph.attach(name, Arc::clone(&pool[name]));
+                }
+                Op::Compose => {
+                    supergraph.compose().expect("compatible compose");
+                    check_composed(&supergraph)?;
+                }
+            }
+        }
+
+        let final_outcome = supergraph.compose().expect("final compose");
+        check_composed(&supergraph)?;
+        // A second compose with nothing in between is always a noop on
+        // the same generation.
+        let noop = supergraph.compose().expect("noop compose");
+        prop_assert_eq!(noop.strategy, MergeStrategy::Noop);
+        prop_assert_eq!(noop.generation, final_outcome.generation);
+    }
+}

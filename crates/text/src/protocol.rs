@@ -51,6 +51,17 @@ pub enum Command {
     List,
     /// Evaluate a schema-space path query against the merged view.
     Query(String),
+    /// Attach a fresh member registry to the daemon's supergraph under a
+    /// namespace. Subsequent `PUT registry/member` lines route to it.
+    Attach(String),
+    /// Detach a member registry (its members leave the next composition).
+    Detach(String),
+    /// Compose every attached registry into the supergraph view and
+    /// report generation, strategy and hint count.
+    Compose,
+    /// Fetch the composed supergraph: statistics, per-registry
+    /// contributions, hints and the composed schema as a block.
+    Supergraph,
     /// Force a snapshot + WAL compaction on a durable registry.
     Snapshot,
     /// Liveness probe.
@@ -103,6 +114,10 @@ impl Command {
                     Ok(Command::Query(rest.to_string()))
                 }
             }
+            "ATTACH" => Ok(Command::Attach(name_arg("registry name")?)),
+            "DETACH" => Ok(Command::Detach(name_arg("registry name")?)),
+            "COMPOSE" => bare(Command::Compose),
+            "SUPERGRAPH" => bare(Command::Supergraph),
             "SNAPSHOT" => bare(Command::Snapshot),
             "PING" => bare(Command::Ping),
             "SHUTDOWN" => bare(Command::Shutdown),
@@ -123,6 +138,10 @@ impl fmt::Display for Command {
             Command::Metrics => write!(f, "METRICS"),
             Command::List => write!(f, "LIST"),
             Command::Query(path) => write!(f, "QUERY {path}"),
+            Command::Attach(name) => write!(f, "ATTACH {name}"),
+            Command::Detach(name) => write!(f, "DETACH {name}"),
+            Command::Compose => write!(f, "COMPOSE"),
+            Command::Supergraph => write!(f, "SUPERGRAPH"),
             Command::Snapshot => write!(f, "SNAPSHOT"),
             Command::Ping => write!(f, "PING"),
             Command::Shutdown => write!(f, "SHUTDOWN"),
@@ -289,6 +308,10 @@ mod tests {
                 "QUERY Dog.owner[{A,B}]",
                 Command::Query("Dog.owner[{A,B}]".into()),
             ),
+            ("ATTACH billing", Command::Attach("billing".into())),
+            ("detach billing", Command::Detach("billing".into())),
+            ("COMPOSE", Command::Compose),
+            ("supergraph", Command::Supergraph),
             ("snapshot", Command::Snapshot),
             ("PING", Command::Ping),
             ("SHUTDOWN", Command::Shutdown),
@@ -324,6 +347,14 @@ mod tests {
             Command::parse("QUERY"),
             Err(ProtocolError::MissingArgument("path"))
         );
+        assert_eq!(
+            Command::parse("ATTACH"),
+            Err(ProtocolError::MissingArgument("registry name"))
+        );
+        assert!(matches!(
+            Command::parse("COMPOSE now"),
+            Err(ProtocolError::TrailingInput(_))
+        ));
     }
 
     #[test]

@@ -26,7 +26,7 @@
 //!
 //! let g1 = WeakSchema::builder().arrow("Dog", "owner", "Person").build()?;
 //! let g2 = WeakSchema::builder().arrow("Dog", "age", "int").build()?;
-//! let merged = merge([&g1, &g2])?;
+//! let merged = Merger::new().schema(&g1).schema(&g2).execute()?;
 //! assert_eq!(merged.proper.labels_of(&Class::named("Dog")).len(), 2);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
