@@ -58,12 +58,13 @@
 //! comparisons stay fair.
 
 use std::hint::black_box;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use schema_merge_core::row::set_sparse_enabled;
 use schema_merge_core::{reference, EnginePreference, Merger, WeakSchema};
 use schema_merge_er::to_core;
-use schema_merge_registry::{MergeStrategy, Registry};
+use schema_merge_registry::storage::{Fault, FaultSchedule, FaultStore, LocalStore, OpKind};
+use schema_merge_registry::{MergeStrategy, Registry, RetryPolicy};
 use schema_merge_supergraph::Supergraph;
 use schema_merge_telemetry as telemetry;
 use schema_merge_workload::{
@@ -203,6 +204,11 @@ pub const VARIANT_INCREMENTAL: &str = "incremental";
 pub const VARIANT_DURABLE: &str = "durable";
 /// Registry publish on a purely in-memory registry.
 pub const VARIANT_MEMORY: &str = "memory";
+/// The durable publish with a 5% transient append-fault rate injected
+/// under the WAL: each faulted commit is retried under the registry's
+/// backoff policy until it lands, so the measurement prices resilience,
+/// not data loss.
+pub const VARIANT_DURABLE_FAULTY: &str = "durable-faulty";
 /// The compiled engine with the adaptive sparse rows disabled — every
 /// closure matrix dense, the pre-adaptive memory behavior.
 pub const VARIANT_COMPILED_DENSE: &str = "compiled-dense";
@@ -1014,6 +1020,113 @@ impl Suite {
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
+
+    /// The resilience tax: the durable publish against a store that
+    /// injects transient append failures at a 50‰ rate (seeded, so the
+    /// fault sequence is reproducible run to run) versus the clean
+    /// durable path. The faulty side retries under a tight backoff
+    /// policy until every commit lands — no acked publish is dropped —
+    /// so the speedup column is the per-commit cost factor of riding
+    /// out a flaky disk, not a measurement of lost work.
+    fn registry_durability_faulty(&mut self, members: usize, classes: usize) {
+        let core_params = SchemaParams {
+            vocabulary: classes,
+            classes,
+            labels: classes * 8,
+            arrows: classes,
+            specializations: (classes / 32).max(2),
+            seed: 0xFA017 + members as u64,
+        };
+        let core = schema_merge_workload::schema_family(&core_params, 1).remove(0);
+        let delta_params = SchemaParams {
+            classes: (classes / 6).max(4),
+            arrows: (classes / 6).max(4),
+            specializations: 0,
+            seed: 0x0FA57 + members as u64,
+            ..core_params
+        };
+        let deltas = schema_merge_workload::schema_family(&delta_params, members);
+        let family: Vec<WeakSchema> = deltas
+            .iter()
+            .map(|delta| facade_join([&core, delta]))
+            .collect();
+        let joined = facade_join(family.iter());
+        let variants: Vec<WeakSchema> = schema_merge_workload::schema_family(
+            &SchemaParams {
+                seed: 0xFA111 + members as u64,
+                ..delta_params
+            },
+            2 * (self.iters + 1),
+        )
+        .iter()
+        .map(|delta| facade_join([&core, delta]))
+        .collect();
+
+        let pid = std::process::id();
+        let dir_faulty = std::env::temp_dir().join(format!("smerge-bench-faulty-{members}-{pid}"));
+        let dir_clean =
+            std::env::temp_dir().join(format!("smerge-bench-faulty-ref-{members}-{pid}"));
+        for dir in [&dir_faulty, &dir_clean] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+        // 50‰ of appends fail transiently; the registry's retry budget
+        // absorbs every burst the seeded schedule can produce. The
+        // backoff is kept tight so the record prices the retry path,
+        // not the sleep.
+        let schedule = FaultSchedule::new(0x5EED_FA17)
+            .intermittent(OpKind::Append, 50, Fault::Transient)
+            .fail_nth(OpKind::Append, members as u64 + 2, Fault::Transient);
+        let faulty = Registry::builder()
+            .store(FaultStore::new(
+                LocalStore::open(&dir_faulty).expect("faulty store opens"),
+                schedule,
+            ))
+            .retry_policy(
+                RetryPolicy::new(8)
+                    .initial_backoff(Duration::from_micros(50))
+                    .max_backoff(Duration::from_micros(400)),
+            )
+            .open()
+            .expect("faulty registry opens");
+        let clean = Registry::builder()
+            .data_dir(&dir_clean)
+            .open()
+            .expect("clean registry opens");
+        for (i, member) in family.iter().enumerate() {
+            for registry in [&faulty, &clean] {
+                registry
+                    .put(format!("member-{i}"), member.clone())
+                    .expect("family publishes");
+            }
+        }
+        let mut faulty_pool = variants.clone();
+        let mut clean_pool = variants;
+        self.measure_pair(
+            "registry",
+            "durable_publish_faulty",
+            &joined,
+            VARIANT_DURABLE_FAULTY,
+            || {
+                let changed = faulty_pool.pop().expect("enough variants");
+                black_box(faulty.put("member-0", changed).expect("publishes"));
+            },
+            VARIANT_DURABLE,
+            || {
+                let changed = clean_pool.pop().expect("enough variants");
+                black_box(clean.put("member-0", changed).expect("publishes"));
+            },
+        );
+        assert!(
+            faulty
+                .health()
+                .fault_counters
+                .is_some_and(|c| c.injected > 0),
+            "the fault schedule must actually fire during the measurement"
+        );
+        for dir in [&dir_faulty, &dir_clean] {
+            let _ = std::fs::remove_dir_all(dir);
+        }
+    }
 }
 
 /// Runs the suite. `quick` is the CI profile: fewer iterations and only
@@ -1041,6 +1154,7 @@ pub fn run_suite(quick: bool, threads: usize) -> BenchReport {
     suite.wide(64);
     suite.registry_publish(32, 200);
     suite.registry_durability(8, 64);
+    suite.registry_durability_faulty(8, 64);
     suite.supergraph_recompose(8, 200);
     suite.supergraph_recompose(32, 200);
     suite.taxonomy_merges(6_000, 6);

@@ -29,6 +29,12 @@ pub enum CliError {
     Io(std::io::Error),
     /// Parsing or merging failed.
     Data(String),
+    /// Could not reach the daemon (refused, timed out, unreachable).
+    /// Transient: the client retries these for idempotent verbs.
+    Connect(String),
+    /// The daemon answered, but not in the dot-framed protocol we
+    /// speak (malformed status line). Permanent: never retried.
+    Protocol(String),
 }
 
 impl CliError {
@@ -38,7 +44,17 @@ impl CliError {
             CliError::Usage(_) => "E-CLI-USAGE",
             CliError::Io(_) => "E-CLI-IO",
             CliError::Data(_) => "E-CLI-DATA",
+            CliError::Connect(_) => "E-CLI-CONNECT",
+            CliError::Protocol(_) => "E-CLI-PROTOCOL",
         }
+    }
+
+    /// Whether retrying the same request might succeed. Only
+    /// connection-level failures qualify: a daemon that answered —
+    /// even with garbage — has made a durable decision about the
+    /// request, so `Data`/`Protocol` errors are permanent.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, CliError::Connect(_))
     }
 
     /// Wraps a merge failure, embedding its stable code in the message.
@@ -53,6 +69,8 @@ impl fmt::Display for CliError {
             CliError::Usage(msg) => write!(f, "{msg}\n\n{USAGE}"),
             CliError::Io(err) => write!(f, "{err}"),
             CliError::Data(msg) => write!(f, "{msg}"),
+            CliError::Connect(msg) => write!(f, "{msg}"),
+            CliError::Protocol(msg) => write!(f, "{msg}"),
         }
     }
 }
@@ -195,14 +213,16 @@ commands:
                        records, 0 = manual SNAPSHOT only; --trace-log
                        appends Chrome trace-event JSONL spans for every
                        request the daemon serves)
-  client <addr> <cmd> [args]
+  client <addr> [--retries N] [--retry-backoff-ms M] <cmd> [args]
                        drive a running daemon: put <name> <file>,
                        get <name>, delete <name>, merged, stats,
                        metrics, list, query <path>, attach <registry>,
                        detach <registry>, compose, supergraph,
-                       snapshot, ping, shutdown (member names may be
-                       namespaced `registry/member` to route to an
-                       attached registry)
+                       snapshot, ping, health, shutdown (member names
+                       may be namespaced `registry/member` to route to
+                       an attached registry; --retries re-sends
+                       idempotent reads after connection-level
+                       failures, backing off M ms doubled per attempt)
   help                 this message";
 
 /// Entry point shared by `main` and the tests.

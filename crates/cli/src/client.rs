@@ -5,15 +5,24 @@
 //! smerge client 127.0.0.1:7411 put inventory schemas/inventory.sm
 //! smerge client 127.0.0.1:7411 merged
 //! smerge client 127.0.0.1:7411 attach billing
-//! smerge client 127.0.0.1:7411 compose
+//! smerge client 127.0.0.1:7411 --retries 3 health
 //! smerge client 127.0.0.1:7411 shutdown
 //! ```
 //!
 //! Prints the server's status detail (and block payload, if any) to
-//! stdout. An `ERR` response becomes a nonzero exit code, so scripts
-//! and CI can gate on it. A daemon that drops the connection mid-frame
-//! (before the status line, or inside a dot-framed block) is reported
-//! as a diagnosable `error[E-CLI-DATA]` — never a raw I/O failure.
+//! stdout. Failures are classified into distinct stable codes so
+//! scripts and CI can gate on them:
+//!
+//! - `E-CLI-CONNECT` — the daemon was never reached (refused,
+//!   unreachable, or no response before the timeout). Transient:
+//!   `--retries N` re-sends idempotent read verbs with exponential
+//!   backoff (`--retry-backoff-ms`, default 100).
+//! - `E-CLI-PROTOCOL` — the peer answered, but not in our protocol
+//!   (malformed status line). Permanent; never retried.
+//! - `E-CLI-DATA` — the daemon rejected the request (`ERR …`), or
+//!   dropped the connection mid-frame (before the status line, or
+//!   inside a dot-framed block). Permanent; never retried, because
+//!   the daemon may already have acted on the request.
 
 use std::io::{BufRead, BufReader, ErrorKind, Write};
 use std::net::TcpStream;
@@ -26,13 +35,18 @@ use crate::app::CliError;
 
 const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
 
+/// Default backoff before the first retry; doubled per attempt.
+const DEFAULT_RETRY_BACKOFF: Duration = Duration::from_millis(100);
+
 /// Builds the wire command (and payload block, for `put`) from argv.
 fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliError> {
     let usage = || {
         CliError::Usage(
-            "expected `client <addr> <put <name> <file> | get <name> | delete <name> | \
+            "expected `client <addr> [--retries N] [--retry-backoff-ms M] \
+             <put <name> <file> | get <name> | delete <name> | \
              merged | stats | metrics | list | query <path> | attach <registry> | \
-             detach <registry> | compose | supergraph | snapshot | ping | shutdown>`"
+             detach <registry> | compose | supergraph | snapshot | ping | health | \
+             shutdown>`"
                 .into(),
         )
     };
@@ -56,9 +70,67 @@ fn build_request(words: &[&String]) -> Result<(Command, Option<String>), CliErro
         ("supergraph", []) => Ok((Command::Supergraph, None)),
         ("snapshot", []) => Ok((Command::Snapshot, None)),
         ("ping", []) => Ok((Command::Ping, None)),
+        ("health", []) => Ok((Command::Health, None)),
         ("shutdown", []) => Ok((Command::Shutdown, None)),
         _ => Err(usage()),
     }
+}
+
+/// Verbs safe to re-send after a connection-level failure: pure reads
+/// whose repetition cannot double-apply anything. `put`/`delete`/
+/// `snapshot`/`compose` mutate daemon state, `shutdown` is one-shot.
+fn is_idempotent(command: &Command) -> bool {
+    matches!(
+        command,
+        Command::Get(_)
+            | Command::Merged
+            | Command::Stats
+            | Command::Metrics
+            | Command::List
+            | Command::Query(_)
+            | Command::Supergraph
+            | Command::Ping
+            | Command::Health
+    )
+}
+
+/// Retry knobs stripped from argv by [`split_retry_opts`].
+#[derive(Debug)]
+struct RetryOpts {
+    retries: u32,
+    backoff: Duration,
+}
+
+/// Strips `--retries N` and `--retry-backoff-ms M` out of the argument
+/// list (they may appear anywhere after `client`).
+fn split_retry_opts<'a>(args: &[&'a String]) -> Result<(RetryOpts, Vec<&'a String>), CliError> {
+    let mut opts = RetryOpts {
+        retries: 0,
+        backoff: DEFAULT_RETRY_BACKOFF,
+    };
+    let mut rest: Vec<&String> = Vec::new();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--retries" => {
+                opts.retries = iter
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .ok_or_else(|| CliError::Usage("--retries requires a count".into()))?;
+            }
+            "--retry-backoff-ms" => {
+                opts.backoff = iter
+                    .next()
+                    .and_then(|v| v.parse::<u64>().ok())
+                    .map(Duration::from_millis)
+                    .ok_or_else(|| {
+                        CliError::Usage("--retry-backoff-ms requires milliseconds".into())
+                    })?;
+            }
+            _ => rest.push(arg),
+        }
+    }
+    Ok((opts, rest))
 }
 
 /// The error reported when the daemon drops the connection partway
@@ -69,7 +141,9 @@ fn closed(context: &str) -> CliError {
 
 /// Reads one line, translating both clean EOF (`Ok(0)`) and the
 /// connection-teardown error kinds into the mid-frame error — a daemon
-/// crash surfaces the same way regardless of how the socket died.
+/// crash surfaces the same way regardless of how the socket died. A
+/// read timeout means no byte ever arrived, so it is classified as a
+/// transient connection failure rather than a mid-frame drop.
 fn read_response_line(
     reader: &mut impl BufRead,
     buf: &mut String,
@@ -89,6 +163,9 @@ fn read_response_line(
         {
             Err(closed(context))
         }
+        Err(err) if matches!(err.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => Err(
+            CliError::Connect(format!("timed out waiting for a response {context}")),
+        ),
         Err(err) => Err(err.into()),
     }
 }
@@ -100,7 +177,7 @@ fn read_response(reader: &mut impl BufRead, out: &mut dyn Write) -> Result<(), C
     let mut status = String::new();
     read_response_line(reader, &mut status, "before a response arrived")?;
     let (status, detail) = parse_status_line(&status)
-        .map_err(|err| CliError::Data(format!("malformed response: {err}")))?;
+        .map_err(|err| CliError::Protocol(format!("malformed response: {err}")))?;
     match status {
         Status::Ok => {
             writeln!(out, "{detail}")?;
@@ -128,26 +205,53 @@ fn read_response(reader: &mut impl BufRead, out: &mut dyn Write) -> Result<(), C
     }
 }
 
-/// Connects, sends one command, prints the response.
-pub fn client_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
-    let (addr, words) = args
-        .split_first()
-        .ok_or_else(|| CliError::Usage("expected `client <addr> <command> [args]`".into()))?;
-    let (command, payload) = build_request(words)?;
-
-    let stream = TcpStream::connect(addr.as_str())
-        .map_err(|err| CliError::Data(format!("{addr}: {err}")))?;
+/// One connect-send-read round trip. The response is buffered rather
+/// than streamed to `out`, so a retried attempt never leaves a partial
+/// response in the output.
+fn send_once(addr: &str, command: &Command, payload: Option<&str>) -> Result<Vec<u8>, CliError> {
+    let stream =
+        TcpStream::connect(addr).map_err(|err| CliError::Connect(format!("{addr}: {err}")))?;
     stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
 
     writeln!(writer, "{command}")?;
     if let Some(payload) = payload {
-        write!(writer, "{}", encode_block(&payload))?;
+        write!(writer, "{}", encode_block(payload))?;
     }
     writer.flush()?;
 
-    read_response(&mut reader, out)
+    let mut buf = Vec::new();
+    read_response(&mut reader, &mut buf)?;
+    Ok(buf)
+}
+
+/// Connects, sends one command, prints the response. With `--retries`,
+/// transient connection failures on idempotent verbs are re-sent with
+/// exponential backoff.
+pub fn client_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliError> {
+    let (opts, rest) = split_retry_opts(args)?;
+    let (addr, words) = rest
+        .split_first()
+        .ok_or_else(|| CliError::Usage("expected `client <addr> <command> [args]`".into()))?;
+    let (command, payload) = build_request(words)?;
+    let retryable = opts.retries > 0 && is_idempotent(&command);
+
+    let mut attempt: u32 = 0;
+    loop {
+        match send_once(addr, &command, payload.as_deref()) {
+            Ok(buf) => {
+                out.write_all(&buf)?;
+                return Ok(());
+            }
+            Err(err) if retryable && err.is_transient() && attempt < opts.retries => {
+                attempt += 1;
+                std::thread::sleep(opts.backoff * 2u32.pow((attempt - 1).min(16)));
+            }
+            Err(err) => return Err(err),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,6 +279,18 @@ mod tests {
         let err = respond("ERR no member named `x`\n").unwrap_err();
         assert_eq!(err.code(), "E-CLI-DATA");
         assert!(err.to_string().contains("no member named"), "{err}");
+        assert!(!err.is_transient());
+    }
+
+    /// A peer that talks a different protocol (no OK/DATA/ERR status
+    /// word) is a permanent `E-CLI-PROTOCOL` error, distinct from a
+    /// daemon-side rejection.
+    #[test]
+    fn malformed_status_line_is_a_protocol_error() {
+        let err = respond("HTTP/1.1 400 Bad Request\n").unwrap_err();
+        assert_eq!(err.code(), "E-CLI-PROTOCOL");
+        assert!(err.to_string().contains("malformed response"), "{err}");
+        assert!(!err.is_transient());
     }
 
     #[test]
@@ -200,6 +316,7 @@ mod tests {
             err.to_string().contains("connection closed mid-block"),
             "{err}"
         );
+        assert!(!err.is_transient(), "mid-frame drops must not be retried");
     }
 
     /// Teardown surfacing as an error (reset) diagnoses identically to a
@@ -234,6 +351,81 @@ mod tests {
             err.to_string().contains("connection closed mid-block"),
             "{err}"
         );
+    }
+
+    /// A read timeout (no byte ever arrived) is transient — the request
+    /// may never have reached the daemon — unlike a mid-frame drop.
+    #[test]
+    fn read_timeout_is_a_transient_connect_error() {
+        struct TimedOut;
+        impl std::io::Read for TimedOut {
+            fn read(&mut self, _buf: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::from(ErrorKind::TimedOut))
+            }
+        }
+        impl BufRead for TimedOut {
+            fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+                Err(std::io::Error::from(ErrorKind::TimedOut))
+            }
+            fn consume(&mut self, _amt: usize) {}
+        }
+        let mut out = Vec::new();
+        let err = read_response(&mut TimedOut, &mut out).unwrap_err();
+        assert_eq!(err.code(), "E-CLI-CONNECT");
+        assert!(err.is_transient());
+    }
+
+    /// Refused connections classify as `E-CLI-CONNECT`, and `--retries`
+    /// re-attempts them for idempotent verbs (still failing here, but
+    /// with the transient code and no partial output).
+    #[test]
+    fn refused_connection_is_a_connect_error_and_retries() {
+        // Bind then drop a listener so the port is (briefly) refusing.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let addr = addr.to_string();
+        let retries = "--retries".to_string();
+        let two = "2".to_string();
+        let backoff = "--retry-backoff-ms".to_string();
+        let one_ms = "1".to_string();
+        let ping = "ping".to_string();
+        let args = [&addr, &retries, &two, &backoff, &one_ms, &ping];
+        let mut out = Vec::new();
+        let err = client_command(&args, &mut out).unwrap_err();
+        assert_eq!(err.code(), "E-CLI-CONNECT");
+        assert!(err.is_transient());
+        assert!(out.is_empty(), "failed attempts must not emit output");
+    }
+
+    #[test]
+    fn retry_flags_parse_and_strip() {
+        let a = "--retries".to_string();
+        let b = "5".to_string();
+        let c = "--retry-backoff-ms".to_string();
+        let d = "250".to_string();
+        let addr = "127.0.0.1:7411".to_string();
+        let verb = "health".to_string();
+        let (opts, rest) = split_retry_opts(&[&addr, &a, &b, &c, &d, &verb]).unwrap();
+        assert_eq!(opts.retries, 5);
+        assert_eq!(opts.backoff, Duration::from_millis(250));
+        assert_eq!(rest, [&addr, &verb]);
+
+        let err = split_retry_opts(&[&a]).unwrap_err();
+        assert_eq!(err.code(), "E-CLI-USAGE");
+    }
+
+    #[test]
+    fn health_is_an_idempotent_verb() {
+        let health = "health".to_string();
+        let (command, payload) = build_request(&[&health]).unwrap();
+        assert_eq!(command, Command::Health);
+        assert!(payload.is_none());
+        assert!(is_idempotent(&command));
+        assert!(!is_idempotent(&Command::Put("x".into())));
+        assert!(!is_idempotent(&Command::Shutdown));
+        assert!(!is_idempotent(&Command::Compose));
     }
 
     #[test]

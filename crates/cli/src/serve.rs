@@ -21,7 +21,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use schema_merge_core::Merger;
-use schema_merge_registry::{MergedView, Registry};
+use schema_merge_registry::{MergedView, Registry, RetryPolicy};
 use schema_merge_supergraph::{Supergraph, SupergraphError};
 use schema_merge_telemetry::{self as telemetry, render_counter, render_gauge, Histogram};
 use schema_merge_text::protocol::{status_line, BlockCollector, Command, Status};
@@ -32,6 +32,20 @@ use crate::app::{parse_path_query, CliError};
 /// How long a worker waits on an idle connection before dropping it —
 /// keeps dead clients from pinning workers forever.
 const READ_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// How long a worker blocks writing a response before giving up on the
+/// connection — a stalled client that stops reading mid-MERGED must not
+/// pin a worker forever either.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Wall-clock budget for collecting one PUT payload block. The per-line
+/// read timeout alone would let a slow-drip client (one line every two
+/// minutes) hold a worker indefinitely; the whole block must arrive
+/// within this deadline.
+const PUT_DEADLINE: Duration = Duration::from_secs(60);
+
+/// Cadence of the background heal probe while the registry is degraded.
+const PROBE_INTERVAL: Duration = Duration::from_millis(200);
 
 /// The namespace the daemon's own registry is attached under. Bare
 /// (slash-free) member names route here.
@@ -115,7 +129,7 @@ fn parse_options(args: &[&String]) -> Result<Options, CliError> {
 /// Verbs the worker loop times individually. Connection-terminating
 /// verbs (`QUIT`, `SHUTDOWN`) are excluded — their latency is the
 /// teardown, not the service.
-const TIMED_VERBS: [&str; 14] = [
+const TIMED_VERBS: [&str; 15] = [
     "put",
     "get",
     "delete",
@@ -125,6 +139,7 @@ const TIMED_VERBS: [&str; 14] = [
     "list",
     "query",
     "snapshot",
+    "health",
     "ping",
     "attach",
     "detach",
@@ -165,6 +180,7 @@ fn verb_label(command: &Command) -> Option<&'static str> {
         Command::List => "list",
         Command::Query(_) => "query",
         Command::Snapshot => "snapshot",
+        Command::Health => "health",
         Command::Ping => "ping",
         Command::Attach(_) => "attach",
         Command::Detach(_) => "detach",
@@ -240,6 +256,34 @@ fn render_metrics(
         "Current member count",
         i64::try_from(stats.members).unwrap_or(i64::MAX),
     );
+
+    let health = registry.health();
+    render_counter(
+        &mut out,
+        "smerge_storage_retry_total",
+        "Commit-path storage retries under the retry policy",
+        health.storage_retries,
+    );
+    render_gauge(
+        &mut out,
+        "smerge_degraded",
+        "1 when the registry is in degraded read-only mode",
+        i64::from(health.degraded),
+    );
+    if let Some(fault) = health.fault_counters {
+        render_counter(
+            &mut out,
+            "smerge_fault_injected_total",
+            "Storage faults injected by the live fault schedule",
+            fault.injected,
+        );
+        render_counter(
+            &mut out,
+            "smerge_fault_torn_appends_total",
+            "Injected append faults that left a torn partial frame",
+            fault.torn_appends,
+        );
+    }
 
     let summary = |out: &mut String, name: &str, help: &str| {
         out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} summary\n"));
@@ -380,7 +424,10 @@ pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliErr
         builder = builder.merge_threads(threads);
     }
     if let Some(dir) = &options.data_dir {
-        builder = builder.data_dir(dir);
+        // The daemon's durable registry runs with resilience on: flaky
+        // fsyncs are retried, and exhaustion degrades to read-only (the
+        // background probe below heals it) instead of erroring forever.
+        builder = builder.data_dir(dir).retry_policy(RetryPolicy::new(3));
     }
     if let Some(every) = options.snapshot_every {
         builder = builder.snapshot_every(every);
@@ -449,6 +496,19 @@ pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliErr
 
     let queue = Arc::new(ConnQueue::new());
     let shutdown = Arc::new(AtomicBool::new(false));
+    // Background heal probe: while the registry is degraded it
+    // re-attempts the store on a short cadence and flips back to
+    // writable as soon as the store responds (`Registry::probe_now`).
+    let probe = {
+        let registry = Arc::clone(&registry);
+        let shutdown = Arc::clone(&shutdown);
+        std::thread::spawn(move || {
+            while !shutdown.load(Ordering::SeqCst) {
+                registry.probe_now();
+                std::thread::sleep(PROBE_INTERVAL);
+            }
+        })
+    };
     let workers: Vec<_> = (0..options.threads)
         .map(|tid| {
             let queue = Arc::clone(&queue);
@@ -489,6 +549,7 @@ pub fn serve_command(args: &[&String], out: &mut dyn Write) -> Result<(), CliErr
     for worker in workers {
         let _ = worker.join();
     }
+    let _ = probe.join();
     if trace.is_some() {
         telemetry::set_spans_enabled(false);
     }
@@ -538,6 +599,15 @@ fn supergraph_err(err: &SupergraphError) -> String {
     status_line(Status::Err, &format!("[{}] {err}", err.code()))
 }
 
+/// Arms both socket deadlines on an accepted connection: a client that
+/// stops sending (read) or stops receiving (write) must not pin a
+/// worker forever.
+fn configure_stream(stream: &TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    Ok(())
+}
+
 #[allow(clippy::too_many_arguments)]
 fn handle_connection(
     stream: TcpStream,
@@ -549,7 +619,7 @@ fn handle_connection(
     trace: Option<&TraceSink>,
     tid: u64,
 ) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    configure_stream(&stream)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = stream;
 
@@ -585,6 +655,28 @@ fn handle_connection(
                 return Ok(());
             }
             Command::Ping => writeln!(writer, "{}", status_line(Status::Ok, "pong"))?,
+            Command::Health => {
+                let health = registry.health();
+                let mut detail = format!(
+                    "state={} retries={} degrade_events={} heal_events={}",
+                    health.state(),
+                    health.storage_retries,
+                    health.degrade_events,
+                    health.heal_events
+                );
+                if let Some(fault) = health.fault_counters {
+                    detail.push_str(&format!(
+                        " faults_injected={} torn_appends={}",
+                        fault.injected, fault.torn_appends
+                    ));
+                }
+                if let Some(err) = &health.last_storage_error {
+                    // Free-form text goes last so the key=value fields
+                    // stay machine-splittable.
+                    detail.push_str(&format!(" last_error={err}"));
+                }
+                writeln!(writer, "{}", status_line(Status::Ok, &detail))?;
+            }
             Command::Snapshot => match registry.snapshot() {
                 Ok(generation) => writeln!(
                     writer,
@@ -596,10 +688,22 @@ fn handle_connection(
             Command::Put(name) => {
                 let mut collector = BlockCollector::new();
                 let mut complete = false;
+                let block_started = Instant::now();
                 while let Some(payload_line) = read_line(&mut reader)? {
                     if collector.push(&payload_line) {
                         complete = true;
                         break;
+                    }
+                    if block_started.elapsed() > PUT_DEADLINE {
+                        // A slow-drip client: each line lands within the
+                        // read timeout, but the block as a whole never
+                        // finishes. Cut it loose.
+                        writeln!(
+                            writer,
+                            "{}",
+                            status_line(Status::Err, "payload deadline exceeded")
+                        )?;
+                        return Ok(());
                     }
                 }
                 if !complete {
@@ -838,5 +942,27 @@ fn put_member(registry: &Registry, name: &str, payload: &str) -> String {
             ),
         ),
         Err(err) => status_line(Status::Err, &err.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// Both socket deadlines are armed on every accepted connection —
+    /// notably the write timeout, so a client that stops reading
+    /// mid-response cannot pin a worker forever.
+    #[test]
+    fn configure_stream_arms_read_and_write_timeouts() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _client = TcpStream::connect(addr).unwrap();
+        let (accepted, _) = listener.accept().unwrap();
+        assert_eq!(accepted.read_timeout().unwrap(), None);
+        assert_eq!(accepted.write_timeout().unwrap(), None);
+        configure_stream(&accepted).unwrap();
+        assert_eq!(accepted.read_timeout().unwrap(), Some(READ_TIMEOUT));
+        assert_eq!(accepted.write_timeout().unwrap(), Some(WRITE_TIMEOUT));
     }
 }

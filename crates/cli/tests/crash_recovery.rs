@@ -259,3 +259,110 @@ fn sigkill_mid_storm_recovers_every_acknowledged_commit() {
     assert_eq!(status, "OK pong");
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// SIGKILL + fault-on-recovery: the daemon is killed mid-commit, and
+/// the surviving directory is then recovered through a fault-injecting
+/// store whose recovery-path reads fail transiently a few times. Under
+/// a retry policy the recovery must still reproduce every acknowledged
+/// commit; without one, the same faults are fatal (the legacy
+/// fail-fast contract).
+#[test]
+fn sigkill_then_recovery_retries_transient_storage_faults() {
+    use schema_merge_registry::storage::{Fault, FaultSchedule, FaultStore, LocalStore, OpKind};
+    use schema_merge_registry::RetryPolicy;
+
+    let dir = std::env::temp_dir().join(format!("smerge-crash-faulty-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Acked history, then a storm thread with the plug pulled under it.
+    let mut daemon = spawn_daemon(&dir, "5");
+    let addr = daemon.addr.clone();
+    {
+        let stream = TcpStream::connect(&addr).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        for round in 0..4 {
+            for member in ["alpha", "beta"] {
+                let status = put(
+                    &mut writer,
+                    &mut reader,
+                    member,
+                    &schema_text(member, round),
+                )
+                .expect("acked put");
+                assert!(status.starts_with("OK"), "{status}");
+            }
+        }
+    }
+    let acked = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let Ok(stream) = TcpStream::connect(&addr) else {
+                return;
+            };
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            for round in 0..10_000 {
+                match put(
+                    &mut writer,
+                    &mut reader,
+                    "storm",
+                    &schema_text("storm", round),
+                ) {
+                    Ok(status) if status.starts_with("OK") => {
+                        acked.fetch_add(1, Ordering::SeqCst);
+                    }
+                    _ => return,
+                }
+            }
+        });
+        std::thread::sleep(Duration::from_millis(150));
+        daemon.child.kill().expect("SIGKILL");
+        let _ = daemon.child.wait();
+    });
+    drop(daemon);
+
+    // Recover in-process through a flaky store: the first attempt of
+    // every recovery read faults transiently.
+    let flaky_schedule = || {
+        FaultSchedule::new(7)
+            .fail_nth(OpKind::ListSnapshots, 1, Fault::Transient)
+            .fail_nth(OpKind::ReadSnapshot, 1, Fault::Transient)
+            .fail_nth(OpKind::ReadLog, 1, Fault::Transient)
+    };
+    let store = FaultStore::new(LocalStore::open(&dir).unwrap(), flaky_schedule());
+    let recovered = Registry::builder()
+        .store(store)
+        .retry_policy(
+            RetryPolicy::new(3)
+                .initial_backoff(Duration::from_millis(1))
+                .max_backoff(Duration::from_millis(4)),
+        )
+        .open()
+        .expect("recovery retries transient read faults");
+
+    // Every acked commit survived the kill and the flaky recovery.
+    let acked = acked.load(Ordering::SeqCst);
+    let storm_sequence = recovered.history("storm").map(|h| h.len()).unwrap_or(0);
+    assert!(
+        storm_sequence >= acked,
+        "{acked} acked storm commits but recovered {storm_sequence}"
+    );
+    assert!(storm_sequence <= acked + 1, "{storm_sequence} vs {acked}");
+    assert_eq!(recovered.history("alpha").unwrap().len(), 4);
+    assert_eq!(recovered.history("beta").unwrap().len(), 4);
+    assert_eq!(recovered.health().state(), "ok");
+    drop(recovered);
+
+    // The same schedule without a retry policy is fatal.
+    let store = FaultStore::new(LocalStore::open(&dir).unwrap(), flaky_schedule());
+    let err = Registry::builder().store(store).open().unwrap_err();
+    assert!(
+        matches!(err, schema_merge_registry::RegistryError::Storage(_)),
+        "{err}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -121,3 +121,34 @@ fn errors_carry_stable_codes_on_stderr() {
     let (_, text) = run(&["frobnicate"]);
     assert!(text.contains("error[E-CLI-USAGE]"), "{text}");
 }
+
+/// Client-side failure classification at the process level: a daemon
+/// that cannot be reached is `E-CLI-CONNECT` (transient — `--retries`
+/// applies), and both spellings exit 1 without panicking.
+#[test]
+fn client_connect_failures_carry_the_connect_code() {
+    // Bind then drop a listener: the port is refusing connections.
+    let addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+
+    let (status, text) = run(&["client", &addr, "ping"]);
+    assert_eq!(status.code(), Some(1), "{text}");
+    assert!(text.contains("error[E-CLI-CONNECT]"), "{text}");
+    assert!(!text.contains("panicked"), "{text}");
+
+    // With retries armed the classification is unchanged — still the
+    // transient connect code after the budget runs out.
+    let (status, text) = run(&[
+        "client",
+        &addr,
+        "--retries",
+        "2",
+        "--retry-backoff-ms",
+        "1",
+        "health",
+    ]);
+    assert_eq!(status.code(), Some(1), "{text}");
+    assert!(text.contains("error[E-CLI-CONNECT]"), "{text}");
+}

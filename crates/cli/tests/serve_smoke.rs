@@ -163,6 +163,19 @@ fn daemon_serves_puts_merges_queries_and_shuts_down() {
     assert!(text.contains("smerge_uptime_seconds"), "{text}");
     assert!(text.contains("smerge_registry_generation 2"), "{text}");
     assert!(text.contains("smerge_registry_members 2"), "{text}");
+    assert!(text.contains("smerge_storage_retry_total 0"), "{text}");
+    assert!(text.contains("smerge_degraded 0"), "{text}");
+
+    // HEALTH reports the resilience state: healthy, no retries, no
+    // degrade/heal transitions yet.
+    let (ok, text) = client(&addr, &["health"]);
+    assert!(ok, "{text}");
+    assert!(text.contains("state=ok"), "{text}");
+    assert!(text.contains("retries=0"), "{text}");
+    assert!(
+        text.contains("degrade_events=0") && text.contains("heal_events=0"),
+        "{text}"
+    );
 
     // GET / LIST / DELETE round out the surface.
     let (ok, text) = client(&addr, &["get", "alpha"]);

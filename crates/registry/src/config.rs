@@ -35,7 +35,10 @@ use schema_merge_telemetry as telemetry;
 
 use crate::cache::{fingerprint, JoinCache};
 use crate::error::RegistryError;
-use crate::registry::{merge_onto, Counters, Persistence, Registry, RegistryMetrics, Shared};
+use crate::registry::{
+    merge_onto, Counters, Persistence, Registry, RegistryMetrics, Resilience, Shared,
+};
+use crate::resilience::RetryPolicy;
 use crate::storage::snapshot::SnapshotState;
 use crate::storage::wal::{self, WalRecord};
 use crate::storage::{snapshot, LocalStore, StorageError, Store};
@@ -61,6 +64,7 @@ pub struct RegistryBuilder {
     data_dir: Option<PathBuf>,
     snapshot_every: u64,
     store: Option<Box<dyn Store>>,
+    retry_policy: Option<RetryPolicy>,
 }
 
 impl Default for RegistryBuilder {
@@ -78,6 +82,7 @@ impl RegistryBuilder {
             data_dir: None,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
             store: None,
+            retry_policy: None,
         }
     }
 
@@ -117,6 +122,18 @@ impl RegistryBuilder {
         self
     }
 
+    /// Opts the registry into commit-path resilience: transient storage
+    /// failures are retried under `policy`'s bounded
+    /// exponential-backoff budget (recovery reads retry too), and
+    /// budget exhaustion flips the registry into degraded read-only
+    /// mode instead of leaving it an error fountain — see
+    /// [`crate::resilience`]. Without this call the registry is
+    /// fail-fast, exactly as before.
+    pub fn retry_policy(mut self, policy: RetryPolicy) -> Self {
+        self.retry_policy = Some(policy);
+        self
+    }
+
     /// Opens the registry. With no store configured this is
     /// [`Registry::new`] plus the thread budget; with one, the durable
     /// state is recovered as described in the [module docs](self).
@@ -136,12 +153,13 @@ impl RegistryBuilder {
         let Some(mut store) = store else {
             let mut registry = Registry::new();
             registry.merge_threads = self.merge_threads;
+            registry.resilience = Resilience::new(self.retry_policy);
             return Ok(registry);
         };
         let recovery_started = Instant::now();
         let recovered = {
             let mut span = telemetry::span("recover");
-            let recovered = recover(&mut store, self.merge_threads)?;
+            let recovered = recover(&mut store, self.merge_threads, self.retry_policy.as_ref())?;
             span.attr("generation", recovered.generation);
             span.attr("wal_records", recovered.wal_records);
             recovered
@@ -177,8 +195,10 @@ impl RegistryBuilder {
                 snapshot_bytes: recovered.snapshot_bytes,
                 snapshots_written: 0,
                 on_disk: recovered.on_disk,
+                torn_at: None,
             })),
             metrics: RegistryMetrics::default(),
+            resilience: Resilience::new(self.retry_policy),
         };
         registry
             .metrics
@@ -202,14 +222,46 @@ struct Recovered {
     on_disk: HashSet<u64>,
 }
 
-fn recover(store: &mut Box<dyn Store>, threads: Option<usize>) -> Result<Recovered, StorageError> {
+/// Runs `op`, retrying transient storage failures under `policy` (when
+/// one is configured) with the same jittered backoff the commit path
+/// uses. Recovery is read-mostly, so a flaky boot-time read should not
+/// abort the open when the registry opted into resilience.
+fn retrying<T>(
+    policy: Option<&RetryPolicy>,
+    salt: u64,
+    mut op: impl FnMut() -> Result<T, StorageError>,
+) -> Result<T, StorageError> {
+    let mut attempt: u32 = 0;
+    loop {
+        match op() {
+            Ok(value) => return Ok(value),
+            Err(err) if err.is_transient() => {
+                let Some(policy) = policy else {
+                    return Err(err);
+                };
+                if attempt >= policy.max_retries() {
+                    return Err(err);
+                }
+                attempt += 1;
+                std::thread::sleep(policy.backoff(attempt, salt));
+            }
+            Err(err) => return Err(err),
+        }
+    }
+}
+
+fn recover(
+    store: &mut Box<dyn Store>,
+    threads: Option<usize>,
+    policy: Option<&RetryPolicy>,
+) -> Result<Recovered, StorageError> {
     // 1. The newest snapshot, if any.
-    let snapshots = store.list_snapshots()?;
+    let snapshots = retrying(policy, 1, || store.list_snapshots())?;
     let mut state = SnapshotState::default();
     let mut snapshot_bytes = 0u64;
     let mut last_view_hash = None;
     if let Some(&latest) = snapshots.last() {
-        let image = store.read_snapshot(latest)?;
+        let image = retrying(policy, 2, || store.read_snapshot(latest))?;
         snapshot_bytes = image.len() as u64;
         state = snapshot::decode(&image)?;
         last_view_hash = Some(state.view_hash);
@@ -217,10 +269,10 @@ fn recover(store: &mut Box<dyn Store>, threads: Option<usize>) -> Result<Recover
 
     // 2. The log's valid prefix; a torn tail was never acknowledged and
     // is truncated away so appends resume on a frame boundary.
-    let image = store.read_log()?;
+    let image = retrying(policy, 3, || store.read_log())?;
     let scan = wal::read_frames(&image)?;
     if scan.valid_len < image.len() as u64 {
-        store.truncate_log(scan.valid_len)?;
+        retrying(policy, 4, || store.truncate_log(scan.valid_len))?;
     }
 
     // Blob table: snapshot bodies plus every body carried in the log

@@ -31,6 +31,25 @@ pub enum RegistryError {
     /// A persistence-only operation (like [`crate::Registry::snapshot`])
     /// was asked of a registry opened without a store.
     NotPersistent,
+    /// The registry is in degraded read-only mode: storage failures
+    /// exhausted the retry budget, reads keep serving the live view,
+    /// and writes are rejected until a probe heals the store. Stable
+    /// code `E-DEGRADED`.
+    Degraded {
+        /// The storage failure that triggered degradation.
+        detail: String,
+    },
+}
+
+impl RegistryError {
+    /// The stable machine-readable code for this error, when it has
+    /// one.
+    pub fn code(&self) -> Option<&'static str> {
+        match self {
+            RegistryError::Degraded { .. } => Some("E-DEGRADED"),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for RegistryError {
@@ -44,6 +63,12 @@ impl fmt::Display for RegistryError {
             RegistryError::NotPersistent => {
                 write!(f, "registry was opened without a data dir or store")
             }
+            RegistryError::Degraded { detail } => {
+                write!(
+                    f,
+                    "[E-DEGRADED] registry is read-only after a storage failure: {detail}"
+                )
+            }
         }
     }
 }
@@ -51,7 +76,9 @@ impl fmt::Display for RegistryError {
 impl std::error::Error for RegistryError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            RegistryError::UnknownMember(_) | RegistryError::NotPersistent => None,
+            RegistryError::UnknownMember(_)
+            | RegistryError::NotPersistent
+            | RegistryError::Degraded { .. } => None,
             RegistryError::Rejected { cause, .. } => Some(cause),
             RegistryError::Storage(cause) => Some(cause),
         }

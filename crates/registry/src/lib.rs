@@ -67,6 +67,7 @@ pub mod cache;
 pub mod config;
 pub mod error;
 pub mod registry;
+pub mod resilience;
 pub mod stats;
 pub mod storage;
 pub mod version;
@@ -74,5 +75,6 @@ pub mod version;
 pub use config::RegistryBuilder;
 pub use error::RegistryError;
 pub use registry::{DeleteOutcome, MergeStrategy, MergedView, PutOutcome, Registry, RegistryJoin};
+pub use resilience::{Health, RetryPolicy};
 pub use stats::RegistryStats;
 pub use version::{MemberInfo, SchemaVersion};

@@ -52,7 +52,7 @@
 //! truncates the log.
 
 use std::collections::{BTreeMap, BTreeSet, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -65,6 +65,7 @@ use schema_merge_telemetry::{self as telemetry, Histogram, HistogramSnapshot};
 use crate::cache::{fingerprint, JoinCache};
 use crate::config::RegistryBuilder;
 use crate::error::RegistryError;
+use crate::resilience::{Health, RetryPolicy};
 use crate::stats::RegistryStats;
 use crate::storage::snapshot::{SnapshotState, VersionMeta};
 use crate::storage::wal::WalRecord;
@@ -202,6 +203,13 @@ pub(crate) struct Persistence {
     /// A put whose hash is present appends a by-reference record — the
     /// WAL-level content-hash dedup.
     pub(crate) on_disk: HashSet<u64>,
+    /// Pre-append log length of a failed append that may have left a
+    /// torn partial frame behind (`None` = log tail is clean). A retry
+    /// must truncate back here first or the log is unrecoverable past
+    /// the garbage. Only tracked when a retry policy is active — the
+    /// fail-fast path keeps its zero-overhead shape and leaves torn
+    /// tails to boot-time recovery, as before.
+    pub(crate) torn_at: Option<u64>,
 }
 
 impl Persistence {
@@ -210,16 +218,39 @@ impl Persistence {
     /// store call — write plus fsync, per the [`Store::append`]
     /// contract — is timed into `fsync`, the registry's durability-wait
     /// histogram.
-    fn append(&mut self, record: &WalRecord, fsync: &Histogram) -> Result<(), StorageError> {
+    fn append(
+        &mut self,
+        record: &WalRecord,
+        fsync: &Histogram,
+        track_torn: bool,
+    ) -> Result<(), StorageError> {
         let frame = wal::encode_frame(record);
+        let base = if track_torn {
+            self.store.log_bytes().ok()
+        } else {
+            None
+        };
         let mut span = telemetry::span("wal-append");
         span.attr_usize("bytes", frame.len());
         let started = Instant::now();
-        self.store.append(&frame)?;
+        if let Err(err) = self.store.append(&frame) {
+            self.torn_at = base;
+            return Err(err);
+        }
         fsync.record(started.elapsed());
         drop(span);
         self.wal_records += 1;
         self.records_since_snapshot += 1;
+        Ok(())
+    }
+
+    /// Truncates away the partial frame a failed append may have left,
+    /// restoring the log to its last-known-good length.
+    fn repair_torn(&mut self) -> Result<(), StorageError> {
+        if let Some(base) = self.torn_at {
+            self.store.truncate_log(base)?;
+            self.torn_at = None;
+        }
         Ok(())
     }
 
@@ -276,6 +307,42 @@ impl Persistence {
     }
 }
 
+/// The registry's resilience state: the opt-in retry policy plus the
+/// degraded-mode flag and its counters. With no policy configured
+/// (`policy: None`, the default) the registry is fail-fast and never
+/// degrades — exactly the pre-resilience behavior.
+pub(crate) struct Resilience {
+    pub(crate) policy: Option<RetryPolicy>,
+    degraded: AtomicBool,
+    last_error: Mutex<Option<String>>,
+    storage_retries: AtomicU64,
+    degrade_events: AtomicU64,
+    heal_events: AtomicU64,
+}
+
+impl Resilience {
+    pub(crate) fn new(policy: Option<RetryPolicy>) -> Self {
+        Resilience {
+            policy,
+            degraded: AtomicBool::new(false),
+            last_error: Mutex::new(None),
+            storage_retries: AtomicU64::new(0),
+            degrade_events: AtomicU64::new(0),
+            heal_events: AtomicU64::new(0),
+        }
+    }
+
+    fn note_error(&self, err: &StorageError) {
+        *self.last_error.lock().expect("resilience lock") = Some(err.to_string());
+    }
+}
+
+impl Default for Resilience {
+    fn default() -> Self {
+        Resilience::new(None)
+    }
+}
+
 #[derive(Default)]
 pub(crate) struct Counters {
     incremental: AtomicU64,
@@ -328,6 +395,8 @@ pub struct Registry {
     pub(crate) persistence: Option<Mutex<Persistence>>,
     /// Latency histograms and the uptime epoch.
     pub(crate) metrics: RegistryMetrics,
+    /// Retry policy and degraded-mode state.
+    pub(crate) resilience: Resilience,
 }
 
 impl Default for Registry {
@@ -366,6 +435,7 @@ impl Registry {
             merge_threads: None,
             persistence: None,
             metrics: RegistryMetrics::default(),
+            resilience: Resilience::default(),
         }
     }
 
@@ -396,6 +466,7 @@ impl Registry {
         name: impl Into<String>,
         schema: WeakSchema,
     ) -> Result<PutOutcome, RegistryError> {
+        self.check_writable()?;
         let name = name.into();
         let schema = Arc::new(schema);
         let hash = schema.content_hash();
@@ -466,7 +537,8 @@ impl Registry {
             if let Some(persistence) = &self.persistence {
                 let mut p = persistence.lock().expect("persistence lock");
                 let carry = !p.on_disk.contains(&hash);
-                p.append(
+                self.durable_append(
+                    &mut p,
                     &WalRecord::Put {
                         generation,
                         member: name.clone(),
@@ -475,7 +547,6 @@ impl Registry {
                         view_hash: candidate.proper.content_hash(),
                         schema: carry.then(|| Arc::clone(&schema)),
                     },
-                    &self.metrics.fsync_latency,
                 )?;
                 p.on_disk.insert(hash);
             }
@@ -525,6 +596,7 @@ impl Registry {
     ///
     /// [`RegistryError::UnknownMember`] when no such member exists.
     pub fn delete(&self, name: &str) -> Result<DeleteOutcome, RegistryError> {
+        self.check_writable()?;
         let commit_started = Instant::now();
         let mut commit_span = telemetry::span("commit");
         loop {
@@ -573,13 +645,13 @@ impl Registry {
             // Same durability point as `put`: fsync first, mutate after.
             if let Some(persistence) = &self.persistence {
                 let mut p = persistence.lock().expect("persistence lock");
-                p.append(
+                self.durable_append(
+                    &mut p,
                     &WalRecord::Delete {
                         generation,
                         member: name.to_string(),
                         view_hash: candidate.proper.content_hash(),
                     },
-                    &self.metrics.fsync_latency,
                 )?;
             }
             shared.generation = generation;
@@ -754,6 +826,7 @@ impl Registry {
     /// (the new image is installed before anything is discarded), so
     /// nothing committed is ever lost.
     pub fn snapshot(&self) -> Result<u64, RegistryError> {
+        self.check_writable()?;
         let persistence = self
             .persistence
             .as_ref()
@@ -819,6 +892,137 @@ impl Registry {
             snapshot_generation: durability.map_or(0, |d| d.2),
             snapshot_bytes: durability.map_or(0, |d| d.3),
             snapshots_written: durability.map_or(0, |d| d.4),
+            degraded: self.resilience.degraded.load(Ordering::SeqCst),
+            storage_retries: self.resilience.storage_retries.load(Ordering::Relaxed),
+        }
+    }
+
+    // ---- resilience ------------------------------------------------------
+
+    /// A snapshot of the registry's resilience state — what the `HEALTH`
+    /// protocol verb serves.
+    pub fn health(&self) -> Health {
+        let fault_counters = self
+            .persistence
+            .as_ref()
+            .and_then(|p| p.lock().expect("persistence lock").store.fault_counters());
+        Health {
+            degraded: self.resilience.degraded.load(Ordering::SeqCst),
+            last_storage_error: self
+                .resilience
+                .last_error
+                .lock()
+                .expect("resilience lock")
+                .clone(),
+            storage_retries: self.resilience.storage_retries.load(Ordering::Relaxed),
+            degrade_events: self.resilience.degrade_events.load(Ordering::Relaxed),
+            heal_events: self.resilience.heal_events.load(Ordering::Relaxed),
+            fault_counters,
+        }
+    }
+
+    /// Whether the registry is in degraded read-only mode.
+    pub fn is_degraded(&self) -> bool {
+        self.resilience.degraded.load(Ordering::SeqCst)
+    }
+
+    /// Probes the store and heals a degraded registry back to writable.
+    /// Returns `true` when the registry is writable after the call.
+    ///
+    /// The probe repairs any torn log tail left by the failed append
+    /// and asks the store for its log length; if both succeed the
+    /// degraded flag clears. Nothing is replayed: the commit whose
+    /// failure triggered degradation was never acknowledged, so the
+    /// in-memory view and the WAL never diverged. The `smerge serve`
+    /// daemon calls this from a background thread; embedders can call
+    /// it on whatever cadence suits them.
+    pub fn probe_now(&self) -> bool {
+        if !self.resilience.degraded.load(Ordering::SeqCst) {
+            return true;
+        }
+        let Some(persistence) = &self.persistence else {
+            // Degradation without a store cannot arise, but heal anyway.
+            self.heal();
+            return true;
+        };
+        let mut p = persistence.lock().expect("persistence lock");
+        let probe = p
+            .repair_torn()
+            .and_then(|()| p.store.log_bytes().map(|_| ()));
+        match probe {
+            Ok(()) => {
+                drop(p);
+                self.heal();
+                true
+            }
+            Err(err) => {
+                self.resilience.note_error(&err);
+                false
+            }
+        }
+    }
+
+    /// Rejects writes while degraded, with the stable `E-DEGRADED` code.
+    fn check_writable(&self) -> Result<(), RegistryError> {
+        if self.resilience.degraded.load(Ordering::SeqCst) {
+            let detail = self
+                .resilience
+                .last_error
+                .lock()
+                .expect("resilience lock")
+                .clone()
+                .unwrap_or_else(|| "storage unavailable".to_string());
+            return Err(RegistryError::Degraded { detail });
+        }
+        Ok(())
+    }
+
+    /// Appends one commit record, retrying transient storage failures
+    /// under the configured policy (repairing any torn partial frame
+    /// before each attempt). With no policy this is the fail-fast
+    /// append of old. Exhausting the budget — or a permanent failure —
+    /// flips the registry into degraded read-only mode; the exhausting
+    /// error itself surfaces as [`RegistryError::Storage`] since this
+    /// commit was never acknowledged.
+    fn durable_append(&self, p: &mut Persistence, record: &WalRecord) -> Result<(), RegistryError> {
+        let Some(policy) = &self.resilience.policy else {
+            return Ok(p.append(record, &self.metrics.fsync_latency, false)?);
+        };
+        let mut attempt: u32 = 0;
+        loop {
+            let result = p
+                .repair_torn()
+                .and_then(|()| p.append(record, &self.metrics.fsync_latency, true));
+            match result {
+                Ok(()) => return Ok(()),
+                Err(err) => {
+                    self.resilience.note_error(&err);
+                    if err.is_transient() && attempt < policy.max_retries() {
+                        attempt += 1;
+                        self.resilience
+                            .storage_retries
+                            .fetch_add(1, Ordering::Relaxed);
+                        std::thread::sleep(policy.backoff(attempt, record.generation()));
+                        continue;
+                    }
+                    self.enter_degraded();
+                    return Err(RegistryError::Storage(err));
+                }
+            }
+        }
+    }
+
+    fn enter_degraded(&self) {
+        if !self.resilience.degraded.swap(true, Ordering::SeqCst) {
+            self.resilience
+                .degrade_events
+                .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn heal(&self) {
+        if self.resilience.degraded.swap(false, Ordering::SeqCst) {
+            self.resilience.heal_events.fetch_add(1, Ordering::Relaxed);
         }
     }
 

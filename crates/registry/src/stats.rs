@@ -65,6 +65,12 @@ pub struct RegistryStats {
     /// Snapshots written by this process (the session counter, like the
     /// merge counters; it restarts at zero on reopen).
     pub snapshots_written: u64,
+    /// Whether the registry is in degraded read-only mode (storage
+    /// failures exhausted the retry budget; writes rejected with
+    /// `E-DEGRADED` until a probe heals the store).
+    pub degraded: bool,
+    /// Commit-path storage retries performed under the retry policy.
+    pub storage_retries: u64,
 }
 
 impl RegistryStats {
@@ -117,6 +123,8 @@ impl RegistryStats {
                 ", \"snapshots_written\": {}",
                 self.snapshots_written
             ));
+            out.push_str(&format!(", \"degraded\": {}", self.degraded));
+            out.push_str(&format!(", \"storage_retries\": {}", self.storage_retries));
         }
         out.push('}');
         out
@@ -168,6 +176,16 @@ impl fmt::Display for RegistryStats {
                 self.snapshot_bytes,
                 self.snapshots_written,
             )?;
+            write!(
+                f,
+                "\nhealth: {}, {} storage retries",
+                if self.degraded {
+                    "degraded (read-only)"
+                } else {
+                    "ok"
+                },
+                self.storage_retries,
+            )?;
         }
         Ok(())
     }
@@ -204,6 +222,8 @@ mod tests {
             snapshot_generation: 0,
             snapshot_bytes: 0,
             snapshots_written: 0,
+            degraded: false,
+            storage_retries: 0,
         }
     }
 
@@ -241,11 +261,13 @@ mod tests {
         stats.snapshot_generation = 5;
         stats.snapshot_bytes = 789;
         stats.snapshots_written = 2;
+        stats.storage_retries = 4;
         let json = stats.to_json();
         assert!(json.ends_with(
             "\"persistent\": true, \"wal_records\": 12, \"wal_bytes\": 3456, \
              \"snapshot_generation\": 5, \"snapshot_bytes\": 789, \
-             \"snapshots_written\": 2}"
+             \"snapshots_written\": 2, \"degraded\": false, \
+             \"storage_retries\": 4}"
         ));
     }
 

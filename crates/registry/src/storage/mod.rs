@@ -40,10 +40,12 @@ use std::fmt;
 use std::io;
 
 pub(crate) mod codec;
+pub mod fault;
 mod local;
 pub(crate) mod snapshot;
 pub(crate) mod wal;
 
+pub use fault::{Fault, FaultCounters, FaultSchedule, FaultStore, OpKind};
 pub use local::LocalStore;
 
 /// A storage failure: an I/O error from the backend, or durable bytes
@@ -72,6 +74,29 @@ impl StorageError {
 
     pub(crate) fn corrupt(detail: String) -> Self {
         StorageError::Corrupt { detail }
+    }
+
+    /// Whether retrying the failed operation could plausibly succeed.
+    ///
+    /// Transient failures are I/O errors whose kind signals a momentary
+    /// condition (interruption, timeout, a dropped connection to a
+    /// remote backend); the registry's retry policy only spends budget
+    /// on these. Corruption is never transient — the bytes will not get
+    /// better — and neither is `NotFound`, which backends use for
+    /// genuinely absent objects (e.g. a missing snapshot generation).
+    pub fn is_transient(&self) -> bool {
+        match self {
+            StorageError::Io { source, .. } => matches!(
+                source.kind(),
+                io::ErrorKind::Interrupted
+                    | io::ErrorKind::TimedOut
+                    | io::ErrorKind::WouldBlock
+                    | io::ErrorKind::ConnectionReset
+                    | io::ErrorKind::ConnectionAborted
+                    | io::ErrorKind::BrokenPipe
+            ),
+            StorageError::Corrupt { .. } => false,
+        }
     }
 }
 
@@ -137,6 +162,15 @@ pub trait Store: Send {
     /// a newer one is installed). Removing an absent object is not an
     /// error.
     fn remove_snapshot(&mut self, generation: u64) -> Result<(), StorageError>;
+
+    /// Fault-injection counters, when this store injects faults.
+    ///
+    /// Real backends return `None` (the default); [`FaultStore`]
+    /// overrides this so the registry can surface injected-fault
+    /// telemetry without downcasting through `dyn Store`.
+    fn fault_counters(&self) -> Option<FaultCounters> {
+        None
+    }
 }
 
 /// An in-memory [`Store`]: byte buffers with the exact semantics of

@@ -484,7 +484,24 @@ impl Supergraph {
                 }),
                 &report.proper,
             );
-            let hints = compose_hints(&states, &provenance, &report.proper);
+            let mut hints = compose_hints(&states, &provenance, &report.proper);
+            // H-COMPOSE-DEGRADED: a member registry is serving reads but
+            // rejecting writes after a storage failure — the composed
+            // view is correct but may lag that member's publishers.
+            // Flagged here (not in `compose_hints`) because degradation
+            // is live registry state, not a property of the inputs.
+            for (name, registry, _) in &snapshot {
+                if registry.is_degraded() {
+                    hints.push(Diagnostic::hint(
+                        "H-COMPOSE-DEGRADED",
+                        format!(
+                            "member registry `{name}` is degraded (read-only \
+                             after a storage failure); its contribution may \
+                             be stale until it heals"
+                        ),
+                    ));
+                }
+            }
             compose_span.attr_usize("hints", hints.len());
             report.diagnostics.extend(hints);
             report.origins = Some(provenance);
@@ -939,6 +956,55 @@ mod tests {
         // only to `c`, Animal only to `a`.
         let codes: Vec<&str> = outcome.view.hints().map(|d| d.code).collect();
         assert!(codes.contains(&"H-COMPOSE-SPECIALIZATION"), "{codes:?}");
+    }
+
+    /// A member registry stuck in degraded read-only mode is flagged on
+    /// the composed view with `H-COMPOSE-DEGRADED` — and the hint clears
+    /// once the member heals.
+    #[test]
+    fn compose_flags_degraded_members_and_clears_on_heal() {
+        use schema_merge_registry::storage::{
+            Fault, FaultSchedule, FaultStore, MemoryStore, OpKind,
+        };
+        use schema_merge_registry::RetryPolicy;
+
+        let supergraph = two_registry_supergraph();
+        let schedule = FaultSchedule::new(7);
+        let store = FaultStore::new(
+            MemoryStore::new(),
+            schedule
+                .clone()
+                .always_after(OpKind::Append, 0, Fault::Permanent),
+        );
+        let flaky = Arc::new(
+            Registry::builder()
+                .store(store)
+                .retry_policy(RetryPolicy::new(0))
+                .open()
+                .unwrap(),
+        );
+        assert!(flaky.put("m", schema("X", "f", "Y")).is_err());
+        assert!(flaky.is_degraded());
+        supergraph.attach("c", Arc::clone(&flaky)).unwrap();
+
+        let outcome = supergraph.compose().unwrap();
+        let degraded: Vec<&Diagnostic> = outcome
+            .view
+            .hints()
+            .filter(|d| d.code == "H-COMPOSE-DEGRADED")
+            .collect();
+        assert_eq!(degraded.len(), 1, "{degraded:?}");
+        assert!(degraded[0].message.contains("`c`"), "{:?}", degraded[0]);
+
+        // Stop injecting, probe heals, publish lands, hint clears.
+        schedule.clear();
+        assert!(flaky.probe_now());
+        flaky.put("m", schema("X", "f", "Y")).unwrap();
+        let healed = supergraph.compose().unwrap();
+        assert!(
+            healed.view.hints().all(|d| d.code != "H-COMPOSE-DEGRADED"),
+            "hint must clear after heal"
+        );
     }
 
     #[test]

@@ -64,6 +64,10 @@ pub enum Command {
     Supergraph,
     /// Force a snapshot + WAL compaction on a durable registry.
     Snapshot,
+    /// Fetch the registry's resilience state: `ok`/`degraded`, retry
+    /// counters, the last storage error, fault-injection counters when
+    /// injection is live.
+    Health,
     /// Liveness probe.
     Ping,
     /// Stop the daemon (after draining in-flight connections).
@@ -119,6 +123,7 @@ impl Command {
             "COMPOSE" => bare(Command::Compose),
             "SUPERGRAPH" => bare(Command::Supergraph),
             "SNAPSHOT" => bare(Command::Snapshot),
+            "HEALTH" => bare(Command::Health),
             "PING" => bare(Command::Ping),
             "SHUTDOWN" => bare(Command::Shutdown),
             "QUIT" => bare(Command::Quit),
@@ -143,6 +148,7 @@ impl fmt::Display for Command {
             Command::Compose => write!(f, "COMPOSE"),
             Command::Supergraph => write!(f, "SUPERGRAPH"),
             Command::Snapshot => write!(f, "SNAPSHOT"),
+            Command::Health => write!(f, "HEALTH"),
             Command::Ping => write!(f, "PING"),
             Command::Shutdown => write!(f, "SHUTDOWN"),
             Command::Quit => write!(f, "QUIT"),
@@ -313,6 +319,8 @@ mod tests {
             ("COMPOSE", Command::Compose),
             ("supergraph", Command::Supergraph),
             ("snapshot", Command::Snapshot),
+            ("HEALTH", Command::Health),
+            ("health", Command::Health),
             ("PING", Command::Ping),
             ("SHUTDOWN", Command::Shutdown),
             ("QUIT", Command::Quit),
